@@ -1,0 +1,77 @@
+//! Wall-clock overhead of the I/O engines themselves (ring
+//! round-trips, pipeline slicing, page bookkeeping) on cost-free
+//! storage — the engine-implementation companion to Figure 9's
+//! modeled device times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reprocmp_io::cost::OpSpec;
+use reprocmp_io::pipeline::{read_all, BackendKind, PipelineConfig};
+use reprocmp_io::{MemStorage, MmapSim, UringSim};
+use std::sync::Arc;
+
+fn scattered_ops(file_len: usize, chunk: usize, every: usize) -> Vec<OpSpec> {
+    (0..file_len / chunk)
+        .filter(|i| i % every == 3)
+        .map(|i| ((i * chunk) as u64, chunk))
+        .collect()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scattered_read_engines");
+    group.sample_size(20);
+    let file_len = 16 << 20;
+    let data: Vec<u8> = (0..file_len).map(|i| (i % 251) as u8).collect();
+    let ops = scattered_ops(file_len, 4096, 16);
+    let bytes: u64 = ops.iter().map(|&(_, l)| l as u64).sum();
+    group.throughput(Throughput::Bytes(bytes));
+
+    group.bench_function("uring_sim", |b| {
+        b.iter_with_setup(
+            || UringSim::new(MemStorage::free(data.clone()), 4, 64),
+            |mut ring| {
+                ring.read_scattered(std::hint::black_box(&ops)).unwrap();
+            },
+        );
+    });
+    group.bench_function("mmap_sim", |b| {
+        b.iter_with_setup(
+            || MmapSim::new(MemStorage::free(data.clone())),
+            |map| {
+                map.read_scattered(std::hint::black_box(&ops)).unwrap();
+            },
+        );
+    });
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_pipeline");
+    group.sample_size(20);
+    let file_len = 16 << 20;
+    let data: Vec<u8> = vec![7u8; file_len];
+    let storage: Arc<MemStorage> = Arc::new(MemStorage::free(data));
+    let ops = scattered_ops(file_len, 16 << 10, 4);
+    let bytes: u64 = ops.iter().map(|&(_, l)| l as u64).sum();
+    group.throughput(Throughput::Bytes(bytes));
+
+    for backend in [BackendKind::Uring, BackendKind::Blocking] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{backend:?}")),
+            &backend,
+            |b, &backend| {
+                let cfg = PipelineConfig {
+                    backend,
+                    ..PipelineConfig::default()
+                };
+                b.iter(|| {
+                    read_all(Arc::clone(&storage) as Arc<dyn reprocmp_io::Storage>, &ops, cfg)
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_pipeline);
+criterion_main!(benches);

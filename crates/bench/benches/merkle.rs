@@ -1,0 +1,55 @@
+//! Microbenchmarks of Merkle-tree construction (serial vs threaded —
+//! the wall-clock companion to the modeled Figure 8) and the pruning
+//! BFS comparison against a full leaf scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reprocmp_device::Device;
+use reprocmp_hash::{ChunkHasher, Quantizer};
+use reprocmp_merkle::{compare_trees, MerkleTree};
+
+fn data(n: usize) -> Vec<f32> {
+    (0..n).map(|i| (i as f32 * 0.01).sin()).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build");
+    let values = data(1 << 20); // 4 MiB
+    let hasher = ChunkHasher::new(Quantizer::new(1e-5).unwrap());
+    group.throughput(Throughput::Bytes((values.len() * 4) as u64));
+    group.sample_size(10);
+    for (name, device) in [
+        ("serial", Device::host_serial()),
+        ("parallel", Device::host_auto()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &values, |b, values| {
+            b.iter(|| MerkleTree::build_from_f32(std::hint::black_box(values), 4096, &hasher, &device));
+        });
+    }
+    group.finish();
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_compare");
+    let base = data(1 << 20);
+    let mut other = base.clone();
+    other[500_000] += 1.0; // one divergent chunk
+    let hasher = ChunkHasher::new(Quantizer::new(1e-5).unwrap());
+    let dev = Device::host_serial();
+    let ta = MerkleTree::build_from_f32(&base, 4096, &hasher, &dev);
+    let tb = MerkleTree::build_from_f32(&other, 4096, &hasher, &dev);
+
+    group.bench_function("pruning_bfs", |b| {
+        b.iter(|| compare_trees(std::hint::black_box(&ta), &tb, &dev, 64).unwrap());
+    });
+    group.bench_function("full_leaf_scan", |b| {
+        b.iter(|| {
+            (0..ta.leaf_count())
+                .filter(|&i| ta.leaf(i) != tb.leaf(i))
+                .count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_compare);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! A tiny `--flag value` argument parser.
+
+use std::collections::BTreeMap;
+
+use crate::CliError;
+
+/// Parsed `--flag value` pairs.
+#[derive(Debug, Default, Clone)]
+pub struct ArgMap {
+    values: BTreeMap<String, String>,
+}
+
+impl ArgMap {
+    /// Parses alternating `--flag value` tokens.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] on a dangling flag, a value without a flag,
+    /// or a repeated flag.
+    pub fn parse(tokens: &[String]) -> Result<Self, CliError> {
+        let mut values = BTreeMap::new();
+        let mut iter = tokens.iter();
+        while let Some(tok) = iter.next() {
+            let Some(flag) = tok.strip_prefix("--") else {
+                return Err(CliError::Usage(format!(
+                    "expected a --flag, found `{tok}`"
+                )));
+            };
+            let Some(value) = iter.next() else {
+                return Err(CliError::Usage(format!("flag --{flag} needs a value")));
+            };
+            if values.insert(flag.to_owned(), value.clone()).is_some() {
+                return Err(CliError::Usage(format!("flag --{flag} given twice")));
+            }
+        }
+        Ok(ArgMap { values })
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] when missing.
+    pub fn required(&self, flag: &str) -> Result<&str, CliError> {
+        self.values
+            .get(flag)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{flag}")))
+    }
+
+    /// An optional string flag.
+    #[must_use]
+    pub fn optional(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// An optional parsed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] when present but unparsable.
+    pub fn parsed_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, CliError> {
+        match self.values.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                CliError::Usage(format!("flag --{flag}: cannot parse `{raw}`"))
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|t| (*t).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let m = ArgMap::parse(&toks(&["--input", "a.bin", "--chunk-bytes", "8192"])).unwrap();
+        assert_eq!(m.required("input").unwrap(), "a.bin");
+        assert_eq!(m.parsed_or("chunk-bytes", 0usize).unwrap(), 8192);
+        assert_eq!(m.parsed_or("error-bound", 1e-5f64).unwrap(), 1e-5);
+        assert!(m.optional("nope").is_none());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(ArgMap::parse(&toks(&["input"])).is_err());
+        assert!(ArgMap::parse(&toks(&["--input"])).is_err());
+        assert!(ArgMap::parse(&toks(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn missing_required_reports_flag_name() {
+        let m = ArgMap::parse(&[]).unwrap();
+        let err = m.required("run1").unwrap_err();
+        assert!(err.to_string().contains("run1"));
+    }
+
+    #[test]
+    fn unparsable_value_reports_both() {
+        let m = ArgMap::parse(&toks(&["--steps", "many"])).unwrap();
+        let err = m.parsed_or("steps", 5u64).unwrap_err();
+        assert!(err.to_string().contains("steps"));
+        assert!(err.to_string().contains("many"));
+    }
+}

@@ -1,0 +1,813 @@
+//! Command implementations.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use reprocmp_core::{CheckpointSource, CompareEngine, EngineConfig};
+use reprocmp_hacc::{HaccConfig, OrderPolicy, Simulation, SlabDecomposition};
+use reprocmp_veloc::{decode_checkpoint, Client, VelocConfig};
+
+use crate::args::ArgMap;
+use crate::CliError;
+
+fn fail(e: impl std::fmt::Display) -> CliError {
+    CliError::Failed(e.to_string())
+}
+
+/// Reads a checkpoint file from disk and locates its `f32` payload:
+/// VELOC-format files by header, anything else as raw f32.
+fn locate_payload(path: &Path) -> Result<(Vec<u8>, u64, u64), CliError> {
+    let bytes = std::fs::read(path).map_err(fail)?;
+    if bytes.len() >= 8 && &bytes[..8] == reprocmp_veloc::format::MAGIC {
+        let file = decode_checkpoint(&bytes).map_err(fail)?;
+        let (off, len) = (file.payload_offset, file.payload_len);
+        Ok((bytes, off, len))
+    } else {
+        if bytes.len() % 4 != 0 {
+            return Err(CliError::Failed(format!(
+                "{} is neither a reprocmp checkpoint nor a multiple-of-4-byte raw f32 file",
+                path.display()
+            )));
+        }
+        let len = bytes.len() as u64;
+        Ok((bytes, 0, len))
+    }
+}
+
+fn payload_values(bytes: &[u8], offset: u64, len: u64) -> Vec<f32> {
+    bytes[offset as usize..(offset + len) as usize]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect()
+}
+
+fn engine_from(map: &ArgMap) -> Result<CompareEngine, CliError> {
+    let chunk_bytes = map.parsed_or("chunk-bytes", 4096usize)?;
+    let error_bound = map.parsed_or("error-bound", 1e-5f64)?;
+    CompareEngine::try_new(EngineConfig {
+        chunk_bytes,
+        error_bound,
+        ..EngineConfig::default()
+    })
+    .map_err(fail)
+}
+
+/// `create-tree`: write Merkle metadata for a checkpoint file.
+pub fn create_tree(map: &ArgMap) -> Result<String, CliError> {
+    let input = PathBuf::from(map.required("input")?);
+    let output = PathBuf::from(map.required("output")?);
+    let engine = engine_from(map)?;
+
+    let (bytes, off, len) = locate_payload(&input)?;
+    let values = payload_values(&bytes, off, len);
+    if values.is_empty() {
+        return Err(CliError::Failed(format!(
+            "{} holds no f32 payload",
+            input.display()
+        )));
+    }
+    let encoded = engine.encode_metadata(&values);
+    std::fs::write(&output, &encoded).map_err(fail)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "wrote {} ({} bytes of metadata)", output.display(), encoded.len());
+    let _ = writeln!(
+        out,
+        "payload: {} values, chunk {} B, bound {:e}, metadata/data ratio {:.4}",
+        values.len(),
+        engine.config().chunk_bytes,
+        engine.config().error_bound,
+        encoded.len() as f64 / (values.len() * 4) as f64,
+    );
+    Ok(out)
+}
+
+/// `compare`: compare two checkpoint files.
+pub fn compare(map: &ArgMap) -> Result<String, CliError> {
+    let run1 = PathBuf::from(map.required("run1")?);
+    let run2 = PathBuf::from(map.required("run2")?);
+    let max_diffs = map.parsed_or("max-diffs", 20usize)?;
+    let engine = engine_from(map)?;
+
+    // For canonical checkpoints, differences can be attributed to
+    // named regions (the paper's "which variables were affected").
+    let region_map = std::fs::read(&run1)
+        .ok()
+        .and_then(|bytes| decode_checkpoint(&bytes).ok())
+        .map(|file| {
+            reprocmp_core::RegionMap::from_lengths(
+                file.regions.iter().map(|r| (r.name.as_str(), r.count)),
+            )
+        });
+
+    let load = |path: &Path, tree_flag: Option<&str>| -> Result<CheckpointSource, CliError> {
+        let (bytes, off, len) = locate_payload(path)?;
+        match tree_flag {
+            Some(tree_path) => {
+                let src = CheckpointSource::from_files(path, off, len, Path::new(tree_path))
+                    .map_err(fail)?;
+                Ok(src)
+            }
+            None => {
+                // Hash on the fly, then serve both from memory.
+                let values = payload_values(&bytes, off, len);
+                CheckpointSource::in_memory(&values, &engine).map_err(fail)
+            }
+        }
+    };
+
+    let a = load(&run1, map.optional("tree1"))?;
+    let b = load(&run2, map.optional("tree2"))?;
+    let report = engine.compare(&a, &b).map_err(fail)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "compared {} vs {} ({} values, bound {:e}, chunk {} B)",
+        run1.display(),
+        run2.display(),
+        report.stats.total_values,
+        engine.config().error_bound,
+        engine.config().chunk_bytes,
+    );
+    let _ = writeln!(
+        out,
+        "chunks: {} total, {} flagged, {} false positives; {} bytes re-read",
+        report.stats.chunks_total,
+        report.stats.chunks_flagged,
+        report.stats.false_positive_chunks,
+        report.stats.bytes_reread,
+    );
+    if report.identical() {
+        let _ = writeln!(out, "RESULT: runs agree within the bound");
+    } else {
+        let _ = writeln!(
+            out,
+            "RESULT: {} values differ beyond the bound",
+            report.stats.diff_count
+        );
+        match &region_map {
+            Some(rm) => {
+                for loc in rm.annotate(&report.differences).iter().take(max_diffs) {
+                    let _ = writeln!(out, "  {loc}");
+                }
+                let _ = writeln!(out, "  per field:");
+                for (name, count) in rm.diffs_per_region(&report.differences) {
+                    if count > 0 {
+                        let _ = writeln!(out, "    {name:<6} {count}");
+                    }
+                }
+            }
+            None => {
+                for d in report.differences.iter().take(max_diffs) {
+                    let _ = writeln!(out, "  [{}] {} vs {} (|Δ| = {:e})", d.index, d.a, d.b, (f64::from(d.a) - f64::from(d.b)).abs());
+                }
+            }
+        }
+        if report.stats.diff_count as usize > max_diffs {
+            let _ = writeln!(out, "  … and {} more", report.stats.diff_count as usize - max_diffs);
+        }
+    }
+    Ok(out)
+}
+
+/// `info`: describe a checkpoint or metadata file.
+pub fn info(map: &ArgMap) -> Result<String, CliError> {
+    let input = PathBuf::from(map.required("input")?);
+    let bytes = std::fs::read(&input).map_err(fail)?;
+    let mut out = String::new();
+
+    if bytes.len() >= 8 && &bytes[..8] == reprocmp_merkle::serial::MAGIC {
+        let tree = reprocmp_merkle::decode_tree(&bytes).map_err(fail)?;
+        let _ = writeln!(out, "{}: Merkle tree metadata", input.display());
+        let _ = writeln!(
+            out,
+            "  leaves {} | levels {} | nodes {} | chunk {} B | bound {:e} | describes {} payload bytes",
+            tree.leaf_count(),
+            tree.levels(),
+            tree.node_count(),
+            tree.chunk_bytes(),
+            tree.error_bound(),
+            tree.data_len(),
+        );
+        let _ = writeln!(out, "  root: {}", tree.root());
+    } else if bytes.len() >= 8 && &bytes[..8] == reprocmp_veloc::format::MAGIC {
+        let file = decode_checkpoint(&bytes).map_err(fail)?;
+        let _ = writeln!(out, "{}: checkpoint (version {})", input.display(), file.checkpoint_version);
+        for r in &file.regions {
+            let _ = writeln!(out, "  region {:<6} {} values", r.name, r.count);
+        }
+        let _ = writeln!(out, "  payload: {} bytes at offset {}", file.payload_len, file.payload_offset);
+    } else {
+        let _ = writeln!(
+            out,
+            "{}: unrecognized ({} bytes); treating as raw f32 would give {} values",
+            input.display(),
+            bytes.len(),
+            bytes.len() / 4
+        );
+    }
+    Ok(out)
+}
+
+/// `simulate`: run mini-HACC and capture a VELOC checkpoint history.
+pub fn simulate(map: &ArgMap) -> Result<String, CliError> {
+    let out_dir = PathBuf::from(map.required("out-dir")?);
+    let particles = map.parsed_or("particles", 2_048usize)?;
+    let steps = map.parsed_or("steps", 50u64)?;
+    let ranks = map.parsed_or("ranks", 2usize)?;
+    let ic_seed = map.parsed_or("ic-seed", 0xC05_0C0DEu64)?;
+    let run_name = map.optional("run-name").unwrap_or("run").to_owned();
+
+    let order = match map.optional("order-seed") {
+        None => OrderPolicy::Sequential,
+        Some(raw) => OrderPolicy::Shuffled {
+            seed: raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--order-seed: cannot parse `{raw}`")))?,
+        },
+    };
+
+    let mut cfg = HaccConfig::small();
+    cfg.particles = particles;
+    cfg.ic_seed = ic_seed;
+    cfg.order = order;
+    let box_size = cfg.box_size;
+    let mut sim = Simulation::new(cfg);
+    let decomp = SlabDecomposition::new(ranks);
+
+    let client = Client::new(VelocConfig::rooted_at(&out_dir)).map_err(fail)?;
+    // Checkpoint at the paper's cadence: 4 evenly spaced iterations.
+    let interval = (steps / 5).max(1);
+    let mut captured = Vec::new();
+
+    for step in 1..=steps {
+        sim.step();
+        if step % interval == 0 && step / interval <= 4 {
+            for rank in 0..ranks {
+                let regions = decomp.rank_regions(sim.particles(), box_size, rank);
+                let borrowed: Vec<(&str, &[f32])> =
+                    regions.iter().map(|(n, v)| (*n, v.as_slice())).collect();
+                let name = format!("{run_name}.rank{rank}");
+                client.checkpoint(&name, step, &borrowed).map_err(fail)?;
+            }
+            captured.push(step);
+        }
+    }
+    client.wait_all().map_err(fail)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "simulated {} particles for {} steps ({:?} order)",
+        particles, steps, sim.config().order
+    );
+    let _ = writeln!(
+        out,
+        "captured iterations {:?} x {} ranks into {}",
+        captured,
+        ranks,
+        out_dir.join("pfs").display()
+    );
+    Ok(out)
+}
+
+/// `census`: friends-of-friends halo census of a captured checkpoint
+/// (needs the canonical x/y/z regions — i.e. a file written by
+/// `simulate` or the VELOC client).
+pub fn census(map: &ArgMap) -> Result<String, CliError> {
+    use reprocmp_hacc::halo::find_halos;
+    use reprocmp_hacc::ParticleSet;
+
+    let input = PathBuf::from(map.required("input")?);
+    let linking_length = map.parsed_or("linking-length", 0.02f32)?;
+    let min_members = map.parsed_or("min-members", 12usize)?;
+    let box_size = map.parsed_or("box-size", 1.0f32)?;
+
+    let bytes = std::fs::read(&input).map_err(fail)?;
+    let file = decode_checkpoint(&bytes).map_err(|e| {
+        CliError::Failed(format!(
+            "{}: not a reprocmp checkpoint ({e}); census needs x/y/z regions",
+            input.display()
+        ))
+    })?;
+    let read = |name: &str| -> Result<Vec<f32>, CliError> {
+        reprocmp_veloc::read_region(&bytes, &file, name)
+            .map_err(|_| CliError::Failed(format!("checkpoint has no `{name}` region")))
+    };
+    let (x, y, z) = (read("x")?, read("y")?, read("z")?);
+    let mut particles = ParticleSet::with_len(x.len());
+    particles.x = x;
+    particles.y = y;
+    particles.z = z;
+
+    let halos = find_halos(&particles, box_size, linking_length, min_members);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} particles, linking length {linking_length}, min members {min_members}",
+        input.display(),
+        particles.len(),
+    );
+    let _ = writeln!(out, "halos found: {}", halos.len());
+    for (i, h) in halos.iter().take(10).enumerate() {
+        let _ = writeln!(
+            out,
+            "  #{i:<3} {:>6} members, center ({:.4}, {:.4}, {:.4})",
+            h.size(),
+            h.center[0],
+            h.center[1],
+            h.center[2]
+        );
+    }
+    if halos.len() > 10 {
+        let _ = writeln!(out, "  … and {} more", halos.len() - 10);
+    }
+    Ok(out)
+}
+
+/// `gate`: the paper-conclusion CI use case. Compares a candidate
+/// run's checkpoint against a golden run's *Merkle metadata* (and,
+/// optionally, its data, for value-level reporting). Returns
+/// `Err(CliError::Failed)` — a non-zero exit — on regression, so it
+/// drops straight into CI pipelines.
+pub fn gate(map: &ArgMap) -> Result<String, CliError> {
+    use reprocmp_core::EngineConfig;
+    use reprocmp_merkle::compare_trees;
+
+    let golden_tree_path = PathBuf::from(map.required("golden-tree")?);
+    let candidate_path = PathBuf::from(map.required("candidate")?);
+    let max_diffs = map.parsed_or("max-diffs", 10usize)?;
+
+    let tree_bytes = std::fs::read(&golden_tree_path).map_err(fail)?;
+    let golden_tree = reprocmp_merkle::decode_tree(&tree_bytes).map_err(fail)?;
+
+    // The gate's tolerance and chunking come from the golden metadata
+    // itself — the repository is the single source of truth.
+    let engine = CompareEngine::try_new(EngineConfig {
+        chunk_bytes: golden_tree.chunk_bytes(),
+        error_bound: golden_tree.error_bound(),
+        ..EngineConfig::default()
+    })
+    .map_err(fail)?;
+
+    let (cand_bytes, off, len) = locate_payload(&candidate_path)?;
+    let candidate = payload_values(&cand_bytes, off, len);
+    if (candidate.len() * 4) as u64 != golden_tree.data_len() {
+        return Err(CliError::Failed(format!(
+            "candidate has {} payload bytes but the golden tree describes {}",
+            candidate.len() * 4,
+            golden_tree.data_len()
+        )));
+    }
+
+    let candidate_tree = engine.build_metadata(&candidate);
+    let lanes = engine.device().concurrent_kernel_threads();
+    let outcome =
+        compare_trees(&golden_tree, &candidate_tree, engine.device(), lanes).map_err(fail)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "gate: {} vs golden {} (ε = {:e}, {} chunks)",
+        candidate_path.display(),
+        golden_tree_path.display(),
+        golden_tree.error_bound(),
+        golden_tree.leaf_count(),
+    );
+
+    if outcome.identical() {
+        let _ = writeln!(out, "PASS — candidate reproduces the golden result within ε");
+        let _ = writeln!(out, "       (zero checkpoint data read; metadata only)");
+        return Ok(out);
+    }
+
+    // Trees disagree. With golden data we can distinguish real
+    // regressions from hash false positives; without, flag and fail.
+    if let Some(golden_data_path) = map.optional("golden-data") {
+        let (gbytes, goff, glen) = locate_payload(Path::new(golden_data_path))?;
+        let golden_values = payload_values(&gbytes, goff, glen);
+        let a = CheckpointSource::in_memory(&golden_values, &engine).map_err(fail)?;
+        let b = CheckpointSource::in_memory(&candidate, &engine).map_err(fail)?;
+        let report = engine.compare(&a, &b).map_err(fail)?;
+        if report.identical() {
+            let _ = writeln!(
+                out,
+                "PASS — {} chunk(s) flagged by the hash were false positives; \
+                 no value exceeds ε",
+                outcome.mismatched_leaves.len()
+            );
+            return Ok(out);
+        }
+        let _ = writeln!(
+            out,
+            "FAIL — {} value(s) moved beyond ε; first offenders:",
+            report.stats.diff_count
+        );
+        for d in report.differences.iter().take(max_diffs) {
+            let _ = writeln!(
+                out,
+                "  [{}] golden {} vs candidate {}",
+                d.index, d.a, d.b
+            );
+        }
+        return Err(CliError::Failed(out));
+    }
+
+    let _ = writeln!(
+        out,
+        "FAIL — {} of {} chunks differ from the golden metadata \
+         (pass --golden-data to localize values)",
+        outcome.mismatched_leaves.len(),
+        golden_tree.leaf_count()
+    );
+    Err(CliError::Failed(out))
+}
+
+/// `history`: the paper's problem statement on the command line.
+/// Takes two directories of captured checkpoints (as produced by
+/// `simulate` — `<name>.rank<R>.v<III>.ckpt` files), pairs them by
+/// rank and iteration, and reports when and where the runs diverged.
+pub fn history(map: &ArgMap) -> Result<String, CliError> {
+    use reprocmp_core::CheckpointHistory;
+    use std::collections::BTreeMap;
+
+    let dir1 = PathBuf::from(map.required("run1-dir")?);
+    let dir2 = PathBuf::from(map.required("run2-dir")?);
+    let engine = engine_from(map)?;
+
+    // Index a directory: (rank, iteration) -> path. Rank and iteration
+    // are parsed from the canonical `<stem>.rank<R>.v<III>.ckpt` names.
+    let index = |dir: &Path| -> Result<BTreeMap<(usize, u64), PathBuf>, CliError> {
+        let mut found = BTreeMap::new();
+        for entry in std::fs::read_dir(dir).map_err(fail)? {
+            let path = entry.map_err(fail)?.path();
+            let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+            let Some(name) = name else { continue };
+            let Some(stem) = name.strip_suffix(".ckpt") else { continue };
+            let Some(v_pos) = stem.rfind(".v") else { continue };
+            let Ok(iteration) = stem[v_pos + 2..].parse::<u64>() else { continue };
+            let head = &stem[..v_pos];
+            let Some(r_pos) = head.rfind(".rank") else { continue };
+            let Ok(rank) = head[r_pos + 5..].parse::<usize>() else { continue };
+            found.insert((rank, iteration), path);
+        }
+        Ok(found)
+    };
+    let idx1 = index(&dir1)?;
+    let idx2 = index(&dir2)?;
+    if idx1.is_empty() {
+        return Err(CliError::Failed(format!(
+            "{}: no `*.rank<R>.v<III>.ckpt` files found",
+            dir1.display()
+        )));
+    }
+    if idx1.keys().ne(idx2.keys()) {
+        return Err(CliError::Failed(format!(
+            "the directories cover different (rank, iteration) sets: {} vs {} checkpoints",
+            idx1.len(),
+            idx2.len()
+        )));
+    }
+
+    let load = |path: &Path| -> Result<CheckpointSource, CliError> {
+        let (bytes, off, len) = locate_payload(path)?;
+        let values = payload_values(&bytes, off, len);
+        CheckpointSource::in_memory(&values, &engine).map_err(fail)
+    };
+    let mut h1 = CheckpointHistory::new();
+    let mut h2 = CheckpointHistory::new();
+    for (&(rank, iteration), path) in &idx1 {
+        h1.insert(rank, iteration, load(path)?);
+    }
+    for (&(rank, iteration), path) in &idx2 {
+        h2.insert(rank, iteration, load(path)?);
+    }
+
+    let report = engine.compare_history(&h1, &h2).map_err(fail)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "compared {} checkpoint pairs (ε = {:e}, chunk {} B)",
+        report.entries.len(),
+        engine.config().error_bound,
+        engine.config().chunk_bytes,
+    );
+    let _ = writeln!(out, "{:>6} {:>6} {:>10} {:>10} {:>10}", "iter", "rank", "flagged", "diffs", "re-read");
+    for e in &report.entries {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>6} {:>10} {:>10} {:>10}",
+            e.iteration,
+            e.rank,
+            e.report.stats.chunks_flagged,
+            e.report.stats.diff_count,
+            e.report.stats.bytes_reread,
+        );
+    }
+    match report.first_divergence() {
+        None => {
+            let _ = writeln!(out, "RESULT: the runs agree within the bound at every checkpoint");
+        }
+        Some((iteration, rank)) => {
+            let _ = writeln!(
+                out,
+                "RESULT: runs diverge from iteration {iteration} (first on rank {rank}); {} values total",
+                report.total_diffs()
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(args: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        crate::run(&argv)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("reprocmp-cli-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn write_raw_f32(path: &Path, values: &[f32]) {
+        let mut bytes = Vec::new();
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        std::fs::write(path, bytes).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_simulate_tree_compare() {
+        let dir = temp_dir("e2e");
+        // Two nondeterministic runs from the same ICs.
+        for (name, seed) in [("run1", "1"), ("run2", "2")] {
+            run_cli(&[
+                "simulate", "--out-dir", dir.to_str().unwrap(),
+                "--particles", "512", "--steps", "20", "--ranks", "1",
+                "--order-seed", seed, "--run-name", name,
+            ])
+            .unwrap();
+        }
+        // steps=20 → capture interval 4 → iterations 4, 8, 12, 16.
+        let c1 = dir.join("pfs/run1.rank0.v000016.ckpt");
+        let c2 = dir.join("pfs/run2.rank0.v000016.ckpt");
+        assert!(c1.exists() && c2.exists());
+
+        // Build metadata for run1.
+        let t1 = dir.join("run1.tree");
+        let out = run_cli(&[
+            "create-tree", "--input", c1.to_str().unwrap(),
+            "--output", t1.to_str().unwrap(), "--chunk-bytes", "256",
+        ])
+        .unwrap();
+        assert!(out.contains("metadata"));
+
+        // Compare with a loose and a tight bound.
+        let loose = run_cli(&[
+            "compare", "--run1", c1.to_str().unwrap(), "--run2", c2.to_str().unwrap(),
+            "--chunk-bytes", "256", "--error-bound", "1.0",
+        ])
+        .unwrap();
+        assert!(loose.contains("agree within the bound"), "{loose}");
+
+        let tight = run_cli(&[
+            "compare", "--run1", c1.to_str().unwrap(), "--run2", c2.to_str().unwrap(),
+            "--chunk-bytes", "256", "--error-bound", "1e-12",
+        ])
+        .unwrap();
+        assert!(tight.contains("differ beyond the bound"), "{tight}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_raw_f32_files() {
+        let dir = temp_dir("raw");
+        let a = dir.join("a.f32");
+        let b = dir.join("b.f32");
+        let base: Vec<f32> = (0..1000).map(|i| i as f32 * 0.1).collect();
+        let mut tweaked = base.clone();
+        tweaked[123] += 0.5;
+        write_raw_f32(&a, &base);
+        write_raw_f32(&b, &tweaked);
+
+        let out = run_cli(&[
+            "compare", "--run1", a.to_str().unwrap(), "--run2", b.to_str().unwrap(),
+            "--chunk-bytes", "128", "--error-bound", "1e-3",
+        ])
+        .unwrap();
+        assert!(out.contains("1 values differ"), "{out}");
+        assert!(out.contains("[123]"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn info_describes_all_formats() {
+        let dir = temp_dir("info");
+        let raw = dir.join("raw.f32");
+        write_raw_f32(&raw, &[1.0, 2.0, 3.0]);
+        let out = run_cli(&["info", "--input", raw.to_str().unwrap()]).unwrap();
+        assert!(out.contains("3 values"), "{out}");
+
+        let tree = dir.join("raw.tree");
+        run_cli(&[
+            "create-tree", "--input", raw.to_str().unwrap(),
+            "--output", tree.to_str().unwrap(), "--chunk-bytes", "4",
+        ])
+        .unwrap();
+        let out = run_cli(&["info", "--input", tree.to_str().unwrap()]).unwrap();
+        assert!(out.contains("Merkle tree metadata"), "{out}");
+        assert!(out.contains("leaves 3"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn history_command_finds_first_divergent_iteration() {
+        let dir = temp_dir("history");
+        for (sub, seed) in [("a", "1"), ("b", "2")] {
+            run_cli(&[
+                "simulate", "--out-dir", dir.join(sub).to_str().unwrap(),
+                "--particles", "512", "--steps", "20", "--ranks", "2",
+                "--order-seed", seed,
+            ])
+            .unwrap();
+        }
+        // Loose bound: full agreement.
+        let out = run_cli(&[
+            "history",
+            "--run1-dir", dir.join("a/pfs").to_str().unwrap(),
+            "--run2-dir", dir.join("b/pfs").to_str().unwrap(),
+            "--chunk-bytes", "256", "--error-bound", "1.0",
+        ])
+        .unwrap();
+        assert!(out.contains("8 checkpoint pairs"), "{out}");
+        assert!(out.contains("agree within the bound"), "{out}");
+
+        // Tight bound: divergence localized to an iteration.
+        let out = run_cli(&[
+            "history",
+            "--run1-dir", dir.join("a/pfs").to_str().unwrap(),
+            "--run2-dir", dir.join("b/pfs").to_str().unwrap(),
+            "--chunk-bytes", "256", "--error-bound", "1e-12",
+        ])
+        .unwrap();
+        assert!(out.contains("diverge from iteration"), "{out}");
+
+        // Directories covering different checkpoint sets are an error.
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = run_cli(&[
+            "history",
+            "--run1-dir", dir.join("a/pfs").to_str().unwrap(),
+            "--run2-dir", empty.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("different (rank, iteration)"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gate_passes_reproductions_and_fails_regressions() {
+        let dir = temp_dir("gate");
+        let golden: Vec<f32> = (0..2_000).map(|i| (i as f32 * 0.01).sin()).collect();
+        let golden_path = dir.join("golden.f32");
+        write_raw_f32(&golden_path, &golden);
+        let tree_path = dir.join("golden.tree");
+        run_cli(&[
+            "create-tree", "--input", golden_path.to_str().unwrap(),
+            "--output", tree_path.to_str().unwrap(),
+            "--chunk-bytes", "256", "--error-bound", "1e-4",
+        ])
+        .unwrap();
+
+        // Bitwise reproduction: PASS, metadata only.
+        let cand = dir.join("cand.f32");
+        write_raw_f32(&cand, &golden);
+        let out = run_cli(&[
+            "gate", "--golden-tree", tree_path.to_str().unwrap(),
+            "--candidate", cand.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        assert!(out.contains("metadata only"), "{out}");
+
+        // Sub-tolerance drift that straddles the grid: PASS only when
+        // golden data is available to clear the false positive.
+        let mut drifted = golden.clone();
+        for v in &mut drifted {
+            *v += 4e-5; // under the 1e-4 bound
+        }
+        write_raw_f32(&cand, &drifted);
+        let res = run_cli(&[
+            "gate", "--golden-tree", tree_path.to_str().unwrap(),
+            "--candidate", cand.to_str().unwrap(),
+            "--golden-data", golden_path.to_str().unwrap(),
+        ]);
+        let out = res.unwrap();
+        assert!(out.contains("PASS"), "{out}");
+
+        // A real regression: FAIL with localization.
+        let mut broken = golden.clone();
+        broken[777] += 0.5;
+        write_raw_f32(&cand, &broken);
+        let err = run_cli(&[
+            "gate", "--golden-tree", tree_path.to_str().unwrap(),
+            "--candidate", cand.to_str().unwrap(),
+            "--golden-data", golden_path.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("FAIL"), "{msg}");
+        assert!(msg.contains("[777]"), "{msg}");
+
+        // Without golden data the regression still fails (tree-only).
+        let err = run_cli(&[
+            "gate", "--golden-tree", tree_path.to_str().unwrap(),
+            "--candidate", cand.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("chunks differ"), "{err}");
+
+        // Geometry mismatch is an error, not a FAIL verdict.
+        let short = dir.join("short.f32");
+        write_raw_f32(&short, &golden[..100]);
+        let err = run_cli(&[
+            "gate", "--golden-tree", tree_path.to_str().unwrap(),
+            "--candidate", short.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("describes"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn census_counts_halos_in_a_simulated_checkpoint() {
+        let dir = temp_dir("census");
+        run_cli(&[
+            "simulate", "--out-dir", dir.to_str().unwrap(),
+            "--particles", "1024", "--steps", "10", "--ranks", "1",
+        ])
+        .unwrap();
+        let ckpt = dir.join("pfs/run.rank0.v000008.ckpt");
+        assert!(ckpt.exists());
+        let out = run_cli(&[
+            "census", "--input", ckpt.to_str().unwrap(),
+            "--linking-length", "0.06", "--min-members", "4",
+        ])
+        .unwrap();
+        assert!(out.contains("halos found:"), "{out}");
+        assert!(out.contains("1024 particles"), "{out}");
+
+        // Raw f32 files are rejected with a helpful message.
+        let raw = dir.join("raw.f32");
+        write_raw_f32(&raw, &[1.0, 2.0, 3.0]);
+        let err = run_cli(&["census", "--input", raw.to_str().unwrap()]).unwrap_err();
+        assert!(err.to_string().contains("x/y/z"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn usage_errors_are_helpful() {
+        assert!(matches!(run_cli(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run_cli(&["frobnicate"]), Err(CliError::Usage(_))));
+        let err = run_cli(&["compare", "--run1", "only.f32"]).unwrap_err();
+        assert!(err.to_string().contains("run2"));
+        let help = run_cli(&["help"]).unwrap();
+        assert!(help.contains("create-tree"));
+    }
+
+    #[test]
+    fn compare_with_precomputed_trees() {
+        let dir = temp_dir("trees");
+        let a = dir.join("a.f32");
+        let b = dir.join("b.f32");
+        let base: Vec<f32> = (0..4096).map(|i| (i as f32).sqrt()).collect();
+        write_raw_f32(&a, &base);
+        write_raw_f32(&b, &base);
+        let ta = dir.join("a.tree");
+        let tb = dir.join("b.tree");
+        for (f, t) in [(&a, &ta), (&b, &tb)] {
+            run_cli(&[
+                "create-tree", "--input", f.to_str().unwrap(),
+                "--output", t.to_str().unwrap(),
+            ])
+            .unwrap();
+        }
+        let out = run_cli(&[
+            "compare", "--run1", a.to_str().unwrap(), "--run2", b.to_str().unwrap(),
+            "--tree1", ta.to_str().unwrap(), "--tree2", tb.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("agree within the bound"), "{out}");
+        assert!(out.contains("0 false positives"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,95 @@
+//! The `reprocmp` command-line tool — the paper's "offline mode".
+//!
+//! Subcommands:
+//!
+//! * `create-tree` — hash a checkpoint file under an error bound and
+//!   write its Merkle metadata next to it.
+//! * `compare` — compare two checkpoint files (using existing metadata
+//!   files, or hashing on the fly) and list the differences.
+//! * `info` — describe a checkpoint or metadata file.
+//! * `simulate` — run the bundled mini-HACC simulation and capture a
+//!   checkpoint history through the VELOC-style client, giving users a
+//!   self-contained way to produce two divergent runs to compare.
+//!
+//! The argument parser is deliberately tiny (`--flag value` pairs);
+//! see [`args::ArgMap`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod args;
+pub mod commands;
+
+use std::fmt::Write as _;
+
+/// CLI errors: bad usage or a failing command.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line; the string is a usage message.
+    Usage(String),
+    /// The command ran and failed.
+    Failed(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Failed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Top-level usage text.
+#[must_use]
+pub fn usage() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "reprocmp — scalable capture & comparison of intermediate results");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "USAGE: reprocmp <command> [--flag value]...");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "COMMANDS:");
+    let _ = writeln!(s, "  create-tree  --input F --output F [--chunk-bytes 4096] [--error-bound 1e-5]");
+    let _ = writeln!(s, "  compare      --run1 F --run2 F [--tree1 F --tree2 F]");
+    let _ = writeln!(s, "               [--chunk-bytes 4096] [--error-bound 1e-5] [--max-diffs 20]");
+    let _ = writeln!(s, "  info         --input F");
+    let _ = writeln!(s, "  simulate     --out-dir D [--particles 2048] [--steps 50] [--ranks 2]");
+    let _ = writeln!(s, "               [--order-seed N]  (omit --order-seed for a deterministic run)");
+    let _ = writeln!(s, "  census       --input F [--linking-length 0.02] [--min-members 12]");
+    let _ = writeln!(s, "               [--box-size 1.0]   (FoF halo census of a checkpoint)");
+    let _ = writeln!(s, "  gate         --golden-tree F --candidate F [--golden-data F]");
+    let _ = writeln!(s, "               [--max-diffs 10]   (CI gate; exits non-zero on regression)");
+    let _ = writeln!(s, "  history      --run1-dir D --run2-dir D [--chunk-bytes 4096]");
+    let _ = writeln!(s, "               [--error-bound 1e-5]  (pairwise history comparison)");
+    s
+}
+
+/// Runs the CLI; `argv` excludes the program name. Returns the text to
+/// print on success.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for malformed invocations, [`CliError::Failed`]
+/// when a command fails.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some(command) = argv.first() else {
+        return Err(CliError::Usage(usage()));
+    };
+    let rest = args::ArgMap::parse(&argv[1..])?;
+    match command.as_str() {
+        "create-tree" => commands::create_tree(&rest),
+        "compare" => commands::compare(&rest),
+        "info" => commands::info(&rest),
+        "simulate" => commands::simulate(&rest),
+        "census" => commands::census(&rest),
+        "gate" => commands::gate(&rest),
+        "history" => commands::history(&rest),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{}",
+            usage()
+        ))),
+    }
+}

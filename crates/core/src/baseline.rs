@@ -1,0 +1,630 @@
+//! The two comparison baselines from the paper's evaluation.
+//!
+//! * [`AllClose`] — "how a domain scientist may compare results": the
+//!   NumPy `allclose` pattern. Whole buffers are loaded with plain
+//!   blocking reads (no asynchronous I/O, no overlap), every element
+//!   pair is checked, and the answer is a single boolean — no
+//!   localization of *where* the runs diverged.
+//! * [`Direct`] — "the most common comparison approach for
+//!   reproducibility analytics", implemented the way the paper's
+//!   optimized baseline is: element-wise comparison of the full
+//!   payloads with io_uring-style streaming I/O and the parallel
+//!   device, localizing every difference. It reads *everything*,
+//!   always — the cost our Merkle method avoids.
+
+use reprocmp_device::{TimingModel, Workload};
+use reprocmp_hash::Quantizer;
+use reprocmp_io::pipeline::{BackendKind, PipelineConfig, StreamPipeline};
+use reprocmp_io::Timeline;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::breakdown::CostBreakdown;
+use crate::report::{CompareReport, DataStats, Difference};
+use crate::source::CheckpointSource;
+use crate::{CoreError, CoreResult};
+
+/// An interpreter-flavoured compute model for the AllClose baseline:
+/// NumPy's `allclose` materializes temporaries and runs on one socket,
+/// sustaining a few GB/s end to end.
+#[must_use]
+pub fn python_numpy_model() -> TimingModel {
+    TimingModel {
+        launch_latency: Duration::from_micros(50),
+        bandwidth_bytes_per_sec: 6.0e9,
+        ops_per_sec: 1.5e9,
+    }
+}
+
+/// The result of an [`AllClose`] comparison: a boolean, by design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllCloseReport {
+    /// True when every element pair is within the bound.
+    pub within_bound: bool,
+    /// Total runtime on the supplied timeline.
+    pub duration: Duration,
+    /// Bytes loaded (both payloads).
+    pub bytes_compared: u64,
+}
+
+impl AllCloseReport {
+    /// Comparison throughput under the Figure 5 metric.
+    #[must_use]
+    pub fn throughput_bytes_per_sec(&self) -> f64 {
+        let s = self.duration.as_secs_f64();
+        if s == 0.0 {
+            f64::INFINITY
+        } else {
+            self.bytes_compared as f64 / s
+        }
+    }
+}
+
+/// The NumPy-`allclose`-style baseline.
+#[derive(Debug, Clone)]
+pub struct AllClose {
+    quantizer: Quantizer,
+    io: PipelineConfig,
+    compute_model: Option<TimingModel>,
+}
+
+impl AllClose {
+    /// A baseline with absolute bound `bound` (`rtol = 0`, as in all
+    /// the paper's experiments).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Config`] for a non-positive bound.
+    pub fn new(bound: f64) -> CoreResult<Self> {
+        let quantizer = Quantizer::new(bound).map_err(|e| CoreError::Config(e.to_string()))?;
+        Ok(AllClose {
+            quantizer,
+            io: PipelineConfig {
+                backend: BackendKind::Blocking,
+                ..PipelineConfig::default()
+            },
+            compute_model: Some(python_numpy_model()),
+        })
+    }
+
+    /// Compares with wall-clock timing.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or mismatched payload sizes.
+    pub fn compare(
+        &self,
+        a: &CheckpointSource,
+        b: &CheckpointSource,
+    ) -> CoreResult<AllCloseReport> {
+        self.compare_with_timeline(a, b, &Timeline::wall())
+    }
+
+    /// Compares on the given timeline.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or mismatched payload sizes.
+    pub fn compare_with_timeline(
+        &self,
+        a: &CheckpointSource,
+        b: &CheckpointSource,
+        timeline: &Timeline,
+    ) -> CoreResult<AllCloseReport> {
+        if a.payload_len != b.payload_len {
+            return Err(CoreError::Mismatch(format!(
+                "payload sizes differ: {} vs {}",
+                a.payload_len, b.payload_len
+            )));
+        }
+        let t0 = timeline.now();
+        // Blocking whole-file loads, one run after the other — the
+        // unoptimized I/O pattern of the baseline.
+        let buf_a = read_payload(a, self.io)?;
+        let buf_b = read_payload(b, self.io)?;
+        if let (Timeline::Sim(clock), Some(model)) = (timeline, &self.compute_model) {
+            clock.advance(model.kernel_time(Workload::new(
+                (buf_a.len() + buf_b.len()) as u64,
+                (buf_a.len() / 4) as u64,
+            )));
+        }
+        let within = buf_a
+            .chunks_exact(4)
+            .zip(buf_b.chunks_exact(4))
+            .all(|(xa, xb)| {
+                let va = f32::from_le_bytes(xa.try_into().expect("4 bytes"));
+                let vb = f32::from_le_bytes(xb.try_into().expect("4 bytes"));
+                !self.quantizer.differs(va, vb)
+            });
+        Ok(AllCloseReport {
+            within_bound: within,
+            duration: timeline.now() - t0,
+            bytes_compared: 2 * a.payload_len,
+        })
+    }
+}
+
+/// The optimized element-wise baseline.
+#[derive(Debug, Clone)]
+pub struct Direct {
+    quantizer: Quantizer,
+    io: PipelineConfig,
+    compute_model: Option<TimingModel>,
+    read_chunk_bytes: usize,
+    max_recorded_diffs: usize,
+}
+
+impl Direct {
+    /// A baseline with absolute bound `bound`, io_uring-style
+    /// streaming, and a GPU compute model — the strongest fair
+    /// opponent for the Merkle method.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Config`] for a non-positive bound.
+    pub fn new(bound: f64) -> CoreResult<Self> {
+        let quantizer = Quantizer::new(bound).map_err(|e| CoreError::Config(e.to_string()))?;
+        Ok(Direct {
+            quantizer,
+            io: PipelineConfig::default(),
+            compute_model: Some(TimingModel::gpu_a100()),
+            read_chunk_bytes: 1 << 20,
+            max_recorded_diffs: 1024,
+        })
+    }
+
+    /// Overrides the streaming configuration.
+    #[must_use]
+    pub fn with_io(mut self, io: PipelineConfig) -> Self {
+        self.io = io;
+        self
+    }
+
+    /// Overrides the localized-difference cap.
+    #[must_use]
+    pub fn with_max_recorded_diffs(mut self, cap: usize) -> Self {
+        self.max_recorded_diffs = cap;
+        self
+    }
+
+    /// Compares with wall-clock timing.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or mismatched payload sizes.
+    pub fn compare(&self, a: &CheckpointSource, b: &CheckpointSource) -> CoreResult<CompareReport> {
+        self.compare_with_timeline(a, b, &Timeline::wall())
+    }
+
+    /// Compares on the given timeline.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or mismatched payload sizes.
+    pub fn compare_with_timeline(
+        &self,
+        a: &CheckpointSource,
+        b: &CheckpointSource,
+        timeline: &Timeline,
+    ) -> CoreResult<CompareReport> {
+        if a.payload_len != b.payload_len {
+            return Err(CoreError::Mismatch(format!(
+                "payload sizes differ: {} vs {}",
+                a.payload_len, b.payload_len
+            )));
+        }
+        let mut breakdown = CostBreakdown::default();
+        let t0 = timeline.now();
+        let n_ops = a.payload_len.div_ceil(self.read_chunk_bytes as u64) as usize;
+        let indices: Vec<usize> = (0..n_ops).collect();
+        let ops_a = a.chunk_ops(self.read_chunk_bytes, &indices);
+        let ops_b = b.chunk_ops(self.read_chunk_bytes, &indices);
+        breakdown.setup = timeline.now() - t0;
+
+        let t1 = timeline.now();
+        let mut stats = DataStats {
+            total_values: a.value_count(),
+            total_bytes: a.payload_len,
+            chunks_total: n_ops as u64,
+            chunks_flagged: n_ops as u64, // Direct always reads everything
+            bytes_reread: a.payload_len,
+            false_positive_chunks: 0,
+            diff_count: 0,
+        };
+        let mut differences = Vec::new();
+        let mut truncated = false;
+        let values_per_op = self.read_chunk_bytes / 4;
+
+        let pipe_a = StreamPipeline::start(Arc::clone(&a.data), ops_a, self.io);
+        let pipe_b = StreamPipeline::start(Arc::clone(&b.data), ops_b, self.io);
+        for (slice_a, slice_b) in pipe_a.zip(pipe_b) {
+            let slice_a = slice_a?;
+            let slice_b = slice_b?;
+            if let (Timeline::Sim(clock), Some(model)) = (timeline, &self.compute_model) {
+                clock.advance(model.kernel_time(Workload::new(
+                    (slice_a.data.len() + slice_b.data.len()) as u64,
+                    (slice_a.data.len() / 4) as u64,
+                )));
+            }
+            for ((op_idx, pay_a), (_, pay_b)) in slice_a.payloads().zip(slice_b.payloads()) {
+                for (j, (xa, xb)) in pay_a
+                    .chunks_exact(4)
+                    .zip(pay_b.chunks_exact(4))
+                    .enumerate()
+                {
+                    let va = f32::from_le_bytes(xa.try_into().expect("4 bytes"));
+                    let vb = f32::from_le_bytes(xb.try_into().expect("4 bytes"));
+                    if self.quantizer.differs(va, vb) {
+                        stats.diff_count += 1;
+                        if differences.len() < self.max_recorded_diffs {
+                            differences.push(Difference {
+                                index: (op_idx * values_per_op + j) as u64,
+                                a: va,
+                                b: vb,
+                            });
+                        } else {
+                            truncated = true;
+                        }
+                    }
+                }
+            }
+        }
+        breakdown.compare_direct = timeline.now() - t1;
+
+        Ok(CompareReport {
+            breakdown,
+            stats,
+            differences,
+            differences_truncated: truncated,
+        })
+    }
+}
+
+/// Summary statistics of one checkpoint payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PayloadStats {
+    /// Value count.
+    pub count: u64,
+    /// Arithmetic mean (f64 accumulation).
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Minimum value.
+    pub min: f32,
+    /// Maximum value.
+    pub max: f32,
+}
+
+/// The result of a [`Statistical`] comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatisticalReport {
+    /// Run 1's summary.
+    pub a: PayloadStats,
+    /// Run 2's summary.
+    pub b: PayloadStats,
+    /// Whether every derived quantity agrees within the tolerance.
+    pub within_tolerance: bool,
+}
+
+/// The derived-quantity baseline from the paper's related work: "an
+/// alternative … measures the statistical significance of the end
+/// results using derived quantities such as the variance and standard
+/// deviation". Cheap — one pass, no localization — and, as §1 argues,
+/// blind: a handful of badly wrong values can hide inside unchanged
+/// aggregates. Provided so the blindness is demonstrable (see the
+/// crate tests), not as a recommendation.
+#[derive(Debug, Clone)]
+pub struct Statistical {
+    tolerance: f64,
+    io: PipelineConfig,
+}
+
+impl Statistical {
+    /// A baseline that accepts runs whose mean, standard deviation,
+    /// min and max each differ by at most `tolerance`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Config`] for a non-positive tolerance.
+    pub fn new(tolerance: f64) -> CoreResult<Self> {
+        if !(tolerance.is_finite() && tolerance > 0.0) {
+            return Err(CoreError::Config(
+                "tolerance must be a finite positive number".into(),
+            ));
+        }
+        Ok(Statistical {
+            tolerance,
+            io: PipelineConfig {
+                backend: BackendKind::Blocking,
+                ..PipelineConfig::default()
+            },
+        })
+    }
+
+    /// Summarizes one payload.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn stats(&self, src: &CheckpointSource) -> CoreResult<PayloadStats> {
+        let bytes = read_payload(src, self.io)?;
+        let mut count = 0u64;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for raw in bytes.chunks_exact(4) {
+            let v = f32::from_le_bytes(raw.try_into().expect("4 bytes"));
+            count += 1;
+            // Welford's online algorithm, f64 accumulation.
+            let d = f64::from(v) - mean;
+            mean += d / count as f64;
+            m2 += d * (f64::from(v) - mean);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Ok(PayloadStats {
+            count,
+            mean,
+            variance: if count > 0 { m2 / count as f64 } else { 0.0 },
+            min,
+            max,
+        })
+    }
+
+    /// Compares two payloads' derived quantities.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or mismatched sizes.
+    pub fn compare(
+        &self,
+        a: &CheckpointSource,
+        b: &CheckpointSource,
+    ) -> CoreResult<StatisticalReport> {
+        if a.payload_len != b.payload_len {
+            return Err(CoreError::Mismatch(format!(
+                "payload sizes differ: {} vs {}",
+                a.payload_len, b.payload_len
+            )));
+        }
+        let sa = self.stats(a)?;
+        let sb = self.stats(b)?;
+        let t = self.tolerance;
+        let within = (sa.mean - sb.mean).abs() <= t
+            && (sa.variance.sqrt() - sb.variance.sqrt()).abs() <= t
+            && (f64::from(sa.min) - f64::from(sb.min)).abs() <= t
+            && (f64::from(sa.max) - f64::from(sb.max)).abs() <= t;
+        Ok(StatisticalReport {
+            a: sa,
+            b: sb,
+            within_tolerance: within,
+        })
+    }
+}
+
+fn read_payload(src: &CheckpointSource, io: PipelineConfig) -> CoreResult<Vec<u8>> {
+    let ops = vec![(src.payload_offset, src.payload_len as usize)];
+    Ok(reprocmp_io::pipeline::read_all(
+        Arc::clone(&src.data),
+        &ops,
+        io,
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CompareEngine, EngineConfig};
+    use reprocmp_io::{CostModel, SimClock};
+
+    fn engine() -> CompareEngine {
+        CompareEngine::new(EngineConfig {
+            chunk_bytes: 256,
+            error_bound: 1e-5,
+            ..EngineConfig::default()
+        })
+    }
+
+    fn wave(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.02).cos() * 2.0).collect()
+    }
+
+    #[test]
+    fn allclose_detects_and_misses_correctly() {
+        let e = engine();
+        let data = wave(5_000);
+        let mut data2 = data.clone();
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let same = CheckpointSource::in_memory(&data2, &e).unwrap();
+        let ac = AllClose::new(1e-5).unwrap();
+        assert!(ac.compare(&a, &same).unwrap().within_bound);
+
+        data2[2_500] += 1.0;
+        let diff = CheckpointSource::in_memory(&data2, &e).unwrap();
+        assert!(!ac.compare(&a, &diff).unwrap().within_bound);
+    }
+
+    #[test]
+    fn allclose_respects_the_bound() {
+        let e = engine();
+        let data = wave(1_000);
+        let data2: Vec<f32> = data.iter().map(|&x| x + 5e-4).collect();
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let b = CheckpointSource::in_memory(&data2, &e).unwrap();
+        assert!(AllClose::new(1e-2).unwrap().compare(&a, &b).unwrap().within_bound);
+        assert!(!AllClose::new(1e-5).unwrap().compare(&a, &b).unwrap().within_bound);
+    }
+
+    #[test]
+    fn direct_finds_the_same_diffs_as_the_engine() {
+        let e = engine();
+        let data = wave(20_000);
+        let mut data2 = data.clone();
+        for k in [17usize, 1_000, 19_999] {
+            data2[k] -= 0.5;
+        }
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let b = CheckpointSource::in_memory(&data2, &e).unwrap();
+
+        let ours = e.compare(&a, &b).unwrap();
+        let direct = Direct::new(1e-5).unwrap().compare(&a, &b).unwrap();
+        assert_eq!(ours.stats.diff_count, direct.stats.diff_count);
+        let oi: Vec<u64> = ours.differences.iter().map(|d| d.index).collect();
+        let di: Vec<u64> = direct.differences.iter().map(|d| d.index).collect();
+        assert_eq!(oi, di);
+    }
+
+    #[test]
+    fn direct_always_reads_everything() {
+        let e = engine();
+        let data = wave(10_000);
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let b = CheckpointSource::in_memory(&data, &e).unwrap();
+        let report = Direct::new(1e-5).unwrap().compare(&a, &b).unwrap();
+        assert!(report.identical());
+        assert_eq!(report.stats.bytes_reread, 40_000);
+    }
+
+    #[test]
+    fn virtual_time_ordering_allclose_slowest_ours_fastest_when_identical() {
+        // The Figure 5 ranking, as a unit test: identical runs, so our
+        // method reads only metadata.
+        let e = CompareEngine::new(EngineConfig {
+            chunk_bytes: 4096,
+            error_bound: 1e-5,
+            ..EngineConfig::default()
+        });
+        let data = wave(1 << 18); // 1 MiB payload
+
+        let modeled = |f: &dyn Fn(&CheckpointSource, &CheckpointSource, &Timeline) -> Duration| {
+            let clock = SimClock::new();
+            let a = CheckpointSource::in_memory_with_model(
+                &data,
+                &e,
+                CostModel::lustre_pfs(),
+                Some(clock.clone()),
+            )
+            .unwrap();
+            let b = CheckpointSource::in_memory_with_model(
+                &data,
+                &e,
+                CostModel::lustre_pfs(),
+                Some(clock.clone()),
+            )
+            .unwrap();
+            f(&a, &b, &Timeline::sim(clock))
+        };
+
+        let t_ours = modeled(&|a, b, t| {
+            e.compare_with_timeline(a, b, t).unwrap().breakdown.total()
+        });
+        let t_direct = modeled(&|a, b, t| {
+            Direct::new(1e-5)
+                .unwrap()
+                .compare_with_timeline(a, b, t)
+                .unwrap()
+                .breakdown
+                .total()
+        });
+        let t_allclose = modeled(&|a, b, t| {
+            AllClose::new(1e-5)
+                .unwrap()
+                .compare_with_timeline(a, b, t)
+                .unwrap()
+                .duration
+        });
+
+        assert!(
+            t_ours < t_direct,
+            "ours {t_ours:?} should beat direct {t_direct:?}"
+        );
+        assert!(
+            t_direct < t_allclose,
+            "direct {t_direct:?} should beat allclose {t_allclose:?}"
+        );
+    }
+
+    #[test]
+    fn mismatched_sizes_error_in_both_baselines() {
+        let e = engine();
+        let a = CheckpointSource::in_memory(&wave(100), &e).unwrap();
+        let b = CheckpointSource::in_memory(&wave(200), &e).unwrap();
+        assert!(AllClose::new(1e-5).unwrap().compare(&a, &b).is_err());
+        assert!(Direct::new(1e-5).unwrap().compare(&a, &b).is_err());
+    }
+
+    #[test]
+    fn statistical_summary_is_correct() {
+        let e = engine();
+        let values = vec![1.0f32, 2.0, 3.0, 4.0];
+        let s = CheckpointSource::in_memory(&values, &e).unwrap();
+        let stats = Statistical::new(1e-6).unwrap().stats(&s).unwrap();
+        assert_eq!(stats.count, 4);
+        assert!((stats.mean - 2.5).abs() < 1e-12);
+        assert!((stats.variance - 1.25).abs() < 1e-12);
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 4.0);
+    }
+
+    #[test]
+    fn statistical_baseline_is_blind_to_compensating_changes() {
+        // The §1 critique, as a test: swap two values — every derived
+        // quantity is identical, but the runs differ in two places.
+        let e = engine();
+        let mut data = wave(5_000);
+        data[7] = 1.5;
+        data[4_000] = -1.5;
+        let mut swapped = data.clone();
+        swapped.swap(7, 4_000);
+
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let b = CheckpointSource::in_memory(&swapped, &e).unwrap();
+
+        let stat = Statistical::new(1e-9).unwrap().compare(&a, &b).unwrap();
+        assert!(stat.within_tolerance, "aggregates cannot see the swap");
+
+        let ours = e.compare(&a, &b).unwrap();
+        assert_eq!(ours.stats.diff_count, 2, "our method localizes both");
+        let idx: Vec<u64> = ours.differences.iter().map(|d| d.index).collect();
+        assert_eq!(idx, vec![7, 4_000]);
+    }
+
+    #[test]
+    fn statistical_baseline_does_catch_gross_shifts() {
+        let e = engine();
+        let data = wave(1_000);
+        let shifted: Vec<f32> = data.iter().map(|v| v + 0.5).collect();
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let b = CheckpointSource::in_memory(&shifted, &e).unwrap();
+        let stat = Statistical::new(1e-3).unwrap().compare(&a, &b).unwrap();
+        assert!(!stat.within_tolerance, "a global shift moves the mean");
+    }
+
+    #[test]
+    fn statistical_rejects_bad_inputs() {
+        assert!(Statistical::new(0.0).is_err());
+        assert!(Statistical::new(f64::NAN).is_err());
+        let e = engine();
+        let a = CheckpointSource::in_memory(&wave(10), &e).unwrap();
+        let b = CheckpointSource::in_memory(&wave(20), &e).unwrap();
+        assert!(Statistical::new(1e-3).unwrap().compare(&a, &b).is_err());
+    }
+
+    #[test]
+    fn direct_diff_cap() {
+        let e = engine();
+        let data = wave(5_000);
+        let data2: Vec<f32> = data.iter().map(|&x| x + 1.0).collect();
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let b = CheckpointSource::in_memory(&data2, &e).unwrap();
+        let report = Direct::new(1e-5)
+            .unwrap()
+            .with_max_recorded_diffs(7)
+            .compare(&a, &b)
+            .unwrap();
+        assert_eq!(report.stats.diff_count, 5_000);
+        assert_eq!(report.differences.len(), 7);
+        assert!(report.differences_truncated);
+    }
+}

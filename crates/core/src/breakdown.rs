@@ -1,0 +1,73 @@
+//! Phase timers for the comparison pipeline (the paper's Figure 6).
+
+use serde::Serialize;
+use std::time::Duration;
+
+/// Wall or virtual time spent in each phase of one comparison.
+///
+/// The five phases are exactly the paper's Figure 6 timers. Phase
+/// durations are reported additively: total runtime is their sum (the
+/// paper's stacked bars do the same, so I/O–compute overlap shows up
+/// as a *shorter compare-direct phase*, not as double-counting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CostBreakdown {
+    /// Buffer allocation and validation.
+    pub setup: Duration,
+    /// Reading the Merkle metadata of both runs from storage.
+    pub read: Duration,
+    /// Decoding and cross-validating the two trees.
+    pub deserialize: Duration,
+    /// The pruning BFS over the trees.
+    pub compare_tree: Duration,
+    /// Streaming flagged chunks back and verifying element-wise
+    /// (includes the scattered data reads).
+    pub compare_direct: Duration,
+}
+
+impl CostBreakdown {
+    /// Total runtime: the sum of all phases.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.setup + self.read + self.deserialize + self.compare_tree + self.compare_direct
+    }
+
+    /// The phase values as `(name, duration)` pairs in pipeline order,
+    /// for tabular output.
+    #[must_use]
+    pub fn phases(&self) -> [(&'static str, Duration); 5] {
+        [
+            ("setup", self.setup),
+            ("read", self.read),
+            ("deserialize", self.deserialize),
+            ("compare_tree", self.compare_tree),
+            ("compare_direct", self.compare_direct),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_sum_of_phases() {
+        let b = CostBreakdown {
+            setup: Duration::from_millis(1),
+            read: Duration::from_millis(2),
+            deserialize: Duration::from_millis(3),
+            compare_tree: Duration::from_millis(4),
+            compare_direct: Duration::from_millis(5),
+        };
+        assert_eq!(b.total(), Duration::from_millis(15));
+        let names: Vec<&str> = b.phases().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec!["setup", "read", "deserialize", "compare_tree", "compare_direct"]
+        );
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(CostBreakdown::default().total(), Duration::ZERO);
+    }
+}

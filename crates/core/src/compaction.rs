@@ -1,0 +1,418 @@
+//! Online checkpoint compaction — the paper's second future-work item.
+//!
+//! A checkpoint history is hugely redundant: between iterations most
+//! chunks do not change beyond the error bound, and the Merkle trees
+//! already *prove* which ones those are. [`CompactionStore`] exploits
+//! that at capture time: iteration `j`'s checkpoint is stored as its
+//! tree plus only the chunks whose digests differ from iteration
+//! `j−1`'s — everything else is reconstructed from the chain.
+//!
+//! Reconstruction is **ε-exact**, not bitwise: a chunk elided from
+//! storage is one whose every value matched the previous iteration
+//! within the bound, so the reconstructed value can differ from the
+//! captured one by up to `ε` (the same contract the comparison itself
+//! gives). Applications that need bitwise restart keep their latest
+//! full checkpoint in VELOC; the compacted chain is for *analysis
+//! history*, where ε-exactness is the point.
+
+use reprocmp_merkle::{compare_trees, MerkleTree};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+use crate::engine::CompareEngine;
+use crate::{CoreError, CoreResult};
+
+/// One compacted checkpoint: the full tree plus stored chunks.
+#[derive(Debug, Clone)]
+pub struct CompactedCheckpoint {
+    /// Iteration this checkpoint was captured at.
+    pub iteration: u64,
+    /// The checkpoint's Merkle tree (always complete).
+    pub tree: MerkleTree,
+    /// Stored chunk payloads by chunk index: all chunks for the chain
+    /// head, only changed chunks for deltas.
+    pub chunks: BTreeMap<u32, Vec<f32>>,
+    /// Whether this entry is a chain head (stores every chunk).
+    pub full: bool,
+}
+
+impl CompactedCheckpoint {
+    /// Bytes of payload actually stored.
+    #[must_use]
+    pub fn stored_bytes(&self) -> u64 {
+        self.chunks.values().map(|c| (c.len() * 4) as u64).sum()
+    }
+}
+
+/// Per-append accounting.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CompactionStats {
+    /// Iteration appended.
+    pub iteration: u64,
+    /// Chunks stored.
+    pub chunks_stored: u64,
+    /// Chunks elided (provably within ε of the previous iteration).
+    pub chunks_elided: u64,
+    /// Payload bytes stored (tree metadata excluded).
+    pub bytes_stored: u64,
+    /// Raw payload bytes of the checkpoint.
+    pub bytes_raw: u64,
+}
+
+impl CompactionStats {
+    /// Stored fraction of the raw size (lower is better).
+    #[must_use]
+    pub fn stored_fraction(&self) -> f64 {
+        if self.bytes_raw == 0 {
+            0.0
+        } else {
+            self.bytes_stored as f64 / self.bytes_raw as f64
+        }
+    }
+}
+
+/// A chain of compacted checkpoints for one stream (one rank's
+/// history, typically).
+#[derive(Debug, Default)]
+pub struct CompactionStore {
+    chain: Vec<CompactedCheckpoint>,
+    value_count: Option<usize>,
+}
+
+impl CompactionStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        CompactionStore::default()
+    }
+
+    /// Appends iteration `iteration` of the stream. The first append
+    /// stores everything; subsequent appends store only chunks whose
+    /// error-bounded digests changed since the previous append.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Mismatch`] if the payload size changes mid-chain
+    /// or iterations are not strictly increasing.
+    pub fn append(
+        &mut self,
+        engine: &CompareEngine,
+        iteration: u64,
+        values: &[f32],
+    ) -> CoreResult<CompactionStats> {
+        if values.is_empty() {
+            return Err(CoreError::Mismatch("empty checkpoint payload".into()));
+        }
+        if let Some(n) = self.value_count {
+            if n != values.len() {
+                return Err(CoreError::Mismatch(format!(
+                    "payload size changed mid-chain: {n} -> {}",
+                    values.len()
+                )));
+            }
+        }
+        if let Some(last) = self.chain.last() {
+            if last.iteration >= iteration {
+                return Err(CoreError::Mismatch(format!(
+                    "iterations must increase: {} then {iteration}",
+                    last.iteration
+                )));
+            }
+        }
+        self.value_count = Some(values.len());
+
+        let chunk_bytes = engine.config().chunk_bytes;
+        let values_per_chunk = chunk_bytes / 4;
+        let tree = engine.build_metadata(values);
+        let n_chunks = tree.leaf_count();
+        let bytes_raw = (values.len() * 4) as u64;
+
+        let chunk_payload = |i: usize| -> Vec<f32> {
+            let lo = i * values_per_chunk;
+            let hi = (lo + values_per_chunk).min(values.len());
+            values[lo..hi].to_vec()
+        };
+
+        let (chunks, full) = match self.chain.last() {
+            None => {
+                let all: BTreeMap<u32, Vec<f32>> =
+                    (0..n_chunks).map(|i| (i as u32, chunk_payload(i))).collect();
+                (all, true)
+            }
+            Some(prev) => {
+                let lanes = engine.device().concurrent_kernel_threads();
+                let outcome = compare_trees(&prev.tree, &tree, engine.device(), lanes)?;
+                let delta: BTreeMap<u32, Vec<f32>> = outcome
+                    .mismatched_leaves
+                    .iter()
+                    .map(|&i| (i as u32, chunk_payload(i)))
+                    .collect();
+                (delta, false)
+            }
+        };
+
+        let entry = CompactedCheckpoint {
+            iteration,
+            tree,
+            chunks,
+            full,
+        };
+        let stats = CompactionStats {
+            iteration,
+            chunks_stored: entry.chunks.len() as u64,
+            chunks_elided: n_chunks as u64 - entry.chunks.len() as u64,
+            bytes_stored: entry.stored_bytes(),
+            bytes_raw,
+        };
+        self.chain.push(entry);
+        Ok(stats)
+    }
+
+    /// Iterations stored, ascending.
+    #[must_use]
+    pub fn iterations(&self) -> Vec<u64> {
+        self.chain.iter().map(|c| c.iteration).collect()
+    }
+
+    /// Total stored payload bytes across the chain.
+    #[must_use]
+    pub fn stored_bytes(&self) -> u64 {
+        self.chain.iter().map(CompactedCheckpoint::stored_bytes).sum()
+    }
+
+    /// Total raw payload bytes the chain represents.
+    #[must_use]
+    pub fn raw_bytes(&self) -> u64 {
+        let n = self.value_count.unwrap_or(0) as u64 * 4;
+        n * self.chain.len() as u64
+    }
+
+    /// The tree (compact metadata) of a stored iteration — usable for
+    /// comparison without any reconstruction.
+    #[must_use]
+    pub fn tree(&self, iteration: u64) -> Option<&MerkleTree> {
+        self.chain
+            .iter()
+            .find(|c| c.iteration == iteration)
+            .map(|c| &c.tree)
+    }
+
+    /// Reconstructs a checkpoint payload, ε-exactly, by replaying the
+    /// chain up to `iteration`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Mismatch`] if the iteration is not in the chain.
+    pub fn reconstruct(&self, iteration: u64) -> CoreResult<Vec<f32>> {
+        let pos = self
+            .chain
+            .iter()
+            .position(|c| c.iteration == iteration)
+            .ok_or_else(|| {
+                CoreError::Mismatch(format!("iteration {iteration} not in compacted chain"))
+            })?;
+        let n = self.value_count.expect("non-empty chain has a size");
+        let chunk_values = self.chain[0]
+            .chunks
+            .get(&0)
+            .map_or(n, Vec::len);
+
+        let mut out = vec![0.0f32; n];
+        for entry in &self.chain[..=pos] {
+            for (&ci, payload) in &entry.chunks {
+                let lo = ci as usize * chunk_values;
+                out[lo..lo + payload.len()].copy_from_slice(payload);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Verifies a reconstruction against its stored tree: the
+    /// reconstructed payload must hash to the *same digests* wherever
+    /// chunks were stored, and within-ε everywhere else. Returns the
+    /// number of verified chunks.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Mismatch`] on verification failure.
+    pub fn verify(&self, engine: &CompareEngine, iteration: u64) -> CoreResult<usize> {
+        let values = self.reconstruct(iteration)?;
+        let rebuilt = engine.build_metadata(&values);
+        let stored = self.tree(iteration).expect("reconstruct checked presence");
+        let lanes = engine.device().concurrent_kernel_threads();
+        let outcome = compare_trees(stored, &rebuilt, engine.device(), lanes)?;
+        // Mismatching digests are acceptable only for elided chunks
+        // (ε-drift); verify them value-wise against the bound.
+        let entry = self
+            .chain
+            .iter()
+            .find(|c| c.iteration == iteration)
+            .expect("present");
+        for &leaf in &outcome.mismatched_leaves {
+            if entry.chunks.contains_key(&(leaf as u32)) {
+                return Err(CoreError::Mismatch(format!(
+                    "stored chunk {leaf} does not reproduce its digest"
+                )));
+            }
+        }
+        Ok(stored.leaf_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn engine(bound: f64) -> CompareEngine {
+        CompareEngine::new(EngineConfig {
+            chunk_bytes: 64, // 16 values per chunk
+            error_bound: bound,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// A slowly evolving stream: iteration j changes only values in
+    /// chunks j mod 8 (by a lot) and drifts everything by `drift`.
+    fn stream(j: u64, drift: f32) -> Vec<f32> {
+        (0..640usize)
+            .map(|k| {
+                let chunk = k / 16;
+                let base = k as f32 * 0.01;
+                let changed = if chunk % 8 == (j % 8) as usize { 1.0 } else { 0.0 };
+                base + changed * j as f32 + drift * j as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_append_stores_everything_then_deltas() {
+        let e = engine(1e-5);
+        let mut store = CompactionStore::new();
+        let s0 = store.append(&e, 0, &stream(0, 0.0)).unwrap();
+        assert_eq!(s0.chunks_stored, 40);
+        assert_eq!(s0.chunks_elided, 0);
+        assert_eq!(s0.bytes_stored, 640 * 4);
+
+        let s1 = store.append(&e, 1, &stream(1, 0.0)).unwrap();
+        // At j = 0 the "changed" term is zero, so iterations 0 and 1
+        // differ only in chunks ≡ 1 (mod 8): 5 of the 40 chunks.
+        assert_eq!(s1.chunks_stored, 5);
+        assert_eq!(s1.chunks_elided, 35);
+        assert!(s1.stored_fraction() < 0.2);
+    }
+
+    #[test]
+    fn reconstruction_is_exact_when_deltas_capture_all_change() {
+        let e = engine(1e-5);
+        let mut store = CompactionStore::new();
+        let payloads: Vec<Vec<f32>> = (0..5).map(|j| stream(j, 0.0)).collect();
+        for (j, p) in payloads.iter().enumerate() {
+            store.append(&e, j as u64, p).unwrap();
+        }
+        for (j, p) in payloads.iter().enumerate() {
+            let rec = store.reconstruct(j as u64).unwrap();
+            // Changes here are far above the bound, so every changed
+            // chunk was stored: reconstruction is bitwise.
+            assert_eq!(&rec, p, "iteration {j}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_is_epsilon_exact_under_sub_bound_drift() {
+        let bound = 1e-2;
+        let e = engine(bound);
+        let mut store = CompactionStore::new();
+        // Small per-iteration drift (1e-4 per value per iteration),
+        // far below the bound: elided everywhere except the big
+        // changes.
+        let payloads: Vec<Vec<f32>> = (0..4).map(|j| stream(j, 1e-4)).collect();
+        for (j, p) in payloads.iter().enumerate() {
+            store.append(&e, j as u64, p).unwrap();
+        }
+        for (j, p) in payloads.iter().enumerate() {
+            let rec = store.reconstruct(j as u64).unwrap();
+            let max_err = rec
+                .iter()
+                .zip(p)
+                .map(|(a, b)| (f64::from(*a) - f64::from(*b)).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                max_err <= bound,
+                "iteration {j}: reconstruction error {max_err} exceeds bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn storage_savings_accumulate() {
+        let e = engine(1e-5);
+        let mut store = CompactionStore::new();
+        for j in 0..10u64 {
+            store.append(&e, j, &stream(j, 0.0)).unwrap();
+        }
+        let stored = store.stored_bytes();
+        let raw = store.raw_bytes();
+        assert_eq!(raw, 640 * 4 * 10);
+        assert!(
+            (stored as f64) < 0.5 * raw as f64,
+            "stored {stored} vs raw {raw}"
+        );
+        assert_eq!(store.iterations(), (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn trees_are_available_without_reconstruction() {
+        let e = engine(1e-5);
+        let mut store = CompactionStore::new();
+        store.append(&e, 0, &stream(0, 0.0)).unwrap();
+        store.append(&e, 1, &stream(1, 0.0)).unwrap();
+        let t0 = store.tree(0).unwrap();
+        let t1 = store.tree(1).unwrap();
+        assert_ne!(t0.root(), t1.root());
+        assert!(store.tree(9).is_none());
+    }
+
+    #[test]
+    fn verify_passes_on_honest_chains() {
+        let e = engine(1e-3);
+        let mut store = CompactionStore::new();
+        for j in 0..4u64 {
+            store.append(&e, j, &stream(j, 1e-5)).unwrap();
+        }
+        for j in 0..4u64 {
+            let verified = store.verify(&e, j).unwrap();
+            assert_eq!(verified, 40);
+        }
+    }
+
+    #[test]
+    fn guards_reject_misuse() {
+        let e = engine(1e-5);
+        let mut store = CompactionStore::new();
+        store.append(&e, 5, &stream(0, 0.0)).unwrap();
+        // Non-increasing iteration.
+        assert!(store.append(&e, 5, &stream(1, 0.0)).is_err());
+        assert!(store.append(&e, 4, &stream(1, 0.0)).is_err());
+        // Size change.
+        assert!(store.append(&e, 6, &[1.0; 100]).is_err());
+        // Empty payload.
+        assert!(store.append(&e, 7, &[]).is_err());
+        // Unknown reconstruction target.
+        assert!(store.reconstruct(99).is_err());
+    }
+
+    #[test]
+    fn static_stream_stores_almost_nothing_after_head() {
+        let e = engine(1e-5);
+        let mut store = CompactionStore::new();
+        let values = stream(0, 0.0);
+        store.append(&e, 0, &values).unwrap();
+        for j in 1..6u64 {
+            let s = store.append(&e, j, &values).unwrap();
+            assert_eq!(s.chunks_stored, 0, "identical data stores nothing");
+            assert_eq!(s.bytes_stored, 0);
+        }
+        assert_eq!(store.reconstruct(5).unwrap(), values);
+    }
+}

@@ -1,0 +1,732 @@
+//! The two-stage comparison engine.
+
+use reprocmp_device::{Device, TimingModel, Workload};
+use reprocmp_hash::{ChunkHasher, Quantizer};
+use reprocmp_io::pipeline::{PipelineConfig, StreamPipeline};
+use reprocmp_io::storage::{AccessMode, Storage};
+use reprocmp_io::Timeline;
+use reprocmp_merkle::{compare_trees, decode_tree, encode_tree, MerkleTree};
+use std::sync::Arc;
+
+use crate::breakdown::CostBreakdown;
+use crate::report::{CompareReport, DataStats, Difference};
+use crate::source::CheckpointSource;
+use crate::{CoreError, CoreResult};
+
+/// Engine configuration.
+///
+/// `..EngineConfig::default()` gives the paper's defaults: 4 KiB
+/// chunks, `ε = 1e-5`, io_uring-style streaming, the simulated-GPU
+/// device, and an A100-like compute model for virtual-time runs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Chunk size in bytes (the Merkle leaf granularity). Must be a
+    /// positive multiple of 4.
+    pub chunk_bytes: usize,
+    /// The absolute error bound `ε`.
+    pub error_bound: f64,
+    /// The execution device for hashing/tree/compare kernels.
+    pub device: Device,
+    /// Streaming configuration for stage two.
+    pub io: PipelineConfig,
+    /// Lanes the BFS start level should saturate; default: the
+    /// device's concurrent kernel threads.
+    pub lane_hint: Option<usize>,
+    /// Cap on localized differences kept in the report (the count is
+    /// always exact).
+    pub max_recorded_diffs: usize,
+    /// Merge runs of *adjacent* flagged chunks into single read
+    /// requests. Off by default: the paper's runtime issues one
+    /// request per flagged chunk (which is exactly why its Figure 5
+    /// shows a chunk-size trade-off at tight bounds), so fidelity
+    /// requires per-chunk requests. Turning this on is a beyond-paper
+    /// optimization — the ablation harness and
+    /// `coalescing_reduces_virtual_read_time_for_contiguous_bursts`
+    /// quantify what it buys.
+    pub coalesce_reads: bool,
+    /// Upper bound on one coalesced request, to keep slices bounded.
+    pub max_coalesced_bytes: usize,
+    /// Compute cost model charged to the virtual clock when comparing
+    /// under a [`Timeline::Sim`]; ignored for wall-clock runs.
+    pub compute_model: Option<TimingModel>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            chunk_bytes: 4096,
+            error_bound: 1e-5,
+            device: Device::sim_gpu(),
+            io: PipelineConfig::default(),
+            lane_hint: None,
+            max_recorded_diffs: 1024,
+            compute_model: Some(TimingModel::gpu_a100()),
+            coalesce_reads: false,
+            max_coalesced_bytes: 4 << 20,
+        }
+    }
+}
+
+/// The error-bounded Merkle comparison engine.
+#[derive(Debug, Clone)]
+pub struct CompareEngine {
+    config: EngineConfig,
+    hasher: ChunkHasher,
+}
+
+impl CompareEngine {
+    /// Builds an engine.
+    ///
+    /// # Panics
+    ///
+    /// If `chunk_bytes` is not a positive multiple of 4 or
+    /// `error_bound` is not a finite positive number. Use
+    /// [`CompareEngine::try_new`] for fallible construction.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        Self::try_new(config).expect("invalid engine configuration")
+    }
+
+    /// Fallible construction.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Config`] for a bad chunk size or error bound.
+    pub fn try_new(config: EngineConfig) -> CoreResult<Self> {
+        if config.chunk_bytes == 0 || config.chunk_bytes % 4 != 0 {
+            return Err(CoreError::Config(format!(
+                "chunk_bytes must be a positive multiple of 4, got {}",
+                config.chunk_bytes
+            )));
+        }
+        let quantizer = Quantizer::new(config.error_bound)
+            .map_err(|e| CoreError::Config(e.to_string()))?;
+        Ok(CompareEngine {
+            hasher: ChunkHasher::new(quantizer),
+            config,
+        })
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The execution device.
+    #[must_use]
+    pub fn device(&self) -> &Device {
+        &self.config.device
+    }
+
+    /// The error-bounded quantizer in use.
+    #[must_use]
+    pub fn quantizer(&self) -> &Quantizer {
+        self.hasher.quantizer()
+    }
+
+    /// Capture-side API: builds the Merkle metadata for a checkpoint
+    /// payload (one parallel hashing pass + one pass per tree level).
+    #[must_use]
+    pub fn build_metadata(&self, values: &[f32]) -> MerkleTree {
+        MerkleTree::build_from_f32(
+            values,
+            self.config.chunk_bytes,
+            &self.hasher,
+            &self.config.device,
+        )
+    }
+
+    /// Capture-side API: metadata ready to store next to a checkpoint.
+    #[must_use]
+    pub fn encode_metadata(&self, values: &[f32]) -> Vec<u8> {
+        encode_tree(&self.build_metadata(values))
+    }
+
+    /// Compares two checkpoints, timing phases with the wall clock.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CoreError`]: I/O failures, bad metadata, or incomparable
+    /// checkpoints.
+    pub fn compare(&self, a: &CheckpointSource, b: &CheckpointSource) -> CoreResult<CompareReport> {
+        self.compare_with_timeline(a, b, &Timeline::wall())
+    }
+
+    /// Compares two checkpoints, timing phases on the given timeline —
+    /// pass a [`Timeline::Sim`] sharing the sources' virtual clock to
+    /// get deterministic modeled results.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CoreError`].
+    pub fn compare_with_timeline(
+        &self,
+        a: &CheckpointSource,
+        b: &CheckpointSource,
+        timeline: &Timeline,
+    ) -> CoreResult<CompareReport> {
+        let mut breakdown = CostBreakdown::default();
+        let chunk_bytes = self.config.chunk_bytes;
+
+        // ---- Phase 1: setup --------------------------------------
+        let t0 = timeline.now();
+        if a.payload_len != b.payload_len {
+            return Err(CoreError::Mismatch(format!(
+                "payload sizes differ: {} vs {}",
+                a.payload_len, b.payload_len
+            )));
+        }
+        if a.payload_len == 0 || a.payload_len % 4 != 0 {
+            return Err(CoreError::Mismatch(format!(
+                "payload length {} is not a positive multiple of 4",
+                a.payload_len
+            )));
+        }
+        let stats_total_values = a.value_count();
+        let chunks_total = a.chunk_count(chunk_bytes);
+        breakdown.setup = timeline.now() - t0;
+
+        // ---- Phase 2: read metadata -------------------------------
+        let t1 = timeline.now();
+        let meta_a = read_fully(&a.metadata, self.config.io.queue_depth)?;
+        let meta_b = read_fully(&b.metadata, self.config.io.queue_depth)?;
+        breakdown.read = timeline.now() - t1;
+
+        // ---- Phase 3: deserialize ---------------------------------
+        let t2 = timeline.now();
+        let tree_a = decode_tree(&meta_a)?;
+        let tree_b = decode_tree(&meta_b)?;
+        self.validate_tree(&tree_a, a, "run 1")?;
+        self.validate_tree(&tree_b, b, "run 2")?;
+        self.charge_compute(
+            timeline,
+            Workload::memory((meta_a.len() + meta_b.len()) as u64),
+        );
+        breakdown.deserialize = timeline.now() - t2;
+
+        // ---- Phase 4: compare trees -------------------------------
+        let t3 = timeline.now();
+        let lanes = self
+            .config
+            .lane_hint
+            .unwrap_or_else(|| self.config.device.concurrent_kernel_threads());
+        let outcome = compare_trees(&tree_a, &tree_b, &self.config.device, lanes)?;
+        self.charge_compute(
+            timeline,
+            Workload::new(outcome.nodes_visited as u64 * 32, outcome.nodes_visited as u64),
+        );
+        breakdown.compare_tree = timeline.now() - t3;
+
+        // ---- Phase 5: verify flagged chunks -----------------------
+        let t4 = timeline.now();
+        let (stats2, differences, truncated) =
+            self.verify_chunks(a, b, &outcome.mismatched_leaves, timeline)?;
+        breakdown.compare_direct = timeline.now() - t4;
+
+        let stats = DataStats {
+            total_values: stats_total_values,
+            total_bytes: a.payload_len,
+            chunks_total,
+            chunks_flagged: outcome.mismatched_leaves.len() as u64,
+            bytes_reread: stats2.bytes_reread,
+            false_positive_chunks: stats2.false_positive_chunks,
+            diff_count: stats2.diff_count,
+        };
+
+        Ok(CompareReport {
+            breakdown,
+            stats,
+            differences,
+            differences_truncated: truncated,
+        })
+    }
+
+    fn validate_tree(
+        &self,
+        tree: &MerkleTree,
+        source: &CheckpointSource,
+        label: &str,
+    ) -> CoreResult<()> {
+        if tree.chunk_bytes() != self.config.chunk_bytes {
+            return Err(CoreError::Mismatch(format!(
+                "{label}: metadata chunk size {} != engine {}",
+                tree.chunk_bytes(),
+                self.config.chunk_bytes
+            )));
+        }
+        if tree.error_bound() != self.config.error_bound {
+            return Err(CoreError::Mismatch(format!(
+                "{label}: metadata error bound {} != engine {}",
+                tree.error_bound(),
+                self.config.error_bound
+            )));
+        }
+        if tree.data_len() != source.payload_len {
+            return Err(CoreError::Mismatch(format!(
+                "{label}: metadata describes {} bytes but payload has {}",
+                tree.data_len(),
+                source.payload_len
+            )));
+        }
+        Ok(())
+    }
+
+    /// Stage two: stream flagged chunks from both runs and compare
+    /// element-wise. Returns partial stats, recorded differences, and
+    /// whether the record list was truncated.
+    fn verify_chunks(
+        &self,
+        a: &CheckpointSource,
+        b: &CheckpointSource,
+        flagged: &[usize],
+        timeline: &Timeline,
+    ) -> CoreResult<(DataStats, Vec<Difference>, bool)> {
+        let mut stats = DataStats::default();
+        let mut differences = Vec::new();
+        let mut truncated = false;
+        if flagged.is_empty() {
+            return Ok((stats, differences, truncated));
+        }
+
+        let chunk_bytes = self.config.chunk_bytes;
+        // Coalesce runs of adjacent flagged chunks into single read
+        // requests: the chunks are contiguous on disk, so one RPC
+        // fetches the whole run.
+        let runs = coalesce_runs(
+            flagged,
+            if self.config.coalesce_reads {
+                (self.config.max_coalesced_bytes / chunk_bytes).max(1)
+            } else {
+                1
+            },
+        );
+        let run_op = |src: &CheckpointSource, &(first, count): &(usize, usize)| {
+            let start = (first * chunk_bytes) as u64;
+            let len = ((first + count) as u64 * chunk_bytes as u64)
+                .min(src.payload_len)
+                .saturating_sub(start) as usize;
+            (src.payload_offset + start, len)
+        };
+        let ops_a: Vec<_> = runs.iter().map(|r| run_op(a, r)).collect();
+        let ops_b: Vec<_> = runs.iter().map(|r| run_op(b, r)).collect();
+        stats.bytes_reread = ops_a.iter().map(|&(_, len)| len as u64).sum();
+
+        let quantizer = self.quantizer();
+        let values_per_chunk = chunk_bytes / 4;
+
+        let pipe_a = StreamPipeline::start(Arc::clone(&a.data), ops_a, self.config.io);
+        let pipe_b = StreamPipeline::start(Arc::clone(&b.data), ops_b, self.config.io);
+
+        for (slice_a, slice_b) in pipe_a.zip(pipe_b) {
+            let slice_a = slice_a?;
+            let slice_b = slice_b?;
+            debug_assert_eq!(slice_a.first_op, slice_b.first_op);
+            debug_assert_eq!(slice_a.ops.len(), slice_b.ops.len());
+
+            // Comparison kernel over this slice (both buffers touched,
+            // one op per value pair).
+            self.charge_compute(
+                timeline,
+                Workload::new(
+                    (slice_a.data.len() + slice_b.data.len()) as u64,
+                    (slice_a.data.len() / 4) as u64,
+                ),
+            );
+
+            for ((op_idx, pay_a), (_, pay_b)) in slice_a.payloads().zip(slice_b.payloads()) {
+                let (first_chunk, _) = runs[op_idx];
+                // Walk the run chunk by chunk.
+                for (k, (chunk_a, chunk_b)) in pay_a
+                    .chunks(chunk_bytes)
+                    .zip(pay_b.chunks(chunk_bytes))
+                    .enumerate()
+                {
+                    let chunk_index = first_chunk + k;
+                    let mut chunk_had_diff = false;
+                    for (j, (ba, bb)) in chunk_a
+                        .chunks_exact(4)
+                        .zip(chunk_b.chunks_exact(4))
+                        .enumerate()
+                    {
+                        let va = f32::from_le_bytes(ba.try_into().expect("4 bytes"));
+                        let vb = f32::from_le_bytes(bb.try_into().expect("4 bytes"));
+                        if quantizer.differs(va, vb) {
+                            chunk_had_diff = true;
+                            stats.diff_count += 1;
+                            if differences.len() < self.config.max_recorded_diffs {
+                                differences.push(Difference {
+                                    index: (chunk_index * values_per_chunk + j) as u64,
+                                    a: va,
+                                    b: vb,
+                                });
+                            } else {
+                                truncated = true;
+                            }
+                        }
+                    }
+                    if !chunk_had_diff {
+                        stats.false_positive_chunks += 1;
+                    }
+                }
+            }
+        }
+        Ok((stats, differences, truncated))
+    }
+
+    fn charge_compute(&self, timeline: &Timeline, workload: Workload) {
+        if let (Timeline::Sim(clock), Some(model)) = (timeline, &self.config.compute_model) {
+            clock.advance(model.kernel_time(workload));
+        }
+    }
+}
+
+/// Groups sorted chunk indices into `(first, count)` runs of adjacent
+/// chunks, each at most `max_chunks` long.
+fn coalesce_runs(flagged: &[usize], max_chunks: usize) -> Vec<(usize, usize)> {
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    for &c in flagged {
+        match runs.last_mut() {
+            Some((first, count)) if *first + *count == c && *count < max_chunks => {
+                *count += 1;
+            }
+            _ => runs.push((c, 1)),
+        }
+    }
+    runs
+}
+
+/// Reads a whole storage object (sequentially, asynchronously charged).
+fn read_fully(storage: &Arc<dyn Storage>, queue_depth: usize) -> CoreResult<Vec<u8>> {
+    let len = storage.len() as usize;
+    let mut buf = vec![0u8; len];
+    storage.charge_batch(&[(0, len)], AccessMode::Async { depth: queue_depth });
+    storage.read_at(0, &mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reprocmp_io::CostModel;
+    use reprocmp_io::SimClock;
+    use std::time::Duration;
+
+    fn engine(chunk_bytes: usize, bound: f64) -> CompareEngine {
+        CompareEngine::new(EngineConfig {
+            chunk_bytes,
+            error_bound: bound,
+            ..EngineConfig::default()
+        })
+    }
+
+    fn wave(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.01).sin() * 5.0).collect()
+    }
+
+    #[test]
+    fn identical_checkpoints_need_zero_rereads() {
+        let e = engine(256, 1e-5);
+        let data = wave(10_000);
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let b = CheckpointSource::in_memory(&data, &e).unwrap();
+        let report = e.compare(&a, &b).unwrap();
+        assert!(report.identical());
+        assert_eq!(report.stats.chunks_flagged, 0);
+        assert_eq!(report.stats.bytes_reread, 0);
+        assert_eq!(report.stats.chunks_total, 157); // ceil(40000/256)
+    }
+
+    #[test]
+    fn localizes_every_injected_difference() {
+        let e = engine(256, 1e-5);
+        let data = wave(10_000);
+        let mut data2 = data.clone();
+        let victims = [0usize, 63, 64, 5_000, 9_999];
+        for &v in &victims {
+            data2[v] += 0.01; // 1000x the bound
+        }
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let b = CheckpointSource::in_memory(&data2, &e).unwrap();
+        let report = e.compare(&a, &b).unwrap();
+        assert_eq!(report.stats.diff_count, victims.len() as u64);
+        let found: Vec<u64> = report.differences.iter().map(|d| d.index).collect();
+        assert_eq!(found, victims.iter().map(|&v| v as u64).collect::<Vec<_>>());
+        assert!(!report.differences_truncated);
+    }
+
+    #[test]
+    fn differences_within_bound_are_not_reported() {
+        let e = engine(256, 1e-2);
+        let data = wave(5_000);
+        let data2: Vec<f32> = data.iter().map(|&x| x + 1e-3).collect();
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let b = CheckpointSource::in_memory(&data2, &e).unwrap();
+        let report = e.compare(&a, &b).unwrap();
+        assert_eq!(report.stats.diff_count, 0);
+        // Chunks may be flagged (grid straddling), but all were clean:
+        assert_eq!(
+            report.stats.false_positive_chunks,
+            report.stats.chunks_flagged
+        );
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_noisy_data() {
+        let e = engine(128, 1e-4);
+        let data = wave(8_192);
+        let mut data2 = data.clone();
+        // Noise at assorted scales around the bound.
+        for (i, v) in data2.iter_mut().enumerate() {
+            match i % 7 {
+                0 => *v += 3e-4,  // above
+                3 => *v += 9e-5,  // below
+                5 => *v -= 2e-4,  // above
+                _ => {}
+            }
+        }
+        let brute: u64 = data
+            .iter()
+            .zip(&data2)
+            .filter(|(x, y)| (f64::from(**x) - f64::from(**y)).abs() > 1e-4)
+            .count() as u64;
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let b = CheckpointSource::in_memory(&data2, &e).unwrap();
+        let report = e.compare(&a, &b).unwrap();
+        assert_eq!(report.stats.diff_count, brute);
+    }
+
+    #[test]
+    fn diff_cap_truncates_list_but_not_count() {
+        let e = CompareEngine::new(EngineConfig {
+            chunk_bytes: 128,
+            error_bound: 1e-6,
+            max_recorded_diffs: 10,
+            ..EngineConfig::default()
+        });
+        let data = wave(4_096);
+        let data2: Vec<f32> = data.iter().map(|&x| x + 1.0).collect();
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let b = CheckpointSource::in_memory(&data2, &e).unwrap();
+        let report = e.compare(&a, &b).unwrap();
+        assert_eq!(report.stats.diff_count, 4_096);
+        assert_eq!(report.differences.len(), 10);
+        assert!(report.differences_truncated);
+    }
+
+    #[test]
+    fn tail_chunk_shorter_than_chunk_bytes_is_verified() {
+        let e = engine(256, 1e-5);
+        let mut data = wave(1_000); // 4000 B: 15 full chunks + 160 B tail
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        data[999] += 1.0;
+        let b = CheckpointSource::in_memory(&data, &e).unwrap();
+        let report = e.compare(&a, &b).unwrap();
+        assert_eq!(report.stats.diff_count, 1);
+        assert_eq!(report.differences[0].index, 999);
+    }
+
+    #[test]
+    fn coalesce_runs_groups_adjacent_chunks() {
+        assert_eq!(coalesce_runs(&[], 8), vec![]);
+        assert_eq!(coalesce_runs(&[3], 8), vec![(3, 1)]);
+        assert_eq!(
+            coalesce_runs(&[0, 1, 2, 5, 6, 9], 8),
+            vec![(0, 3), (5, 2), (9, 1)]
+        );
+        // Cap splits long runs.
+        assert_eq!(
+            coalesce_runs(&[0, 1, 2, 3, 4], 2),
+            vec![(0, 2), (2, 2), (4, 1)]
+        );
+        // max_chunks = 1 disables coalescing entirely.
+        assert_eq!(coalesce_runs(&[0, 1, 2], 1), vec![(0, 1), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn coalescing_does_not_change_results() {
+        let data = wave(50_000);
+        let mut data2 = data.clone();
+        // A contiguous burst of changes (chunks 10..14 at 256 B chunks)
+        // plus isolated ones.
+        for v in &mut data2[640..900] {
+            *v += 1.0;
+        }
+        data2[30_000] += 1.0;
+        data2[49_999] += 1.0;
+
+        let run = |coalesce: bool| {
+            let e = CompareEngine::new(EngineConfig {
+                chunk_bytes: 256,
+                error_bound: 1e-5,
+                coalesce_reads: coalesce,
+                ..EngineConfig::default()
+            });
+            let a = CheckpointSource::in_memory(&data, &e).unwrap();
+            let b = CheckpointSource::in_memory(&data2, &e).unwrap();
+            e.compare(&a, &b).unwrap()
+        };
+        let with = run(true);
+        let without = run(false);
+        assert_eq!(with.stats.diff_count, without.stats.diff_count);
+        assert_eq!(with.stats.chunks_flagged, without.stats.chunks_flagged);
+        assert_eq!(with.stats.bytes_reread, without.stats.bytes_reread);
+        assert_eq!(with.stats.false_positive_chunks, without.stats.false_positive_chunks);
+        let wi: Vec<u64> = with.differences.iter().map(|d| d.index).collect();
+        let wo: Vec<u64> = without.differences.iter().map(|d| d.index).collect();
+        assert_eq!(wi, wo);
+    }
+
+    #[test]
+    fn coalescing_reduces_virtual_read_time_for_contiguous_bursts() {
+        let data = wave(1 << 18);
+        let mut data2 = data.clone();
+        for v in &mut data2[4096..65_536] {
+            *v += 1.0; // a long contiguous burst
+        }
+        let modeled = |coalesce: bool| {
+            let e = CompareEngine::new(EngineConfig {
+                chunk_bytes: 4096,
+                error_bound: 1e-5,
+                coalesce_reads: coalesce,
+                ..EngineConfig::default()
+            });
+            let clock = SimClock::new();
+            let a = CheckpointSource::in_memory_with_model(
+                &data,
+                &e,
+                CostModel::lustre_pfs(),
+                Some(clock.clone()),
+            )
+            .unwrap();
+            let b = CheckpointSource::in_memory_with_model(
+                &data2,
+                &e,
+                CostModel::lustre_pfs(),
+                Some(clock.clone()),
+            )
+            .unwrap();
+            e.compare_with_timeline(&a, &b, &Timeline::sim(clock))
+                .unwrap()
+                .breakdown
+                .total()
+        };
+        assert!(
+            modeled(true) < modeled(false),
+            "coalescing must cut per-request costs"
+        );
+    }
+
+    #[test]
+    fn mismatched_sizes_error() {
+        let e = engine(256, 1e-5);
+        let a = CheckpointSource::in_memory(&wave(100), &e).unwrap();
+        let b = CheckpointSource::in_memory(&wave(101), &e).unwrap();
+        assert!(matches!(e.compare(&a, &b), Err(CoreError::Mismatch(_))));
+    }
+
+    #[test]
+    fn metadata_from_wrong_config_rejected() {
+        let e1 = engine(256, 1e-5);
+        let e2 = engine(512, 1e-5);
+        let data = wave(4_096);
+        let a = CheckpointSource::in_memory(&data, &e1).unwrap();
+        let b = CheckpointSource::in_memory(&data, &e2).unwrap();
+        // Comparing with e1: b's metadata has the wrong chunk size.
+        assert!(matches!(e1.compare(&a, &b), Err(CoreError::Mismatch(_))));
+        // And a bound mismatch:
+        let e3 = engine(256, 1e-4);
+        let c = CheckpointSource::in_memory(&data, &e3).unwrap();
+        assert!(matches!(e1.compare(&a, &c), Err(CoreError::Mismatch(_))));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(CompareEngine::try_new(EngineConfig {
+            chunk_bytes: 6,
+            ..EngineConfig::default()
+        })
+        .is_err());
+        assert!(CompareEngine::try_new(EngineConfig {
+            error_bound: -1.0,
+            ..EngineConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn corrupt_metadata_surfaces_codec_error() {
+        let e = engine(256, 1e-5);
+        let data = wave(2_048);
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let mut b = CheckpointSource::in_memory(&data, &e).unwrap();
+        b.metadata = Arc::new(reprocmp_io::MemStorage::free(vec![0u8; 32]));
+        assert!(matches!(e.compare(&a, &b), Err(CoreError::Metadata(_))));
+    }
+
+    #[test]
+    fn sim_timeline_yields_deterministic_breakdown() {
+        let e = engine(4096, 1e-5);
+        let data = wave(1 << 16);
+        let mut data2 = data.clone();
+        data2[1000] += 1.0;
+        let run = || {
+            let clock = SimClock::new();
+            let a = CheckpointSource::in_memory_with_model(
+                &data,
+                &e,
+                CostModel::lustre_pfs(),
+                Some(clock.clone()),
+            )
+            .unwrap();
+            let b = CheckpointSource::in_memory_with_model(
+                &data2,
+                &e,
+                CostModel::lustre_pfs(),
+                Some(clock.clone()),
+            )
+            .unwrap();
+            e.compare_with_timeline(&a, &b, &Timeline::sim(clock)).unwrap()
+        };
+        let r1 = run();
+        let r2 = run();
+        assert_eq!(r1.breakdown, r2.breakdown);
+        assert!(r1.breakdown.read > Duration::ZERO, "metadata read charged");
+        assert!(
+            r1.breakdown.compare_direct > Duration::ZERO,
+            "flagged-chunk verification charged"
+        );
+    }
+
+    #[test]
+    fn fewer_flagged_chunks_means_less_virtual_time() {
+        let e = engine(4096, 1e-5);
+        let data = wave(1 << 16);
+        let modeled_total = |n_victims: usize| {
+            let mut data2 = data.clone();
+            for k in 0..n_victims {
+                data2[k * 1024] += 1.0;
+            }
+            let clock = SimClock::new();
+            let a = CheckpointSource::in_memory_with_model(
+                &data,
+                &e,
+                CostModel::lustre_pfs(),
+                Some(clock.clone()),
+            )
+            .unwrap();
+            let b = CheckpointSource::in_memory_with_model(
+                &data2,
+                &e,
+                CostModel::lustre_pfs(),
+                Some(clock.clone()),
+            )
+            .unwrap();
+            let report = e
+                .compare_with_timeline(&a, &b, &Timeline::sim(clock))
+                .unwrap();
+            report.breakdown.total()
+        };
+        assert!(modeled_total(2) < modeled_total(50));
+    }
+}

@@ -1,0 +1,435 @@
+//! Online comparison — the paper's first future-work item.
+//!
+//! Offline comparison reads *both* runs' flagged chunks back from the
+//! PFS. When the comparison runs *inside* the second run (at
+//! checkpoint time, while the data is still in memory), only the
+//! first run's history ever touches the PFS: the current run's tree
+//! is built in memory, the reference tree metadata streams in, and
+//! stage two reads the *reference* side of each flagged chunk only —
+//! halving stage-two I/O and catching divergence the moment it
+//! happens instead of after both runs finish.
+//!
+//! [`OnlineComparator`] wraps that loop: construct it over the
+//! reference run's [`CheckpointHistory`], then call
+//! [`OnlineComparator::observe`] each time the live run checkpoints.
+//! An [`OnlinePolicy`] can abort the analysis (e.g. stop a doomed
+//! reproduction run early) once divergence crosses a threshold.
+
+use reprocmp_io::pipeline::StreamPipeline;
+use reprocmp_io::Timeline;
+use std::sync::Arc;
+
+use crate::engine::CompareEngine;
+use crate::history::CheckpointHistory;
+use crate::report::{DataStats, Difference};
+use crate::{CoreError, CoreResult};
+
+/// What to do as divergence accumulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnlinePolicy {
+    /// Analyze every observed checkpoint regardless.
+    Continue,
+    /// Refuse further observations once total differences exceed the
+    /// threshold (the run is clearly not reproducing; stop paying for
+    /// analysis).
+    AbortAfter {
+        /// Total-difference threshold.
+        max_total_diffs: u64,
+    },
+}
+
+/// The verdict for one observed checkpoint.
+#[derive(Debug, Clone)]
+pub enum OnlineVerdict {
+    /// Within the bound everywhere; `bytes_read` is the reference data
+    /// volume fetched (0 when the trees matched outright).
+    Clean {
+        /// Reference bytes fetched for verification.
+        bytes_read: u64,
+    },
+    /// Real divergence: count plus localized samples.
+    Diverged {
+        /// Values beyond the bound in this checkpoint.
+        diff_count: u64,
+        /// Localized samples (capped by the engine config).
+        differences: Vec<Difference>,
+    },
+    /// The abort policy has tripped; the observation was not analyzed.
+    Halted,
+}
+
+/// One observation's bookkeeping entry.
+#[derive(Debug, Clone)]
+pub struct OnlineEntry {
+    /// Rank that produced the observation.
+    pub rank: usize,
+    /// Iteration observed.
+    pub iteration: u64,
+    /// Volume/accuracy stats for this observation.
+    pub stats: DataStats,
+}
+
+/// The online comparison session.
+#[derive(Debug)]
+pub struct OnlineComparator {
+    engine: CompareEngine,
+    reference: CheckpointHistory,
+    policy: OnlinePolicy,
+    timeline: Timeline,
+    entries: Vec<OnlineEntry>,
+    total_diffs: u64,
+    halted: bool,
+}
+
+impl OnlineComparator {
+    /// Starts a session comparing live checkpoints against
+    /// `reference` (wall-clock timing).
+    #[must_use]
+    pub fn new(engine: CompareEngine, reference: CheckpointHistory, policy: OnlinePolicy) -> Self {
+        Self::with_timeline(engine, reference, policy, Timeline::wall())
+    }
+
+    /// As [`OnlineComparator::new`] with an explicit timeline (pass a
+    /// sim timeline in modeled experiments).
+    #[must_use]
+    pub fn with_timeline(
+        engine: CompareEngine,
+        reference: CheckpointHistory,
+        policy: OnlinePolicy,
+        timeline: Timeline,
+    ) -> Self {
+        OnlineComparator {
+            engine,
+            reference,
+            policy,
+            timeline,
+            entries: Vec::new(),
+            total_diffs: 0,
+            halted: false,
+        }
+    }
+
+    /// Observes the live run's checkpoint for `(rank, iteration)`:
+    /// hashes it in memory, compares against the reference metadata,
+    /// and verifies flagged chunks against reference data only.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Mismatch`] when the reference has no checkpoint
+    /// for this key or geometries disagree; I/O and codec errors from
+    /// the reference storage.
+    pub fn observe(
+        &mut self,
+        rank: usize,
+        iteration: u64,
+        values: &[f32],
+    ) -> CoreResult<OnlineVerdict> {
+        if self.halted {
+            return Ok(OnlineVerdict::Halted);
+        }
+        let reference = self.reference.get(rank, iteration).ok_or_else(|| {
+            CoreError::Mismatch(format!(
+                "reference history has no checkpoint for rank {rank} iteration {iteration}"
+            ))
+        })?;
+        if reference.payload_len != (values.len() * 4) as u64 {
+            return Err(CoreError::Mismatch(format!(
+                "live checkpoint has {} values, reference {}",
+                values.len(),
+                reference.value_count()
+            )));
+        }
+
+        // Live tree in memory; reference tree from storage.
+        let live_tree = self.engine.build_metadata(values);
+        let mut meta = vec![0u8; reference.metadata.len() as usize];
+        reference.metadata.charge_batch(
+            &[(0, meta.len())],
+            reprocmp_io::storage::AccessMode::Async {
+                depth: self.engine.config().io.queue_depth,
+            },
+        );
+        reference.metadata.read_at(0, &mut meta)?;
+        let ref_tree = reprocmp_merkle::decode_tree(&meta)?;
+        if ref_tree.chunk_bytes() != self.engine.config().chunk_bytes
+            || ref_tree.error_bound() != self.engine.config().error_bound
+        {
+            return Err(CoreError::Mismatch(
+                "reference metadata was built with a different engine configuration".into(),
+            ));
+        }
+
+        let lanes = self
+            .engine
+            .config()
+            .lane_hint
+            .unwrap_or_else(|| self.engine.config().device.concurrent_kernel_threads());
+        let outcome =
+            reprocmp_merkle::compare_trees(&ref_tree, &live_tree, self.engine.device(), lanes)?;
+
+        let chunk_bytes = self.engine.config().chunk_bytes;
+        let values_per_chunk = chunk_bytes / 4;
+        let mut stats = DataStats {
+            total_values: values.len() as u64,
+            total_bytes: (values.len() * 4) as u64,
+            chunks_total: reference.chunk_count(chunk_bytes),
+            chunks_flagged: outcome.mismatched_leaves.len() as u64,
+            ..DataStats::default()
+        };
+        let mut differences = Vec::new();
+
+        if !outcome.mismatched_leaves.is_empty() {
+            // Stage two, reference side only; the live side is `values`.
+            let ops = reference.chunk_ops(chunk_bytes, &outcome.mismatched_leaves);
+            stats.bytes_reread = ops.iter().map(|&(_, len)| len as u64).sum();
+            let quantizer = self.engine.quantizer().clone();
+            let pipeline = StreamPipeline::start(
+                Arc::clone(&reference.data),
+                ops,
+                self.engine.config().io,
+            );
+            for slice in pipeline {
+                let slice = slice?;
+                for (op_idx, ref_payload) in slice.payloads() {
+                    let chunk_index = outcome.mismatched_leaves[op_idx];
+                    let lo = chunk_index * values_per_chunk;
+                    let hi = (lo + values_per_chunk).min(values.len());
+                    let live = &values[lo..hi];
+                    let mut chunk_had_diff = false;
+                    for (j, (rb, &lv)) in
+                        ref_payload.chunks_exact(4).zip(live.iter()).enumerate()
+                    {
+                        let rv = f32::from_le_bytes(rb.try_into().expect("4 bytes"));
+                        if quantizer.differs(rv, lv) {
+                            chunk_had_diff = true;
+                            stats.diff_count += 1;
+                            if differences.len() < self.engine.config().max_recorded_diffs {
+                                differences.push(Difference {
+                                    index: (lo + j) as u64,
+                                    a: rv,
+                                    b: lv,
+                                });
+                            }
+                        }
+                    }
+                    if !chunk_had_diff {
+                        stats.false_positive_chunks += 1;
+                    }
+                }
+            }
+        }
+        let _ = self.timeline.now();
+
+        self.total_diffs += stats.diff_count;
+        self.entries.push(OnlineEntry {
+            rank,
+            iteration,
+            stats,
+        });
+        if let OnlinePolicy::AbortAfter { max_total_diffs } = self.policy {
+            if self.total_diffs > max_total_diffs {
+                self.halted = true;
+            }
+        }
+
+        Ok(if stats.diff_count > 0 {
+            OnlineVerdict::Diverged {
+                diff_count: stats.diff_count,
+                differences,
+            }
+        } else {
+            OnlineVerdict::Clean {
+                bytes_read: stats.bytes_reread,
+            }
+        })
+    }
+
+    /// All observations so far, in arrival order.
+    #[must_use]
+    pub fn entries(&self) -> &[OnlineEntry] {
+        &self.entries
+    }
+
+    /// Total differences across the session.
+    #[must_use]
+    pub fn total_diffs(&self) -> u64 {
+        self.total_diffs
+    }
+
+    /// The earliest `(iteration, rank)` observed to diverge.
+    #[must_use]
+    pub fn first_divergence(&self) -> Option<(u64, usize)> {
+        self.entries
+            .iter()
+            .filter(|e| e.stats.diff_count > 0)
+            .map(|e| (e.iteration, e.rank))
+            .min()
+    }
+
+    /// True once the abort policy tripped.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Reference bytes fetched across the whole session — the I/O
+    /// the online mode pays (the offline mode pays roughly twice
+    /// this, plus writing the live run's checkpoints first).
+    #[must_use]
+    pub fn total_bytes_read(&self) -> u64 {
+        self.entries.iter().map(|e| e.stats.bytes_reread).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::source::CheckpointSource;
+
+    fn engine() -> CompareEngine {
+        CompareEngine::new(EngineConfig {
+            chunk_bytes: 64,
+            error_bound: 1e-5,
+            ..EngineConfig::default()
+        })
+    }
+
+    fn reference(e: &CompareEngine, iters: &[u64]) -> (CheckpointHistory, Vec<Vec<f32>>) {
+        let mut h = CheckpointHistory::new();
+        let mut payloads = Vec::new();
+        for &it in iters {
+            let values: Vec<f32> = (0..300).map(|k| k as f32 * 0.01 + it as f32).collect();
+            h.insert(0, it, CheckpointSource::in_memory(&values, e).unwrap());
+            payloads.push(values);
+        }
+        (h, payloads)
+    }
+
+    #[test]
+    fn clean_run_reads_no_data() {
+        let e = engine();
+        let (h, payloads) = reference(&e, &[10, 20]);
+        let mut online = OnlineComparator::new(e, h, OnlinePolicy::Continue);
+        for (values, it) in payloads.iter().zip([10u64, 20]) {
+            match online.observe(0, it, values).unwrap() {
+                OnlineVerdict::Clean { bytes_read } => assert_eq!(bytes_read, 0),
+                other => panic!("expected clean, got {other:?}"),
+            }
+        }
+        assert_eq!(online.total_bytes_read(), 0);
+        assert_eq!(online.first_divergence(), None);
+    }
+
+    #[test]
+    fn divergence_detected_at_the_right_iteration_and_index() {
+        let e = engine();
+        let (h, payloads) = reference(&e, &[10, 20, 30]);
+        let mut online = OnlineComparator::new(e, h, OnlinePolicy::Continue);
+
+        // Iteration 10 matches; 20 diverges at value 123.
+        assert!(matches!(
+            online.observe(0, 10, &payloads[0]).unwrap(),
+            OnlineVerdict::Clean { .. }
+        ));
+        let mut live = payloads[1].clone();
+        live[123] += 0.25;
+        match online.observe(0, 20, &live).unwrap() {
+            OnlineVerdict::Diverged {
+                diff_count,
+                differences,
+            } => {
+                assert_eq!(diff_count, 1);
+                assert_eq!(differences[0].index, 123);
+                assert_eq!(differences[0].a, payloads[1][123]);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+        assert_eq!(online.first_divergence(), Some((20, 0)));
+        // Only flagged reference chunks were read: one 64 B chunk.
+        assert_eq!(online.total_bytes_read(), 64);
+    }
+
+    #[test]
+    fn within_bound_drift_is_clean_but_may_read_data() {
+        let e = engine();
+        let (h, payloads) = reference(&e, &[10]);
+        let mut online = OnlineComparator::new(e, h, OnlinePolicy::Continue);
+        // Shift everything by half the bound: possibly flagged
+        // (straddles), never diverged.
+        let live: Vec<f32> = payloads[0].iter().map(|v| v + 4e-6).collect();
+        match online.observe(0, 10, &live).unwrap() {
+            OnlineVerdict::Clean { .. } => {}
+            other => panic!("expected clean, got {other:?}"),
+        }
+        assert_eq!(online.total_diffs(), 0);
+    }
+
+    #[test]
+    fn abort_policy_halts_the_session() {
+        let e = engine();
+        let (h, payloads) = reference(&e, &[10, 20]);
+        let mut online = OnlineComparator::new(
+            e,
+            h,
+            OnlinePolicy::AbortAfter { max_total_diffs: 5 },
+        );
+        let live: Vec<f32> = payloads[0].iter().map(|v| v + 1.0).collect();
+        match online.observe(0, 10, &live).unwrap() {
+            OnlineVerdict::Diverged { diff_count, .. } => assert_eq!(diff_count, 300),
+            other => panic!("{other:?}"),
+        }
+        assert!(online.halted());
+        assert!(matches!(
+            online.observe(0, 20, &payloads[1]).unwrap(),
+            OnlineVerdict::Halted
+        ));
+        // The halted observation was not recorded.
+        assert_eq!(online.entries().len(), 1);
+    }
+
+    #[test]
+    fn unknown_key_and_wrong_size_error() {
+        let e = engine();
+        let (h, payloads) = reference(&e, &[10]);
+        let mut online = OnlineComparator::new(e, h, OnlinePolicy::Continue);
+        assert!(matches!(
+            online.observe(0, 99, &payloads[0]),
+            Err(CoreError::Mismatch(_))
+        ));
+        assert!(matches!(
+            online.observe(0, 10, &payloads[0][..100]),
+            Err(CoreError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn online_agrees_with_offline_engine() {
+        let e = engine();
+        let (h, payloads) = reference(&e, &[10]);
+        let mut live = payloads[0].clone();
+        for k in [5usize, 100, 299] {
+            live[k] -= 0.125;
+        }
+        // Offline:
+        let a = h.get(0, 10).unwrap();
+        let b = CheckpointSource::in_memory(&live, &e).unwrap();
+        let offline = e.compare(a, &b).unwrap();
+        // Online:
+        let mut online = OnlineComparator::new(e.clone(), h.clone(), OnlinePolicy::Continue);
+        match online.observe(0, 10, &live).unwrap() {
+            OnlineVerdict::Diverged {
+                diff_count,
+                differences,
+            } => {
+                assert_eq!(diff_count, offline.stats.diff_count);
+                let on: Vec<u64> = differences.iter().map(|d| d.index).collect();
+                let off: Vec<u64> = offline.differences.iter().map(|d| d.index).collect();
+                assert_eq!(on, off);
+            }
+            other => panic!("{other:?}"),
+        }
+        // And the online path read at most half the offline volume.
+        assert!(online.total_bytes_read() <= offline.stats.bytes_reread);
+    }
+}

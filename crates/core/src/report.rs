@@ -1,0 +1,140 @@
+//! Comparison results: localized differences and volume accounting.
+
+use serde::Serialize;
+
+use crate::breakdown::CostBreakdown;
+
+/// One element-wise difference above the bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Difference {
+    /// Flat `f32` index within the checkpoint payload.
+    pub index: u64,
+    /// The value in run 1.
+    pub a: f32,
+    /// The value in run 2.
+    pub b: f32,
+}
+
+/// Volume and accuracy accounting for one comparison (Figure 7's raw
+/// numbers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DataStats {
+    /// `f32` values per checkpoint.
+    pub total_values: u64,
+    /// Payload bytes per checkpoint.
+    pub total_bytes: u64,
+    /// Chunks per checkpoint.
+    pub chunks_total: u64,
+    /// Chunks whose hashes differed (stage-two work list).
+    pub chunks_flagged: u64,
+    /// Bytes re-read from each checkpoint during stage two.
+    pub bytes_reread: u64,
+    /// Flagged chunks that turned out to contain no real difference —
+    /// the conservative hash's false positives.
+    pub false_positive_chunks: u64,
+    /// Values whose difference exceeded the bound.
+    pub diff_count: u64,
+}
+
+impl DataStats {
+    /// Fraction of checkpoint data flagged for re-reading (Fig. 7a).
+    #[must_use]
+    pub fn flagged_fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.bytes_reread as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// False-positive rate: flagged-but-clean chunks over all chunks
+    /// (Fig. 7b).
+    #[must_use]
+    pub fn false_positive_rate(&self) -> f64 {
+        if self.chunks_total == 0 {
+            0.0
+        } else {
+            self.false_positive_chunks as f64 / self.chunks_total as f64
+        }
+    }
+}
+
+/// The full result of comparing one checkpoint pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct CompareReport {
+    /// Phase timers.
+    pub breakdown: CostBreakdown,
+    /// Volume and accuracy accounting.
+    pub stats: DataStats,
+    /// Localized differences, capped at the engine's
+    /// `max_recorded_diffs` (the count in [`DataStats::diff_count`] is
+    /// exact regardless).
+    pub differences: Vec<Difference>,
+    /// True when the recorded list was truncated by the cap.
+    pub differences_truncated: bool,
+}
+
+impl CompareReport {
+    /// Whether the two checkpoints agree everywhere within the bound.
+    #[must_use]
+    pub fn identical(&self) -> bool {
+        self.stats.diff_count == 0
+    }
+
+    /// Comparison throughput: checkpoint data volume (both runs) over
+    /// total runtime — the paper's Figure 5 metric.
+    #[must_use]
+    pub fn throughput_bytes_per_sec(&self) -> f64 {
+        let total = self.breakdown.total().as_secs_f64();
+        if total == 0.0 {
+            f64::INFINITY
+        } else {
+            (2 * self.stats.total_bytes) as f64 / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = DataStats::default();
+        assert_eq!(s.flagged_fraction(), 0.0);
+        assert_eq!(s.false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let s = DataStats {
+            total_values: 1000,
+            total_bytes: 4000,
+            chunks_total: 10,
+            chunks_flagged: 4,
+            bytes_reread: 1600,
+            false_positive_chunks: 1,
+            diff_count: 3,
+        };
+        assert!((s.flagged_fraction() - 0.4).abs() < 1e-12);
+        assert!((s.false_positive_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_counts_both_checkpoints() {
+        let report = CompareReport {
+            breakdown: CostBreakdown {
+                compare_direct: std::time::Duration::from_secs(2),
+                ..CostBreakdown::default()
+            },
+            stats: DataStats {
+                total_bytes: 1_000_000,
+                ..DataStats::default()
+            },
+            differences: Vec::new(),
+            differences_truncated: false,
+        };
+        assert!((report.throughput_bytes_per_sec() - 1_000_000.0).abs() < 1.0);
+        assert!(report.identical());
+    }
+}

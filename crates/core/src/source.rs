@@ -1,0 +1,231 @@
+//! Checkpoint sources: where a run's payload and metadata live.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use reprocmp_io::cost::OpSpec;
+use reprocmp_io::{CostModel, MemStorage, SimClock, StdFsStorage, Storage};
+
+use crate::engine::CompareEngine;
+use crate::{CoreError, CoreResult};
+
+/// One run's checkpoint as the comparison engine sees it: a storage
+/// object holding the raw `f32` payload (at some byte offset, e.g.
+/// past a VELOC header) and a storage object holding the encoded
+/// Merkle metadata.
+#[derive(Debug, Clone)]
+pub struct CheckpointSource {
+    /// Storage holding the checkpoint file.
+    pub data: Arc<dyn Storage>,
+    /// Byte offset of the `f32` payload within `data`.
+    pub payload_offset: u64,
+    /// Payload length in bytes (must be a multiple of 4).
+    pub payload_len: u64,
+    /// Storage holding the encoded Merkle tree.
+    pub metadata: Arc<dyn Storage>,
+}
+
+impl CheckpointSource {
+    /// Wraps existing storage objects.
+    #[must_use]
+    pub fn new(
+        data: Arc<dyn Storage>,
+        payload_offset: u64,
+        payload_len: u64,
+        metadata: Arc<dyn Storage>,
+    ) -> Self {
+        CheckpointSource {
+            data,
+            payload_offset,
+            payload_len,
+            metadata,
+        }
+    }
+
+    /// Builds a cost-free in-memory source from raw values, computing
+    /// the metadata with `engine` — the quickest way to get started
+    /// and the backbone of the test suite.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine validation failures.
+    pub fn in_memory(values: &[f32], engine: &CompareEngine) -> CoreResult<Self> {
+        Self::in_memory_with_model(values, engine, CostModel::free(), None)
+    }
+
+    /// As [`CheckpointSource::in_memory`], but the payload and
+    /// metadata live on a simulated device with cost model `model`,
+    /// optionally charging an existing `clock` (pass the same clock
+    /// for every source that shares a parallel file system).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine validation failures.
+    pub fn in_memory_with_model(
+        values: &[f32],
+        engine: &CompareEngine,
+        model: CostModel,
+        clock: Option<SimClock>,
+    ) -> CoreResult<Self> {
+        if values.is_empty() {
+            return Err(CoreError::Config("checkpoint payload is empty".into()));
+        }
+        let mut payload = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        let tree = engine.build_metadata(values);
+        let meta_bytes = reprocmp_merkle::encode_tree(&tree);
+        let clock = clock.unwrap_or_default();
+        let payload_len = payload.len() as u64;
+        let data = MemStorage::with_clock(payload, model, clock.clone());
+        let metadata = MemStorage::with_clock(meta_bytes, model, clock);
+        Ok(CheckpointSource {
+            data: Arc::new(data),
+            payload_offset: 0,
+            payload_len,
+            metadata: Arc::new(metadata),
+        })
+    }
+
+    /// Opens a source from real files: `data_path` (payload at
+    /// `payload_offset..payload_offset+payload_len`) and `meta_path`
+    /// (an encoded tree, e.g. written by the CLI).
+    ///
+    /// # Errors
+    ///
+    /// File-open failures or inconsistent geometry.
+    pub fn from_files(
+        data_path: &Path,
+        payload_offset: u64,
+        payload_len: u64,
+        meta_path: &Path,
+    ) -> CoreResult<Self> {
+        let data = StdFsStorage::open(data_path)?;
+        if payload_offset + payload_len > data.len() {
+            return Err(CoreError::Mismatch(format!(
+                "payload {payload_offset}+{payload_len} exceeds file size {}",
+                data.len()
+            )));
+        }
+        let metadata = StdFsStorage::open(meta_path)?;
+        Ok(CheckpointSource {
+            data: Arc::new(data),
+            payload_offset,
+            payload_len,
+            metadata: Arc::new(metadata),
+        })
+    }
+
+    /// Number of `f32` values in the payload.
+    #[must_use]
+    pub fn value_count(&self) -> u64 {
+        self.payload_len / 4
+    }
+
+    /// Number of chunks under `chunk_bytes` chunking.
+    #[must_use]
+    pub fn chunk_count(&self, chunk_bytes: usize) -> u64 {
+        self.payload_len.div_ceil(chunk_bytes as u64)
+    }
+
+    /// The read op `(offset, len)` for chunk `index`.
+    #[must_use]
+    pub fn chunk_op(&self, chunk_bytes: usize, index: u64) -> OpSpec {
+        let start = index * chunk_bytes as u64;
+        let len = (self.payload_len - start).min(chunk_bytes as u64) as usize;
+        (self.payload_offset + start, len)
+    }
+
+    /// Read ops for a set of chunk indices, in the given order.
+    #[must_use]
+    pub fn chunk_ops(&self, chunk_bytes: usize, indices: &[usize]) -> Vec<OpSpec> {
+        indices
+            .iter()
+            .map(|&i| self.chunk_op(chunk_bytes, i as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn engine() -> CompareEngine {
+        CompareEngine::new(EngineConfig {
+            chunk_bytes: 64,
+            error_bound: 1e-5,
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn in_memory_geometry() {
+        let values: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let s = CheckpointSource::in_memory(&values, &engine()).unwrap();
+        assert_eq!(s.value_count(), 100);
+        assert_eq!(s.payload_len, 400);
+        assert_eq!(s.chunk_count(64), 7); // 6*64 + 16
+        assert_eq!(s.chunk_op(64, 0), (0, 64));
+        assert_eq!(s.chunk_op(64, 6), (384, 16));
+    }
+
+    #[test]
+    fn empty_payload_rejected() {
+        assert!(matches!(
+            CheckpointSource::in_memory(&[], &engine()),
+            Err(CoreError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn payload_bytes_round_trip() {
+        let values = vec![1.5f32, -2.25, 1e-7];
+        let s = CheckpointSource::in_memory(&values, &engine()).unwrap();
+        let mut buf = vec![0u8; 12];
+        s.data.read_at(0, &mut buf).unwrap();
+        let back: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn metadata_is_decodable() {
+        let values: Vec<f32> = (0..256).map(|i| i as f32 * 0.5).collect();
+        let s = CheckpointSource::in_memory(&values, &engine()).unwrap();
+        let mut meta = vec![0u8; s.metadata.len() as usize];
+        s.metadata.read_at(0, &mut meta).unwrap();
+        let tree = reprocmp_merkle::decode_tree(&meta).unwrap();
+        assert_eq!(tree.chunk_bytes(), 64);
+        assert_eq!(tree.data_len(), 1024);
+    }
+
+    #[test]
+    fn chunk_ops_preserve_order() {
+        let values: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let s = CheckpointSource::in_memory(&values, &engine()).unwrap();
+        let ops = s.chunk_ops(64, &[5, 2, 9]);
+        assert_eq!(ops, vec![(320, 64), (128, 64), (576, 64)]);
+    }
+
+    #[test]
+    fn shared_clock_spans_payload_and_metadata() {
+        let values: Vec<f32> = (0..4096).map(|i| i as f32).collect();
+        let clock = SimClock::new();
+        let s = CheckpointSource::in_memory_with_model(
+            &values,
+            &engine(),
+            CostModel::lustre_pfs(),
+            Some(clock.clone()),
+        )
+        .unwrap();
+        use reprocmp_io::storage::AccessMode;
+        s.data.charge_batch(&[(0, 128)], AccessMode::Sync);
+        s.metadata.charge_batch(&[(0, 128)], AccessMode::Sync);
+        assert!(clock.now() > std::time::Duration::ZERO);
+        assert_eq!(s.data.elapsed(), s.metadata.elapsed());
+    }
+}

@@ -1,0 +1,347 @@
+//! Friends-of-friends (FoF) halo finding.
+//!
+//! The paper's motivating figure (Stodden et al.'s Enzo study) shows
+//! the sharpest consequence of run-to-run nondeterminism: *galactic
+//! halo #49 forms in run 1 and not in run 2*. A halo is exactly what a
+//! FoF group finder reports — a maximal set of particles linked by
+//! pairwise distances below a linking length. Because group membership
+//! is a discrete function of continuous positions, a drift of 1e-7 in
+//! coordinates can flip a marginal group above or below the
+//! minimum-membership threshold: tiny numerical divergence becomes a
+//! categorical scientific difference.
+//!
+//! [`find_halos`] implements the standard percolation algorithm with a
+//! periodic cell list and union–find, deterministic for fixed input.
+
+use crate::particles::ParticleSet;
+
+/// A detected halo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Halo {
+    /// Particle ids belonging to the halo, ascending.
+    pub members: Vec<u32>,
+    /// Center of mass (periodic-naive mean of member positions).
+    pub center: [f32; 3],
+}
+
+impl Halo {
+    /// Member count.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Union–find over particle ids.
+#[derive(Debug)]
+struct DisjointSet {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl DisjointSet {
+    fn new(n: usize) -> Self {
+        DisjointSet {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (ra, rb) = if self.rank[ra as usize] < self.rank[rb as usize] {
+            (rb, ra)
+        } else {
+            (ra, rb)
+        };
+        self.parent[rb as usize] = ra;
+        if self.rank[ra as usize] == self.rank[rb as usize] {
+            self.rank[ra as usize] += 1;
+        }
+    }
+}
+
+/// Finds all FoF halos with at least `min_members` members, using
+/// linking length `linking_length` in a periodic box of edge
+/// `box_size`. Halos are returned largest-first (ties by smallest
+/// member id), with ascending member lists — a canonical order, so
+/// equal inputs give equal outputs.
+///
+/// # Panics
+///
+/// If `linking_length` is not positive and finite, or `box_size` is
+/// not positive.
+#[must_use]
+pub fn find_halos(
+    particles: &ParticleSet,
+    box_size: f32,
+    linking_length: f32,
+    min_members: usize,
+) -> Vec<Halo> {
+    assert!(
+        linking_length.is_finite() && linking_length > 0.0,
+        "linking length must be positive"
+    );
+    assert!(box_size > 0.0, "box size must be positive");
+    let n = particles.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Cell list with cell edge >= linking length.
+    let ncell = ((box_size / linking_length).floor() as usize).clamp(1, 128);
+    let cell_of = |v: f32| -> usize {
+        let u = (v / box_size * ncell as f32).floor() as isize;
+        u.rem_euclid(ncell as isize) as usize
+    };
+    let mut cells: Vec<Vec<u32>> = vec![Vec::new(); ncell * ncell * ncell];
+    for i in 0..n {
+        let c = (cell_of(particles.z[i]) * ncell + cell_of(particles.y[i])) * ncell
+            + cell_of(particles.x[i]);
+        cells[c].push(i as u32);
+    }
+
+    let half = box_size * 0.5;
+    let min_image = |mut d: f32| {
+        if d > half {
+            d -= box_size;
+        } else if d < -half {
+            d += box_size;
+        }
+        d
+    };
+    let ll2 = linking_length * linking_length;
+
+    let mut dsu = DisjointSet::new(n);
+    let nc = ncell as isize;
+    for i in 0..n {
+        let (xi, yi, zi) = (particles.x[i], particles.y[i], particles.z[i]);
+        let (cx, cy, cz) = (
+            cell_of(xi) as isize,
+            cell_of(yi) as isize,
+            cell_of(zi) as isize,
+        );
+        for oz in -1..=1isize {
+            for oy in -1..=1isize {
+                for ox in -1..=1isize {
+                    let w = |v: isize| v.rem_euclid(nc) as usize;
+                    let cell = &cells[(w(cz + oz) * ncell + w(cy + oy)) * ncell + w(cx + ox)];
+                    for &ju in cell {
+                        let j = ju as usize;
+                        if j <= i {
+                            continue;
+                        }
+                        let dx = min_image(xi - particles.x[j]);
+                        let dy = min_image(yi - particles.y[j]);
+                        let dz = min_image(zi - particles.z[j]);
+                        if dx * dx + dy * dy + dz * dz <= ll2 {
+                            dsu.union(i as u32, ju);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Gather groups.
+    let mut groups: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for i in 0..n as u32 {
+        groups.entry(dsu.find(i)).or_default().push(i);
+    }
+
+    let mut halos: Vec<Halo> = groups
+        .into_values()
+        .filter(|members| members.len() >= min_members.max(1))
+        .map(|mut members| {
+            members.sort_unstable();
+            let inv = 1.0 / members.len() as f32;
+            let mut center = [0.0f32; 3];
+            for &m in &members {
+                center[0] += particles.x[m as usize] * inv;
+                center[1] += particles.y[m as usize] * inv;
+                center[2] += particles.z[m as usize] * inv;
+            }
+            Halo { members, center }
+        })
+        .collect();
+    halos.sort_by(|a, b| b.size().cmp(&a.size()).then(a.members[0].cmp(&b.members[0])));
+    halos
+}
+
+/// A compact run observable: halo count and the sizes of the largest
+/// halos — the kind of science result (Figure 1) whose run-to-run
+/// stability the comparison runtime protects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaloCensus {
+    /// Number of halos above the membership threshold.
+    pub count: usize,
+    /// Sizes of the five largest halos, descending.
+    pub top_sizes: Vec<usize>,
+}
+
+/// Computes the [`HaloCensus`] of a particle set.
+#[must_use]
+pub fn halo_census(
+    particles: &ParticleSet,
+    box_size: f32,
+    linking_length: f32,
+    min_members: usize,
+) -> HaloCensus {
+    let halos = find_halos(particles, box_size, linking_length, min_members);
+    HaloCensus {
+        count: halos.len(),
+        top_sizes: halos.iter().take(5).map(Halo::size).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Particles at explicit positions.
+    fn at(points: &[(f32, f32, f32)]) -> ParticleSet {
+        let mut p = ParticleSet::with_len(points.len());
+        for (i, &(x, y, z)) in points.iter().enumerate() {
+            p.x[i] = x;
+            p.y[i] = y;
+            p.z[i] = z;
+        }
+        p
+    }
+
+    /// A blob of `n` particles within `radius` of a center.
+    fn blob(center: (f32, f32, f32), n: usize, radius: f32, out: &mut Vec<(f32, f32, f32)>) {
+        for k in 0..n {
+            let t = k as f32 / n as f32 * std::f32::consts::TAU;
+            let r = radius * (0.3 + 0.7 * ((k * 7919 % 97) as f32 / 97.0));
+            out.push((
+                (center.0 + r * t.cos()).rem_euclid(1.0),
+                (center.1 + r * t.sin()).rem_euclid(1.0),
+                (center.2 + r * (t * 2.0).sin() * 0.5).rem_euclid(1.0),
+            ));
+        }
+    }
+
+    #[test]
+    fn two_separated_blobs_are_two_halos() {
+        let mut pts = Vec::new();
+        blob((0.2, 0.2, 0.2), 40, 0.01, &mut pts);
+        blob((0.7, 0.7, 0.7), 25, 0.01, &mut pts);
+        let p = at(&pts);
+        let halos = find_halos(&p, 1.0, 0.05, 5);
+        assert_eq!(halos.len(), 2);
+        assert_eq!(halos[0].size(), 40, "largest first");
+        assert_eq!(halos[1].size(), 25);
+    }
+
+    #[test]
+    fn isolated_particles_form_no_halo() {
+        let p = at(&[(0.1, 0.1, 0.1), (0.5, 0.5, 0.5), (0.9, 0.9, 0.1)]);
+        assert!(find_halos(&p, 1.0, 0.05, 2).is_empty());
+        // But with min_members 1, each is its own "halo".
+        assert_eq!(find_halos(&p, 1.0, 0.05, 1).len(), 3);
+    }
+
+    #[test]
+    fn chain_percolates_into_one_halo() {
+        // Particles 0.04 apart with linking length 0.05: a chain.
+        let pts: Vec<(f32, f32, f32)> = (0..10).map(|i| (0.1 + i as f32 * 0.04, 0.5, 0.5)).collect();
+        let p = at(&pts);
+        let halos = find_halos(&p, 1.0, 0.05, 2);
+        assert_eq!(halos.len(), 1);
+        assert_eq!(halos[0].size(), 10);
+    }
+
+    #[test]
+    fn linking_across_the_periodic_boundary() {
+        let p = at(&[(0.99, 0.5, 0.5), (0.01, 0.5, 0.5), (0.03, 0.5, 0.5)]);
+        let halos = find_halos(&p, 1.0, 0.05, 3);
+        assert_eq!(halos.len(), 1, "wraps around the box edge");
+    }
+
+    #[test]
+    fn linking_length_controls_percolation() {
+        let p = at(&[(0.1, 0.5, 0.5), (0.2, 0.5, 0.5), (0.3, 0.5, 0.5)]);
+        assert_eq!(find_halos(&p, 1.0, 0.11, 2).len(), 1); // linked chain
+        assert!(find_halos(&p, 1.0, 0.05, 2).is_empty()); // all isolated
+    }
+
+    #[test]
+    fn member_lists_are_sorted_and_disjoint() {
+        let mut pts = Vec::new();
+        blob((0.3, 0.3, 0.3), 30, 0.02, &mut pts);
+        blob((0.8, 0.2, 0.6), 20, 0.02, &mut pts);
+        let p = at(&pts);
+        let halos = find_halos(&p, 1.0, 0.06, 2);
+        let mut seen = std::collections::HashSet::new();
+        for h in &halos {
+            assert!(h.members.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+            for &m in &h.members {
+                assert!(seen.insert(m), "particle {m} in two halos");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_input() {
+        let mut pts = Vec::new();
+        blob((0.4, 0.4, 0.4), 50, 0.03, &mut pts);
+        blob((0.6, 0.8, 0.2), 35, 0.03, &mut pts);
+        let p = at(&pts);
+        let a = find_halos(&p, 1.0, 0.05, 5);
+        let b = find_halos(&p, 1.0, 0.05, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn census_reports_count_and_top_sizes() {
+        let mut pts = Vec::new();
+        blob((0.2, 0.2, 0.2), 40, 0.01, &mut pts);
+        blob((0.7, 0.7, 0.7), 25, 0.01, &mut pts);
+        blob((0.2, 0.7, 0.4), 10, 0.01, &mut pts);
+        let p = at(&pts);
+        let census = halo_census(&p, 1.0, 0.05, 5);
+        assert_eq!(census.count, 3);
+        assert_eq!(census.top_sizes, vec![40, 25, 10]);
+    }
+
+    #[test]
+    fn marginal_halo_flips_with_a_tiny_position_change() {
+        // The Figure 1 mechanism in miniature: a 6-particle chain at
+        // exactly the threshold; nudging one particle by 1e-3 breaks it
+        // below min_members.
+        let pts: Vec<(f32, f32, f32)> =
+            (0..6).map(|i| (0.1 + i as f32 * 0.049, 0.5, 0.5)).collect();
+        let p = at(&pts);
+        assert_eq!(find_halos(&p, 1.0, 0.05, 6).len(), 1);
+
+        let mut nudged = pts.clone();
+        nudged[3].0 += 2e-3; // gap grows past the linking length
+        let p2 = at(&nudged);
+        assert!(find_halos(&p2, 1.0, 0.05, 6).is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        let p = ParticleSet::with_len(0);
+        assert!(find_halos(&p, 1.0, 0.05, 2).is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! Conservative error-bounded quantization of floating-point values.
+//!
+//! The paper's rounding method has three steps — normalize to a standard
+//! range, round to reduced precision, rescale — whose net effect is to
+//! snap every value onto a uniform grid with step equal to the absolute
+//! error bound `ε`. We implement the equivalent direct form: the
+//! quantized code of `x` is `floor(x / ε)` as a 64-bit integer.
+//!
+//! # Guarantee (no false negatives)
+//!
+//! If `quantize(a) == quantize(b)` then both values lie inside the same
+//! half-open grid cell of width `ε`, hence `|a − b| < ε` and the pair can
+//! never be a *real* difference under the bound. Conversely values with
+//! `|a − b| ≤ ε` may land in adjacent cells (a false positive), which the
+//! element-wise verification stage later discards.
+//!
+//! Non-finite values are canonicalized so that every NaN quantizes to the
+//! same code (two NaNs compare "equal within any bound" for
+//! reproducibility purposes — the run reproduced the NaN), while `+∞` and
+//! `−∞` map to distinct dedicated codes.
+
+/// Errors arising when constructing a [`Quantizer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantizerError {
+    /// The error bound was zero, negative, NaN, or infinite.
+    InvalidBound,
+}
+
+impl std::fmt::Display for QuantizerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantizerError::InvalidBound => {
+                write!(f, "error bound must be a finite positive number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantizerError {}
+
+/// Dedicated quantization codes for non-finite values, chosen far outside
+/// the range reachable by finite `f32` inputs divided by any sane bound.
+const CODE_NAN: i64 = i64::MAX;
+const CODE_POS_INF: i64 = i64::MAX - 1;
+const CODE_NEG_INF: i64 = i64::MIN + 1;
+
+/// Snaps `f32` values onto an `ε`-spaced grid.
+///
+/// Cloning is cheap; the quantizer is just the bound and its reciprocal.
+///
+/// ```
+/// use reprocmp_hash::bounded::Quantizer;
+/// let q = Quantizer::new(1e-4).unwrap();
+/// // Values within the same grid cell share a code…
+/// assert_eq!(q.quantize(0.50001), q.quantize(0.50004));
+/// // …values more than ε apart never do.
+/// assert_ne!(q.quantize(0.5), q.quantize(0.5005));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    bound: f64,
+    inv_bound: f64,
+}
+
+impl Quantizer {
+    /// Creates a quantizer for absolute error bound `bound`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantizerError::InvalidBound`] unless `bound` is finite
+    /// and strictly positive.
+    pub fn new(bound: f64) -> Result<Self, QuantizerError> {
+        if !(bound.is_finite() && bound > 0.0) {
+            return Err(QuantizerError::InvalidBound);
+        }
+        Ok(Quantizer {
+            bound,
+            inv_bound: 1.0 / bound,
+        })
+    }
+
+    /// The absolute error bound `ε` this quantizer was built with.
+    #[must_use]
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// Quantizes one value to its grid code.
+    ///
+    /// Finite values map to `floor(x / ε)`; NaN, `+∞` and `−∞` map to
+    /// dedicated sentinel codes (all NaNs share one code).
+    #[must_use]
+    #[inline]
+    pub fn quantize(&self, x: f32) -> i64 {
+        if x.is_nan() {
+            return CODE_NAN;
+        }
+        if x.is_infinite() {
+            return if x > 0.0 { CODE_POS_INF } else { CODE_NEG_INF };
+        }
+        let scaled = f64::from(x) * self.inv_bound;
+        // f32::MAX / 1e-7 ≈ 3.4e45 overflows i64; saturate just inside the
+        // sentinel codes so finite values can never collide with them.
+        if scaled >= (CODE_POS_INF - 1) as f64 {
+            CODE_POS_INF - 1
+        } else if scaled <= (CODE_NEG_INF + 1) as f64 {
+            CODE_NEG_INF + 1
+        } else {
+            scaled.floor() as i64
+        }
+    }
+
+    /// Quantizes a slice into a caller-provided buffer of codes.
+    ///
+    /// `out` is resized to `data.len()`.
+    pub fn quantize_into(&self, data: &[f32], out: &mut Vec<i64>) {
+        out.clear();
+        out.reserve(data.len());
+        out.extend(data.iter().map(|&x| self.quantize(x)));
+    }
+
+    /// Quantizes a slice directly into little-endian code bytes, the form
+    /// consumed by the chunk hasher.
+    pub fn quantize_to_bytes(&self, data: &[f32], out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(data.len() * 8);
+        for &x in data {
+            out.extend_from_slice(&self.quantize(x).to_le_bytes());
+        }
+    }
+
+    /// Returns `true` when `a` and `b` count as *different* under this
+    /// bound, i.e. `|a − b| > ε` — the exact predicate the paper's direct
+    /// comparison applies.
+    ///
+    /// NaN-vs-NaN is *not* a difference (both runs produced NaN); NaN vs a
+    /// number is.
+    #[must_use]
+    #[inline]
+    pub fn differs(&self, a: f32, b: f32) -> bool {
+        match (a.is_nan(), b.is_nan()) {
+            (true, true) => false,
+            (true, false) | (false, true) => true,
+            (false, false) => {
+                let d = (f64::from(a) - f64::from(b)).abs();
+                d > self.bound
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_bounds() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Quantizer::new(bad), Err(QuantizerError::InvalidBound));
+        }
+    }
+
+    #[test]
+    fn equal_codes_imply_within_bound() {
+        let q = Quantizer::new(1e-3).unwrap();
+        let pairs = [
+            (0.1004f32, 0.1006f32),
+            (-3.0001, -3.0004),
+            (1000.0001, 1000.0004),
+        ];
+        for (a, b) in pairs {
+            if q.quantize(a) == q.quantize(b) {
+                assert!((f64::from(a) - f64::from(b)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn difference_above_bound_changes_code() {
+        let q = Quantizer::new(1e-5).unwrap();
+        let a = 0.5f32;
+        let b = 0.5f32 + 5e-4;
+        assert_ne!(q.quantize(a), q.quantize(b));
+    }
+
+    #[test]
+    fn straddling_grid_boundary_is_a_false_positive() {
+        // |a-b| well under the bound, but on either side of a grid line.
+        let q = Quantizer::new(1e-3).unwrap();
+        let a = 0.000_999_9f32; // cell 0
+        let b = 0.001_000_1f32; // cell 1
+        assert_ne!(q.quantize(a), q.quantize(b));
+        assert!(!q.differs(a, b), "but the direct predicate says equal");
+    }
+
+    #[test]
+    fn nan_canonicalization() {
+        let q = Quantizer::new(1e-6).unwrap();
+        let nan1 = f32::NAN;
+        let nan2 = f32::from_bits(0x7fc0_0001); // a different NaN payload
+        assert_eq!(q.quantize(nan1), q.quantize(nan2));
+        assert!(!q.differs(nan1, nan2));
+        assert!(q.differs(nan1, 0.0));
+    }
+
+    #[test]
+    fn infinities_are_distinct_codes() {
+        let q = Quantizer::new(1e-6).unwrap();
+        assert_ne!(q.quantize(f32::INFINITY), q.quantize(f32::NEG_INFINITY));
+        assert_ne!(q.quantize(f32::INFINITY), q.quantize(f32::NAN));
+        assert_ne!(q.quantize(f32::MAX), q.quantize(f32::INFINITY));
+    }
+
+    #[test]
+    fn extreme_magnitudes_saturate_without_sentinel_collision() {
+        let q = Quantizer::new(1e-7).unwrap();
+        let big = q.quantize(f32::MAX);
+        let small = q.quantize(f32::MIN);
+        assert_ne!(big, CODE_POS_INF);
+        assert_ne!(big, CODE_NAN);
+        assert_ne!(small, CODE_NEG_INF);
+        assert_ne!(big, small);
+    }
+
+    #[test]
+    fn quantize_to_bytes_layout() {
+        let q = Quantizer::new(1.0).unwrap();
+        let mut buf = Vec::new();
+        q.quantize_to_bytes(&[2.5, -1.5], &mut buf);
+        assert_eq!(buf.len(), 16);
+        assert_eq!(
+            i64::from_le_bytes(buf[..8].try_into().unwrap()),
+            2,
+            "floor(2.5/1.0)"
+        );
+        assert_eq!(
+            i64::from_le_bytes(buf[8..].try_into().unwrap()),
+            -2,
+            "floor(-1.5/1.0)"
+        );
+    }
+
+    #[test]
+    fn differs_matches_absolute_predicate() {
+        let q = Quantizer::new(1e-2).unwrap();
+        assert!(!q.differs(1.0, 1.0 + 9e-3));
+        assert!(q.differs(1.0, 1.0 + 2e-2));
+        assert!(!q.differs(-1.0, -1.0));
+    }
+}

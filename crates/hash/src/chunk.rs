@@ -1,0 +1,207 @@
+//! Block-chained error-bounded chunk hashing.
+//!
+//! A checkpoint is split into fixed-size *chunks* (the Merkle-tree
+//! leaves). Inside a chunk the paper serializes hashing at the
+//! granularity of 128-bit blocks: block *k* is hashed with the digest of
+//! block *k−1* as seed, so the final digest reflects every quantized
+//! value in the chunk while the hash primitive only ever sees small,
+//! fixed-size inputs. Across chunks everything is embarrassingly
+//! parallel.
+
+use crate::bounded::Quantizer;
+use crate::murmur3::{Digest128, Murmur3x64_128};
+
+/// Default block size in bytes (128 bits, the paper's granularity).
+pub const DEFAULT_BLOCK_BYTES: usize = 16;
+
+/// Hashes chunks of `f32` data under an error bound.
+///
+/// The hasher owns a [`Quantizer`]; two `ChunkHasher`s built from equal
+/// quantizers produce identical digests for inputs that agree within the
+/// bound's grid.
+///
+/// ```
+/// use reprocmp_hash::{bounded::Quantizer, chunk::ChunkHasher};
+/// let hasher = ChunkHasher::new(Quantizer::new(1e-4).unwrap());
+/// let a = vec![1.0f32; 256];
+/// let mut b = a.clone();
+/// b[200] += 5e-5; // inside the bound and inside the same grid cell
+/// assert_eq!(hasher.hash_chunk(&a), hasher.hash_chunk(&a));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChunkHasher {
+    quantizer: Quantizer,
+    block_bytes: usize,
+}
+
+impl ChunkHasher {
+    /// Creates a hasher with the default 128-bit block size.
+    #[must_use]
+    pub fn new(quantizer: Quantizer) -> Self {
+        ChunkHasher {
+            quantizer,
+            block_bytes: DEFAULT_BLOCK_BYTES,
+        }
+    }
+
+    /// Creates a hasher with a custom block size in bytes.
+    ///
+    /// The block-based scheme "allows integration with any hashing
+    /// algorithm, as the block size is variable" — larger blocks trade
+    /// chain length for per-call throughput. `block_bytes` is clamped to
+    /// at least 8 (one quantized code).
+    #[must_use]
+    pub fn with_block_bytes(quantizer: Quantizer, block_bytes: usize) -> Self {
+        ChunkHasher {
+            quantizer,
+            block_bytes: block_bytes.max(8),
+        }
+    }
+
+    /// The quantizer (and thus the error bound) in use.
+    #[must_use]
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// The chaining block size in bytes.
+    #[must_use]
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// Hashes one chunk of floats: quantize, then chain 128-bit blocks.
+    #[must_use]
+    pub fn hash_chunk(&self, chunk: &[f32]) -> Digest128 {
+        let mut scratch = Vec::new();
+        self.hash_chunk_with_scratch(chunk, &mut scratch)
+    }
+
+    /// Like [`ChunkHasher::hash_chunk`] but reuses a scratch buffer, the
+    /// form used by the data-parallel tree builder to avoid per-chunk
+    /// allocation.
+    #[must_use]
+    pub fn hash_chunk_with_scratch(&self, chunk: &[f32], scratch: &mut Vec<u8>) -> Digest128 {
+        self.quantizer.quantize_to_bytes(chunk, scratch);
+        self.hash_quantized_bytes(scratch)
+    }
+
+    /// Hashes pre-quantized little-endian code bytes with block chaining.
+    #[must_use]
+    pub fn hash_quantized_bytes(&self, bytes: &[u8]) -> Digest128 {
+        let mut digest = Digest128::ZERO;
+        if bytes.is_empty() {
+            // An empty chunk gets a defined digest distinct from the zero
+            // sentinel. The single marker byte cannot collide with real
+            // chunks, whose quantized byte length is always a multiple of 8.
+            return Murmur3x64_128::with_digest_seed(digest).hash(&[0x45]);
+        }
+        for block in bytes.chunks(self.block_bytes) {
+            digest = Murmur3x64_128::with_digest_seed(digest).hash(block);
+        }
+        digest
+    }
+
+    /// Hashes an entire buffer split into `chunk_len`-value chunks,
+    /// returning one digest per chunk (the Merkle leaves).
+    ///
+    /// The final chunk may be short. `chunk_len` must be non-zero.
+    #[must_use]
+    pub fn hash_leaves(&self, data: &[f32], chunk_len: usize) -> Vec<Digest128> {
+        assert!(chunk_len > 0, "chunk_len must be non-zero");
+        let mut scratch = Vec::new();
+        data.chunks(chunk_len)
+            .map(|c| self.hash_chunk_with_scratch(c, &mut scratch))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hasher(bound: f64) -> ChunkHasher {
+        ChunkHasher::new(Quantizer::new(bound).unwrap())
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = hasher(1e-5);
+        let data: Vec<f32> = (0..512).map(|i| (i as f32).sin()).collect();
+        assert_eq!(h.hash_chunk(&data), h.hash_chunk(&data));
+    }
+
+    #[test]
+    fn change_above_bound_changes_digest() {
+        let h = hasher(1e-5);
+        let a: Vec<f32> = (0..512).map(|i| i as f32 * 0.1).collect();
+        let mut b = a.clone();
+        b[511] += 1e-3;
+        assert_ne!(h.hash_chunk(&a), h.hash_chunk(&b));
+    }
+
+    #[test]
+    fn first_element_change_propagates_through_chain() {
+        let h = hasher(1e-5);
+        let a: Vec<f32> = vec![0.0; 1024];
+        let mut b = a.clone();
+        b[0] = 1.0;
+        assert_ne!(h.hash_chunk(&a), h.hash_chunk(&b));
+    }
+
+    #[test]
+    fn same_grid_cell_same_digest() {
+        let h = hasher(1e-2);
+        // 0.105 and 0.1075 both land in cell floor(x/0.01) = 10.
+        let a = vec![0.105f32; 64];
+        let b = vec![0.1075f32; 64];
+        assert_eq!(h.hash_chunk(&a), h.hash_chunk(&b));
+    }
+
+    #[test]
+    fn block_size_changes_digest_but_not_equality_semantics() {
+        let q = Quantizer::new(1e-4).unwrap();
+        let h16 = ChunkHasher::with_block_bytes(q, 16);
+        let h64 = ChunkHasher::with_block_bytes(q, 64);
+        let data: Vec<f32> = (0..256).map(|i| i as f32 * 0.3).collect();
+        // Different block sizes give different digests…
+        assert_ne!(h16.hash_chunk(&data), h64.hash_chunk(&data));
+        // …but each is self-consistent.
+        assert_eq!(h64.hash_chunk(&data), h64.hash_chunk(&data));
+    }
+
+    #[test]
+    fn empty_and_singleton_chunks_are_defined_and_distinct() {
+        let h = hasher(1e-3);
+        let empty = h.hash_chunk(&[]);
+        let one = h.hash_chunk(&[0.0]);
+        assert_ne!(empty, one);
+        assert_ne!(empty, Digest128::ZERO);
+    }
+
+    #[test]
+    fn hash_leaves_counts_and_tail() {
+        let h = hasher(1e-3);
+        let data: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let leaves = h.hash_leaves(&data, 30);
+        assert_eq!(leaves.len(), 4); // 30+30+30+10
+                                     // Tail chunk digest must differ from a full chunk of same prefix.
+        let full = h.hash_chunk(&data[90..100]);
+        assert_eq!(leaves[3], full);
+    }
+
+    #[test]
+    fn order_matters_within_chunk() {
+        let h = hasher(1e-3);
+        let a = vec![1.0f32, 2.0, 3.0, 4.0];
+        let b = vec![4.0f32, 3.0, 2.0, 1.0];
+        assert_ne!(h.hash_chunk(&a), h.hash_chunk(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len")]
+    fn zero_chunk_len_panics() {
+        let h = hasher(1e-3);
+        let _ = h.hash_leaves(&[1.0], 0);
+    }
+}

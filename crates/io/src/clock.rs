@@ -1,0 +1,127 @@
+//! Virtual and wall-clock time sources.
+//!
+//! All storage backends charge their modeled costs against a shared
+//! [`SimClock`]; the comparison engine reads phase durations from a
+//! [`Timeline`], which is either that virtual clock or the real one.
+//! Using virtual time makes every experiment deterministic and lets a
+//! laptop reproduce the *shape* of numbers measured on a Lustre file
+//! system.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared, monotonically advancing virtual clock.
+///
+/// Cloning is cheap; clones observe and advance the same instant.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: Arc<Mutex<Duration>>,
+}
+
+impl SimClock {
+    /// A clock starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Duration {
+        *self.now.lock()
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    pub fn advance(&self, d: Duration) -> Duration {
+        let mut now = self.now.lock();
+        *now += d;
+        *now
+    }
+
+    /// Moves the clock forward *to* `t` if `t` is later than now
+    /// (overlapped operations complete at their own time; the clock
+    /// tracks the latest completion).
+    pub fn advance_to(&self, t: Duration) -> Duration {
+        let mut now = self.now.lock();
+        if t > *now {
+            *now = t;
+        }
+        *now
+    }
+}
+
+/// A time source for measuring phase durations: either wall-clock or a
+/// [`SimClock`].
+#[derive(Debug, Clone)]
+pub enum Timeline {
+    /// Real time, anchored at construction.
+    Wall(Instant),
+    /// Virtual time from the simulated storage stack.
+    Sim(SimClock),
+}
+
+impl Timeline {
+    /// A wall-clock timeline anchored now.
+    #[must_use]
+    pub fn wall() -> Self {
+        Timeline::Wall(Instant::now())
+    }
+
+    /// A timeline that reads the given virtual clock.
+    #[must_use]
+    pub fn sim(clock: SimClock) -> Self {
+        Timeline::Sim(clock)
+    }
+
+    /// Elapsed time since the anchor (wall) or the virtual now (sim).
+    #[must_use]
+    pub fn now(&self) -> Duration {
+        match self {
+            Timeline::Wall(start) => start.elapsed(),
+            Timeline::Sim(clock) => clock.now(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_and_is_shared() {
+        let c = SimClock::new();
+        let c2 = c.clone();
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c2.now(), Duration::from_millis(5));
+        c2.advance(Duration::from_millis(7));
+        assert_eq!(c.now(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let c = SimClock::new();
+        c.advance(Duration::from_secs(10));
+        c.advance_to(Duration::from_secs(3));
+        assert_eq!(c.now(), Duration::from_secs(10));
+        c.advance_to(Duration::from_secs(15));
+        assert_eq!(c.now(), Duration::from_secs(15));
+    }
+
+    #[test]
+    fn sim_timeline_reads_clock() {
+        let c = SimClock::new();
+        let t = Timeline::sim(c.clone());
+        let before = t.now();
+        c.advance(Duration::from_micros(250));
+        assert_eq!(t.now() - before, Duration::from_micros(250));
+    }
+
+    #[test]
+    fn wall_timeline_is_monotonic() {
+        let t = Timeline::wall();
+        let a = t.now();
+        let b = t.now();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,236 @@
+//! Fault injection for storage.
+//!
+//! A comparison runtime that drives thousands of scattered reads
+//! through worker pools must surface device errors cleanly: no hangs,
+//! no partial results silently reported as complete. [`FaultyStorage`]
+//! wraps any [`Storage`] and fails reads according to a
+//! [`FaultPlan`], letting tests (and chaos-minded users) exercise
+//! every error path in the rings, the pipeline, and the engine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::cost::OpSpec;
+use crate::storage::{AccessMode, Storage};
+use crate::{IoError, IoResult};
+
+/// When to inject a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Never fail (pass-through).
+    None,
+    /// Fail every `n`-th read (1-based: `n = 1` fails every read).
+    EveryNth {
+        /// Period of failure injection.
+        n: u64,
+    },
+    /// Fail all reads once `bytes` have been served.
+    AfterBytes {
+        /// Budget of successfully served bytes.
+        bytes: u64,
+    },
+    /// Fail reads overlapping a byte range (a "bad sector").
+    Range {
+        /// First poisoned byte.
+        start: u64,
+        /// One past the last poisoned byte.
+        end: u64,
+    },
+}
+
+/// A fault-injecting wrapper around any storage object.
+#[derive(Debug)]
+pub struct FaultyStorage {
+    inner: Arc<dyn Storage>,
+    plan: FaultPlan,
+    reads: AtomicU64,
+    bytes_served: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultyStorage {
+    /// Wraps `inner` with the given plan.
+    #[must_use]
+    pub fn new(inner: Arc<dyn Storage>, plan: FaultPlan) -> Self {
+        FaultyStorage {
+            inner,
+            plan,
+            reads: AtomicU64::new(0),
+            bytes_served: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of failures injected so far.
+    #[must_use]
+    pub fn injected_faults(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn fault(&self) -> IoError {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        IoError::Os(std::io::Error::new(
+            std::io::ErrorKind::Other,
+            "injected device fault",
+        ))
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> IoResult<()> {
+        let read_no = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.plan {
+            FaultPlan::None => {}
+            FaultPlan::EveryNth { n } => {
+                if n > 0 && read_no % n == 0 {
+                    return Err(self.fault());
+                }
+            }
+            FaultPlan::AfterBytes { bytes } => {
+                if self.bytes_served.load(Ordering::Relaxed) >= bytes {
+                    return Err(self.fault());
+                }
+            }
+            FaultPlan::Range { start, end } => {
+                let rd_end = offset + buf.len() as u64;
+                if offset < end && rd_end > start {
+                    return Err(self.fault());
+                }
+            }
+        }
+        self.inner.read_at(offset, buf)?;
+        self.bytes_served
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn charge_batch(&self, ops: &[OpSpec], mode: AccessMode) {
+        self.inner.charge_batch(ops, mode);
+    }
+
+    fn elapsed(&self) -> Duration {
+        self.inner.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{read_all, BackendKind, PipelineConfig, StreamPipeline};
+    use crate::storage::MemStorage;
+    use crate::uring::UringSim;
+
+    fn base(n: usize) -> Arc<dyn Storage> {
+        Arc::new(MemStorage::free((0..n).map(|i| (i % 251) as u8).collect()))
+    }
+
+    #[test]
+    fn none_plan_is_transparent() {
+        let s = FaultyStorage::new(base(1024), FaultPlan::None);
+        let mut buf = vec![0u8; 64];
+        s.read_at(100, &mut buf).unwrap();
+        assert_eq!(buf[0], (100 % 251) as u8);
+        assert_eq!(s.injected_faults(), 0);
+    }
+
+    #[test]
+    fn every_nth_fails_on_schedule() {
+        let s = FaultyStorage::new(base(1024), FaultPlan::EveryNth { n: 3 });
+        let mut buf = vec![0u8; 8];
+        assert!(s.read_at(0, &mut buf).is_ok());
+        assert!(s.read_at(0, &mut buf).is_ok());
+        assert!(s.read_at(0, &mut buf).is_err());
+        assert!(s.read_at(0, &mut buf).is_ok());
+        assert_eq!(s.injected_faults(), 1);
+    }
+
+    #[test]
+    fn after_bytes_budget() {
+        let s = FaultyStorage::new(base(1024), FaultPlan::AfterBytes { bytes: 100 });
+        let mut buf = vec![0u8; 64];
+        assert!(s.read_at(0, &mut buf).is_ok()); // 64 served
+        assert!(s.read_at(0, &mut buf).is_ok()); // 128 served
+        assert!(s.read_at(0, &mut buf).is_err()); // over budget
+        assert_eq!(s.injected_faults(), 1);
+    }
+
+    #[test]
+    fn bad_sector_range() {
+        let s = FaultyStorage::new(base(1024), FaultPlan::Range { start: 500, end: 600 });
+        let mut buf = vec![0u8; 64];
+        assert!(s.read_at(0, &mut buf).is_ok());
+        assert!(s.read_at(450, &mut buf).is_err(), "overlaps 500..514");
+        assert!(s.read_at(600, &mut buf).is_ok(), "starts past the range");
+        assert!(s.read_at(590, &mut buf).is_err());
+    }
+
+    #[test]
+    fn ring_surfaces_injected_faults_without_hanging() {
+        let faulty = Arc::new(FaultyStorage::new(
+            base(1 << 16),
+            FaultPlan::EveryNth { n: 5 },
+        ));
+        let mut ring = UringSim::with_arc(faulty.clone(), 4, 16);
+        let ops: Vec<OpSpec> = (0..20).map(|i| (i * 1000, 64)).collect();
+        let err = ring.read_scattered(&ops).unwrap_err();
+        assert!(matches!(err, IoError::Os(_)));
+        assert!(faulty.injected_faults() >= 1);
+        // The ring is still usable for future submissions after an
+        // error batch.
+        drop(ring);
+    }
+
+    #[test]
+    fn pipeline_terminates_cleanly_on_fault() {
+        let faulty = Arc::new(FaultyStorage::new(
+            base(1 << 16),
+            FaultPlan::AfterBytes { bytes: 4096 },
+        )) as Arc<dyn Storage>;
+        let ops: Vec<OpSpec> = (0..32).map(|i| (i * 2048, 512)).collect();
+        let cfg = PipelineConfig {
+            backend: BackendKind::Uring,
+            slice_bytes: 1024,
+            ..PipelineConfig::default()
+        };
+        let mut pipeline = StreamPipeline::start(faulty, ops, cfg);
+        let mut oks = 0;
+        let mut errs = 0;
+        while let Some(result) = pipeline.next_slice() {
+            match result {
+                Ok(_) => oks += 1,
+                Err(_) => errs += 1,
+            }
+        }
+        assert!(oks >= 1, "some slices succeed before the budget");
+        assert_eq!(errs, 1, "the stream ends at the first error");
+    }
+
+    #[test]
+    fn read_all_propagates_first_error() {
+        let faulty = Arc::new(FaultyStorage::new(
+            base(1 << 14),
+            FaultPlan::Range {
+                start: 8192, // overlaps the op at offset 8*1024
+                end: 8300,
+            },
+        )) as Arc<dyn Storage>;
+        let ops: Vec<OpSpec> = (0..16).map(|i| (i * 1024, 256)).collect();
+        let err = read_all(faulty, &ops, PipelineConfig::default()).unwrap_err();
+        assert!(matches!(err, IoError::Os(_)));
+    }
+
+    #[test]
+    fn cost_charging_passes_through() {
+        let mem = MemStorage::with_model(vec![0u8; 8192], crate::cost::CostModel::lustre_pfs());
+        let clock = mem.clock();
+        let s = FaultyStorage::new(Arc::new(mem), FaultPlan::None);
+        s.charge_batch(&[(0, 4096)], AccessMode::Sync);
+        assert!(clock.now() > Duration::ZERO);
+        assert_eq!(s.elapsed(), clock.now());
+    }
+}

@@ -1,0 +1,112 @@
+//! Storage and asynchronous I/O substrate.
+//!
+//! The paper's runtime reads checkpoint data from a Lustre parallel file
+//! system through io_uring and overlaps those reads with GPU compute.
+//! This crate rebuilds that stack at laptop scale:
+//!
+//! * [`clock::SimClock`] / [`clock::Timeline`] — a shared virtual clock,
+//!   so experiments measure *modeled* storage time deterministically
+//!   (real wall-clock timing is available through the same interface).
+//! * [`cost::CostModel`] — a parallel-file-system cost model: per-op
+//!   submission latency, seek latency for discontiguous access, device
+//!   bandwidth, and a queue depth over which asynchronous backends
+//!   amortize seeks. Presets exist for a Lustre-like PFS and a node-local
+//!   NVMe tier.
+//! * [`storage::Storage`] — positioned-read/write storage; implemented by
+//!   [`storage::MemStorage`] (in-memory, cost-charged through the model +
+//!   clock) and [`storage::StdFsStorage`] (real files, for the CLI).
+//! * [`uring::UringSim`] — an io_uring-style engine: submission and
+//!   completion rings drained by worker threads; batched scattered reads
+//!   amortize seek latency across the queue depth, exactly the property
+//!   the paper's Figure 9 measures.
+//! * [`mmap::MmapSim`] — the synchronous, page-fault-per-page backend
+//!   io_uring is compared against.
+//! * [`pipeline::StreamPipeline`] — the double-buffered I/O ⇄ compute
+//!   overlap of the paper's Figure 3.
+//!
+//! # Example
+//!
+//! ```
+//! use reprocmp_io::cost::CostModel;
+//! use reprocmp_io::storage::{MemStorage, Storage};
+//! use reprocmp_io::uring::UringSim;
+//!
+//! // A 1 MiB "checkpoint" on the simulated PFS.
+//! let data: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
+//! let storage = MemStorage::with_model(data.clone(), CostModel::lustre_pfs());
+//!
+//! let mut ring = UringSim::new(storage.clone(), 2, 64);
+//! let got = ring.read_scattered(&[(4096, 64), (900_000, 64)]).unwrap();
+//! assert_eq!(&got[0][..], &data[4096..4096 + 64]);
+//! assert!(storage.elapsed() > std::time::Duration::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod clock;
+pub mod cost;
+pub mod fault;
+pub mod mmap;
+pub mod pipeline;
+pub mod storage;
+pub mod striped;
+pub mod uring;
+
+pub use clock::{SimClock, Timeline};
+pub use cost::CostModel;
+pub use fault::{FaultPlan, FaultyStorage};
+pub use mmap::MmapSim;
+pub use pipeline::{PipelineConfig, StreamPipeline};
+pub use storage::{MemStorage, StdFsStorage, Storage};
+pub use striped::StripedStorage;
+pub use uring::UringSim;
+
+/// Crate-wide I/O error type.
+#[derive(Debug)]
+pub enum IoError {
+    /// A read or write fell outside the storage object's bounds.
+    OutOfBounds {
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: usize,
+        /// Storage size.
+        size: u64,
+    },
+    /// The underlying operating-system file operation failed.
+    Os(std::io::Error),
+    /// An I/O worker thread disappeared (channel closed).
+    EngineShutDown,
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::OutOfBounds { offset, len, size } => write!(
+                f,
+                "read of {len} bytes at offset {offset} exceeds storage size {size}"
+            ),
+            IoError::Os(e) => write!(f, "os i/o error: {e}"),
+            IoError::EngineShutDown => write!(f, "i/o engine has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Os(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Os(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type IoResult<T> = Result<T, IoError>;

@@ -1,0 +1,118 @@
+//! Property tests of the I/O substrate: cost-model monotonicity and
+//! data-integrity of the engines under arbitrary access patterns.
+
+use proptest::prelude::*;
+use reprocmp_io::cost::{CostModel, OpSpec};
+use reprocmp_io::{MemStorage, MmapSim, Storage, UringSim};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn arbitrary_ops(file_len: usize) -> impl Strategy<Value = Vec<OpSpec>> {
+    proptest::collection::vec(
+        (0usize..file_len.saturating_sub(1), 1usize..4096),
+        1..40,
+    )
+    .prop_map(move |raw| {
+        raw.into_iter()
+            .map(|(off, len)| {
+                let len = len.min(file_len - off);
+                (off as u64, len.max(1))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Async batches never cost more than synchronous ones.
+    #[test]
+    fn async_never_slower_than_sync(ops in arbitrary_ops(1 << 20), depth in 1usize..256) {
+        let m = CostModel::lustre_pfs();
+        prop_assert!(m.async_batch_time(&ops, depth) <= m.sync_batch_time(&ops));
+    }
+
+    /// Deeper queues never increase async cost.
+    #[test]
+    fn deeper_queues_monotone(ops in arbitrary_ops(1 << 20), d1 in 1usize..64, d2 in 1usize..64) {
+        let m = CostModel::lustre_pfs();
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(m.async_batch_time(&ops, hi) <= m.async_batch_time(&ops, lo));
+    }
+
+    /// Splitting one contiguous read into more requests never gets
+    /// cheaper (the per-request RPC term).
+    #[test]
+    fn more_requests_never_cheaper(bytes in 1u64 << 16..1 << 26, n1 in 1usize..64, n2 in 1usize..64) {
+        let m = CostModel::lustre_pfs();
+        let (few, many) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        prop_assert!(m.contiguous_read_time(bytes, few) <= m.contiguous_read_time(bytes, many) + Duration::from_nanos(1));
+    }
+
+    /// Seek counting: concatenating two batches never counts fewer
+    /// seeks than the second batch alone would add beyond one join.
+    #[test]
+    fn seek_count_is_sane(ops in arbitrary_ops(1 << 18)) {
+        let seeks = CostModel::count_seeks(&ops);
+        prop_assert!(seeks >= 1);
+        prop_assert!(seeks <= ops.len());
+    }
+
+    /// The ring returns exactly the bytes the storage holds, for any
+    /// op layout, thread count, and queue depth.
+    #[test]
+    fn uring_round_trips_arbitrary_patterns(
+        ops in arbitrary_ops(1 << 16),
+        threads in 1usize..6,
+        depth in 1usize..64,
+    ) {
+        let data: Vec<u8> = (0..1 << 16).map(|i| (i % 251) as u8).collect();
+        let mut ring = UringSim::new(MemStorage::free(data.clone()), threads, depth);
+        let bufs = ring.read_scattered(&ops).unwrap();
+        for (buf, &(off, len)) in bufs.iter().zip(&ops) {
+            prop_assert_eq!(&buf[..], &data[off as usize..off as usize + len]);
+        }
+    }
+
+    /// The mmap view agrees with direct storage reads for any pattern
+    /// and readahead setting, with or without eviction in between.
+    #[test]
+    fn mmap_round_trips_arbitrary_patterns(
+        ops in arbitrary_ops(1 << 16),
+        readahead in 1usize..64,
+        evict_at in any::<proptest::sample::Index>(),
+    ) {
+        let data: Vec<u8> = (0..1 << 16).map(|i| (i % 249) as u8).collect();
+        let map = MmapSim::with_arc(
+            Arc::new(MemStorage::free(data.clone())),
+            4096,
+        )
+        .with_readahead(readahead);
+        let evict_idx = evict_at.index(ops.len());
+        for (i, &(off, len)) in ops.iter().enumerate() {
+            if i == evict_idx {
+                map.evict_all();
+            }
+            let buf = map.read(off, len).unwrap();
+            prop_assert_eq!(&buf[..], &data[off as usize..off as usize + len]);
+        }
+    }
+
+    /// Charged storage: total elapsed only ever grows, however reads
+    /// interleave.
+    #[test]
+    fn virtual_time_is_monotone(ops in arbitrary_ops(1 << 16), sync_mask in any::<u64>()) {
+        use reprocmp_io::storage::AccessMode;
+        let s = MemStorage::with_model(vec![0u8; 1 << 16], CostModel::lustre_pfs());
+        let mut last = Duration::ZERO;
+        for (i, op) in ops.iter().enumerate() {
+            let mode = if sync_mask >> (i % 64) & 1 == 1 {
+                AccessMode::Sync
+            } else {
+                AccessMode::Async { depth: 16 }
+            };
+            s.charge_batch(std::slice::from_ref(op), mode);
+            let now = s.elapsed();
+            prop_assert!(now >= last);
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Level-synchronous breadth-first tree comparison with pruning.
+//!
+//! Starting at the root wastes parallel lanes: the top levels have fewer
+//! nodes than the device has threads. The paper therefore starts the
+//! search *in the middle of the tree* — at the first level whose width
+//! is at least the device's concurrency — comparing every node of that
+//! level in one kernel. From there:
+//!
+//! * matching nodes prune their whole subtree (the conservative hash
+//!   guarantees nothing above the bound hides below them);
+//! * mismatching nodes enqueue their children;
+//! * the frontier advances one level per kernel until the leaves.
+//!
+//! Mismatched *leaves* are the output: the set of chunks that stage two
+//! must stream back from the PFS and verify element-wise.
+
+use reprocmp_device::{Device, Workload};
+
+use crate::tree::MerkleTree;
+
+/// Why two trees could not be compared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeCompareError {
+    /// Trees disagree in leaf count, chunk size, payload size, or error
+    /// bound; node-for-node comparison would be meaningless.
+    IncompatibleShape {
+        /// Geometry of the first tree, `(leaves, chunk_bytes, data_len)`.
+        a: (usize, usize, u64),
+        /// Geometry of the second tree.
+        b: (usize, usize, u64),
+    },
+}
+
+impl std::fmt::Display for TreeCompareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeCompareError::IncompatibleShape { a, b } => write!(
+                f,
+                "trees are not comparable: {a:?} vs {b:?} (leaves, chunk bytes, data len)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TreeCompareError {}
+
+/// The result of a pruning BFS over two trees.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompareOutcome {
+    /// Chunk indices whose leaf digests differ — stage two's work list.
+    pub mismatched_leaves: Vec<usize>,
+    /// Total node pairs whose digests were compared.
+    pub nodes_visited: usize,
+    /// Levels the BFS descended through (including the start level).
+    pub levels_descended: usize,
+    /// Frontier nodes that matched, each pruning a whole subtree.
+    pub pruned_subtrees: usize,
+}
+
+impl CompareOutcome {
+    /// True when the two checkpoints agree everywhere within the bound
+    /// (up to hash false positives, which are zero here by definition —
+    /// an empty mismatch list needs no verification at all).
+    #[must_use]
+    pub fn identical(&self) -> bool {
+        self.mismatched_leaves.is_empty()
+    }
+}
+
+/// Compares two trees with a pruning BFS starting mid-tree.
+///
+/// `lane_hint` is the concurrency the start level should saturate; pass
+/// [`Device::concurrent_kernel_threads`] for fidelity with the paper (a
+/// GPU wants tens of thousands of lanes busy) or a small number to
+/// start near the root.
+///
+/// # Errors
+///
+/// [`TreeCompareError::IncompatibleShape`] when the trees cannot be
+/// compared node-for-node.
+pub fn compare_trees(
+    a: &MerkleTree,
+    b: &MerkleTree,
+    device: &Device,
+    lane_hint: usize,
+) -> Result<CompareOutcome, TreeCompareError> {
+    if !a.comparable(b) {
+        return Err(TreeCompareError::IncompatibleShape {
+            a: (a.leaf_count(), a.chunk_bytes(), a.data_len()),
+            b: (b.leaf_count(), b.chunk_bytes(), b.data_len()),
+        });
+    }
+
+    let levels = a.levels();
+    let leaf_level = levels - 1;
+    let start_level = start_level_for(levels, lane_hint.max(1));
+
+    let mut outcome = CompareOutcome::default();
+    // Frontier of flat node indices still in question.
+    let mut frontier: Vec<usize> = a.level_range(start_level).collect();
+
+    for level in start_level..levels {
+        if frontier.is_empty() {
+            break;
+        }
+        outcome.levels_descended += 1;
+        outcome.nodes_visited += frontier.len();
+
+        // One kernel: compare every frontier pair. 32 bytes read per
+        // node pair, one comparison op.
+        let w = Workload::new((frontier.len() * 32) as u64, frontier.len() as u64);
+        let frontier_ref = &frontier;
+        let mismatch: Vec<bool> = device.parallel_map(frontier.len(), w, |i| {
+            let idx = frontier_ref[i];
+            a.node(idx) != b.node(idx)
+        });
+
+        let mut next = Vec::new();
+        let leaf_base = a.leaf_base();
+        for (i, &idx) in frontier.iter().enumerate() {
+            if !mismatch[i] {
+                outcome.pruned_subtrees += 1;
+                continue;
+            }
+            if level == leaf_level {
+                let leaf_index = idx - leaf_base;
+                // Padded sentinel leaves are identical by construction,
+                // so a mismatching leaf is always a real chunk.
+                debug_assert!(leaf_index < a.leaf_count());
+                outcome.mismatched_leaves.push(leaf_index);
+            } else {
+                next.push(2 * idx + 1);
+                next.push(2 * idx + 2);
+            }
+        }
+        frontier = next;
+    }
+
+    outcome.mismatched_leaves.sort_unstable();
+    Ok(outcome)
+}
+
+/// The first level (from the root) whose width is at least `lanes`,
+/// clamped to the leaf level.
+fn start_level_for(levels: usize, lanes: usize) -> usize {
+    let leaf_level = levels - 1;
+    for l in 0..levels {
+        if (1usize << l) >= lanes {
+            return l.min(leaf_level);
+        }
+    }
+    leaf_level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reprocmp_device::Device;
+    use reprocmp_hash::{ChunkHasher, Quantizer};
+
+    fn hasher(bound: f64) -> ChunkHasher {
+        ChunkHasher::new(Quantizer::new(bound).unwrap())
+    }
+
+    fn tree(data: &[f32], chunk_bytes: usize, bound: f64) -> MerkleTree {
+        MerkleTree::build_from_f32(data, chunk_bytes, &hasher(bound), &Device::host_serial())
+    }
+
+    fn base_data(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.11).cos() * 3.0).collect()
+    }
+
+    /// Reference: brute-force leaf scan.
+    fn leaf_scan(a: &MerkleTree, b: &MerkleTree) -> Vec<usize> {
+        (0..a.leaf_count()).filter(|&i| a.leaf(i) != b.leaf(i)).collect()
+    }
+
+    #[test]
+    fn identical_trees_prune_everything_at_start_level() {
+        let d = base_data(4096);
+        let a = tree(&d, 128, 1e-5);
+        let b = tree(&d, 128, 1e-5);
+        let out = compare_trees(&a, &b, &Device::host_serial(), 8).unwrap();
+        assert!(out.identical());
+        assert_eq!(out.levels_descended, 1);
+        assert_eq!(out.nodes_visited, 8);
+        assert_eq!(out.pruned_subtrees, 8);
+    }
+
+    #[test]
+    fn finds_exactly_the_changed_chunks() {
+        let d = base_data(8192);
+        let mut d2 = d.clone();
+        // chunk_bytes 256 = 64 floats per chunk; change floats in chunks 3, 64, 100.
+        d2[3 * 64 + 5] += 1.0;
+        d2[64 * 64] += 1.0;
+        d2[100 * 64 + 63] += 1.0;
+        let a = tree(&d, 256, 1e-5);
+        let b = tree(&d2, 256, 1e-5);
+        let out = compare_trees(&a, &b, &Device::host_parallel(4), 16).unwrap();
+        assert_eq!(out.mismatched_leaves, vec![3, 64, 100]);
+        assert_eq!(out.mismatched_leaves, leaf_scan(&a, &b));
+    }
+
+    #[test]
+    fn bfs_agrees_with_leaf_scan_for_all_lane_hints() {
+        let d = base_data(5000);
+        let mut d2 = d.clone();
+        for i in (0..5000).step_by(997) {
+            d2[i] += 0.7;
+        }
+        let a = tree(&d, 100, 1e-6);
+        let b = tree(&d2, 100, 1e-6);
+        let expect = leaf_scan(&a, &b);
+        for lanes in [1, 2, 7, 64, 1_000_000] {
+            let out = compare_trees(&a, &b, &Device::host_serial(), lanes).unwrap();
+            assert_eq!(out.mismatched_leaves, expect, "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn pruning_visits_far_fewer_nodes_than_full_scan_when_localized() {
+        let d = base_data(1 << 16); // 65536 floats, 64B chunks -> 4096 leaves
+        let mut d2 = d.clone();
+        d2[12345] += 2.0; // one chunk differs
+        let a = tree(&d, 64, 1e-5);
+        let b = tree(&d2, 64, 1e-5);
+        let out = compare_trees(&a, &b, &Device::host_serial(), 32).unwrap();
+        assert_eq!(out.mismatched_leaves.len(), 1);
+        // Start level width 32, then one path down ~7 more levels of 2.
+        assert!(
+            out.nodes_visited < 64,
+            "visited {} nodes out of {}",
+            out.nodes_visited,
+            a.node_count()
+        );
+    }
+
+    #[test]
+    fn all_chunks_differing_visits_whole_subtree_below_start() {
+        let d = base_data(1024);
+        let d2: Vec<f32> = d.iter().map(|&x| x + 1.0).collect();
+        let a = tree(&d, 16, 1e-5); // 4 floats per chunk -> 256 leaves
+        let b = tree(&d2, 16, 1e-5);
+        let out = compare_trees(&a, &b, &Device::host_serial(), 1).unwrap();
+        assert_eq!(out.mismatched_leaves.len(), 256);
+        assert_eq!(out.pruned_subtrees, 0);
+    }
+
+    #[test]
+    fn incompatible_shapes_error() {
+        let d = base_data(1024);
+        let a = tree(&d, 64, 1e-5);
+        let b = tree(&d, 128, 1e-5);
+        let err = compare_trees(&a, &b, &Device::host_serial(), 4).unwrap_err();
+        assert!(matches!(err, TreeCompareError::IncompatibleShape { .. }));
+        assert!(err.to_string().contains("not comparable"));
+    }
+
+    #[test]
+    fn different_bounds_are_incomparable() {
+        let d = base_data(1024);
+        let a = tree(&d, 64, 1e-5);
+        let b = tree(&d, 64, 1e-4);
+        assert!(compare_trees(&a, &b, &Device::host_serial(), 4).is_err());
+    }
+
+    #[test]
+    fn start_level_selection() {
+        // 5 levels: widths 1,2,4,8,16.
+        assert_eq!(start_level_for(5, 1), 0);
+        assert_eq!(start_level_for(5, 2), 1);
+        assert_eq!(start_level_for(5, 5), 3);
+        assert_eq!(start_level_for(5, 16), 4);
+        assert_eq!(start_level_for(5, 1_000), 4); // clamped to leaves
+        assert_eq!(start_level_for(1, 64), 0); // single-node tree
+    }
+
+    #[test]
+    fn single_leaf_trees_compare() {
+        let a = tree(&[1.0, 2.0], 4096, 1e-5);
+        let mut big = vec![1.0f32, 2.0];
+        big[1] += 1.0;
+        let b = tree(&big, 4096, 1e-5);
+        let out = compare_trees(&a, &b, &Device::host_serial(), 128).unwrap();
+        assert_eq!(out.mismatched_leaves, vec![0]);
+    }
+
+    #[test]
+    fn sim_gpu_compare_matches_serial() {
+        let d = base_data(4096);
+        let mut d2 = d.clone();
+        d2[100] += 1.0;
+        d2[4000] += 1.0;
+        let a = tree(&d, 64, 1e-5);
+        let b = tree(&d2, 64, 1e-5);
+        let gpu = Device::sim_gpu();
+        let out_gpu =
+            compare_trees(&a, &b, &gpu, gpu.concurrent_kernel_threads()).unwrap();
+        let out_ser = compare_trees(&a, &b, &Device::host_serial(), 1).unwrap();
+        assert_eq!(out_gpu.mismatched_leaves, out_ser.mismatched_leaves);
+    }
+}

@@ -1,0 +1,48 @@
+//! GPU-style flattened Merkle trees over error-bounded chunk hashes.
+//!
+//! A checkpoint's *compact metadata* is a complete binary tree whose
+//! leaves are the error-bounded digests of its chunks and whose interior
+//! nodes hash their two children ([`reprocmp_hash::Digest128::combine`]).
+//! The tree is stored as a flat array — Merkle trees here never change
+//! shape after construction, and flat indexing (`parent = (i-1)/2`,
+//! `children = 2i+1, 2i+2`) turns every level into one data-parallel
+//! kernel with a single synchronization between levels, exactly the
+//! paper's Kokkos formulation.
+//!
+//! Comparison ([`compare::compare_trees`]) is a level-synchronous
+//! breadth-first search that *starts in the middle of the tree* (at the
+//! first level wide enough to occupy every execution lane) and prunes
+//! any subtree whose two root digests agree — the digests' conservative
+//! construction guarantees no difference above the error bound hides in
+//! a pruned subtree.
+//!
+//! # Example
+//!
+//! ```
+//! use reprocmp_device::Device;
+//! use reprocmp_hash::{ChunkHasher, Quantizer};
+//! use reprocmp_merkle::{compare_trees, MerkleTree};
+//!
+//! let hasher = ChunkHasher::new(Quantizer::new(1e-5).unwrap());
+//! let dev = Device::host_serial();
+//!
+//! let run1: Vec<f32> = (0..4096).map(|i| (i as f32).cos()).collect();
+//! let mut run2 = run1.clone();
+//! run2[3000] += 0.5; // diverges in chunk 3000*4/1024 = 11
+//!
+//! let a = MerkleTree::build_from_f32(&run1, 1024, &hasher, &dev);
+//! let b = MerkleTree::build_from_f32(&run2, 1024, &hasher, &dev);
+//! let outcome = compare_trees(&a, &b, &dev, 4).unwrap();
+//! assert_eq!(outcome.mismatched_leaves, vec![11]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod compare;
+pub mod serial;
+pub mod tree;
+
+pub use compare::{compare_trees, CompareOutcome, TreeCompareError};
+pub use serial::{decode_tree, encode_tree, TreeCodecError};
+pub use tree::MerkleTree;

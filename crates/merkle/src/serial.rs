@@ -1,0 +1,246 @@
+//! Merkle-tree metadata (de)serialization.
+//!
+//! The tree is the checkpoint's *compact metadata*, saved to the PFS
+//! next to the checkpoint at capture time and read back (instead of the
+//! checkpoint itself) at comparison time. The format is a fixed binary
+//! header followed by the flat digest array:
+//!
+//! ```text
+//! magic    [8]  b"RCMPMTR1"
+//! version  u32  (currently 1)
+//! leaves   u64  real leaf count
+//! chunk    u64  chunk size in bytes
+//! datalen  u64  original payload bytes
+//! bound    f64  absolute error bound (bit pattern)
+//! nodes    u64  node count (must be 2 * next_pow2(leaves) - 1)
+//! digests  [nodes * 16 bytes]
+//! ```
+//!
+//! Everything is little-endian.
+
+use bytes::{Buf, BufMut};
+use reprocmp_hash::Digest128;
+
+use crate::tree::MerkleTree;
+
+/// Format magic.
+pub const MAGIC: &[u8; 8] = b"RCMPMTR1";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 8 + 8;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeCodecError {
+    /// The buffer is shorter than a header or its declared digest array.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Header fields are inconsistent (node count vs leaf count, zero
+    /// sizes, non-finite bound).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for TreeCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeCodecError::Truncated { needed, got } => {
+                write!(f, "metadata truncated: need {needed} bytes, have {got}")
+            }
+            TreeCodecError::BadMagic => write!(f, "not reprocmp Merkle metadata (bad magic)"),
+            TreeCodecError::BadVersion(v) => write!(f, "unsupported metadata version {v}"),
+            TreeCodecError::Corrupt(what) => write!(f, "corrupt metadata: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeCodecError {}
+
+/// Serializes a tree to its on-disk representation.
+#[must_use]
+pub fn encode_tree(tree: &MerkleTree) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + tree.node_count() * 16);
+    out.put_slice(MAGIC);
+    out.put_u32_le(VERSION);
+    out.put_u64_le(tree.leaf_count() as u64);
+    out.put_u64_le(tree.chunk_bytes() as u64);
+    out.put_u64_le(tree.data_len());
+    out.put_f64_le(tree.error_bound());
+    out.put_u64_le(tree.node_count() as u64);
+    for node in tree.nodes() {
+        out.put_slice(&node.to_bytes());
+    }
+    out
+}
+
+/// Parses a tree from bytes produced by [`encode_tree`].
+///
+/// # Errors
+///
+/// Any [`TreeCodecError`] variant; the input is never trusted.
+pub fn decode_tree(mut buf: &[u8]) -> Result<MerkleTree, TreeCodecError> {
+    if buf.len() < HEADER_LEN {
+        return Err(TreeCodecError::Truncated {
+            needed: HEADER_LEN,
+            got: buf.len(),
+        });
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TreeCodecError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(TreeCodecError::BadVersion(version));
+    }
+    let leaves = buf.get_u64_le() as usize;
+    let chunk_bytes = buf.get_u64_le() as usize;
+    let data_len = buf.get_u64_le();
+    let bound = buf.get_f64_le();
+    let nodes_len = buf.get_u64_le() as usize;
+
+    if leaves == 0 {
+        return Err(TreeCodecError::Corrupt("zero leaf count"));
+    }
+    if chunk_bytes == 0 {
+        return Err(TreeCodecError::Corrupt("zero chunk size"));
+    }
+    if !(bound.is_finite() && bound > 0.0) {
+        return Err(TreeCodecError::Corrupt("invalid error bound"));
+    }
+    let expected_nodes = leaves
+        .checked_next_power_of_two()
+        .map(|p| 2 * p - 1)
+        .ok_or(TreeCodecError::Corrupt("leaf count overflow"))?;
+    if nodes_len != expected_nodes {
+        return Err(TreeCodecError::Corrupt("node count does not match leaves"));
+    }
+    let digest_bytes = nodes_len * 16;
+    if buf.remaining() < digest_bytes {
+        return Err(TreeCodecError::Truncated {
+            needed: HEADER_LEN + digest_bytes,
+            got: HEADER_LEN + buf.remaining(),
+        });
+    }
+
+    let mut nodes = Vec::with_capacity(nodes_len);
+    for _ in 0..nodes_len {
+        let mut raw = [0u8; 16];
+        buf.copy_to_slice(&mut raw);
+        nodes.push(Digest128::from_bytes(raw));
+    }
+
+    MerkleTree::from_parts(nodes, leaves, chunk_bytes, data_len, bound)
+        .ok_or(TreeCodecError::Corrupt("inconsistent geometry"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reprocmp_device::Device;
+    use reprocmp_hash::{ChunkHasher, Quantizer};
+
+    fn sample_tree() -> MerkleTree {
+        let data: Vec<f32> = (0..3000).map(|i| (i as f32).sqrt()).collect();
+        let h = ChunkHasher::new(Quantizer::new(1e-5).unwrap());
+        MerkleTree::build_from_f32(&data, 128, &h, &Device::host_serial())
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample_tree();
+        let bytes = encode_tree(&t);
+        let back = decode_tree(&bytes).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.error_bound(), 1e-5);
+        assert_eq!(back.chunk_bytes(), 128);
+    }
+
+    #[test]
+    fn encoded_size_matches_formula() {
+        let t = sample_tree();
+        let bytes = encode_tree(&t);
+        assert_eq!(bytes.len(), HEADER_LEN + t.node_count() * 16);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_tree(&sample_tree());
+        bytes[0] = b'X';
+        assert_eq!(decode_tree(&bytes), Err(TreeCodecError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode_tree(&sample_tree());
+        bytes[8] = 99;
+        assert!(matches!(
+            decode_tree(&bytes),
+            Err(TreeCodecError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_anywhere_rejected() {
+        let bytes = encode_tree(&sample_tree());
+        for cut in [0, 5, HEADER_LEN - 1, HEADER_LEN + 3, bytes.len() - 1] {
+            let err = decode_tree(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, TreeCodecError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_node_count_rejected() {
+        let mut bytes = encode_tree(&sample_tree());
+        // node count lives after magic(8)+ver(4)+leaves(8)+chunk(8)+datalen(8)+bound(8)
+        let off = 8 + 4 + 8 + 8 + 8 + 8;
+        bytes[off] ^= 0xff;
+        assert!(matches!(
+            decode_tree(&bytes),
+            Err(TreeCodecError::Corrupt(_)) | Err(TreeCodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_bound_rejected() {
+        let mut bytes = encode_tree(&sample_tree());
+        let off = 8 + 4 + 8 + 8 + 8;
+        for b in &mut bytes[off..off + 8] {
+            *b = 0xff; // NaN bit pattern
+        }
+        assert_eq!(
+            decode_tree(&bytes),
+            Err(TreeCodecError::Corrupt("invalid error bound"))
+        );
+    }
+
+    #[test]
+    fn flipped_digest_bit_changes_decoded_tree_not_validity() {
+        let t = sample_tree();
+        let mut bytes = encode_tree(&t);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let back = decode_tree(&bytes).unwrap();
+        assert_ne!(t, back);
+        assert!(t.comparable(&back));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = TreeCodecError::Truncated { needed: 100, got: 7 };
+        assert!(e.to_string().contains("100"));
+        assert!(TreeCodecError::BadMagic.to_string().contains("magic"));
+    }
+}

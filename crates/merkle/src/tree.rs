@@ -1,0 +1,521 @@
+//! The flattened Merkle tree and its data-parallel construction.
+
+use reprocmp_device::{Device, Workload};
+use reprocmp_hash::{ChunkHasher, Digest128};
+
+/// A complete binary Merkle tree stored as a flat array.
+///
+/// Leaves are padded up to the next power of two with
+/// [`Digest128::ZERO`] sentinels so every interior node has exactly two
+/// children; node `i`'s children are `2i+1` and `2i+2`, its parent
+/// `(i-1)/2`. Level `l` (root = level 0) spans indices
+/// `2^l - 1 .. 2^(l+1) - 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MerkleTree {
+    nodes: Vec<Digest128>,
+    leaf_count: usize,
+    chunk_bytes: usize,
+    data_len: u64,
+    error_bound: f64,
+}
+
+impl MerkleTree {
+    /// Builds a tree from pre-computed leaf digests.
+    ///
+    /// `chunk_bytes`, `data_len` and `error_bound` are recorded so two
+    /// trees can be checked for comparability. Interior levels are each
+    /// computed as one parallel kernel on `device`, bottom-up.
+    ///
+    /// # Panics
+    ///
+    /// If `leaves` is empty or `chunk_bytes` is zero.
+    #[must_use]
+    pub fn from_leaves(
+        leaves: Vec<Digest128>,
+        chunk_bytes: usize,
+        data_len: u64,
+        error_bound: f64,
+        device: &Device,
+    ) -> Self {
+        assert!(!leaves.is_empty(), "a tree needs at least one leaf");
+        assert!(chunk_bytes > 0, "chunk_bytes must be non-zero");
+        let leaf_count = leaves.len();
+        let padded = leaf_count.next_power_of_two();
+        let total = 2 * padded - 1;
+        let mut nodes = vec![Digest128::ZERO; total];
+
+        // Install leaves at the bottom level.
+        let leaf_base = padded - 1;
+        nodes[leaf_base..leaf_base + leaf_count].copy_from_slice(&leaves);
+
+        // Build interior levels bottom-up; one kernel per level, nodes
+        // within a level independent.
+        let mut level_width = padded / 2;
+        while level_width >= 1 {
+            let base = level_width - 1;
+            let (uppers, lowers) = nodes.split_at_mut(base + level_width);
+            let parents = &mut uppers[base..];
+            let children_base = base + level_width; // index of first child in `nodes`
+            let lowers_ref: &[Digest128] = lowers;
+            // Hash bytes: each parent reads 32 bytes, writes 16.
+            let w = Workload::new((level_width * 48) as u64, (level_width * 32) as u64);
+            device_level(device, parents, lowers_ref, children_base, base + level_width, w);
+            if level_width == 1 {
+                break;
+            }
+            level_width /= 2;
+        }
+
+        MerkleTree {
+            nodes,
+            leaf_count,
+            chunk_bytes,
+            data_len,
+            error_bound,
+        }
+    }
+
+    /// Hashes `data` in `chunk_bytes`-sized chunks (chunk length in
+    /// floats is `chunk_bytes / 4`) and builds the tree, leaf hashing
+    /// running as one parallel kernel.
+    ///
+    /// # Panics
+    ///
+    /// If `data` is empty or `chunk_bytes < 4`.
+    #[must_use]
+    pub fn build_from_f32(
+        data: &[f32],
+        chunk_bytes: usize,
+        hasher: &ChunkHasher,
+        device: &Device,
+    ) -> Self {
+        assert!(!data.is_empty(), "cannot build a tree over no data");
+        assert!(chunk_bytes >= 4, "chunk must hold at least one f32");
+        let floats_per_chunk = chunk_bytes / 4;
+        let n_chunks = data.len().div_ceil(floats_per_chunk);
+
+        // Leaf kernel: quantize + hash each chunk. Charged as one pass
+        // over the data plus ~10 scalar ops per byte — the cost of
+        // quantization and seed-chained Murmur3F rounds, which is what
+        // makes serial CPU hashing run at a fraction of a GB/s while a
+        // GPU hashing thousands of chunks concurrently stays
+        // bandwidth-bound (the paper's Figure 8 gap).
+        let w = Workload::new((data.len() * 4) as u64, (data.len() * 40) as u64);
+        let leaves = device.parallel_map(n_chunks, w, |i| {
+            let lo = i * floats_per_chunk;
+            let hi = ((i + 1) * floats_per_chunk).min(data.len());
+            let mut scratch = Vec::new();
+            hasher.hash_chunk_with_scratch(&data[lo..hi], &mut scratch)
+        });
+
+        Self::from_leaves(
+            leaves,
+            chunk_bytes,
+            (data.len() * 4) as u64,
+            hasher.quantizer().bound(),
+            device,
+        )
+    }
+
+    /// The root digest — a single value summarizing the checkpoint
+    /// within the error bound.
+    #[must_use]
+    pub fn root(&self) -> Digest128 {
+        self.nodes[0]
+    }
+
+    /// Number of real (unpadded) leaves, i.e. chunks.
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// Number of leaf slots after power-of-two padding.
+    #[must_use]
+    pub fn padded_leaf_count(&self) -> usize {
+        (self.nodes.len() + 1) / 2
+    }
+
+    /// Total node count in the flat array.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Levels in the tree (a single-leaf tree has one level).
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.padded_leaf_count().trailing_zeros() as usize + 1
+    }
+
+    /// The digest of node `index` in flat order.
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range.
+    #[must_use]
+    pub fn node(&self, index: usize) -> Digest128 {
+        self.nodes[index]
+    }
+
+    /// The digest of real leaf `i` (chunk `i`).
+    ///
+    /// # Panics
+    ///
+    /// If `i >= leaf_count()`.
+    #[must_use]
+    pub fn leaf(&self, i: usize) -> Digest128 {
+        assert!(i < self.leaf_count, "leaf index out of range");
+        self.nodes[self.leaf_base() + i]
+    }
+
+    /// Flat index of the first leaf slot.
+    #[must_use]
+    pub fn leaf_base(&self) -> usize {
+        self.padded_leaf_count() - 1
+    }
+
+    /// Flat index range of level `l` (root is level 0).
+    ///
+    /// # Panics
+    ///
+    /// If `l >= levels()`.
+    #[must_use]
+    pub fn level_range(&self, l: usize) -> std::ops::Range<usize> {
+        assert!(l < self.levels(), "level out of range");
+        let width = 1usize << l;
+        (width - 1)..(2 * width - 1)
+    }
+
+    /// The chunk size in bytes the leaves were hashed with.
+    #[must_use]
+    pub fn chunk_bytes(&self) -> usize {
+        self.chunk_bytes
+    }
+
+    /// Original checkpoint payload length in bytes.
+    #[must_use]
+    pub fn data_len(&self) -> u64 {
+        self.data_len
+    }
+
+    /// The absolute error bound the leaf digests encode.
+    #[must_use]
+    pub fn error_bound(&self) -> f64 {
+        self.error_bound
+    }
+
+    /// Metadata footprint in bytes when serialized (digests only).
+    #[must_use]
+    pub fn metadata_bytes(&self) -> usize {
+        self.nodes.len() * 16
+    }
+
+    /// Immutable access to the flat node array.
+    #[must_use]
+    pub fn nodes(&self) -> &[Digest128] {
+        &self.nodes
+    }
+
+    /// Reconstructs a tree from its parts; used by deserialization.
+    /// Verifies the node-count/leaf-count relationship.
+    pub(crate) fn from_parts(
+        nodes: Vec<Digest128>,
+        leaf_count: usize,
+        chunk_bytes: usize,
+        data_len: u64,
+        error_bound: f64,
+    ) -> Option<Self> {
+        let padded = leaf_count.checked_next_power_of_two()?;
+        if leaf_count == 0 || nodes.len() != 2 * padded - 1 {
+            return None;
+        }
+        Some(MerkleTree {
+            nodes,
+            leaf_count,
+            chunk_bytes,
+            data_len,
+            error_bound,
+        })
+    }
+
+    /// Replaces leaf `i`'s digest and recomputes its root path —
+    /// `O(log n)` instead of a full rebuild. This is the incremental
+    /// capture path: an application that knows which chunks it dirtied
+    /// since the last checkpoint updates only those leaves.
+    ///
+    /// # Panics
+    ///
+    /// If `i >= leaf_count()`.
+    pub fn update_leaf(&mut self, i: usize, digest: Digest128) {
+        assert!(i < self.leaf_count, "leaf index out of range");
+        let mut idx = self.leaf_base() + i;
+        self.nodes[idx] = digest;
+        while idx > 0 {
+            idx = (idx - 1) / 2;
+            self.nodes[idx] =
+                Digest128::combine(self.nodes[2 * idx + 1], self.nodes[2 * idx + 2]);
+        }
+    }
+
+    /// Re-hashes the chunks covering `values[dirty]` and updates their
+    /// leaves. `values` must be the full payload this tree describes
+    /// and `hasher` must match the tree's chunking and bound.
+    ///
+    /// # Panics
+    ///
+    /// If the payload length disagrees with the tree, the hasher's
+    /// bound disagrees, or the range is out of bounds.
+    pub fn update_region(
+        &mut self,
+        values: &[f32],
+        dirty: std::ops::Range<usize>,
+        hasher: &ChunkHasher,
+    ) {
+        assert_eq!(
+            (values.len() * 4) as u64,
+            self.data_len,
+            "payload length does not match the tree"
+        );
+        assert_eq!(
+            hasher.quantizer().bound(),
+            self.error_bound,
+            "hasher bound does not match the tree"
+        );
+        assert!(dirty.end <= values.len(), "dirty range out of bounds");
+        if dirty.is_empty() {
+            return;
+        }
+        let values_per_chunk = self.chunk_bytes / 4;
+        let first = dirty.start / values_per_chunk;
+        let last = (dirty.end - 1) / values_per_chunk;
+        let mut scratch = Vec::new();
+        for chunk in first..=last {
+            let lo = chunk * values_per_chunk;
+            let hi = (lo + values_per_chunk).min(values.len());
+            let digest = hasher.hash_chunk_with_scratch(&values[lo..hi], &mut scratch);
+            self.update_leaf(chunk, digest);
+        }
+    }
+
+    /// True when two trees may be compared node-for-node: same leaf
+    /// geometry, chunking, payload size, and error bound.
+    #[must_use]
+    pub fn comparable(&self, other: &MerkleTree) -> bool {
+        self.leaf_count == other.leaf_count
+            && self.chunk_bytes == other.chunk_bytes
+            && self.data_len == other.data_len
+            && self.error_bound == other.error_bound
+    }
+}
+
+/// Runs one interior level as a device kernel. `parents` is the level
+/// being written; the children of parent slot `j` (flat index `base+j`)
+/// live at flat indices `2(base+j)+1` and `2(base+j)+2`, both inside
+/// `lowers` which starts at flat index `lowers_base`.
+fn device_level(
+    device: &Device,
+    parents: &mut [Digest128],
+    lowers: &[Digest128],
+    _children_base: usize,
+    lowers_base: usize,
+    workload: Workload,
+) {
+    let base = lowers_base - parents.len(); // flat index of parents[0]
+    let computed = device.parallel_map(parents.len(), workload, |j| {
+        let flat = base + j;
+        let left = lowers[2 * flat + 1 - lowers_base];
+        let right = lowers[2 * flat + 2 - lowers_base];
+        Digest128::combine(left, right)
+    });
+    parents.copy_from_slice(&computed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reprocmp_hash::Quantizer;
+
+    fn hasher(bound: f64) -> ChunkHasher {
+        ChunkHasher::new(Quantizer::new(bound).unwrap())
+    }
+
+    fn data(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.37).sin() * 10.0).collect()
+    }
+
+    #[test]
+    fn serial_and_parallel_builds_agree() {
+        let d = data(10_000);
+        let h = hasher(1e-5);
+        let a = MerkleTree::build_from_f32(&d, 256, &h, &Device::host_serial());
+        let b = MerkleTree::build_from_f32(&d, 256, &h, &Device::host_parallel(8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn geometry_non_power_of_two_leaves() {
+        let d = data(1000); // 1000 floats, 64B chunks = 16 floats -> 63 chunks
+        let h = hasher(1e-4);
+        let t = MerkleTree::build_from_f32(&d, 64, &h, &Device::host_serial());
+        assert_eq!(t.leaf_count(), 63);
+        assert_eq!(t.padded_leaf_count(), 64);
+        assert_eq!(t.node_count(), 127);
+        assert_eq!(t.levels(), 7);
+        assert_eq!(t.level_range(0), 0..1);
+        assert_eq!(t.level_range(6), 63..127);
+    }
+
+    #[test]
+    fn single_chunk_tree() {
+        let d = data(8);
+        let h = hasher(1e-4);
+        let t = MerkleTree::build_from_f32(&d, 4096, &h, &Device::host_serial());
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.levels(), 1);
+        assert_eq!(t.root(), t.leaf(0));
+    }
+
+    #[test]
+    fn root_changes_when_any_chunk_changes() {
+        let d = data(4096);
+        let h = hasher(1e-5);
+        let base = MerkleTree::build_from_f32(&d, 128, &h, &Device::host_serial());
+        for &victim in &[0usize, 1000, 4095] {
+            let mut d2 = d.clone();
+            d2[victim] += 1.0;
+            let t2 = MerkleTree::build_from_f32(&d2, 128, &h, &Device::host_serial());
+            assert_ne!(base.root(), t2.root(), "victim {victim}");
+        }
+    }
+
+    #[test]
+    fn within_bound_noise_keeps_root_with_high_probability() {
+        // Noise an order of magnitude under the bound: most values stay
+        // in their grid cell; with a coarse bound the roots match.
+        let d: Vec<f32> = (0..4096).map(|i| (i / 7) as f32).collect();
+        let h = hasher(1e-2);
+        let noisy: Vec<f32> = d.iter().map(|&x| x + 1e-4).collect();
+        let a = MerkleTree::build_from_f32(&d, 128, &h, &Device::host_serial());
+        let b = MerkleTree::build_from_f32(&noisy, 128, &h, &Device::host_serial());
+        assert_eq!(a.root(), b.root());
+    }
+
+    #[test]
+    fn parent_child_relation_holds_everywhere() {
+        let d = data(2048);
+        let h = hasher(1e-5);
+        let t = MerkleTree::build_from_f32(&d, 64, &h, &Device::host_parallel(4));
+        for i in 0..t.leaf_base() {
+            let expect = Digest128::combine(t.node(2 * i + 1), t.node(2 * i + 2));
+            assert_eq!(t.node(i), expect, "node {i}");
+        }
+    }
+
+    #[test]
+    fn leaves_match_direct_chunk_hashing() {
+        let d = data(777);
+        let h = hasher(1e-6);
+        let t = MerkleTree::build_from_f32(&d, 100, &h, &Device::host_serial());
+        let leaves = h.hash_leaves(&d, 25); // 100 bytes = 25 floats
+        assert_eq!(t.leaf_count(), leaves.len());
+        for (i, leaf) in leaves.iter().enumerate() {
+            assert_eq!(t.leaf(i), *leaf, "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn metadata_is_small_relative_to_data() {
+        // ~7 GB checkpoint with 4 KB chunks gives ~55 MB metadata in the
+        // paper; same ratio here at scale-down: 4 MB data, 4 KB chunks.
+        let d = data(1 << 20); // 4 MiB of f32
+        let h = hasher(1e-5);
+        let t = MerkleTree::build_from_f32(&d, 4096, &h, &Device::host_parallel(4));
+        let ratio = t.metadata_bytes() as f64 / (d.len() * 4) as f64;
+        assert!(ratio < 0.01, "metadata ratio {ratio}");
+    }
+
+    #[test]
+    fn comparable_checks_all_fields() {
+        let d = data(512);
+        let t1 = MerkleTree::build_from_f32(&d, 64, &hasher(1e-5), &Device::host_serial());
+        let t2 = MerkleTree::build_from_f32(&d, 64, &hasher(1e-5), &Device::host_serial());
+        let t3 = MerkleTree::build_from_f32(&d, 128, &hasher(1e-5), &Device::host_serial());
+        let t4 = MerkleTree::build_from_f32(&d, 64, &hasher(1e-4), &Device::host_serial());
+        assert!(t1.comparable(&t2));
+        assert!(!t1.comparable(&t3));
+        assert!(!t1.comparable(&t4));
+    }
+
+    #[test]
+    fn sim_gpu_build_matches_host_and_accrues_modeled_time() {
+        let d = data(8192);
+        let h = hasher(1e-5);
+        let gpu = Device::sim_gpu();
+        let t_gpu = MerkleTree::build_from_f32(&d, 256, &h, &gpu);
+        let t_host = MerkleTree::build_from_f32(&d, 256, &h, &Device::host_serial());
+        assert_eq!(t_gpu, t_host);
+        assert!(gpu.modeled_time() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn incremental_update_matches_full_rebuild() {
+        let mut d = data(5_000);
+        let h = hasher(1e-5);
+        let dev = Device::host_serial();
+        let mut t = MerkleTree::build_from_f32(&d, 128, &h, &dev);
+
+        // Dirty three disjoint regions, as an application would.
+        for (lo, hi) in [(0usize, 40usize), (2_000, 2_100), (4_990, 5_000)] {
+            for v in &mut d[lo..hi] {
+                *v += 3.0;
+            }
+            t.update_region(&d, lo..hi, &h);
+        }
+        let rebuilt = MerkleTree::build_from_f32(&d, 128, &h, &dev);
+        assert_eq!(t, rebuilt, "incremental path must equal full rebuild");
+    }
+
+    #[test]
+    fn update_single_leaf_refreshes_root_path_only() {
+        let d = data(2_048);
+        let h = hasher(1e-5);
+        let dev = Device::host_serial();
+        let mut t = MerkleTree::build_from_f32(&d, 64, &h, &dev);
+        let before = t.clone();
+
+        let new_digest = h.hash_chunk(&[9.0; 16]);
+        t.update_leaf(5, new_digest);
+        assert_eq!(t.leaf(5), new_digest);
+        assert_ne!(t.root(), before.root());
+        // Unrelated leaves untouched.
+        assert_eq!(t.leaf(0), before.leaf(0));
+        assert_eq!(t.leaf(100), before.leaf(100));
+    }
+
+    #[test]
+    fn empty_dirty_range_is_a_no_op() {
+        let d = data(1_000);
+        let h = hasher(1e-5);
+        let mut t = MerkleTree::build_from_f32(&d, 64, &h, &Device::host_serial());
+        let before = t.clone();
+        t.update_region(&d, 500..500, &h);
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "hasher bound")]
+    fn update_with_wrong_bound_panics() {
+        let d = data(256);
+        let mut t =
+            MerkleTree::build_from_f32(&d, 64, &hasher(1e-5), &Device::host_serial());
+        t.update_region(&d, 0..10, &hasher(1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn empty_leaves_panics() {
+        let _ = MerkleTree::from_leaves(Vec::new(), 64, 0, 1e-5, &Device::host_serial());
+    }
+}

@@ -1,0 +1,531 @@
+//! The asynchronous two-tier checkpointing client.
+//!
+//! [`Client::checkpoint`] is the application-facing call: it serializes
+//! the protected regions and writes the file *synchronously* to the
+//! scratch tier (fast node-local storage), then returns — the
+//! simulation's critical path only ever pays the local write. A pool of
+//! flush threads copies completed local files to the persistent tier
+//! (the PFS) in the background; [`Client::wait`] blocks until a given
+//! checkpoint is durable, and [`Client::wait_all`] drains everything
+//! (call it before comparing runs).
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::format::{decode_checkpoint, encode_checkpoint, read_region, CkptCodecError};
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct VelocConfig {
+    /// Fast node-local tier (e.g. NVMe scratch).
+    pub scratch_dir: PathBuf,
+    /// Durable tier (the parallel file system).
+    pub persistent_dir: PathBuf,
+    /// Background flush threads.
+    pub flush_threads: usize,
+}
+
+impl VelocConfig {
+    /// A config rooted at `base`, with `base/scratch` and `base/pfs`.
+    #[must_use]
+    pub fn rooted_at(base: &Path) -> Self {
+        VelocConfig {
+            scratch_dir: base.join("scratch"),
+            persistent_dir: base.join("pfs"),
+            flush_threads: 2,
+        }
+    }
+}
+
+/// Lifecycle of one checkpoint version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointState {
+    /// Written to the scratch tier; flush pending or in flight.
+    Local,
+    /// Durable on the persistent tier.
+    Flushed,
+    /// The background flush failed (details in the error log).
+    Failed,
+}
+
+/// Client errors.
+#[derive(Debug)]
+pub enum VelocError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A restart found a checkpoint file it could not parse.
+    Codec(CkptCodecError),
+    /// [`Client::wait`] was called for a checkpoint never taken.
+    UnknownCheckpoint {
+        /// Checkpoint name.
+        name: String,
+        /// Checkpoint version.
+        version: u64,
+    },
+    /// The background flush for the awaited checkpoint failed.
+    FlushFailed {
+        /// Checkpoint name.
+        name: String,
+        /// Checkpoint version.
+        version: u64,
+    },
+}
+
+impl std::fmt::Display for VelocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VelocError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            VelocError::Codec(e) => write!(f, "checkpoint file invalid: {e}"),
+            VelocError::UnknownCheckpoint { name, version } => {
+                write!(f, "no checkpoint {name} v{version} was taken")
+            }
+            VelocError::FlushFailed { name, version } => {
+                write!(f, "background flush of {name} v{version} failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VelocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VelocError::Io(e) => Some(e),
+            VelocError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for VelocError {
+    fn from(e: std::io::Error) -> Self {
+        VelocError::Io(e)
+    }
+}
+
+impl From<CkptCodecError> for VelocError {
+    fn from(e: CkptCodecError) -> Self {
+        VelocError::Codec(e)
+    }
+}
+
+/// Aggregate capture statistics (see [`Client::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Checkpoints taken through this client.
+    pub checkpoints_taken: u64,
+    /// Checkpoints durable on the persistent tier.
+    pub flushed: u64,
+    /// Checkpoints still waiting on their background flush.
+    pub pending: u64,
+    /// Checkpoints whose flush failed.
+    pub failed: u64,
+    /// Bytes currently on the scratch tier.
+    pub scratch_bytes: u64,
+    /// Bytes currently on the persistent tier.
+    pub persistent_bytes: u64,
+}
+
+type Key = (String, u64);
+
+#[derive(Debug, Default)]
+struct Tracker {
+    states: Mutex<HashMap<Key, CheckpointState>>,
+    changed: Condvar,
+}
+
+/// The checkpointing client. Cheap to share behind an `Arc`; all
+/// methods take `&self`.
+#[derive(Debug)]
+pub struct Client {
+    config: VelocConfig,
+    tracker: Arc<Tracker>,
+    flush_tx: Option<Sender<(Key, PathBuf, PathBuf)>>,
+    flushers: Vec<JoinHandle<()>>,
+}
+
+impl Client {
+    /// Creates the tier directories and starts the flush pool.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation failures.
+    pub fn new(config: VelocConfig) -> Result<Self, VelocError> {
+        std::fs::create_dir_all(&config.scratch_dir)?;
+        std::fs::create_dir_all(&config.persistent_dir)?;
+        let tracker = Arc::new(Tracker::default());
+        let (tx, rx) = unbounded::<(Key, PathBuf, PathBuf)>();
+        let mut flushers = Vec::new();
+        for _ in 0..config.flush_threads.max(1) {
+            let rx = rx.clone();
+            let tracker = Arc::clone(&tracker);
+            flushers.push(std::thread::spawn(move || {
+                while let Ok((key, from, to)) = rx.recv() {
+                    let ok = std::fs::copy(&from, &to).is_ok();
+                    let mut states = tracker.states.lock();
+                    states.insert(
+                        key,
+                        if ok {
+                            CheckpointState::Flushed
+                        } else {
+                            CheckpointState::Failed
+                        },
+                    );
+                    tracker.changed.notify_all();
+                }
+            }));
+        }
+        Ok(Client {
+            config,
+            tracker,
+            flush_tx: Some(tx),
+            flushers,
+        })
+    }
+
+    fn file_name(name: &str, version: u64) -> String {
+        format!("{name}.v{version:06}.ckpt")
+    }
+
+    /// Path of a checkpoint on the persistent tier (present only after
+    /// its flush completed).
+    #[must_use]
+    pub fn persistent_path(&self, name: &str, version: u64) -> PathBuf {
+        self.config.persistent_dir.join(Self::file_name(name, version))
+    }
+
+    /// Path of a checkpoint on the scratch tier.
+    #[must_use]
+    pub fn scratch_path(&self, name: &str, version: u64) -> PathBuf {
+        self.config.scratch_dir.join(Self::file_name(name, version))
+    }
+
+    /// Captures `regions` as checkpoint `name`/`version`.
+    ///
+    /// Synchronous local write; asynchronous flush to the persistent
+    /// tier. Returns as soon as the local file is durable on scratch.
+    ///
+    /// # Errors
+    ///
+    /// Local-tier write failures (flush failures surface via
+    /// [`Client::wait`]).
+    pub fn checkpoint(
+        &self,
+        name: &str,
+        version: u64,
+        regions: &[(&str, &[f32])],
+    ) -> Result<(), VelocError> {
+        let bytes = encode_checkpoint(version, regions);
+        let local = self.scratch_path(name, version);
+        std::fs::write(&local, &bytes)?;
+
+        let key = (name.to_owned(), version);
+        self.tracker
+            .states
+            .lock()
+            .insert(key.clone(), CheckpointState::Local);
+        let remote = self.persistent_path(name, version);
+        if let Some(tx) = &self.flush_tx {
+            // Worker pool outlives senders only if we keep tx; a send
+            // failure means we are shutting down — flush inline then.
+            if tx.send((key.clone(), local.clone(), remote.clone())).is_err() {
+                std::fs::copy(&local, &remote)?;
+                self.tracker
+                    .states
+                    .lock()
+                    .insert(key, CheckpointState::Flushed);
+                self.tracker.changed.notify_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Current state of a checkpoint, if it was taken by this client.
+    #[must_use]
+    pub fn state(&self, name: &str, version: u64) -> Option<CheckpointState> {
+        self.tracker
+            .states
+            .lock()
+            .get(&(name.to_owned(), version))
+            .copied()
+    }
+
+    /// Blocks until checkpoint `name`/`version` is durable.
+    ///
+    /// # Errors
+    ///
+    /// [`VelocError::UnknownCheckpoint`] if it was never taken;
+    /// [`VelocError::FlushFailed`] if its background flush failed.
+    pub fn wait(&self, name: &str, version: u64) -> Result<(), VelocError> {
+        let key = (name.to_owned(), version);
+        let mut states = self.tracker.states.lock();
+        loop {
+            match states.get(&key) {
+                None => {
+                    return Err(VelocError::UnknownCheckpoint {
+                        name: name.to_owned(),
+                        version,
+                    })
+                }
+                Some(CheckpointState::Flushed) => return Ok(()),
+                Some(CheckpointState::Failed) => {
+                    return Err(VelocError::FlushFailed {
+                        name: name.to_owned(),
+                        version,
+                    })
+                }
+                Some(CheckpointState::Local) => self.tracker.changed.wait(&mut states),
+            }
+        }
+    }
+
+    /// Aggregate tier statistics — how much the capture path has
+    /// written and what is still in flight.
+    #[must_use]
+    pub fn stats(&self) -> ClientStats {
+        let states = self.tracker.states.lock();
+        let mut stats = ClientStats::default();
+        for state in states.values() {
+            stats.checkpoints_taken += 1;
+            match state {
+                CheckpointState::Local => stats.pending += 1,
+                CheckpointState::Flushed => stats.flushed += 1,
+                CheckpointState::Failed => stats.failed += 1,
+            }
+        }
+        drop(states);
+        let dir_bytes = |dir: &std::path::Path| -> u64 {
+            std::fs::read_dir(dir)
+                .map(|entries| {
+                    entries
+                        .filter_map(Result::ok)
+                        .filter_map(|e| e.metadata().ok())
+                        .map(|m| m.len())
+                        .sum()
+                })
+                .unwrap_or(0)
+        };
+        stats.scratch_bytes = dir_bytes(&self.config.scratch_dir);
+        stats.persistent_bytes = dir_bytes(&self.config.persistent_dir);
+        stats
+    }
+
+    /// Blocks until every checkpoint taken so far is durable.
+    ///
+    /// # Errors
+    ///
+    /// The first flush failure observed.
+    pub fn wait_all(&self) -> Result<(), VelocError> {
+        let keys: Vec<Key> = self.tracker.states.lock().keys().cloned().collect();
+        for (name, version) in keys {
+            self.wait(&name, version)?;
+        }
+        Ok(())
+    }
+
+    /// Versions of `name` present on the persistent tier, ascending.
+    ///
+    /// # Errors
+    ///
+    /// Directory listing failures.
+    pub fn versions(&self, name: &str) -> Result<Vec<u64>, VelocError> {
+        let prefix = format!("{name}.v");
+        let mut versions = Vec::new();
+        for entry in std::fs::read_dir(&self.config.persistent_dir)? {
+            let entry = entry?;
+            let fname = entry.file_name();
+            let fname = fname.to_string_lossy();
+            if let Some(rest) = fname.strip_prefix(&prefix) {
+                if let Some(num) = rest.strip_suffix(".ckpt") {
+                    if let Ok(v) = num.parse::<u64>() {
+                        versions.push(v);
+                    }
+                }
+            }
+        }
+        versions.sort_unstable();
+        Ok(versions)
+    }
+
+    /// Restores the newest durable version of `name`, returning the
+    /// version and each region's values by name; `Ok(None)` when no
+    /// version exists.
+    ///
+    /// # Errors
+    ///
+    /// I/O or decode failures.
+    pub fn restart_latest(
+        &self,
+        name: &str,
+    ) -> Result<Option<(u64, HashMap<String, Vec<f32>>)>, VelocError> {
+        let Some(&version) = self.versions(name)?.last() else {
+            return Ok(None);
+        };
+        let bytes = std::fs::read(self.persistent_path(name, version))?;
+        let file = decode_checkpoint(&bytes)?;
+        let mut regions = HashMap::new();
+        for r in &file.regions {
+            regions.insert(r.name.clone(), read_region(&bytes, &file, &r.name)?);
+        }
+        Ok(Some((file.checkpoint_version, regions)))
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        self.flush_tx.take();
+        for h in self.flushers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_client(tag: &str) -> (Client, PathBuf) {
+        let base = std::env::temp_dir().join(format!("reprocmp-veloc-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let client = Client::new(VelocConfig::rooted_at(&base)).unwrap();
+        (client, base)
+    }
+
+    fn field(n: usize, scale: f32) -> Vec<f32> {
+        (0..n).map(|i| i as f32 * scale).collect()
+    }
+
+    #[test]
+    fn checkpoint_then_wait_then_restart() {
+        let (client, base) = temp_client("basic");
+        let x = field(1000, 0.25);
+        let v = field(1000, -0.5);
+        client.checkpoint("hacc.rank0", 10, &[("x", &x), ("vx", &v)]).unwrap();
+        client.wait("hacc.rank0", 10).unwrap();
+        assert_eq!(client.state("hacc.rank0", 10), Some(CheckpointState::Flushed));
+
+        let (ver, regions) = client.restart_latest("hacc.rank0").unwrap().unwrap();
+        assert_eq!(ver, 10);
+        assert_eq!(regions["x"], x);
+        assert_eq!(regions["vx"], v);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn restart_picks_newest_version() {
+        let (client, base) = temp_client("versions");
+        for ver in [10u64, 20, 30, 40] {
+            let data = field(64, ver as f32);
+            client.checkpoint("sim", ver, &[("x", &data)]).unwrap();
+        }
+        client.wait_all().unwrap();
+        assert_eq!(client.versions("sim").unwrap(), vec![10, 20, 30, 40]);
+        let (ver, regions) = client.restart_latest("sim").unwrap().unwrap();
+        assert_eq!(ver, 40);
+        assert_eq!(regions["x"][1], 40.0);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn local_file_exists_immediately_after_checkpoint() {
+        let (client, base) = temp_client("local");
+        client.checkpoint("a", 1, &[("x", &field(16, 1.0))]).unwrap();
+        assert!(client.scratch_path("a", 1).exists());
+        client.wait("a", 1).unwrap();
+        assert!(client.persistent_path("a", 1).exists());
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn wait_for_unknown_checkpoint_errors() {
+        let (client, base) = temp_client("unknown");
+        let err = client.wait("ghost", 3).unwrap_err();
+        assert!(matches!(err, VelocError::UnknownCheckpoint { .. }));
+        assert!(err.to_string().contains("ghost"));
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn restart_with_no_checkpoints_is_none() {
+        let (client, base) = temp_client("none");
+        assert!(client.restart_latest("nothing").unwrap().is_none());
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn many_names_do_not_interfere() {
+        let (client, base) = temp_client("names");
+        for rank in 0..4 {
+            let name = format!("run1.rank{rank}");
+            client
+                .checkpoint(&name, 10, &[("x", &field(32, rank as f32 + 1.0))])
+                .unwrap();
+        }
+        client.wait_all().unwrap();
+        for rank in 0..4 {
+            let name = format!("run1.rank{rank}");
+            let (_, regions) = client.restart_latest(&name).unwrap().unwrap();
+            assert_eq!(regions["x"][1], rank as f32 + 1.0, "rank {rank}");
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn concurrent_checkpoints_from_many_threads() {
+        let (client, base) = temp_client("threads");
+        let client = std::sync::Arc::new(client);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let client = std::sync::Arc::clone(&client);
+                s.spawn(move || {
+                    let name = format!("par.rank{t}");
+                    for ver in [10u64, 20] {
+                        client
+                            .checkpoint(&name, ver, &[("x", &field(128, t as f32))])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        client.wait_all().unwrap();
+        for t in 0..8 {
+            let name = format!("par.rank{t}");
+            assert_eq!(client.versions(&name).unwrap().len(), 2, "rank {t}");
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn stats_track_the_capture_lifecycle() {
+        let (client, base) = temp_client("stats");
+        assert_eq!(client.stats(), ClientStats::default());
+        for v in [1u64, 2, 3] {
+            client.checkpoint("s", v, &[("x", &field(256, 1.0))]).unwrap();
+        }
+        client.wait_all().unwrap();
+        let stats = client.stats();
+        assert_eq!(stats.checkpoints_taken, 3);
+        assert_eq!(stats.flushed, 3);
+        assert_eq!(stats.pending, 0);
+        assert_eq!(stats.failed, 0);
+        assert!(stats.scratch_bytes > 0);
+        assert_eq!(stats.scratch_bytes, stats.persistent_bytes);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn checkpoint_files_parse_as_canonical_format() {
+        let (client, base) = temp_client("format");
+        let x = field(100, 2.0);
+        client.checkpoint("fmt", 5, &[("x", &x)]).unwrap();
+        client.wait("fmt", 5).unwrap();
+        let bytes = std::fs::read(client.persistent_path("fmt", 5)).unwrap();
+        let file = crate::format::decode_checkpoint(&bytes).unwrap();
+        assert_eq!(file.checkpoint_version, 5);
+        assert_eq!(file.value_count(), 100);
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

@@ -1,0 +1,88 @@
+//! The paper's conclusion sketches a CI use case: "applications with a
+//! defined error bound can save a Merkle tree for the expected results
+//! of a test. If the method detects any differences then the
+//! developers know that the code change may introduce a
+//! reproducibility issue."
+//!
+//! This example is that gate. A *golden* run's metadata (a few percent
+//! of the data size) is stored in the repository; each candidate build
+//! re-runs the test and is compared against the golden tree. When the
+//! trees agree, the gate passes **without reading any golden data at
+//! all** — only metadata moved.
+//!
+//! ```sh
+//! cargo run --example ci_regression_gate
+//! ```
+
+use reprocmp::core::{CheckpointSource, CompareEngine, EngineConfig};
+use reprocmp::hacc::{HaccConfig, OrderPolicy, Simulation};
+
+/// The "application test": a short deterministic simulation whose
+/// final particle x-positions are the test's observable result.
+fn run_application_test(extra_kick: f32) -> Vec<f32> {
+    let mut cfg = HaccConfig::small();
+    cfg.particles = 1_024;
+    cfg.order = OrderPolicy::Sequential;
+    let mut sim = Simulation::new(cfg);
+    sim.run(10);
+    let mut xs = sim.particles().x.clone();
+    // `extra_kick` stands in for a code change's numerical effect.
+    if extra_kick != 0.0 {
+        for v in xs.iter_mut().skip(100).take(8) {
+            *v = (*v + extra_kick).rem_euclid(1.0);
+        }
+    }
+    xs
+}
+
+fn gate(engine: &CompareEngine, golden: &CheckpointSource, candidate: &[f32]) -> bool {
+    let cand = CheckpointSource::in_memory(candidate, engine).expect("candidate source");
+    let report = engine.compare(golden, &cand).expect("gate comparison");
+    if report.identical() {
+        println!(
+            "  PASS — trees agree; {} bytes of checkpoint data read (metadata only)",
+            report.stats.bytes_reread
+        );
+        true
+    } else {
+        println!(
+            "  FAIL — {} values moved beyond the bound; first offenders:",
+            report.stats.diff_count
+        );
+        for d in report.differences.iter().take(5) {
+            println!("    result[{}]: golden {:.6} vs candidate {:.6}", d.index, d.a, d.b);
+        }
+        false
+    }
+}
+
+fn main() {
+    let engine = CompareEngine::new(EngineConfig {
+        chunk_bytes: 512,
+        error_bound: 1e-4, // the application's accepted tolerance
+        ..EngineConfig::default()
+    });
+
+    println!("recording golden result + Merkle metadata…");
+    let golden_values = run_application_test(0.0);
+    let golden = CheckpointSource::in_memory(&golden_values, &engine).expect("golden source");
+    println!(
+        "  golden payload {} bytes, metadata {} bytes",
+        golden.payload_len,
+        golden.metadata.len()
+    );
+
+    println!("\ncandidate A: refactoring with no numerical effect");
+    let ok = gate(&engine, &golden, &run_application_test(0.0));
+    assert!(ok);
+
+    println!("\ncandidate B: change shifts 8 results by 5e-3 (50x the bound)");
+    let ok = gate(&engine, &golden, &run_application_test(5e-3));
+    assert!(!ok);
+
+    println!("\ncandidate C: change shifts results by 2e-5 (within the bound)");
+    let ok = gate(&engine, &golden, &run_application_test(2e-5));
+    assert!(ok, "sub-tolerance drift must not fail the gate");
+
+    println!("\nOK: the gate admits tolerable drift and catches regressions.");
+}

@@ -36,7 +36,7 @@ fn main() {
     );
 
     for chunk in [4 << 10, 8 << 10, 16 << 10, 32 << 10] {
-        let hasher = reprocmp_hash::ChunkHasher::new(engine.quantizer().clone());
+        let hasher = reprocmp_hash::ChunkHasher::new(*engine.quantizer());
 
         let cpu = Device::sim_cpu_core();
         let t0 = Instant::now();

@@ -11,7 +11,7 @@ use reprocmp_bench::{engine_for, fmt_chunk, DivergenceSpec, DivergentPair, Recor
 fn main() {
     let mut rec = Recorder::new();
     println!("=== Table 2: setup used to evaluate performance and scalability ===\n");
-    println!("{:<18} {}", "Description", "Values");
+    println!("{:<18} Values", "Description");
     println!("{:<18} 1, 2, 4, 8, 16, 32   (simulated; 4 ranks per node)", "Number of nodes");
     print!("{:<18} ", "Error bounds");
     for (i, eps) in ERROR_BOUNDS.iter().enumerate() {

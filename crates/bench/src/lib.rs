@@ -447,8 +447,11 @@ mod tests {
     #[test]
     fn divergence_is_spatially_clustered() {
         // Changed values should concentrate in a minority of 4 KiB
-        // segments, not spread uniformly.
-        let pair = DivergentPair::generate(1 << 20, DivergenceSpec::hacc_like(), 9);
+        // segments, not spread uniformly. With persistence 63/64 the
+        // active fraction only has ~(segments/64) independent state
+        // draws behind it, so use a payload large enough that its
+        // variance stays well inside the asserted band.
+        let pair = DivergentPair::generate(1 << 22, DivergenceSpec::hacc_like(), 9);
         let seg = 1024;
         let mut active_segments = 0usize;
         let total_segments = pair.run1.len() / seg;

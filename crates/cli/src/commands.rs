@@ -44,9 +44,24 @@ fn payload_values(bytes: &[u8], offset: u64, len: u64) -> Vec<f32> {
 fn engine_from(map: &ArgMap) -> Result<CompareEngine, CliError> {
     let chunk_bytes = map.parsed_or("chunk-bytes", 4096usize)?;
     let error_bound = map.parsed_or("error-bound", 1e-5f64)?;
+    let failure_policy = match map.optional("failure-policy") {
+        None | Some("abort") => reprocmp_core::FailurePolicy::Abort,
+        Some("quarantine") => reprocmp_core::FailurePolicy::Quarantine,
+        Some(other) => {
+            return Err(fail(format!(
+                "--failure-policy must be 'abort' or 'quarantine', got '{other}'"
+            )))
+        }
+    };
+    let io = reprocmp_io::PipelineConfig {
+        retry: reprocmp_io::RetryPolicy::with_attempts(map.parsed_or("retry-attempts", 1u32)?),
+        ..reprocmp_io::PipelineConfig::default()
+    };
     CompareEngine::try_new(EngineConfig {
         chunk_bytes,
         error_bound,
+        failure_policy,
+        io,
         ..EngineConfig::default()
     })
     .map_err(fail)
@@ -138,6 +153,23 @@ pub fn compare(map: &ArgMap) -> Result<String, CliError> {
         report.stats.false_positive_chunks,
         report.stats.bytes_reread,
     );
+    let _ = writeln!(
+        out,
+        "io: {} ops submitted, {} completed, {} retried, {} gave up",
+        report.io.submitted, report.io.completed, report.io.retried, report.io.gave_up,
+    );
+    if !report.fully_verified() {
+        let _ = writeln!(
+            out,
+            "WARNING: {} chunk(s) in {} range(s) could not be read and were quarantined; \
+             the verdict below covers only the verified data",
+            report.unverified_chunks(),
+            report.unverified.len(),
+        );
+        for r in &report.unverified {
+            let _ = writeln!(out, "  unverified chunks {}..{}", r.first, r.first + r.count);
+        }
+    }
     if report.identical() {
         let _ = writeln!(out, "RESULT: runs agree within the bound");
     } else {
@@ -584,6 +616,23 @@ mod tests {
         ])
         .unwrap();
         assert!(tight.contains("differ beyond the bound"), "{tight}");
+
+        // Resilience flags parse and show up in the traffic line.
+        let resilient = run_cli(&[
+            "compare", "--run1", c1.to_str().unwrap(), "--run2", c2.to_str().unwrap(),
+            "--chunk-bytes", "256", "--error-bound", "1e-12",
+            "--retry-attempts", "5", "--failure-policy", "quarantine",
+        ])
+        .unwrap();
+        assert!(resilient.contains("ops submitted"), "{resilient}");
+        assert!(!resilient.contains("WARNING"), "healthy files: {resilient}");
+
+        let bad = run_cli(&[
+            "compare", "--run1", c1.to_str().unwrap(), "--run2", c2.to_str().unwrap(),
+            "--failure-policy", "sometimes",
+        ])
+        .unwrap_err();
+        assert!(format!("{bad:?}").contains("abort"), "{bad:?}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -54,6 +54,7 @@ pub fn usage() -> String {
     let _ = writeln!(s, "  create-tree  --input F --output F [--chunk-bytes 4096] [--error-bound 1e-5]");
     let _ = writeln!(s, "  compare      --run1 F --run2 F [--tree1 F --tree2 F]");
     let _ = writeln!(s, "               [--chunk-bytes 4096] [--error-bound 1e-5] [--max-diffs 20]");
+    let _ = writeln!(s, "               [--retry-attempts 1] [--failure-policy abort|quarantine]");
     let _ = writeln!(s, "  info         --input F");
     let _ = writeln!(s, "  simulate     --out-dir D [--particles 2048] [--steps 50] [--ranks 2]");
     let _ = writeln!(s, "               [--order-seed N]  (omit --order-seed for a deterministic run)");

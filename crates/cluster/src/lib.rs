@@ -76,6 +76,9 @@ impl ReduceOrder {
     }
 }
 
+/// Per-rank point-to-point channel endpoints.
+type Mailbox = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
+
 #[derive(Debug)]
 struct Shared {
     barrier: Barrier,
@@ -83,7 +86,7 @@ struct Shared {
     f64_result: Mutex<f64>,
     bytes_slot: Mutex<Vec<u8>>,
     node_clocks: Vec<SimClock>,
-    mailboxes: Vec<(Sender<Vec<u8>>, Receiver<Vec<u8>>)>,
+    mailboxes: Vec<Mailbox>,
 }
 
 /// A simulated cluster: `nodes × procs_per_node` ranks.

@@ -237,6 +237,8 @@ impl Direct {
 
         let pipe_a = StreamPipeline::start(Arc::clone(&a.data), ops_a, self.io);
         let pipe_b = StreamPipeline::start(Arc::clone(&b.data), ops_b, self.io);
+        let counters_a = pipe_a.counters();
+        let counters_b = pipe_b.counters();
         for (slice_a, slice_b) in pipe_a.zip(pipe_b) {
             let slice_a = slice_a?;
             let slice_b = slice_b?;
@@ -276,6 +278,8 @@ impl Direct {
             stats,
             differences,
             differences_truncated: truncated,
+            io: counters_a.snapshot().merged(counters_b.snapshot()),
+            unverified: Vec::new(),
         })
     }
 }

@@ -4,14 +4,29 @@ use reprocmp_device::{Device, TimingModel, Workload};
 use reprocmp_hash::{ChunkHasher, Quantizer};
 use reprocmp_io::pipeline::{PipelineConfig, StreamPipeline};
 use reprocmp_io::storage::{AccessMode, Storage};
-use reprocmp_io::Timeline;
+use reprocmp_io::{RingStats, Timeline};
 use reprocmp_merkle::{compare_trees, decode_tree, encode_tree, MerkleTree};
 use std::sync::Arc;
 
 use crate::breakdown::CostBreakdown;
-use crate::report::{CompareReport, DataStats, Difference};
+use crate::report::{ChunkRange, CompareReport, DataStats, Difference};
 use crate::source::CheckpointSource;
 use crate::{CoreError, CoreResult};
+
+/// What the engine does when a chunk's reads fail even after the I/O
+/// layer's retries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Abort the whole comparison on the first exhausted read — the
+    /// historical fail-fast behaviour, and the default.
+    #[default]
+    Abort,
+    /// Quarantine the affected chunks: skip them, keep comparing
+    /// everything else, and list them in
+    /// [`CompareReport::unverified`]. The comparison only errors on
+    /// global failures (bad metadata, engine shutdown).
+    Quarantine,
+}
 
 /// Engine configuration.
 ///
@@ -49,6 +64,10 @@ pub struct EngineConfig {
     /// Compute cost model charged to the virtual clock when comparing
     /// under a [`Timeline::Sim`]; ignored for wall-clock runs.
     pub compute_model: Option<TimingModel>,
+    /// How chunk-level read failures (post-retry) are handled in stage
+    /// two. Retries themselves are configured on [`EngineConfig::io`]
+    /// (`io.retry`).
+    pub failure_policy: FailurePolicy,
 }
 
 impl Default for EngineConfig {
@@ -63,6 +82,7 @@ impl Default for EngineConfig {
             compute_model: Some(TimingModel::gpu_a100()),
             coalesce_reads: false,
             max_coalesced_bytes: 4 << 20,
+            failure_policy: FailurePolicy::default(),
         }
     }
 }
@@ -93,7 +113,7 @@ impl CompareEngine {
     ///
     /// [`CoreError::Config`] for a bad chunk size or error bound.
     pub fn try_new(config: EngineConfig) -> CoreResult<Self> {
-        if config.chunk_bytes == 0 || config.chunk_bytes % 4 != 0 {
+        if config.chunk_bytes == 0 || !config.chunk_bytes.is_multiple_of(4) {
             return Err(CoreError::Config(format!(
                 "chunk_bytes must be a positive multiple of 4, got {}",
                 config.chunk_bytes
@@ -177,7 +197,7 @@ impl CompareEngine {
                 a.payload_len, b.payload_len
             )));
         }
-        if a.payload_len == 0 || a.payload_len % 4 != 0 {
+        if a.payload_len == 0 || !a.payload_len.is_multiple_of(4) {
             return Err(CoreError::Mismatch(format!(
                 "payload length {} is not a positive multiple of 4",
                 a.payload_len
@@ -220,8 +240,7 @@ impl CompareEngine {
 
         // ---- Phase 5: verify flagged chunks -----------------------
         let t4 = timeline.now();
-        let (stats2, differences, truncated) =
-            self.verify_chunks(a, b, &outcome.mismatched_leaves, timeline)?;
+        let verified = self.verify_chunks(a, b, &outcome.mismatched_leaves, timeline)?;
         breakdown.compare_direct = timeline.now() - t4;
 
         let stats = DataStats {
@@ -229,16 +248,18 @@ impl CompareEngine {
             total_bytes: a.payload_len,
             chunks_total,
             chunks_flagged: outcome.mismatched_leaves.len() as u64,
-            bytes_reread: stats2.bytes_reread,
-            false_positive_chunks: stats2.false_positive_chunks,
-            diff_count: stats2.diff_count,
+            bytes_reread: verified.stats.bytes_reread,
+            false_positive_chunks: verified.stats.false_positive_chunks,
+            diff_count: verified.stats.diff_count,
         };
 
         Ok(CompareReport {
             breakdown,
             stats,
-            differences,
-            differences_truncated: truncated,
+            differences: verified.differences,
+            differences_truncated: verified.truncated,
+            io: verified.io,
+            unverified: verified.unverified,
         })
     }
 
@@ -273,20 +294,17 @@ impl CompareEngine {
     }
 
     /// Stage two: stream flagged chunks from both runs and compare
-    /// element-wise. Returns partial stats, recorded differences, and
-    /// whether the record list was truncated.
+    /// element-wise.
     fn verify_chunks(
         &self,
         a: &CheckpointSource,
         b: &CheckpointSource,
         flagged: &[usize],
         timeline: &Timeline,
-    ) -> CoreResult<(DataStats, Vec<Difference>, bool)> {
-        let mut stats = DataStats::default();
-        let mut differences = Vec::new();
-        let mut truncated = false;
+    ) -> CoreResult<VerifyOutcome> {
+        let mut out = VerifyOutcome::default();
         if flagged.is_empty() {
-            return Ok((stats, differences, truncated));
+            return Ok(out);
         }
 
         let chunk_bytes = self.config.chunk_bytes;
@@ -310,19 +328,44 @@ impl CompareEngine {
         };
         let ops_a: Vec<_> = runs.iter().map(|r| run_op(a, r)).collect();
         let ops_b: Vec<_> = runs.iter().map(|r| run_op(b, r)).collect();
-        stats.bytes_reread = ops_a.iter().map(|&(_, len)| len as u64).sum();
+        out.stats.bytes_reread = ops_a.iter().map(|&(_, len)| len as u64).sum();
 
         let quantizer = self.quantizer();
         let values_per_chunk = chunk_bytes / 4;
 
-        let pipe_a = StreamPipeline::start(Arc::clone(&a.data), ops_a, self.config.io);
-        let pipe_b = StreamPipeline::start(Arc::clone(&b.data), ops_b, self.config.io);
+        // Under Quarantine the streams flow past exhausted reads and
+        // report them per slice; under Abort the first exhausted read
+        // terminates the stream with an error (historical behaviour).
+        let mut io_cfg = self.config.io;
+        io_cfg.continue_on_error = self.config.failure_policy == FailurePolicy::Quarantine;
+
+        let pipe_a = StreamPipeline::start(Arc::clone(&a.data), ops_a, io_cfg);
+        let pipe_b = StreamPipeline::start(Arc::clone(&b.data), ops_b, io_cfg);
+        let counters_a = pipe_a.counters();
+        let counters_b = pipe_b.counters();
 
         for (slice_a, slice_b) in pipe_a.zip(pipe_b) {
             let slice_a = slice_a?;
             let slice_b = slice_b?;
             debug_assert_eq!(slice_a.first_op, slice_b.first_op);
             debug_assert_eq!(slice_a.ops.len(), slice_b.ops.len());
+
+            // An op is unverifiable if *either* side failed to read it.
+            let mut failed_ops: Vec<usize> = slice_a
+                .failed
+                .iter()
+                .chain(slice_b.failed.iter())
+                .map(|f| f.op)
+                .collect();
+            failed_ops.sort_unstable();
+            failed_ops.dedup();
+            for &op in &failed_ops {
+                let (first, count) = runs[op];
+                out.unverified.push(ChunkRange {
+                    first: first as u64,
+                    count: count as u64,
+                });
+            }
 
             // Comparison kernel over this slice (both buffers touched,
             // one op per value pair).
@@ -335,6 +378,9 @@ impl CompareEngine {
             );
 
             for ((op_idx, pay_a), (_, pay_b)) in slice_a.payloads().zip(slice_b.payloads()) {
+                if failed_ops.binary_search(&op_idx).is_ok() {
+                    continue; // quarantined: zero-filled, never compared
+                }
                 let (first_chunk, _) = runs[op_idx];
                 // Walk the run chunk by chunk.
                 for (k, (chunk_a, chunk_b)) in pay_a
@@ -353,25 +399,27 @@ impl CompareEngine {
                         let vb = f32::from_le_bytes(bb.try_into().expect("4 bytes"));
                         if quantizer.differs(va, vb) {
                             chunk_had_diff = true;
-                            stats.diff_count += 1;
-                            if differences.len() < self.config.max_recorded_diffs {
-                                differences.push(Difference {
+                            out.stats.diff_count += 1;
+                            if out.differences.len() < self.config.max_recorded_diffs {
+                                out.differences.push(Difference {
                                     index: (chunk_index * values_per_chunk + j) as u64,
                                     a: va,
                                     b: vb,
                                 });
                             } else {
-                                truncated = true;
+                                out.truncated = true;
                             }
                         }
                     }
                     if !chunk_had_diff {
-                        stats.false_positive_chunks += 1;
+                        out.stats.false_positive_chunks += 1;
                     }
                 }
             }
         }
-        Ok((stats, differences, truncated))
+        out.io = counters_a.snapshot().merged(counters_b.snapshot());
+        out.unverified = merge_ranges(out.unverified);
+        Ok(out)
     }
 
     fn charge_compute(&self, timeline: &Timeline, workload: Workload) {
@@ -379,6 +427,30 @@ impl CompareEngine {
             clock.advance(model.kernel_time(workload));
         }
     }
+}
+
+/// Everything stage two produces.
+#[derive(Debug, Default)]
+struct VerifyOutcome {
+    stats: DataStats,
+    differences: Vec<Difference>,
+    truncated: bool,
+    unverified: Vec<ChunkRange>,
+    io: RingStats,
+}
+
+/// Merges adjacent/overlapping sorted chunk ranges.
+fn merge_ranges(ranges: Vec<ChunkRange>) -> Vec<ChunkRange> {
+    let mut merged: Vec<ChunkRange> = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        match merged.last_mut() {
+            Some(prev) if prev.first + prev.count >= r.first => {
+                prev.count = prev.count.max(r.first + r.count - prev.first);
+            }
+            _ => merged.push(r),
+        }
+    }
+    merged
 }
 
 /// Groups sorted chunk indices into `(first, count)` runs of adjacent
@@ -615,6 +687,86 @@ mod tests {
             modeled(true) < modeled(false),
             "coalescing must cut per-request costs"
         );
+    }
+
+    #[test]
+    fn merge_ranges_joins_adjacent_and_overlapping() {
+        let r = |first, count| ChunkRange { first, count };
+        assert_eq!(merge_ranges(vec![]), vec![]);
+        assert_eq!(
+            merge_ranges(vec![r(0, 1), r(1, 1), r(2, 1), r(5, 2)]),
+            vec![r(0, 3), r(5, 2)]
+        );
+        assert_eq!(merge_ranges(vec![r(0, 4), r(2, 1)]), vec![r(0, 4)]);
+        assert_eq!(merge_ranges(vec![r(0, 2), r(1, 3)]), vec![r(0, 4)]);
+    }
+
+    #[test]
+    fn quarantine_skips_bad_chunks_and_reports_the_rest() {
+        use reprocmp_io::{FaultPlan, FaultyStorage};
+        let e = CompareEngine::new(EngineConfig {
+            chunk_bytes: 256,
+            error_bound: 1e-5,
+            failure_policy: FailurePolicy::Quarantine,
+            ..EngineConfig::default()
+        });
+        let data = wave(10_000);
+        let mut data2 = data.clone();
+        data2[10] += 1.0; // chunk 0 — will be unreadable
+        data2[5_000] += 1.0; // chunk 78 — readable
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let mut b = CheckpointSource::in_memory(&data2, &e).unwrap();
+        // Poison chunk 0 of run 2's payload.
+        b.data = Arc::new(FaultyStorage::new(
+            Arc::clone(&b.data),
+            FaultPlan::Range {
+                start: b.payload_offset,
+                end: b.payload_offset + 256,
+            },
+        ));
+        let report = e.compare(&a, &b).unwrap();
+        assert!(!report.fully_verified());
+        assert_eq!(report.unverified, vec![crate::report::ChunkRange { first: 0, count: 1 }]);
+        // The readable difference is still localized...
+        assert_eq!(report.stats.diff_count, 1);
+        assert_eq!(report.differences[0].index, 5_000);
+        // ...and the I/O ledger shows exactly one abandoned op.
+        assert_eq!(report.io.gave_up, 1);
+        assert!(report.io.completed >= 1);
+    }
+
+    #[test]
+    fn abort_policy_still_fails_fast() {
+        use reprocmp_io::{FaultPlan, FaultyStorage};
+        let e = engine(256, 1e-5);
+        let data = wave(10_000);
+        let mut data2 = data.clone();
+        data2[10] += 1.0;
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let mut b = CheckpointSource::in_memory(&data2, &e).unwrap();
+        b.data = Arc::new(FaultyStorage::new(
+            Arc::clone(&b.data),
+            FaultPlan::Range {
+                start: b.payload_offset,
+                end: b.payload_offset + 256,
+            },
+        ));
+        assert!(matches!(e.compare(&a, &b), Err(CoreError::Io(_))));
+    }
+
+    #[test]
+    fn report_surfaces_pipeline_traffic() {
+        let e = engine(256, 1e-5);
+        let data = wave(10_000);
+        let mut data2 = data.clone();
+        data2[500] += 1.0;
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let b = CheckpointSource::in_memory(&data2, &e).unwrap();
+        let report = e.compare(&a, &b).unwrap();
+        assert!(report.io.submitted >= 2, "one op per run per side: {:?}", report.io);
+        assert_eq!(report.io.submitted, report.io.completed);
+        assert_eq!(report.io.retried, 0);
+        assert_eq!(report.io.gave_up, 0);
     }
 
     #[test]

@@ -79,11 +79,11 @@ pub mod source;
 pub use baseline::{AllClose, AllCloseReport, Direct, PayloadStats, Statistical, StatisticalReport};
 pub use breakdown::CostBreakdown;
 pub use compaction::{CompactionStats, CompactionStore};
-pub use engine::{CompareEngine, EngineConfig};
+pub use engine::{CompareEngine, EngineConfig, FailurePolicy};
 pub use history::{CheckpointHistory, HistoryEntryReport, HistoryReport};
 pub use online::{OnlineComparator, OnlinePolicy, OnlineVerdict};
 pub use regions::{LocatedDifference, RegionMap, RegionSpan};
-pub use report::{CompareReport, DataStats, Difference};
+pub use report::{ChunkRange, CompareReport, DataStats, Difference};
 pub use source::CheckpointSource;
 
 /// Everything that can go wrong while comparing two checkpoint

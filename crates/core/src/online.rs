@@ -182,7 +182,7 @@ impl OnlineComparator {
             // Stage two, reference side only; the live side is `values`.
             let ops = reference.chunk_ops(chunk_bytes, &outcome.mismatched_leaves);
             stats.bytes_reread = ops.iter().map(|&(_, len)| len as u64).sum();
-            let quantizer = self.engine.quantizer().clone();
+            let quantizer = *self.engine.quantizer();
             let pipeline = StreamPipeline::start(
                 Arc::clone(&reference.data),
                 ops,

@@ -1,5 +1,6 @@
 //! Comparison results: localized differences and volume accounting.
 
+use reprocmp_io::RingStats;
 use serde::Serialize;
 
 use crate::breakdown::CostBreakdown;
@@ -59,6 +60,15 @@ impl DataStats {
     }
 }
 
+/// A contiguous run of chunk indices, `first..first + count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ChunkRange {
+    /// First chunk index in the range.
+    pub first: u64,
+    /// Number of consecutive chunks covered.
+    pub count: u64,
+}
+
 /// The full result of comparing one checkpoint pair.
 #[derive(Debug, Clone, Serialize)]
 pub struct CompareReport {
@@ -72,13 +82,36 @@ pub struct CompareReport {
     pub differences: Vec<Difference>,
     /// True when the recorded list was truncated by the cap.
     pub differences_truncated: bool,
+    /// I/O traffic through the stage-two pipelines: submissions,
+    /// completions, in-worker retries, and exhausted ops.
+    pub io: RingStats,
+    /// Chunk ranges that could not be verified because their reads
+    /// failed after retries (non-empty only under
+    /// `FailurePolicy::Quarantine`; sorted, merged, non-overlapping).
+    pub unverified: Vec<ChunkRange>,
 }
 
 impl CompareReport {
     /// Whether the two checkpoints agree everywhere within the bound.
+    ///
+    /// A report with quarantined chunks still answers for the data it
+    /// *did* verify — check [`CompareReport::fully_verified`] before
+    /// treating `identical()` as a global verdict.
     #[must_use]
     pub fn identical(&self) -> bool {
         self.stats.diff_count == 0
+    }
+
+    /// Whether every chunk was actually compared (nothing quarantined).
+    #[must_use]
+    pub fn fully_verified(&self) -> bool {
+        self.unverified.is_empty()
+    }
+
+    /// Total number of quarantined chunks.
+    #[must_use]
+    pub fn unverified_chunks(&self) -> u64 {
+        self.unverified.iter().map(|r| r.count).sum()
     }
 
     /// Comparison throughput: checkpoint data volume (both runs) over
@@ -133,8 +166,28 @@ mod tests {
             },
             differences: Vec::new(),
             differences_truncated: false,
+            io: RingStats::default(),
+            unverified: Vec::new(),
         };
         assert!((report.throughput_bytes_per_sec() - 1_000_000.0).abs() < 1.0);
         assert!(report.identical());
+        assert!(report.fully_verified());
+    }
+
+    #[test]
+    fn unverified_accounting() {
+        let report = CompareReport {
+            breakdown: CostBreakdown::default(),
+            stats: DataStats::default(),
+            differences: Vec::new(),
+            differences_truncated: false,
+            io: RingStats::default(),
+            unverified: vec![
+                ChunkRange { first: 0, count: 2 },
+                ChunkRange { first: 7, count: 1 },
+            ],
+        };
+        assert!(!report.fully_verified());
+        assert_eq!(report.unverified_chunks(), 3);
     }
 }

@@ -16,7 +16,15 @@ use crate::storage::{AccessMode, Storage};
 use crate::{IoError, IoResult};
 
 /// When to inject a failure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Counter-based plans ([`FaultPlan::EveryNth`],
+/// [`FaultPlan::AfterBytes`], [`FaultPlan::FirstN`],
+/// [`FaultPlan::Probabilistic`]) emit *transient* errors
+/// (`ErrorKind::Interrupted`) — a retry re-rolls the schedule and may
+/// succeed. [`FaultPlan::Range`] models bad media and emits a
+/// *permanent* error (`ErrorKind::InvalidData`): the sector stays bad
+/// no matter how often it is re-read.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultPlan {
     /// Never fail (pass-through).
     None,
@@ -36,6 +44,21 @@ pub enum FaultPlan {
         start: u64,
         /// One past the last poisoned byte.
         end: u64,
+    },
+    /// Fail the first `n` reads, then heal — a transient outage that a
+    /// retrying caller rides out completely.
+    FirstN {
+        /// How many leading reads fail.
+        n: u64,
+    },
+    /// Each read independently fails with probability `p`, decided by
+    /// a deterministic hash of `seed` and the read's sequence number —
+    /// the same run always faults the same reads.
+    Probabilistic {
+        /// Schedule seed.
+        seed: u64,
+        /// Per-read failure probability in `[0, 1]`.
+        p: f64,
     },
 }
 
@@ -68,12 +91,9 @@ impl FaultyStorage {
         self.injected.load(Ordering::Relaxed)
     }
 
-    fn fault(&self) -> IoError {
+    fn fault(&self, kind: std::io::ErrorKind) -> IoError {
         self.injected.fetch_add(1, Ordering::Relaxed);
-        IoError::Os(std::io::Error::new(
-            std::io::ErrorKind::Other,
-            "injected device fault",
-        ))
+        IoError::Os(std::io::Error::new(kind, "injected device fault"))
     }
 }
 
@@ -83,23 +103,36 @@ impl Storage for FaultyStorage {
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> IoResult<()> {
+        use std::io::ErrorKind;
         let read_no = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
         match self.plan {
             FaultPlan::None => {}
             FaultPlan::EveryNth { n } => {
-                if n > 0 && read_no % n == 0 {
-                    return Err(self.fault());
+                if n > 0 && read_no.is_multiple_of(n) {
+                    return Err(self.fault(ErrorKind::Interrupted));
                 }
             }
             FaultPlan::AfterBytes { bytes } => {
                 if self.bytes_served.load(Ordering::Relaxed) >= bytes {
-                    return Err(self.fault());
+                    return Err(self.fault(ErrorKind::Interrupted));
                 }
             }
             FaultPlan::Range { start, end } => {
                 let rd_end = offset + buf.len() as u64;
                 if offset < end && rd_end > start {
-                    return Err(self.fault());
+                    return Err(self.fault(ErrorKind::InvalidData));
+                }
+            }
+            FaultPlan::FirstN { n } => {
+                if read_no <= n {
+                    return Err(self.fault(ErrorKind::Interrupted));
+                }
+            }
+            FaultPlan::Probabilistic { seed, p } => {
+                let roll = (crate::retry::splitmix64(seed ^ read_no) >> 11) as f64
+                    / (1u64 << 53) as f64;
+                if roll < p {
+                    return Err(self.fault(ErrorKind::Interrupted));
                 }
             }
         }
@@ -115,6 +148,10 @@ impl Storage for FaultyStorage {
 
     fn elapsed(&self) -> Duration {
         self.inner.elapsed()
+    }
+
+    fn sim_clock(&self) -> Option<crate::clock::SimClock> {
+        self.inner.sim_clock()
     }
 }
 
@@ -134,7 +171,7 @@ mod tests {
         let s = FaultyStorage::new(base(1024), FaultPlan::None);
         let mut buf = vec![0u8; 64];
         s.read_at(100, &mut buf).unwrap();
-        assert_eq!(buf[0], (100 % 251) as u8);
+        assert_eq!(buf[0], 100);
         assert_eq!(s.injected_faults(), 0);
     }
 
@@ -222,6 +259,62 @@ mod tests {
         let ops: Vec<OpSpec> = (0..16).map(|i| (i * 1024, 256)).collect();
         let err = read_all(faulty, &ops, PipelineConfig::default()).unwrap_err();
         assert!(matches!(err, IoError::Os(_)));
+    }
+
+    #[test]
+    fn first_n_fails_then_heals() {
+        let s = FaultyStorage::new(base(1024), FaultPlan::FirstN { n: 3 });
+        let mut buf = vec![0u8; 8];
+        for _ in 0..3 {
+            let err = s.read_at(0, &mut buf).unwrap_err();
+            assert!(err.is_transient(), "FirstN faults must be transient");
+        }
+        // Healed: every subsequent read succeeds.
+        for _ in 0..10 {
+            assert!(s.read_at(0, &mut buf).is_ok());
+        }
+        assert_eq!(s.injected_faults(), 3);
+    }
+
+    #[test]
+    fn probabilistic_is_deterministic_across_instances() {
+        let schedule = |seed| {
+            let s = FaultyStorage::new(base(1024), FaultPlan::Probabilistic { seed, p: 0.3 });
+            let mut buf = vec![0u8; 8];
+            (0..64).map(|_| s.read_at(0, &mut buf).is_err()).collect::<Vec<_>>()
+        };
+        let a = schedule(42);
+        let b = schedule(42);
+        assert_eq!(a, b, "same seed -> same fault schedule");
+        let faults = a.iter().filter(|&&f| f).count();
+        assert!(
+            (5..=30).contains(&faults),
+            "p=0.3 over 64 reads should fault roughly a third, got {faults}"
+        );
+        let c = schedule(7);
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn fault_kinds_classify_by_plan() {
+        let mut buf = vec![0u8; 8];
+        // Counter-based plans emit transient errors.
+        let s = FaultyStorage::new(base(1024), FaultPlan::EveryNth { n: 1 });
+        assert!(s.read_at(0, &mut buf).unwrap_err().is_transient());
+        // A bad sector is permanent: retrying the same offset can't help.
+        let s = FaultyStorage::new(base(1024), FaultPlan::Range { start: 0, end: 64 });
+        let err = s.read_at(0, &mut buf).unwrap_err();
+        assert_eq!(err.class(), crate::retry::ErrorClass::Permanent);
+    }
+
+    #[test]
+    fn sim_clock_passes_through() {
+        let mem = MemStorage::free(vec![0u8; 64]);
+        let clock = mem.clock();
+        let s = FaultyStorage::new(Arc::new(mem), FaultPlan::None);
+        let got = s.sim_clock().expect("inner MemStorage has a clock");
+        clock.advance(Duration::from_millis(5));
+        assert_eq!(got.now(), Duration::from_millis(5));
     }
 
     #[test]

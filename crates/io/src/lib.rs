@@ -23,6 +23,10 @@
 //!   io_uring is compared against.
 //! * [`pipeline::StreamPipeline`] — the double-buffered I/O ⇄ compute
 //!   overlap of the paper's Figure 3.
+//! * [`retry::RetryPolicy`] — bounded retries with exponential,
+//!   jittered backoff (charged to the virtual clock) and per-op
+//!   deadlines, so transient device faults heal inside the I/O layer
+//!   instead of aborting a whole comparison.
 //!
 //! # Example
 //!
@@ -49,6 +53,7 @@ pub mod cost;
 pub mod fault;
 pub mod mmap;
 pub mod pipeline;
+pub mod retry;
 pub mod storage;
 pub mod striped;
 pub mod uring;
@@ -57,7 +62,8 @@ pub use clock::{SimClock, Timeline};
 pub use cost::CostModel;
 pub use fault::{FaultPlan, FaultyStorage};
 pub use mmap::MmapSim;
-pub use pipeline::{PipelineConfig, StreamPipeline};
+pub use pipeline::{OpFailure, PipelineConfig, StreamPipeline};
+pub use retry::{ErrorClass, RetryPolicy, RingCounters, RingStats};
 pub use storage::{MemStorage, StdFsStorage, Storage};
 pub use striped::StripedStorage;
 pub use uring::UringSim;
@@ -78,6 +84,36 @@ pub enum IoError {
     Os(std::io::Error),
     /// An I/O worker thread disappeared (channel closed).
     EngineShutDown,
+}
+
+impl IoError {
+    /// Whether this error is worth retrying.
+    ///
+    /// Interrupted / timed-out / would-block / connection-level OS
+    /// errors are transient (the canonical "device hiccup" kinds);
+    /// bounds violations, engine shutdown, and every other OS kind are
+    /// permanent — re-issuing the identical request cannot help.
+    #[must_use]
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            IoError::Os(e) => match e.kind() {
+                std::io::ErrorKind::Interrupted
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe => ErrorClass::Transient,
+                _ => ErrorClass::Permanent,
+            },
+            IoError::OutOfBounds { .. } | IoError::EngineShutDown => ErrorClass::Permanent,
+        }
+    }
+
+    /// Shorthand for `class() == ErrorClass::Transient`.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
 }
 
 impl std::fmt::Display for IoError {

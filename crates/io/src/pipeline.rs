@@ -19,6 +19,7 @@ use std::thread::JoinHandle;
 
 use crate::cost::OpSpec;
 use crate::mmap::MmapSim;
+use crate::retry::{RetryPolicy, RingCounters, RingStats};
 use crate::storage::{AccessMode, Storage};
 use crate::uring::UringSim;
 use crate::{IoError, IoResult};
@@ -50,6 +51,15 @@ pub struct PipelineConfig {
     /// Buffer pool size: slices that may exist before the consumer
     /// drains one (2 = classic double buffering).
     pub buffers: usize,
+    /// Retry policy applied to every read before its failure is
+    /// surfaced (default: no retries).
+    pub retry: RetryPolicy,
+    /// When `false` (the default) the stream terminates at the first
+    /// op whose retries are exhausted, matching fail-fast semantics.
+    /// When `true`, failed ops are zero-filled, recorded in
+    /// [`Slice::failed`], and the stream keeps flowing — the
+    /// quarantining caller decides what to do with the holes.
+    pub continue_on_error: bool,
 }
 
 impl Default for PipelineConfig {
@@ -60,8 +70,19 @@ impl Default for PipelineConfig {
             io_threads: 4,
             queue_depth: 64,
             buffers: 2,
+            retry: RetryPolicy::none(),
+            continue_on_error: false,
         }
     }
+}
+
+/// One op whose reads never succeeded, even after retries.
+#[derive(Debug)]
+pub struct OpFailure {
+    /// Global index (into the original op list) of the failed op.
+    pub op: usize,
+    /// The final error after the retry budget was spent.
+    pub error: IoError,
 }
 
 /// One filled buffer: a contiguous batch of ops and their payloads.
@@ -71,8 +92,12 @@ pub struct Slice {
     pub first_op: usize,
     /// The ops this slice carries, in original order.
     pub ops: Vec<OpSpec>,
-    /// Concatenated payloads, op by op.
+    /// Concatenated payloads, op by op. Failed ops occupy their full
+    /// length as zeroes so payload offsets stay correct.
     pub data: Vec<u8>,
+    /// Ops in this slice whose reads failed after retries (empty unless
+    /// [`PipelineConfig::continue_on_error`] is set).
+    pub failed: Vec<OpFailure>,
 }
 
 impl Slice {
@@ -106,6 +131,7 @@ impl Slice {
 pub struct StreamPipeline {
     rx: Receiver<IoResult<Slice>>,
     reader: Option<JoinHandle<()>>,
+    counters: Arc<RingCounters>,
 }
 
 impl StreamPipeline {
@@ -113,12 +139,17 @@ impl StreamPipeline {
     #[must_use]
     pub fn start(storage: Arc<dyn Storage>, ops: Vec<OpSpec>, config: PipelineConfig) -> Self {
         let (tx, rx) = bounded::<IoResult<Slice>>(config.buffers.max(1));
+        let counters = Arc::new(RingCounters::default());
+        let reader_counters = Arc::clone(&counters);
         let reader = std::thread::spawn(move || {
+            let counters = reader_counters;
             let mut ring = match config.backend {
-                BackendKind::Uring => Some(UringSim::with_arc(
+                BackendKind::Uring => Some(UringSim::with_shared_counters(
                     Arc::clone(&storage),
                     config.io_threads,
                     config.queue_depth,
+                    config.retry,
+                    Arc::clone(&counters),
                 )),
                 _ => None,
             };
@@ -129,6 +160,7 @@ impl StreamPipeline {
                 )),
                 _ => None,
             };
+            let clock = storage.sim_clock();
 
             let mut i = 0usize;
             while i < ops.len() {
@@ -144,38 +176,89 @@ impl StreamPipeline {
 
                 let filled: IoResult<Slice> = (|| {
                     let mut data = Vec::with_capacity(bytes);
+                    let mut failed: Vec<OpFailure> = Vec::new();
                     match config.backend {
                         BackendKind::Uring => {
-                            let bufs = ring
+                            // Workers retry internally and tally the
+                            // shared counters; only harvest here.
+                            let results = ring
                                 .as_mut()
                                 .expect("uring backend present")
-                                .read_scattered(&batch)?;
-                            for buf in bufs {
-                                data.extend_from_slice(&buf);
+                                .read_scattered_results(&batch)?;
+                            for (k, result) in results.into_iter().enumerate() {
+                                match result {
+                                    Ok(buf) => data.extend_from_slice(&buf),
+                                    Err(error) => {
+                                        data.resize(data.len() + batch[k].1, 0);
+                                        failed.push(OpFailure {
+                                            op: first_op + k,
+                                            error,
+                                        });
+                                    }
+                                }
                             }
                         }
                         BackendKind::Mmap => {
-                            let bufs = map
-                                .as_ref()
-                                .expect("mmap backend present")
-                                .read_scattered(&batch)?;
-                            for buf in bufs {
-                                data.extend_from_slice(&buf);
+                            let map = map.as_ref().expect("mmap backend present");
+                            counters.record_submitted(batch.len() as u64);
+                            for (k, &(offset, len)) in batch.iter().enumerate() {
+                                let (result, retries) = config
+                                    .retry
+                                    .run(clock.as_ref(), || map.read(offset, len));
+                                counters.record_retries(u64::from(retries));
+                                match result {
+                                    Ok(buf) => {
+                                        counters.record_completed();
+                                        data.extend_from_slice(&buf);
+                                    }
+                                    Err(error) => {
+                                        counters.record_gave_up();
+                                        data.resize(data.len() + len, 0);
+                                        failed.push(OpFailure {
+                                            op: first_op + k,
+                                            error,
+                                        });
+                                    }
+                                }
                             }
                         }
                         BackendKind::Blocking => {
                             storage.charge_batch(&batch, AccessMode::Sync);
-                            for &(offset, len) in &batch {
+                            counters.record_submitted(batch.len() as u64);
+                            for (k, &(offset, len)) in batch.iter().enumerate() {
                                 let start = data.len();
                                 data.resize(start + len, 0);
-                                storage.read_at(offset, &mut data[start..])?;
+                                let (result, retries) = config.retry.run(clock.as_ref(), || {
+                                    storage.read_at(offset, &mut data[start..])
+                                });
+                                counters.record_retries(u64::from(retries));
+                                match result {
+                                    Ok(()) => counters.record_completed(),
+                                    Err(error) => {
+                                        counters.record_gave_up();
+                                        data[start..].fill(0);
+                                        failed.push(OpFailure {
+                                            op: first_op + k,
+                                            error,
+                                        });
+                                    }
+                                }
                             }
                         }
+                    }
+                    if !config.continue_on_error {
+                        // Fail-fast: surface the first exhausted op as
+                        // the stream's terminal error.
+                        if let Some(first) = failed.into_iter().next() {
+                            return Err(first.error);
+                        }
+                        failed = Vec::new();
                     }
                     Ok(Slice {
                         first_op,
                         ops: batch,
                         data,
+                        failed,
                     })
                 })();
 
@@ -188,12 +271,26 @@ impl StreamPipeline {
         StreamPipeline {
             rx,
             reader: Some(reader),
+            counters,
         }
     }
 
     /// Blocks for the next slice; `None` when the stream is exhausted.
     pub fn next_slice(&mut self) -> Option<IoResult<Slice>> {
         self.rx.recv().ok()
+    }
+
+    /// The shared traffic counters (live handle; clone before consuming
+    /// the pipeline to read final statistics afterwards).
+    #[must_use]
+    pub fn counters(&self) -> Arc<RingCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// A snapshot of traffic through this pipeline so far.
+    #[must_use]
+    pub fn stats(&self) -> RingStats {
+        self.counters.snapshot()
     }
 }
 
@@ -370,6 +467,80 @@ mod tests {
         );
         let _ = pipeline.next_slice();
         drop(pipeline); // reader blocked on send must exit cleanly
+    }
+
+    #[test]
+    fn continue_on_error_streams_past_failures_with_holes() {
+        use crate::fault::{FaultPlan, FaultyStorage};
+        let (storage, data) = make(1 << 16);
+        let faulty = Arc::new(FaultyStorage::new(
+            storage,
+            FaultPlan::Range {
+                start: 8192,
+                end: 8192 + 4096,
+            },
+        )) as Arc<dyn Storage>;
+        let ops = chunk_ops(1 << 16, 4096); // ops 2 and part of the range
+        let cfg = PipelineConfig {
+            slice_bytes: 8192,
+            continue_on_error: true,
+            ..PipelineConfig::default()
+        };
+        let mut failed_ops = Vec::new();
+        let mut total = 0usize;
+        let pipeline = StreamPipeline::start(Arc::clone(&faulty), ops.clone(), cfg);
+        let counters = pipeline.counters();
+        for slice in pipeline {
+            let slice = slice.expect("stream never terminates on a per-op error");
+            total += slice.data.len();
+            for (op, payload) in slice.payloads() {
+                if slice.failed.iter().any(|f| f.op == op) {
+                    assert!(payload.iter().all(|&b| b == 0), "failed op is zero-filled");
+                } else {
+                    let (off, len) = ops[op];
+                    assert_eq!(payload, &data[off as usize..off as usize + len]);
+                }
+            }
+            failed_ops.extend(slice.failed.iter().map(|f| f.op));
+        }
+        assert_eq!(total, 1 << 16, "every op occupies its full length");
+        assert_eq!(failed_ops, vec![2], "exactly the op overlapping the bad sector");
+        let st = counters.snapshot();
+        assert_eq!(st.submitted, ops.len() as u64);
+        assert_eq!(st.gave_up, 1);
+        assert_eq!(st.completed, ops.len() as u64 - 1);
+    }
+
+    #[test]
+    fn pipeline_retries_heal_transient_faults_transparently() {
+        use crate::fault::{FaultPlan, FaultyStorage};
+        for backend in [BackendKind::Uring, BackendKind::Mmap, BackendKind::Blocking] {
+            let (storage, data) = make(1 << 16);
+            let faulty = Arc::new(FaultyStorage::new(storage, FaultPlan::FirstN { n: 3 }))
+                as Arc<dyn Storage>;
+            let ops = chunk_ops(1 << 16, 4096);
+            let cfg = PipelineConfig {
+                backend,
+                slice_bytes: 8192,
+                retry: RetryPolicy::with_attempts(8),
+                ..PipelineConfig::default()
+            };
+            let all = read_all(faulty, &ops, cfg).unwrap();
+            assert_eq!(all, data, "backend {backend:?} heals the outage");
+        }
+    }
+
+    #[test]
+    fn default_config_remains_fail_fast() {
+        use crate::fault::{FaultPlan, FaultyStorage};
+        let (storage, _) = make(1 << 16);
+        let faulty = Arc::new(FaultyStorage::new(
+            storage,
+            FaultPlan::Range { start: 0, end: 64 },
+        )) as Arc<dyn Storage>;
+        let ops = chunk_ops(1 << 16, 4096);
+        let err = read_all(faulty, &ops, PipelineConfig::default()).unwrap_err();
+        assert!(matches!(err, IoError::Os(_)));
     }
 
     #[test]

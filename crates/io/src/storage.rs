@@ -58,6 +58,15 @@ pub trait Storage: Send + Sync + std::fmt::Debug {
     fn elapsed(&self) -> Duration {
         Duration::ZERO
     }
+
+    /// The virtual clock this storage charges, when it has one.
+    ///
+    /// Retry backoff waits advance this clock instead of sleeping, so
+    /// simulated experiments stay deterministic and instant. Real-file
+    /// backends return `None` (the default) and retries sleep for real.
+    fn sim_clock(&self) -> Option<SimClock> {
+        None
+    }
 }
 
 /// In-memory storage charged against a [`CostModel`].
@@ -160,6 +169,10 @@ impl Storage for MemStorage {
 
     fn elapsed(&self) -> Duration {
         self.clock.now()
+    }
+
+    fn sim_clock(&self) -> Option<SimClock> {
+        Some(self.clock.clone())
     }
 }
 

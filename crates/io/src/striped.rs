@@ -145,6 +145,10 @@ impl Storage for StripedStorage {
     fn elapsed(&self) -> Duration {
         self.clock.now()
     }
+
+    fn sim_clock(&self) -> Option<SimClock> {
+        Some(self.clock.clone())
+    }
 }
 
 #[cfg(test)]

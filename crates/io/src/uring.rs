@@ -19,6 +19,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::cost::OpSpec;
+use crate::retry::{RetryPolicy, RingCounters, RingStats};
 use crate::storage::{AccessMode, Storage};
 use crate::{IoError, IoResult};
 
@@ -52,6 +53,7 @@ pub struct UringSim {
     cq_rx: Receiver<Cqe>,
     workers: Vec<JoinHandle<()>>,
     in_flight: usize,
+    counters: Arc<RingCounters>,
 }
 
 impl UringSim {
@@ -65,6 +67,28 @@ impl UringSim {
     /// As [`UringSim::new`] but sharing an existing storage handle.
     #[must_use]
     pub fn with_arc(storage: Arc<dyn Storage>, io_threads: usize, queue_depth: usize) -> Self {
+        Self::with_shared_counters(
+            storage,
+            io_threads,
+            queue_depth,
+            RetryPolicy::none(),
+            Arc::new(RingCounters::default()),
+        )
+    }
+
+    /// Full-control constructor: failed SQEs are re-submitted inside
+    /// the worker according to `retry` (only transient errors, see
+    /// [`IoError::class`](crate::IoError::class)) before a CQE reports
+    /// the error, and all traffic is tallied into `counters` — which
+    /// may be shared with other rings to aggregate statistics.
+    #[must_use]
+    pub fn with_shared_counters(
+        storage: Arc<dyn Storage>,
+        io_threads: usize,
+        queue_depth: usize,
+        retry: RetryPolicy,
+        counters: Arc<RingCounters>,
+    ) -> Self {
         let io_threads = io_threads.max(1);
         let queue_depth = queue_depth.max(1);
         let (sq_tx, sq_rx) = unbounded::<Sqe>();
@@ -74,10 +98,24 @@ impl UringSim {
             let sq_rx: Receiver<Sqe> = sq_rx.clone();
             let cq_tx: Sender<Cqe> = cq_tx.clone();
             let storage = Arc::clone(&storage);
+            let counters = Arc::clone(&counters);
+            let clock = storage.sim_clock();
             workers.push(std::thread::spawn(move || {
                 while let Ok(sqe) = sq_rx.recv() {
                     let mut buf = vec![0u8; sqe.len];
-                    let result = storage.read_at(sqe.offset, &mut buf).map(|()| buf);
+                    let (result, retries) =
+                        retry.run(clock.as_ref(), || storage.read_at(sqe.offset, &mut buf));
+                    counters.record_retries(u64::from(retries));
+                    let result = match result {
+                        Ok(()) => {
+                            counters.record_completed();
+                            Ok(std::mem::take(&mut buf))
+                        }
+                        Err(e) => {
+                            counters.record_gave_up();
+                            Err(e)
+                        }
+                    };
                     if cq_tx
                         .send(Cqe {
                             user_data: sqe.user_data,
@@ -98,7 +136,20 @@ impl UringSim {
             cq_rx,
             workers,
             in_flight: 0,
+            counters,
         }
+    }
+
+    /// A snapshot of this ring's traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> RingStats {
+        self.counters.snapshot()
+    }
+
+    /// The shared counter handle (clone to aggregate across rings).
+    #[must_use]
+    pub fn counters(&self) -> Arc<RingCounters> {
+        Arc::clone(&self.counters)
     }
 
     /// The device queue depth this ring was created with.
@@ -136,6 +187,7 @@ impl UringSim {
         for sqe in batch {
             tx.send(sqe).map_err(|_| IoError::EngineShutDown)?;
         }
+        self.counters.record_submitted(n as u64);
         self.in_flight += n;
         Ok(n)
     }
@@ -171,6 +223,22 @@ impl UringSim {
     /// The first per-op error encountered, or
     /// [`IoError::EngineShutDown`].
     pub fn read_scattered(&mut self, ops: &[OpSpec]) -> IoResult<Vec<Vec<u8>>> {
+        self.read_scattered_results(ops)?
+            .into_iter()
+            .collect::<IoResult<Vec<Vec<u8>>>>()
+    }
+
+    /// As [`UringSim::read_scattered`] but keeping per-op outcomes
+    /// separate: the outer `Result` fails only on a global engine
+    /// problem ([`IoError::EngineShutDown`]); each inner entry is that
+    /// op's buffer or its error (after any in-worker retries), in op
+    /// order. This is the path a quarantining caller uses — one bad
+    /// sector must not discard its batch-mates.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::EngineShutDown`] if the worker pool is gone.
+    pub fn read_scattered_results(&mut self, ops: &[OpSpec]) -> IoResult<Vec<IoResult<Vec<u8>>>> {
         for (i, &(offset, len)) in ops.iter().enumerate() {
             self.push(Sqe {
                 user_data: i as u64,
@@ -179,11 +247,10 @@ impl UringSim {
             });
         }
         self.submit()?;
-        let mut out: Vec<Option<Vec<u8>>> = (0..ops.len()).map(|_| None).collect();
+        let mut out: Vec<Option<IoResult<Vec<u8>>>> = (0..ops.len()).map(|_| None).collect();
         for _ in 0..ops.len() {
             let cqe = self.wait()?;
-            let buf = cqe.result?;
-            out[cqe.user_data as usize] = Some(buf);
+            out[cqe.user_data as usize] = Some(cqe.result);
         }
         Ok(out.into_iter().map(|b| b.expect("all ops completed")).collect())
     }
@@ -313,6 +380,127 @@ mod tests {
         assert_eq!(ring.queue_depth(), 1);
         let bufs = ring.read_scattered(&[(0, 8)]).unwrap();
         assert_eq!(bufs[0].len(), 8);
+    }
+
+    #[test]
+    fn transient_faults_heal_inside_the_worker() {
+        use crate::fault::{FaultPlan, FaultyStorage};
+        let (s, data) = storage(1 << 16);
+        let faulty = Arc::new(FaultyStorage::new(Arc::new(s), FaultPlan::FirstN { n: 3 }));
+        let mut ring = UringSim::with_shared_counters(
+            faulty.clone(),
+            2,
+            8,
+            RetryPolicy::with_attempts(8),
+            Arc::new(RingCounters::default()),
+        );
+        let ops: Vec<OpSpec> = (0..10).map(|i| (i * 1000, 64)).collect();
+        let bufs = ring.read_scattered(&ops).unwrap();
+        for (buf, &(off, len)) in bufs.iter().zip(&ops) {
+            assert_eq!(&buf[..], &data[off as usize..off as usize + len]);
+        }
+        assert_eq!(faulty.injected_faults(), 3, "first three reads faulted");
+        let st = ring.stats();
+        assert_eq!(st.submitted, 10);
+        assert_eq!(st.completed, 10);
+        assert!(st.retried >= 3, "at least the faulted reads retried: {st:?}");
+        assert_eq!(st.gave_up, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_report_and_count_gave_up() {
+        use crate::fault::{FaultPlan, FaultyStorage};
+        let (s, _) = storage(1 << 16);
+        // Every read fails; 3 attempts are never enough.
+        let faulty = Arc::new(FaultyStorage::new(
+            Arc::new(s),
+            FaultPlan::EveryNth { n: 1 },
+        ));
+        let mut ring = UringSim::with_shared_counters(
+            faulty,
+            2,
+            8,
+            RetryPolicy::with_attempts(3),
+            Arc::new(RingCounters::default()),
+        );
+        let results = ring.read_scattered_results(&[(0, 64), (1000, 64)]).unwrap();
+        assert!(results.iter().all(|r| r.is_err()));
+        let st = ring.stats();
+        assert_eq!(st.submitted, 2);
+        assert_eq!(st.completed, 0);
+        assert_eq!(st.retried, 4, "2 retries per op after the first attempt");
+        assert_eq!(st.gave_up, 2);
+    }
+
+    #[test]
+    fn permanent_faults_are_not_retried() {
+        use crate::fault::{FaultPlan, FaultyStorage};
+        let (s, _) = storage(1 << 16);
+        let faulty = Arc::new(FaultyStorage::new(
+            Arc::new(s),
+            FaultPlan::Range { start: 0, end: 512 },
+        ));
+        let mut ring = UringSim::with_shared_counters(
+            faulty.clone(),
+            1,
+            4,
+            RetryPolicy::with_attempts(10),
+            Arc::new(RingCounters::default()),
+        );
+        let results = ring.read_scattered_results(&[(0, 64)]).unwrap();
+        assert!(results[0].is_err());
+        assert_eq!(
+            faulty.injected_faults(),
+            1,
+            "a bad sector is hit once, not ten times"
+        );
+        assert_eq!(ring.stats().retried, 0);
+    }
+
+    #[test]
+    fn read_scattered_results_mixes_oks_and_errors() {
+        use crate::fault::{FaultPlan, FaultyStorage};
+        let (s, data) = storage(1 << 16);
+        let faulty = Arc::new(FaultyStorage::new(
+            Arc::new(s),
+            FaultPlan::Range {
+                start: 2000,
+                end: 2100,
+            },
+        ));
+        let mut ring = UringSim::with_arc(faulty, 2, 8);
+        let ops: Vec<OpSpec> = vec![(0, 64), (2048, 64), (4096, 64)];
+        let results = ring.read_scattered_results(&ops).unwrap();
+        assert_eq!(&results[0].as_ref().unwrap()[..], &data[0..64]);
+        assert!(results[1].is_err(), "op overlapping the bad sector fails");
+        assert_eq!(&results[2].as_ref().unwrap()[..], &data[4096..4160]);
+    }
+
+    #[test]
+    fn backoff_waits_charge_the_sim_clock_not_wall_time() {
+        use crate::fault::{FaultPlan, FaultyStorage};
+        let (s, _) = storage(1 << 16);
+        let clock = s.clock();
+        let faulty = Arc::new(FaultyStorage::new(Arc::new(s), FaultPlan::FirstN { n: 4 }));
+        let retry = RetryPolicy::with_attempts(8);
+        let mut ring = UringSim::with_shared_counters(
+            faulty,
+            1,
+            4,
+            retry,
+            Arc::new(RingCounters::default()),
+        );
+        let wall = std::time::Instant::now();
+        ring.read_scattered(&[(0, 64)]).unwrap();
+        assert!(
+            wall.elapsed() < Duration::from_millis(200),
+            "backoff must not sleep for real on simulated storage"
+        );
+        assert!(
+            clock.now() >= retry.backoff(1),
+            "waits accrue on the virtual clock: {:?}",
+            clock.now()
+        );
     }
 
     #[test]

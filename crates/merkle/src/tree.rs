@@ -133,7 +133,7 @@ impl MerkleTree {
     /// Number of leaf slots after power-of-two padding.
     #[must_use]
     pub fn padded_leaf_count(&self) -> usize {
-        (self.nodes.len() + 1) / 2
+        self.nodes.len().div_ceil(2)
     }
 
     /// Total node count in the flat array.

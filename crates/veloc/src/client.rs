@@ -11,6 +11,7 @@
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
+use reprocmp_io::RetryPolicy;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -27,6 +28,10 @@ pub struct VelocConfig {
     pub persistent_dir: PathBuf,
     /// Background flush threads.
     pub flush_threads: usize,
+    /// Retry policy for background flushes. A flush is attempted up to
+    /// `flush_retry.max_attempts` times with real backoff sleeps before
+    /// the checkpoint is marked [`CheckpointState::Failed`].
+    pub flush_retry: RetryPolicy,
 }
 
 impl VelocConfig {
@@ -37,6 +42,7 @@ impl VelocConfig {
             scratch_dir: base.join("scratch"),
             persistent_dir: base.join("pfs"),
             flush_threads: 2,
+            flush_retry: RetryPolicy::with_attempts(3),
         }
     }
 }
@@ -131,6 +137,10 @@ pub struct ClientStats {
 
 type Key = (String, u64);
 
+/// A restored checkpoint: its version plus each region's values by
+/// name (see [`Client::restart_latest`]).
+pub type RestoredCheckpoint = (u64, HashMap<String, Vec<f32>>);
+
 #[derive(Debug, Default)]
 struct Tracker {
     states: Mutex<HashMap<Key, CheckpointState>>,
@@ -159,12 +169,13 @@ impl Client {
         let tracker = Arc::new(Tracker::default());
         let (tx, rx) = unbounded::<(Key, PathBuf, PathBuf)>();
         let mut flushers = Vec::new();
+        let retry = config.flush_retry;
         for _ in 0..config.flush_threads.max(1) {
             let rx = rx.clone();
             let tracker = Arc::clone(&tracker);
             flushers.push(std::thread::spawn(move || {
                 while let Ok((key, from, to)) = rx.recv() {
-                    let ok = std::fs::copy(&from, &to).is_ok();
+                    let ok = flush_file(&from, &to, &retry);
                     let mut states = tracker.states.lock();
                     states.insert(
                         key,
@@ -188,6 +199,14 @@ impl Client {
 
     fn file_name(name: &str, version: u64) -> String {
         format!("{name}.v{version:06}.ckpt")
+    }
+
+    /// Parses a `{name}.v{version}.ckpt` file name back into its key.
+    fn parse_file_name(fname: &str) -> Option<(String, u64)> {
+        let stem = fname.strip_suffix(".ckpt")?;
+        let dot_v = stem.rfind(".v")?;
+        let version = stem[dot_v + 2..].parse::<u64>().ok()?;
+        Some((stem[..dot_v].to_owned(), version))
     }
 
     /// Path of a checkpoint on the persistent tier (present only after
@@ -232,15 +251,82 @@ impl Client {
             // Worker pool outlives senders only if we keep tx; a send
             // failure means we are shutting down — flush inline then.
             if tx.send((key.clone(), local.clone(), remote.clone())).is_err() {
-                std::fs::copy(&local, &remote)?;
-                self.tracker
-                    .states
-                    .lock()
-                    .insert(key, CheckpointState::Flushed);
+                let ok = flush_file(&local, &remote, &self.config.flush_retry);
+                self.tracker.states.lock().insert(
+                    key,
+                    if ok {
+                        CheckpointState::Flushed
+                    } else {
+                        CheckpointState::Failed
+                    },
+                );
                 self.tracker.changed.notify_all();
             }
         }
         Ok(())
+    }
+
+    /// Crash recovery: reconciles the two tiers after a restart.
+    ///
+    /// Removes orphaned `*.tmp` files left by flushes that were
+    /// interrupted mid-copy (the atomic rename never happened, so the
+    /// persistent tier holds no torn checkpoint), then scans the
+    /// scratch tier: every checkpoint already durable is adopted as
+    /// [`CheckpointState::Flushed`]; every local-only checkpoint is
+    /// re-enqueued for background flush. Returns the re-enqueued
+    /// `(name, version)` keys, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Directory listing or file removal failures.
+    pub fn recover(&self) -> Result<Vec<(String, u64)>, VelocError> {
+        // 1. Sweep torn temporaries off the persistent tier.
+        for entry in std::fs::read_dir(&self.config.persistent_dir)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().ends_with(".tmp") {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        // 2. Re-adopt every scratch checkpoint.
+        let mut requeued = Vec::new();
+        for entry in std::fs::read_dir(&self.config.scratch_dir)? {
+            let entry = entry?;
+            let fname = entry.file_name();
+            let Some((name, version)) = Self::parse_file_name(&fname.to_string_lossy()) else {
+                continue;
+            };
+            let key = (name.clone(), version);
+            let remote = self.persistent_path(&name, version);
+            if remote.exists() {
+                self.tracker
+                    .states
+                    .lock()
+                    .entry(key)
+                    .or_insert(CheckpointState::Flushed);
+            } else {
+                self.tracker
+                    .states
+                    .lock()
+                    .insert(key.clone(), CheckpointState::Local);
+                if let Some(tx) = &self.flush_tx {
+                    if tx.send((key, entry.path(), remote.clone())).is_err() {
+                        let ok = flush_file(&entry.path(), &remote, &self.config.flush_retry);
+                        self.tracker.states.lock().insert(
+                            (name.clone(), version),
+                            if ok {
+                                CheckpointState::Flushed
+                            } else {
+                                CheckpointState::Failed
+                            },
+                        );
+                        self.tracker.changed.notify_all();
+                    }
+                }
+                requeued.push((name, version));
+            }
+        }
+        requeued.sort();
+        Ok(requeued)
     }
 
     /// Current state of a checkpoint, if it was taken by this client.
@@ -357,10 +443,7 @@ impl Client {
     /// # Errors
     ///
     /// I/O or decode failures.
-    pub fn restart_latest(
-        &self,
-        name: &str,
-    ) -> Result<Option<(u64, HashMap<String, Vec<f32>>)>, VelocError> {
+    pub fn restart_latest(&self, name: &str) -> Result<Option<RestoredCheckpoint>, VelocError> {
         let Some(&version) = self.versions(name)?.last() else {
             return Ok(None);
         };
@@ -381,6 +464,38 @@ impl Drop for Client {
             let _ = h.join();
         }
     }
+}
+
+/// `to` with `.tmp` appended to its extension.
+fn tmp_path(to: &Path) -> PathBuf {
+    let mut os = to.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Crash-consistent, retrying flush: copy to `{to}.tmp`, then atomic
+/// rename. A crash mid-copy leaves only a `.tmp` orphan (swept by
+/// [`Client::recover`]); the destination either doesn't exist or is a
+/// complete checkpoint. Filesystem errors don't distinguish transient
+/// from permanent causes, so every failure is retried up to the
+/// policy's attempt budget with real backoff sleeps.
+fn flush_file(from: &Path, to: &Path, retry: &RetryPolicy) -> bool {
+    let tmp = tmp_path(to);
+    let attempts = retry.max_attempts.max(1);
+    for attempt in 1..=attempts {
+        let result = std::fs::copy(from, &tmp).and_then(|_| std::fs::rename(&tmp, to));
+        match result {
+            Ok(()) => return true,
+            Err(_) if attempt < attempts => {
+                std::thread::sleep(retry.backoff(attempt));
+            }
+            Err(_) => {
+                std::fs::remove_file(&tmp).ok();
+                return false;
+            }
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -513,6 +628,86 @@ mod tests {
         assert_eq!(stats.failed, 0);
         assert!(stats.scratch_bytes > 0);
         assert_eq!(stats.scratch_bytes, stats.persistent_bytes);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn parse_file_name_round_trips() {
+        assert_eq!(
+            Client::parse_file_name("hacc.rank0.v000010.ckpt"),
+            Some(("hacc.rank0".to_owned(), 10))
+        );
+        assert_eq!(
+            Client::parse_file_name(&Client::file_name("sim", 3)),
+            Some(("sim".to_owned(), 3))
+        );
+        assert_eq!(Client::parse_file_name("sim.v000003.ckpt.tmp"), None);
+        assert_eq!(Client::parse_file_name("notes.txt"), None);
+        assert_eq!(Client::parse_file_name("sim.vNaN.ckpt"), None);
+    }
+
+    #[test]
+    fn flush_leaves_no_temporaries_behind() {
+        let (client, base) = temp_client("atomic");
+        for v in [1u64, 2, 3] {
+            client.checkpoint("s", v, &[("x", &field(256, 1.0))]).unwrap();
+        }
+        client.wait_all().unwrap();
+        let leftovers: Vec<String> = std::fs::read_dir(base.join("pfs"))
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| !n.ends_with(".ckpt"))
+            .collect();
+        assert!(leftovers.is_empty(), "non-checkpoint files on pfs: {leftovers:?}");
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn recover_on_clean_state_is_a_noop() {
+        let (client, base) = temp_client("cleanrec");
+        client.checkpoint("s", 1, &[("x", &field(64, 1.0))]).unwrap();
+        client.wait_all().unwrap();
+        assert_eq!(client.recover().unwrap(), vec![]);
+        assert_eq!(client.versions("s").unwrap(), vec![1]);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn recover_requeues_local_only_checkpoints_and_sweeps_tmp() {
+        let base = std::env::temp_dir()
+            .join(format!("reprocmp-veloc-crash-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let config = VelocConfig::rooted_at(&base);
+        {
+            let client = Client::new(config.clone()).unwrap();
+            for v in [1u64, 2, 3] {
+                client
+                    .checkpoint("sim", v, &[("x", &field(128, v as f32))])
+                    .unwrap();
+            }
+            client.wait_all().unwrap();
+        }
+        // Simulate a crash that struck after v1 was durable: v2 and v3
+        // never made it to the PFS, and v3's flush died mid-copy,
+        // leaving a torn temporary.
+        let pfs = base.join("pfs");
+        std::fs::remove_file(pfs.join("sim.v000002.ckpt")).unwrap();
+        std::fs::remove_file(pfs.join("sim.v000003.ckpt")).unwrap();
+        std::fs::write(pfs.join("sim.v000003.ckpt.tmp"), b"torn partial copy").unwrap();
+
+        let client = Client::new(config).unwrap();
+        let requeued = client.recover().unwrap();
+        assert_eq!(requeued, vec![("sim".to_owned(), 2), ("sim".to_owned(), 3)]);
+        client.wait_all().unwrap();
+        assert_eq!(client.versions("sim").unwrap(), vec![1, 2, 3]);
+        let (ver, regions) = client.restart_latest("sim").unwrap().unwrap();
+        assert_eq!(ver, 3);
+        assert_eq!(regions["x"][1], 3.0);
+        assert!(
+            !pfs.join("sim.v000003.ckpt.tmp").exists(),
+            "orphaned temporary swept"
+        );
         std::fs::remove_dir_all(&base).ok();
     }
 

@@ -42,6 +42,7 @@ fn main() {
                 io_threads: 4,
                 queue_depth: 64,
                 buffers: 2,
+                ..PipelineConfig::default()
             };
             read_all(Arc::new(storage), &flagged, cfg).expect("stream");
             clock.now()

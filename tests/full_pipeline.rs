@@ -5,10 +5,15 @@
 use reprocmp::core::{CheckpointSource, CompareEngine, Direct, EngineConfig};
 use reprocmp::hacc::{HaccConfig, OrderPolicy, Simulation, SlabDecomposition};
 use reprocmp::veloc::{decode_checkpoint, read_region, Client, VelocConfig};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 const CHUNK: usize = 512;
-const BOUND: f64 = 1e-7;
+// Below one ulp of the O(1) position scale (ulp(1.0) ≈ 6e-8 for f32),
+// so single-rounding-difference drift — the scheduling noise the paper
+// targets — is already above the bound. How far ulp-level noise
+// amplifies in 30 steps depends on the RNG's permutation stream, so a
+// looser bound would make this test a coin flip.
+const BOUND: f64 = 1e-8;
 
 fn temp(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("reprocmp-it-{tag}-{}", std::process::id()));
@@ -17,7 +22,7 @@ fn temp(tag: &str) -> PathBuf {
     d
 }
 
-fn capture_run(base: &PathBuf, run: &str, order: OrderPolicy, steps: u64) {
+fn capture_run(base: &Path, run: &str, order: OrderPolicy, steps: u64) {
     let client = Client::new(VelocConfig::rooted_at(base)).unwrap();
     let mut cfg = HaccConfig::small();
     cfg.particles = 1_024;

@@ -7,7 +7,7 @@ use reprocmp::core::{
     OnlinePolicy, OnlineVerdict,
 };
 use reprocmp::veloc::{decode_checkpoint, Client, VelocConfig};
-use std::path::PathBuf;
+use std::path::Path;
 
 const ITERS: [u64; 3] = [10, 20, 30];
 
@@ -32,7 +32,7 @@ fn payload(iter: u64, perturb: Option<(usize, f32)>) -> Vec<f32> {
 /// Captures the reference run to disk and returns a history whose
 /// sources read the *files* (payload via `StdFsStorage`, metadata from
 /// sidecar tree files).
-fn capture_reference(base: &PathBuf, e: &CompareEngine) -> CheckpointHistory {
+fn capture_reference(base: &Path, e: &CompareEngine) -> CheckpointHistory {
     let client = Client::new(VelocConfig::rooted_at(base)).unwrap();
     let mut history = CheckpointHistory::new();
     for &iter in &ITERS {

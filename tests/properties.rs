@@ -183,6 +183,63 @@ proptest! {
         prop_assert_eq!(out, data);
     }
 
+    /// Robustness invariant: a transient outage shorter than the retry
+    /// budget is invisible — under `FirstN { n }` faults with more than
+    /// `n` attempts allowed, a Quarantine-policy comparison produces a
+    /// report identical to the fault-free run (nothing quarantined,
+    /// same differences).
+    #[test]
+    fn retried_transient_faults_never_change_the_report(
+        base in payload(2_000),
+        perturbations in proptest::collection::vec((0usize..2_000, 0.5f32..1.5), 1..10),
+        faults in 0u64..6,
+    ) {
+        use reprocmp::core::FailurePolicy;
+        use reprocmp::io::{FaultPlan, FaultyStorage, RetryPolicy};
+        use std::sync::Arc;
+
+        let mut other = base.clone();
+        for &(idx, delta) in &perturbations {
+            if idx < other.len() {
+                other[idx] += delta;
+            }
+        }
+
+        let make_engine = || CompareEngine::new(EngineConfig {
+            chunk_bytes: 64,
+            error_bound: 1e-4,
+            failure_policy: FailurePolicy::Quarantine,
+            // Only the first `faults` reads fail, so `faults + 1`
+            // attempts always suffice.
+            io: reprocmp::io::PipelineConfig {
+                retry: RetryPolicy::with_attempts(faults as u32 + 1),
+                ..reprocmp::io::PipelineConfig::default()
+            },
+            ..EngineConfig::default()
+        });
+
+        let e = make_engine();
+        let a = CheckpointSource::in_memory(&base, &e).unwrap();
+        let mut b = CheckpointSource::in_memory(&other, &e).unwrap();
+        b.data = Arc::new(FaultyStorage::new(
+            Arc::clone(&b.data),
+            FaultPlan::FirstN { n: faults },
+        ));
+        let report = e.compare(&a, &b).unwrap();
+
+        let clean_a = CheckpointSource::in_memory(&base, &e).unwrap();
+        let clean_b = CheckpointSource::in_memory(&other, &e).unwrap();
+        let clean = e.compare(&clean_a, &clean_b).unwrap();
+
+        prop_assert!(report.fully_verified());
+        prop_assert_eq!(report.stats.diff_count, clean.stats.diff_count);
+        prop_assert_eq!(report.stats.chunks_flagged, clean.stats.chunks_flagged);
+        let got: Vec<u64> = report.differences.iter().map(|d| d.index).collect();
+        let want: Vec<u64> = clean.differences.iter().map(|d| d.index).collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(report.io.gave_up, 0);
+    }
+
     /// Identical payloads always produce identical roots; a payload
     /// with any value changed by more than the bound never does.
     #[test]

@@ -1,0 +1,262 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` harness shape and the
+//! group/bencher API this workspace's benches use, but measures with a
+//! simple mean-of-N wall-clock loop (~20 ms per benchmark) and prints
+//! one line per benchmark — no statistics, plots, or baselines.
+//!
+//! When the binary is invoked with `--test` (what `cargo test` passes
+//! to `harness = false` targets) every routine runs exactly once so
+//! the test suite stays fast. See `vendor/README.md`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Work-per-iteration declaration used to print throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        BenchmarkId { text }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+            measurement_time: Duration::from_millis(20),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name and throughput setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work done by one iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is time-bounded,
+    /// not count-bounded.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Wall-clock budget for measuring each benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing happens per benchmark).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            budget: self.measurement_time,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id.text);
+        if bencher.iters == 0 {
+            println!("bench {label:<50} (no iterations)");
+            return;
+        }
+        let mean = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) if mean > 0.0 => {
+                format!("  {:10.3} GB/s", b as f64 / mean / 1e9)
+            }
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:10.3} Melem/s", n as f64 / mean / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {label:<50} {:>12.3} us/iter ({} iters){rate}",
+            mean * 1e6,
+            bencher.iters
+        );
+    }
+}
+
+/// Times the benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its mean time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.iter_with_setup(|| (), |()| routine());
+    }
+
+    /// Runs `setup` untimed before each timed `routine` call.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.iters = 0;
+        self.elapsed = Duration::ZERO;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.elapsed += start.elapsed();
+            drop(black_box(out));
+            self.iters += 1;
+            if self.test_mode || self.elapsed >= self.budget || self.iters >= 1000 {
+                return;
+            }
+        }
+    }
+}
+
+/// Declares a function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("demo");
+        group.throughput(Throughput::Bytes(1024));
+        group.measurement_time(Duration::from_millis(2));
+        let mut count = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 3), &vec![1u8, 2, 3], |b, v| {
+            b.iter(|| v.iter().copied().map(u64::from).sum::<u64>())
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("fast");
+        let mut count = 0u64;
+        group.bench_function("one", |b| b.iter(|| count += 1));
+        group.finish();
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Minimal offline stand-in for `serde_derive` (serialize-only).
+//!
+//! Implements `#[derive(Serialize)]` for the two shapes this workspace
+//! uses — structs with named fields and enums whose variants are all
+//! unit-like — by walking the raw `TokenStream` (no `syn`/`quote`) and
+//! emitting an impl of the stand-in `serde::Serialize` trait. Field
+//! attributes like `#[serde(...)]` are not supported; unsupported
+//! shapes produce a `compile_error!`. See `vendor/README.md`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stand-in `serde::Serialize` for a named-field struct or
+/// a unit-variant enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility ahead of the item keyword.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        _ => return Err("Serialize: expected `struct` or `enum`".to_owned()),
+    };
+    i += 1;
+
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("Serialize: expected a type name".to_owned()),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("Serialize: generic type `{name}` is not supported"));
+    }
+
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or_else(|| format!("Serialize: `{name}` must have a braced body"))?;
+
+    let impl_body = if kind == "struct" {
+        let fields = named_fields(body)
+            .ok_or_else(|| format!("Serialize: `{name}` must use named fields"))?;
+        let entries: Vec<String> = fields
+            .iter()
+            .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f}))"))
+            .collect();
+        format!("serde::Value::Object(vec![{}])", entries.join(", "))
+    } else {
+        let variants = unit_variants(body)
+            .ok_or_else(|| format!("Serialize: `{name}` must have only unit variants"))?;
+        let arms: Vec<String> = variants
+            .iter()
+            .map(|v| format!("{name}::{v} => serde::Value::String({v:?}.to_string())"))
+            .collect();
+        format!("match self {{ {} }}", arms.join(", "))
+    };
+
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {impl_body} }}\n\
+         }}"
+    )
+    .parse()
+    .map_err(|e| format!("Serialize: generated impl failed to parse: {e:?}"))
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `pub(crate)` and friends
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field struct body, or `None` on tuple bodies.
+fn named_fields(body: TokenStream) -> Option<Vec<String>> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    // Commas inside `<...>` generics are not field separators; groups
+    // ((), [], {}) arrive pre-nested as single tokens.
+    let mut angle_depth = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            _ => return None,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return None,
+        }
+        fields.push(name);
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Some(fields)
+}
+
+/// Variant names of an all-unit enum body, or `None` if any variant
+/// carries data.
+fn unit_variants(body: TokenStream) -> Option<Vec<String>> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            None => break,
+            _ => return None,
+        }
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => break,
+            _ => return None, // tuple/struct variant or discriminant
+        }
+    }
+    Some(variants)
+}

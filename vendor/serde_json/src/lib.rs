@@ -1,0 +1,195 @@
+//! Minimal offline stand-in for `serde_json` (serialize-only).
+//!
+//! Renders the stand-in `serde::Value` tree to JSON text. Matches the
+//! upstream crate where it is observable here: non-finite floats render
+//! as `null`, strings are escaped per RFC 8259, and pretty output uses
+//! two-space indentation. See `vendor/README.md`.
+
+use serde::{Serialize, Value};
+
+/// Serialization error.
+///
+/// The stand-in serializer is total over `serde::Value`, so this is
+/// never produced today; it exists so call sites keep their upstream
+/// `Result` shape.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails with the stand-in data model; see [`Error`].
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Renders `value` as pretty JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails with the stand-in data model; see [`Error`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                out.push_str(&format_float(*f));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), items.len(), indent, depth, |o, v, d| {
+            write_value(o, v, indent, d);
+        }),
+        Value::Object(entries) => {
+            out.push('{');
+            write_entries(out, entries, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn write_seq<'v, I: Iterator<Item = &'v Value>>(
+    out: &mut String,
+    items: I,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, &Value, usize),
+) {
+    out.push('[');
+    if len > 0 {
+        for (i, item) in items.enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            newline_indent(out, indent, depth + 1);
+            write_item(out, item, depth + 1);
+        }
+        newline_indent(out, indent, depth);
+    }
+    out.push(']');
+}
+
+fn write_entries(out: &mut String, entries: &[(String, Value)], indent: Option<usize>, depth: usize) {
+    if entries.is_empty() {
+        return;
+    }
+    for (i, (key, value)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent, depth + 1);
+        write_string(out, key);
+        out.push(':');
+        if indent.is_some() {
+            out.push(' ');
+        }
+        write_value(out, value, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Shortest-ish float text that still round-trips as a JSON number:
+/// Rust's `{}` for f64 is round-trip minimal already, but renders
+/// integral floats without a decimal point; add `.0` so the output
+/// stays typed as a float on re-read.
+fn format_float(f: f64) -> String {
+    let s = format!("{f}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            ("b".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            ("c".into(), Value::Float(1.5)),
+        ]);
+        assert_eq!(to_string(&Shim(v)).unwrap(), r#"{"a":1,"b":[true,null],"c":1.5}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string("a\"b\\c\nd").unwrap(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Value::Object(vec![("k".into(), Value::Array(vec![Value::UInt(1)]))]);
+        assert_eq!(
+            to_string_pretty(&Shim(v)).unwrap(),
+            "{\n  \"k\": [\n    1\n  ]\n}"
+        );
+    }
+
+    /// Wraps a raw `Value` so the `Serialize`-taking API accepts it.
+    struct Shim(Value);
+
+    impl Serialize for Shim {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+}

@@ -1,0 +1,36 @@
+# Developer entry points. `make verify` is the full pre-merge check:
+# release build, the whole test suite, lints as errors, and formatting.
+
+CARGO ?= cargo
+
+.PHONY: verify build test lint fmt goldens gate bench-figures
+
+verify: build test lint fmt gate
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+lint:
+	$(CARGO) clippy --workspace -- -D warnings
+
+fmt:
+	$(CARGO) fmt --check
+
+# The CI regression gate (correctness + stage-2 I/O budget vs the
+# committed baseline breakdown); exits non-zero on a regression.
+gate:
+	$(CARGO) run --release --example ci_regression_gate
+
+# Regenerate the golden CompareReport JSONs after an intentional
+# engine change (review the diff before committing).
+goldens:
+	UPDATE_GOLDEN=1 $(CARGO) test --test golden_reports
+
+# Re-run every figure/table harness; results land in bench_results/.
+bench-figures:
+	for bin in fig5 fig6 fig7 fig8 fig9 fig10 table1 table2 ablate; do \
+		$(CARGO) run --release -p reprocmp-bench --bin $$bin || exit 1; \
+	done

@@ -54,7 +54,9 @@ fn bench_capture(c: &mut Criterion) {
                 store
             },
             |mut store| {
-                store.append(&engine, 1, std::hint::black_box(&pair.run2)).unwrap();
+                store
+                    .append(&engine, 1, std::hint::black_box(&pair.run2))
+                    .unwrap();
             },
         );
     });

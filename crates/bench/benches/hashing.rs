@@ -46,7 +46,9 @@ fn bench_chunk_hash(c: &mut Criterion) {
             &values,
             |b, values| {
                 let mut scratch = Vec::new();
-                b.iter(|| hasher.hash_chunk_with_scratch(std::hint::black_box(values), &mut scratch));
+                b.iter(|| {
+                    hasher.hash_chunk_with_scratch(std::hint::black_box(values), &mut scratch)
+                });
             },
         );
     }

@@ -64,8 +64,12 @@ fn bench_pipeline(c: &mut Criterion) {
                     ..PipelineConfig::default()
                 };
                 b.iter(|| {
-                    read_all(Arc::clone(&storage) as Arc<dyn reprocmp_io::Storage>, &ops, cfg)
-                        .unwrap()
+                    read_all(
+                        Arc::clone(&storage) as Arc<dyn reprocmp_io::Storage>,
+                        &ops,
+                        cfg,
+                    )
+                    .unwrap()
                 });
             },
         );

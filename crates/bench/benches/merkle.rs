@@ -22,7 +22,9 @@ fn bench_build(c: &mut Criterion) {
         ("parallel", Device::host_auto()),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &values, |b, values| {
-            b.iter(|| MerkleTree::build_from_f32(std::hint::black_box(values), 4096, &hasher, &device));
+            b.iter(|| {
+                MerkleTree::build_from_f32(std::hint::black_box(values), 4096, &hasher, &device)
+            });
         });
     }
     group.finish();

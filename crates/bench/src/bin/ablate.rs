@@ -16,9 +16,7 @@
 //! cargo run -p reprocmp-bench --bin ablate --release
 //! ```
 
-use reprocmp_bench::{
-    fmt_dur, modeled_sources, DivergenceSpec, DivergentPair, Recorder,
-};
+use reprocmp_bench::{fmt_dur, modeled_sources, DivergenceSpec, DivergentPair, Recorder};
 use reprocmp_core::{CompareEngine, EngineConfig};
 use reprocmp_device::Device;
 use reprocmp_hash::{ChunkHasher, Quantizer};
@@ -54,7 +52,12 @@ fn main() {
             out.mismatched_leaves.len(),
             fmt_dur(wall),
         );
-        rec.push("ablate-bfs", &[("start", label.into())], "nodes_visited", out.nodes_visited as f64);
+        rec.push(
+            "ablate-bfs",
+            &[("start", label.into())],
+            "nodes_visited",
+            out.nodes_visited as f64,
+        );
     }
 
     // ---- 2 & 3 & 4: stage-two I/O strategy ------------------------
@@ -82,18 +85,46 @@ fn main() {
         ..base
     });
     println!("  uring rings     : {}", fmt_dur(t_uring));
-    println!("  mmap faulting   : {}  ({:.1}x slower)", fmt_dur(t_mmap), t_mmap.as_secs_f64() / t_uring.as_secs_f64());
-    println!("  blocking reads  : {}  ({:.1}x slower)", fmt_dur(t_blocking), t_blocking.as_secs_f64() / t_uring.as_secs_f64());
-    rec.push("ablate-io", &[("backend", "uring".into())], "total_secs", t_uring.as_secs_f64());
-    rec.push("ablate-io", &[("backend", "mmap".into())], "total_secs", t_mmap.as_secs_f64());
-    rec.push("ablate-io", &[("backend", "blocking".into())], "total_secs", t_blocking.as_secs_f64());
+    println!(
+        "  mmap faulting   : {}  ({:.1}x slower)",
+        fmt_dur(t_mmap),
+        t_mmap.as_secs_f64() / t_uring.as_secs_f64()
+    );
+    println!(
+        "  blocking reads  : {}  ({:.1}x slower)",
+        fmt_dur(t_blocking),
+        t_blocking.as_secs_f64() / t_uring.as_secs_f64()
+    );
+    rec.push(
+        "ablate-io",
+        &[("backend", "uring".into())],
+        "total_secs",
+        t_uring.as_secs_f64(),
+    );
+    rec.push(
+        "ablate-io",
+        &[("backend", "mmap".into())],
+        "total_secs",
+        t_mmap.as_secs_f64(),
+    );
+    rec.push(
+        "ablate-io",
+        &[("backend", "blocking".into())],
+        "total_secs",
+        t_blocking.as_secs_f64(),
+    );
     assert!(t_uring < t_mmap && t_uring < t_blocking);
 
     println!("\n=== Ablation 3: pipeline buffer pool (1 = no overlap, 2 = double buffering) ===");
     for buffers in [1usize, 2, 4] {
         let t = run(PipelineConfig { buffers, ..base });
         println!("  {buffers} buffers: {}", fmt_dur(t));
-        rec.push("ablate-buffers", &[("buffers", buffers.to_string())], "total_secs", t.as_secs_f64());
+        rec.push(
+            "ablate-buffers",
+            &[("buffers", buffers.to_string())],
+            "total_secs",
+            t.as_secs_f64(),
+        );
     }
     println!("  (the virtual clock charges device time, not host stalls, so buffer");
     println!("   count shows up in wall clock — see the stream_pipeline Criterion bench)");
@@ -106,7 +137,12 @@ fn main() {
             ..base
         });
         println!("  qd {depth:>3}: {}", fmt_dur(t));
-        rec.push("ablate-qd", &[("depth", depth.to_string())], "total_secs", t.as_secs_f64());
+        rec.push(
+            "ablate-qd",
+            &[("depth", depth.to_string())],
+            "total_secs",
+            t.as_secs_f64(),
+        );
         if let Some(p) = prev {
             assert!(t <= p, "deeper queues must not be slower (qd {depth})");
         }
@@ -129,7 +165,12 @@ fn main() {
             .breakdown
             .total();
         println!("  {label:<20}: {}", fmt_dur(t));
-        rec.push("ablate-coalesce", &[("mode", label.into())], "total_secs", t.as_secs_f64());
+        rec.push(
+            "ablate-coalesce",
+            &[("mode", label.into())],
+            "total_secs",
+            t.as_secs_f64(),
+        );
     }
 
     // ---- 4c. Lustre striping ---------------------------------------
@@ -148,7 +189,12 @@ fn main() {
             .breakdown
             .total();
         println!("  {osts} OST(s): {}", fmt_dur(t));
-        rec.push("ablate-stripes", &[("osts", osts.to_string())], "total_secs", t.as_secs_f64());
+        rec.push(
+            "ablate-stripes",
+            &[("osts", osts.to_string())],
+            "total_secs",
+            t.as_secs_f64(),
+        );
     }
 
     // ---- 5. hash chaining block size ------------------------------
@@ -165,8 +211,16 @@ fn main() {
         }
         let per = t0.elapsed() / reps;
         let gbps = (chunk.len() * 4) as f64 / per.as_secs_f64() / 1e9;
-        println!("  {block:>4} B blocks: {} per chunk ({gbps:.2} GB/s)", fmt_dur(per));
-        rec.push("ablate-block", &[("block", block.to_string())], "gbps", gbps);
+        println!(
+            "  {block:>4} B blocks: {} per chunk ({gbps:.2} GB/s)",
+            fmt_dur(per)
+        );
+        rec.push(
+            "ablate-block",
+            &[("block", block.to_string())],
+            "gbps",
+            gbps,
+        );
     }
     println!("\n(16 B chaining is the paper's fidelity point; larger blocks trade");
     println!(" chain length for per-call throughput — same digests-within-config,");

@@ -109,14 +109,29 @@ fn main() {
                 "{:>6} {:>13.2?} {:>12.2} {:>13.2?} {:>12.2} {:>8.1}x",
                 procs, dt, dagg, ot, oagg, speedup
             );
-            rec.push(panel, &[("procs", procs.to_string()), ("method", "direct".into())], "runtime_secs", dt.as_secs_f64());
-            rec.push(panel, &[("procs", procs.to_string()), ("method", "ours".into())], "runtime_secs", ot.as_secs_f64());
+            rec.push(
+                panel,
+                &[("procs", procs.to_string()), ("method", "direct".into())],
+                "runtime_secs",
+                dt.as_secs_f64(),
+            );
+            rec.push(
+                panel,
+                &[("procs", procs.to_string()), ("method", "ours".into())],
+                "runtime_secs",
+                ot.as_secs_f64(),
+            );
             rec.push(panel, &[("procs", procs.to_string())], "speedup", speedup);
             assert!(speedup >= 1.0, "ours must not lose to direct");
             if let Some(prev) = prev_ours {
                 let scaling = prev / ot.as_secs_f64();
                 println!("{:>6} scaling vs previous: {scaling:.2}x per doubling", "");
-                rec.push(panel, &[("procs", procs.to_string())], "scaling_per_doubling", scaling);
+                rec.push(
+                    panel,
+                    &[("procs", procs.to_string())],
+                    "scaling_per_doubling",
+                    scaling,
+                );
             }
             prev_ours = Some(ot.as_secs_f64());
         }

@@ -26,9 +26,21 @@ fn main() {
     let mut rec = Recorder::new();
     // (panel, label, values) — scaled stand-ins for 0.5/1/2 B particles.
     let sizes = [
-        ("fig5a", "500M-particle scale (8 MiB/checkpoint)", 2usize << 20),
-        ("fig5b", "1B-particle scale (16 MiB/checkpoint)", 4usize << 20),
-        ("fig5c", "2B-particle scale (32 MiB/checkpoint)", 8usize << 20),
+        (
+            "fig5a",
+            "500M-particle scale (8 MiB/checkpoint)",
+            2usize << 20,
+        ),
+        (
+            "fig5b",
+            "1B-particle scale (16 MiB/checkpoint)",
+            4usize << 20,
+        ),
+        (
+            "fig5c",
+            "2B-particle scale (32 MiB/checkpoint)",
+            8usize << 20,
+        ),
     ];
     let model = CostModel::lustre_pfs();
     let mut global_best_speedup: f64 = 0.0;
@@ -67,8 +79,18 @@ fn main() {
             let gb_allclose = throughput_gbps(both, t_allclose);
             let gb_direct = throughput_gbps(both, t_direct);
             print!("{:>10.0e} {:>9.2} {:>9.2} |", eps, gb_allclose, gb_direct);
-            rec.push(panel, &[("eps", format!("{eps:e}")), ("method", "allclose".into())], "throughput_gbps", gb_allclose);
-            rec.push(panel, &[("eps", format!("{eps:e}")), ("method", "direct".into())], "throughput_gbps", gb_direct);
+            rec.push(
+                panel,
+                &[("eps", format!("{eps:e}")), ("method", "allclose".into())],
+                "throughput_gbps",
+                gb_allclose,
+            );
+            rec.push(
+                panel,
+                &[("eps", format!("{eps:e}")), ("method", "direct".into())],
+                "throughput_gbps",
+                gb_direct,
+            );
 
             for &chunk in &CHUNK_SIZES {
                 let engine = engine_for(chunk, eps);
@@ -98,7 +120,9 @@ fn main() {
     }
 
     println!("\nSummary (paper §3.4.1 claims):");
-    println!("  max speedup of Our Method over Direct: {global_best_speedup:.1}x  (paper: up to 11x)");
+    println!(
+        "  max speedup of Our Method over Direct: {global_best_speedup:.1}x  (paper: up to 11x)"
+    );
     rec.push("fig5", &[], "max_speedup_vs_direct", global_best_speedup);
     rec.save("fig5");
 }

@@ -88,13 +88,25 @@ fn main() {
         let engine = engine_for(4096, eps);
         let (a, b, timeline, _) = modeled_sources(&pair, &engine, model);
         let report = engine.compare_with_timeline(&a, &b, &timeline).unwrap();
-        let verdict = if report.stats.diff_count == brute { "OK" } else { "MISMATCH" };
+        let verdict = if report.stats.diff_count == brute {
+            "OK"
+        } else {
+            "MISMATCH"
+        };
         println!(
             "  eps {:>6.0e}: engine {} diffs, brute force {} — {}",
             eps, report.stats.diff_count, brute, verdict
         );
-        assert_eq!(report.stats.diff_count, brute, "false negative at eps {eps:e}");
-        rec.push("fig7", &[("eps", format!("{eps:e}"))], "diffs", report.stats.diff_count as f64);
+        assert_eq!(
+            report.stats.diff_count, brute,
+            "false negative at eps {eps:e}"
+        );
+        rec.push(
+            "fig7",
+            &[("eps", format!("{eps:e}"))],
+            "diffs",
+            report.stats.diff_count as f64,
+        );
     }
 
     rec.save("fig7");

@@ -40,13 +40,15 @@ fn main() {
 
         let cpu = Device::sim_cpu_core();
         let t0 = Instant::now();
-        let tree_cpu = MerkleTree::build_from_f32(&pair.run1, chunk, &hasher, &cpu);
+        let (tree_cpu, stages_cpu) =
+            MerkleTree::build_from_f32_profiled(&pair.run1, chunk, &hasher, &cpu);
         let wall_serial = t0.elapsed();
         let cpu_model = cpu.modeled_time();
 
         let gpu = Device::sim_gpu();
         let t0 = Instant::now();
-        let tree_gpu = MerkleTree::build_from_f32(&pair.run1, chunk, &hasher, &gpu);
+        let (tree_gpu, stages_gpu) =
+            MerkleTree::build_from_f32_profiled(&pair.run1, chunk, &hasher, &gpu);
         let wall_parallel = t0.elapsed();
         let gpu_model = gpu.modeled_time();
 
@@ -61,9 +63,36 @@ fn main() {
             fmt_dur(wall_serial),
             fmt_dur(wall_parallel),
         );
-        rec.push("fig8", &[("chunk", fmt_chunk(chunk)), ("device", "cpu".into())], "modeled_secs", cpu_model.as_secs_f64());
-        rec.push("fig8", &[("chunk", fmt_chunk(chunk)), ("device", "gpu".into())], "modeled_secs", gpu_model.as_secs_f64());
-        rec.push("fig8", &[("chunk", fmt_chunk(chunk))], "cpu_gpu_ratio", ratio);
+        rec.push(
+            "fig8",
+            &[("chunk", fmt_chunk(chunk)), ("device", "cpu".into())],
+            "modeled_secs",
+            cpu_model.as_secs_f64(),
+        );
+        rec.push(
+            "fig8",
+            &[("chunk", fmt_chunk(chunk)), ("device", "gpu".into())],
+            "modeled_secs",
+            gpu_model.as_secs_f64(),
+        );
+        rec.push(
+            "fig8",
+            &[("chunk", fmt_chunk(chunk))],
+            "cpu_gpu_ratio",
+            ratio,
+        );
+        // Per-phase capture breakdown for both devices (quantize /
+        // leaf-hash / level-build under the respective roofline model).
+        rec.push_breakdown(
+            "fig8",
+            &[("chunk", fmt_chunk(chunk)), ("device", "cpu".into())],
+            &stages_cpu,
+        );
+        rec.push_breakdown(
+            "fig8",
+            &[("chunk", fmt_chunk(chunk)), ("device", "gpu".into())],
+            &stages_gpu,
+        );
     }
 
     // Extrapolation to the paper's 7 GB checkpoint, straight from the

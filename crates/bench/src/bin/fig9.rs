@@ -93,10 +93,28 @@ fn main() {
             fmt_dur(u_std),
             speedup,
         );
-        rec.push("fig9", &[("chunk", fmt_chunk(chunk)), ("backend", "mmap".into())], "mean_secs", m_mean.as_secs_f64());
-        rec.push("fig9", &[("chunk", fmt_chunk(chunk)), ("backend", "uring".into())], "mean_secs", u_mean.as_secs_f64());
-        rec.push("fig9", &[("chunk", fmt_chunk(chunk))], "mmap_over_uring", speedup);
-        assert!(speedup > 3.0, "io_uring should be >3x faster (got {speedup:.1}x)");
+        rec.push(
+            "fig9",
+            &[("chunk", fmt_chunk(chunk)), ("backend", "mmap".into())],
+            "mean_secs",
+            m_mean.as_secs_f64(),
+        );
+        rec.push(
+            "fig9",
+            &[("chunk", fmt_chunk(chunk)), ("backend", "uring".into())],
+            "mean_secs",
+            u_mean.as_secs_f64(),
+        );
+        rec.push(
+            "fig9",
+            &[("chunk", fmt_chunk(chunk))],
+            "mmap_over_uring",
+            speedup,
+        );
+        assert!(
+            speedup > 3.0,
+            "io_uring should be >3x faster (got {speedup:.1}x)"
+        );
     }
     println!("\npaper: io_uring over 3x faster than mmap, with less variance.");
     rec.save("fig9");

@@ -6,13 +6,18 @@
 //! cargo run -p reprocmp-bench --bin table2 --release
 //! ```
 
-use reprocmp_bench::{engine_for, fmt_chunk, DivergenceSpec, DivergentPair, Recorder, CHUNK_SIZES, ERROR_BOUNDS};
+use reprocmp_bench::{
+    engine_for, fmt_chunk, DivergenceSpec, DivergentPair, Recorder, CHUNK_SIZES, ERROR_BOUNDS,
+};
 
 fn main() {
     let mut rec = Recorder::new();
     println!("=== Table 2: setup used to evaluate performance and scalability ===\n");
     println!("{:<18} Values", "Description");
-    println!("{:<18} 1, 2, 4, 8, 16, 32   (simulated; 4 ranks per node)", "Number of nodes");
+    println!(
+        "{:<18} 1, 2, 4, 8, 16, 32   (simulated; 4 ranks per node)",
+        "Number of nodes"
+    );
     print!("{:<18} ", "Error bounds");
     for (i, eps) in ERROR_BOUNDS.iter().enumerate() {
         print!("{}{eps:e}", if i > 0 { ", " } else { "" });
@@ -37,12 +42,19 @@ fn main() {
         leaves,
         metadata as f64 / 1e6
     );
-    rec.push("table2", &[("scale", "7GB".into())], "metadata_mb", metadata as f64 / 1e6);
+    rec.push(
+        "table2",
+        &[("scale", "7GB".into())],
+        "metadata_mb",
+        metadata as f64 / 1e6,
+    );
 
-    // And measured on a real (scaled) tree to confirm the formula.
+    // And measured on a real (scaled) tree to confirm the formula,
+    // with the capture-side stage profile alongside.
     let pair = DivergentPair::generate(2 << 20, DivergenceSpec::none(), 1);
     let engine = engine_for(4096, 1e-5);
-    let encoded = engine.encode_metadata(&pair.run1);
+    let (tree, stages) = engine.build_metadata_profiled(&pair.run1);
+    let encoded = reprocmp_merkle::encode_tree(&tree);
     let ratio = encoded.len() as f64 / (pair.run1.len() * 4) as f64;
     println!(
         "measured: 8 MiB checkpoint at 4 KiB chunks -> {} B of metadata ({:.2}% of the data)",
@@ -50,6 +62,12 @@ fn main() {
         100.0 * ratio
     );
     assert!(ratio < 0.02, "metadata must stay below 2% of data");
-    rec.push("table2", &[("scale", "8MiB".into())], "metadata_ratio", ratio);
+    rec.push(
+        "table2",
+        &[("scale", "8MiB".into())],
+        "metadata_ratio",
+        ratio,
+    );
+    rec.push_breakdown("table2", &[("scale", "8MiB".into())], &stages);
     rec.save("table2");
 }

@@ -31,6 +31,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reprocmp_core::{CheckpointSource, CompareEngine, EngineConfig};
 use reprocmp_io::{CostModel, SimClock, Timeline};
+use reprocmp_obs::StageBreakdown;
 use serde::Serialize;
 use std::time::Duration;
 
@@ -294,11 +295,15 @@ pub fn striped_sources(
             payload.extend_from_slice(&v.to_le_bytes());
         }
         let payload_len = payload.len() as u64;
-        let meta = engine.encode_metadata(values);
-        let data = StripedStorage::with_clock(payload, model, stripe_size, ost_count, clock.clone());
+        let (tree, capture) = engine.build_metadata_profiled(values);
+        let meta = reprocmp_merkle::encode_tree(&tree);
+        let data =
+            StripedStorage::with_clock(payload, model, stripe_size, ost_count, clock.clone());
         let metadata =
             StripedStorage::with_clock(meta, model, stripe_size, ost_count, clock.clone());
-        CheckpointSource::new(Arc::new(data), 0, payload_len, Arc::new(metadata))
+        let mut src = CheckpointSource::new(Arc::new(data), 0, payload_len, Arc::new(metadata));
+        src.capture = capture;
+        src
     };
     let a = make(&pair.run1);
     let b = make(&pair.run2);
@@ -353,6 +358,48 @@ impl Recorder {
             metric: metric.to_owned(),
             value,
         });
+    }
+
+    /// Records a full [`StageBreakdown`] as one measurement per phase
+    /// and dimension (`stage.<phase>.time_s` / `.bytes` / `.ops`,
+    /// skipping zero-cost phases) plus `stage.total_time_s`, so every
+    /// benchmark JSON carries the same machine-readable profile the
+    /// CLI prints under `--profile`.
+    pub fn push_breakdown(
+        &mut self,
+        experiment: &str,
+        params: &[(&str, String)],
+        stages: &StageBreakdown,
+    ) {
+        for (name, cost) in stages.phases() {
+            if cost.is_zero() {
+                continue;
+            }
+            self.push(
+                experiment,
+                params,
+                &format!("stage.{name}.time_s"),
+                cost.time.as_secs_f64(),
+            );
+            self.push(
+                experiment,
+                params,
+                &format!("stage.{name}.bytes"),
+                cost.bytes as f64,
+            );
+            self.push(
+                experiment,
+                params,
+                &format!("stage.{name}.ops"),
+                cost.ops as f64,
+            );
+        }
+        self.push(
+            experiment,
+            params,
+            "stage.total_time_s",
+            stages.total_time().as_secs_f64(),
+        );
     }
 
     /// Writes `bench_results/<name>.json`; best-effort (prints a
@@ -456,8 +503,8 @@ mod tests {
         let mut active_segments = 0usize;
         let total_segments = pair.run1.len() / seg;
         for s in 0..total_segments {
-            let any = (s * seg..(s + 1) * seg)
-                .any(|i| pair.run1[i].to_bits() != pair.run2[i].to_bits());
+            let any =
+                (s * seg..(s + 1) * seg).any(|i| pair.run1[i].to_bits() != pair.run2[i].to_bits());
             if any {
                 active_segments += 1;
             }
@@ -516,6 +563,46 @@ mod tests {
         assert_eq!(fmt_chunk(512 << 10), "512K");
         assert_eq!(fmt_chunk(1 << 20), "1M");
         assert!(fmt_dur(Duration::from_millis(1500)).ends_with('s'));
+    }
+
+    #[test]
+    fn push_breakdown_records_each_nonzero_phase() {
+        let pair = DivergentPair::generate(8_192, DivergenceSpec::hacc_like(), 2);
+        let engine = engine_for(4096, 1e-5);
+        let (_tree, stages) = engine.build_metadata_profiled(&pair.run1);
+        let mut rec = Recorder::new();
+        rec.push_breakdown("test", &[("chunk", "4K".into())], &stages);
+        let metrics: Vec<&str> = rec.measurements.iter().map(|m| m.metric.as_str()).collect();
+        for phase in ["quantize", "leaf_hash", "level_build"] {
+            assert!(
+                metrics.contains(&format!("stage.{phase}.time_s").as_str()),
+                "missing {phase}: {metrics:?}"
+            );
+        }
+        // Compare-side phases never ran, so they must be skipped.
+        assert!(!metrics.iter().any(|m| m.contains("bfs")));
+        assert!(metrics.contains(&"stage.total_time_s"));
+        let total = rec
+            .measurements
+            .iter()
+            .find(|m| m.metric == "stage.total_time_s")
+            .expect("total row");
+        assert!((total.value - stages.total_time().as_secs_f64()).abs() < 1e-12);
+        assert_eq!(total.params[0], ("chunk".to_owned(), "4K".to_owned()));
+    }
+
+    #[test]
+    fn striped_sources_carry_a_capture_profile() {
+        let pair = DivergentPair::generate(4_096, DivergenceSpec::hacc_like(), 1);
+        let engine = engine_for(4096, 1e-5);
+        let (a, b, _timeline, _clock) =
+            striped_sources(&pair, &engine, CostModel::lustre_pfs(), 1 << 20, 4);
+        for src in [&a, &b] {
+            assert!(!src.capture.quantize.is_zero(), "quantize phase missing");
+            assert!(!src.capture.leaf_hash.is_zero(), "leaf-hash phase missing");
+            assert_eq!(src.capture.quantize.bytes, pair.bytes());
+        }
+        assert_eq!(b.capture.bfs, StageBreakdown::default().bfs);
     }
 
     #[test]

@@ -11,29 +11,37 @@ pub struct ArgMap {
 }
 
 impl ArgMap {
-    /// Parses alternating `--flag value` tokens.
+    /// Parses alternating `--flag value` tokens. A flag followed by
+    /// another `--flag` (or by nothing) is a bare boolean and reads as
+    /// `true` — e.g. `compare --profile --json`.
     ///
     /// # Errors
     ///
-    /// [`CliError::Usage`] on a dangling flag, a value without a flag,
-    /// or a repeated flag.
+    /// [`CliError::Usage`] on a value without a flag or a repeated
+    /// flag.
     pub fn parse(tokens: &[String]) -> Result<Self, CliError> {
         let mut values = BTreeMap::new();
-        let mut iter = tokens.iter();
+        let mut iter = tokens.iter().peekable();
         while let Some(tok) = iter.next() {
             let Some(flag) = tok.strip_prefix("--") else {
-                return Err(CliError::Usage(format!(
-                    "expected a --flag, found `{tok}`"
-                )));
+                return Err(CliError::Usage(format!("expected a --flag, found `{tok}`")));
             };
-            let Some(value) = iter.next() else {
-                return Err(CliError::Usage(format!("flag --{flag} needs a value")));
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().expect("peeked token").clone(),
+                _ => "true".to_owned(),
             };
-            if values.insert(flag.to_owned(), value.clone()).is_some() {
+            if values.insert(flag.to_owned(), value).is_some() {
                 return Err(CliError::Usage(format!("flag --{flag} given twice")));
             }
         }
         Ok(ArgMap { values })
+    }
+
+    /// A boolean flag: true when given bare (`--profile`) or as
+    /// `--profile true`.
+    #[must_use]
+    pub fn flag(&self, flag: &str) -> bool {
+        self.values.get(flag).is_some_and(|v| v == "true")
     }
 
     /// A required string flag.
@@ -62,9 +70,9 @@ impl ArgMap {
     pub fn parsed_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, CliError> {
         match self.values.get(flag) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| {
-                CliError::Usage(format!("flag --{flag}: cannot parse `{raw}`"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("flag --{flag}: cannot parse `{raw}`"))),
         }
     }
 }
@@ -89,8 +97,21 @@ mod tests {
     #[test]
     fn rejects_bad_shapes() {
         assert!(ArgMap::parse(&toks(&["input"])).is_err());
-        assert!(ArgMap::parse(&toks(&["--input"])).is_err());
         assert!(ArgMap::parse(&toks(&["--a", "1", "--a", "2"])).is_err());
+        assert!(ArgMap::parse(&toks(&["--a", "--a"])).is_err());
+    }
+
+    #[test]
+    fn bare_flags_read_as_true() {
+        let m = ArgMap::parse(&toks(&["--profile", "--run1", "a.bin", "--json"])).unwrap();
+        assert!(m.flag("profile"));
+        assert!(m.flag("json"));
+        assert!(!m.flag("quiet"));
+        assert_eq!(m.required("run1").unwrap(), "a.bin");
+        // Explicit values still work, and non-"true" values read false.
+        let m = ArgMap::parse(&toks(&["--profile", "true", "--json", "no"])).unwrap();
+        assert!(m.flag("profile"));
+        assert!(!m.flag("json"));
     }
 
     #[test]

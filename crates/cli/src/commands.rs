@@ -85,7 +85,12 @@ pub fn create_tree(map: &ArgMap) -> Result<String, CliError> {
     std::fs::write(&output, &encoded).map_err(fail)?;
 
     let mut out = String::new();
-    let _ = writeln!(out, "wrote {} ({} bytes of metadata)", output.display(), encoded.len());
+    let _ = writeln!(
+        out,
+        "wrote {} ({} bytes of metadata)",
+        output.display(),
+        encoded.len()
+    );
     let _ = writeln!(
         out,
         "payload: {} values, chunk {} B, bound {:e}, metadata/data ratio {:.4}",
@@ -135,6 +140,14 @@ pub fn compare(map: &ArgMap) -> Result<String, CliError> {
     let b = load(&run2, map.optional("tree2"))?;
     let report = engine.compare(&a, &b).map_err(fail)?;
 
+    // --json: the full machine-readable report (including the stage
+    // profile and I/O counters) instead of the human rendering.
+    if map.flag("json") {
+        let mut s = serde_json::to_string_pretty(&report).map_err(fail)?;
+        s.push('\n');
+        return Ok(s);
+    }
+
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -158,6 +171,31 @@ pub fn compare(map: &ArgMap) -> Result<String, CliError> {
         "io: {} ops submitted, {} completed, {} retried, {} gave up",
         report.io.submitted, report.io.completed, report.io.retried, report.io.gave_up,
     );
+    if map.flag("profile") {
+        let _ = writeln!(out, "stage profile:");
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>12} {:>14} {:>12}",
+            "phase", "time", "bytes", "ops"
+        );
+        for (name, c) in report.stages.phases() {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>12} {:>14} {:>12}",
+                name,
+                format!("{:.3?}", c.time),
+                c.bytes,
+                c.ops
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>12} {:>14}",
+            "total",
+            format!("{:.3?}", report.stages.total_time()),
+            report.stages.total_bytes()
+        );
+    }
     if !report.fully_verified() {
         let _ = writeln!(
             out,
@@ -167,7 +205,12 @@ pub fn compare(map: &ArgMap) -> Result<String, CliError> {
             report.unverified.len(),
         );
         for r in &report.unverified {
-            let _ = writeln!(out, "  unverified chunks {}..{}", r.first, r.first + r.count);
+            let _ = writeln!(
+                out,
+                "  unverified chunks {}..{}",
+                r.first,
+                r.first + r.count
+            );
         }
     }
     if report.identical() {
@@ -192,12 +235,23 @@ pub fn compare(map: &ArgMap) -> Result<String, CliError> {
             }
             None => {
                 for d in report.differences.iter().take(max_diffs) {
-                    let _ = writeln!(out, "  [{}] {} vs {} (|Δ| = {:e})", d.index, d.a, d.b, (f64::from(d.a) - f64::from(d.b)).abs());
+                    let _ = writeln!(
+                        out,
+                        "  [{}] {} vs {} (|Δ| = {:e})",
+                        d.index,
+                        d.a,
+                        d.b,
+                        (f64::from(d.a) - f64::from(d.b)).abs()
+                    );
                 }
             }
         }
         if report.stats.diff_count as usize > max_diffs {
-            let _ = writeln!(out, "  … and {} more", report.stats.diff_count as usize - max_diffs);
+            let _ = writeln!(
+                out,
+                "  … and {} more",
+                report.stats.diff_count as usize - max_diffs
+            );
         }
     }
     Ok(out)
@@ -225,11 +279,20 @@ pub fn info(map: &ArgMap) -> Result<String, CliError> {
         let _ = writeln!(out, "  root: {}", tree.root());
     } else if bytes.len() >= 8 && &bytes[..8] == reprocmp_veloc::format::MAGIC {
         let file = decode_checkpoint(&bytes).map_err(fail)?;
-        let _ = writeln!(out, "{}: checkpoint (version {})", input.display(), file.checkpoint_version);
+        let _ = writeln!(
+            out,
+            "{}: checkpoint (version {})",
+            input.display(),
+            file.checkpoint_version
+        );
         for r in &file.regions {
             let _ = writeln!(out, "  region {:<6} {} values", r.name, r.count);
         }
-        let _ = writeln!(out, "  payload: {} bytes at offset {}", file.payload_len, file.payload_offset);
+        let _ = writeln!(
+            out,
+            "  payload: {} bytes at offset {}",
+            file.payload_len, file.payload_offset
+        );
     } else {
         let _ = writeln!(
             out,
@@ -292,7 +355,9 @@ pub fn simulate(map: &ArgMap) -> Result<String, CliError> {
     let _ = writeln!(
         out,
         "simulated {} particles for {} steps ({:?} order)",
-        particles, steps, sim.config().order
+        particles,
+        steps,
+        sim.config().order
     );
     let _ = writeln!(
         out,
@@ -409,7 +474,10 @@ pub fn gate(map: &ArgMap) -> Result<String, CliError> {
     );
 
     if outcome.identical() {
-        let _ = writeln!(out, "PASS — candidate reproduces the golden result within ε");
+        let _ = writeln!(
+            out,
+            "PASS — candidate reproduces the golden result within ε"
+        );
         let _ = writeln!(out, "       (zero checkpoint data read; metadata only)");
         return Ok(out);
     }
@@ -437,11 +505,7 @@ pub fn gate(map: &ArgMap) -> Result<String, CliError> {
             report.stats.diff_count
         );
         for d in report.differences.iter().take(max_diffs) {
-            let _ = writeln!(
-                out,
-                "  [{}] golden {} vs candidate {}",
-                d.index, d.a, d.b
-            );
+            let _ = writeln!(out, "  [{}] golden {} vs candidate {}", d.index, d.a, d.b);
         }
         return Err(CliError::Failed(out));
     }
@@ -476,12 +540,22 @@ pub fn history(map: &ArgMap) -> Result<String, CliError> {
             let path = entry.map_err(fail)?.path();
             let name = path.file_name().map(|n| n.to_string_lossy().to_string());
             let Some(name) = name else { continue };
-            let Some(stem) = name.strip_suffix(".ckpt") else { continue };
-            let Some(v_pos) = stem.rfind(".v") else { continue };
-            let Ok(iteration) = stem[v_pos + 2..].parse::<u64>() else { continue };
+            let Some(stem) = name.strip_suffix(".ckpt") else {
+                continue;
+            };
+            let Some(v_pos) = stem.rfind(".v") else {
+                continue;
+            };
+            let Ok(iteration) = stem[v_pos + 2..].parse::<u64>() else {
+                continue;
+            };
             let head = &stem[..v_pos];
-            let Some(r_pos) = head.rfind(".rank") else { continue };
-            let Ok(rank) = head[r_pos + 5..].parse::<usize>() else { continue };
+            let Some(r_pos) = head.rfind(".rank") else {
+                continue;
+            };
+            let Ok(rank) = head[r_pos + 5..].parse::<usize>() else {
+                continue;
+            };
             found.insert((rank, iteration), path);
         }
         Ok(found)
@@ -525,7 +599,11 @@ pub fn history(map: &ArgMap) -> Result<String, CliError> {
         engine.config().error_bound,
         engine.config().chunk_bytes,
     );
-    let _ = writeln!(out, "{:>6} {:>6} {:>10} {:>10} {:>10}", "iter", "rank", "flagged", "diffs", "re-read");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>6} {:>10} {:>10} {:>10}",
+        "iter", "rank", "flagged", "diffs", "re-read"
+    );
     for e in &report.entries {
         let _ = writeln!(
             out,
@@ -539,7 +617,10 @@ pub fn history(map: &ArgMap) -> Result<String, CliError> {
     }
     match report.first_divergence() {
         None => {
-            let _ = writeln!(out, "RESULT: the runs agree within the bound at every checkpoint");
+            let _ = writeln!(
+                out,
+                "RESULT: the runs agree within the bound at every checkpoint"
+            );
         }
         Some((iteration, rank)) => {
             let _ = writeln!(
@@ -582,9 +663,19 @@ mod tests {
         // Two nondeterministic runs from the same ICs.
         for (name, seed) in [("run1", "1"), ("run2", "2")] {
             run_cli(&[
-                "simulate", "--out-dir", dir.to_str().unwrap(),
-                "--particles", "512", "--steps", "20", "--ranks", "1",
-                "--order-seed", seed, "--run-name", name,
+                "simulate",
+                "--out-dir",
+                dir.to_str().unwrap(),
+                "--particles",
+                "512",
+                "--steps",
+                "20",
+                "--ranks",
+                "1",
+                "--order-seed",
+                seed,
+                "--run-name",
+                name,
             ])
             .unwrap();
         }
@@ -596,40 +687,74 @@ mod tests {
         // Build metadata for run1.
         let t1 = dir.join("run1.tree");
         let out = run_cli(&[
-            "create-tree", "--input", c1.to_str().unwrap(),
-            "--output", t1.to_str().unwrap(), "--chunk-bytes", "256",
+            "create-tree",
+            "--input",
+            c1.to_str().unwrap(),
+            "--output",
+            t1.to_str().unwrap(),
+            "--chunk-bytes",
+            "256",
         ])
         .unwrap();
         assert!(out.contains("metadata"));
 
         // Compare with a loose and a tight bound.
         let loose = run_cli(&[
-            "compare", "--run1", c1.to_str().unwrap(), "--run2", c2.to_str().unwrap(),
-            "--chunk-bytes", "256", "--error-bound", "1.0",
+            "compare",
+            "--run1",
+            c1.to_str().unwrap(),
+            "--run2",
+            c2.to_str().unwrap(),
+            "--chunk-bytes",
+            "256",
+            "--error-bound",
+            "1.0",
         ])
         .unwrap();
         assert!(loose.contains("agree within the bound"), "{loose}");
 
         let tight = run_cli(&[
-            "compare", "--run1", c1.to_str().unwrap(), "--run2", c2.to_str().unwrap(),
-            "--chunk-bytes", "256", "--error-bound", "1e-12",
+            "compare",
+            "--run1",
+            c1.to_str().unwrap(),
+            "--run2",
+            c2.to_str().unwrap(),
+            "--chunk-bytes",
+            "256",
+            "--error-bound",
+            "1e-12",
         ])
         .unwrap();
         assert!(tight.contains("differ beyond the bound"), "{tight}");
 
         // Resilience flags parse and show up in the traffic line.
         let resilient = run_cli(&[
-            "compare", "--run1", c1.to_str().unwrap(), "--run2", c2.to_str().unwrap(),
-            "--chunk-bytes", "256", "--error-bound", "1e-12",
-            "--retry-attempts", "5", "--failure-policy", "quarantine",
+            "compare",
+            "--run1",
+            c1.to_str().unwrap(),
+            "--run2",
+            c2.to_str().unwrap(),
+            "--chunk-bytes",
+            "256",
+            "--error-bound",
+            "1e-12",
+            "--retry-attempts",
+            "5",
+            "--failure-policy",
+            "quarantine",
         ])
         .unwrap();
         assert!(resilient.contains("ops submitted"), "{resilient}");
         assert!(!resilient.contains("WARNING"), "healthy files: {resilient}");
 
         let bad = run_cli(&[
-            "compare", "--run1", c1.to_str().unwrap(), "--run2", c2.to_str().unwrap(),
-            "--failure-policy", "sometimes",
+            "compare",
+            "--run1",
+            c1.to_str().unwrap(),
+            "--run2",
+            c2.to_str().unwrap(),
+            "--failure-policy",
+            "sometimes",
         ])
         .unwrap_err();
         assert!(format!("{bad:?}").contains("abort"), "{bad:?}");
@@ -649,12 +774,84 @@ mod tests {
         write_raw_f32(&b, &tweaked);
 
         let out = run_cli(&[
-            "compare", "--run1", a.to_str().unwrap(), "--run2", b.to_str().unwrap(),
-            "--chunk-bytes", "128", "--error-bound", "1e-3",
+            "compare",
+            "--run1",
+            a.to_str().unwrap(),
+            "--run2",
+            b.to_str().unwrap(),
+            "--chunk-bytes",
+            "128",
+            "--error-bound",
+            "1e-3",
         ])
         .unwrap();
         assert!(out.contains("1 values differ"), "{out}");
         assert!(out.contains("[123]"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_profile_and_json_render_the_stage_breakdown() {
+        let dir = temp_dir("profile");
+        let a = dir.join("a.f32");
+        let b = dir.join("b.f32");
+        let base: Vec<f32> = (0..2000).map(|i| i as f32 * 0.1).collect();
+        let mut tweaked = base.clone();
+        tweaked[42] += 5.0;
+        write_raw_f32(&a, &base);
+        write_raw_f32(&b, &tweaked);
+
+        let out = run_cli(&[
+            "compare",
+            "--run1",
+            a.to_str().unwrap(),
+            "--run2",
+            b.to_str().unwrap(),
+            "--chunk-bytes",
+            "128",
+            "--error-bound",
+            "1e-3",
+            "--profile",
+        ])
+        .unwrap();
+        assert!(out.contains("stage profile:"), "{out}");
+        for phase in [
+            "quantize",
+            "leaf_hash",
+            "level_build",
+            "bfs",
+            "stage2_stream",
+            "verify",
+        ] {
+            assert!(out.contains(phase), "missing {phase}: {out}");
+        }
+
+        let json = run_cli(&[
+            "compare",
+            "--run1",
+            a.to_str().unwrap(),
+            "--run2",
+            b.to_str().unwrap(),
+            "--chunk-bytes",
+            "128",
+            "--error-bound",
+            "1e-3",
+            "--json",
+        ])
+        .unwrap();
+        for key in [
+            "\"stages\"",
+            "\"quantize\"",
+            "\"stage2_stream\"",
+            "\"io\"",
+            "\"diff_count\": 1",
+        ] {
+            assert!(json.contains(key), "missing {key}: {json}");
+        }
+        assert!(
+            !json.contains("RESULT"),
+            "json mode must not mix in prose: {json}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -668,8 +865,13 @@ mod tests {
 
         let tree = dir.join("raw.tree");
         run_cli(&[
-            "create-tree", "--input", raw.to_str().unwrap(),
-            "--output", tree.to_str().unwrap(), "--chunk-bytes", "4",
+            "create-tree",
+            "--input",
+            raw.to_str().unwrap(),
+            "--output",
+            tree.to_str().unwrap(),
+            "--chunk-bytes",
+            "4",
         ])
         .unwrap();
         let out = run_cli(&["info", "--input", tree.to_str().unwrap()]).unwrap();
@@ -683,18 +885,31 @@ mod tests {
         let dir = temp_dir("history");
         for (sub, seed) in [("a", "1"), ("b", "2")] {
             run_cli(&[
-                "simulate", "--out-dir", dir.join(sub).to_str().unwrap(),
-                "--particles", "512", "--steps", "20", "--ranks", "2",
-                "--order-seed", seed,
+                "simulate",
+                "--out-dir",
+                dir.join(sub).to_str().unwrap(),
+                "--particles",
+                "512",
+                "--steps",
+                "20",
+                "--ranks",
+                "2",
+                "--order-seed",
+                seed,
             ])
             .unwrap();
         }
         // Loose bound: full agreement.
         let out = run_cli(&[
             "history",
-            "--run1-dir", dir.join("a/pfs").to_str().unwrap(),
-            "--run2-dir", dir.join("b/pfs").to_str().unwrap(),
-            "--chunk-bytes", "256", "--error-bound", "1.0",
+            "--run1-dir",
+            dir.join("a/pfs").to_str().unwrap(),
+            "--run2-dir",
+            dir.join("b/pfs").to_str().unwrap(),
+            "--chunk-bytes",
+            "256",
+            "--error-bound",
+            "1.0",
         ])
         .unwrap();
         assert!(out.contains("8 checkpoint pairs"), "{out}");
@@ -703,9 +918,14 @@ mod tests {
         // Tight bound: divergence localized to an iteration.
         let out = run_cli(&[
             "history",
-            "--run1-dir", dir.join("a/pfs").to_str().unwrap(),
-            "--run2-dir", dir.join("b/pfs").to_str().unwrap(),
-            "--chunk-bytes", "256", "--error-bound", "1e-12",
+            "--run1-dir",
+            dir.join("a/pfs").to_str().unwrap(),
+            "--run2-dir",
+            dir.join("b/pfs").to_str().unwrap(),
+            "--chunk-bytes",
+            "256",
+            "--error-bound",
+            "1e-12",
         ])
         .unwrap();
         assert!(out.contains("diverge from iteration"), "{out}");
@@ -715,11 +935,16 @@ mod tests {
         std::fs::create_dir_all(&empty).unwrap();
         let err = run_cli(&[
             "history",
-            "--run1-dir", dir.join("a/pfs").to_str().unwrap(),
-            "--run2-dir", empty.to_str().unwrap(),
+            "--run1-dir",
+            dir.join("a/pfs").to_str().unwrap(),
+            "--run2-dir",
+            empty.to_str().unwrap(),
         ])
         .unwrap_err();
-        assert!(err.to_string().contains("different (rank, iteration)"), "{err}");
+        assert!(
+            err.to_string().contains("different (rank, iteration)"),
+            "{err}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -731,9 +956,15 @@ mod tests {
         write_raw_f32(&golden_path, &golden);
         let tree_path = dir.join("golden.tree");
         run_cli(&[
-            "create-tree", "--input", golden_path.to_str().unwrap(),
-            "--output", tree_path.to_str().unwrap(),
-            "--chunk-bytes", "256", "--error-bound", "1e-4",
+            "create-tree",
+            "--input",
+            golden_path.to_str().unwrap(),
+            "--output",
+            tree_path.to_str().unwrap(),
+            "--chunk-bytes",
+            "256",
+            "--error-bound",
+            "1e-4",
         ])
         .unwrap();
 
@@ -741,8 +972,11 @@ mod tests {
         let cand = dir.join("cand.f32");
         write_raw_f32(&cand, &golden);
         let out = run_cli(&[
-            "gate", "--golden-tree", tree_path.to_str().unwrap(),
-            "--candidate", cand.to_str().unwrap(),
+            "gate",
+            "--golden-tree",
+            tree_path.to_str().unwrap(),
+            "--candidate",
+            cand.to_str().unwrap(),
         ])
         .unwrap();
         assert!(out.contains("PASS"), "{out}");
@@ -756,9 +990,13 @@ mod tests {
         }
         write_raw_f32(&cand, &drifted);
         let res = run_cli(&[
-            "gate", "--golden-tree", tree_path.to_str().unwrap(),
-            "--candidate", cand.to_str().unwrap(),
-            "--golden-data", golden_path.to_str().unwrap(),
+            "gate",
+            "--golden-tree",
+            tree_path.to_str().unwrap(),
+            "--candidate",
+            cand.to_str().unwrap(),
+            "--golden-data",
+            golden_path.to_str().unwrap(),
         ]);
         let out = res.unwrap();
         assert!(out.contains("PASS"), "{out}");
@@ -768,9 +1006,13 @@ mod tests {
         broken[777] += 0.5;
         write_raw_f32(&cand, &broken);
         let err = run_cli(&[
-            "gate", "--golden-tree", tree_path.to_str().unwrap(),
-            "--candidate", cand.to_str().unwrap(),
-            "--golden-data", golden_path.to_str().unwrap(),
+            "gate",
+            "--golden-tree",
+            tree_path.to_str().unwrap(),
+            "--candidate",
+            cand.to_str().unwrap(),
+            "--golden-data",
+            golden_path.to_str().unwrap(),
         ])
         .unwrap_err();
         let msg = err.to_string();
@@ -779,8 +1021,11 @@ mod tests {
 
         // Without golden data the regression still fails (tree-only).
         let err = run_cli(&[
-            "gate", "--golden-tree", tree_path.to_str().unwrap(),
-            "--candidate", cand.to_str().unwrap(),
+            "gate",
+            "--golden-tree",
+            tree_path.to_str().unwrap(),
+            "--candidate",
+            cand.to_str().unwrap(),
         ])
         .unwrap_err();
         assert!(err.to_string().contains("chunks differ"), "{err}");
@@ -789,8 +1034,11 @@ mod tests {
         let short = dir.join("short.f32");
         write_raw_f32(&short, &golden[..100]);
         let err = run_cli(&[
-            "gate", "--golden-tree", tree_path.to_str().unwrap(),
-            "--candidate", short.to_str().unwrap(),
+            "gate",
+            "--golden-tree",
+            tree_path.to_str().unwrap(),
+            "--candidate",
+            short.to_str().unwrap(),
         ])
         .unwrap_err();
         assert!(err.to_string().contains("describes"), "{err}");
@@ -801,15 +1049,27 @@ mod tests {
     fn census_counts_halos_in_a_simulated_checkpoint() {
         let dir = temp_dir("census");
         run_cli(&[
-            "simulate", "--out-dir", dir.to_str().unwrap(),
-            "--particles", "1024", "--steps", "10", "--ranks", "1",
+            "simulate",
+            "--out-dir",
+            dir.to_str().unwrap(),
+            "--particles",
+            "1024",
+            "--steps",
+            "10",
+            "--ranks",
+            "1",
         ])
         .unwrap();
         let ckpt = dir.join("pfs/run.rank0.v000008.ckpt");
         assert!(ckpt.exists());
         let out = run_cli(&[
-            "census", "--input", ckpt.to_str().unwrap(),
-            "--linking-length", "0.06", "--min-members", "4",
+            "census",
+            "--input",
+            ckpt.to_str().unwrap(),
+            "--linking-length",
+            "0.06",
+            "--min-members",
+            "4",
         ])
         .unwrap();
         assert!(out.contains("halos found:"), "{out}");
@@ -845,14 +1105,24 @@ mod tests {
         let tb = dir.join("b.tree");
         for (f, t) in [(&a, &ta), (&b, &tb)] {
             run_cli(&[
-                "create-tree", "--input", f.to_str().unwrap(),
-                "--output", t.to_str().unwrap(),
+                "create-tree",
+                "--input",
+                f.to_str().unwrap(),
+                "--output",
+                t.to_str().unwrap(),
             ])
             .unwrap();
         }
         let out = run_cli(&[
-            "compare", "--run1", a.to_str().unwrap(), "--run2", b.to_str().unwrap(),
-            "--tree1", ta.to_str().unwrap(), "--tree2", tb.to_str().unwrap(),
+            "compare",
+            "--run1",
+            a.to_str().unwrap(),
+            "--run2",
+            b.to_str().unwrap(),
+            "--tree1",
+            ta.to_str().unwrap(),
+            "--tree2",
+            tb.to_str().unwrap(),
         ])
         .unwrap();
         assert!(out.contains("agree within the bound"), "{out}");

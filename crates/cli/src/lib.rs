@@ -46,24 +46,68 @@ impl std::error::Error for CliError {}
 #[must_use]
 pub fn usage() -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "reprocmp — scalable capture & comparison of intermediate results");
+    let _ = writeln!(
+        s,
+        "reprocmp — scalable capture & comparison of intermediate results"
+    );
     let _ = writeln!(s);
     let _ = writeln!(s, "USAGE: reprocmp <command> [--flag value]...");
     let _ = writeln!(s);
     let _ = writeln!(s, "COMMANDS:");
-    let _ = writeln!(s, "  create-tree  --input F --output F [--chunk-bytes 4096] [--error-bound 1e-5]");
+    let _ = writeln!(
+        s,
+        "  create-tree  --input F --output F [--chunk-bytes 4096] [--error-bound 1e-5]"
+    );
     let _ = writeln!(s, "  compare      --run1 F --run2 F [--tree1 F --tree2 F]");
-    let _ = writeln!(s, "               [--chunk-bytes 4096] [--error-bound 1e-5] [--max-diffs 20]");
-    let _ = writeln!(s, "               [--retry-attempts 1] [--failure-policy abort|quarantine]");
+    let _ = writeln!(
+        s,
+        "               [--chunk-bytes 4096] [--error-bound 1e-5] [--max-diffs 20]"
+    );
+    let _ = writeln!(
+        s,
+        "               [--retry-attempts 1] [--failure-policy abort|quarantine]"
+    );
+    let _ = writeln!(
+        s,
+        "               [--profile]  (per-stage time/bytes/ops table)"
+    );
+    let _ = writeln!(
+        s,
+        "               [--json]     (full machine-readable report)"
+    );
     let _ = writeln!(s, "  info         --input F");
-    let _ = writeln!(s, "  simulate     --out-dir D [--particles 2048] [--steps 50] [--ranks 2]");
-    let _ = writeln!(s, "               [--order-seed N]  (omit --order-seed for a deterministic run)");
-    let _ = writeln!(s, "  census       --input F [--linking-length 0.02] [--min-members 12]");
-    let _ = writeln!(s, "               [--box-size 1.0]   (FoF halo census of a checkpoint)");
-    let _ = writeln!(s, "  gate         --golden-tree F --candidate F [--golden-data F]");
-    let _ = writeln!(s, "               [--max-diffs 10]   (CI gate; exits non-zero on regression)");
-    let _ = writeln!(s, "  history      --run1-dir D --run2-dir D [--chunk-bytes 4096]");
-    let _ = writeln!(s, "               [--error-bound 1e-5]  (pairwise history comparison)");
+    let _ = writeln!(
+        s,
+        "  simulate     --out-dir D [--particles 2048] [--steps 50] [--ranks 2]"
+    );
+    let _ = writeln!(
+        s,
+        "               [--order-seed N]  (omit --order-seed for a deterministic run)"
+    );
+    let _ = writeln!(
+        s,
+        "  census       --input F [--linking-length 0.02] [--min-members 12]"
+    );
+    let _ = writeln!(
+        s,
+        "               [--box-size 1.0]   (FoF halo census of a checkpoint)"
+    );
+    let _ = writeln!(
+        s,
+        "  gate         --golden-tree F --candidate F [--golden-data F]"
+    );
+    let _ = writeln!(
+        s,
+        "               [--max-diffs 10]   (CI gate; exits non-zero on regression)"
+    );
+    let _ = writeln!(
+        s,
+        "  history      --run1-dir D --run2-dir D [--chunk-bytes 4096]"
+    );
+    let _ = writeln!(
+        s,
+        "               [--error-bound 1e-5]  (pairwise history comparison)"
+    );
     s
 }
 

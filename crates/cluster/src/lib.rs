@@ -356,7 +356,8 @@ mod tests {
     #[test]
     fn allreduce_sum_is_correct_and_uniform() {
         let cluster = Cluster::new(2, 3);
-        let results = cluster.run(|ctx| ctx.allreduce_sum_f32(ctx.rank() as f32, ReduceOrder::Ranked));
+        let results =
+            cluster.run(|ctx| ctx.allreduce_sum_f32(ctx.rank() as f32, ReduceOrder::Ranked));
         assert!(results.iter().all(|&v| v == 15.0)); // 0+1+..+5
     }
 
@@ -421,7 +422,11 @@ mod tests {
     fn broadcast_from_root() {
         let cluster = Cluster::new(2, 2);
         let results = cluster.run(|ctx| {
-            let payload = if ctx.rank() == 0 { vec![7, 8, 9] } else { vec![] };
+            let payload = if ctx.rank() == 0 {
+                vec![7, 8, 9]
+            } else {
+                vec![]
+            };
             ctx.broadcast_bytes(&payload)
         });
         assert!(results.iter().all(|r| r == &vec![7, 8, 9]));

@@ -249,11 +249,7 @@ impl Direct {
                 )));
             }
             for ((op_idx, pay_a), (_, pay_b)) in slice_a.payloads().zip(slice_b.payloads()) {
-                for (j, (xa, xb)) in pay_a
-                    .chunks_exact(4)
-                    .zip(pay_b.chunks_exact(4))
-                    .enumerate()
-                {
+                for (j, (xa, xb)) in pay_a.chunks_exact(4).zip(pay_b.chunks_exact(4)).enumerate() {
                     let va = f32::from_le_bytes(xa.try_into().expect("4 bytes"));
                     let vb = f32::from_le_bytes(xb.try_into().expect("4 bytes"));
                     if self.quantizer.differs(va, vb) {
@@ -272,13 +268,26 @@ impl Direct {
             }
         }
         breakdown.compare_direct = timeline.now() - t1;
+        let io = counters_a.snapshot().merged(counters_b.snapshot());
+
+        // Direct has no capture or BFS phases — the whole pass is one
+        // fused stream-and-verify, attributed to `stage2_stream`.
+        let stages = reprocmp_obs::StageBreakdown {
+            stage2_stream: reprocmp_obs::PhaseCost::new(
+                breakdown.compare_direct,
+                2 * stats.total_bytes,
+                io.submitted,
+            ),
+            ..reprocmp_obs::StageBreakdown::default()
+        };
 
         Ok(CompareReport {
             breakdown,
+            stages,
             stats,
             differences,
             differences_truncated: truncated,
-            io: counters_a.snapshot().merged(counters_b.snapshot()),
+            io,
             unverified: Vec::new(),
         })
     }
@@ -456,8 +465,20 @@ mod tests {
         let data2: Vec<f32> = data.iter().map(|&x| x + 5e-4).collect();
         let a = CheckpointSource::in_memory(&data, &e).unwrap();
         let b = CheckpointSource::in_memory(&data2, &e).unwrap();
-        assert!(AllClose::new(1e-2).unwrap().compare(&a, &b).unwrap().within_bound);
-        assert!(!AllClose::new(1e-5).unwrap().compare(&a, &b).unwrap().within_bound);
+        assert!(
+            AllClose::new(1e-2)
+                .unwrap()
+                .compare(&a, &b)
+                .unwrap()
+                .within_bound
+        );
+        assert!(
+            !AllClose::new(1e-5)
+                .unwrap()
+                .compare(&a, &b)
+                .unwrap()
+                .within_bound
+        );
     }
 
     #[test]
@@ -520,9 +541,8 @@ mod tests {
             f(&a, &b, &Timeline::sim(clock))
         };
 
-        let t_ours = modeled(&|a, b, t| {
-            e.compare_with_timeline(a, b, t).unwrap().breakdown.total()
-        });
+        let t_ours =
+            modeled(&|a, b, t| e.compare_with_timeline(a, b, t).unwrap().breakdown.total());
         let t_direct = modeled(&|a, b, t| {
             Direct::new(1e-5)
                 .unwrap()

@@ -62,7 +62,13 @@ mod tests {
         let names: Vec<&str> = b.phases().iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,
-            vec!["setup", "read", "deserialize", "compare_tree", "compare_direct"]
+            vec![
+                "setup",
+                "read",
+                "deserialize",
+                "compare_tree",
+                "compare_direct"
+            ]
         );
     }
 

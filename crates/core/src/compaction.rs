@@ -135,8 +135,9 @@ impl CompactionStore {
 
         let (chunks, full) = match self.chain.last() {
             None => {
-                let all: BTreeMap<u32, Vec<f32>> =
-                    (0..n_chunks).map(|i| (i as u32, chunk_payload(i))).collect();
+                let all: BTreeMap<u32, Vec<f32>> = (0..n_chunks)
+                    .map(|i| (i as u32, chunk_payload(i)))
+                    .collect();
                 (all, true)
             }
             Some(prev) => {
@@ -177,7 +178,10 @@ impl CompactionStore {
     /// Total stored payload bytes across the chain.
     #[must_use]
     pub fn stored_bytes(&self) -> u64 {
-        self.chain.iter().map(CompactedCheckpoint::stored_bytes).sum()
+        self.chain
+            .iter()
+            .map(CompactedCheckpoint::stored_bytes)
+            .sum()
     }
 
     /// Total raw payload bytes the chain represents.
@@ -212,10 +216,7 @@ impl CompactionStore {
                 CoreError::Mismatch(format!("iteration {iteration} not in compacted chain"))
             })?;
         let n = self.value_count.expect("non-empty chain has a size");
-        let chunk_values = self.chain[0]
-            .chunks
-            .get(&0)
-            .map_or(n, Vec::len);
+        let chunk_values = self.chain[0].chunks.get(&0).map_or(n, Vec::len);
 
         let mut out = vec![0.0f32; n];
         for entry in &self.chain[..=pos] {
@@ -279,7 +280,11 @@ mod tests {
             .map(|k| {
                 let chunk = k / 16;
                 let base = k as f32 * 0.01;
-                let changed = if chunk % 8 == (j % 8) as usize { 1.0 } else { 0.0 };
+                let changed = if chunk % 8 == (j % 8) as usize {
+                    1.0
+                } else {
+                    0.0
+                };
                 base + changed * j as f32 + drift * j as f32
             })
             .collect()

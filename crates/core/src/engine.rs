@@ -2,11 +2,13 @@
 
 use reprocmp_device::{Device, TimingModel, Workload};
 use reprocmp_hash::{ChunkHasher, Quantizer};
-use reprocmp_io::pipeline::{PipelineConfig, StreamPipeline};
+use reprocmp_io::pipeline::{PipelineConfig, PipelineMetrics, StreamPipeline};
 use reprocmp_io::storage::{AccessMode, Storage};
 use reprocmp_io::{RingStats, Timeline};
-use reprocmp_merkle::{compare_trees, decode_tree, encode_tree, MerkleTree};
+use reprocmp_merkle::{compare_trees_traced, decode_tree, encode_tree, MerkleTree};
+use reprocmp_obs::{Observer, PhaseCost, StageBreakdown};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::breakdown::CostBreakdown;
 use crate::report::{ChunkRange, CompareReport, DataStats, Difference};
@@ -119,8 +121,8 @@ impl CompareEngine {
                 config.chunk_bytes
             )));
         }
-        let quantizer = Quantizer::new(config.error_bound)
-            .map_err(|e| CoreError::Config(e.to_string()))?;
+        let quantizer =
+            Quantizer::new(config.error_bound).map_err(|e| CoreError::Config(e.to_string()))?;
         Ok(CompareEngine {
             hasher: ChunkHasher::new(quantizer),
             config,
@@ -157,6 +159,20 @@ impl CompareEngine {
         )
     }
 
+    /// [`CompareEngine::build_metadata`] with a capture-phase profile:
+    /// quantize, leaf-hash, and level-build run as separate kernels and
+    /// their costs are returned as a [`StageBreakdown`] (compare-side
+    /// phases zero). The tree is identical to the unprofiled builder's.
+    #[must_use]
+    pub fn build_metadata_profiled(&self, values: &[f32]) -> (MerkleTree, StageBreakdown) {
+        MerkleTree::build_from_f32_profiled(
+            values,
+            self.config.chunk_bytes,
+            &self.hasher,
+            &self.config.device,
+        )
+    }
+
     /// Capture-side API: metadata ready to store next to a checkpoint.
     #[must_use]
     pub fn encode_metadata(&self, values: &[f32]) -> Vec<u8> {
@@ -186,11 +202,36 @@ impl CompareEngine {
         b: &CheckpointSource,
         timeline: &Timeline,
     ) -> CoreResult<CompareReport> {
+        self.compare_observed(a, b, timeline, &Observer::disabled())
+    }
+
+    /// [`CompareEngine::compare_with_timeline`] recording spans and
+    /// metrics into `obs`: a `compare` root span with per-phase
+    /// children, `stage1.bfs`/`stage1.level{n}` spans from the tree
+    /// walk, `stage2.stream`/`stage2.slice` spans from verification,
+    /// the stage-two pipelines' counters and histograms under `io.*`,
+    /// and summary counters (`stage1.nodes_visited`,
+    /// `stage2.bytes_reread`, `compare.diff_values`). Build `obs` with
+    /// [`Timeline::observer`] so span timestamps share the phase
+    /// timers' clock.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CoreError`].
+    pub fn compare_observed(
+        &self,
+        a: &CheckpointSource,
+        b: &CheckpointSource,
+        timeline: &Timeline,
+        obs: &Observer,
+    ) -> CoreResult<CompareReport> {
+        let _root_span = obs.tracer.span("compare");
         let mut breakdown = CostBreakdown::default();
         let chunk_bytes = self.config.chunk_bytes;
 
         // ---- Phase 1: setup --------------------------------------
         let t0 = timeline.now();
+        let setup_span = obs.tracer.span("compare.setup");
         if a.payload_len != b.payload_len {
             return Err(CoreError::Mismatch(format!(
                 "payload sizes differ: {} vs {}",
@@ -205,16 +246,20 @@ impl CompareEngine {
         }
         let stats_total_values = a.value_count();
         let chunks_total = a.chunk_count(chunk_bytes);
+        drop(setup_span);
         breakdown.setup = timeline.now() - t0;
 
         // ---- Phase 2: read metadata -------------------------------
         let t1 = timeline.now();
+        let read_span = obs.tracer.span("compare.read_meta");
         let meta_a = read_fully(&a.metadata, self.config.io.queue_depth)?;
         let meta_b = read_fully(&b.metadata, self.config.io.queue_depth)?;
+        drop(read_span);
         breakdown.read = timeline.now() - t1;
 
         // ---- Phase 3: deserialize ---------------------------------
         let t2 = timeline.now();
+        let deser_span = obs.tracer.span("compare.deserialize");
         let tree_a = decode_tree(&meta_a)?;
         let tree_b = decode_tree(&meta_b)?;
         self.validate_tree(&tree_a, a, "run 1")?;
@@ -223,6 +268,7 @@ impl CompareEngine {
             timeline,
             Workload::memory((meta_a.len() + meta_b.len()) as u64),
         );
+        drop(deser_span);
         breakdown.deserialize = timeline.now() - t2;
 
         // ---- Phase 4: compare trees -------------------------------
@@ -231,17 +277,54 @@ impl CompareEngine {
             .config
             .lane_hint
             .unwrap_or_else(|| self.config.device.concurrent_kernel_threads());
-        let outcome = compare_trees(&tree_a, &tree_b, &self.config.device, lanes)?;
+        let outcome =
+            compare_trees_traced(&tree_a, &tree_b, &self.config.device, lanes, &obs.tracer)?;
         self.charge_compute(
             timeline,
-            Workload::new(outcome.nodes_visited as u64 * 32, outcome.nodes_visited as u64),
+            Workload::new(
+                outcome.nodes_visited as u64 * 32,
+                outcome.nodes_visited as u64,
+            ),
         );
         breakdown.compare_tree = timeline.now() - t3;
+        obs.registry
+            .counter("stage1.nodes_visited")
+            .add(outcome.nodes_visited as u64);
+        obs.registry
+            .counter("stage1.chunks_flagged")
+            .add(outcome.mismatched_leaves.len() as u64);
 
         // ---- Phase 5: verify flagged chunks -----------------------
         let t4 = timeline.now();
-        let verified = self.verify_chunks(a, b, &outcome.mismatched_leaves, timeline)?;
+        let verified = self.verify_chunks(a, b, &outcome.mismatched_leaves, timeline, obs)?;
         breakdown.compare_direct = timeline.now() - t4;
+        obs.registry
+            .counter("stage2.bytes_reread")
+            .add(verified.stats.bytes_reread);
+        obs.registry
+            .counter("compare.diff_values")
+            .add(verified.stats.diff_count);
+
+        // Per-stage profile: capture phases come from the sources
+        // (summed across both runs), compare phases from this pass.
+        // Phase-5 time splits into the element-wise verify kernels
+        // (deterministic compute charges under simulation) and
+        // everything else — the stream machinery and its I/O waits.
+        let bytes_reread = verified.stats.bytes_reread;
+        let mut stages = a.capture.merged(b.capture);
+        stages.bfs = outcome.phase_cost(breakdown.compare_tree);
+        stages.verify = PhaseCost::new(
+            verified.verify_time.min(breakdown.compare_direct),
+            bytes_reread * 2,
+            bytes_reread / 4,
+        );
+        stages.stage2_stream = PhaseCost::new(
+            breakdown
+                .compare_direct
+                .saturating_sub(verified.verify_time),
+            bytes_reread * 2,
+            verified.io.submitted,
+        );
 
         let stats = DataStats {
             total_values: stats_total_values,
@@ -255,6 +338,7 @@ impl CompareEngine {
 
         Ok(CompareReport {
             breakdown,
+            stages,
             stats,
             differences: verified.differences,
             differences_truncated: verified.truncated,
@@ -301,11 +385,13 @@ impl CompareEngine {
         b: &CheckpointSource,
         flagged: &[usize],
         timeline: &Timeline,
+        obs: &Observer,
     ) -> CoreResult<VerifyOutcome> {
         let mut out = VerifyOutcome::default();
         if flagged.is_empty() {
             return Ok(out);
         }
+        let _stream_span = obs.tracer.span("stage2.stream");
 
         let chunk_bytes = self.config.chunk_bytes;
         // Coalesce runs of adjacent flagged chunks into single read
@@ -339,12 +425,17 @@ impl CompareEngine {
         let mut io_cfg = self.config.io;
         io_cfg.continue_on_error = self.config.failure_policy == FailurePolicy::Quarantine;
 
-        let pipe_a = StreamPipeline::start(Arc::clone(&a.data), ops_a, io_cfg);
-        let pipe_b = StreamPipeline::start(Arc::clone(&b.data), ops_b, io_cfg);
-        let counters_a = pipe_a.counters();
-        let counters_b = pipe_b.counters();
+        // Both pipelines share ONE set of registry-backed metrics
+        // (`io.*`), so the counters already hold both sides' totals —
+        // the report takes a single snapshot, never a merge of two.
+        let metrics = PipelineMetrics::in_registry(&obs.registry, "io");
+        let counters = Arc::clone(&metrics.counters);
+        let pipe_a =
+            StreamPipeline::start_observed(Arc::clone(&a.data), ops_a, io_cfg, metrics.clone());
+        let pipe_b = StreamPipeline::start_observed(Arc::clone(&b.data), ops_b, io_cfg, metrics);
 
         for (slice_a, slice_b) in pipe_a.zip(pipe_b) {
+            let _slice_span = obs.tracer.span("stage2.slice");
             let slice_a = slice_a?;
             let slice_b = slice_b?;
             debug_assert_eq!(slice_a.first_op, slice_b.first_op);
@@ -368,14 +459,17 @@ impl CompareEngine {
             }
 
             // Comparison kernel over this slice (both buffers touched,
-            // one op per value pair).
-            self.charge_compute(
+            // one op per value pair). Verify time is the modeled charge
+            // under simulation (deterministic) or the measured walk
+            // below on a wall timeline.
+            let charged = self.charge_compute(
                 timeline,
                 Workload::new(
                     (slice_a.data.len() + slice_b.data.len()) as u64,
                     (slice_a.data.len() / 4) as u64,
                 ),
             );
+            let verify_wall = Instant::now();
 
             for ((op_idx, pay_a), (_, pay_b)) in slice_a.payloads().zip(slice_b.payloads()) {
                 if failed_ops.binary_search(&op_idx).is_ok() {
@@ -416,15 +510,27 @@ impl CompareEngine {
                     }
                 }
             }
+            out.verify_time += if charged > Duration::ZERO {
+                charged
+            } else {
+                verify_wall.elapsed()
+            };
         }
-        out.io = counters_a.snapshot().merged(counters_b.snapshot());
+        out.io = counters.snapshot();
         out.unverified = merge_ranges(out.unverified);
         Ok(out)
     }
 
-    fn charge_compute(&self, timeline: &Timeline, workload: Workload) {
+    /// Charges `workload` to a simulated timeline and returns the
+    /// charged duration ([`Duration::ZERO`] on wall timelines or when
+    /// no compute model is configured).
+    fn charge_compute(&self, timeline: &Timeline, workload: Workload) -> Duration {
         if let (Timeline::Sim(clock), Some(model)) = (timeline, &self.config.compute_model) {
-            clock.advance(model.kernel_time(workload));
+            let t = model.kernel_time(workload);
+            clock.advance(t);
+            t
+        } else {
+            Duration::ZERO
         }
     }
 }
@@ -437,6 +543,9 @@ struct VerifyOutcome {
     truncated: bool,
     unverified: Vec<ChunkRange>,
     io: RingStats,
+    /// Time attributed to the element-wise verify kernels (see
+    /// `compare_observed`'s stage-splitting).
+    verify_time: Duration,
 }
 
 /// Merges adjacent/overlapping sorted chunk ranges.
@@ -551,9 +660,9 @@ mod tests {
         // Noise at assorted scales around the bound.
         for (i, v) in data2.iter_mut().enumerate() {
             match i % 7 {
-                0 => *v += 3e-4,  // above
-                3 => *v += 9e-5,  // below
-                5 => *v -= 2e-4,  // above
+                0 => *v += 3e-4, // above
+                3 => *v += 9e-5, // below
+                5 => *v -= 2e-4, // above
                 _ => {}
             }
         }
@@ -643,7 +752,10 @@ mod tests {
         assert_eq!(with.stats.diff_count, without.stats.diff_count);
         assert_eq!(with.stats.chunks_flagged, without.stats.chunks_flagged);
         assert_eq!(with.stats.bytes_reread, without.stats.bytes_reread);
-        assert_eq!(with.stats.false_positive_chunks, without.stats.false_positive_chunks);
+        assert_eq!(
+            with.stats.false_positive_chunks,
+            without.stats.false_positive_chunks
+        );
         let wi: Vec<u64> = with.differences.iter().map(|d| d.index).collect();
         let wo: Vec<u64> = without.differences.iter().map(|d| d.index).collect();
         assert_eq!(wi, wo);
@@ -726,7 +838,10 @@ mod tests {
         ));
         let report = e.compare(&a, &b).unwrap();
         assert!(!report.fully_verified());
-        assert_eq!(report.unverified, vec![crate::report::ChunkRange { first: 0, count: 1 }]);
+        assert_eq!(
+            report.unverified,
+            vec![crate::report::ChunkRange { first: 0, count: 1 }]
+        );
         // The readable difference is still localized...
         assert_eq!(report.stats.diff_count, 1);
         assert_eq!(report.differences[0].index, 5_000);
@@ -763,7 +878,11 @@ mod tests {
         let a = CheckpointSource::in_memory(&data, &e).unwrap();
         let b = CheckpointSource::in_memory(&data2, &e).unwrap();
         let report = e.compare(&a, &b).unwrap();
-        assert!(report.io.submitted >= 2, "one op per run per side: {:?}", report.io);
+        assert!(
+            report.io.submitted >= 2,
+            "one op per run per side: {:?}",
+            report.io
+        );
         assert_eq!(report.io.submitted, report.io.completed);
         assert_eq!(report.io.retried, 0);
         assert_eq!(report.io.gave_up, 0);
@@ -838,7 +957,8 @@ mod tests {
                 Some(clock.clone()),
             )
             .unwrap();
-            e.compare_with_timeline(&a, &b, &Timeline::sim(clock)).unwrap()
+            e.compare_with_timeline(&a, &b, &Timeline::sim(clock))
+                .unwrap()
         };
         let r1 = run();
         let r2 = run();
@@ -848,6 +968,113 @@ mod tests {
             r1.breakdown.compare_direct > Duration::ZERO,
             "flagged-chunk verification charged"
         );
+    }
+
+    #[test]
+    fn observed_compare_emits_spans_and_registry_metrics() {
+        let e = engine(256, 1e-5);
+        let data = wave(10_000);
+        let mut data2 = data.clone();
+        data2[500] += 1.0;
+        let a = CheckpointSource::in_memory(&data, &e).unwrap();
+        let b = CheckpointSource::in_memory(&data2, &e).unwrap();
+        let timeline = Timeline::wall();
+        let obs = timeline.observer();
+        let report = e.compare_observed(&a, &b, &timeline, &obs).unwrap();
+
+        let records = obs.tracer.records();
+        let names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
+        for expected in [
+            "compare",
+            "compare.setup",
+            "compare.read_meta",
+            "compare.deserialize",
+            "stage1.bfs",
+            "stage2.stream",
+            "stage2.slice",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "missing span {expected}: {names:?}"
+            );
+        }
+        // Phase spans are children of the root `compare` span.
+        let root = records.iter().position(|r| r.name == "compare").unwrap() as u64;
+        let setup = records.iter().find(|r| r.name == "compare.setup").unwrap();
+        assert_eq!(setup.parent, Some(root));
+
+        // The registry mirrors the report's accounting.
+        assert_eq!(
+            obs.registry.counter("io.submitted").get(),
+            report.io.submitted
+        );
+        assert_eq!(
+            obs.registry.counter("io.completed").get(),
+            report.io.completed
+        );
+        assert_eq!(
+            obs.registry.counter("stage2.bytes_reread").get(),
+            report.stats.bytes_reread
+        );
+        assert_eq!(
+            obs.registry.counter("compare.diff_values").get(),
+            report.stats.diff_count
+        );
+        assert_eq!(
+            obs.registry.counter("stage1.chunks_flagged").get(),
+            report.stats.chunks_flagged
+        );
+        // Per-op payloads flowed through the shared `io.read_bytes`
+        // histogram: one entry per completed op, summing to both
+        // sides' re-read volume.
+        let h = obs.registry.histogram("io.read_bytes").snapshot();
+        assert_eq!(h.count, report.io.completed);
+        assert_eq!(h.sum, 2 * report.stats.bytes_reread);
+    }
+
+    #[test]
+    fn stages_profile_is_deterministic_and_consistent_under_sim() {
+        let e = engine(4096, 1e-5);
+        let data = wave(1 << 16);
+        let mut data2 = data.clone();
+        data2[1000] += 1.0;
+        let run = || {
+            let clock = SimClock::new();
+            let a = CheckpointSource::in_memory_with_model(
+                &data,
+                &e,
+                CostModel::lustre_pfs(),
+                Some(clock.clone()),
+            )
+            .unwrap();
+            let b = CheckpointSource::in_memory_with_model(
+                &data2,
+                &e,
+                CostModel::lustre_pfs(),
+                Some(clock.clone()),
+            )
+            .unwrap();
+            let timeline = Timeline::sim(clock);
+            let obs = timeline.observer();
+            e.compare_observed(&a, &b, &timeline, &obs).unwrap()
+        };
+        let r1 = run();
+        let r2 = run();
+        assert_eq!(r1.stages, r2.stages, "stage profile must be deterministic");
+        // Capture phases were profiled on both sources (modeled time).
+        assert!(r1.stages.quantize.time > Duration::ZERO);
+        assert!(r1.stages.leaf_hash.time > Duration::ZERO);
+        assert!(r1.stages.level_build.ops > 0);
+        assert_eq!(r1.stages.quantize.bytes, 2 * r1.stats.total_bytes);
+        // Compare phases tie out against the phase timers exactly.
+        assert_eq!(
+            r1.stages.stage2_stream.time + r1.stages.verify.time,
+            r1.breakdown.compare_direct
+        );
+        assert_eq!(r1.stages.bfs.time, r1.breakdown.compare_tree);
+        assert_eq!(r1.stages.verify.bytes, 2 * r1.stats.bytes_reread);
+        assert_eq!(r1.stages.stage2_stream.ops, r1.io.submitted);
+        assert!(r1.stages.verify.time > Duration::ZERO);
     }
 
     #[test]

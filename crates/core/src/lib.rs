@@ -76,7 +76,9 @@ pub mod regions;
 pub mod report;
 pub mod source;
 
-pub use baseline::{AllClose, AllCloseReport, Direct, PayloadStats, Statistical, StatisticalReport};
+pub use baseline::{
+    AllClose, AllCloseReport, Direct, PayloadStats, Statistical, StatisticalReport,
+};
 pub use breakdown::CostBreakdown;
 pub use compaction::{CompactionStats, CompactionStore};
 pub use engine::{CompareEngine, EngineConfig, FailurePolicy};

@@ -183,11 +183,8 @@ impl OnlineComparator {
             let ops = reference.chunk_ops(chunk_bytes, &outcome.mismatched_leaves);
             stats.bytes_reread = ops.iter().map(|&(_, len)| len as u64).sum();
             let quantizer = *self.engine.quantizer();
-            let pipeline = StreamPipeline::start(
-                Arc::clone(&reference.data),
-                ops,
-                self.engine.config().io,
-            );
+            let pipeline =
+                StreamPipeline::start(Arc::clone(&reference.data), ops, self.engine.config().io);
             for slice in pipeline {
                 let slice = slice?;
                 for (op_idx, ref_payload) in slice.payloads() {
@@ -196,9 +193,7 @@ impl OnlineComparator {
                     let hi = (lo + values_per_chunk).min(values.len());
                     let live = &values[lo..hi];
                     let mut chunk_had_diff = false;
-                    for (j, (rb, &lv)) in
-                        ref_payload.chunks_exact(4).zip(live.iter()).enumerate()
-                    {
+                    for (j, (rb, &lv)) in ref_payload.chunks_exact(4).zip(live.iter()).enumerate() {
                         let rv = f32::from_le_bytes(rb.try_into().expect("4 bytes"));
                         if quantizer.differs(rv, lv) {
                             chunk_had_diff = true;
@@ -369,11 +364,8 @@ mod tests {
     fn abort_policy_halts_the_session() {
         let e = engine();
         let (h, payloads) = reference(&e, &[10, 20]);
-        let mut online = OnlineComparator::new(
-            e,
-            h,
-            OnlinePolicy::AbortAfter { max_total_diffs: 5 },
-        );
+        let mut online =
+            OnlineComparator::new(e, h, OnlinePolicy::AbortAfter { max_total_diffs: 5 });
         let live: Vec<f32> = payloads[0].iter().map(|v| v + 1.0).collect();
         match online.observe(0, 10, &live).unwrap() {
             OnlineVerdict::Diverged { diff_count, .. } => assert_eq!(diff_count, 300),

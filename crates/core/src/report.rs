@@ -1,6 +1,7 @@
 //! Comparison results: localized differences and volume accounting.
 
 use reprocmp_io::RingStats;
+use reprocmp_obs::StageBreakdown;
 use serde::Serialize;
 
 use crate::breakdown::CostBreakdown;
@@ -74,6 +75,11 @@ pub struct ChunkRange {
 pub struct CompareReport {
     /// Phase timers.
     pub breakdown: CostBreakdown,
+    /// Per-stage cost profile: capture phases (quantize, leaf-hash,
+    /// level-build) summed over both runs' sources, plus the compare
+    /// phases (BFS, stage-2 stream, verify). Rendered by
+    /// `reprocmp compare --profile`.
+    pub stages: StageBreakdown,
     /// Volume and accuracy accounting.
     pub stats: DataStats,
     /// Localized differences, capped at the engine's
@@ -160,6 +166,7 @@ mod tests {
                 compare_direct: std::time::Duration::from_secs(2),
                 ..CostBreakdown::default()
             },
+            stages: StageBreakdown::default(),
             stats: DataStats {
                 total_bytes: 1_000_000,
                 ..DataStats::default()
@@ -178,6 +185,7 @@ mod tests {
     fn unverified_accounting() {
         let report = CompareReport {
             breakdown: CostBreakdown::default(),
+            stages: StageBreakdown::default(),
             stats: DataStats::default(),
             differences: Vec::new(),
             differences_truncated: false,

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use reprocmp_io::cost::OpSpec;
 use reprocmp_io::{CostModel, MemStorage, SimClock, StdFsStorage, Storage};
+use reprocmp_obs::StageBreakdown;
 
 use crate::engine::CompareEngine;
 use crate::{CoreError, CoreResult};
@@ -23,6 +24,11 @@ pub struct CheckpointSource {
     pub payload_len: u64,
     /// Storage holding the encoded Merkle tree.
     pub metadata: Arc<dyn Storage>,
+    /// Capture-phase cost profile (quantize, leaf-hash, level-build)
+    /// recorded when this source built its own metadata; zero for
+    /// sources wrapping pre-existing metadata. The engine merges both
+    /// runs' profiles into `CompareReport::stages`.
+    pub capture: StageBreakdown,
 }
 
 impl CheckpointSource {
@@ -39,6 +45,7 @@ impl CheckpointSource {
             payload_offset,
             payload_len,
             metadata,
+            capture: StageBreakdown::default(),
         }
     }
 
@@ -74,7 +81,7 @@ impl CheckpointSource {
         for v in values {
             payload.extend_from_slice(&v.to_le_bytes());
         }
-        let tree = engine.build_metadata(values);
+        let (tree, capture) = engine.build_metadata_profiled(values);
         let meta_bytes = reprocmp_merkle::encode_tree(&tree);
         let clock = clock.unwrap_or_default();
         let payload_len = payload.len() as u64;
@@ -85,6 +92,7 @@ impl CheckpointSource {
             payload_offset: 0,
             payload_len,
             metadata: Arc::new(metadata),
+            capture,
         })
     }
 
@@ -114,6 +122,7 @@ impl CheckpointSource {
             payload_offset,
             payload_len,
             metadata: Arc::new(metadata),
+            capture: StageBreakdown::default(),
         })
     }
 

@@ -288,8 +288,9 @@ mod tests {
     #[test]
     fn fft_is_deterministic() {
         let mk = || {
-            let mut d: Vec<Complex> =
-                (0..256).map(|i| Complex::new((i as f64).cos(), 0.0)).collect();
+            let mut d: Vec<Complex> = (0..256)
+                .map(|i| Complex::new((i as f64).cos(), 0.0))
+                .collect();
             fft(&mut d);
             d
         };

@@ -155,7 +155,13 @@ pub fn pp_accelerations(
     // Policy-permuted visit order over the 27 neighbor offsets.
     let neighbor_perm = order.permutation(27, salt);
     let offsets: Vec<(isize, isize, isize)> = (0..27)
-        .map(|k| ((k % 3) as isize - 1, ((k / 3) % 3) as isize - 1, (k / 9) as isize - 1))
+        .map(|k| {
+            (
+                (k % 3) as isize - 1,
+                ((k / 3) % 3) as isize - 1,
+                (k / 9) as isize - 1,
+            )
+        })
         .collect();
 
     let cut2 = cutoff * cutoff;
@@ -248,7 +254,11 @@ mod tests {
         // A test point at x=4 (left of the mass at x=8) must be pulled
         // in +x; one at x=12 in −x.
         assert!(ax.at(4, 8, 8) > 0.0, "ax left of mass: {}", ax.at(4, 8, 8));
-        assert!(ax.at(12, 8, 8) < 0.0, "ax right of mass: {}", ax.at(12, 8, 8));
+        assert!(
+            ax.at(12, 8, 8) < 0.0,
+            "ax right of mass: {}",
+            ax.at(12, 8, 8)
+        );
     }
 
     #[test]

@@ -182,7 +182,11 @@ pub fn find_halos(
             Halo { members, center }
         })
         .collect();
-    halos.sort_by(|a, b| b.size().cmp(&a.size()).then(a.members[0].cmp(&b.members[0])));
+    halos.sort_by(|a, b| {
+        b.size()
+            .cmp(&a.size())
+            .then(a.members[0].cmp(&b.members[0]))
+    });
     halos
 }
 
@@ -263,7 +267,8 @@ mod tests {
     #[test]
     fn chain_percolates_into_one_halo() {
         // Particles 0.04 apart with linking length 0.05: a chain.
-        let pts: Vec<(f32, f32, f32)> = (0..10).map(|i| (0.1 + i as f32 * 0.04, 0.5, 0.5)).collect();
+        let pts: Vec<(f32, f32, f32)> =
+            (0..10).map(|i| (0.1 + i as f32 * 0.04, 0.5, 0.5)).collect();
         let p = at(&pts);
         let halos = find_halos(&p, 1.0, 0.05, 2);
         assert_eq!(halos.len(), 1);

@@ -121,10 +121,8 @@ pub fn cic_interpolate(grid: &Grid3, x: f32, y: f32, z: f32, box_size: f32) -> f
     for (dz, &wzv) in wz.iter().enumerate() {
         for (dy, &wyv) in wy.iter().enumerate() {
             for (dx, &wxv) in wx.iter().enumerate() {
-                acc += grid.at(ix + dx as isize, iy + dy as isize, iz + dz as isize)
-                    * wxv
-                    * wyv
-                    * wzv;
+                acc +=
+                    grid.at(ix + dx as isize, iy + dy as isize, iz + dz as isize) * wxv * wyv * wzv;
             }
         }
     }

@@ -121,9 +121,6 @@ mod tests {
     #[test]
     fn empty_and_singleton_sums() {
         assert_eq!(OrderPolicy::Sequential.sum_f32(&[], 0), 0.0);
-        assert_eq!(
-            OrderPolicy::Shuffled { seed: 1 }.sum_f32(&[4.25], 0),
-            4.25
-        );
+        assert_eq!(OrderPolicy::Shuffled { seed: 1 }.sum_f32(&[4.25], 0), 4.25);
     }
 }

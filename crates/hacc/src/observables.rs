@@ -69,7 +69,11 @@ pub fn power_spectrum(particles: &ParticleSet, n: usize, box_size: f32) -> Vec<P
                 // Signed frequencies.
                 let f = |m: usize| -> isize {
                     let m = m as isize;
-                    if m <= half { m } else { m - n as isize }
+                    if m <= half {
+                        m
+                    } else {
+                        m - n as isize
+                    }
                 };
                 let (kx, ky, kz) = (f(x), f(y), f(z));
                 if kx == 0 && ky == 0 && kz == 0 {

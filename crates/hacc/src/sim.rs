@@ -174,7 +174,11 @@ impl Simulation {
         let mut ay = vec![0.0f32; np];
         let mut az = vec![0.0f32; np];
         for i in 0..np {
-            let (x, y, z) = (self.particles.x[i], self.particles.y[i], self.particles.z[i]);
+            let (x, y, z) = (
+                self.particles.x[i],
+                self.particles.y[i],
+                self.particles.z[i],
+            );
             ax[i] = cic_interpolate(&acc_grids[0], x, y, z, cfg.box_size);
             ay[i] = cic_interpolate(&acc_grids[1], x, y, z, cfg.box_size);
             az[i] = cic_interpolate(&acc_grids[2], x, y, z, cfg.box_size);
@@ -359,11 +363,8 @@ mod tests {
         let mut first_leg = small_with(OrderPolicy::Shuffled { seed: 4 });
         first_leg.run(6);
         let snapshot = first_leg.particles().clone();
-        let mut resumed = Simulation::from_state(
-            first_leg.config().clone(),
-            snapshot,
-            first_leg.step_count(),
-        );
+        let mut resumed =
+            Simulation::from_state(first_leg.config().clone(), snapshot, first_leg.step_count());
         resumed.run(4);
 
         assert_eq!(resumed.step_count(), 10);
@@ -373,8 +374,8 @@ mod tests {
     #[test]
     fn restart_through_veloc_checkpoint_files() {
         // The full resilience loop: simulate, capture, restore, resume.
-        let base = std::env::temp_dir()
-            .join(format!("reprocmp-hacc-restart-{}", std::process::id()));
+        let base =
+            std::env::temp_dir().join(format!("reprocmp-hacc-restart-{}", std::process::id()));
         std::fs::remove_dir_all(&base).ok();
 
         let mut cfg = HaccConfig::small();

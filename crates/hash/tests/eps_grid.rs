@@ -1,0 +1,102 @@
+//! Zero-false-negative at the ε-grid boundaries.
+//!
+//! The conservative-hash argument (paper §3.2) rests on one fact:
+//! whenever two values really differ by more than ε, their grid codes
+//! — and therefore their chunk hashes — differ too. The adversarial
+//! inputs for that claim are floats sitting exactly *on* a grid
+//! boundary `k·ε` and their ±1-ulp neighbours, where `floor(x/ε)` is
+//! one double-rounding away from landing in the wrong cell. This
+//! suite aims the property precisely there.
+
+use proptest::prelude::*;
+use reprocmp_hash::{ChunkHasher, Quantizer};
+
+/// The next f32 toward +∞ (stable `f32::next_up` postdates our MSRV).
+fn next_up(x: f32) -> f32 {
+    assert!(x.is_finite());
+    let bits = x.to_bits();
+    let next = if x == 0.0 {
+        1 // +0 and -0 both step to the smallest positive subnormal
+    } else if bits >> 31 == 0 {
+        bits + 1
+    } else if bits == 0x8000_0001 {
+        0x8000_0000 // -min_subnormal steps to -0
+    } else {
+        bits - 1
+    };
+    f32::from_bits(next)
+}
+
+/// The next f32 toward −∞.
+fn next_down(x: f32) -> f32 {
+    -next_up(-x)
+}
+
+/// An f32 on (or, after rounding, as near as representable to) the
+/// grid boundary `k·ε`, nudged `ulps` steps: −1, 0, or +1.
+fn boundary_value(k: i64, eps: f64, ulps: i32) -> f32 {
+    let v = (k as f64 * eps) as f32;
+    match ulps {
+        -1 => next_down(v),
+        1 => next_up(v),
+        _ => v,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// For any two boundary-straddling values that *really* differ by
+    /// more than ε (the paper's ground-truth predicate, checked in
+    /// f64), the quantizer assigns different codes and the chunk
+    /// hasher different digests: no false negatives at the grid's
+    /// most fragile points.
+    #[test]
+    fn boundary_neighbours_never_hash_equal_when_truly_different(
+        bound_pow in 3i32..8,                  // ε ∈ {1e-3 … 1e-7}
+        k1 in -(1i64 << 20)..(1i64 << 20),     // |x|/ε bounded: codes stay
+        k2 in -(1i64 << 20)..(1i64 << 20),     // far from the saturation range
+        ulps1 in -1i32..2,
+        ulps2 in -1i32..2,
+    ) {
+        let eps = 10f64.powi(-bound_pow);
+        let q = Quantizer::new(eps).unwrap();
+        let a = boundary_value(k1, eps, ulps1);
+        let b = boundary_value(k2, eps, ulps2);
+
+        // Gate on the ground truth the engine must never miss.
+        prop_assume!(q.differs(a, b));
+
+        prop_assert!(
+            q.quantize(a) != q.quantize(b),
+            "false negative: {a} and {b} differ by more than ε={eps} yet share a code"
+        );
+        let hasher = ChunkHasher::new(q);
+        prop_assert_ne!(hasher.hash_chunk(&[a]), hasher.hash_chunk(&[b]));
+    }
+
+    /// The ±1-ulp band around a single boundary is itself safe: the
+    /// two sides of `k·ε` may or may not share a code (that is the
+    /// allowed ≤ε slack), but they are never reported different by
+    /// the hash while agreeing under the direct predicate *in a way
+    /// that loses data* — i.e. equal codes always imply |a−b| ≤ ε.
+    #[test]
+    fn equal_codes_imply_within_bound_at_boundaries(
+        bound_pow in 3i32..8,
+        k in -(1i64 << 20)..(1i64 << 20),
+        ulps1 in -1i32..2,
+        ulps2 in -1i32..2,
+    ) {
+        let eps = 10f64.powi(-bound_pow);
+        let q = Quantizer::new(eps).unwrap();
+        let a = boundary_value(k, eps, ulps1);
+        let b = boundary_value(k, eps, ulps2);
+        if q.quantize(a) == q.quantize(b) {
+            prop_assert!(
+                !q.differs(a, b),
+                "values {} and {} share a code but differ by more than ε={}",
+                a, b, eps
+            );
+        }
+    }
+}

@@ -82,6 +82,22 @@ impl Timeline {
             Timeline::Sim(clock) => clock.now(),
         }
     }
+
+    /// An observability clock reading this timeline, for stamping
+    /// tracing spans on the same time base the engine measures phases
+    /// on (virtual under simulation, wall otherwise).
+    #[must_use]
+    pub fn obs_clock(&self) -> reprocmp_obs::ObsClock {
+        let timeline = self.clone();
+        reprocmp_obs::ObsClock::from_fn(move || timeline.now())
+    }
+
+    /// An enabled [`reprocmp_obs::Observer`] whose spans are stamped
+    /// from this timeline.
+    #[must_use]
+    pub fn observer(&self) -> reprocmp_obs::Observer {
+        reprocmp_obs::Observer::new(self.obs_clock())
+    }
 }
 
 #[cfg(test)]
@@ -123,5 +139,26 @@ mod tests {
         let a = t.now();
         let b = t.now();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn obs_clock_tracks_the_timeline() {
+        let c = SimClock::new();
+        let obs = Timeline::sim(c.clone()).obs_clock();
+        assert_eq!(obs.now(), Duration::ZERO);
+        c.advance(Duration::from_millis(3));
+        assert_eq!(obs.now(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn observer_spans_are_stamped_in_virtual_time() {
+        let c = SimClock::new();
+        let obs = Timeline::sim(c.clone()).observer();
+        {
+            let _g = obs.tracer.span("phase");
+            c.advance(Duration::from_micros(40));
+        }
+        let recs = obs.tracer.records();
+        assert_eq!(recs[0].elapsed(), Duration::from_micros(40));
     }
 }

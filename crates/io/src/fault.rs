@@ -129,8 +129,8 @@ impl Storage for FaultyStorage {
                 }
             }
             FaultPlan::Probabilistic { seed, p } => {
-                let roll = (crate::retry::splitmix64(seed ^ read_no) >> 11) as f64
-                    / (1u64 << 53) as f64;
+                let roll =
+                    (crate::retry::splitmix64(seed ^ read_no) >> 11) as f64 / (1u64 << 53) as f64;
                 if roll < p {
                     return Err(self.fault(ErrorKind::Interrupted));
                 }
@@ -198,7 +198,13 @@ mod tests {
 
     #[test]
     fn bad_sector_range() {
-        let s = FaultyStorage::new(base(1024), FaultPlan::Range { start: 500, end: 600 });
+        let s = FaultyStorage::new(
+            base(1024),
+            FaultPlan::Range {
+                start: 500,
+                end: 600,
+            },
+        );
         let mut buf = vec![0u8; 64];
         assert!(s.read_at(0, &mut buf).is_ok());
         assert!(s.read_at(450, &mut buf).is_err(), "overlaps 500..514");
@@ -281,7 +287,9 @@ mod tests {
         let schedule = |seed| {
             let s = FaultyStorage::new(base(1024), FaultPlan::Probabilistic { seed, p: 0.3 });
             let mut buf = vec![0u8; 8];
-            (0..64).map(|_| s.read_at(0, &mut buf).is_err()).collect::<Vec<_>>()
+            (0..64)
+                .map(|_| s.read_at(0, &mut buf).is_err())
+                .collect::<Vec<_>>()
         };
         let a = schedule(42);
         let b = schedule(42);

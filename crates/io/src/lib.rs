@@ -62,7 +62,7 @@ pub use clock::{SimClock, Timeline};
 pub use cost::CostModel;
 pub use fault::{FaultPlan, FaultyStorage};
 pub use mmap::MmapSim;
-pub use pipeline::{OpFailure, PipelineConfig, StreamPipeline};
+pub use pipeline::{BackendKind, OpFailure, PipelineConfig, PipelineMetrics, StreamPipeline};
 pub use retry::{ErrorClass, RetryPolicy, RingCounters, RingStats};
 pub use storage::{MemStorage, StdFsStorage, Storage};
 pub use striped::StripedStorage;

@@ -163,7 +163,11 @@ mod tests {
     fn charged(n: usize) -> (MmapSim, MemStorage, Vec<u8>) {
         let data: Vec<u8> = (0..n).map(|i| (i % 247) as u8).collect();
         let mem = MemStorage::with_model(data.clone(), CostModel::lustre_pfs());
-        (MmapSim::with_arc(Arc::new(mem.clone()), PAGE_SIZE), mem, data)
+        (
+            MmapSim::with_arc(Arc::new(mem.clone()), PAGE_SIZE),
+            mem,
+            data,
+        )
     }
 
     #[test]

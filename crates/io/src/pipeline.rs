@@ -14,6 +14,7 @@
 //! behind.
 
 use crossbeam::channel::{bounded, Receiver};
+use reprocmp_obs::{Histogram, Registry};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -72,6 +73,48 @@ impl Default for PipelineConfig {
             buffers: 2,
             retry: RetryPolicy::none(),
             continue_on_error: false,
+        }
+    }
+}
+
+/// Observability sinks for one pipeline.
+///
+/// The default is the pre-registry behaviour: a fresh, detached
+/// [`RingCounters`] and no histograms. [`PipelineMetrics::in_registry`]
+/// binds everything into a [`Registry`] so pipeline traffic shows up in
+/// metric snapshots: the ring counters under `{prefix}.submitted` /
+/// `.completed` / `.retried` / `.gave_up`, per-op payload sizes in the
+/// `{prefix}.read_bytes` histogram, and per-slice fill latencies
+/// (microseconds, on the storage's clock) in `{prefix}.slice_fill_us`.
+#[derive(Debug, Clone)]
+pub struct PipelineMetrics {
+    /// Submitted/completed/retried/gave-up accounting (always present).
+    pub counters: Arc<RingCounters>,
+    /// Per-op payload bytes of successful reads.
+    pub read_bytes: Option<Histogram>,
+    /// Per-slice fill latency in microseconds. Per-slice timings depend
+    /// on thread interleaving — they belong here, never in a report.
+    pub slice_fill_us: Option<Histogram>,
+}
+
+impl Default for PipelineMetrics {
+    fn default() -> Self {
+        PipelineMetrics {
+            counters: Arc::new(RingCounters::default()),
+            read_bytes: None,
+            slice_fill_us: None,
+        }
+    }
+}
+
+impl PipelineMetrics {
+    /// Metrics registered in `registry` under `prefix` (see type docs).
+    #[must_use]
+    pub fn in_registry(registry: &Registry, prefix: &str) -> Self {
+        PipelineMetrics {
+            counters: Arc::new(RingCounters::registered(registry, prefix)),
+            read_bytes: Some(registry.histogram(&format!("{prefix}.read_bytes"))),
+            slice_fill_us: Some(registry.histogram(&format!("{prefix}.slice_fill_us"))),
         }
     }
 }
@@ -135,12 +178,27 @@ pub struct StreamPipeline {
 }
 
 impl StreamPipeline {
-    /// Starts streaming `ops` from `storage`.
+    /// Starts streaming `ops` from `storage` with default (detached)
+    /// metrics.
     #[must_use]
     pub fn start(storage: Arc<dyn Storage>, ops: Vec<OpSpec>, config: PipelineConfig) -> Self {
+        StreamPipeline::start_observed(storage, ops, config, PipelineMetrics::default())
+    }
+
+    /// Starts streaming `ops` from `storage`, recording traffic into
+    /// `metrics` (see [`PipelineMetrics`]).
+    #[must_use]
+    pub fn start_observed(
+        storage: Arc<dyn Storage>,
+        ops: Vec<OpSpec>,
+        config: PipelineConfig,
+        metrics: PipelineMetrics,
+    ) -> Self {
         let (tx, rx) = bounded::<IoResult<Slice>>(config.buffers.max(1));
-        let counters = Arc::new(RingCounters::default());
+        let counters = Arc::clone(&metrics.counters);
         let reader_counters = Arc::clone(&counters);
+        let read_bytes = metrics.read_bytes.clone();
+        let slice_fill_us = metrics.slice_fill_us.clone();
         let reader = std::thread::spawn(move || {
             let counters = reader_counters;
             let mut ring = match config.backend {
@@ -174,6 +232,8 @@ impl StreamPipeline {
                     i += 1;
                 }
 
+                let fill_started = clock.as_ref().map(crate::clock::SimClock::now);
+                let fill_wall = std::time::Instant::now();
                 let filled: IoResult<Slice> = (|| {
                     let mut data = Vec::with_capacity(bytes);
                     let mut failed: Vec<OpFailure> = Vec::new();
@@ -202,9 +262,8 @@ impl StreamPipeline {
                             let map = map.as_ref().expect("mmap backend present");
                             counters.record_submitted(batch.len() as u64);
                             for (k, &(offset, len)) in batch.iter().enumerate() {
-                                let (result, retries) = config
-                                    .retry
-                                    .run(clock.as_ref(), || map.read(offset, len));
+                                let (result, retries) =
+                                    config.retry.run(clock.as_ref(), || map.read(offset, len));
                                 counters.record_retries(u64::from(retries));
                                 match result {
                                     Ok(buf) => {
@@ -262,6 +321,23 @@ impl StreamPipeline {
                     })
                 })();
 
+                if let Some(h) = &slice_fill_us {
+                    // Virtual time when the storage is simulated, so the
+                    // distribution reflects the modeled device.
+                    let elapsed = match (&clock, fill_started) {
+                        (Some(c), Some(s)) => c.now().saturating_sub(s),
+                        _ => fill_wall.elapsed(),
+                    };
+                    h.record(elapsed.as_micros().try_into().unwrap_or(u64::MAX));
+                }
+                if let (Some(h), Ok(slice)) = (&read_bytes, &filled) {
+                    for (op, payload) in slice.payloads() {
+                        if !slice.failed.iter().any(|f| f.op == op) {
+                            h.record(payload.len() as u64);
+                        }
+                    }
+                }
+
                 let failed = filled.is_err();
                 if tx.send(filled).is_err() || failed {
                     return; // consumer dropped, or error terminated stream
@@ -309,10 +385,7 @@ impl Drop for StreamPipeline {
         if let Some(handle) = self.reader.take() {
             // Disconnect by dropping our receiver clone implicitly after
             // drain; recv in thread sees closed channel on next send.
-            drop(std::mem::replace(
-                &mut self.rx,
-                crossbeam::channel::never(),
-            ));
+            drop(std::mem::replace(&mut self.rx, crossbeam::channel::never()));
             let _ = handle.join();
         }
     }
@@ -389,10 +462,8 @@ mod tests {
         let slice = pipeline.next_slice().unwrap().unwrap();
         assert_eq!(slice.ops.len(), 3);
         assert_eq!(slice.payload(1), &data[50_000..50_200]);
-        let collected: Vec<(usize, Vec<u8>)> = slice
-            .payloads()
-            .map(|(i, p)| (i, p.to_vec()))
-            .collect();
+        let collected: Vec<(usize, Vec<u8>)> =
+            slice.payloads().map(|(i, p)| (i, p.to_vec())).collect();
         assert_eq!(collected[2].0, 2);
         assert_eq!(&collected[2].1[..], &data[1_000..1_050]);
         assert!(pipeline.next_slice().is_none());
@@ -429,8 +500,7 @@ mod tests {
     #[test]
     fn empty_op_list_yields_empty_stream() {
         let (storage, _) = make(64);
-        let mut pipeline =
-            StreamPipeline::start(storage, Vec::new(), PipelineConfig::default());
+        let mut pipeline = StreamPipeline::start(storage, Vec::new(), PipelineConfig::default());
         assert!(pipeline.next_slice().is_none());
     }
 
@@ -504,7 +574,11 @@ mod tests {
             failed_ops.extend(slice.failed.iter().map(|f| f.op));
         }
         assert_eq!(total, 1 << 16, "every op occupies its full length");
-        assert_eq!(failed_ops, vec![2], "exactly the op overlapping the bad sector");
+        assert_eq!(
+            failed_ops,
+            vec![2],
+            "exactly the op overlapping the bad sector"
+        );
         let st = counters.snapshot();
         assert_eq!(st.submitted, ops.len() as u64);
         assert_eq!(st.gave_up, 1);
@@ -541,6 +615,45 @@ mod tests {
         let ops = chunk_ops(1 << 16, 4096);
         let err = read_all(faulty, &ops, PipelineConfig::default()).unwrap_err();
         assert!(matches!(err, IoError::Os(_)));
+    }
+
+    #[test]
+    fn registry_metrics_mirror_pipeline_traffic_on_every_backend() {
+        for backend in [BackendKind::Uring, BackendKind::Mmap, BackendKind::Blocking] {
+            let (storage, data) = make(1 << 16);
+            let ops = chunk_ops(1 << 16, 4096);
+            let registry = Registry::new();
+            let metrics = PipelineMetrics::in_registry(&registry, "io");
+            let cfg = PipelineConfig {
+                backend,
+                slice_bytes: 8192,
+                ..PipelineConfig::default()
+            };
+            let pipeline =
+                StreamPipeline::start_observed(Arc::clone(&storage), ops.clone(), cfg, metrics);
+            let counters = pipeline.counters();
+            let mut total = 0usize;
+            for slice in pipeline {
+                total += slice.unwrap().data.len();
+            }
+            assert_eq!(total, data.len());
+            // Registry counters and the legacy snapshot read the same state.
+            let stats = counters.snapshot();
+            assert_eq!(
+                registry.counter("io.submitted").get(),
+                stats.submitted,
+                "backend {backend:?}"
+            );
+            assert_eq!(registry.counter("io.completed").get(), stats.completed);
+            assert_eq!(stats.completed, ops.len() as u64);
+            // Every successful op's payload landed in the bytes histogram.
+            let h = registry.histogram("io.read_bytes");
+            assert_eq!(h.count(), ops.len() as u64, "backend {backend:?}");
+            assert_eq!(h.sum(), data.len() as u64);
+            // Each slice recorded one fill latency.
+            let slices = (ops.len() * 4096).div_ceil(8192) as u64;
+            assert_eq!(registry.histogram("io.slice_fill_us").count(), slices);
+        }
     }
 
     #[test]

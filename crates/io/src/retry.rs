@@ -17,8 +17,8 @@
 //!   machinery did (submitted, completed, retried, gave up), so a
 //!   partial report can say exactly how hard the I/O layer fought.
 
+use reprocmp_obs::{Counter, Registry};
 use serde::Serialize;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::clock::SimClock;
@@ -113,9 +113,12 @@ impl RetryPolicy {
             return Duration::ZERO;
         }
         let exp = retry_index.saturating_sub(1).min(20);
-        let nominal = self.base_backoff.saturating_mul(1 << exp).min(self.max_backoff);
-        let unit =
-            (splitmix64(self.jitter_seed ^ u64::from(retry_index)) >> 11) as f64 / (1u64 << 53) as f64;
+        let nominal = self
+            .base_backoff
+            .saturating_mul(1 << exp)
+            .min(self.max_backoff);
+        let unit = (splitmix64(self.jitter_seed ^ u64::from(retry_index)) >> 11) as f64
+            / (1u64 << 53) as f64;
         nominal.mul_f64(0.5 + 0.5 * unit)
     }
 
@@ -181,47 +184,70 @@ impl Default for RetryPolicy {
     }
 }
 
-/// Shared atomic I/O accounting, updated live by ring workers and
-/// pipeline readers.
+/// Shared I/O accounting, updated live by ring workers and pipeline
+/// readers.
+///
+/// Each field is a registry-style [`Counter`] from `reprocmp-obs`. A
+/// default-constructed `RingCounters` owns detached counters (exactly
+/// the old behaviour); [`RingCounters::registered`] binds the four
+/// counters into a [`Registry`] under a name prefix so the same
+/// increments also show up in metric snapshots — the public recording
+/// API and [`RingStats`] shape are unchanged either way.
 #[derive(Debug, Default)]
 pub struct RingCounters {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    retried: AtomicU64,
-    gave_up: AtomicU64,
+    submitted: Counter,
+    completed: Counter,
+    retried: Counter,
+    gave_up: Counter,
 }
 
 impl RingCounters {
+    /// Counters registered as `{prefix}.submitted`, `{prefix}.completed`,
+    /// `{prefix}.retried`, and `{prefix}.gave_up` in `registry`.
+    ///
+    /// Handles are get-or-create: two `RingCounters` registered under
+    /// the same prefix share the same underlying counters, which is how
+    /// a pair of pipelines aggregates into one set of totals.
+    #[must_use]
+    pub fn registered(registry: &Registry, prefix: &str) -> Self {
+        RingCounters {
+            submitted: registry.counter(&format!("{prefix}.submitted")),
+            completed: registry.counter(&format!("{prefix}.completed")),
+            retried: registry.counter(&format!("{prefix}.retried")),
+            gave_up: registry.counter(&format!("{prefix}.gave_up")),
+        }
+    }
+
     /// Records `n` operations handed to the device.
     pub fn record_submitted(&self, n: u64) {
-        self.submitted.fetch_add(n, Ordering::Relaxed);
+        self.submitted.add(n);
     }
 
     /// Records one operation finishing successfully.
     pub fn record_completed(&self) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.completed.inc();
     }
 
     /// Records `n` retry attempts.
     pub fn record_retries(&self, n: u64) {
         if n > 0 {
-            self.retried.fetch_add(n, Ordering::Relaxed);
+            self.retried.add(n);
         }
     }
 
     /// Records one operation exhausting its policy and failing.
     pub fn record_gave_up(&self) {
-        self.gave_up.fetch_add(1, Ordering::Relaxed);
+        self.gave_up.inc();
     }
 
     /// A point-in-time copy of the counters.
     #[must_use]
     pub fn snapshot(&self) -> RingStats {
         RingStats {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            retried: self.retried.load(Ordering::Relaxed),
-            gave_up: self.gave_up.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
+            completed: self.completed.get(),
+            retried: self.retried.get(),
+            gave_up: self.gave_up.get(),
         }
     }
 }
@@ -280,7 +306,10 @@ mod tests {
         for k in 1..8u32 {
             let nominal = Duration::from_millis(1 << (k - 1)).min(Duration::from_millis(16));
             let b = p.backoff(k);
-            assert!(b >= nominal.mul_f64(0.5) && b <= nominal, "retry {k}: {b:?}");
+            assert!(
+                b >= nominal.mul_f64(0.5) && b <= nominal,
+                "retry {k}: {b:?}"
+            );
         }
         assert_eq!(p.backoff(3), p.backoff(3), "jitter is deterministic");
     }
@@ -379,5 +408,33 @@ mod tests {
         let m = s.merged(s);
         assert_eq!(m.submitted, 10);
         assert_eq!(m.gave_up, 2);
+    }
+
+    #[test]
+    fn registered_counters_mirror_into_the_registry() {
+        let registry = Registry::new();
+        let c = RingCounters::registered(&registry, "io");
+        c.record_submitted(4);
+        c.record_completed();
+        c.record_retries(2);
+        c.record_gave_up();
+        assert_eq!(registry.counter("io.submitted").get(), 4);
+        assert_eq!(registry.counter("io.completed").get(), 1);
+        assert_eq!(registry.counter("io.retried").get(), 2);
+        assert_eq!(registry.counter("io.gave_up").get(), 1);
+        // The snapshot still reads the same numbers through the legacy API.
+        assert_eq!(
+            c.snapshot(),
+            RingStats {
+                submitted: 4,
+                completed: 1,
+                retried: 2,
+                gave_up: 1
+            }
+        );
+        // Same prefix → same underlying counters.
+        let c2 = RingCounters::registered(&registry, "io");
+        c2.record_submitted(1);
+        assert_eq!(c.snapshot().submitted, 5);
     }
 }

@@ -259,7 +259,11 @@ mod tests {
         let s = MemStorage::with_model(vec![0u8; 1 << 20], CostModel::lustre_pfs());
         assert_eq!(s.elapsed(), Duration::ZERO);
         s.charge_batch(&[(0, 4096), (500_000, 4096)], AccessMode::Sync);
-        assert!(s.elapsed() >= Duration::from_micros(600), "{:?}", s.elapsed());
+        assert!(
+            s.elapsed() >= Duration::from_micros(600),
+            "{:?}",
+            s.elapsed()
+        );
     }
 
     #[test]

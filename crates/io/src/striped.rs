@@ -216,7 +216,11 @@ mod tests {
         // region, so it pays a single seek, not one per stripe.
         let s = StripedStorage::new(vec![0u8; 8 << 20], model(), 1 << 20, 2);
         let frags = s.fragments(0, 8 << 20);
-        let ost0: Vec<OpSpec> = frags.iter().filter(|(o, _)| *o == 0).map(|(_, f)| *f).collect();
+        let ost0: Vec<OpSpec> = frags
+            .iter()
+            .filter(|(o, _)| *o == 0)
+            .map(|(_, f)| *f)
+            .collect();
         assert_eq!(CostModel::count_seeks(&ost0), 1);
     }
 

@@ -252,7 +252,10 @@ impl UringSim {
             let cqe = self.wait()?;
             out[cqe.user_data as usize] = Some(cqe.result);
         }
-        Ok(out.into_iter().map(|b| b.expect("all ops completed")).collect())
+        Ok(out
+            .into_iter()
+            .map(|b| b.expect("all ops completed"))
+            .collect())
     }
 }
 
@@ -403,7 +406,10 @@ mod tests {
         let st = ring.stats();
         assert_eq!(st.submitted, 10);
         assert_eq!(st.completed, 10);
-        assert!(st.retried >= 3, "at least the faulted reads retried: {st:?}");
+        assert!(
+            st.retried >= 3,
+            "at least the faulted reads retried: {st:?}"
+        );
         assert_eq!(st.gave_up, 0);
     }
 
@@ -483,13 +489,8 @@ mod tests {
         let clock = s.clock();
         let faulty = Arc::new(FaultyStorage::new(Arc::new(s), FaultPlan::FirstN { n: 4 }));
         let retry = RetryPolicy::with_attempts(8);
-        let mut ring = UringSim::with_shared_counters(
-            faulty,
-            1,
-            4,
-            retry,
-            Arc::new(RingCounters::default()),
-        );
+        let mut ring =
+            UringSim::with_shared_counters(faulty, 1, 4, retry, Arc::new(RingCounters::default()));
         let wall = std::time::Instant::now();
         ring.read_scattered(&[(0, 64)]).unwrap();
         assert!(

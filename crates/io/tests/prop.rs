@@ -8,18 +8,16 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn arbitrary_ops(file_len: usize) -> impl Strategy<Value = Vec<OpSpec>> {
-    proptest::collection::vec(
-        (0usize..file_len.saturating_sub(1), 1usize..4096),
-        1..40,
+    proptest::collection::vec((0usize..file_len.saturating_sub(1), 1usize..4096), 1..40).prop_map(
+        move |raw| {
+            raw.into_iter()
+                .map(|(off, len)| {
+                    let len = len.min(file_len - off);
+                    (off as u64, len.max(1))
+                })
+                .collect()
+        },
     )
-    .prop_map(move |raw| {
-        raw.into_iter()
-            .map(|(off, len)| {
-                let len = len.min(file_len - off);
-                (off as u64, len.max(1))
-            })
-            .collect()
-    })
 }
 
 proptest! {

@@ -15,6 +15,7 @@
 //! must stream back from the PFS and verify element-wise.
 
 use reprocmp_device::{Device, Workload};
+use reprocmp_obs::{PhaseCost, Tracer};
 
 use crate::tree::MerkleTree;
 
@@ -65,6 +66,18 @@ impl CompareOutcome {
     pub fn identical(&self) -> bool {
         self.mismatched_leaves.is_empty()
     }
+
+    /// Bytes and ops this BFS moved, as a [`PhaseCost`] with the given
+    /// time (the caller owns the clock that timed the walk): 32 digest
+    /// bytes read per node pair visited, one comparison op each.
+    #[must_use]
+    pub fn phase_cost(&self, time: std::time::Duration) -> PhaseCost {
+        PhaseCost::new(
+            time,
+            (self.nodes_visited * 32) as u64,
+            self.nodes_visited as u64,
+        )
+    }
 }
 
 /// Compares two trees with a pruning BFS starting mid-tree.
@@ -84,6 +97,26 @@ pub fn compare_trees(
     device: &Device,
     lane_hint: usize,
 ) -> Result<CompareOutcome, TreeCompareError> {
+    compare_trees_traced(a, b, device, lane_hint, &Tracer::disabled())
+}
+
+/// [`compare_trees`] with tracing: the walk runs under a
+/// `stage1.bfs` span with one `stage1.level{n}` child span per level
+/// kernel, stamped on the tracer's clock. A disabled tracer makes this
+/// identical to the untraced call.
+///
+/// # Errors
+///
+/// [`TreeCompareError::IncompatibleShape`] when the trees cannot be
+/// compared node-for-node.
+pub fn compare_trees_traced(
+    a: &MerkleTree,
+    b: &MerkleTree,
+    device: &Device,
+    lane_hint: usize,
+    tracer: &Tracer,
+) -> Result<CompareOutcome, TreeCompareError> {
+    let _bfs_span = tracer.span("stage1.bfs");
     if !a.comparable(b) {
         return Err(TreeCompareError::IncompatibleShape {
             a: (a.leaf_count(), a.chunk_bytes(), a.data_len()),
@@ -103,6 +136,7 @@ pub fn compare_trees(
         if frontier.is_empty() {
             break;
         }
+        let _level_span = tracer.span(format!("stage1.level{level}"));
         outcome.levels_descended += 1;
         outcome.nodes_visited += frontier.len();
 
@@ -172,7 +206,9 @@ mod tests {
 
     /// Reference: brute-force leaf scan.
     fn leaf_scan(a: &MerkleTree, b: &MerkleTree) -> Vec<usize> {
-        (0..a.leaf_count()).filter(|&i| a.leaf(i) != b.leaf(i)).collect()
+        (0..a.leaf_count())
+            .filter(|&i| a.leaf(i) != b.leaf(i))
+            .collect()
     }
 
     #[test]
@@ -287,6 +323,37 @@ mod tests {
     }
 
     #[test]
+    fn traced_bfs_emits_one_level_span_per_descent() {
+        use reprocmp_obs::{ObsClock, Tracer};
+        let d = base_data(4096);
+        let mut d2 = d.clone();
+        d2[1000] += 1.0;
+        let a = tree(&d, 64, 1e-5);
+        let b = tree(&d2, 64, 1e-5);
+        let tracer = Tracer::new(ObsClock::wall());
+        let out = compare_trees_traced(&a, &b, &Device::host_serial(), 8, &tracer).unwrap();
+        let recs = tracer.records();
+        assert_eq!(recs[0].name, "stage1.bfs");
+        assert_eq!(recs[0].parent, None);
+        let levels: Vec<&str> = recs[1..].iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(levels.len(), out.levels_descended);
+        assert!(levels[0].starts_with("stage1.level"));
+        assert!(
+            recs[1..].iter().all(|r| r.parent == Some(0)),
+            "levels nest under bfs"
+        );
+        // Untraced call returns the same outcome.
+        assert_eq!(
+            out,
+            compare_trees(&a, &b, &Device::host_serial(), 8).unwrap()
+        );
+        // Phase-cost accounting covers every visited node pair.
+        let cost = out.phase_cost(std::time::Duration::from_secs(1));
+        assert_eq!(cost.ops, out.nodes_visited as u64);
+        assert_eq!(cost.bytes, (out.nodes_visited * 32) as u64);
+    }
+
+    #[test]
     fn sim_gpu_compare_matches_serial() {
         let d = base_data(4096);
         let mut d2 = d.clone();
@@ -295,8 +362,7 @@ mod tests {
         let a = tree(&d, 64, 1e-5);
         let b = tree(&d2, 64, 1e-5);
         let gpu = Device::sim_gpu();
-        let out_gpu =
-            compare_trees(&a, &b, &gpu, gpu.concurrent_kernel_threads()).unwrap();
+        let out_gpu = compare_trees(&a, &b, &gpu, gpu.concurrent_kernel_threads()).unwrap();
         let out_ser = compare_trees(&a, &b, &Device::host_serial(), 1).unwrap();
         assert_eq!(out_gpu.mismatched_leaves, out_ser.mismatched_leaves);
     }

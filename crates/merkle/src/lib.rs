@@ -43,6 +43,6 @@ pub mod compare;
 pub mod serial;
 pub mod tree;
 
-pub use compare::{compare_trees, CompareOutcome, TreeCompareError};
+pub use compare::{compare_trees, compare_trees_traced, CompareOutcome, TreeCompareError};
 pub use serial::{decode_tree, encode_tree, TreeCodecError};
 pub use tree::MerkleTree;

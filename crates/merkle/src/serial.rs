@@ -239,7 +239,10 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let e = TreeCodecError::Truncated { needed: 100, got: 7 };
+        let e = TreeCodecError::Truncated {
+            needed: 100,
+            got: 7,
+        };
         assert!(e.to_string().contains("100"));
         assert!(TreeCodecError::BadMagic.to_string().contains("magic"));
     }

@@ -2,6 +2,8 @@
 
 use reprocmp_device::{Device, Workload};
 use reprocmp_hash::{ChunkHasher, Digest128};
+use reprocmp_obs::{PhaseCost, StageBreakdown};
+use std::time::{Duration, Instant};
 
 /// A complete binary Merkle tree stored as a flat array.
 ///
@@ -59,7 +61,14 @@ impl MerkleTree {
             let lowers_ref: &[Digest128] = lowers;
             // Hash bytes: each parent reads 32 bytes, writes 16.
             let w = Workload::new((level_width * 48) as u64, (level_width * 32) as u64);
-            device_level(device, parents, lowers_ref, children_base, base + level_width, w);
+            device_level(
+                device,
+                parents,
+                lowers_ref,
+                children_base,
+                base + level_width,
+                w,
+            );
             if level_width == 1 {
                 break;
             }
@@ -115,6 +124,83 @@ impl MerkleTree {
             hasher.quantizer().bound(),
             device,
         )
+    }
+
+    /// Like [`MerkleTree::build_from_f32`], but runs quantization, leaf
+    /// hashing, and level building as *separate* kernels and returns
+    /// a [`StageBreakdown`] attributing time, bytes, and operations to
+    /// each capture phase. The resulting tree is bit-identical to the
+    /// fused builder's (quantize-then-hash commutes with fusing).
+    ///
+    /// Phase times come from the device's modeled-time accumulator when
+    /// the device has a timing model — a deterministic sum of kernel
+    /// charges — and from the wall clock otherwise.
+    ///
+    /// # Panics
+    ///
+    /// If `data` is empty or `chunk_bytes < 4`.
+    #[must_use]
+    pub fn build_from_f32_profiled(
+        data: &[f32],
+        chunk_bytes: usize,
+        hasher: &ChunkHasher,
+        device: &Device,
+    ) -> (Self, StageBreakdown) {
+        assert!(!data.is_empty(), "cannot build a tree over no data");
+        assert!(chunk_bytes >= 4, "chunk must hold at least one f32");
+        let floats_per_chunk = chunk_bytes / 4;
+        let n_chunks = data.len().div_ceil(floats_per_chunk);
+        let data_bytes = (data.len() * 4) as u64;
+
+        // Phase 1 — quantize every chunk onto the ε-grid. One pass over
+        // the floats, ~10 scalar ops per byte (cast, scale, floor).
+        let w_quant = Workload::new(data_bytes, data_bytes.saturating_mul(10));
+        let (codes, quantize_time) = measured(device, || {
+            device.parallel_map(n_chunks, w_quant, |i| {
+                let lo = i * floats_per_chunk;
+                let hi = ((i + 1) * floats_per_chunk).min(data.len());
+                let mut bytes = Vec::new();
+                hasher
+                    .quantizer()
+                    .quantize_to_bytes(&data[lo..hi], &mut bytes);
+                bytes
+            })
+        });
+        let code_bytes: u64 = codes.iter().map(|c| c.len() as u64).sum();
+
+        // Phase 2 — block-chained hashing of the quantized codes, the
+        // Murmur3F rounds that dominate capture (paper Figure 8).
+        let w_hash = Workload::new(data_bytes, data_bytes.saturating_mul(30));
+        let codes_ref = &codes;
+        let (leaves, leaf_hash_time) = measured(device, || {
+            device.parallel_map(n_chunks, w_hash, |i| {
+                hasher.hash_quantized_bytes(&codes_ref[i])
+            })
+        });
+
+        // Phase 3 — interior levels, bottom-up.
+        let (tree, level_build_time) = measured(device, || {
+            Self::from_leaves(
+                leaves,
+                chunk_bytes,
+                data_bytes,
+                hasher.quantizer().bound(),
+                device,
+            )
+        });
+
+        let interior_nodes = (tree.node_count() - tree.leaf_count().next_power_of_two()) as u64;
+        let profile = StageBreakdown {
+            quantize: PhaseCost::new(quantize_time, data_bytes, data.len() as u64),
+            leaf_hash: PhaseCost::new(leaf_hash_time, code_bytes, n_chunks as u64),
+            level_build: PhaseCost::new(
+                level_build_time,
+                tree.metadata_bytes() as u64,
+                interior_nodes,
+            ),
+            ..StageBreakdown::default()
+        };
+        (tree, profile)
     }
 
     /// The root digest — a single value summarizing the checkpoint
@@ -253,8 +339,7 @@ impl MerkleTree {
         self.nodes[idx] = digest;
         while idx > 0 {
             idx = (idx - 1) / 2;
-            self.nodes[idx] =
-                Digest128::combine(self.nodes[2 * idx + 1], self.nodes[2 * idx + 2]);
+            self.nodes[idx] = Digest128::combine(self.nodes[2 * idx + 1], self.nodes[2 * idx + 2]);
         }
     }
 
@@ -309,6 +394,22 @@ impl MerkleTree {
     }
 }
 
+/// Times `f` on the device's modeled clock when it has a timing model
+/// (a deterministic sum of kernel charges), falling back to wall time
+/// on unmodeled devices.
+fn measured<T>(device: &Device, f: impl FnOnce() -> T) -> (T, Duration) {
+    let wall = Instant::now();
+    let modeled_before = device.modeled_time();
+    let out = f();
+    let modeled = device.modeled_time().saturating_sub(modeled_before);
+    let time = if modeled > Duration::ZERO {
+        modeled
+    } else {
+        wall.elapsed()
+    };
+    (out, time)
+}
+
 /// Runs one interior level as a device kernel. `parents` is the level
 /// being written; the children of parent slot `j` (flat index `base+j`)
 /// live at flat indices `2(base+j)+1` and `2(base+j)+2`, both inside
@@ -342,6 +443,59 @@ mod tests {
 
     fn data(n: usize) -> Vec<f32> {
         (0..n).map(|i| (i as f32 * 0.37).sin() * 10.0).collect()
+    }
+
+    #[test]
+    fn profiled_build_is_bit_identical_to_fused_build() {
+        let d = data(4096);
+        let h = hasher(1e-5);
+        let dev = Device::host_serial();
+        let fused = MerkleTree::build_from_f32(&d, 128, &h, &dev);
+        let (split, profile) = MerkleTree::build_from_f32_profiled(&d, 128, &h, &dev);
+        assert_eq!(fused, split);
+        // 4096 floats, 128-byte chunks → 128 chunks of 32 floats.
+        assert_eq!(profile.quantize.bytes, 4096 * 4);
+        assert_eq!(profile.quantize.ops, 4096);
+        assert_eq!(profile.leaf_hash.bytes, 4096 * 8, "8-byte codes");
+        assert_eq!(profile.leaf_hash.ops, 128);
+        assert_eq!(profile.level_build.bytes, split.metadata_bytes() as u64);
+        assert_eq!(
+            profile.level_build.ops, 127,
+            "interior nodes of a 128-leaf tree"
+        );
+        // Compare-side phases are untouched by capture.
+        assert!(profile.bfs.is_zero());
+        assert!(profile.stage2_stream.is_zero());
+        assert!(profile.verify.is_zero());
+    }
+
+    #[test]
+    fn profiled_build_times_are_modeled_and_deterministic() {
+        let d = data(5000);
+        let h = hasher(1e-6);
+        let run = || {
+            let dev = Device::sim_gpu();
+            MerkleTree::build_from_f32_profiled(&d, 256, &h, &dev).1
+        };
+        let (p1, p2) = (run(), run());
+        assert_eq!(p1, p2, "modeled phase times are exact, not wall-clock");
+        assert!(p1.quantize.time > Duration::ZERO);
+        assert!(p1.leaf_hash.time > Duration::ZERO);
+        assert!(p1.level_build.time > Duration::ZERO);
+        assert_eq!(
+            p1.capture_time(),
+            p1.quantize.time + p1.leaf_hash.time + p1.level_build.time
+        );
+    }
+
+    #[test]
+    fn profiled_build_on_unmodeled_device_reports_wall_time() {
+        let d = data(1024);
+        let (_, profile) =
+            MerkleTree::build_from_f32_profiled(&d, 64, &hasher(1e-4), &Device::host_serial());
+        // No model → wall-clock fallback; elapsed time is positive but
+        // nothing else can be asserted portably.
+        assert!(profile.capture_time() > Duration::ZERO);
     }
 
     #[test]
@@ -508,8 +662,7 @@ mod tests {
     #[should_panic(expected = "hasher bound")]
     fn update_with_wrong_bound_panics() {
         let d = data(256);
-        let mut t =
-            MerkleTree::build_from_f32(&d, 64, &hasher(1e-5), &Device::host_serial());
+        let mut t = MerkleTree::build_from_f32(&d, 64, &hasher(1e-5), &Device::host_serial());
         t.update_region(&d, 0..10, &hasher(1e-4));
     }
 

@@ -1,0 +1,267 @@
+//! Hierarchical tracing spans.
+//!
+//! A [`Tracer`] records a forest of named spans. Opening a span (via
+//! [`Tracer::span`] or the [`span!`](crate::span!) macro) stamps an
+//! enter timestamp off the tracer's [`ObsClock`] and pushes the span
+//! onto a per-tracer stack; dropping the returned [`SpanGuard`] stamps
+//! the exit timestamp and pops it. Because entry/exit follow RAII
+//! scoping, the recorded forest is well-nested by construction: every
+//! span's interval lies inside its parent's, a property the test suite
+//! asserts over random nesting programs.
+
+use crate::ObsClock;
+use serde::Serialize;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// One finished (or still-open) span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SpanRecord {
+    /// Span name, dot-separated by convention (e.g. `stage1.bfs`).
+    pub name: String,
+    /// Index of the parent span in the tracer's record list, or `None`
+    /// for a root span.
+    pub parent: Option<u64>,
+    /// Nesting depth; roots are at depth 0.
+    pub depth: u64,
+    /// Clock reading at entry.
+    pub start: Duration,
+    /// Clock reading at exit; equals `start` while the span is open.
+    pub end: Duration,
+}
+
+impl SpanRecord {
+    /// Time between entry and exit.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+#[derive(Debug, Default)]
+struct TracerState {
+    records: Vec<SpanRecord>,
+    stack: Vec<usize>,
+}
+
+/// Records hierarchical spans against a shared clock.
+///
+/// Cheap to clone; clones share the record list. A tracer created with
+/// [`Tracer::disabled`] turns every span into a no-op so instrumented
+/// code pays nothing when nobody is watching.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    state: Option<Arc<Mutex<TracerState>>>,
+    clock: ObsClock,
+}
+
+impl Tracer {
+    /// An enabled tracer stamping timestamps from `clock`.
+    #[must_use]
+    pub fn new(clock: ObsClock) -> Self {
+        Tracer {
+            state: Some(Arc::new(Mutex::new(TracerState::default()))),
+            clock,
+        }
+    }
+
+    /// A tracer that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Tracer {
+            state: None,
+            clock: ObsClock::frozen(),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Opens a span; it closes when the returned guard drops.
+    #[must_use = "the span closes when the guard drops — bind it"]
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        let Some(state) = &self.state else {
+            return SpanGuard {
+                tracer: None,
+                index: 0,
+            };
+        };
+        let now = self.clock.now();
+        let mut s = state.lock().unwrap_or_else(PoisonError::into_inner);
+        let parent = s.stack.last().map(|&i| i as u64);
+        let depth = s.stack.len() as u64;
+        let index = s.records.len();
+        s.records.push(SpanRecord {
+            name: name.into(),
+            parent,
+            depth,
+            start: now,
+            end: now,
+        });
+        s.stack.push(index);
+        SpanGuard {
+            tracer: Some((Arc::clone(state), self.clock.clone())),
+            index,
+        }
+    }
+
+    /// Snapshot of every span recorded so far, in open order.
+    #[must_use]
+    pub fn records(&self) -> Vec<SpanRecord> {
+        match &self.state {
+            Some(state) => state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .records
+                .clone(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// RAII guard returned by [`Tracer::span`]; closes the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Option<(Arc<Mutex<TracerState>>, ObsClock)>,
+    index: usize,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((state, clock)) = self.tracer.take() else {
+            return;
+        };
+        let now = clock.now();
+        let mut s = state.lock().unwrap_or_else(PoisonError::into_inner);
+        s.records[self.index].end = now;
+        // Pop this span — and, if an inner guard leaked (mem::forget)
+        // or dropped out of order, everything opened above it, closing
+        // those records at `now` so the stack stays consistent. A guard
+        // whose span was already popped only stamps its end time.
+        let st = &mut *s;
+        if let Some(pos) = st.stack.iter().rposition(|&i| i == self.index) {
+            for &orphan in &st.stack[pos + 1..] {
+                st.records[orphan].end = st.records[orphan].end.max(now);
+            }
+            st.stack.truncate(pos);
+        }
+    }
+}
+
+/// Opens a span on a tracer: `span!(tracer, "stage1.bfs")`.
+///
+/// Expands to [`Tracer::span`]; bind the result or the span closes
+/// immediately.
+#[macro_export]
+macro_rules! span {
+    ($tracer:expr, $name:expr) => {
+        $tracer.span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn manual_clock() -> (ObsClock, Arc<AtomicU64>) {
+        let ns = Arc::new(AtomicU64::new(0));
+        let src = Arc::clone(&ns);
+        let clock = ObsClock::from_fn(move || Duration::from_nanos(src.load(Ordering::SeqCst)));
+        (clock, ns)
+    }
+
+    #[test]
+    fn spans_record_enter_and_exit_times() {
+        let (clock, ns) = manual_clock();
+        let tracer = Tracer::new(clock);
+        {
+            let _g = tracer.span("outer");
+            ns.store(100, Ordering::SeqCst);
+        }
+        let recs = tracer.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, "outer");
+        assert_eq!(recs[0].start, Duration::ZERO);
+        assert_eq!(recs[0].end, Duration::from_nanos(100));
+        assert_eq!(recs[0].elapsed(), Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn nesting_sets_parent_and_depth() {
+        let tracer = Tracer::new(ObsClock::frozen());
+        {
+            let _a = span!(tracer, "a");
+            {
+                let _b = span!(tracer, "a.b");
+                let _c = span!(tracer, "a.b.c");
+            }
+            let _d = span!(tracer, "a.d");
+        }
+        let recs = tracer.records();
+        let by_name = |n: &str| recs.iter().find(|r| r.name == n).unwrap();
+        assert_eq!(by_name("a").parent, None);
+        assert_eq!(by_name("a").depth, 0);
+        assert_eq!(by_name("a.b").parent, Some(0));
+        assert_eq!(by_name("a.b.c").parent, Some(1));
+        assert_eq!(by_name("a.b.c").depth, 2);
+        assert_eq!(by_name("a.d").parent, Some(0));
+        assert_eq!(by_name("a.d").depth, 1);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let tracer = Tracer::new(ObsClock::frozen());
+        let root = tracer.span("root");
+        for _ in 0..3 {
+            let _s = tracer.span("child");
+        }
+        drop(root);
+        let recs = tracer.records();
+        assert_eq!(recs.iter().filter(|r| r.parent == Some(0)).count(), 3);
+    }
+
+    #[test]
+    fn children_are_contained_in_parents() {
+        let (clock, ns) = manual_clock();
+        let tracer = Tracer::new(clock);
+        {
+            let _a = tracer.span("a");
+            ns.store(10, Ordering::SeqCst);
+            {
+                let _b = tracer.span("b");
+                ns.store(20, Ordering::SeqCst);
+            }
+            ns.store(30, Ordering::SeqCst);
+        }
+        let recs = tracer.records();
+        let a = &recs[0];
+        let b = &recs[1];
+        assert!(a.start <= b.start && b.end <= a.end);
+    }
+
+    #[test]
+    fn disabled_tracer_is_a_noop() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        {
+            let _g = tracer.span("nothing");
+        }
+        assert!(tracer.records().is_empty());
+    }
+
+    #[test]
+    fn leaked_inner_guard_does_not_corrupt_the_stack() {
+        let tracer = Tracer::new(ObsClock::frozen());
+        let outer = tracer.span("outer");
+        let inner = tracer.span("inner");
+        std::mem::forget(inner); // never drops
+        drop(outer); // must still close cleanly
+        let _next = tracer.span("next");
+        let recs = tracer.records();
+        assert_eq!(recs[2].parent, None, "stack was restored");
+    }
+}

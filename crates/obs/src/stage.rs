@@ -1,0 +1,207 @@
+//! Per-stage cost profile of one capture-and-compare pass.
+//!
+//! The pipeline has six phases the paper's cost story cares about:
+//! three on the *capture* side (quantize, leaf-hash, level-build — the
+//! Merkle-tree construction of Figure 8) and three on the *compare*
+//! side (the pruning BFS of stage 1, the stage-2 re-read stream, and
+//! the element-wise verify). [`StageBreakdown`] attributes time, bytes
+//! moved, and operation counts to each; the engine emits it inside
+//! `CompareReport::stages` and the CLI renders it under `--profile`.
+//!
+//! Times here are *deterministic* under simulation: capture phases are
+//! measured off the device's modeled-time accumulator and compare
+//! phases off `SimClock` phase boundaries, both of which are sums of
+//! per-kernel charges and therefore independent of thread interleaving.
+//! Per-operation latencies are **not** deterministic and never appear
+//! here — they go to registry histograms instead.
+
+use serde::Serialize;
+use std::time::Duration;
+
+/// Cost of one phase: time spent, payload bytes moved, operations run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PhaseCost {
+    /// Time attributed to the phase.
+    pub time: Duration,
+    /// Payload bytes the phase moved (read, hashed, or written).
+    pub bytes: u64,
+    /// Operations (kernel launches, I/O ops, or values — see the
+    /// phase's documentation in DESIGN.md).
+    pub ops: u64,
+}
+
+impl PhaseCost {
+    /// A cost with all fields set.
+    #[must_use]
+    pub fn new(time: Duration, bytes: u64, ops: u64) -> Self {
+        PhaseCost { time, bytes, ops }
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn merged(self, other: PhaseCost) -> PhaseCost {
+        PhaseCost {
+            time: self.time + other.time,
+            bytes: self.bytes + other.bytes,
+            ops: self.ops + other.ops,
+        }
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == PhaseCost::default()
+    }
+}
+
+/// Per-stage profile of a capture-and-compare pass (see module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StageBreakdown {
+    /// Capture: quantizing floats onto the ε-grid.
+    pub quantize: PhaseCost,
+    /// Capture: block-chained hashing of quantized chunks (leaves).
+    pub leaf_hash: PhaseCost,
+    /// Capture: building interior Merkle levels bottom-up.
+    pub level_build: PhaseCost,
+    /// Compare stage 1: the pruning breadth-first tree walk.
+    pub bfs: PhaseCost,
+    /// Compare stage 2: streaming flagged chunks back from storage.
+    pub stage2_stream: PhaseCost,
+    /// Compare stage 2: element-wise verification of streamed chunks.
+    pub verify: PhaseCost,
+}
+
+impl StageBreakdown {
+    /// The phases in pipeline order, with their canonical names.
+    #[must_use]
+    pub fn phases(&self) -> [(&'static str, PhaseCost); 6] {
+        [
+            ("quantize", self.quantize),
+            ("leaf_hash", self.leaf_hash),
+            ("level_build", self.level_build),
+            ("bfs", self.bfs),
+            ("stage2_stream", self.stage2_stream),
+            ("verify", self.verify),
+        ]
+    }
+
+    /// Total time across all phases.
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.phases().iter().map(|(_, c)| c.time).sum()
+    }
+
+    /// Total bytes moved across all phases.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.phases().iter().map(|(_, c)| c.bytes).sum()
+    }
+
+    /// Time in the capture phases (tree construction).
+    #[must_use]
+    pub fn capture_time(&self) -> Duration {
+        self.quantize.time + self.leaf_hash.time + self.level_build.time
+    }
+
+    /// Time in the compare phases (BFS + stream + verify).
+    #[must_use]
+    pub fn compare_time(&self) -> Duration {
+        self.bfs.time + self.stage2_stream.time + self.verify.time
+    }
+
+    /// Component-wise sum (e.g. merging both runs' capture profiles).
+    #[must_use]
+    pub fn merged(self, other: StageBreakdown) -> StageBreakdown {
+        StageBreakdown {
+            quantize: self.quantize.merged(other.quantize),
+            leaf_hash: self.leaf_hash.merged(other.leaf_hash),
+            level_build: self.level_build.merged(other.level_build),
+            bfs: self.bfs.merged(other.bfs),
+            stage2_stream: self.stage2_stream.merged(other.stage2_stream),
+            verify: self.verify.merged(other.verify),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(ms: u64, bytes: u64, ops: u64) -> PhaseCost {
+        PhaseCost::new(Duration::from_millis(ms), bytes, ops)
+    }
+
+    #[test]
+    fn phase_cost_merges_component_wise() {
+        let merged = cost(5, 100, 2).merged(cost(7, 50, 3));
+        assert_eq!(merged, cost(12, 150, 5));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert!(PhaseCost::default().is_zero());
+        assert!(!cost(1, 0, 0).is_zero());
+        assert_eq!(StageBreakdown::default().total_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn totals_cover_all_six_phases() {
+        let b = StageBreakdown {
+            quantize: cost(1, 10, 1),
+            leaf_hash: cost(2, 20, 1),
+            level_build: cost(3, 30, 1),
+            bfs: cost(4, 40, 1),
+            stage2_stream: cost(5, 50, 1),
+            verify: cost(6, 60, 1),
+        };
+        assert_eq!(b.total_time(), Duration::from_millis(21));
+        assert_eq!(b.total_bytes(), 210);
+        assert_eq!(b.capture_time(), Duration::from_millis(6));
+        assert_eq!(b.compare_time(), Duration::from_millis(15));
+        assert_eq!(b.capture_time() + b.compare_time(), b.total_time());
+        assert_eq!(b.phases().len(), 6);
+        assert_eq!(b.phases()[0].0, "quantize");
+        assert_eq!(b.phases()[5].0, "verify");
+    }
+
+    #[test]
+    fn breakdown_merge_is_per_phase() {
+        let a = StageBreakdown {
+            quantize: cost(1, 8, 1),
+            ..StageBreakdown::default()
+        };
+        let b = StageBreakdown {
+            quantize: cost(2, 8, 1),
+            verify: cost(3, 4, 1),
+            ..StageBreakdown::default()
+        };
+        let m = a.merged(b);
+        assert_eq!(m.quantize, cost(3, 16, 2));
+        assert_eq!(m.verify, cost(3, 4, 1));
+        assert_eq!(m.bfs, PhaseCost::default());
+    }
+
+    #[test]
+    fn serializes_with_named_phases() {
+        use serde::{Serialize, Value};
+        let b = StageBreakdown {
+            bfs: cost(1, 32, 9),
+            ..StageBreakdown::default()
+        };
+        let Value::Object(fields) = b.to_value() else {
+            panic!("breakdown must serialize as an object");
+        };
+        let names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "quantize",
+                "leaf_hash",
+                "level_build",
+                "bfs",
+                "stage2_stream",
+                "verify"
+            ]
+        );
+    }
+}

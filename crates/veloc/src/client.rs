@@ -12,6 +12,7 @@
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use reprocmp_io::RetryPolicy;
+use reprocmp_obs::{Counter, Histogram, Registry};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -135,6 +136,47 @@ pub struct ClientStats {
     pub persistent_bytes: u64,
 }
 
+/// Registry-backed capture/flush metrics (see [`Client::metrics`]).
+///
+/// Counters track the capture lifecycle (`{prefix}.checkpoints`, and
+/// `{prefix}.flush.completed` / `.retried` / `.gave_up` for the
+/// background copies); the `{prefix}.flush.bytes` histogram records the
+/// size of every successful flush. Handles are cheap atomics shared
+/// with the registry, so an external [`Registry`] snapshot sees live
+/// client traffic.
+#[derive(Debug, Clone)]
+pub struct FlushMetrics {
+    /// Checkpoints taken (local write succeeded).
+    pub checkpoints: Counter,
+    /// Background flushes that reached the persistent tier.
+    pub completed: Counter,
+    /// Flush attempts retried after a transient failure.
+    pub retried: Counter,
+    /// Flushes abandoned after the retry budget.
+    pub gave_up: Counter,
+    /// Bytes copied per successful flush.
+    pub flush_bytes: Histogram,
+}
+
+impl FlushMetrics {
+    /// Metrics registered in `registry` under `prefix` (see type docs).
+    #[must_use]
+    pub fn in_registry(registry: &Registry, prefix: &str) -> Self {
+        FlushMetrics {
+            checkpoints: registry.counter(&format!("{prefix}.checkpoints")),
+            completed: registry.counter(&format!("{prefix}.flush.completed")),
+            retried: registry.counter(&format!("{prefix}.flush.retried")),
+            gave_up: registry.counter(&format!("{prefix}.flush.gave_up")),
+            flush_bytes: registry.histogram(&format!("{prefix}.flush.bytes")),
+        }
+    }
+
+    /// Metrics bound to a private registry nobody else reads.
+    fn detached() -> Self {
+        FlushMetrics::in_registry(&Registry::new(), "veloc")
+    }
+}
+
 type Key = (String, u64);
 
 /// A restored checkpoint: its version plus each region's values by
@@ -155,15 +197,28 @@ pub struct Client {
     tracker: Arc<Tracker>,
     flush_tx: Option<Sender<(Key, PathBuf, PathBuf)>>,
     flushers: Vec<JoinHandle<()>>,
+    metrics: FlushMetrics,
 }
 
 impl Client {
-    /// Creates the tier directories and starts the flush pool.
+    /// Creates the tier directories and starts the flush pool, with
+    /// metrics in a private registry.
     ///
     /// # Errors
     ///
     /// Directory creation failures.
     pub fn new(config: VelocConfig) -> Result<Self, VelocError> {
+        Self::new_observed(config, FlushMetrics::detached())
+    }
+
+    /// As [`Client::new`], but capture/flush traffic is recorded into
+    /// `metrics` — build them with [`FlushMetrics::in_registry`] to
+    /// surface the client in an external [`Registry`].
+    ///
+    /// # Errors
+    ///
+    /// Directory creation failures.
+    pub fn new_observed(config: VelocConfig, metrics: FlushMetrics) -> Result<Self, VelocError> {
         std::fs::create_dir_all(&config.scratch_dir)?;
         std::fs::create_dir_all(&config.persistent_dir)?;
         let tracker = Arc::new(Tracker::default());
@@ -173,9 +228,10 @@ impl Client {
         for _ in 0..config.flush_threads.max(1) {
             let rx = rx.clone();
             let tracker = Arc::clone(&tracker);
+            let metrics = metrics.clone();
             flushers.push(std::thread::spawn(move || {
                 while let Ok((key, from, to)) = rx.recv() {
-                    let ok = flush_file(&from, &to, &retry);
+                    let ok = flush_file(&from, &to, &retry, &metrics);
                     let mut states = tracker.states.lock();
                     states.insert(
                         key,
@@ -194,7 +250,14 @@ impl Client {
             tracker,
             flush_tx: Some(tx),
             flushers,
+            metrics,
         })
+    }
+
+    /// The client's live metric handles.
+    #[must_use]
+    pub fn metrics(&self) -> &FlushMetrics {
+        &self.metrics
     }
 
     fn file_name(name: &str, version: u64) -> String {
@@ -213,7 +276,9 @@ impl Client {
     /// its flush completed).
     #[must_use]
     pub fn persistent_path(&self, name: &str, version: u64) -> PathBuf {
-        self.config.persistent_dir.join(Self::file_name(name, version))
+        self.config
+            .persistent_dir
+            .join(Self::file_name(name, version))
     }
 
     /// Path of a checkpoint on the scratch tier.
@@ -240,6 +305,7 @@ impl Client {
         let bytes = encode_checkpoint(version, regions);
         let local = self.scratch_path(name, version);
         std::fs::write(&local, &bytes)?;
+        self.metrics.checkpoints.inc();
 
         let key = (name.to_owned(), version);
         self.tracker
@@ -250,8 +316,11 @@ impl Client {
         if let Some(tx) = &self.flush_tx {
             // Worker pool outlives senders only if we keep tx; a send
             // failure means we are shutting down — flush inline then.
-            if tx.send((key.clone(), local.clone(), remote.clone())).is_err() {
-                let ok = flush_file(&local, &remote, &self.config.flush_retry);
+            if tx
+                .send((key.clone(), local.clone(), remote.clone()))
+                .is_err()
+            {
+                let ok = flush_file(&local, &remote, &self.config.flush_retry, &self.metrics);
                 self.tracker.states.lock().insert(
                     key,
                     if ok {
@@ -310,7 +379,12 @@ impl Client {
                     .insert(key.clone(), CheckpointState::Local);
                 if let Some(tx) = &self.flush_tx {
                     if tx.send((key, entry.path(), remote.clone())).is_err() {
-                        let ok = flush_file(&entry.path(), &remote, &self.config.flush_retry);
+                        let ok = flush_file(
+                            &entry.path(),
+                            &remote,
+                            &self.config.flush_retry,
+                            &self.metrics,
+                        );
                         self.tracker.states.lock().insert(
                             (name.clone(), version),
                             if ok {
@@ -479,17 +553,24 @@ fn tmp_path(to: &Path) -> PathBuf {
 /// complete checkpoint. Filesystem errors don't distinguish transient
 /// from permanent causes, so every failure is retried up to the
 /// policy's attempt budget with real backoff sleeps.
-fn flush_file(from: &Path, to: &Path, retry: &RetryPolicy) -> bool {
+fn flush_file(from: &Path, to: &Path, retry: &RetryPolicy, metrics: &FlushMetrics) -> bool {
     let tmp = tmp_path(to);
     let attempts = retry.max_attempts.max(1);
     for attempt in 1..=attempts {
-        let result = std::fs::copy(from, &tmp).and_then(|_| std::fs::rename(&tmp, to));
+        let result =
+            std::fs::copy(from, &tmp).and_then(|copied| std::fs::rename(&tmp, to).map(|()| copied));
         match result {
-            Ok(()) => return true,
+            Ok(copied) => {
+                metrics.completed.inc();
+                metrics.flush_bytes.record(copied);
+                return true;
+            }
             Err(_) if attempt < attempts => {
+                metrics.retried.inc();
                 std::thread::sleep(retry.backoff(attempt));
             }
             Err(_) => {
+                metrics.gave_up.inc();
                 std::fs::remove_file(&tmp).ok();
                 return false;
             }
@@ -503,7 +584,8 @@ mod tests {
     use super::*;
 
     fn temp_client(tag: &str) -> (Client, PathBuf) {
-        let base = std::env::temp_dir().join(format!("reprocmp-veloc-{tag}-{}", std::process::id()));
+        let base =
+            std::env::temp_dir().join(format!("reprocmp-veloc-{tag}-{}", std::process::id()));
         std::fs::remove_dir_all(&base).ok();
         let client = Client::new(VelocConfig::rooted_at(&base)).unwrap();
         (client, base)
@@ -518,9 +600,14 @@ mod tests {
         let (client, base) = temp_client("basic");
         let x = field(1000, 0.25);
         let v = field(1000, -0.5);
-        client.checkpoint("hacc.rank0", 10, &[("x", &x), ("vx", &v)]).unwrap();
+        client
+            .checkpoint("hacc.rank0", 10, &[("x", &x), ("vx", &v)])
+            .unwrap();
         client.wait("hacc.rank0", 10).unwrap();
-        assert_eq!(client.state("hacc.rank0", 10), Some(CheckpointState::Flushed));
+        assert_eq!(
+            client.state("hacc.rank0", 10),
+            Some(CheckpointState::Flushed)
+        );
 
         let (ver, regions) = client.restart_latest("hacc.rank0").unwrap().unwrap();
         assert_eq!(ver, 10);
@@ -547,7 +634,9 @@ mod tests {
     #[test]
     fn local_file_exists_immediately_after_checkpoint() {
         let (client, base) = temp_client("local");
-        client.checkpoint("a", 1, &[("x", &field(16, 1.0))]).unwrap();
+        client
+            .checkpoint("a", 1, &[("x", &field(16, 1.0))])
+            .unwrap();
         assert!(client.scratch_path("a", 1).exists());
         client.wait("a", 1).unwrap();
         assert!(client.persistent_path("a", 1).exists());
@@ -618,7 +707,9 @@ mod tests {
         let (client, base) = temp_client("stats");
         assert_eq!(client.stats(), ClientStats::default());
         for v in [1u64, 2, 3] {
-            client.checkpoint("s", v, &[("x", &field(256, 1.0))]).unwrap();
+            client
+                .checkpoint("s", v, &[("x", &field(256, 1.0))])
+                .unwrap();
         }
         client.wait_all().unwrap();
         let stats = client.stats();
@@ -628,6 +719,34 @@ mod tests {
         assert_eq!(stats.failed, 0);
         assert!(stats.scratch_bytes > 0);
         assert_eq!(stats.scratch_bytes, stats.persistent_bytes);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn registry_metrics_mirror_the_flush_lifecycle() {
+        let base =
+            std::env::temp_dir().join(format!("reprocmp-veloc-metrics-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let registry = Registry::new();
+        let client = Client::new_observed(
+            VelocConfig::rooted_at(&base),
+            FlushMetrics::in_registry(&registry, "veloc"),
+        )
+        .unwrap();
+        for v in [1u64, 2, 3] {
+            client
+                .checkpoint("m", v, &[("x", &field(256, 1.0))])
+                .unwrap();
+        }
+        client.wait_all().unwrap();
+        assert_eq!(registry.counter("veloc.checkpoints").get(), 3);
+        assert_eq!(registry.counter("veloc.flush.completed").get(), 3);
+        assert_eq!(registry.counter("veloc.flush.gave_up").get(), 0);
+        let h = registry.histogram("veloc.flush.bytes").snapshot();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, client.stats().persistent_bytes);
+        // The client's own handles are the same atomics.
+        assert_eq!(client.metrics().checkpoints.get(), 3);
         std::fs::remove_dir_all(&base).ok();
     }
 
@@ -650,7 +769,9 @@ mod tests {
     fn flush_leaves_no_temporaries_behind() {
         let (client, base) = temp_client("atomic");
         for v in [1u64, 2, 3] {
-            client.checkpoint("s", v, &[("x", &field(256, 1.0))]).unwrap();
+            client
+                .checkpoint("s", v, &[("x", &field(256, 1.0))])
+                .unwrap();
         }
         client.wait_all().unwrap();
         let leftovers: Vec<String> = std::fs::read_dir(base.join("pfs"))
@@ -659,14 +780,19 @@ mod tests {
             .map(|e| e.file_name().to_string_lossy().into_owned())
             .filter(|n| !n.ends_with(".ckpt"))
             .collect();
-        assert!(leftovers.is_empty(), "non-checkpoint files on pfs: {leftovers:?}");
+        assert!(
+            leftovers.is_empty(),
+            "non-checkpoint files on pfs: {leftovers:?}"
+        );
         std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]
     fn recover_on_clean_state_is_a_noop() {
         let (client, base) = temp_client("cleanrec");
-        client.checkpoint("s", 1, &[("x", &field(64, 1.0))]).unwrap();
+        client
+            .checkpoint("s", 1, &[("x", &field(64, 1.0))])
+            .unwrap();
         client.wait_all().unwrap();
         assert_eq!(client.recover().unwrap(), vec![]);
         assert_eq!(client.versions("s").unwrap(), vec![1]);
@@ -675,8 +801,8 @@ mod tests {
 
     #[test]
     fn recover_requeues_local_only_checkpoints_and_sweeps_tmp() {
-        let base = std::env::temp_dir()
-            .join(format!("reprocmp-veloc-crash-{}", std::process::id()));
+        let base =
+            std::env::temp_dir().join(format!("reprocmp-veloc-crash-{}", std::process::id()));
         std::fs::remove_dir_all(&base).ok();
         let config = VelocConfig::rooted_at(&base);
         {

@@ -118,7 +118,10 @@ pub fn encode_checkpoint(checkpoint_version: u64, regions: &[(&str, &[f32])]) ->
     out.extend_from_slice(&(regions.len() as u32).to_le_bytes());
     for (name, data) in regions {
         let name_bytes = name.as_bytes();
-        assert!(name_bytes.len() <= u16::MAX as usize, "region name too long");
+        assert!(
+            name_bytes.len() <= u16::MAX as usize,
+            "region name too long"
+        );
         out.extend_from_slice(&(name_bytes.len() as u16).to_le_bytes());
         out.extend_from_slice(name_bytes);
         out.extend_from_slice(&(data.len() as u64).to_le_bytes());
@@ -164,8 +167,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointFile, CkptCodecError>
     let mut regions = Vec::with_capacity(n_regions);
     let mut value_offset = 0u64;
     for _ in 0..n_regions {
-        let name_len =
-            u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2 bytes")) as usize;
+        let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2 bytes")) as usize;
         let name = std::str::from_utf8(take(&mut pos, name_len)?)
             .map_err(|_| CkptCodecError::Corrupt("region name not utf-8"))?
             .to_owned();

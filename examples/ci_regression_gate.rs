@@ -10,12 +10,21 @@
 //! trees agree, the gate passes **without reading any golden data at
 //! all** — only metadata moved.
 //!
+//! It also gates *performance*: the stage breakdown of a known-failing
+//! comparison is diffed against the committed baseline in
+//! `examples/ci_baseline_breakdown.json`, and the gate fails when
+//! stage-2 bytes-read regresses by more than 10 % — the early-warning
+//! signal that pruning got worse or reads stopped being targeted.
+//!
 //! ```sh
 //! cargo run --example ci_regression_gate
+//! # after an intentional engine change:
+//! UPDATE_BASELINE=1 cargo run --example ci_regression_gate
 //! ```
 
-use reprocmp::core::{CheckpointSource, CompareEngine, EngineConfig};
+use reprocmp::core::{CheckpointSource, CompareEngine, CompareReport, EngineConfig};
 use reprocmp::hacc::{HaccConfig, OrderPolicy, Simulation};
+use std::path::PathBuf;
 
 /// The "application test": a short deterministic simulation whose
 /// final particle x-positions are the test's observable result.
@@ -35,10 +44,14 @@ fn run_application_test(extra_kick: f32) -> Vec<f32> {
     xs
 }
 
-fn gate(engine: &CompareEngine, golden: &CheckpointSource, candidate: &[f32]) -> bool {
+fn gate(
+    engine: &CompareEngine,
+    golden: &CheckpointSource,
+    candidate: &[f32],
+) -> (bool, CompareReport) {
     let cand = CheckpointSource::in_memory(candidate, engine).expect("candidate source");
     let report = engine.compare(golden, &cand).expect("gate comparison");
-    if report.identical() {
+    let passed = if report.identical() {
         println!(
             "  PASS — trees agree; {} bytes of checkpoint data read (metadata only)",
             report.stats.bytes_reread
@@ -50,9 +63,60 @@ fn gate(engine: &CompareEngine, golden: &CheckpointSource, candidate: &[f32]) ->
             report.stats.diff_count
         );
         for d in report.differences.iter().take(5) {
-            println!("    result[{}]: golden {:.6} vs candidate {:.6}", d.index, d.a, d.b);
+            println!(
+                "    result[{}]: golden {:.6} vs candidate {:.6}",
+                d.index, d.a, d.b
+            );
         }
         false
+    };
+    (passed, report)
+}
+
+/// Pulls `"bytes": N` out of the `"stage2_stream"` object of a
+/// serialized [`StageBreakdown`] by substring search (the vendored
+/// JSON support is serialize-only, and a full parser would be overkill
+/// for one committed, machine-written file).
+fn extract_stage2_bytes(json: &str) -> Option<u64> {
+    let obj = &json[json.find("\"stage2_stream\"")?..];
+    let after = &obj[obj.find("\"bytes\":")? + "\"bytes\":".len()..];
+    let digits: String = after
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/ci_baseline_breakdown.json")
+}
+
+/// The performance half of the gate: stage-2 bytes-read against the
+/// committed baseline breakdown. Returns `false` on a >10 % regression.
+fn io_budget_gate(report: &CompareReport) -> bool {
+    let current = report.stages.stage2_stream.bytes;
+    let mut json = serde_json::to_string_pretty(&report.stages).expect("serialize breakdown");
+    json.push('\n');
+    let path = baseline_path();
+
+    if std::env::var("UPDATE_BASELINE").is_ok_and(|v| v == "1") || !path.exists() {
+        std::fs::write(&path, &json).expect("write baseline breakdown");
+        println!("  baseline breakdown written to {}", path.display());
+        return true;
+    }
+    let baseline_json = std::fs::read_to_string(&path).expect("read baseline breakdown");
+    let baseline = extract_stage2_bytes(&baseline_json).expect("baseline has stage2_stream.bytes");
+    // Integer-safe "current > 110% of baseline".
+    if current * 10 > baseline * 11 {
+        println!(
+            "  FAIL — stage-2 read {current} bytes, > 10% over the baseline {baseline} \
+             (UPDATE_BASELINE=1 accepts an intentional change)"
+        );
+        false
+    } else {
+        println!("  PASS — stage-2 read {current} bytes (baseline {baseline}, budget +10%)");
+        true
     }
 }
 
@@ -73,16 +137,26 @@ fn main() {
     );
 
     println!("\ncandidate A: refactoring with no numerical effect");
-    let ok = gate(&engine, &golden, &run_application_test(0.0));
+    let (ok, _) = gate(&engine, &golden, &run_application_test(0.0));
     assert!(ok);
 
     println!("\ncandidate B: change shifts 8 results by 5e-3 (50x the bound)");
-    let ok = gate(&engine, &golden, &run_application_test(5e-3));
+    let (ok, report_b) = gate(&engine, &golden, &run_application_test(5e-3));
     assert!(!ok);
 
     println!("\ncandidate C: change shifts results by 2e-5 (within the bound)");
-    let ok = gate(&engine, &golden, &run_application_test(2e-5));
+    let (ok, _) = gate(&engine, &golden, &run_application_test(2e-5));
     assert!(ok, "sub-tolerance drift must not fail the gate");
+
+    // Candidate B's comparison is deterministic (sequential order,
+    // fixed geometry), so its stage breakdown doubles as the I/O
+    // budget fixture: if the engine starts reading more than 110 % of
+    // the committed stage-2 bytes for the same divergence, pruning
+    // regressed and the gate says so.
+    println!("\nstage-2 I/O budget (vs examples/ci_baseline_breakdown.json):");
+    if !io_budget_gate(&report_b) {
+        std::process::exit(1);
+    }
 
     println!("\nOK: the gate admits tolerable drift and catches regressions.");
 }

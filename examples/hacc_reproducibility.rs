@@ -54,7 +54,10 @@ fn main() {
         ..EngineConfig::default()
     });
 
-    println!("\n{:>5} {:>5} {:>9} {:>9} {:>10} {:>12}", "iter", "rank", "values", "flagged", "diffs", "max |Δ|");
+    println!(
+        "\n{:>5} {:>5} {:>9} {:>9} {:>10} {:>12}",
+        "iter", "rank", "values", "flagged", "diffs", "max |Δ|"
+    );
     for &iter in &CAPTURE_AT {
         for rank in 0..RANKS {
             let p1 = client.persistent_path(&format!("run1.rank{rank}"), iter);

@@ -39,8 +39,14 @@ fn main() {
     let census1 = halo_census(run1.particles(), box_size, LINKING_LENGTH, MIN_MEMBERS);
     let census2 = halo_census(run2.particles(), box_size, LINKING_LENGTH, MIN_MEMBERS);
     println!("\nafter {STEPS} iterations:");
-    println!("  run 1: {} halos, largest {:?}", census1.count, census1.top_sizes);
-    println!("  run 2: {} halos, largest {:?}", census2.count, census2.top_sizes);
+    println!(
+        "  run 1: {} halos, largest {:?}",
+        census1.count, census1.top_sizes
+    );
+    println!(
+        "  run 2: {} halos, largest {:?}",
+        census2.count, census2.top_sizes
+    );
     if census1 != census2 {
         println!("  → the science result DIFFERS between runs: the halo catalogs do not");
         println!("    match (the Figure 1 scenario — same inputs, different universe).");

@@ -28,7 +28,10 @@ fn main() {
     let b = CheckpointSource::in_memory(&run2, &engine).expect("run 2 source");
     let report = engine.compare(&a, &b).expect("comparison");
 
-    println!("checkpoint: {} values ({} bytes)", report.stats.total_values, report.stats.total_bytes);
+    println!(
+        "checkpoint: {} values ({} bytes)",
+        report.stats.total_values, report.stats.total_bytes
+    );
     println!(
         "chunks: {} total, {} flagged by the Merkle stage, {} false positives",
         report.stats.chunks_total, report.stats.chunks_flagged, report.stats.false_positive_chunks
@@ -43,6 +46,9 @@ fn main() {
         println!("  value[{}]: {:>12.6} vs {:>12.6}", d.index, d.a, d.b);
     }
 
-    assert_eq!(report.stats.diff_count, 2, "exactly the two injected changes");
+    assert_eq!(
+        report.stats.diff_count, 2,
+        "exactly the two injected changes"
+    );
     println!("\nOK: localized exactly the injected differences without reading the full data.");
 }

@@ -18,6 +18,7 @@
 //! | [`veloc`] | `reprocmp-veloc` | async two-tier checkpointing client |
 //! | [`hacc`] | `reprocmp-hacc` | mini-HACC P³M simulator (the workload) |
 //! | [`cluster`] | `reprocmp-cluster` | multi-rank execution harness |
+//! | [`obs`] | `reprocmp-obs` | tracing spans, metrics registry, stage breakdowns |
 //!
 //! ## Quickstart
 //!
@@ -54,4 +55,5 @@ pub use reprocmp_hacc as hacc;
 pub use reprocmp_hash as hash;
 pub use reprocmp_io as io;
 pub use reprocmp_merkle as merkle;
+pub use reprocmp_obs as obs;
 pub use reprocmp_veloc as veloc;

@@ -5,7 +5,7 @@
 //! policy, permanent faults degrade to an exact partial report.
 
 use reprocmp::core::{
-    ChunkRange, CheckpointSource, CompareEngine, CoreError, Direct, EngineConfig, FailurePolicy,
+    CheckpointSource, ChunkRange, CompareEngine, CoreError, Direct, EngineConfig, FailurePolicy,
 };
 use reprocmp::io::{FaultPlan, FaultyStorage, RetryPolicy};
 use std::sync::Arc;
@@ -218,10 +218,7 @@ fn quarantine_does_not_mask_metadata_failures() {
 #[test]
 fn veloc_client_recovers_local_only_checkpoints_after_crash() {
     use reprocmp::veloc::client::{Client, VelocConfig};
-    let base = std::env::temp_dir().join(format!(
-        "reprocmp-fault-veloc-{}",
-        std::process::id()
-    ));
+    let base = std::env::temp_dir().join(format!("reprocmp-fault-veloc-{}", std::process::id()));
     std::fs::remove_dir_all(&base).ok();
     let config = VelocConfig::rooted_at(&base);
     {
@@ -277,15 +274,16 @@ fn cluster_fault_drill_quarantines_one_rank_without_stalling_the_rest() {
         if rank == 2 {
             assert!(!report.fully_verified(), "rank 2 must quarantine");
             assert_eq!(report.unverified, vec![ChunkRange { first: 0, count: 2 }]);
-            assert!(report.stats.diff_count > 0, "diffs beyond the bad sector found");
+            assert!(
+                report.stats.diff_count > 0,
+                "diffs beyond the bad sector found"
+            );
         } else {
             assert!(report.fully_verified(), "rank {rank} untouched");
             assert_eq!(report.unverified, vec![]);
         }
     }
     // All healthy ranks agree with each other.
-    assert_eq!(
-        reports[0].stats.diff_count, reports[1].stats.diff_count
-    );
+    assert_eq!(reports[0].stats.diff_count, reports[1].stats.diff_count);
     assert!(reports[2].stats.diff_count < reports[0].stats.diff_count);
 }

@@ -80,8 +80,10 @@ fn full_pipeline_from_simulation_to_verdict() {
     let mut any_diffs = 0u64;
     for iter in [10u64, 20, 30] {
         for rank in 0..2usize {
-            let b1 = std::fs::read(client.persistent_path(&format!("run1.rank{rank}"), iter)).unwrap();
-            let b2 = std::fs::read(client.persistent_path(&format!("run2.rank{rank}"), iter)).unwrap();
+            let b1 =
+                std::fs::read(client.persistent_path(&format!("run1.rank{rank}"), iter)).unwrap();
+            let b2 =
+                std::fs::read(client.persistent_path(&format!("run2.rank{rank}"), iter)).unwrap();
             let (v1, v2) = aligned_values(&b1, &b2);
 
             let a = CheckpointSource::in_memory(&v1, &engine).unwrap();
@@ -105,7 +107,10 @@ fn full_pipeline_from_simulation_to_verdict() {
         }
     }
     // Two shuffled runs over 30 steps should have drifted somewhere.
-    assert!(any_diffs > 0, "no divergence found in a nondeterministic pair");
+    assert!(
+        any_diffs > 0,
+        "no divergence found in a nondeterministic pair"
+    );
     std::fs::remove_dir_all(&base).ok();
 }
 
@@ -123,15 +128,20 @@ fn deterministic_runs_reproduce_bitwise_through_the_whole_stack() {
     let client = Client::new(VelocConfig::rooted_at(&base)).unwrap();
     for iter in [10u64, 20] {
         for rank in 0..2usize {
-            let b1 = std::fs::read(client.persistent_path(&format!("run1.rank{rank}"), iter)).unwrap();
-            let b2 = std::fs::read(client.persistent_path(&format!("run2.rank{rank}"), iter)).unwrap();
+            let b1 =
+                std::fs::read(client.persistent_path(&format!("run1.rank{rank}"), iter)).unwrap();
+            let b2 =
+                std::fs::read(client.persistent_path(&format!("run2.rank{rank}"), iter)).unwrap();
             let (v1, v2) = aligned_values(&b1, &b2);
             assert_eq!(v1, v2, "sequential runs must be bitwise identical");
             let a = CheckpointSource::in_memory(&v1, &engine).unwrap();
             let b = CheckpointSource::in_memory(&v2, &engine).unwrap();
             let report = engine.compare(&a, &b).unwrap();
             assert!(report.identical());
-            assert_eq!(report.stats.chunks_flagged, 0, "identical data flags nothing");
+            assert_eq!(
+                report.stats.chunks_flagged, 0,
+                "identical data flags nothing"
+            );
         }
     }
     std::fs::remove_dir_all(&base).ok();

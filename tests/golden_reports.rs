@@ -1,0 +1,180 @@
+//! Golden-report lock-in for the full comparison pipeline.
+//!
+//! Three fixed-seed checkpoint pairs run through the engine on a
+//! simulated Lustre timeline with modeled compute, and the entire
+//! [`CompareReport`] — stage breakdown, phase timers, I/O counters,
+//! localized differences — is serialized to JSON and compared
+//! byte-for-byte against checked-in goldens under `tests/goldens/`.
+//!
+//! Everything in the report is deterministic under simulation: phase
+//! times come from the roofline models and the virtual clock (never
+//! the wall), stage-2 slices arrive in submission order, and durations
+//! serialize as integer `{secs, nanos}`. Any observable change to the
+//! engine — a different BFS visit count, an extra read, a shifted
+//! stage attribution — shows up as a golden diff.
+//!
+//! To regenerate after an *intentional* change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_reports
+//! git diff tests/goldens/   # review before committing
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reprocmp::core::{CheckpointSource, CompareEngine, EngineConfig};
+use reprocmp::device::Device;
+use reprocmp::io::{CostModel, SimClock, Timeline};
+use std::path::PathBuf;
+
+/// One golden scenario: a seed plus the workload shape it drives.
+struct Scenario {
+    name: &'static str,
+    seed: u64,
+    n_values: usize,
+    perturb_prob: f64,
+}
+
+const SCENARIOS: [Scenario; 3] = [
+    Scenario {
+        name: "seed1_sparse",
+        seed: 1,
+        n_values: 64 << 10,
+        perturb_prob: 0.002,
+    },
+    Scenario {
+        name: "seed2_moderate",
+        seed: 2,
+        n_values: 64 << 10,
+        perturb_prob: 0.01,
+    },
+    Scenario {
+        name: "seed3_identical",
+        seed: 3,
+        n_values: 32 << 10,
+        perturb_prob: 0.0,
+    },
+];
+
+/// Deterministic divergent pair. Uses only the vendored RNG (no
+/// transcendental functions whose libm results could vary by host).
+fn generate(sc: &Scenario) -> (Vec<f32>, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(sc.seed);
+    let mut run1 = Vec::with_capacity(sc.n_values);
+    for _ in 0..sc.n_values {
+        run1.push(rng.gen_range(-2.0f32..2.0));
+    }
+    let mut run2 = run1.clone();
+    if sc.perturb_prob > 0.0 {
+        // Fixed magnitude tiers straddling the 1e-5 bound: two above
+        // (real differences) and two below (hash-level noise only).
+        const TIERS: [f64; 4] = [1e-3, 1e-4, 1e-6, 1e-7];
+        for v in run2.iter_mut() {
+            if rng.gen_bool(sc.perturb_prob) {
+                let u: f64 = rng.gen();
+                let mag = TIERS[((u * 4.0) as usize).min(3)];
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                *v += (mag * sign) as f32;
+            }
+        }
+    }
+    (run1, run2)
+}
+
+fn report_json(sc: &Scenario) -> String {
+    let (run1, run2) = generate(sc);
+    let engine = CompareEngine::new(EngineConfig {
+        chunk_bytes: 4096,
+        error_bound: 1e-5,
+        device: Device::sim_cpu_core(),
+        max_recorded_diffs: 8,
+        ..EngineConfig::default()
+    });
+    let clock = SimClock::new();
+    let model = CostModel::lustre_pfs();
+    let a = CheckpointSource::in_memory_with_model(&run1, &engine, model, Some(clock.clone()))
+        .expect("source 1");
+    let b = CheckpointSource::in_memory_with_model(&run2, &engine, model, Some(clock.clone()))
+        .expect("source 2");
+    let report = engine
+        .compare_with_timeline(&a, &b, &Timeline::sim(clock))
+        .expect("compare");
+    let mut json = serde_json::to_string_pretty(&report).expect("serialize");
+    json.push('\n');
+    json
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.json"))
+}
+
+fn check_scenario(sc: &Scenario) {
+    let actual = report_json(sc);
+    let path = golden_path(sc.name);
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("goldens dir")).expect("mkdir");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    if actual != expected {
+        // Point at the first diverging line so the failure is
+        // actionable without a JSON diff tool.
+        let diverged = actual
+            .lines()
+            .zip(expected.lines())
+            .enumerate()
+            .find(|(_, (a, e))| a != e);
+        match diverged {
+            Some((line, (a, e))) => panic!(
+                "golden mismatch for `{}` at line {}:\n  actual:   {a}\n  expected: {e}\n\
+                 (UPDATE_GOLDEN=1 regenerates after an intentional change)",
+                sc.name,
+                line + 1
+            ),
+            None => panic!(
+                "golden mismatch for `{}`: lengths differ ({} vs {} bytes)",
+                sc.name,
+                actual.len(),
+                expected.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn golden_seed1_sparse() {
+    check_scenario(&SCENARIOS[0]);
+}
+
+#[test]
+fn golden_seed2_moderate() {
+    check_scenario(&SCENARIOS[1]);
+}
+
+#[test]
+fn golden_seed3_identical() {
+    check_scenario(&SCENARIOS[2]);
+}
+
+/// The golden serialization is itself reproducible: two fresh
+/// end-to-end runs of the same scenario produce byte-identical JSON
+/// (this is what makes the checked-in files meaningful).
+#[test]
+fn report_json_is_deterministic_across_runs() {
+    let one = report_json(&SCENARIOS[1]);
+    let two = report_json(&SCENARIOS[1]);
+    assert_eq!(one, two);
+    // And the goldens really exercise the observability surface.
+    assert!(one.contains("\"stages\""), "stage breakdown missing");
+    assert!(one.contains("\"quantize\""));
+    assert!(one.contains("\"stage2_stream\""));
+    assert!(one.contains("\"io\""), "I/O counters missing");
+}

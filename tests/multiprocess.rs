@@ -83,10 +83,15 @@ fn per_node_clocks_isolate_storage_contention() {
         clock.now()
     });
     // Both ranks of a node observe the same elapsed time; it is > 0
-    // because their node's rank 0 did charged I/O.
-    assert_eq!(results[0], results[1]);
-    assert_eq!(results[2], results[3]);
-    assert!(results[0] > std::time::Duration::ZERO);
+    // because their node's rank 0 did charged I/O. Sort before
+    // pairing: the assertion is "the four readings form two equal
+    // pairs", not a claim about which node's workload ran longer, so
+    // it must not depend on how results are ordered across nodes.
+    let mut sorted = results.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted[0], sorted[1], "a node's ranks disagree: {results:?}");
+    assert_eq!(sorted[2], sorted[3], "a node's ranks disagree: {results:?}");
+    assert!(sorted[0] > std::time::Duration::ZERO);
 }
 
 #[test]

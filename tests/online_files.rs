@@ -76,11 +76,17 @@ fn online_comparator_over_on_disk_reference() {
         OnlineVerdict::Clean { bytes_read } => assert_eq!(bytes_read, 0),
         other => panic!("{other:?}"),
     }
-    match online.observe(0, 20, &payload(20, Some((123, 5e-7)))).unwrap() {
+    match online
+        .observe(0, 20, &payload(20, Some((123, 5e-7))))
+        .unwrap()
+    {
         OnlineVerdict::Clean { .. } => {}
         other => panic!("{other:?}"),
     }
-    match online.observe(0, 30, &payload(30, Some((2_222, 0.5)))).unwrap() {
+    match online
+        .observe(0, 30, &payload(30, Some((2_222, 0.5))))
+        .unwrap()
+    {
         OnlineVerdict::Diverged {
             diff_count,
             differences,
@@ -105,7 +111,11 @@ fn history_api_over_on_disk_histories() {
     // iteration 20 on.
     let mut run2 = CheckpointHistory::new();
     for &iter in &ITERS {
-        let perturb = if iter >= 20 { Some((7usize, 1e-3f32)) } else { None };
+        let perturb = if iter >= 20 {
+            Some((7usize, 1e-3f32))
+        } else {
+            None
+        };
         let values = payload(iter, perturb);
         run2.insert(0, iter, CheckpointSource::in_memory(&values, &e).unwrap());
     }

@@ -2,9 +2,7 @@
 //! against the derived-quantity baseline and the named Table 1 fields
 //! on real mini-HACC data.
 
-use reprocmp::core::{
-    CheckpointSource, CompareEngine, EngineConfig, RegionMap, Statistical,
-};
+use reprocmp::core::{CheckpointSource, CompareEngine, EngineConfig, RegionMap, Statistical};
 use reprocmp::hacc::{HaccConfig, OrderPolicy, Simulation, CHECKPOINT_FIELDS};
 
 fn run(seed: u64, steps: u64) -> Simulation {
@@ -23,9 +21,7 @@ fn table1_payload(sim: &Simulation) -> (Vec<f32>, RegionMap) {
     for field in CHECKPOINT_FIELDS {
         values.extend_from_slice(p.field(field).unwrap());
     }
-    let map = RegionMap::from_lengths(
-        CHECKPOINT_FIELDS.iter().map(|&f| (f, p.len() as u64)),
-    );
+    let map = RegionMap::from_lengths(CHECKPOINT_FIELDS.iter().map(|&f| (f, p.len() as u64)));
     (values, map)
 }
 

@@ -385,7 +385,10 @@ mod regex_lite {
                     set
                 }
                 '.' | '(' | ')' | '|' | '\\' => {
-                    panic!("unsupported regex construct {:?} in pattern {pattern:?}", chars[i])
+                    panic!(
+                        "unsupported regex construct {:?} in pattern {pattern:?}",
+                        chars[i]
+                    )
                 }
                 c => {
                     i += 1;
@@ -412,7 +415,10 @@ mod regex_lite {
                 i += 1;
             }
         }
-        assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+        assert!(
+            !set.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
         set
     }
 
@@ -497,7 +503,10 @@ where
                 );
             }
             Err(TestCaseError::Fail(msg)) => {
-                panic!("{name}: case {} failed (seed {seed:#x}):\n{msg}", case_index - 1)
+                panic!(
+                    "{name}: case {} failed (seed {seed:#x}):\n{msg}",
+                    case_index - 1
+                )
             }
         }
     }

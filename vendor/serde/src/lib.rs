@@ -138,7 +138,10 @@ impl Serialize for std::time::Duration {
     fn to_value(&self) -> Value {
         Value::Object(vec![
             ("secs".to_owned(), Value::UInt(self.as_secs())),
-            ("nanos".to_owned(), Value::UInt(u64::from(self.subsec_nanos()))),
+            (
+                "nanos".to_owned(),
+                Value::UInt(u64::from(self.subsec_nanos())),
+            ),
         ])
     }
 }

@@ -59,9 +59,11 @@ fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: us
             }
         }
         Value::String(s) => write_string(out, s),
-        Value::Array(items) => write_seq(out, items.iter(), items.len(), indent, depth, |o, v, d| {
-            write_value(o, v, indent, d);
-        }),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), items.len(), indent, depth, |o, v, d| {
+                write_value(o, v, indent, d);
+            })
+        }
         Value::Object(entries) => {
             out.push('{');
             write_entries(out, entries, indent, depth);
@@ -92,7 +94,12 @@ fn write_seq<'v, I: Iterator<Item = &'v Value>>(
     out.push(']');
 }
 
-fn write_entries(out: &mut String, entries: &[(String, Value)], indent: Option<usize>, depth: usize) {
+fn write_entries(
+    out: &mut String,
+    entries: &[(String, Value)],
+    indent: Option<usize>,
+    depth: usize,
+) {
     if entries.is_empty() {
         return;
     }
@@ -157,10 +164,16 @@ mod tests {
     fn compact_rendering() {
         let v = Value::Object(vec![
             ("a".into(), Value::UInt(1)),
-            ("b".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
             ("c".into(), Value::Float(1.5)),
         ]);
-        assert_eq!(to_string(&Shim(v)).unwrap(), r#"{"a":1,"b":[true,null],"c":1.5}"#);
+        assert_eq!(
+            to_string(&Shim(v)).unwrap(),
+            r#"{"a":1,"b":[true,null],"c":1.5}"#
+        );
     }
 
     #[test]

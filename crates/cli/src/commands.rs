@@ -57,11 +57,19 @@ fn engine_from(map: &ArgMap) -> Result<CompareEngine, CliError> {
         retry: reprocmp_io::RetryPolicy::with_attempts(map.parsed_or("retry-attempts", 1u32)?),
         ..reprocmp_io::PipelineConfig::default()
     };
+    // --lanes caps the BFS start level: fewer lanes start the pruning
+    // walk higher in the tree, which is what lets the batch scheduler's
+    // subtree cache pay off on small files.
+    let lane_hint = match map.optional("lanes") {
+        None => None,
+        Some(_) => Some(map.parsed_or("lanes", 0usize)?),
+    };
     CompareEngine::try_new(EngineConfig {
         chunk_bytes,
         error_bound,
         failure_policy,
         io,
+        lane_hint,
         ..EngineConfig::default()
     })
     .map_err(fail)
@@ -253,6 +261,173 @@ pub fn compare(map: &ArgMap) -> Result<String, CliError> {
                 report.stats.diff_count as usize - max_diffs
             );
         }
+    }
+    Ok(out)
+}
+
+/// `compare-many`: batch-compare N runs against a baseline (or all
+/// pairs with `--all-pairs`) through the multi-run scheduler and its
+/// content-addressed metadata cache.
+pub fn compare_many(map: &ArgMap) -> Result<String, CliError> {
+    use reprocmp_core::BatchConfig;
+
+    let engine = engine_from(map)?;
+    let runs_raw = map.required("runs")?;
+    let run_paths: Vec<PathBuf> = runs_raw
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
+        .collect();
+    if run_paths.is_empty() {
+        return Err(CliError::Usage(
+            "--runs needs a comma-separated list of checkpoint files".to_owned(),
+        ));
+    }
+    let all_pairs = map.flag("all-pairs");
+    let baseline_path = match (map.optional("baseline"), all_pairs) {
+        (Some(p), false) => Some(PathBuf::from(p)),
+        (None, true) => None,
+        (Some(_), true) => {
+            return Err(CliError::Usage(
+                "--baseline and --all-pairs are mutually exclusive".to_owned(),
+            ))
+        }
+        (None, false) => {
+            return Err(CliError::Usage(
+                "compare-many needs --baseline F or --all-pairs".to_owned(),
+            ))
+        }
+    };
+    let cfg = BatchConfig {
+        use_cache: !map.flag("no-cache"),
+        shards: match map.optional("shards") {
+            None => None,
+            Some(_) => Some(map.parsed_or("shards", 0usize)?),
+        },
+    };
+
+    // Payloads are loaded into memory so raw-content digests exist and
+    // the stage-2 verdict cache can engage (file-backed sources expose
+    // only their ε-quantized metadata, which is unsound to verdict on).
+    let load = |path: &Path| -> Result<CheckpointSource, CliError> {
+        let (bytes, off, len) = locate_payload(path)?;
+        let values = payload_values(&bytes, off, len);
+        if values.is_empty() {
+            return Err(CliError::Failed(format!(
+                "{} holds no f32 payload",
+                path.display()
+            )));
+        }
+        CheckpointSource::in_memory(&values, &engine).map_err(fail)
+    };
+    let runs: Vec<CheckpointSource> = run_paths
+        .iter()
+        .map(|p| load(p))
+        .collect::<Result<_, _>>()?;
+
+    // Source-index -> display name, matching the report's indices.
+    let mut names: Vec<String> = Vec::new();
+    let batch = match &baseline_path {
+        Some(bp) => {
+            let baseline = load(bp)?;
+            names.push(bp.display().to_string());
+            names.extend(run_paths.iter().map(|p| p.display().to_string()));
+            engine.compare_many(&baseline, &runs, &cfg).map_err(fail)?
+        }
+        None => {
+            names.extend(run_paths.iter().map(|p| p.display().to_string()));
+            engine.compare_all_pairs(&runs, &cfg).map_err(fail)?
+        }
+    };
+
+    if map.flag("json") {
+        let mut s = serde_json::to_string_pretty(&batch).map_err(fail)?;
+        s.push('\n');
+        return Ok(s);
+    }
+
+    let mut out = String::new();
+    match &baseline_path {
+        Some(bp) => {
+            let _ = writeln!(
+                out,
+                "batch-compared {} run(s) against baseline {} (bound {:e}, chunk {} B)",
+                runs.len(),
+                bp.display(),
+                engine.config().error_bound,
+                engine.config().chunk_bytes,
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "batch-compared all {} pairs of {} runs (bound {:e}, chunk {} B)",
+                batch.jobs.len(),
+                runs.len(),
+                engine.config().error_bound,
+                engine.config().chunk_bytes,
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "decoded {} tree(s) once each; {} node pairs visited, {} bytes re-read",
+        batch.trees_decoded,
+        batch.total_nodes_visited(),
+        batch.total_bytes_reread(),
+    );
+    let c = &batch.cache;
+    let _ = writeln!(
+        out,
+        "cache: {} subtree hits / {} misses, {} verdict hits / {} misses, \
+         {} short-circuits; saved {} node visits and {} re-read bytes",
+        c.node_hits,
+        c.node_misses,
+        c.verdict_hits,
+        c.verdict_misses,
+        c.short_circuits,
+        c.nodes_saved,
+        c.bytes_saved,
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>10} {:>10} {:>10}  pair",
+        "job", "flagged", "diffs", "re-read"
+    );
+    for (i, job) in batch.jobs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>10} {:>10} {:>10}  {} vs {}",
+            i,
+            job.report.stats.chunks_flagged,
+            job.report.stats.diff_count,
+            job.report.stats.bytes_reread,
+            names[job.left],
+            names[job.right],
+        );
+    }
+    let unverified: u64 = batch
+        .jobs
+        .iter()
+        .map(|j| j.report.unverified_chunks())
+        .sum();
+    if unverified > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: {unverified} chunk(s) across the batch could not be read and were \
+             quarantined; verdicts cover only the verified data"
+        );
+    }
+    if batch.identical() {
+        let _ = writeln!(out, "RESULT: every pair agrees within the bound");
+    } else {
+        let divergent = batch.jobs.iter().filter(|j| !j.report.identical()).count();
+        let total: u64 = batch.jobs.iter().map(|j| j.report.stats.diff_count).sum();
+        let _ = writeln!(
+            out,
+            "RESULT: {divergent} of {} pair(s) differ beyond the bound ({total} values total)",
+            batch.jobs.len()
+        );
     }
     Ok(out)
 }
@@ -852,6 +1027,139 @@ mod tests {
             !json.contains("RESULT"),
             "json mode must not mix in prose: {json}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_many_baseline_reports_cache_savings() {
+        let dir = temp_dir("many");
+        let base: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.01).cos()).collect();
+        // Three runs share one deviation from the baseline (plus one
+        // unique value each), so later jobs hit the caches.
+        let mut shared = base.clone();
+        for v in shared.iter_mut().take(2048) {
+            *v += 1.0;
+        }
+        let baseline = dir.join("baseline.f32");
+        write_raw_f32(&baseline, &base);
+        let mut run_paths = Vec::new();
+        for r in 0..3usize {
+            let mut values = shared.clone();
+            values[3000 + r] += 0.5;
+            let p = dir.join(format!("run{r}.f32"));
+            write_raw_f32(&p, &values);
+            run_paths.push(p);
+        }
+        let runs_arg = run_paths
+            .iter()
+            .map(|p| p.to_str().unwrap().to_owned())
+            .collect::<Vec<_>>()
+            .join(",");
+
+        let out = run_cli(&[
+            "compare-many",
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--runs",
+            &runs_arg,
+            "--chunk-bytes",
+            "256",
+            "--error-bound",
+            "1e-3",
+            "--lanes",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("3 run(s) against baseline"), "{out}");
+        assert!(out.contains("decoded 4 tree(s)"), "{out}");
+        assert!(out.contains("differ beyond the bound"), "{out}");
+        // Runs 2 and 3 repeat run 1's deviation: both cache layers hit.
+        let saved_line = out
+            .lines()
+            .find(|l| l.starts_with("cache:"))
+            .expect("cache line");
+        assert!(!saved_line.contains("saved 0 node visits"), "{out}");
+        assert!(!saved_line.contains("0 re-read bytes"), "{out}");
+
+        // --no-cache still agrees on the verdicts, with an empty ledger.
+        let uncached = run_cli(&[
+            "compare-many",
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--runs",
+            &runs_arg,
+            "--chunk-bytes",
+            "256",
+            "--error-bound",
+            "1e-3",
+            "--lanes",
+            "4",
+            "--no-cache",
+        ])
+        .unwrap();
+        assert!(uncached.contains("0 subtree hits"), "{uncached}");
+        assert!(uncached.contains("differ beyond the bound"), "{uncached}");
+        // Verdicts (flagged chunks and diff counts per pair) must match
+        // the cached run; only the re-read column may shrink under the
+        // cache, so compare rows with that field masked out.
+        let rows = |text: &str| -> Vec<Vec<String>> {
+            text.lines()
+                .filter(|l| l.contains(" vs "))
+                .map(|l| {
+                    let mut cols: Vec<String> = l.split_whitespace().map(str::to_owned).collect();
+                    cols[3] = "-".to_owned(); // re-read bytes
+                    cols
+                })
+                .collect()
+        };
+        assert_eq!(rows(&out), rows(&uncached), "{out}\n--\n{uncached}");
+
+        // --json renders the machine-readable batch report.
+        let json = run_cli(&[
+            "compare-many",
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--runs",
+            &runs_arg,
+            "--chunk-bytes",
+            "256",
+            "--error-bound",
+            "1e-3",
+            "--json",
+        ])
+        .unwrap();
+        for key in ["\"jobs\"", "\"cache\"", "\"trees_decoded\": 4"] {
+            assert!(json.contains(key), "missing {key}: {json}");
+        }
+
+        // All-pairs mode covers every unordered pair: C(3,2) = 3 jobs.
+        let pairs = run_cli(&[
+            "compare-many",
+            "--all-pairs",
+            "--runs",
+            &runs_arg,
+            "--chunk-bytes",
+            "256",
+            "--error-bound",
+            "1e-3",
+        ])
+        .unwrap();
+        assert!(pairs.contains("all 3 pairs of 3 runs"), "{pairs}");
+
+        // Usage errors: no mode, and both modes at once.
+        let err = run_cli(&["compare-many", "--runs", &runs_arg]).unwrap_err();
+        assert!(err.to_string().contains("--baseline"), "{err}");
+        let err = run_cli(&[
+            "compare-many",
+            "--runs",
+            &runs_arg,
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--all-pairs",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -6,6 +6,9 @@
 //!   write its Merkle metadata next to it.
 //! * `compare` — compare two checkpoint files (using existing metadata
 //!   files, or hashing on the fly) and list the differences.
+//! * `compare-many` — batch-compare N runs against a baseline (or all
+//!   pairs) through the multi-run scheduler and its shared metadata
+//!   cache.
 //! * `info` — describe a checkpoint or metadata file.
 //! * `simulate` — run the bundled mini-HACC simulation and capture a
 //!   checkpoint history through the VELOC-style client, giving users a
@@ -75,6 +78,18 @@ pub fn usage() -> String {
         s,
         "               [--json]     (full machine-readable report)"
     );
+    let _ = writeln!(
+        s,
+        "  compare-many --runs F,F,... (--baseline F | --all-pairs)"
+    );
+    let _ = writeln!(
+        s,
+        "               [--no-cache] [--shards N] [--lanes N] [--json]"
+    );
+    let _ = writeln!(
+        s,
+        "               (batch comparison with the shared metadata cache)"
+    );
     let _ = writeln!(s, "  info         --input F");
     let _ = writeln!(
         s,
@@ -126,6 +141,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     match command.as_str() {
         "create-tree" => commands::create_tree(&rest),
         "compare" => commands::compare(&rest),
+        "compare-many" => commands::compare_many(&rest),
         "info" => commands::info(&rest),
         "simulate" => commands::simulate(&rest),
         "census" => commands::census(&rest),

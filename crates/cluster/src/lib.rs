@@ -314,6 +314,40 @@ impl RankCtx {
         out
     }
 
+    /// Gathers one byte buffer per rank at rank 0. The root receives
+    /// the buffers in rank order (`Some(vec)` with `vec[r]` from rank
+    /// `r`); every other rank receives `None`.
+    ///
+    /// Frames are rank-tagged on the wire, so the result is
+    /// deterministic no matter what order the mailbox delivers them in
+    /// — the collective that lets rank 0 batch-compare checkpoint
+    /// payloads produced by the whole cluster.
+    #[must_use]
+    pub fn gather_bytes_to_root(&self, bytes: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        let _ = self.next_salt();
+        let result = if self.rank == 0 {
+            let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
+            out[0] = bytes;
+            for _ in 1..self.size {
+                let mut frame = self.recv();
+                assert!(frame.len() >= 8, "gather frame too short");
+                let payload = frame.split_off(8);
+                let sender =
+                    u64::from_le_bytes(frame[..8].try_into().expect("8-byte rank tag")) as usize;
+                assert!(sender > 0 && sender < self.size, "bad gather sender tag");
+                out[sender] = payload;
+            }
+            Some(out)
+        } else {
+            let mut frame = (self.rank as u64).to_le_bytes().to_vec();
+            frame.extend_from_slice(&bytes);
+            self.send(0, frame);
+            None
+        };
+        self.barrier();
+        result
+    }
+
     /// Sends a byte message to `to` (buffered, non-blocking).
     ///
     /// # Panics
@@ -442,6 +476,38 @@ mod tests {
         });
         // Rank r receives from r-1.
         assert_eq!(results, vec![vec![3], vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn gather_to_root_is_rank_ordered() {
+        let cluster = Cluster::new(2, 3);
+        let results = cluster.run(|ctx| {
+            // Variable-length, rank-specific payloads sent in a rank-
+            // dependent order (higher ranks send before lower ones
+            // reach the collective often enough to matter).
+            let payload = vec![ctx.rank() as u8; ctx.rank() + 1];
+            ctx.gather_bytes_to_root(payload)
+        });
+        let gathered = results[0].as_ref().expect("root holds the gather");
+        for (rank, buf) in gathered.iter().enumerate() {
+            assert_eq!(buf, &vec![rank as u8; rank + 1]);
+        }
+        assert!(results[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn gather_composes_with_other_collectives() {
+        let cluster = Cluster::new(1, 4);
+        let results = cluster.run(|ctx| {
+            let total = ctx.allreduce_sum_f64(1.0);
+            let g = ctx.gather_bytes_to_root(vec![ctx.rank() as u8]);
+            let after = ctx.allreduce_sum_f64(2.0);
+            (total, g, after)
+        });
+        assert_eq!(results[0].0, 4.0);
+        assert_eq!(results[0].2, 8.0);
+        let g = results[0].1.as_ref().unwrap();
+        assert_eq!(g, &vec![vec![0], vec![1], vec![2], vec![3]]);
     }
 
     #[test]

@@ -289,6 +289,7 @@ impl Direct {
             differences_truncated: truncated,
             io,
             unverified: Vec::new(),
+            cache: reprocmp_obs::CacheStats::default(),
         })
     }
 }

@@ -344,10 +344,11 @@ impl CompareEngine {
             differences_truncated: verified.truncated,
             io: verified.io,
             unverified: verified.unverified,
+            cache: reprocmp_obs::CacheStats::default(),
         })
     }
 
-    fn validate_tree(
+    pub(crate) fn validate_tree(
         &self,
         tree: &MerkleTree,
         source: &CheckpointSource,
@@ -386,6 +387,25 @@ impl CompareEngine {
         flagged: &[usize],
         timeline: &Timeline,
         obs: &Observer,
+    ) -> CoreResult<VerifyOutcome> {
+        self.verify_chunks_sink(a, b, flagged, timeline, obs, |_, _| {})
+    }
+
+    /// [`CompareEngine::verify_chunks`] with a per-chunk verdict sink:
+    /// after each flagged chunk is verified, `on_chunk` receives its
+    /// chunk index and the `(value_offset_in_chunk, a, b)` triples of
+    /// its real differences (empty for a hash false positive). The
+    /// batch scheduler uses the sink to memoize verdicts; quarantined
+    /// chunks never reach it. The accounting in the returned outcome
+    /// is identical to the sink-free call.
+    pub(crate) fn verify_chunks_sink(
+        &self,
+        a: &CheckpointSource,
+        b: &CheckpointSource,
+        flagged: &[usize],
+        timeline: &Timeline,
+        obs: &Observer,
+        mut on_chunk: impl FnMut(usize, &[(u32, f32, f32)]),
     ) -> CoreResult<VerifyOutcome> {
         let mut out = VerifyOutcome::default();
         if flagged.is_empty() {
@@ -433,6 +453,10 @@ impl CompareEngine {
         let pipe_a =
             StreamPipeline::start_observed(Arc::clone(&a.data), ops_a, io_cfg, metrics.clone());
         let pipe_b = StreamPipeline::start_observed(Arc::clone(&b.data), ops_b, io_cfg, metrics);
+
+        // Scratch for one chunk's `(offset, a, b)` difference triples,
+        // handed to the sink after the chunk's bookkeeping.
+        let mut chunk_diffs: Vec<(u32, f32, f32)> = Vec::new();
 
         for (slice_a, slice_b) in pipe_a.zip(pipe_b) {
             let _slice_span = obs.tracer.span("stage2.slice");
@@ -483,7 +507,7 @@ impl CompareEngine {
                     .enumerate()
                 {
                     let chunk_index = first_chunk + k;
-                    let mut chunk_had_diff = false;
+                    chunk_diffs.clear();
                     for (j, (ba, bb)) in chunk_a
                         .chunks_exact(4)
                         .zip(chunk_b.chunks_exact(4))
@@ -492,22 +516,25 @@ impl CompareEngine {
                         let va = f32::from_le_bytes(ba.try_into().expect("4 bytes"));
                         let vb = f32::from_le_bytes(bb.try_into().expect("4 bytes"));
                         if quantizer.differs(va, vb) {
-                            chunk_had_diff = true;
-                            out.stats.diff_count += 1;
-                            if out.differences.len() < self.config.max_recorded_diffs {
-                                out.differences.push(Difference {
-                                    index: (chunk_index * values_per_chunk + j) as u64,
-                                    a: va,
-                                    b: vb,
-                                });
-                            } else {
-                                out.truncated = true;
-                            }
+                            chunk_diffs.push((j as u32, va, vb));
                         }
                     }
-                    if !chunk_had_diff {
+                    out.stats.diff_count += chunk_diffs.len() as u64;
+                    for &(j, va, vb) in &chunk_diffs {
+                        if out.differences.len() < self.config.max_recorded_diffs {
+                            out.differences.push(Difference {
+                                index: (chunk_index * values_per_chunk + j as usize) as u64,
+                                a: va,
+                                b: vb,
+                            });
+                        } else {
+                            out.truncated = true;
+                        }
+                    }
+                    if chunk_diffs.is_empty() {
                         out.stats.false_positive_chunks += 1;
                     }
+                    on_chunk(chunk_index, &chunk_diffs);
                 }
             }
             out.verify_time += if charged > Duration::ZERO {
@@ -524,7 +551,7 @@ impl CompareEngine {
     /// Charges `workload` to a simulated timeline and returns the
     /// charged duration ([`Duration::ZERO`] on wall timelines or when
     /// no compute model is configured).
-    fn charge_compute(&self, timeline: &Timeline, workload: Workload) -> Duration {
+    pub(crate) fn charge_compute(&self, timeline: &Timeline, workload: Workload) -> Duration {
         if let (Timeline::Sim(clock), Some(model)) = (timeline, &self.config.compute_model) {
             let t = model.kernel_time(workload);
             clock.advance(t);
@@ -537,19 +564,19 @@ impl CompareEngine {
 
 /// Everything stage two produces.
 #[derive(Debug, Default)]
-struct VerifyOutcome {
-    stats: DataStats,
-    differences: Vec<Difference>,
-    truncated: bool,
-    unverified: Vec<ChunkRange>,
-    io: RingStats,
+pub(crate) struct VerifyOutcome {
+    pub(crate) stats: DataStats,
+    pub(crate) differences: Vec<Difference>,
+    pub(crate) truncated: bool,
+    pub(crate) unverified: Vec<ChunkRange>,
+    pub(crate) io: RingStats,
     /// Time attributed to the element-wise verify kernels (see
     /// `compare_observed`'s stage-splitting).
-    verify_time: Duration,
+    pub(crate) verify_time: Duration,
 }
 
 /// Merges adjacent/overlapping sorted chunk ranges.
-fn merge_ranges(ranges: Vec<ChunkRange>) -> Vec<ChunkRange> {
+pub(crate) fn merge_ranges(ranges: Vec<ChunkRange>) -> Vec<ChunkRange> {
     let mut merged: Vec<ChunkRange> = Vec::with_capacity(ranges.len());
     for r in ranges {
         match merged.last_mut() {
@@ -578,7 +605,7 @@ fn coalesce_runs(flagged: &[usize], max_chunks: usize) -> Vec<(usize, usize)> {
 }
 
 /// Reads a whole storage object (sequentially, asynchronously charged).
-fn read_fully(storage: &Arc<dyn Storage>, queue_depth: usize) -> CoreResult<Vec<u8>> {
+pub(crate) fn read_fully(storage: &Arc<dyn Storage>, queue_depth: usize) -> CoreResult<Vec<u8>> {
     let len = storage.len() as usize;
     let mut buf = vec![0u8; len];
     storage.charge_batch(&[(0, len)], AccessMode::Async { depth: queue_depth });

@@ -71,9 +71,11 @@ pub mod breakdown;
 pub mod compaction;
 pub mod engine;
 pub mod history;
+pub mod metacache;
 pub mod online;
 pub mod regions;
 pub mod report;
+pub mod schedule;
 pub mod source;
 
 pub use baseline::{
@@ -82,10 +84,12 @@ pub use baseline::{
 pub use breakdown::CostBreakdown;
 pub use compaction::{CompactionStats, CompactionStore};
 pub use engine::{CompareEngine, EngineConfig, FailurePolicy};
-pub use history::{CheckpointHistory, HistoryEntryReport, HistoryReport};
+pub use history::{CheckpointHistory, HistoryEntryReport, HistoryReport, MultiHistoryReport};
+pub use metacache::{ChunkVerdict, MetaCache, SubtreeEntry, SubtreeKey};
 pub use online::{OnlineComparator, OnlinePolicy, OnlineVerdict};
 pub use regions::{LocatedDifference, RegionMap, RegionSpan};
 pub use report::{ChunkRange, CompareReport, DataStats, Difference};
+pub use schedule::{BatchConfig, BatchJobReport, BatchReport};
 pub use source::CheckpointSource;
 
 /// Everything that can go wrong while comparing two checkpoint

@@ -1,7 +1,7 @@
 //! Comparison results: localized differences and volume accounting.
 
 use reprocmp_io::RingStats;
-use reprocmp_obs::StageBreakdown;
+use reprocmp_obs::{CacheStats, StageBreakdown};
 use serde::Serialize;
 
 use crate::breakdown::CostBreakdown;
@@ -95,6 +95,10 @@ pub struct CompareReport {
     /// failed after retries (non-empty only under
     /// `FailurePolicy::Quarantine`; sorted, merged, non-overlapping).
     pub unverified: Vec<ChunkRange>,
+    /// Metadata-cache accounting when this report came out of the
+    /// batch scheduler (`compare_many` and friends); all-zero for
+    /// plain pairwise comparisons, which consult no cache.
+    pub cache: CacheStats,
 }
 
 impl CompareReport {
@@ -175,6 +179,7 @@ mod tests {
             differences_truncated: false,
             io: RingStats::default(),
             unverified: Vec::new(),
+            cache: CacheStats::default(),
         };
         assert!((report.throughput_bytes_per_sec() - 1_000_000.0).abs() < 1.0);
         assert!(report.identical());
@@ -194,6 +199,7 @@ mod tests {
                 ChunkRange { first: 0, count: 2 },
                 ChunkRange { first: 7, count: 1 },
             ],
+            cache: CacheStats::default(),
         };
         assert!(!report.fully_verified());
         assert_eq!(report.unverified_chunks(), 3);

@@ -3,6 +3,8 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use reprocmp_hash::murmur3::murmur3_x64_128;
+use reprocmp_hash::Digest128;
 use reprocmp_io::cost::OpSpec;
 use reprocmp_io::{CostModel, MemStorage, SimClock, StdFsStorage, Storage};
 use reprocmp_obs::StageBreakdown;
@@ -29,6 +31,32 @@ pub struct CheckpointSource {
     /// sources wrapping pre-existing metadata. The engine merges both
     /// runs' profiles into `CompareReport::stages`.
     pub capture: StageBreakdown,
+    /// Per-chunk digests of the *raw* (unquantized) payload bytes,
+    /// computed at capture time for in-memory sources and `None` for
+    /// sources wrapping pre-existing storage.
+    ///
+    /// These are what makes the batch scheduler's stage-2 verdict cache
+    /// sound: two chunks with equal raw digests hold identical bytes,
+    /// so their element-wise verdict against any third chunk is
+    /// identical too. The ε-quantized *leaf* digests cannot play this
+    /// role — equal quantization codes only bound the values within ε
+    /// of each other, and a verdict can flip inside that slack. Sources
+    /// without raw digests still batch fine; the scheduler simply
+    /// skips the verdict cache for their chunks.
+    pub raw_leaves: Option<Arc<Vec<Digest128>>>,
+}
+
+/// Seed for raw-chunk content digests — distinct from the quantized
+/// leaf-digest chain so the two keyspaces can never collide by
+/// construction.
+const RAW_LEAF_SEED: u32 = 0x5eed_0b0e;
+
+/// Digests each `chunk_bytes`-sized chunk of `payload` as raw bytes.
+fn raw_chunk_digests(payload: &[u8], chunk_bytes: usize) -> Vec<Digest128> {
+    payload
+        .chunks(chunk_bytes)
+        .map(|c| murmur3_x64_128(c, RAW_LEAF_SEED))
+        .collect()
 }
 
 impl CheckpointSource {
@@ -46,6 +74,7 @@ impl CheckpointSource {
             payload_len,
             metadata,
             capture: StageBreakdown::default(),
+            raw_leaves: None,
         }
     }
 
@@ -85,6 +114,7 @@ impl CheckpointSource {
         let meta_bytes = reprocmp_merkle::encode_tree(&tree);
         let clock = clock.unwrap_or_default();
         let payload_len = payload.len() as u64;
+        let raw_leaves = raw_chunk_digests(&payload, engine.config().chunk_bytes);
         let data = MemStorage::with_clock(payload, model, clock.clone());
         let metadata = MemStorage::with_clock(meta_bytes, model, clock);
         Ok(CheckpointSource {
@@ -93,6 +123,7 @@ impl CheckpointSource {
             payload_len,
             metadata: Arc::new(metadata),
             capture,
+            raw_leaves: Some(Arc::new(raw_leaves)),
         })
     }
 
@@ -123,7 +154,23 @@ impl CheckpointSource {
             payload_len,
             metadata: Arc::new(metadata),
             capture: StageBreakdown::default(),
+            raw_leaves: None,
         })
+    }
+
+    /// Computes and attaches [`CheckpointSource::raw_leaves`] by
+    /// reading the payload back from storage — the opt-in for
+    /// file-backed sources that want to participate in the batch
+    /// scheduler's stage-2 verdict cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload read failures.
+    pub fn hydrate_raw_leaves(&mut self, chunk_bytes: usize) -> CoreResult<()> {
+        let mut payload = vec![0u8; self.payload_len as usize];
+        self.data.read_at(self.payload_offset, &mut payload)?;
+        self.raw_leaves = Some(Arc::new(raw_chunk_digests(&payload, chunk_bytes)));
+        Ok(())
     }
 
     /// Number of `f32` values in the payload.
@@ -218,6 +265,35 @@ mod tests {
         let s = CheckpointSource::in_memory(&values, &engine()).unwrap();
         let ops = s.chunk_ops(64, &[5, 2, 9]);
         assert_eq!(ops, vec![(320, 64), (128, 64), (576, 64)]);
+    }
+
+    #[test]
+    fn raw_leaves_fingerprint_raw_bytes_not_quantized_codes() {
+        let e = engine(); // 64 B chunks, ε = 1e-5
+        let values: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let mut tweaked = values.clone();
+        tweaked[0] += 1e-7; // far below ε: same quantization code
+        let a = CheckpointSource::in_memory(&values, &e).unwrap();
+        let b = CheckpointSource::in_memory(&tweaked, &e).unwrap();
+        let ra = a.raw_leaves.as_ref().unwrap();
+        let rb = b.raw_leaves.as_ref().unwrap();
+        assert_eq!(ra.len(), a.chunk_count(64) as usize);
+        // Chunk 0 differs in raw bytes even though the quantized leaf
+        // digests agree; later chunks are bit-identical on both sides.
+        assert_ne!(ra[0], rb[0]);
+        assert_eq!(&ra[1..], &rb[1..]);
+    }
+
+    #[test]
+    fn hydrate_raw_leaves_matches_capture_time_digests() {
+        let e = engine();
+        let values: Vec<f32> = (0..300).map(|i| (i as f32).sin()).collect();
+        let s = CheckpointSource::in_memory(&values, &e).unwrap();
+        let captured = Arc::clone(s.raw_leaves.as_ref().unwrap());
+        let mut rehydrated = s.clone();
+        rehydrated.raw_leaves = None;
+        rehydrated.hydrate_raw_leaves(64).unwrap();
+        assert_eq!(&*captured, &**rehydrated.raw_leaves.as_ref().unwrap());
     }
 
     #[test]

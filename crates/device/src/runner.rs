@@ -19,7 +19,24 @@ enum Backend {
 /// and — when constructed with a [`TimingModel`] — accrues *modeled*
 /// kernel time per launch, independent of the host's wall-clock speed.
 ///
-/// `Device` is cheap to clone; clones share the modeled-time accumulator.
+/// # Determinism invariant
+///
+/// For a fixed index space, every launch primitive produces results
+/// independent of the worker count: [`Device::parallel_map`] writes
+/// `f(i)` into slot `i` regardless of which thread computed it,
+/// [`Device::parallel_chunks_mut`] hands each chunk its global index,
+/// and [`Device::reduce_sum_f64`] combines per-lane partial sums in
+/// span order. Callers uphold their half by making `f` a pure function
+/// of the index (or commutative, like an atomic counter or a
+/// monotonically-advancing sim clock). Consequently
+/// `Device::host_parallel(k)` for any `k` — including `k` larger than
+/// the item count — computes byte-identical Merkle trees and identical
+/// comparison/batch reports to [`Device::host_serial`]. The batch
+/// scheduler in `reprocmp-core` leans on this: it makes every
+/// cache/dedup decision in a serial planning pass and uses these
+/// primitives only for execution, so shard count can never perturb a
+/// report. The `concurrency determinism` stress tests in the workspace
+/// root pin this contract for k ∈ {1, 2, 8, 17}.
 #[derive(Debug, Clone)]
 pub struct Device {
     name: &'static str,

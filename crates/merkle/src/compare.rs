@@ -174,9 +174,100 @@ pub fn compare_trees_traced(
     Ok(outcome)
 }
 
+/// The result of resolving one mismatching subtree pair with
+/// [`compare_subtree`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SubtreeOutcome {
+    /// Mismatched leaf offsets *relative to the subtree's leftmost leaf
+    /// slot*, sorted ascending. Relative offsets are what makes the
+    /// result reusable: any other tree pair whose node digests equal
+    /// this pair's at the same height has the same mismatch set, no
+    /// matter where the subtree sits in the full tree.
+    pub rel_mismatched: Vec<u32>,
+    /// Node pairs compared strictly *below* the subtree root (the root
+    /// pair itself is counted by whoever walked the frontier that
+    /// reached it).
+    pub nodes_visited: usize,
+}
+
+/// Resolves one subtree pair: a pruning BFS restricted to the subtree
+/// rooted at flat node index `root_idx`, returning mismatched leaf
+/// offsets relative to the subtree's leftmost leaf slot.
+///
+/// This is the metadata cache's resolution path: the scheduler walks
+/// each job's start-level frontier, and every mismatching frontier pair
+/// it has not seen before is resolved once with this function and
+/// memoized by `(digest_a, digest_b, height)`. Visiting exactly the
+/// nodes the full [`compare_trees`] BFS would visit inside this subtree
+/// keeps the cached and uncached node-visit accounting in exact
+/// correspondence (`uncached visits == cached visits + saved visits`).
+/// Each call is serial; batch parallelism comes from resolving many
+/// distinct subtrees concurrently.
+///
+/// Both trees must be [`MerkleTree::comparable`] and `root_idx` must be
+/// a valid node index in both; an equal pair yields an empty outcome.
+#[must_use]
+pub fn compare_subtree(a: &MerkleTree, b: &MerkleTree, root_idx: usize) -> SubtreeOutcome {
+    debug_assert!(a.comparable(b), "compare_subtree on incomparable trees");
+    let levels = a.levels();
+    let leaf_level = levels - 1;
+    let root_level = usize::try_from((root_idx as u64 + 1).ilog2()).expect("level fits usize");
+    let leaf_base = a.leaf_base();
+
+    let mut out = SubtreeOutcome::default();
+    if root_level == leaf_level {
+        // The "subtree" is a single leaf pair. Padded sentinel leaves
+        // are identical by construction, so a mismatching leaf is a
+        // real chunk.
+        if a.node(root_idx) != b.node(root_idx) {
+            out.rel_mismatched.push(0);
+        }
+        return out;
+    }
+
+    // Leftmost leaf slot under the root, in padded-leaf coordinates.
+    let mut first = root_idx;
+    for _ in root_level..leaf_level {
+        first = 2 * first + 1;
+    }
+    let first_leaf_slot = first - leaf_base;
+
+    if a.node(root_idx) == b.node(root_idx) {
+        return out;
+    }
+    let mut frontier = vec![2 * root_idx + 1, 2 * root_idx + 2];
+    for level in (root_level + 1)..levels {
+        if frontier.is_empty() {
+            break;
+        }
+        out.nodes_visited += frontier.len();
+        let mut next = Vec::new();
+        for &idx in &frontier {
+            if a.node(idx) == b.node(idx) {
+                continue;
+            }
+            if level == leaf_level {
+                let rel = idx - leaf_base - first_leaf_slot;
+                debug_assert!(idx - leaf_base < a.leaf_count());
+                out.rel_mismatched
+                    .push(u32::try_from(rel).expect("subtree width fits u32"));
+            } else {
+                next.push(2 * idx + 1);
+                next.push(2 * idx + 2);
+            }
+        }
+        frontier = next;
+    }
+    out.rel_mismatched.sort_unstable();
+    out
+}
+
 /// The first level (from the root) whose width is at least `lanes`,
-/// clamped to the leaf level.
-fn start_level_for(levels: usize, lanes: usize) -> usize {
+/// clamped to the leaf level. This is where the pruning BFS starts
+/// (see the module docs) and where the batch scheduler takes its
+/// cacheable frontier.
+#[must_use]
+pub fn start_level_for(levels: usize, lanes: usize) -> usize {
     let leaf_level = levels - 1;
     for l in 0..levels {
         if (1usize << l) >= lanes {
@@ -351,6 +442,54 @@ mod tests {
         let cost = out.phase_cost(std::time::Duration::from_secs(1));
         assert_eq!(cost.ops, out.nodes_visited as u64);
         assert_eq!(cost.bytes, (out.nodes_visited * 32) as u64);
+    }
+
+    /// Walking the start-level frontier by hand and resolving each
+    /// mismatching pair with `compare_subtree` reproduces the full BFS
+    /// exactly: same leaves, and frontier width + subtree visits equals
+    /// the BFS visit count. This is the correspondence the batch
+    /// scheduler's cache accounting relies on.
+    #[test]
+    fn subtree_resolution_matches_full_bfs() {
+        let d = base_data(6000);
+        let mut d2 = d.clone();
+        for i in (0..6000).step_by(463) {
+            d2[i] += 0.9;
+        }
+        let a = tree(&d, 80, 1e-5); // 20 floats per chunk -> 300 leaves
+        let b = tree(&d2, 80, 1e-5);
+        for lanes in [1, 4, 32, 512] {
+            let full = compare_trees(&a, &b, &Device::host_serial(), lanes).unwrap();
+            let start = start_level_for(a.levels(), lanes);
+            let leaf_base = a.leaf_base();
+            let mut leaves = Vec::new();
+            let mut visits = 0usize;
+            for idx in a.level_range(start) {
+                visits += 1;
+                let out = compare_subtree(&a, &b, idx);
+                visits += out.nodes_visited;
+                let first = {
+                    let mut i = idx;
+                    while i < leaf_base {
+                        i = 2 * i + 1;
+                    }
+                    i - leaf_base
+                };
+                leaves.extend(out.rel_mismatched.iter().map(|&r| first + r as usize));
+            }
+            leaves.sort_unstable();
+            assert_eq!(leaves, full.mismatched_leaves, "lanes={lanes}");
+            assert_eq!(visits, full.nodes_visited, "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn subtree_on_equal_pair_is_empty() {
+        let d = base_data(512);
+        let a = tree(&d, 64, 1e-5);
+        let b = tree(&d, 64, 1e-5);
+        let out = compare_subtree(&a, &b, 0);
+        assert_eq!(out, SubtreeOutcome::default());
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub mod compare;
 pub mod serial;
 pub mod tree;
 
-pub use compare::{compare_trees, compare_trees_traced, CompareOutcome, TreeCompareError};
+pub use compare::{
+    compare_subtree, compare_trees, compare_trees_traced, start_level_for, CompareOutcome,
+    SubtreeOutcome, TreeCompareError,
+};
 pub use serial::{decode_tree, encode_tree, TreeCodecError};
 pub use tree::MerkleTree;

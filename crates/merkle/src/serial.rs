@@ -119,12 +119,18 @@ pub fn decode_tree(mut buf: &[u8]) -> Result<MerkleTree, TreeCodecError> {
     }
     let expected_nodes = leaves
         .checked_next_power_of_two()
-        .map(|p| 2 * p - 1)
+        .and_then(|p| p.checked_mul(2))
+        .map(|n| n - 1)
         .ok_or(TreeCodecError::Corrupt("leaf count overflow"))?;
     if nodes_len != expected_nodes {
         return Err(TreeCodecError::Corrupt("node count does not match leaves"));
     }
-    let digest_bytes = nodes_len * 16;
+    // The node count is bounded by the remaining buffer before any
+    // allocation happens: a hostile header cannot demand an OOM-sized
+    // digest array, and the multiplication itself is overflow-checked.
+    let digest_bytes = nodes_len
+        .checked_mul(16)
+        .ok_or(TreeCodecError::Corrupt("node count overflow"))?;
     if buf.remaining() < digest_bytes {
         return Err(TreeCodecError::Truncated {
             needed: HEADER_LEN + digest_bytes,

@@ -313,7 +313,8 @@ impl MerkleTree {
         error_bound: f64,
     ) -> Option<Self> {
         let padded = leaf_count.checked_next_power_of_two()?;
-        if leaf_count == 0 || nodes.len() != 2 * padded - 1 {
+        let expected = padded.checked_mul(2)?.checked_sub(1)?;
+        if leaf_count == 0 || nodes.len() != expected {
             return None;
         }
         Some(MerkleTree {

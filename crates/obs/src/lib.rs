@@ -10,7 +10,7 @@
 //! accumulator, so instrumented code behaves identically under
 //! simulation and on real hardware.
 //!
-//! Three facilities, one per module:
+//! Four facilities, one per module:
 //!
 //! * [`span`](mod@span) — hierarchical tracing spans ([`Tracer`],
 //!   [`span!`]) with enter/exit timestamps and well-nesting enforced by
@@ -23,6 +23,9 @@
 //!   level-build, BFS, stage-2 stream, verify) that
 //!   `CompareReport::stages` carries and `reprocmp compare --profile`
 //!   renders.
+//! * [`cache`](mod@cache) — the [`CacheStats`] ledger of the batch
+//!   scheduler's metadata-cache reuse (hits, misses, short-circuits,
+//!   and what they saved), carried by `CompareReport::cache`.
 //!
 //! An [`Observer`] bundles a tracer and a registry so callers can pass
 //! one handle through the stack.
@@ -30,10 +33,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod cache;
 pub mod metrics;
 pub mod span;
 pub mod stage;
 
+pub use cache::CacheStats;
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, RegistrySnapshot,
 };

@@ -164,6 +164,209 @@ fn golden_seed3_identical() {
     check_scenario(&SCENARIOS[2]);
 }
 
+// ---------------------------------------------------------------------
+// Legacy-schema compatibility
+// ---------------------------------------------------------------------
+
+/// A minimal JSON value for schema comparisons. Numbers keep their raw
+/// lexemes so comparisons are exact (no float round-trips).
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+/// A tiny recursive-descent JSON parser — the vendored `serde_json`
+/// stand-in only serializes, so reading the checked-in fixtures back
+/// needs its own parser. Handles exactly the subset our reports emit.
+fn parse_json(text: &str) -> Json {
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+    impl P<'_> {
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn expect(&mut self, c: u8) {
+            self.ws();
+            assert_eq!(
+                self.b[self.i], c,
+                "expected {} at byte {}",
+                c as char, self.i
+            );
+            self.i += 1;
+        }
+        fn string(&mut self) -> String {
+            self.expect(b'"');
+            let mut out = String::new();
+            loop {
+                let c = self.b[self.i];
+                self.i += 1;
+                match c {
+                    b'"' => return out,
+                    b'\\' => {
+                        let e = self.b[self.i];
+                        self.i += 1;
+                        out.push(match e {
+                            b'n' => '\n',
+                            b't' => '\t',
+                            other => other as char,
+                        });
+                    }
+                    other => out.push(other as char),
+                }
+            }
+        }
+        fn value(&mut self) -> Json {
+            self.ws();
+            match self.b[self.i] {
+                b'{' => {
+                    self.i += 1;
+                    let mut fields = Vec::new();
+                    self.ws();
+                    if self.b[self.i] == b'}' {
+                        self.i += 1;
+                        return Json::Obj(fields);
+                    }
+                    loop {
+                        let key = self.string();
+                        self.expect(b':');
+                        fields.push((key, self.value()));
+                        self.ws();
+                        match self.b[self.i] {
+                            b',' => self.i += 1,
+                            b'}' => {
+                                self.i += 1;
+                                return Json::Obj(fields);
+                            }
+                            other => panic!("bad object separator {}", other as char),
+                        }
+                        self.ws();
+                    }
+                }
+                b'[' => {
+                    self.i += 1;
+                    let mut items = Vec::new();
+                    self.ws();
+                    if self.b[self.i] == b']' {
+                        self.i += 1;
+                        return Json::Arr(items);
+                    }
+                    loop {
+                        items.push(self.value());
+                        self.ws();
+                        match self.b[self.i] {
+                            b',' => self.i += 1,
+                            b']' => {
+                                self.i += 1;
+                                return Json::Arr(items);
+                            }
+                            other => panic!("bad array separator {}", other as char),
+                        }
+                    }
+                }
+                b'"' => Json::Str(self.string()),
+                b't' => {
+                    self.i += 4;
+                    Json::Bool(true)
+                }
+                b'f' => {
+                    self.i += 5;
+                    Json::Bool(false)
+                }
+                b'n' => {
+                    self.i += 4;
+                    Json::Null
+                }
+                _ => {
+                    let start = self.i;
+                    while self.i < self.b.len()
+                        && matches!(
+                            self.b[self.i],
+                            b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+                        )
+                    {
+                        self.i += 1;
+                    }
+                    Json::Num(String::from_utf8(self.b[start..self.i].to_vec()).unwrap())
+                }
+            }
+        }
+    }
+    let mut p = P {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let v = p.value();
+    p.ws();
+    assert_eq!(p.i, text.len(), "trailing garbage after JSON value");
+    v
+}
+
+/// Reports written before the batch scheduler existed (no `cache`
+/// field) must stay readable, and the new schema must be *strictly
+/// additive*: every field an old consumer reads is still present with
+/// the identical value, and the only new field is the cache ledger.
+#[test]
+fn pre_cache_reports_remain_readable_and_schema_is_additive() {
+    let legacy_text =
+        std::fs::read_to_string(golden_path("legacy_pre_cache")).expect("legacy fixture");
+    let Json::Obj(legacy) = parse_json(&legacy_text) else {
+        panic!("legacy fixture is not an object")
+    };
+    let legacy_keys: Vec<&str> = legacy.iter().map(|(k, _)| k.as_str()).collect();
+    for key in [
+        "stats",
+        "differences",
+        "breakdown",
+        "stages",
+        "io",
+        "unverified",
+    ] {
+        assert!(legacy_keys.contains(&key), "legacy report lost `{key}`");
+    }
+    assert!(
+        !legacy_keys.contains(&"cache"),
+        "the legacy fixture must predate the cache ledger"
+    );
+
+    // The regenerated golden for the same scenario: identical on every
+    // field the old schema had, plus exactly the `cache` object.
+    let current_text =
+        std::fs::read_to_string(golden_path("seed2_moderate")).expect("current golden");
+    let Json::Obj(current) = parse_json(&current_text) else {
+        panic!("current golden is not an object")
+    };
+    for (key, legacy_value) in &legacy {
+        let (_, current_value) = current
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("new schema dropped `{key}`"));
+        assert_eq!(current_value, legacy_value, "value of `{key}` changed");
+    }
+    let added: Vec<&str> = current
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .filter(|k| !legacy_keys.contains(k))
+        .collect();
+    assert_eq!(added, vec!["cache"], "additions beyond the cache ledger");
+    let (_, cache) = current.iter().find(|(k, _)| k == "cache").unwrap();
+    let Json::Obj(cache_fields) = cache else {
+        panic!("cache is not an object")
+    };
+    // A plain pairwise report carries an all-zero ledger.
+    for (name, value) in cache_fields {
+        assert_eq!(value, &Json::Num("0".into()), "cache.{name} nonzero");
+    }
+}
+
 /// The golden serialization is itself reproducible: two fresh
 /// end-to-end runs of the same scenario produce byte-identical JSON
 /// (this is what makes the checked-in files meaningful).

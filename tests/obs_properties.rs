@@ -223,3 +223,128 @@ proptest! {
         prop_assert_eq!(s.verify.bytes, 2 * report.stats.bytes_reread);
     }
 }
+
+// ---------------------------------------------------------------------
+// Batch scheduler cache accounting
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The metadata cache's ledger obeys exact partition invariants on
+    /// random multi-run workloads: per job, nodes visited with the
+    /// cache plus `nodes_saved` equals the nodes the same job visits
+    /// with the cache disabled (and likewise for stage-2 bytes), hits
+    /// plus misses partition the lookups, and the registry's `cache.*`
+    /// counters mirror the batch ledger exactly.
+    #[test]
+    fn cache_ledger_partitions_the_uncached_work(
+        n_chunks in 4usize..32,
+        shared in proptest::collection::vec(0usize..32usize * 128, 1..10),
+        unique in proptest::collection::vec(0usize..32usize * 128, 0..6),
+        n_runs in 2usize..5,
+    ) {
+        use reprocmp::core::BatchConfig;
+        use reprocmp::obs::Observer;
+
+        let n_values = n_chunks * 128; // 512 B chunks
+        let base: Vec<f32> = (0..n_values).map(|i| (i % 89) as f32 * 0.5).collect();
+        let mut with_shared = base.clone();
+        for &f in &shared {
+            if f < n_values {
+                with_shared[f] += 2.0;
+            }
+        }
+        let runs_values: Vec<Vec<f32>> = (0..n_runs)
+            .map(|r| {
+                let mut v = with_shared.clone();
+                for (k, &f) in unique.iter().enumerate() {
+                    // Perturb run-specific positions so some chunks are
+                    // unique to each run and stay cache misses.
+                    let idx = (f + r * 37 + k) % n_values;
+                    v[idx] += 1.0 + r as f32;
+                }
+                v
+            })
+            .collect();
+
+        let engine = CompareEngine::new(EngineConfig {
+            chunk_bytes: 512,
+            error_bound: 1e-3,
+            lane_hint: Some(4),
+            ..EngineConfig::default()
+        });
+        let baseline = CheckpointSource::in_memory(&base, &engine).unwrap();
+        let runs: Vec<CheckpointSource> = runs_values
+            .iter()
+            .map(|v| CheckpointSource::in_memory(v, &engine).unwrap())
+            .collect();
+
+        let run_batch = |use_cache: bool| {
+            let obs = Observer::default();
+            let mut cache = reprocmp::core::MetaCache::new();
+            let batch = engine
+                .compare_many_observed(
+                    &baseline,
+                    &runs,
+                    &Timeline::wall(),
+                    &obs,
+                    &BatchConfig { use_cache, ..BatchConfig::default() },
+                    &mut cache,
+                )
+                .unwrap();
+            (batch, obs.registry)
+        };
+        let (cached, registry) = run_batch(true);
+        let (uncached, _) = run_batch(false);
+
+        // The uncached ledger is all-zero except misses.
+        prop_assert_eq!(uncached.cache.node_hits, 0);
+        prop_assert_eq!(uncached.cache.verdict_hits, 0);
+        prop_assert_eq!(uncached.cache.nodes_saved, 0);
+        prop_assert_eq!(uncached.cache.bytes_saved, 0);
+
+        for (jc, ju) in cached.jobs.iter().zip(&uncached.jobs) {
+            // Partition: cached visits + saved == uncached visits.
+            prop_assert_eq!(
+                jc.report.stages.bfs.ops + jc.report.cache.nodes_saved,
+                ju.report.stages.bfs.ops
+            );
+            prop_assert_eq!(
+                jc.report.stats.bytes_reread + jc.report.cache.bytes_saved,
+                ju.report.stats.bytes_reread
+            );
+            // Verdict lookups partition the flagged chunks (in-memory
+            // sources always carry raw digests).
+            prop_assert_eq!(
+                jc.report.cache.verdict_hits + jc.report.cache.verdict_misses,
+                jc.report.stats.chunks_flagged
+            );
+            // Verdicts are unchanged by caching.
+            prop_assert_eq!(jc.report.stats.diff_count, ju.report.stats.diff_count);
+        }
+
+        // The batch ledger is the per-job ledgers summed, and the
+        // registry's cache.* counters mirror it exactly.
+        let summed = cached
+            .jobs
+            .iter()
+            .fold(reprocmp::obs::CacheStats::default(), |acc, j| {
+                acc.merged(j.report.cache)
+            });
+        prop_assert_eq!(cached.cache, summed);
+        prop_assert_eq!(registry.counter("cache.node_hits").get(), summed.node_hits);
+        prop_assert_eq!(registry.counter("cache.node_misses").get(), summed.node_misses);
+        prop_assert_eq!(registry.counter("cache.verdict_hits").get(), summed.verdict_hits);
+        prop_assert_eq!(
+            registry.counter("cache.verdict_misses").get(),
+            summed.verdict_misses
+        );
+        prop_assert_eq!(
+            registry.counter("cache.short_circuits").get(),
+            summed.short_circuits
+        );
+        prop_assert_eq!(registry.counter("cache.nodes_saved").get(), summed.nodes_saved);
+        prop_assert_eq!(registry.counter("cache.bytes_saved").get(), summed.bytes_saved);
+    }
+}

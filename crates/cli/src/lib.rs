@@ -10,6 +10,11 @@
 //!   pairs) through the multi-run scheduler and its shared metadata
 //!   cache.
 //! * `info` — describe a checkpoint or metadata file.
+//! * `ingest` / `gc` / `scrub` / `store-stats` / `store-remove` —
+//!   persistent content-addressed capture: dedup ingest into packfiles,
+//!   pack garbage collection, bit-rot scrubbing, and the dedup ledger.
+//!   `compare`/`compare-many --store D` read `name@version` objects
+//!   straight out of the store.
 //! * `simulate` — run the bundled mini-HACC simulation and capture a
 //!   checkpoint history through the VELOC-style client, giving users a
 //!   self-contained way to produce two divergent runs to compare.
@@ -72,6 +77,10 @@ pub fn usage() -> String {
     );
     let _ = writeln!(
         s,
+        "               [--store D]  (runs are name@version objects in the store)"
+    );
+    let _ = writeln!(
+        s,
         "               [--profile]  (per-stage time/bytes/ops table)"
     );
     let _ = writeln!(
@@ -84,13 +93,41 @@ pub fn usage() -> String {
     );
     let _ = writeln!(
         s,
-        "               [--no-cache] [--shards N] [--lanes N] [--json]"
+        "               [--no-cache] [--shards N] [--lanes N] [--store D] [--json]"
     );
     let _ = writeln!(
         s,
         "               (batch comparison with the shared metadata cache)"
     );
     let _ = writeln!(s, "  info         --input F");
+    let _ = writeln!(
+        s,
+        "  ingest       --store D --input F [--name S] [--version N]"
+    );
+    let _ = writeln!(
+        s,
+        "               [--chunk-bytes 4096] [--with-meta [--error-bound 1e-5]] [--json]"
+    );
+    let _ = writeln!(
+        s,
+        "               (content-addressed capture: stores only never-seen chunks)"
+    );
+    let _ = writeln!(
+        s,
+        "  gc           --store D [--json]   (delete fully unreferenced packs)"
+    );
+    let _ = writeln!(
+        s,
+        "  scrub        --store D  (re-hash every chunk; exits non-zero on bit rot)"
+    );
+    let _ = writeln!(
+        s,
+        "  store-stats  --store D [--json]   (dedup ledger + objects)"
+    );
+    let _ = writeln!(
+        s,
+        "  store-remove --store D --run name@version  (drop one stored checkpoint)"
+    );
     let _ = writeln!(
         s,
         "  simulate     --out-dir D [--particles 2048] [--steps 50] [--ranks 2]"
@@ -143,6 +180,11 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "compare" => commands::compare(&rest),
         "compare-many" => commands::compare_many(&rest),
         "info" => commands::info(&rest),
+        "ingest" => commands::ingest(&rest),
+        "gc" => commands::gc(&rest),
+        "scrub" => commands::scrub(&rest),
+        "store-stats" => commands::store_stats(&rest),
+        "store-remove" => commands::store_remove(&rest),
         "simulate" => commands::simulate(&rest),
         "census" => commands::census(&rest),
         "gate" => commands::gate(&rest),

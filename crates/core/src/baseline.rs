@@ -214,6 +214,7 @@ impl Direct {
             )));
         }
         let mut breakdown = CostBreakdown::default();
+        let store_before = crate::engine::store_reads_snapshot(a, b);
         let t0 = timeline.now();
         let n_ops = a.payload_len.div_ceil(self.read_chunk_bytes as u64) as usize;
         let indices: Vec<usize> = (0..n_ops).collect();
@@ -290,6 +291,7 @@ impl Direct {
             io,
             unverified: Vec::new(),
             cache: reprocmp_obs::CacheStats::default(),
+            store: crate::engine::store_reads_snapshot(a, b).delta_since(store_before),
         })
     }
 }

@@ -14,8 +14,24 @@
 //! gives). Applications that need bitwise restart keep their latest
 //! full checkpoint in VELOC; the compacted chain is for *analysis
 //! history*, where ε-exactness is the point.
+//!
+//! # Relation to the persistent capture store
+//!
+//! This module is the **in-memory, simulation-only** dedup path: the
+//! chain lives in process memory, dedup is ε-aware (digest-equal means
+//! within-ε, so elision is lossy up to `ε`), and nothing survives the
+//! process. The durable, bitwise counterpart is
+//! [`reprocmp_store::ChunkStore`] — content-addressed packfiles keyed
+//! by raw chunk digests, where identical bytes are stored once and
+//! reconstruction is byte-exact. The two compose:
+//! [`CompactionStore::persist_into`] drains a chain into a
+//! [`ChunkStore`](reprocmp_store::ChunkStore), one manifest per
+//! iteration with the Merkle tree as the stored metadata blob, so a
+//! sim-built history can be re-read later through
+//! `CheckpointSource::from_store` with nothing recomputed.
 
 use reprocmp_merkle::{compare_trees, MerkleTree};
+use reprocmp_store::{ChunkStore, IngestStats, StoreError};
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -228,6 +244,45 @@ impl CompactionStore {
         Ok(out)
     }
 
+    /// Drains the chain into a persistent [`ChunkStore`]: each
+    /// iteration is reconstructed (ε-exactly) and ingested as
+    /// `name`@`iteration` with its Merkle tree as the stored metadata
+    /// blob. Cross-iteration redundancy the ε-aware chain elided is
+    /// rediscovered bitwise by the store's content addressing, and
+    /// iterations already present (a previous, interrupted drain) are
+    /// skipped. Returns the per-iteration ingest ledgers, in chain
+    /// order, `None` for skipped iterations.
+    ///
+    /// # Errors
+    ///
+    /// Store I/O failures, or an invalid `name` for the store.
+    pub fn persist_into(
+        &self,
+        engine: &CompareEngine,
+        store: &ChunkStore,
+        name: &str,
+    ) -> CoreResult<Vec<Option<IngestStats>>> {
+        let chunk_bytes = engine.config().chunk_bytes;
+        let mut ledgers = Vec::with_capacity(self.chain.len());
+        for entry in &self.chain {
+            let values = self.reconstruct(entry.iteration)?;
+            let payload: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let meta = reprocmp_merkle::encode_tree(&entry.tree);
+            match store.ingest(
+                name,
+                entry.iteration,
+                &[("payload", &payload)],
+                chunk_bytes,
+                &meta,
+            ) {
+                Ok(stats) => ledgers.push(Some(stats)),
+                Err(StoreError::Exists { .. }) => ledgers.push(None),
+                Err(e) => return Err(crate::storesrc::store_err(e)),
+            }
+        }
+        Ok(ledgers)
+    }
+
     /// Verifies a reconstruction against its stored tree: the
     /// reconstructed payload must hash to the *same digests* wherever
     /// chunks were stored, and within-ε everywhere else. Returns the
@@ -405,6 +460,39 @@ mod tests {
         assert!(store.append(&e, 7, &[]).is_err());
         // Unknown reconstruction target.
         assert!(store.reconstruct(99).is_err());
+    }
+
+    #[test]
+    fn persist_into_bridges_the_chain_to_the_persistent_store() {
+        let e = engine(1e-5);
+        let mut store = CompactionStore::new();
+        let payloads: Vec<Vec<f32>> = (0..4).map(|j| stream(j, 0.0)).collect();
+        for (j, p) in payloads.iter().enumerate() {
+            store.append(&e, j as u64, p).unwrap();
+        }
+        let root = std::env::temp_dir().join(format!(
+            "reprocmp-compaction-persist-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        let chunk_store = ChunkStore::open(&root).unwrap();
+        let ledgers = store.persist_into(&e, &chunk_store, "rank0").unwrap();
+        assert_eq!(ledgers.len(), 4);
+        // The store rediscovers the cross-iteration redundancy bitwise:
+        // later iterations dedup against earlier ones.
+        let later: u64 = ledgers[1..].iter().map(|l| l.unwrap().bytes_deduped).sum();
+        assert!(later > 0, "unchanged chunks dedup across iterations");
+        // Store-backed round trip: bytes and metadata both survive.
+        for (j, p) in payloads.iter().enumerate() {
+            let src =
+                crate::CheckpointSource::from_store(&chunk_store, "rank0", j as u64, &e).unwrap();
+            let twin = crate::CheckpointSource::in_memory(p, &e).unwrap();
+            assert!(e.compare(&src, &twin).unwrap().identical(), "iteration {j}");
+        }
+        // Re-draining is idempotent: everything already exists.
+        let again = store.persist_into(&e, &chunk_store, "rank0").unwrap();
+        assert!(again.iter().all(Option::is_none));
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

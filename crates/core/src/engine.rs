@@ -228,6 +228,9 @@ impl CompareEngine {
         let _root_span = obs.tracer.span("compare");
         let mut breakdown = CostBreakdown::default();
         let chunk_bytes = self.config.chunk_bytes;
+        // Store-backed sources carry live read counters; snapshot them
+        // now so the report attributes only this comparison's traffic.
+        let store_before = store_reads_snapshot(a, b);
 
         // ---- Phase 1: setup --------------------------------------
         let t0 = timeline.now();
@@ -345,6 +348,7 @@ impl CompareEngine {
             io: verified.io,
             unverified: verified.unverified,
             cache: reprocmp_obs::CacheStats::default(),
+            store: store_reads_snapshot(a, b).delta_since(store_before),
         })
     }
 
@@ -602,6 +606,21 @@ fn coalesce_runs(flagged: &[usize], max_chunks: usize) -> Vec<(usize, usize)> {
         }
     }
     runs
+}
+
+/// Combined store-read counters of both sources at this instant
+/// (all-zero when neither source is store-backed).
+pub(crate) fn store_reads_snapshot(
+    a: &CheckpointSource,
+    b: &CheckpointSource,
+) -> reprocmp_obs::StoreReadStats {
+    let side = |s: &CheckpointSource| {
+        s.store_reads
+            .as_ref()
+            .map(reprocmp_obs::StoreReadCounters::snapshot)
+            .unwrap_or_default()
+    };
+    side(a).merged(side(b))
 }
 
 /// Reads a whole storage object (sequentially, asynchronously charged).

@@ -77,6 +77,7 @@ pub mod regions;
 pub mod report;
 pub mod schedule;
 pub mod source;
+pub mod storesrc;
 
 pub use baseline::{
     AllClose, AllCloseReport, Direct, PayloadStats, Statistical, StatisticalReport,

@@ -1,7 +1,7 @@
 //! Comparison results: localized differences and volume accounting.
 
 use reprocmp_io::RingStats;
-use reprocmp_obs::{CacheStats, StageBreakdown};
+use reprocmp_obs::{CacheStats, StageBreakdown, StoreReadStats};
 use serde::Serialize;
 
 use crate::breakdown::CostBreakdown;
@@ -99,6 +99,10 @@ pub struct CompareReport {
     /// batch scheduler (`compare_many` and friends); all-zero for
     /// plain pairwise comparisons, which consult no cache.
     pub cache: CacheStats,
+    /// Chunk-store read accounting when either source is backed by a
+    /// persistent capture store (`CheckpointSource::from_store`);
+    /// all-zero for file- and memory-backed comparisons.
+    pub store: StoreReadStats,
 }
 
 impl CompareReport {
@@ -180,6 +184,7 @@ mod tests {
             io: RingStats::default(),
             unverified: Vec::new(),
             cache: CacheStats::default(),
+            store: StoreReadStats::default(),
         };
         assert!((report.throughput_bytes_per_sec() - 1_000_000.0).abs() < 1.0);
         assert!(report.identical());
@@ -200,6 +205,7 @@ mod tests {
                 ChunkRange { first: 7, count: 1 },
             ],
             cache: CacheStats::default(),
+            store: StoreReadStats::default(),
         };
         assert!(!report.fully_verified());
         assert_eq!(report.unverified_chunks(), 3);

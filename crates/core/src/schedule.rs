@@ -46,7 +46,7 @@ use reprocmp_device::{Device, Workload};
 use reprocmp_hash::Digest128;
 use reprocmp_io::Timeline;
 use reprocmp_merkle::{compare_subtree, decode_tree, start_level_for, MerkleTree, SubtreeOutcome};
-use reprocmp_obs::{CacheStats, Observer, PhaseCost};
+use reprocmp_obs::{CacheStats, Observer, PhaseCost, StoreReadStats};
 use serde::Serialize;
 
 use crate::breakdown::CostBreakdown;
@@ -109,6 +109,10 @@ pub struct BatchReport {
     pub jobs: Vec<BatchJobReport>,
     /// Batch-wide cache ledger (the per-job ledgers summed).
     pub cache: CacheStats,
+    /// Batch-wide chunk-store read ledger. Jobs execute in parallel
+    /// over shared store-backed sources, so the batch reports one
+    /// pooled delta; per-job `report.store` stays zero.
+    pub store: StoreReadStats,
     /// Sources whose metadata was read and decoded — once each, versus
     /// twice per job for independent pairwise runs.
     pub trees_decoded: u64,
@@ -329,6 +333,10 @@ impl CompareEngine {
         if jobs.is_empty() {
             return Ok(BatchReport::default());
         }
+        // Store-backed sources carry live read counters; jobs run in
+        // parallel, so per-job attribution would race — the batch
+        // reports one pooled delta instead.
+        let store_before = batch_store_snapshot(sources);
         for &(l, r) in jobs {
             if l >= sources.len() || r >= sources.len() || l == r {
                 return Err(CoreError::Config(format!(
@@ -704,6 +712,7 @@ impl CompareEngine {
                     io: vo.io,
                     unverified,
                     cache: jc,
+                    store: StoreReadStats::default(),
                 },
             });
         }
@@ -744,11 +753,22 @@ impl CompareEngine {
         Ok(BatchReport {
             jobs: job_reports,
             cache: batch_cache,
+            store: batch_store_snapshot(sources).delta_since(store_before),
             trees_decoded: sources.len() as u64,
             decode_time,
             elapsed: timeline.now() - t_start,
         })
     }
+}
+
+/// Sum of every source's store-read counters at this instant
+/// (all-zero when no source is store-backed).
+fn batch_store_snapshot(sources: &[&CheckpointSource]) -> StoreReadStats {
+    sources
+        .iter()
+        .filter_map(|s| s.store_reads.as_ref())
+        .map(reprocmp_obs::StoreReadCounters::snapshot)
+        .fold(StoreReadStats::default(), StoreReadStats::merged)
 }
 
 /// Merges two sorted difference lists under the recording cap.
@@ -1064,26 +1084,17 @@ mod tests {
         let run_with = |shards: usize| {
             let clock = SimClock::new();
             let model = CostModel::lustre_pfs();
-            let baseline = CheckpointSource::in_memory_with_model(
-                &data,
-                &e,
-                model.clone(),
-                Some(clock.clone()),
-            )
-            .unwrap();
+            let baseline =
+                CheckpointSource::in_memory_with_model(&data, &e, model, Some(clock.clone()))
+                    .unwrap();
             let runs: Vec<_> = (0..3)
                 .map(|k| {
                     let mut d = data.clone();
                     for v in d.iter_mut().skip(k * 11).step_by(301) {
                         *v += 0.2;
                     }
-                    CheckpointSource::in_memory_with_model(
-                        &d,
-                        &e,
-                        model.clone(),
-                        Some(clock.clone()),
-                    )
-                    .unwrap()
+                    CheckpointSource::in_memory_with_model(&d, &e, model, Some(clock.clone()))
+                        .unwrap()
                 })
                 .collect();
             e.compare_many_with_timeline(

@@ -44,18 +44,21 @@ pub struct CheckpointSource {
     /// without raw digests still batch fine; the scheduler simply
     /// skips the verdict cache for their chunks.
     pub raw_leaves: Option<Arc<Vec<Digest128>>>,
+    /// Live read counters of the persistent capture store backing
+    /// `data`, when this source is store-backed (see
+    /// [`CheckpointSource::from_store`]). The engine snapshots these
+    /// around a comparison to fill `CompareReport::store`; `None` for
+    /// file- and memory-backed sources.
+    pub store_reads: Option<reprocmp_obs::StoreReadCounters>,
 }
 
-/// Seed for raw-chunk content digests — distinct from the quantized
-/// leaf-digest chain so the two keyspaces can never collide by
-/// construction.
-const RAW_LEAF_SEED: u32 = 0x5eed_0b0e;
-
-/// Digests each `chunk_bytes`-sized chunk of `payload` as raw bytes.
-fn raw_chunk_digests(payload: &[u8], chunk_bytes: usize) -> Vec<Digest128> {
+/// Digests each `chunk_bytes`-sized chunk of `payload` as raw bytes,
+/// under the workspace-wide [`reprocmp_hash::RAW_CHUNK_SEED`] — the
+/// same addresses the persistent capture store keys its chunks by.
+pub(crate) fn raw_chunk_digests(payload: &[u8], chunk_bytes: usize) -> Vec<Digest128> {
     payload
         .chunks(chunk_bytes)
-        .map(|c| murmur3_x64_128(c, RAW_LEAF_SEED))
+        .map(|c| murmur3_x64_128(c, reprocmp_hash::RAW_CHUNK_SEED))
         .collect()
 }
 
@@ -75,6 +78,7 @@ impl CheckpointSource {
             metadata,
             capture: StageBreakdown::default(),
             raw_leaves: None,
+            store_reads: None,
         }
     }
 
@@ -124,6 +128,7 @@ impl CheckpointSource {
             metadata: Arc::new(metadata),
             capture,
             raw_leaves: Some(Arc::new(raw_leaves)),
+            store_reads: None,
         })
     }
 
@@ -155,6 +160,7 @@ impl CheckpointSource {
             metadata: Arc::new(metadata),
             capture: StageBreakdown::default(),
             raw_leaves: None,
+            store_reads: None,
         })
     }
 

@@ -1,0 +1,247 @@
+//! Store-backed checkpoint sources: comparing directly out of the
+//! persistent capture store.
+//!
+//! [`CheckpointSource::from_store`] resolves a `name@version` object
+//! into a source whose `data` is a
+//! [`StoreStorage`](reprocmp_store::StoreStorage) — the engine's
+//! stage-2 scattered reads then stream through the pack index via the
+//! existing I/O pipeline backends, with retry/quarantine semantics
+//! intact. Metadata comes from the manifest's opaque blob when the
+//! ingester stored an encoded tree, and is recomputed from the
+//! materialized payload otherwise; raw leaf digests are lifted
+//! straight from the manifest when its chunk geometry matches the
+//! engine's (the store and the capture path share
+//! [`reprocmp_hash::RAW_CHUNK_SEED`], so the addresses are identical).
+
+use std::sync::Arc;
+
+use reprocmp_io::MemStorage;
+use reprocmp_obs::StageBreakdown;
+use reprocmp_store::{ChunkStore, StoreError};
+
+use crate::engine::CompareEngine;
+use crate::source::{raw_chunk_digests, CheckpointSource};
+use crate::{CoreError, CoreResult};
+
+/// Maps store failures onto comparison errors: I/O stays I/O,
+/// everything else (corruption, unknown key, bad config) surfaces as a
+/// mismatch with the store's own description.
+pub(crate) fn store_err(e: StoreError) -> CoreError {
+    match e {
+        StoreError::Io(io) => CoreError::Io(reprocmp_io::IoError::Os(io)),
+        other => CoreError::Mismatch(format!("capture store: {other}")),
+    }
+}
+
+impl CheckpointSource {
+    /// Builds a source for the stored checkpoint `name`@`version`,
+    /// serving payload reads through `store`'s pack index.
+    ///
+    /// The payload region is everything past the manifest's leading
+    /// header segments. When the manifest carries a metadata blob it is
+    /// used verbatim (the ingester stored an encoded Merkle tree);
+    /// otherwise the payload is materialized once and `engine` builds
+    /// the metadata, exactly as capture would have. Either way the
+    /// source carries live [`store_reads`](CheckpointSource::store_reads)
+    /// counters, so `CompareReport::store` accounts this comparison's
+    /// store traffic.
+    ///
+    /// # Errors
+    ///
+    /// Unknown `name`/`version`, store corruption, or a payload that is
+    /// not a positive multiple of 4 bytes.
+    pub fn from_store(
+        store: &ChunkStore,
+        name: &str,
+        version: u64,
+        engine: &CompareEngine,
+    ) -> CoreResult<Self> {
+        let layout = store.layout(name, version).map_err(store_err)?;
+        let payload_len = layout.payload_len();
+        if payload_len == 0 || !payload_len.is_multiple_of(4) {
+            return Err(CoreError::Mismatch(format!(
+                "stored checkpoint {name}@{version} payload length {payload_len} \
+                 is not a positive multiple of 4"
+            )));
+        }
+
+        let chunk_bytes = engine.config().chunk_bytes;
+        let geometry_matches = layout.chunk_bytes as usize == chunk_bytes
+            && layout
+                .payload_offset
+                .is_multiple_of(u64::from(layout.chunk_bytes));
+        let mut capture = StageBreakdown::default();
+
+        // Raw leaf digests: free when the manifest's chunk geometry
+        // lines up with the engine's (same seed, same boundaries);
+        // recomputed from the payload bytes otherwise.
+        let manifest_leaves = if geometry_matches {
+            layout.payload_chunk_digests.clone()
+        } else {
+            None
+        };
+
+        // Metadata: the stored blob when present, else a fresh capture
+        // pass over the materialized payload.
+        let (meta_bytes, raw_leaves) = if layout.meta.is_empty() {
+            let bytes = store.materialize(name, version).map_err(store_err)?;
+            let payload = &bytes[layout.payload_offset as usize..];
+            let values: Vec<f32> = payload
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                .collect();
+            let (tree, profile) = engine.build_metadata_profiled(&values);
+            capture = profile;
+            let leaves = manifest_leaves.unwrap_or_else(|| raw_chunk_digests(payload, chunk_bytes));
+            (reprocmp_merkle::encode_tree(&tree), leaves)
+        } else {
+            let leaves = match manifest_leaves {
+                Some(leaves) => leaves,
+                None => {
+                    let bytes = store.materialize(name, version).map_err(store_err)?;
+                    raw_chunk_digests(&bytes[layout.payload_offset as usize..], chunk_bytes)
+                }
+            };
+            (layout.meta.clone(), leaves)
+        };
+
+        let storage = store.reader(name, version).map_err(store_err)?;
+        let counters = storage.counters();
+        Ok(CheckpointSource {
+            data: Arc::new(storage),
+            payload_offset: layout.payload_offset,
+            payload_len,
+            metadata: Arc::new(MemStorage::free(meta_bytes)),
+            capture,
+            raw_leaves: Some(Arc::new(raw_leaves)),
+            store_reads: Some(counters),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use std::path::PathBuf;
+
+    fn engine() -> CompareEngine {
+        CompareEngine::new(EngineConfig {
+            chunk_bytes: 64,
+            error_bound: 1e-5,
+            ..EngineConfig::default()
+        })
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!(
+            "reprocmp-core-storesrc-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        root
+    }
+
+    fn payload_bytes(values: &[f32]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn store_backed_compare_matches_in_memory() {
+        let root = temp_root("equiv");
+        let store = ChunkStore::open(&root).unwrap();
+        let e = engine();
+        let run1: Vec<f32> = (0..4096).map(|i| (i as f32).sin()).collect();
+        let mut run2 = run1.clone();
+        run2[1000] += 0.5;
+        store
+            .ingest("r1", 1, &[("x", &payload_bytes(&run1))], 64, &[])
+            .unwrap();
+        store
+            .ingest("r2", 1, &[("x", &payload_bytes(&run2))], 64, &[])
+            .unwrap();
+
+        let sa = CheckpointSource::from_store(&store, "r1", 1, &e).unwrap();
+        let sb = CheckpointSource::from_store(&store, "r2", 1, &e).unwrap();
+        let stored = e.compare(&sa, &sb).unwrap();
+
+        let ma = CheckpointSource::in_memory(&run1, &e).unwrap();
+        let mb = CheckpointSource::in_memory(&run2, &e).unwrap();
+        let mem = e.compare(&ma, &mb).unwrap();
+
+        assert_eq!(stored.stats, mem.stats);
+        assert_eq!(stored.differences.len(), mem.differences.len());
+        assert_eq!(stored.differences[0].index, 1000);
+        // Store-backed reports account their pack traffic; in-memory
+        // reports stay all-zero.
+        assert!(stored.store.bytes_read > 0);
+        assert!(mem.store.is_zero());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn manifest_leaves_match_capture_side_digests() {
+        let root = temp_root("leaves");
+        let store = ChunkStore::open(&root).unwrap();
+        let e = engine();
+        let values: Vec<f32> = (0..512).map(|i| i as f32 * 0.25).collect();
+        store
+            .ingest("r", 1, &[("x", &payload_bytes(&values))], 64, &[])
+            .unwrap();
+        let s = CheckpointSource::from_store(&store, "r", 1, &e).unwrap();
+        let mem = CheckpointSource::in_memory(&values, &e).unwrap();
+        assert_eq!(
+            s.raw_leaves.as_deref().unwrap(),
+            mem.raw_leaves.as_deref().unwrap(),
+            "store chunk addresses are capture-side raw leaf digests"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn stored_meta_blob_is_used_verbatim() {
+        let root = temp_root("meta");
+        let store = ChunkStore::open(&root).unwrap();
+        let e = engine();
+        let values: Vec<f32> = (0..256).map(|i| (i as f32).cos()).collect();
+        let (tree, _) = e.build_metadata_profiled(&values);
+        let meta = reprocmp_merkle::encode_tree(&tree);
+        store
+            .ingest("m", 1, &[("x", &payload_bytes(&values))], 64, &meta)
+            .unwrap();
+        let s = CheckpointSource::from_store(&store, "m", 1, &e).unwrap();
+        let mut back = vec![0u8; s.metadata.len() as usize];
+        s.metadata.read_at(0, &mut back).unwrap();
+        assert_eq!(back, meta);
+        // And it actually compares clean against an in-memory twin.
+        let twin = CheckpointSource::in_memory(&values, &e).unwrap();
+        let report = e.compare(&s, &twin).unwrap();
+        assert!(report.identical());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn unknown_object_is_a_mismatch() {
+        let root = temp_root("missing");
+        let store = ChunkStore::open(&root).unwrap();
+        assert!(matches!(
+            CheckpointSource::from_store(&store, "ghost", 1, &engine()),
+            Err(CoreError::Mismatch(_))
+        ));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn odd_payload_length_is_rejected() {
+        let root = temp_root("odd");
+        let store = ChunkStore::open(&root).unwrap();
+        store
+            .ingest("odd", 1, &[("x", &[1, 2, 3])], 64, &[])
+            .unwrap();
+        assert!(matches!(
+            CheckpointSource::from_store(&store, "odd", 1, &engine()),
+            Err(CoreError::Mismatch(_))
+        ));
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

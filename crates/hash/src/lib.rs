@@ -52,3 +52,18 @@ pub mod murmur3;
 pub use bounded::Quantizer;
 pub use chunk::ChunkHasher;
 pub use murmur3::{Digest128, Murmur3x64_128};
+
+/// Seed for *raw-content* chunk digests — the content addresses used by
+/// the batch scheduler's stage-2 verdict cache and the persistent
+/// capture store. Distinct from the quantized leaf-digest chain so the
+/// two keyspaces can never collide by construction, and shared here so
+/// every layer that fingerprints raw chunk bytes (capture, store
+/// ingest, scrub) produces the same address for the same bytes.
+pub const RAW_CHUNK_SEED: u32 = 0x5eed_0b0e;
+
+/// Digest of one raw (unquantized) chunk of bytes under
+/// [`RAW_CHUNK_SEED`] — the store's content address for that chunk.
+#[must_use]
+pub fn raw_chunk_digest(bytes: &[u8]) -> Digest128 {
+    murmur3::murmur3_x64_128(bytes, RAW_CHUNK_SEED)
+}

@@ -103,7 +103,7 @@ fn random_byte_scribbles_never_panic() {
             mutated[at] = rng.next() as u8;
         }
         // Sometimes also truncate.
-        if rng.next() % 3 == 0 {
+        if rng.next().is_multiple_of(3) {
             let keep = (rng.next() as usize) % (mutated.len() + 1);
             mutated.truncate(keep);
         }

@@ -26,6 +26,10 @@
 //! * [`cache`](mod@cache) — the [`CacheStats`] ledger of the batch
 //!   scheduler's metadata-cache reuse (hits, misses, short-circuits,
 //!   and what they saved), carried by `CompareReport::cache`.
+//! * [`store`](mod@store) — the [`StoreReadStats`] ledger of reads
+//!   resolved through the persistent capture store's pack index
+//!   (reads, bytes, deduplicated bytes), carried by
+//!   `CompareReport::store`.
 //!
 //! An [`Observer`] bundles a tracer and a registry so callers can pass
 //! one handle through the stack.
@@ -37,6 +41,7 @@ pub mod cache;
 pub mod metrics;
 pub mod span;
 pub mod stage;
+pub mod store;
 
 pub use cache::CacheStats;
 pub use metrics::{
@@ -44,6 +49,7 @@ pub use metrics::{
 };
 pub use span::{SpanGuard, SpanRecord, Tracer};
 pub use stage::{PhaseCost, StageBreakdown};
+pub use store::{StoreReadCounters, StoreReadStats};
 
 use std::fmt;
 use std::sync::Arc;

@@ -1,0 +1,163 @@
+//! Read accounting for the persistent capture store.
+//!
+//! A store-backed checkpoint source resolves stage-2 scattered reads
+//! through the pack index: every byte the engine asks for maps to a
+//! chunk that lives exactly once in a packfile, even when the same
+//! chunk is referenced by many checkpoints. [`StoreReadStats`] is the
+//! ledger of that resolution — how many positioned reads the store
+//! served, how many bytes they moved, and how many of those bytes came
+//! from *shared* chunks (refcount > 1), i.e. bytes that exist on disk
+//! once but would have been duplicated N times under raw-file capture.
+//!
+//! The live side is [`StoreReadCounters`]: cheap `Arc`-atomic handles
+//! a store-backed storage object bumps on every read. The engine
+//! snapshots the counters around a comparison and reports the delta,
+//! so concurrent users of the same store don't bleed into each other's
+//! reports.
+
+use crate::metrics::Counter;
+use serde::Serialize;
+
+/// Read-side ledger of one comparison against store-backed sources
+/// (all-zero for file- and memory-backed sources, which never touch a
+/// pack index).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StoreReadStats {
+    /// Positioned reads served by resolving chunk ranges through the
+    /// pack index.
+    pub chunk_reads: u64,
+    /// Total bytes those reads returned.
+    pub bytes_read: u64,
+    /// The subset of `bytes_read` served from shared chunks
+    /// (refcount > 1 at open time) — bytes deduplicated on disk.
+    pub bytes_deduped: u64,
+}
+
+impl StoreReadStats {
+    /// Component-wise sum, for aggregating both sides of a comparison
+    /// or the jobs of a batch.
+    #[must_use]
+    pub fn merged(self, other: StoreReadStats) -> StoreReadStats {
+        StoreReadStats {
+            chunk_reads: self.chunk_reads + other.chunk_reads,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_deduped: self.bytes_deduped + other.bytes_deduped,
+        }
+    }
+
+    /// What this snapshot added on top of `earlier` (saturating, so a
+    /// stale `earlier` from another counter clamps to zero instead of
+    /// wrapping).
+    #[must_use]
+    pub fn delta_since(self, earlier: StoreReadStats) -> StoreReadStats {
+        StoreReadStats {
+            chunk_reads: self.chunk_reads.saturating_sub(earlier.chunk_reads),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_deduped: self.bytes_deduped.saturating_sub(earlier.bytes_deduped),
+        }
+    }
+
+    /// True when no store was consulted at all — the state every file-
+    /// or memory-backed report carries.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == StoreReadStats::default()
+    }
+}
+
+/// Live counters a store-backed storage object bumps on every read.
+/// Cheap to clone; clones share the same atomics.
+#[derive(Debug, Clone, Default)]
+pub struct StoreReadCounters {
+    chunk_reads: Counter,
+    bytes_read: Counter,
+    bytes_deduped: Counter,
+}
+
+impl StoreReadCounters {
+    /// Fresh counters at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        StoreReadCounters::default()
+    }
+
+    /// Records one positioned read of `bytes` total bytes, of which
+    /// `deduped` came from shared chunks.
+    pub fn record_read(&self, bytes: u64, deduped: u64) {
+        self.chunk_reads.inc();
+        self.bytes_read.add(bytes);
+        self.bytes_deduped.add(deduped);
+    }
+
+    /// Current values as a serializable snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> StoreReadStats {
+        StoreReadStats {
+            chunk_reads: self.chunk_reads.get(),
+            bytes_read: self.bytes_read.get(),
+            bytes_deduped: self.bytes_deduped.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero_and_merge_is_component_wise() {
+        assert!(StoreReadStats::default().is_zero());
+        let a = StoreReadStats {
+            chunk_reads: 1,
+            bytes_read: 100,
+            bytes_deduped: 40,
+        };
+        let m = a.merged(a);
+        assert_eq!(m.chunk_reads, 2);
+        assert_eq!(m.bytes_read, 200);
+        assert_eq!(m.bytes_deduped, 80);
+        assert!(!m.is_zero());
+    }
+
+    #[test]
+    fn delta_since_subtracts_and_saturates() {
+        let early = StoreReadStats {
+            chunk_reads: 2,
+            bytes_read: 50,
+            bytes_deduped: 10,
+        };
+        let late = StoreReadStats {
+            chunk_reads: 5,
+            bytes_read: 80,
+            bytes_deduped: 10,
+        };
+        let d = late.delta_since(early);
+        assert_eq!(d.chunk_reads, 3);
+        assert_eq!(d.bytes_read, 30);
+        assert_eq!(d.bytes_deduped, 0);
+        // Mismatched snapshots clamp instead of wrapping.
+        assert_eq!(early.delta_since(late).bytes_read, 0);
+    }
+
+    #[test]
+    fn counters_record_and_clones_share() {
+        let c = StoreReadCounters::new();
+        let clone = c.clone();
+        clone.record_read(4096, 1024);
+        clone.record_read(512, 0);
+        let snap = c.snapshot();
+        assert_eq!(snap.chunk_reads, 2);
+        assert_eq!(snap.bytes_read, 4608);
+        assert_eq!(snap.bytes_deduped, 1024);
+    }
+
+    #[test]
+    fn serializes_with_named_fields() {
+        use serde::{Serialize, Value};
+        let Value::Object(fields) = StoreReadStats::default().to_value() else {
+            panic!("store stats must serialize as an object");
+        };
+        let names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["chunk_reads", "bytes_read", "bytes_deduped"]);
+    }
+}

@@ -1,0 +1,290 @@
+//! Checkpoint manifests: the digest sequence that names a checkpoint's
+//! bytes without holding them.
+//!
+//! A manifest records, per segment (one per checkpoint region, plus an
+//! optional leading [`HEADER_SEGMENT`](crate::HEADER_SEGMENT) for raw
+//! file headers), the segment's byte length and the ordered
+//! content-address of every `chunk_bytes`-sized chunk. Concatenating
+//! the chunks of all segments in order reproduces the original file
+//! byte-exactly. Format:
+//!
+//! ```text
+//! magic "RCMPMAN1" (8) | format u32 = 1
+//! name_len u16 | name | version u64 | chunk_bytes u32
+//! meta_len u64 | meta bytes (opaque, e.g. an encoded Merkle tree)
+//! n_segments u32
+//! per segment:
+//!   name_len u16 | name | byte_len u64 | n_chunks u32 | digests (16 B each)
+//! ```
+//!
+//! All integers little-endian. `n_chunks` is redundant with `byte_len`
+//! and `chunk_bytes` and is validated on decode, so a manifest whose
+//! digest list was truncated or padded is rejected rather than
+//! silently materializing the wrong bytes.
+
+use crate::wire::{put_digest, Cursor};
+use crate::{StoreError, StoreResult};
+use reprocmp_hash::Digest128;
+
+/// Manifest file magic bytes.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"RCMPMAN1";
+
+/// Current manifest format version.
+pub const MANIFEST_FORMAT: u32 = 1;
+
+/// Decode guard: no real checkpoint region approaches this many chunks.
+const MAX_CHUNKS_PER_SEGMENT: u64 = 1 << 28;
+
+/// One named byte range of a checkpoint and its chunk addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Region name (or [`crate::HEADER_SEGMENT`] for raw header bytes).
+    pub name: String,
+    /// Segment length in bytes.
+    pub len: u64,
+    /// Content address of each `chunk_bytes`-sized chunk, in order; the
+    /// final chunk may be short.
+    pub digests: Vec<Digest128>,
+}
+
+/// A complete checkpoint description: identity, chunk geometry, opaque
+/// metadata, and per-segment chunk addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Checkpoint name (e.g. the VELOC checkpoint name).
+    pub name: String,
+    /// Checkpoint version.
+    pub version: u64,
+    /// Chunk size the segments were addressed under.
+    pub chunk_bytes: u32,
+    /// Opaque metadata blob (empty, or an encoded Merkle tree when the
+    /// ingester opted in).
+    pub meta: Vec<u8>,
+    /// Segments in file order.
+    pub segments: Vec<Segment>,
+}
+
+/// Number of `chunk_bytes`-sized chunks covering `len` bytes.
+#[must_use]
+pub fn chunk_count(len: u64, chunk_bytes: u32) -> u64 {
+    len.div_ceil(u64::from(chunk_bytes.max(1)))
+}
+
+impl Manifest {
+    /// Total byte length across all segments.
+    #[must_use]
+    pub fn total_len(&self) -> u64 {
+        self.segments.iter().map(|s| s.len).sum()
+    }
+
+    /// Byte offset where the payload starts: the total length of the
+    /// *leading* header segments (see [`crate::HEADER_SEGMENT`]).
+    #[must_use]
+    pub fn payload_offset(&self) -> u64 {
+        self.segments
+            .iter()
+            .take_while(|s| s.name == crate::HEADER_SEGMENT)
+            .map(|s| s.len)
+            .sum()
+    }
+
+    /// Total chunk references across all segments.
+    #[must_use]
+    pub fn chunk_refs(&self) -> u64 {
+        self.segments.iter().map(|s| s.digests.len() as u64).sum()
+    }
+
+    /// Iterates `(digest, len)` over every chunk reference in order.
+    pub fn chunk_lens(&self) -> impl Iterator<Item = (Digest128, u32)> + '_ {
+        self.segments.iter().flat_map(move |s| {
+            let cb = u64::from(self.chunk_bytes);
+            s.digests.iter().enumerate().map(move |(i, &d)| {
+                let start = i as u64 * cb;
+                let len = (s.len - start).min(cb) as u32;
+                (d, len)
+            })
+        })
+    }
+
+    /// Serializes to the on-disk format.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&MANIFEST_FORMAT.to_le_bytes());
+        out.extend_from_slice(&(self.name.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.name.as_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.chunk_bytes.to_le_bytes());
+        out.extend_from_slice(&(self.meta.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.meta);
+        out.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        for seg in &self.segments {
+            out.extend_from_slice(&(seg.name.len() as u16).to_le_bytes());
+            out.extend_from_slice(seg.name.as_bytes());
+            out.extend_from_slice(&seg.len.to_le_bytes());
+            out.extend_from_slice(&(seg.digests.len() as u32).to_le_bytes());
+            for &d in &seg.digests {
+                put_digest(&mut out, d);
+            }
+        }
+        out
+    }
+
+    /// Parses and validates an encoded manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on bad magic, truncation, a non-UTF-8
+    /// name, or a digest count inconsistent with the declared segment
+    /// length and chunk size.
+    pub fn decode(bytes: &[u8]) -> StoreResult<Manifest> {
+        let mut c = Cursor::new(bytes, "manifest");
+        c.magic(MANIFEST_MAGIC)?;
+        let format = c.u32()?;
+        if format != MANIFEST_FORMAT {
+            return Err(StoreError::Corrupt(format!(
+                "unsupported manifest format {format}"
+            )));
+        }
+        let name_len = c.u16()? as usize;
+        let name = c.utf8(name_len)?;
+        let version = c.u64()?;
+        let chunk_bytes = c.u32()?;
+        if chunk_bytes == 0 {
+            return Err(StoreError::Corrupt("manifest chunk_bytes is zero".into()));
+        }
+        let meta_len = c.u64()?;
+        if meta_len > c.remaining() as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "manifest meta length {meta_len} exceeds remaining {}",
+                c.remaining()
+            )));
+        }
+        let meta = c.take(meta_len as usize)?.to_vec();
+        let n_segments = c.u32()?;
+        let mut segments = Vec::new();
+        for _ in 0..n_segments {
+            let seg_name_len = c.u16()? as usize;
+            let seg_name = c.utf8(seg_name_len)?;
+            let len = c.u64()?;
+            let n_chunks = u64::from(c.u32()?);
+            let expect = chunk_count(len, chunk_bytes);
+            if n_chunks != expect || n_chunks > MAX_CHUNKS_PER_SEGMENT {
+                return Err(StoreError::Corrupt(format!(
+                    "segment `{seg_name}` declares {n_chunks} chunks for {len} bytes \
+                     at chunk size {chunk_bytes} (expected {expect})"
+                )));
+            }
+            let mut digests = Vec::with_capacity(n_chunks as usize);
+            for _ in 0..n_chunks {
+                digests.push(c.digest()?);
+            }
+            segments.push(Segment {
+                name: seg_name,
+                len,
+                digests,
+            });
+        }
+        if c.remaining() != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "manifest has {} trailing bytes",
+                c.remaining()
+            )));
+        }
+        Ok(Manifest {
+            name,
+            version,
+            chunk_bytes,
+            meta,
+            segments,
+        })
+    }
+}
+
+/// File name of the manifest for `name`@`version` within the store's
+/// `manifests/` directory.
+#[must_use]
+pub fn manifest_file_name(name: &str, version: u64) -> String {
+    format!("{name}.v{version:06}.manifest")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reprocmp_hash::raw_chunk_digest;
+
+    fn sample() -> Manifest {
+        let chunk_bytes = 8u32;
+        let header = vec![0xAAu8; 5];
+        let region = vec![0x42u8; 20];
+        let seg = |name: &str, bytes: &[u8]| Segment {
+            name: name.into(),
+            len: bytes.len() as u64,
+            digests: bytes
+                .chunks(chunk_bytes as usize)
+                .map(raw_chunk_digest)
+                .collect(),
+        };
+        Manifest {
+            name: "temperature".into(),
+            version: 3,
+            chunk_bytes,
+            meta: vec![1, 2, 3],
+            segments: vec![seg(crate::HEADER_SEGMENT, &header), seg("x", &region)],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let m = sample();
+        let back = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let m = sample();
+        assert_eq!(m.total_len(), 25);
+        assert_eq!(m.payload_offset(), 5);
+        assert_eq!(m.chunk_refs(), 4); // 1 header chunk + ceil(20/8)=3
+        let lens: Vec<u32> = m.chunk_lens().map(|(_, l)| l).collect();
+        assert_eq!(lens, vec![5, 8, 8, 4]);
+        assert_eq!(chunk_count(0, 8), 0);
+        assert_eq!(chunk_count(8, 8), 1);
+        assert_eq!(chunk_count(9, 8), 2);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let m = sample();
+        let enc = m.encode();
+        // Bad magic.
+        let mut bad = enc.clone();
+        bad[0] ^= 0xFF;
+        assert!(Manifest::decode(&bad).is_err());
+        // Every truncation point fails cleanly.
+        for cut in 0..enc.len() {
+            assert!(Manifest::decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is rejected, not ignored.
+        let mut padded = enc.clone();
+        padded.push(0);
+        assert!(Manifest::decode(&padded).is_err());
+        // Inconsistent chunk count: flip the digest-count field of the
+        // first segment (it sits right after the segment name + len).
+        let mut inconsistent = enc.clone();
+        // Locate by re-encoding with a poked count instead of offset math:
+        let mut m2 = m.clone();
+        m2.segments[0]
+            .digests
+            .push(reprocmp_hash::Digest128([1, 2]));
+        inconsistent.clone_from(&m2.encode());
+        assert!(Manifest::decode(&inconsistent).is_err());
+    }
+
+    #[test]
+    fn file_name_is_stable() {
+        assert_eq!(manifest_file_name("t", 7), "t.v000007.manifest");
+    }
+}

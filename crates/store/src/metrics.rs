@@ -1,0 +1,85 @@
+//! Registry-backed store metrics: the `store.*` ledger.
+//!
+//! The central invariant, checked by the acceptance tests: per ingest
+//! and cumulatively, `bytes_logical == bytes_physical + bytes_deduped`
+//! — every chunk reference's bytes land in exactly one of "written to
+//! a pack for the first time" or "already present, referenced for
+//! free". The physical counter tracks chunk payload bytes (what raw
+//! capture would have written per chunk); per-record pack headers are
+//! accounted separately in [`StoreStats`](crate::StoreStats).
+
+use reprocmp_obs::{Counter, Gauge, Registry};
+
+/// Live metric handles for one [`ChunkStore`](crate::ChunkStore).
+/// Cheap atomics shared with the registry they were built from.
+#[derive(Debug, Clone)]
+pub struct StoreMetrics {
+    /// Chunks written to a pack for the first time.
+    pub chunks_stored: Counter,
+    /// Chunk references satisfied by an already-stored chunk.
+    pub chunks_deduped: Counter,
+    /// Logical bytes ingested (sum of segment lengths).
+    pub bytes_logical: Counter,
+    /// Physical chunk bytes appended to packs.
+    pub bytes_physical: Counter,
+    /// Bytes not written thanks to dedup (`logical − physical`).
+    pub bytes_deduped: Counter,
+    /// Packs deleted by GC sweeps.
+    pub gc_packs: Counter,
+    /// Pack file bytes reclaimed by GC sweeps.
+    pub gc_reclaimed_bytes: Counter,
+    /// Chunks re-hashed by scrub passes.
+    pub scrub_chunks: Counter,
+    /// Chunks whose re-hash disagreed with their content address.
+    pub scrub_failures: Counter,
+    /// Pack files currently on disk.
+    pub packs: Gauge,
+    /// Checkpoints (manifests) currently in the store.
+    pub objects: Gauge,
+}
+
+impl StoreMetrics {
+    /// Metrics registered in `registry` under `prefix` (conventionally
+    /// `"store"`, giving `store.chunks_stored`, `store.bytes_logical`,
+    /// …).
+    #[must_use]
+    pub fn in_registry(registry: &Registry, prefix: &str) -> Self {
+        StoreMetrics {
+            chunks_stored: registry.counter(&format!("{prefix}.chunks_stored")),
+            chunks_deduped: registry.counter(&format!("{prefix}.chunks_deduped")),
+            bytes_logical: registry.counter(&format!("{prefix}.bytes_logical")),
+            bytes_physical: registry.counter(&format!("{prefix}.bytes_physical")),
+            bytes_deduped: registry.counter(&format!("{prefix}.bytes_deduped")),
+            gc_packs: registry.counter(&format!("{prefix}.gc.packs")),
+            gc_reclaimed_bytes: registry.counter(&format!("{prefix}.gc.reclaimed_bytes")),
+            scrub_chunks: registry.counter(&format!("{prefix}.scrub.chunks")),
+            scrub_failures: registry.counter(&format!("{prefix}.scrub.failures")),
+            packs: registry.gauge(&format!("{prefix}.packs")),
+            objects: registry.gauge(&format!("{prefix}.objects")),
+        }
+    }
+
+    /// Metrics bound to a private registry nobody else reads.
+    #[must_use]
+    pub fn detached() -> Self {
+        StoreMetrics::in_registry(&Registry::new(), "store")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_follow_the_store_prefix() {
+        let reg = Registry::new();
+        let m = StoreMetrics::in_registry(&reg, "store");
+        m.chunks_stored.add(2);
+        m.bytes_logical.add(100);
+        m.packs.set(1);
+        assert_eq!(reg.counter("store.chunks_stored").get(), 2);
+        assert_eq!(reg.counter("store.bytes_logical").get(), 100);
+        assert_eq!(reg.gauge("store.packs").get(), 1);
+        assert_eq!(reg.counter("store.scrub.failures").get(), 0);
+    }
+}

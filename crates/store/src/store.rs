@@ -1,0 +1,1093 @@
+//! The [`ChunkStore`] facade: ingest, materialize, GC, scrub.
+//!
+//! On-disk layout under the store root:
+//!
+//! ```text
+//! root/
+//!   index.bin            digest → (pack, offset, len, refcount)
+//!   packs/pack-NNNNNN.pack
+//!   manifests/{name}.vNNNNNN.manifest
+//! ```
+//!
+//! Crash-consistency story (the order `ingest` publishes state):
+//!
+//! 1. the pack of never-before-seen chunks (`.tmp` + rename),
+//! 2. the manifest (`.tmp` + rename),
+//! 3. the refreshed index (`.tmp` + rename).
+//!
+//! A crash after (1) leaves an orphan pack whose chunks nothing
+//! references — [`ChunkStore::open`] indexes them at refcount 0 and GC
+//! reclaims the pack. A crash after (2) leaves the on-disk index
+//! missing the new manifest's chunks; `open` detects the disagreement
+//! and rebuilds the index from packs + manifests, which are always the
+//! authoritative state. Re-running an interrupted ingest gets
+//! [`StoreError::Exists`], which callers treat as success.
+
+use crate::index::{load_index, save_index, Index, IndexEntry};
+use crate::manifest::{chunk_count, manifest_file_name, Manifest, Segment};
+use crate::metrics::StoreMetrics;
+use crate::pack::{pack_file_name, parse_pack_file_name, scan_pack, write_pack};
+use crate::storage::StoreStorage;
+use crate::{StoreError, StoreResult};
+use parking_lot::Mutex;
+use reprocmp_hash::{raw_chunk_digest, Digest128};
+use reprocmp_obs::Registry;
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::{Path, PathBuf};
+
+/// What one [`ChunkStore::ingest`] call did, and the exact ledger for
+/// it: `bytes_logical == bytes_physical + bytes_deduped`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct IngestStats {
+    /// Total chunk references the manifest records.
+    pub chunk_refs: u64,
+    /// Chunks written to a new pack (first occurrence anywhere).
+    pub chunks_stored: u64,
+    /// Chunk references satisfied by already-stored chunks.
+    pub chunks_deduped: u64,
+    /// Logical bytes ingested (sum of segment lengths).
+    pub bytes_logical: u64,
+    /// Chunk payload bytes physically appended.
+    pub bytes_physical: u64,
+    /// Bytes deduplicated away (`logical − physical`).
+    pub bytes_deduped: u64,
+    /// Id of the pack this ingest created, if any chunk was new.
+    pub pack: Option<u32>,
+}
+
+/// What one [`ChunkStore::gc`] sweep reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct GcStats {
+    /// Packs deleted (every chunk at refcount 0).
+    pub packs_deleted: u64,
+    /// Index entries dropped with those packs.
+    pub chunks_dropped: u64,
+    /// Pack file bytes reclaimed.
+    pub bytes_reclaimed: u64,
+}
+
+/// One chunk whose stored bytes no longer hash to their content
+/// address — bit rot, a torn write, or tampering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubFailure {
+    /// Pack file id.
+    pub pack: u32,
+    /// Chunk data offset within the pack.
+    pub data_offset: u64,
+    /// Chunk length.
+    pub len: u32,
+    /// The digest the chunk is filed under.
+    pub expected: Digest128,
+    /// What its bytes hash to now.
+    pub actual: Digest128,
+}
+
+/// Result of a full [`ChunkStore::scrub`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Pack files scanned.
+    pub packs_scanned: u64,
+    /// Chunks re-hashed.
+    pub chunks_scanned: u64,
+    /// Chunks that failed verification.
+    pub failures: Vec<ScrubFailure>,
+}
+
+impl ScrubReport {
+    /// True when every stored chunk verified.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Aggregate store accounting (see [`ChunkStore::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StoreStats {
+    /// Checkpoints (manifests) in the store.
+    pub objects: u64,
+    /// Pack files on disk.
+    pub packs: u64,
+    /// Distinct chunks indexed.
+    pub chunks_unique: u64,
+    /// Total manifest chunk references (sum of refcounts).
+    pub chunk_refs: u64,
+    /// Logical bytes across all manifests.
+    pub bytes_logical: u64,
+    /// Chunk payload bytes across all indexed chunks.
+    pub bytes_physical: u64,
+    /// Bytes saved versus raw capture (`logical − live physical`).
+    pub bytes_deduped: u64,
+    /// Actual pack file bytes on disk (payload + record headers).
+    pub pack_file_bytes: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    index: Index,
+    manifests: BTreeMap<(String, u64), Manifest>,
+    next_pack: u32,
+}
+
+/// A persistent content-addressed chunk store rooted at one directory.
+///
+/// All methods take `&self`; internal state is mutex-guarded, so a
+/// store can be shared behind an `Arc` (e.g. by veloc flush threads).
+#[derive(Debug)]
+pub struct ChunkStore {
+    root: PathBuf,
+    metrics: StoreMetrics,
+    inner: Mutex<Inner>,
+}
+
+impl ChunkStore {
+    /// Opens (creating if absent) the store rooted at `root`, with
+    /// metrics in a private registry.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures, or corrupt manifests/packs.
+    pub fn open(root: &Path) -> StoreResult<Self> {
+        Self::open_observed(root, StoreMetrics::detached())
+    }
+
+    /// As [`ChunkStore::open`], but store traffic is recorded into
+    /// `metrics` — build them with [`StoreMetrics::in_registry`] to
+    /// surface the `store.*` ledger in an external [`Registry`].
+    ///
+    /// Recovery happens here: orphaned `*.tmp` staging files are
+    /// swept, manifests are decoded, and the index is validated
+    /// against them — on any disagreement (missing file, torn state
+    /// from a crash between publish steps) it is rebuilt from the
+    /// authoritative packs + manifests and persisted.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures, or corrupt manifests/packs.
+    pub fn open_observed(root: &Path, metrics: StoreMetrics) -> StoreResult<Self> {
+        let packs_dir = root.join("packs");
+        let manifests_dir = root.join("manifests");
+        std::fs::create_dir_all(&packs_dir)?;
+        std::fs::create_dir_all(&manifests_dir)?;
+        for dir in [root, packs_dir.as_path(), manifests_dir.as_path()] {
+            for entry in std::fs::read_dir(dir)? {
+                let entry = entry?;
+                if entry.file_name().to_string_lossy().ends_with(".tmp") {
+                    std::fs::remove_file(entry.path())?;
+                }
+            }
+        }
+
+        let mut manifests = BTreeMap::new();
+        for entry in std::fs::read_dir(&manifests_dir)? {
+            let entry = entry?;
+            if !entry.file_name().to_string_lossy().ends_with(".manifest") {
+                continue;
+            }
+            let m = Manifest::decode(&std::fs::read(entry.path())?)?;
+            manifests.insert((m.name.clone(), m.version), m);
+        }
+
+        let mut pack_ids = Vec::new();
+        for entry in std::fs::read_dir(&packs_dir)? {
+            let entry = entry?;
+            if let Some(id) = parse_pack_file_name(&entry.file_name().to_string_lossy()) {
+                pack_ids.push(id);
+            }
+        }
+        pack_ids.sort_unstable();
+        let next_pack = pack_ids.last().map_or(0, |&id| id + 1);
+
+        let index_path = root.join("index.bin");
+        let loaded = std::fs::read(&index_path)
+            .ok()
+            .and_then(|bytes| load_index(&bytes).ok())
+            .filter(|index| index_consistent(index, &manifests, &pack_ids));
+        let index = match loaded {
+            Some(index) => index,
+            None => {
+                let rebuilt = rebuild_index(&packs_dir, &pack_ids, &manifests)?;
+                save_index(&index_path, &rebuilt)?;
+                rebuilt
+            }
+        };
+
+        metrics.packs.set(pack_ids.len() as i64);
+        metrics.objects.set(manifests.len() as i64);
+        Ok(ChunkStore {
+            root: root.to_path_buf(),
+            metrics,
+            inner: Mutex::new(Inner {
+                index,
+                manifests,
+                next_pack,
+            }),
+        })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The store's live metric handles.
+    #[must_use]
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    fn packs_dir(&self) -> PathBuf {
+        self.root.join("packs")
+    }
+
+    fn manifests_dir(&self) -> PathBuf {
+        self.root.join("manifests")
+    }
+
+    fn index_path(&self) -> PathBuf {
+        self.root.join("index.bin")
+    }
+
+    /// Ingests one checkpoint as `name`@`version`: segments are split
+    /// into `chunk_bytes`-sized chunks, never-before-seen chunks are
+    /// appended to a fresh pack, and a manifest recording the digest
+    /// sequence is published. `meta` is stored opaquely (pass an
+    /// encoded Merkle tree to skip metadata recomputation on read, or
+    /// `&[]`).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Exists`] when the key is already present (treat
+    /// as success when retrying after a crash);
+    /// [`StoreError::Config`] on an empty/invalid name, zero
+    /// `chunk_bytes`, or zero total bytes; filesystem failures.
+    pub fn ingest(
+        &self,
+        name: &str,
+        version: u64,
+        segments: &[(&str, &[u8])],
+        chunk_bytes: usize,
+        meta: &[u8],
+    ) -> StoreResult<IngestStats> {
+        if name.is_empty() || name.contains(['/', '\\', '\0']) {
+            return Err(StoreError::Config(format!(
+                "invalid checkpoint name {name:?}"
+            )));
+        }
+        if chunk_bytes == 0 || chunk_bytes > u32::MAX as usize {
+            return Err(StoreError::Config(format!(
+                "invalid chunk size {chunk_bytes}"
+            )));
+        }
+        let total: u64 = segments.iter().map(|(_, b)| b.len() as u64).sum();
+        if total == 0 {
+            return Err(StoreError::Config("checkpoint has no bytes".into()));
+        }
+
+        let mut inner = self.inner.lock();
+        let key = (name.to_owned(), version);
+        if inner.manifests.contains_key(&key) {
+            return Err(StoreError::Exists {
+                name: name.to_owned(),
+                version,
+            });
+        }
+
+        // Chunk and address every segment; queue first occurrences of
+        // unknown digests for the new pack.
+        let mut manifest_segments = Vec::with_capacity(segments.len());
+        let mut new_chunks: Vec<(Digest128, &[u8])> = Vec::new();
+        let mut queued: HashSet<Digest128> = HashSet::new();
+        let mut stats = IngestStats {
+            bytes_logical: total,
+            ..IngestStats::default()
+        };
+        for &(seg_name, bytes) in segments {
+            let mut digests =
+                Vec::with_capacity(chunk_count(bytes.len() as u64, chunk_bytes as u32) as usize);
+            for chunk in bytes.chunks(chunk_bytes) {
+                let digest = raw_chunk_digest(chunk);
+                stats.chunk_refs += 1;
+                if inner.index.contains_key(&digest) || queued.contains(&digest) {
+                    stats.chunks_deduped += 1;
+                    stats.bytes_deduped += chunk.len() as u64;
+                } else {
+                    queued.insert(digest);
+                    new_chunks.push((digest, chunk));
+                    stats.chunks_stored += 1;
+                    stats.bytes_physical += chunk.len() as u64;
+                }
+                digests.push(digest);
+            }
+            manifest_segments.push(Segment {
+                name: seg_name.to_owned(),
+                len: bytes.len() as u64,
+                digests,
+            });
+        }
+
+        // Publish step 1: the pack (only if something is new).
+        if !new_chunks.is_empty() {
+            let pack_id = inner.next_pack;
+            let path = self.packs_dir().join(pack_file_name(pack_id));
+            let records = write_pack(&path, &new_chunks)?;
+            for r in records {
+                inner.index.insert(
+                    r.digest,
+                    IndexEntry {
+                        pack: pack_id,
+                        data_offset: r.data_offset,
+                        len: r.len,
+                        refcount: 0,
+                    },
+                );
+            }
+            inner.next_pack += 1;
+            stats.pack = Some(pack_id);
+        }
+
+        // Publish step 2: the manifest.
+        let manifest = Manifest {
+            name: name.to_owned(),
+            version,
+            chunk_bytes: chunk_bytes as u32,
+            meta: meta.to_vec(),
+            segments: manifest_segments,
+        };
+        let manifest_path = self.manifests_dir().join(manifest_file_name(name, version));
+        crate::write_atomic(&manifest_path, &manifest.encode())?;
+
+        // Publish step 3: refcounts + the swapped index.
+        for (digest, _) in manifest.chunk_lens() {
+            if let Some(e) = inner.index.get_mut(&digest) {
+                e.refcount += 1;
+            }
+        }
+        save_index(&self.index_path(), &inner.index)?;
+        inner.manifests.insert(key, manifest);
+
+        self.metrics.chunks_stored.add(stats.chunks_stored);
+        self.metrics.chunks_deduped.add(stats.chunks_deduped);
+        self.metrics.bytes_logical.add(stats.bytes_logical);
+        self.metrics.bytes_physical.add(stats.bytes_physical);
+        self.metrics.bytes_deduped.add(stats.bytes_deduped);
+        if stats.pack.is_some() {
+            self.metrics.packs.add(1);
+        }
+        self.metrics.objects.add(1);
+        Ok(stats)
+    }
+
+    /// True when `name`@`version` is in the store.
+    #[must_use]
+    pub fn contains(&self, name: &str, version: u64) -> bool {
+        self.inner
+            .lock()
+            .manifests
+            .contains_key(&(name.to_owned(), version))
+    }
+
+    /// All `(name, version)` keys, sorted.
+    #[must_use]
+    pub fn objects(&self) -> Vec<(String, u64)> {
+        self.inner.lock().manifests.keys().cloned().collect()
+    }
+
+    /// Versions of `name` in the store, ascending.
+    #[must_use]
+    pub fn versions(&self, name: &str) -> Vec<u64> {
+        self.inner
+            .lock()
+            .manifests
+            .keys()
+            .filter(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .collect()
+    }
+
+    /// The decoded layout of `name`@`version`: segment geometry, the
+    /// opaque metadata blob, and — when every non-final payload
+    /// segment is chunk-aligned — the payload's chunk digest sequence
+    /// (identical to what `raw_leaves` capture would compute).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for unknown keys.
+    pub fn layout(&self, name: &str, version: u64) -> StoreResult<ObjectLayout> {
+        let inner = self.inner.lock();
+        let manifest = inner
+            .manifests
+            .get(&(name.to_owned(), version))
+            .ok_or_else(|| StoreError::NotFound {
+                name: name.to_owned(),
+                version,
+            })?;
+        Ok(ObjectLayout::from_manifest(manifest))
+    }
+
+    /// A positioned-read [`StoreStorage`] over `name`@`version`,
+    /// resolving every byte through the pack index.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for unknown keys; corruption if the
+    /// index lost a referenced chunk.
+    pub fn reader(&self, name: &str, version: u64) -> StoreResult<StoreStorage> {
+        let inner = self.inner.lock();
+        let manifest = inner
+            .manifests
+            .get(&(name.to_owned(), version))
+            .ok_or_else(|| StoreError::NotFound {
+                name: name.to_owned(),
+                version,
+            })?;
+        let index = &inner.index;
+        StoreStorage::from_manifest(manifest, &self.packs_dir(), &|d| index.get(&d).copied())
+    }
+
+    /// Reassembles the full original bytes of `name`@`version`
+    /// (header segments + regions, in order).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for unknown keys; read failures.
+    pub fn materialize(&self, name: &str, version: u64) -> StoreResult<Vec<u8>> {
+        let storage = self.reader(name, version)?;
+        let mut bytes = vec![0u8; reprocmp_io::Storage::len(&storage) as usize];
+        reprocmp_io::Storage::read_at(&storage, 0, &mut bytes)?;
+        Ok(bytes)
+    }
+
+    /// Drops `name`@`version`: deletes its manifest and decrements the
+    /// refcount of every chunk it referenced. Physical bytes are
+    /// reclaimed later, by [`ChunkStore::gc`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for unknown keys; filesystem failures.
+    pub fn remove(&self, name: &str, version: u64) -> StoreResult<()> {
+        let mut inner = self.inner.lock();
+        let key = (name.to_owned(), version);
+        let Some(manifest) = inner.manifests.remove(&key) else {
+            return Err(StoreError::NotFound {
+                name: name.to_owned(),
+                version,
+            });
+        };
+        for (digest, _) in manifest.chunk_lens() {
+            if let Some(e) = inner.index.get_mut(&digest) {
+                e.refcount = e.refcount.saturating_sub(1);
+            }
+        }
+        let path = self.manifests_dir().join(manifest_file_name(name, version));
+        std::fs::remove_file(path)?;
+        save_index(&self.index_path(), &inner.index)?;
+        self.metrics.objects.add(-1);
+        Ok(())
+    }
+
+    /// Refcount sweep: deletes every pack whose chunks all sit at
+    /// refcount 0 and swaps in an index without their entries. The
+    /// index swap happens *before* the pack files are unlinked, so a
+    /// crash mid-sweep leaves only orphan packs that the next sweep
+    /// (after an `open` rebuild) reclaims — never an index pointing at
+    /// missing data.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn gc(&self) -> StoreResult<GcStats> {
+        let mut inner = self.inner.lock();
+        let mut live: HashSet<u32> = HashSet::new();
+        let mut by_pack: HashMap<u32, u64> = HashMap::new();
+        for e in inner.index.values() {
+            *by_pack.entry(e.pack).or_default() += 1;
+            if e.refcount > 0 {
+                live.insert(e.pack);
+            }
+        }
+        let dead: Vec<u32> = by_pack
+            .keys()
+            .filter(|p| !live.contains(p))
+            .copied()
+            .collect();
+        if dead.is_empty() {
+            return Ok(GcStats::default());
+        }
+        let dead_set: HashSet<u32> = dead.iter().copied().collect();
+        let mut stats = GcStats::default();
+        inner.index.retain(|_, e| {
+            if dead_set.contains(&e.pack) {
+                stats.chunks_dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        save_index(&self.index_path(), &inner.index)?;
+        for id in &dead {
+            let path = self.packs_dir().join(pack_file_name(*id));
+            if let Ok(meta) = std::fs::metadata(&path) {
+                stats.bytes_reclaimed += meta.len();
+            }
+            std::fs::remove_file(&path)?;
+            stats.packs_deleted += 1;
+        }
+        self.metrics.gc_packs.add(stats.packs_deleted);
+        self.metrics.gc_reclaimed_bytes.add(stats.bytes_reclaimed);
+        self.metrics.packs.add(-(stats.packs_deleted as i64));
+        Ok(stats)
+    }
+
+    /// Bit-rot detection: re-reads every pack and re-hashes every
+    /// chunk against the digest it is filed under.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures, or a pack whose record table no longer
+    /// parses (structural corruption beyond a flipped payload bit).
+    pub fn scrub(&self) -> StoreResult<ScrubReport> {
+        let inner = self.inner.lock();
+        let mut report = ScrubReport::default();
+        let mut pack_ids: Vec<u32> = Vec::new();
+        for entry in std::fs::read_dir(self.packs_dir())? {
+            let entry = entry?;
+            if let Some(id) = parse_pack_file_name(&entry.file_name().to_string_lossy()) {
+                pack_ids.push(id);
+            }
+        }
+        pack_ids.sort_unstable();
+        drop(inner);
+        for id in pack_ids {
+            let bytes = std::fs::read(self.packs_dir().join(pack_file_name(id)))?;
+            let records = scan_pack(&bytes)?;
+            report.packs_scanned += 1;
+            for r in records {
+                report.chunks_scanned += 1;
+                let actual = raw_chunk_digest(&bytes[r.data_offset as usize..][..r.len as usize]);
+                if actual != r.digest {
+                    report.failures.push(ScrubFailure {
+                        pack: id,
+                        data_offset: r.data_offset,
+                        len: r.len,
+                        expected: r.digest,
+                        actual,
+                    });
+                }
+            }
+        }
+        self.metrics.scrub_chunks.add(report.chunks_scanned);
+        self.metrics
+            .scrub_failures
+            .add(report.failures.len() as u64);
+        Ok(report)
+    }
+
+    /// Aggregate accounting over the store's current contents.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        let mut s = StoreStats {
+            objects: inner.manifests.len() as u64,
+            ..StoreStats::default()
+        };
+        let mut packs: HashSet<u32> = HashSet::new();
+        let mut bytes_live = 0u64;
+        for e in inner.index.values() {
+            s.chunks_unique += 1;
+            s.chunk_refs += u64::from(e.refcount);
+            s.bytes_physical += u64::from(e.len);
+            if e.refcount > 0 {
+                bytes_live += u64::from(e.len);
+            }
+            packs.insert(e.pack);
+        }
+        s.packs = packs.len() as u64;
+        for m in inner.manifests.values() {
+            s.bytes_logical += m.total_len();
+        }
+        s.bytes_deduped = s.bytes_logical.saturating_sub(bytes_live);
+        drop(inner);
+        if let Ok(entries) = std::fs::read_dir(self.packs_dir()) {
+            s.pack_file_bytes = entries
+                .filter_map(Result::ok)
+                .filter(|e| parse_pack_file_name(&e.file_name().to_string_lossy()).is_some())
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum();
+        }
+        s
+    }
+}
+
+/// Re-opens the store with fresh metrics in `registry` — a convenience
+/// for CLI commands that want the `store.*` ledger rendered.
+///
+/// # Errors
+///
+/// As [`ChunkStore::open`].
+pub fn open_in_registry(root: &Path, registry: &Registry) -> StoreResult<ChunkStore> {
+    ChunkStore::open_observed(root, StoreMetrics::in_registry(registry, "store"))
+}
+
+/// Decoded geometry of one stored checkpoint (see
+/// [`ChunkStore::layout`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectLayout {
+    /// Checkpoint name.
+    pub name: String,
+    /// Checkpoint version.
+    pub version: u64,
+    /// Chunk size the checkpoint was ingested under.
+    pub chunk_bytes: u32,
+    /// Total byte length (headers + payload).
+    pub total_len: u64,
+    /// Byte offset where the payload starts (after leading
+    /// [`crate::HEADER_SEGMENT`] segments).
+    pub payload_offset: u64,
+    /// Opaque metadata blob stored at ingest (possibly empty).
+    pub meta: Vec<u8>,
+    /// Every segment's `(name, byte length)`, in file order.
+    pub segments: Vec<(String, u64)>,
+    /// The payload's chunk digest sequence under `chunk_bytes`
+    /// chunking — `Some` only when every non-final payload segment
+    /// length is a multiple of `chunk_bytes`, i.e. when concatenating
+    /// the per-segment sequences equals chunking the flat payload.
+    pub payload_chunk_digests: Option<Vec<Digest128>>,
+}
+
+impl ObjectLayout {
+    fn from_manifest(m: &Manifest) -> Self {
+        let payload: Vec<&Segment> = m
+            .segments
+            .iter()
+            .skip_while(|s| s.name == crate::HEADER_SEGMENT)
+            .collect();
+        let aligned = payload
+            .iter()
+            .take(payload.len().saturating_sub(1))
+            .all(|s| s.len % u64::from(m.chunk_bytes) == 0);
+        let payload_chunk_digests = aligned.then(|| {
+            payload
+                .iter()
+                .flat_map(|s| s.digests.iter().copied())
+                .collect()
+        });
+        ObjectLayout {
+            name: m.name.clone(),
+            version: m.version,
+            chunk_bytes: m.chunk_bytes,
+            total_len: m.total_len(),
+            payload_offset: m.payload_offset(),
+            meta: m.meta.clone(),
+            segments: m.segments.iter().map(|s| (s.name.clone(), s.len)).collect(),
+            payload_chunk_digests,
+        }
+    }
+
+    /// Payload length in bytes.
+    #[must_use]
+    pub fn payload_len(&self) -> u64 {
+        self.total_len - self.payload_offset
+    }
+}
+
+/// Does the on-disk index agree with the authoritative state? It must
+/// cover every manifest-referenced digest, point only at packs that
+/// exist, and cover every pack on disk (an uncovered pack is the
+/// orphan left by a crash mid-ingest — rebuilding indexes its chunks
+/// at refcount 0 so GC can reclaim it).
+fn index_consistent(
+    index: &Index,
+    manifests: &BTreeMap<(String, u64), Manifest>,
+    pack_ids: &[u32],
+) -> bool {
+    let on_disk: HashSet<u32> = pack_ids.iter().copied().collect();
+    let referenced: HashSet<u32> = index.values().map(|e| e.pack).collect();
+    if referenced != on_disk {
+        return false;
+    }
+    manifests.values().all(|m| {
+        m.segments
+            .iter()
+            .flat_map(|s| s.digests.iter())
+            .all(|d| index.contains_key(d))
+    })
+}
+
+/// Rebuilds the index from first principles: chunk locations from pack
+/// record tables, refcounts from manifest references.
+fn rebuild_index(
+    packs_dir: &Path,
+    pack_ids: &[u32],
+    manifests: &BTreeMap<(String, u64), Manifest>,
+) -> StoreResult<Index> {
+    let mut index = Index::new();
+    for &id in pack_ids {
+        let bytes = std::fs::read(packs_dir.join(pack_file_name(id)))?;
+        for r in scan_pack(&bytes)? {
+            index.insert(
+                r.digest,
+                IndexEntry {
+                    pack: id,
+                    data_offset: r.data_offset,
+                    len: r.len,
+                    refcount: 0,
+                },
+            );
+        }
+    }
+    for m in manifests.values() {
+        for (digest, len) in m.chunk_lens() {
+            match index.get_mut(&digest) {
+                Some(e) if e.len == len => e.refcount += 1,
+                Some(e) => {
+                    return Err(StoreError::Corrupt(format!(
+                        "digest {digest:?} stored as {} bytes but {}@{} references {len}",
+                        e.len, m.name, m.version
+                    )))
+                }
+                None => {
+                    return Err(StoreError::Corrupt(format!(
+                        "manifest {}@{} references digest {digest:?} absent from every pack",
+                        m.name, m.version
+                    )))
+                }
+            }
+        }
+    }
+    Ok(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("reprocmp-store-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        root
+    }
+
+    fn payload(n: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ingest_materialize_round_trip_and_exact_ledger() {
+        let root = temp_root("roundtrip");
+        let store = ChunkStore::open(&root).unwrap();
+        let header = payload(26, 1);
+        let x = payload(5000, 2);
+        let y = payload(3000, 3);
+        let stats = store
+            .ingest(
+                "ck",
+                1,
+                &[(crate::HEADER_SEGMENT, &header), ("x", &x), ("y", &y)],
+                256,
+                b"meta-blob",
+            )
+            .unwrap();
+        assert_eq!(stats.bytes_logical, 8026);
+        assert_eq!(
+            stats.bytes_logical,
+            stats.bytes_physical + stats.bytes_deduped
+        );
+        assert_eq!(stats.chunk_refs, stats.chunks_stored + stats.chunks_deduped);
+        let mut expect = header.clone();
+        expect.extend_from_slice(&x);
+        expect.extend_from_slice(&y);
+        assert_eq!(store.materialize("ck", 1).unwrap(), expect);
+        let layout = store.layout("ck", 1).unwrap();
+        assert_eq!(layout.payload_offset, 26);
+        assert_eq!(layout.payload_len(), 8000);
+        assert_eq!(layout.meta, b"meta-blob");
+        assert_eq!(
+            layout.segments,
+            vec![
+                (crate::HEADER_SEGMENT.to_owned(), 26),
+                ("x".to_owned(), 5000),
+                ("y".to_owned(), 3000)
+            ]
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn identical_reingestion_stores_zero_new_bytes() {
+        let root = temp_root("dedup");
+        let store = ChunkStore::open(&root).unwrap();
+        let data = payload(10_000, 42);
+        let first = store.ingest("it", 1, &[("x", &data)], 512, &[]).unwrap();
+        assert_eq!(first.bytes_physical, 10_000);
+        assert_eq!(first.chunks_deduped, 0);
+        let second = store.ingest("it", 2, &[("x", &data)], 512, &[]).unwrap();
+        assert_eq!(second.bytes_physical, 0, "all chunks already stored");
+        assert_eq!(second.bytes_deduped, 10_000);
+        assert_eq!(second.pack, None, "no pack created for a pure-dup ingest");
+        assert_eq!(
+            second.bytes_logical,
+            second.bytes_physical + second.bytes_deduped
+        );
+        // The store-wide ledger is exact too.
+        let m = store.metrics();
+        assert_eq!(
+            m.bytes_logical.get(),
+            m.bytes_physical.get() + m.bytes_deduped.get()
+        );
+        assert_eq!(store.materialize("it", 2).unwrap(), data);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn duplicate_key_is_exists_error() {
+        let root = temp_root("exists");
+        let store = ChunkStore::open(&root).unwrap();
+        let data = payload(100, 5);
+        store.ingest("a", 1, &[("x", &data)], 64, &[]).unwrap();
+        assert!(matches!(
+            store.ingest("a", 1, &[("x", &data)], 64, &[]),
+            Err(StoreError::Exists { .. })
+        ));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn config_errors_are_rejected() {
+        let root = temp_root("config");
+        let store = ChunkStore::open(&root).unwrap();
+        let data = payload(10, 1);
+        assert!(matches!(
+            store.ingest("", 1, &[("x", &data)], 64, &[]),
+            Err(StoreError::Config(_))
+        ));
+        assert!(matches!(
+            store.ingest("a/b", 1, &[("x", &data)], 64, &[]),
+            Err(StoreError::Config(_))
+        ));
+        assert!(matches!(
+            store.ingest("a", 1, &[("x", &data)], 0, &[]),
+            Err(StoreError::Config(_))
+        ));
+        assert!(matches!(
+            store.ingest("a", 1, &[], 64, &[]),
+            Err(StoreError::Config(_))
+        ));
+        assert!(matches!(
+            store.materialize("ghost", 9),
+            Err(StoreError::NotFound { .. })
+        ));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn remove_then_gc_reclaims_unshared_packs_only() {
+        let root = temp_root("gc");
+        let store = ChunkStore::open(&root).unwrap();
+        let shared = payload(4096, 7);
+        let unique1 = payload(4096, 8);
+        let unique2 = payload(4096, 9);
+        let mut run1 = shared.clone();
+        run1.extend_from_slice(&unique1);
+        let mut run2 = shared.clone();
+        run2.extend_from_slice(&unique2);
+        store.ingest("r1", 1, &[("x", &run1)], 256, &[]).unwrap();
+        store.ingest("r2", 1, &[("x", &run2)], 256, &[]).unwrap();
+        // Nothing unreferenced yet: gc is a no-op.
+        assert_eq!(store.gc().unwrap(), GcStats::default());
+        store.remove("r1", 1).unwrap();
+        let gc = store.gc().unwrap();
+        // r1's pack held `shared`+`unique1`; `shared` is still
+        // referenced by r2, so that pack must survive. Nothing is
+        // reclaimable until r2 goes too.
+        assert_eq!(gc.packs_deleted, 0);
+        assert_eq!(store.materialize("r2", 1).unwrap(), run2, "survivor intact");
+        store.remove("r2", 1).unwrap();
+        let gc = store.gc().unwrap();
+        assert_eq!(gc.packs_deleted, 2);
+        assert!(gc.bytes_reclaimed > 0);
+        assert_eq!(store.stats().chunks_unique, 0);
+        assert_eq!(store.metrics().gc_packs.get(), 2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn gc_reclaims_fully_dead_pack_while_live_data_survives() {
+        let root = temp_root("gc2");
+        let store = ChunkStore::open(&root).unwrap();
+        let a = payload(2048, 11);
+        let b = payload(2048, 12);
+        store.ingest("a", 1, &[("x", &a)], 256, &[]).unwrap();
+        store.ingest("b", 1, &[("x", &b)], 256, &[]).unwrap();
+        store.remove("a", 1).unwrap();
+        let gc = store.gc().unwrap();
+        assert_eq!(gc.packs_deleted, 1, "a's pack is fully unreferenced");
+        assert_eq!(gc.chunks_dropped, 8);
+        assert_eq!(store.materialize("b", 1).unwrap(), b);
+        assert!(store.scrub().unwrap().is_clean());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn scrub_detects_a_single_bit_flip() {
+        let root = temp_root("scrub");
+        let store = ChunkStore::open(&root).unwrap();
+        let data = payload(4096, 21);
+        store.ingest("s", 1, &[("x", &data)], 512, &[]).unwrap();
+        assert!(store.scrub().unwrap().is_clean());
+        // Flip one bit in the middle of the first pack's chunk data.
+        let pack_path = root.join("packs").join(pack_file_name(0));
+        let mut bytes = std::fs::read(&pack_path).unwrap();
+        let victim = bytes.len() / 2;
+        bytes[victim] ^= 0x10;
+        std::fs::write(&pack_path, &bytes).unwrap();
+        let report = store.scrub().unwrap();
+        assert_eq!(report.failures.len(), 1, "exactly one chunk is corrupt");
+        assert_eq!(report.failures[0].pack, 0);
+        assert_eq!(store.metrics().scrub_failures.get(), 1);
+        assert_eq!(report.chunks_scanned, 8);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn reopen_restores_state_and_rebuilds_a_lost_index() {
+        let root = temp_root("reopen");
+        let data = payload(3000, 31);
+        {
+            let store = ChunkStore::open(&root).unwrap();
+            store.ingest("p", 1, &[("x", &data)], 128, &[]).unwrap();
+            store.ingest("p", 2, &[("x", &data)], 128, &[]).unwrap();
+        }
+        // Clean reopen.
+        {
+            let store = ChunkStore::open(&root).unwrap();
+            assert_eq!(store.objects(), vec![("p".into(), 1), ("p".into(), 2)]);
+            assert_eq!(store.materialize("p", 2).unwrap(), data);
+            let stats = store.stats();
+            assert_eq!(stats.objects, 2);
+            assert_eq!(stats.bytes_logical, 6000);
+            assert_eq!(stats.bytes_physical, 3000);
+            assert_eq!(stats.bytes_deduped, 3000);
+        }
+        // Torn state: the index vanished (crash before step 3). Open
+        // rebuilds it from packs + manifests.
+        std::fs::remove_file(root.join("index.bin")).unwrap();
+        {
+            let store = ChunkStore::open(&root).unwrap();
+            assert_eq!(store.materialize("p", 1).unwrap(), data);
+            assert_eq!(store.stats().chunk_refs, 2 * 24); // ceil(3000/128)=24 per manifest
+        }
+        // Orphan .tmp files are swept.
+        std::fs::write(root.join("index.bin.tmp"), b"torn").unwrap();
+        std::fs::write(root.join("packs").join("pack-000099.pack.tmp"), b"torn").unwrap();
+        {
+            let _store = ChunkStore::open(&root).unwrap();
+            assert!(!root.join("index.bin.tmp").exists());
+            assert!(!root.join("packs").join("pack-000099.pack.tmp").exists());
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn orphan_pack_from_a_crashed_ingest_is_reclaimed() {
+        let root = temp_root("orphan");
+        let data = payload(1024, 41);
+        {
+            let store = ChunkStore::open(&root).unwrap();
+            store.ingest("ok", 1, &[("x", &data)], 128, &[]).unwrap();
+        }
+        // Simulate a crash between pack publish and manifest publish:
+        // a pack exists that no manifest references.
+        let orphan = payload(1024, 42);
+        let chunks: Vec<(Digest128, &[u8])> = orphan
+            .chunks(128)
+            .map(|c| (raw_chunk_digest(c), c))
+            .collect();
+        write_pack(&root.join("packs").join(pack_file_name(7)), &chunks).unwrap();
+        let store = ChunkStore::open(&root).unwrap();
+        // The orphan's chunks are indexed at refcount 0 and its pack id
+        // is reserved, so the next ingest can't collide with it.
+        let gc = store.gc().unwrap();
+        assert_eq!(gc.packs_deleted, 1);
+        assert_eq!(store.materialize("ok", 1).unwrap(), data);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn layout_exposes_aligned_payload_digests() {
+        let root = temp_root("layout");
+        let store = ChunkStore::open(&root).unwrap();
+        let header = payload(26, 1);
+        let x = payload(512, 2); // multiple of 128
+        let y = payload(300, 3); // final segment may be ragged
+        store
+            .ingest(
+                "al",
+                1,
+                &[(crate::HEADER_SEGMENT, &header), ("x", &x), ("y", &y)],
+                128,
+                &[],
+            )
+            .unwrap();
+        let layout = store.layout("al", 1).unwrap();
+        let digests = layout.payload_chunk_digests.expect("aligned payload");
+        let mut flat = x.clone();
+        flat.extend_from_slice(&y);
+        let expect: Vec<Digest128> = flat.chunks(128).map(raw_chunk_digest).collect();
+        assert_eq!(digests, expect);
+        // A ragged middle segment kills the equivalence.
+        store
+            .ingest(
+                "rag",
+                1,
+                &[("x", &payload(100, 4)), ("y", &payload(100, 5))],
+                64,
+                &[],
+            )
+            .unwrap();
+        assert!(store
+            .layout("rag", 1)
+            .unwrap()
+            .payload_chunk_digests
+            .is_none());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn stats_ledger_matches_metrics_across_many_ingests() {
+        let root = temp_root("ledger");
+        let registry = Registry::new();
+        let store = open_in_registry(&root, &registry).unwrap();
+        let base = payload(8192, 50);
+        for v in 1..=4u64 {
+            let mut data = base.clone();
+            // Each version perturbs a different 256-byte window.
+            let at = (v as usize - 1) * 2048;
+            data[at..at + 256].copy_from_slice(&payload(256, 100 + v));
+            store.ingest("run", v, &[("x", &data)], 256, &[]).unwrap();
+        }
+        let logical = registry.counter("store.bytes_logical").get();
+        let physical = registry.counter("store.bytes_physical").get();
+        let deduped = registry.counter("store.bytes_deduped").get();
+        assert_eq!(logical, 4 * 8192);
+        assert_eq!(logical, physical + deduped, "ledger is exact");
+        assert!(physical < logical, "dedup saved something");
+        let s = store.stats();
+        assert_eq!(s.bytes_logical, logical);
+        assert_eq!(s.bytes_physical, physical);
+        assert_eq!(registry.gauge("store.objects").get(), 4);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests of the chunk store: ingest→materialize round-trips,
+//! dedup convergence on identical iterations, and GC never breaking a
+//! surviving manifest.
+
+use proptest::prelude::*;
+use reprocmp_store::{ChunkStore, HEADER_SEGMENT};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NEXT: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh store root unique across processes and proptest cases.
+fn temp_root(tag: &str) -> PathBuf {
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let root = std::env::temp_dir().join(format!(
+        "reprocmp-store-prop-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&root).ok();
+    root
+}
+
+fn segment_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_map(|s| s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary region layouts round-trip byte-exactly through
+    /// ingest → materialize, for any chunk size.
+    #[test]
+    fn ingest_materialize_round_trips(
+        names in proptest::collection::vec(segment_name(), 1..5),
+        lens in proptest::collection::vec(1usize..600, 1..5),
+        header_len in 0usize..64,
+        chunk_bytes in 1usize..300,
+        seed in any::<u8>(),
+    ) {
+        let root = temp_root("roundtrip");
+        let store = ChunkStore::open(&root).unwrap();
+        let mut uniq = names;
+        uniq.sort();
+        uniq.dedup();
+        let header: Vec<u8> = (0..header_len).map(|i| (i as u8) ^ seed).collect();
+        let regions: Vec<(String, Vec<u8>)> = uniq
+            .into_iter()
+            .zip(lens)
+            .map(|(n, len)| {
+                let bytes = (0..len)
+                    .map(|i| (i as u8).wrapping_mul(37).wrapping_add(seed))
+                    .collect();
+                (n, bytes)
+            })
+            .collect();
+        let mut segments: Vec<(&str, &[u8])> = Vec::new();
+        if !header.is_empty() {
+            segments.push((HEADER_SEGMENT, &header));
+        }
+        for (n, b) in &regions {
+            segments.push((n.as_str(), b.as_slice()));
+        }
+        let stats = store.ingest("ck", 1, &segments, chunk_bytes, b"m").unwrap();
+        prop_assert_eq!(
+            stats.bytes_logical,
+            stats.bytes_physical + stats.bytes_deduped
+        );
+        let mut expect = header.clone();
+        for (_, b) in &regions {
+            expect.extend_from_slice(b);
+        }
+        prop_assert_eq!(store.materialize("ck", 1).unwrap(), expect);
+        let layout = store.layout("ck", 1).unwrap();
+        prop_assert_eq!(layout.payload_offset, header.len() as u64);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Ingesting the identical payload as consecutive iterations stores
+    /// physical bytes only once: every iteration after the first
+    /// re-references the same chunk set and writes no pack.
+    #[test]
+    fn identical_iterations_converge_to_one_chunk_set(
+        len in 1usize..4000,
+        chunk_bytes in 1usize..512,
+        iterations in 2u64..5,
+        seed in any::<u8>(),
+    ) {
+        let root = temp_root("dedup");
+        let store = ChunkStore::open(&root).unwrap();
+        let data: Vec<u8> = (0..len)
+            .map(|i| (i as u8).wrapping_mul(13).wrapping_add(seed))
+            .collect();
+        let first = store.ingest("it", 1, &[("x", &data)], chunk_bytes, &[]).unwrap();
+        for v in 2..=iterations {
+            let s = store.ingest("it", v, &[("x", &data)], chunk_bytes, &[]).unwrap();
+            prop_assert_eq!(s.bytes_physical, 0);
+            prop_assert_eq!(s.chunks_stored, 0);
+            prop_assert_eq!(s.pack, None);
+            prop_assert_eq!(s.bytes_deduped, len as u64);
+        }
+        let stats = store.stats();
+        prop_assert_eq!(stats.chunks_unique, first.chunks_stored);
+        prop_assert_eq!(stats.bytes_logical, len as u64 * iterations);
+        prop_assert_eq!(stats.bytes_physical, first.bytes_physical);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Removing one run and garbage-collecting never corrupts a
+    /// surviving manifest, no matter how the two runs' bytes overlap.
+    #[test]
+    fn gc_after_remove_preserves_survivors(
+        shared_len in 0usize..2000,
+        a_len in 1usize..2000,
+        b_len in 1usize..2000,
+        chunk_bytes in 1usize..256,
+        seed in any::<u8>(),
+    ) {
+        let root = temp_root("gc");
+        let store = ChunkStore::open(&root).unwrap();
+        let gen = |n: usize, salt: u8| -> Vec<u8> {
+            (0..n)
+                .map(|i| (i as u8).wrapping_mul(29).wrapping_add(seed ^ salt))
+                .collect()
+        };
+        let shared = gen(shared_len, 0);
+        let mut run_a = shared.clone();
+        run_a.extend_from_slice(&gen(a_len, 0x55));
+        let mut run_b = shared.clone();
+        run_b.extend_from_slice(&gen(b_len, 0xAA));
+        store.ingest("a", 1, &[("x", &run_a)], chunk_bytes, &[]).unwrap();
+        store.ingest("b", 1, &[("x", &run_b)], chunk_bytes, &[]).unwrap();
+        store.remove("a", 1).unwrap();
+        store.gc().unwrap();
+        prop_assert_eq!(store.materialize("b", 1).unwrap(), run_b);
+        prop_assert!(store.scrub().unwrap().is_clean());
+        // And after a fresh reopen, too.
+        drop(store);
+        let store = ChunkStore::open(&root).unwrap();
+        prop_assert_eq!(store.materialize("b", 1).unwrap(), run_b);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -13,6 +13,7 @@ use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use reprocmp_io::RetryPolicy;
 use reprocmp_obs::{Counter, Histogram, Registry};
+use reprocmp_store::{ChunkStore, StoreError, HEADER_SEGMENT};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -33,10 +34,20 @@ pub struct VelocConfig {
     /// `flush_retry.max_attempts` times with real backoff sleeps before
     /// the checkpoint is marked [`CheckpointState::Failed`].
     pub flush_retry: RetryPolicy,
+    /// Optional persistent capture store. When set, every successful
+    /// flush also ingests the checkpoint into the store, content-
+    /// addressed and deduplicated against every earlier version and
+    /// run; [`Client::recover`], [`Client::versions`], and
+    /// [`Client::restart_latest`] then treat store-resident versions as
+    /// durable even if the flat PFS copy is gone.
+    pub store: Option<Arc<ChunkStore>>,
+    /// Chunk size for store ingestion (ignored without a store).
+    pub store_chunk_bytes: usize,
 }
 
 impl VelocConfig {
-    /// A config rooted at `base`, with `base/scratch` and `base/pfs`.
+    /// A config rooted at `base`, with `base/scratch` and `base/pfs`,
+    /// no capture store.
     #[must_use]
     pub fn rooted_at(base: &Path) -> Self {
         VelocConfig {
@@ -44,7 +55,16 @@ impl VelocConfig {
             persistent_dir: base.join("pfs"),
             flush_threads: 2,
             flush_retry: RetryPolicy::with_attempts(3),
+            store: None,
+            store_chunk_bytes: 4096,
         }
+    }
+
+    /// This config with flushes also captured into `store`.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<ChunkStore>) -> Self {
+        self.store = Some(store);
+        self
     }
 }
 
@@ -225,13 +245,18 @@ impl Client {
         let (tx, rx) = unbounded::<(Key, PathBuf, PathBuf)>();
         let mut flushers = Vec::new();
         let retry = config.flush_retry;
+        let chunk_bytes = config.store_chunk_bytes;
         for _ in 0..config.flush_threads.max(1) {
             let rx = rx.clone();
             let tracker = Arc::clone(&tracker);
             let metrics = metrics.clone();
+            let store = config.store.clone();
             flushers.push(std::thread::spawn(move || {
                 while let Ok((key, from, to)) = rx.recv() {
                     let ok = flush_file(&from, &to, &retry, &metrics);
+                    if ok {
+                        capture_into_store(store.as_deref(), &key, &to, chunk_bytes);
+                    }
                     let mut states = tracker.states.lock();
                     states.insert(
                         key,
@@ -321,6 +346,14 @@ impl Client {
                 .is_err()
             {
                 let ok = flush_file(&local, &remote, &self.config.flush_retry, &self.metrics);
+                if ok {
+                    capture_into_store(
+                        self.config.store.as_deref(),
+                        &key,
+                        &remote,
+                        self.config.store_chunk_bytes,
+                    );
+                }
                 self.tracker.states.lock().insert(
                     key,
                     if ok {
@@ -340,10 +373,11 @@ impl Client {
     /// Removes orphaned `*.tmp` files left by flushes that were
     /// interrupted mid-copy (the atomic rename never happened, so the
     /// persistent tier holds no torn checkpoint), then scans the
-    /// scratch tier: every checkpoint already durable is adopted as
-    /// [`CheckpointState::Flushed`]; every local-only checkpoint is
-    /// re-enqueued for background flush. Returns the re-enqueued
-    /// `(name, version)` keys, sorted.
+    /// scratch tier: every checkpoint already durable — as a flat PFS
+    /// file *or* as a capture-store manifest when a store is
+    /// configured — is adopted as [`CheckpointState::Flushed`]; every
+    /// local-only checkpoint is re-enqueued for background flush.
+    /// Returns the re-enqueued `(name, version)` keys, sorted.
     ///
     /// # Errors
     ///
@@ -366,7 +400,12 @@ impl Client {
             };
             let key = (name.clone(), version);
             let remote = self.persistent_path(&name, version);
-            if remote.exists() {
+            let store_durable = self
+                .config
+                .store
+                .as_deref()
+                .is_some_and(|s| s.contains(&name, version));
+            if remote.exists() || store_durable {
                 self.tracker
                     .states
                     .lock()
@@ -378,13 +417,24 @@ impl Client {
                     .lock()
                     .insert(key.clone(), CheckpointState::Local);
                 if let Some(tx) = &self.flush_tx {
-                    if tx.send((key, entry.path(), remote.clone())).is_err() {
+                    if tx
+                        .send((key.clone(), entry.path(), remote.clone()))
+                        .is_err()
+                    {
                         let ok = flush_file(
                             &entry.path(),
                             &remote,
                             &self.config.flush_retry,
                             &self.metrics,
                         );
+                        if ok {
+                            capture_into_store(
+                                self.config.store.as_deref(),
+                                &key,
+                                &remote,
+                                self.config.store_chunk_bytes,
+                            );
+                        }
                         self.tracker.states.lock().insert(
                             (name.clone(), version),
                             if ok {
@@ -486,7 +536,9 @@ impl Client {
         Ok(())
     }
 
-    /// Versions of `name` present on the persistent tier, ascending.
+    /// Versions of `name` durable on the persistent tier — the union
+    /// of flat PFS files and capture-store manifests when a store is
+    /// configured — ascending.
     ///
     /// # Errors
     ///
@@ -506,13 +558,19 @@ impl Client {
                 }
             }
         }
+        if let Some(store) = self.config.store.as_deref() {
+            versions.extend(store.versions(name));
+        }
         versions.sort_unstable();
+        versions.dedup();
         Ok(versions)
     }
 
     /// Restores the newest durable version of `name`, returning the
     /// version and each region's values by name; `Ok(None)` when no
-    /// version exists.
+    /// version exists. Prefers the flat PFS file; a version whose flat
+    /// copy is gone but that lives in the capture store is materialized
+    /// from its packs byte-exactly.
     ///
     /// # Errors
     ///
@@ -521,7 +579,19 @@ impl Client {
         let Some(&version) = self.versions(name)?.last() else {
             return Ok(None);
         };
-        let bytes = std::fs::read(self.persistent_path(name, version))?;
+        let flat = self.persistent_path(name, version);
+        let bytes = if flat.exists() {
+            std::fs::read(flat)?
+        } else {
+            let store = self
+                .config
+                .store
+                .as_deref()
+                .expect("version listed only when a tier holds it");
+            store
+                .materialize(name, version)
+                .map_err(|e| VelocError::Io(store_io_error(e)))?
+        };
         let file = decode_checkpoint(&bytes)?;
         let mut regions = HashMap::new();
         for r in &file.regions {
@@ -538,6 +608,39 @@ impl Drop for Client {
             let _ = h.join();
         }
     }
+}
+
+/// Flattens a store failure into `std::io::Error` for [`VelocError::Io`].
+fn store_io_error(e: StoreError) -> std::io::Error {
+    match e {
+        StoreError::Io(io) => io,
+        other => std::io::Error::other(other.to_string()),
+    }
+}
+
+/// Ingests a freshly flushed checkpoint into the capture store, one
+/// segment per region plus a leading header segment, so identical
+/// regions across versions and runs are stored once. Best-effort: the
+/// checkpoint is already durable on the PFS, so a store failure is
+/// swallowed (the next `ingest` CLI run or flush retries it) and an
+/// already-present version (crash-recovery re-flush) counts as done.
+fn capture_into_store(store: Option<&ChunkStore>, key: &Key, flushed: &Path, chunk_bytes: usize) {
+    let Some(store) = store else { return };
+    let (name, version) = key;
+    let Ok(bytes) = std::fs::read(flushed) else {
+        return;
+    };
+    let Ok(file) = decode_checkpoint(&bytes) else {
+        return;
+    };
+    let mut segments: Vec<(&str, &[u8])> =
+        vec![(HEADER_SEGMENT, &bytes[..file.payload_offset as usize])];
+    for region in &file.regions {
+        let start = (file.payload_offset + region.value_offset * 4) as usize;
+        let len = (region.count * 4) as usize;
+        segments.push((region.name.as_str(), &bytes[start..start + len]));
+    }
+    let _ = store.ingest(name, *version, &segments, chunk_bytes, &[]);
 }
 
 /// `to` with `.tmp` appended to its extension.
@@ -834,6 +937,83 @@ mod tests {
             !pfs.join("sim.v000003.ckpt.tmp").exists(),
             "orphaned temporary swept"
         );
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    fn temp_store_client(tag: &str) -> (Client, Arc<ChunkStore>, PathBuf) {
+        let base =
+            std::env::temp_dir().join(format!("reprocmp-veloc-store-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let store = Arc::new(ChunkStore::open(&base.join("store")).unwrap());
+        let config = VelocConfig {
+            store_chunk_bytes: 256,
+            ..VelocConfig::rooted_at(&base)
+        }
+        .with_store(Arc::clone(&store));
+        (Client::new(config).unwrap(), store, base)
+    }
+
+    #[test]
+    fn flush_captures_into_the_store_with_dedup() {
+        let (client, store, base) = temp_store_client("capture");
+        let x = field(1024, 0.5);
+        // Three iterations of identical data: the store holds the
+        // chunk set once.
+        for v in [1u64, 2, 3] {
+            client.checkpoint("sim", v, &[("x", &x)]).unwrap();
+        }
+        client.wait_all().unwrap();
+        assert_eq!(store.versions("sim"), vec![1, 2, 3]);
+        let stats = store.stats();
+        assert_eq!(stats.objects, 3);
+        assert!(
+            stats.bytes_physical < stats.bytes_logical,
+            "iterations dedup: {} physical vs {} logical",
+            stats.bytes_physical,
+            stats.bytes_logical
+        );
+        // Store bytes reproduce the flushed file exactly.
+        let flat = std::fs::read(client.persistent_path("sim", 2)).unwrap();
+        assert_eq!(store.materialize("sim", 2).unwrap(), flat);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn restart_falls_back_to_the_store_when_flat_copy_is_gone() {
+        let (client, _store, base) = temp_store_client("fallback");
+        let x = field(300, 1.5);
+        client.checkpoint("s", 7, &[("x", &x)]).unwrap();
+        client.wait_all().unwrap();
+        std::fs::remove_file(client.persistent_path("s", 7)).unwrap();
+        assert_eq!(client.versions("s").unwrap(), vec![7]);
+        let (ver, regions) = client.restart_latest("s").unwrap().unwrap();
+        assert_eq!(ver, 7);
+        assert_eq!(regions["x"], x);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn recover_treats_store_resident_versions_as_durable() {
+        let base = std::env::temp_dir().join(format!(
+            "reprocmp-veloc-store-recover-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&base).ok();
+        let store = Arc::new(ChunkStore::open(&base.join("store")).unwrap());
+        let config = VelocConfig::rooted_at(&base).with_store(Arc::clone(&store));
+        {
+            let client = Client::new(config.clone()).unwrap();
+            client
+                .checkpoint("r", 1, &[("x", &field(64, 2.0))])
+                .unwrap();
+            client.wait_all().unwrap();
+        }
+        // Crash aftermath: the flat PFS copy is lost but the store
+        // kept the version — recovery adopts it instead of re-flushing.
+        std::fs::remove_file(base.join("pfs").join("r.v000001.ckpt")).unwrap();
+        let client = Client::new(config).unwrap();
+        assert_eq!(client.recover().unwrap(), vec![]);
+        assert_eq!(client.state("r", 1), Some(CheckpointState::Flushed));
         std::fs::remove_dir_all(&base).ok();
     }
 

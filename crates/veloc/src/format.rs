@@ -186,7 +186,10 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointFile, CkptCodecError>
     let payload_len = value_offset
         .checked_mul(4)
         .ok_or(CkptCodecError::Corrupt("payload size overflow"))?;
-    if payload_offset + payload_len > bytes.len() as u64 {
+    let payload_end = payload_offset
+        .checked_add(payload_len)
+        .ok_or(CkptCodecError::Corrupt("payload size overflow"))?;
+    if payload_end > bytes.len() as u64 {
         return Err(CkptCodecError::Truncated);
     }
 
@@ -211,11 +214,22 @@ pub fn read_region(
     let region = file
         .region(name)
         .ok_or(CkptCodecError::Corrupt("no such region"))?;
-    let start = file.payload_offset as usize + (region.value_offset * 4) as usize;
-    let end = start + (region.count * 4) as usize;
-    if end > bytes.len() {
+    // `file` need not come from `decode_checkpoint`, so the geometry is
+    // untrusted: all arithmetic is checked.
+    let start = region
+        .value_offset
+        .checked_mul(4)
+        .and_then(|off| off.checked_add(file.payload_offset))
+        .ok_or(CkptCodecError::Corrupt("payload size overflow"))?;
+    let end = region
+        .count
+        .checked_mul(4)
+        .and_then(|len| len.checked_add(start))
+        .ok_or(CkptCodecError::Corrupt("payload size overflow"))?;
+    if end > bytes.len() as u64 {
         return Err(CkptCodecError::Truncated);
     }
+    let (start, end) = (start as usize, end as usize);
     Ok(bytes[start..end]
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))

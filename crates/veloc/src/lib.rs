@@ -21,10 +21,8 @@
 //!
 //! let dir = std::env::temp_dir().join("veloc-doc-example");
 //! let cfg = VelocConfig {
-//!     scratch_dir: dir.join("scratch"),
-//!     persistent_dir: dir.join("pfs"),
 //!     flush_threads: 1,
-//!     flush_retry: reprocmp_io::RetryPolicy::with_attempts(3),
+//!     ..VelocConfig::rooted_at(&dir)
 //! };
 //! let client = Client::new(cfg).unwrap();
 //! let xs: Vec<f32> = (0..128).map(|i| i as f32).collect();

@@ -24,6 +24,7 @@
 
 use reprocmp::core::{CheckpointSource, CompareEngine, CompareReport, EngineConfig};
 use reprocmp::hacc::{HaccConfig, OrderPolicy, Simulation};
+use reprocmp::store::ChunkStore;
 use std::path::PathBuf;
 
 /// The "application test": a short deterministic simulation whose
@@ -120,6 +121,83 @@ fn io_budget_gate(report: &CompareReport) -> bool {
     }
 }
 
+/// The capture half of the gate: ingesting the golden result plus two
+/// candidates into the content-addressed store must stay within a
+/// deterministic physical-bytes budget. An identical candidate must
+/// add **zero** physical bytes; a candidate whose drift is confined to
+/// one chunk may add at most that chunk. A blow-up here means chunk
+/// addressing or dedup regressed, even if the verdicts are still right.
+fn ingest_budget_gate(
+    engine: &CompareEngine,
+    golden: &[f32],
+    identical: &[f32],
+    drifted: &[f32],
+) -> bool {
+    let chunk = engine.config().chunk_bytes;
+    let root = std::env::temp_dir().join(format!("reprocmp-ci-gate-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let store = ChunkStore::open(&root).expect("open gate store");
+
+    let as_bytes = |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
+    let base = store
+        .ingest("golden", 1, &[("x", &as_bytes(golden))], chunk, &[])
+        .expect("ingest golden");
+    let same = store
+        .ingest("candidateA", 1, &[("x", &as_bytes(identical))], chunk, &[])
+        .expect("ingest candidate A");
+    let drift = store
+        .ingest("candidateC", 1, &[("x", &as_bytes(drifted))], chunk, &[])
+        .expect("ingest candidate C");
+    let totals = store.stats();
+    std::fs::remove_dir_all(&root).ok();
+
+    let mut ok = true;
+    if same.bytes_physical != 0 {
+        println!(
+            "  FAIL — identical candidate wrote {} physical bytes (must dedup to 0)",
+            same.bytes_physical
+        );
+        ok = false;
+    }
+    // Candidate C's 8 drifted values live in one chunk; its ingest may
+    // write at most that one chunk of new physical bytes.
+    if drift.bytes_physical > chunk as u64 {
+        println!(
+            "  FAIL — drifted candidate wrote {} physical bytes (> one {chunk} B chunk)",
+            drift.bytes_physical
+        );
+        ok = false;
+    }
+    for (who, s) in [
+        ("golden", &base),
+        ("candidate A", &same),
+        ("candidate C", &drift),
+    ] {
+        if s.bytes_logical != s.bytes_physical + s.bytes_deduped {
+            println!(
+                "  FAIL — {who} ledger off: logical {} != physical {} + deduped {}",
+                s.bytes_logical, s.bytes_physical, s.bytes_deduped
+            );
+            ok = false;
+        }
+    }
+    if totals.bytes_logical != totals.bytes_physical + totals.bytes_deduped {
+        println!(
+            "  FAIL — store ledger off: logical {} != physical {} + deduped {}",
+            totals.bytes_logical, totals.bytes_physical, totals.bytes_deduped
+        );
+        ok = false;
+    }
+    if ok {
+        println!(
+            "  PASS — 3 ingests: {} logical bytes, {} physical ({} deduped; \
+             identical candidate added 0)",
+            totals.bytes_logical, totals.bytes_physical, totals.bytes_deduped
+        );
+    }
+    ok
+}
+
 fn main() {
     let engine = CompareEngine::new(EngineConfig {
         chunk_bytes: 512,
@@ -155,6 +233,16 @@ fn main() {
     // regressed and the gate says so.
     println!("\nstage-2 I/O budget (vs examples/ci_baseline_breakdown.json):");
     if !io_budget_gate(&report_b) {
+        std::process::exit(1);
+    }
+
+    println!("\ncapture-store ingest budget (physical bytes per candidate):");
+    if !ingest_budget_gate(
+        &engine,
+        &golden_values,
+        &run_application_test(0.0),
+        &run_application_test(2e-5),
+    ) {
         std::process::exit(1);
     }
 

@@ -15,6 +15,7 @@
 //! | [`merkle`] | `reprocmp-merkle` | flattened Merkle trees + pruning BFS |
 //! | [`io`] | `reprocmp-io` | uring-sim, mmap-sim, simulated PFS, pipelines |
 //! | [`device`] | `reprocmp-device` | host/sim-GPU data-parallel executor |
+//! | [`store`] | `reprocmp-store` | persistent content-addressed chunk store: dedup packs, GC, scrub |
 //! | [`veloc`] | `reprocmp-veloc` | async two-tier checkpointing client |
 //! | [`hacc`] | `reprocmp-hacc` | mini-HACC P³M simulator (the workload) |
 //! | [`cluster`] | `reprocmp-cluster` | multi-rank execution harness |
@@ -56,4 +57,5 @@ pub use reprocmp_hash as hash;
 pub use reprocmp_io as io;
 pub use reprocmp_merkle as merkle;
 pub use reprocmp_obs as obs;
+pub use reprocmp_store as store;
 pub use reprocmp_veloc as veloc;

@@ -356,15 +356,62 @@ fn pre_cache_reports_remain_readable_and_schema_is_additive() {
         .map(|(k, _)| k.as_str())
         .filter(|k| !legacy_keys.contains(k))
         .collect();
-    assert_eq!(added, vec!["cache"], "additions beyond the cache ledger");
-    let (_, cache) = current.iter().find(|(k, _)| k == "cache").unwrap();
-    let Json::Obj(cache_fields) = cache else {
-        panic!("cache is not an object")
-    };
-    // A plain pairwise report carries an all-zero ledger.
-    for (name, value) in cache_fields {
-        assert_eq!(value, &Json::Num("0".into()), "cache.{name} nonzero");
+    assert_eq!(
+        added,
+        vec!["cache", "store"],
+        "additions beyond the cache and store ledgers"
+    );
+    // A plain pairwise in-memory report carries all-zero ledgers.
+    for block in ["cache", "store"] {
+        let (_, value) = current.iter().find(|(k, _)| k == block).unwrap();
+        let Json::Obj(fields) = value else {
+            panic!("{block} is not an object")
+        };
+        for (name, value) in fields {
+            assert_eq!(value, &Json::Num("0".into()), "{block}.{name} nonzero");
+        }
     }
+}
+
+/// Reports written before the persistent capture store existed (no
+/// `store` field, but already carrying the `cache` ledger) must stay
+/// readable, and the only schema addition since is the store's read
+/// accounting block.
+#[test]
+fn pre_store_reports_remain_readable_and_schema_is_additive() {
+    let legacy_text =
+        std::fs::read_to_string(golden_path("legacy_pre_store")).expect("legacy fixture");
+    let Json::Obj(legacy) = parse_json(&legacy_text) else {
+        panic!("legacy fixture is not an object")
+    };
+    let legacy_keys: Vec<&str> = legacy.iter().map(|(k, _)| k.as_str()).collect();
+    assert!(
+        legacy_keys.contains(&"cache"),
+        "the pre-store fixture postdates the cache ledger"
+    );
+    assert!(
+        !legacy_keys.contains(&"store"),
+        "the pre-store fixture must predate the store ledger"
+    );
+
+    let current_text =
+        std::fs::read_to_string(golden_path("seed2_moderate")).expect("current golden");
+    let Json::Obj(current) = parse_json(&current_text) else {
+        panic!("current golden is not an object")
+    };
+    for (key, legacy_value) in &legacy {
+        let (_, current_value) = current
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("new schema dropped `{key}`"));
+        assert_eq!(current_value, legacy_value, "value of `{key}` changed");
+    }
+    let added: Vec<&str> = current
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .filter(|k| !legacy_keys.contains(k))
+        .collect();
+    assert_eq!(added, vec!["store"], "additions beyond the store ledger");
 }
 
 /// The golden serialization is itself reproducible: two fresh

@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test lint fmt goldens gate bench-figures
+.PHONY: verify build test lint fmt goldens gate bench-figures trace-demo perf-diff
 
 verify: build test lint fmt gate
 
@@ -28,6 +28,29 @@ gate:
 # engine change (review the diff before committing).
 goldens:
 	UPDATE_GOLDEN=1 $(CARGO) test --test golden_reports
+
+# Flight-recorder demo: two divergent mini-HACC runs, then a journaled
+# comparison exporting a Chrome-trace timeline. Open trace.json in
+# ui.perfetto.dev.
+TRACE_DEMO_DIR ?= /tmp/reprocmp-trace-demo
+trace-demo:
+	$(CARGO) build --release -p reprocmp-cli
+	rm -rf $(TRACE_DEMO_DIR)
+	target/release/reprocmp simulate --out-dir $(TRACE_DEMO_DIR)/run1 --order-seed 1
+	target/release/reprocmp simulate --out-dir $(TRACE_DEMO_DIR)/run2 --order-seed 2
+	target/release/reprocmp trace compare \
+		--run1 $(TRACE_DEMO_DIR)/run1/pfs/run.rank0.v000040.ckpt \
+		--run2 $(TRACE_DEMO_DIR)/run2/pfs/run.rank0.v000040.ckpt \
+		--error-bound 1e-7 --out trace.json
+	@echo "trace.json written — open it in ui.perfetto.dev"
+
+# Cross-run performance regression check over the committed, fully
+# deterministic sim-backend goldens: the pre-flight-recorder report
+# vs the current one, under a 10% budget.
+perf-diff:
+	$(CARGO) run --release -p reprocmp-cli --bin reprocmp -- perf-diff \
+		tests/goldens/legacy_pre_flightrec.json tests/goldens/seed2_moderate.json \
+		--budget 10%
 
 # Re-run every figure/table harness; results land in bench_results/.
 bench-figures:

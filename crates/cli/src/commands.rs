@@ -143,6 +143,33 @@ fn region_map_from_layout(layout: &ObjectLayout) -> reprocmp_core::RegionMap {
     )
 }
 
+/// Renders an already-lowered [`serde::Value`] verbatim (the vendored
+/// serialize-only serde's `Value` does not implement `Serialize`).
+struct RawValue(serde::Value);
+
+impl serde::Serialize for RawValue {
+    fn to_value(&self) -> serde::Value {
+        self.0.clone()
+    }
+}
+
+/// The `--json` report object: the serialized [`CompareReport`] plus an
+/// additive `"histograms"` key with the registry's latency quantiles.
+fn report_with_histograms(
+    report: &reprocmp_core::CompareReport,
+    obs: &reprocmp_obs::Observer,
+) -> RawValue {
+    use serde::Serialize as _;
+    let quantiles =
+        reprocmp_obs::ProfileBaseline::from_registry(report.stages, &obs.registry.snapshot())
+            .histograms;
+    let mut value = report.to_value();
+    if let serde::Value::Object(fields) = &mut value {
+        fields.push(("histograms".to_owned(), quantiles.to_value()));
+    }
+    RawValue(value)
+}
+
 /// `compare`: compare two checkpoint files, or — with `--store D` —
 /// two `name@version` objects served straight out of the capture store.
 pub fn compare(map: &ArgMap) -> Result<String, CliError> {
@@ -208,17 +235,56 @@ pub fn compare(map: &ArgMap) -> Result<String, CliError> {
             (a, b, region_map)
         }
     };
-    let report = engine.compare(&a, &b).map_err(fail)?;
+    // Flight recorder: `--trace`/`--flamegraph` turn on the event
+    // journal for this comparison; otherwise the observer carries
+    // spans/metrics only (journal disabled, one-branch cost).
+    let timeline = reprocmp_io::Timeline::wall();
+    let trace_out = map.optional("trace").map(PathBuf::from);
+    let flame_out = map.optional("flamegraph").map(PathBuf::from);
+    let obs = if trace_out.is_some() || flame_out.is_some() {
+        reprocmp_obs::Observer::with_journal(timeline.obs_clock())
+    } else {
+        timeline.observer()
+    };
+    let report = engine
+        .compare_observed(&a, &b, &timeline, &obs)
+        .map_err(fail)?;
+
+    let mut exports = String::new();
+    if let Some(path) = &trace_out {
+        let trace = reprocmp_obs::chrome_trace(
+            &obs.tracer.records(),
+            &obs.journal().events(),
+            &obs.journal().ledger(),
+        );
+        std::fs::write(path, &trace).map_err(fail)?;
+        let ledger = obs.journal().ledger();
+        let _ = writeln!(
+            exports,
+            "wrote {} ({} events emitted, {} written, {} dropped)",
+            path.display(),
+            ledger.events_emitted,
+            ledger.events_written,
+            ledger.events_dropped
+        );
+    }
+    if let Some(path) = &flame_out {
+        std::fs::write(path, reprocmp_obs::folded_stacks(&obs.tracer.records())).map_err(fail)?;
+        let _ = writeln!(exports, "wrote {}", path.display());
+    }
 
     // --json: the full machine-readable report (including the stage
-    // profile and I/O counters) instead of the human rendering.
+    // profile, I/O counters, and registry histogram quantiles) instead
+    // of the human rendering.
     if map.flag("json") {
-        let mut s = serde_json::to_string_pretty(&report).map_err(fail)?;
+        let mut s =
+            serde_json::to_string_pretty(&report_with_histograms(&report, &obs)).map_err(fail)?;
         s.push('\n');
         return Ok(s);
     }
 
     let mut out = String::new();
+    out.push_str(&exports);
     let _ = writeln!(
         out,
         "compared {run1} vs {run2} ({} values, bound {:e}, chunk {} B)",
@@ -270,6 +336,24 @@ pub fn compare(map: &ArgMap) -> Result<String, CliError> {
             format!("{:.3?}", report.stages.total_time()),
             report.stages.total_bytes()
         );
+        let quantiles =
+            reprocmp_obs::ProfileBaseline::from_registry(report.stages, &obs.registry.snapshot())
+                .histograms;
+        if !quantiles.is_empty() {
+            let _ = writeln!(out, "latency quantiles:");
+            let _ = writeln!(
+                out,
+                "  {:<26} {:>8} {:>10} {:>10} {:>10}",
+                "histogram", "count", "p50", "p95", "p99"
+            );
+            for q in &quantiles {
+                let _ = writeln!(
+                    out,
+                    "  {:<26} {:>8} {:>10} {:>10} {:>10}",
+                    q.name, q.count, q.p50, q.p95, q.p99
+                );
+            }
+        }
     }
     if !report.fully_verified() {
         let _ = writeln!(
@@ -1121,6 +1205,74 @@ pub fn store_stats(map: &ArgMap) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `trace`: run a subcommand with the flight recorder on, writing a
+/// Chrome-trace/Perfetto JSON file. `reprocmp trace compare --run1 A
+/// --run2 B --out trace.json` is sugar for `reprocmp compare … --trace
+/// trace.json`; only `compare` currently records a journal.
+///
+/// # Errors
+///
+/// Usage errors for a missing/unsupported inner command; whatever the
+/// inner command fails with.
+pub fn trace(argv: &[String]) -> Result<String, CliError> {
+    let Some(inner) = argv.first() else {
+        return Err(CliError::Usage(
+            "trace needs an inner command: reprocmp trace compare … [--out trace.json]".to_owned(),
+        ));
+    };
+    if inner != "compare" {
+        return Err(CliError::Usage(format!(
+            "trace only wraps `compare` (journaled comparison), got `{inner}`"
+        )));
+    }
+    // Rewrite `--out F` into compare's own `--trace F` flag.
+    let mut rewritten: Vec<String> = Vec::with_capacity(argv.len() + 1);
+    let mut out_path: Option<String> = None;
+    let mut iter = argv[1..].iter().peekable();
+    while let Some(tok) = iter.next() {
+        if tok == "--out" {
+            let Some(next) = iter.peek() else {
+                return Err(CliError::Usage("--out needs a file path".to_owned()));
+            };
+            out_path = Some((*next).clone());
+            iter.next();
+        } else {
+            rewritten.push(tok.clone());
+        }
+    }
+    rewritten.push("--trace".to_owned());
+    rewritten.push(out_path.unwrap_or_else(|| "trace.json".to_owned()));
+    let map = ArgMap::parse(&rewritten)?;
+    compare(&map)
+}
+
+/// `perf-diff`: compare two committed performance baselines (or full
+/// `--json` compare reports) under a relative budget, exiting non-zero
+/// when any phase regressed past it.
+///
+/// # Errors
+///
+/// Unreadable/unparsable files, a bad `--budget`, or — as
+/// [`CliError::Failed`], so CI sees exit 1 — a budget-exceeding
+/// regression.
+pub fn perf_diff(old_path: &str, new_path: &str, map: &ArgMap) -> Result<String, CliError> {
+    let budget =
+        reprocmp_obs::parse_budget(map.optional("budget").unwrap_or("10%")).map_err(fail)?;
+    let read_baseline = |path: &str| -> Result<reprocmp_obs::ProfileBaseline, CliError> {
+        let text = std::fs::read_to_string(path).map_err(|e| fail(format!("{path}: {e}")))?;
+        reprocmp_obs::ProfileBaseline::parse(&text).map_err(|e| fail(format!("{path}: {e}")))
+    };
+    let old = read_baseline(old_path)?;
+    let new = read_baseline(new_path)?;
+    let diff = reprocmp_obs::diff_profiles(&old, &new, budget);
+    let out = diff.render();
+    if diff.passed() {
+        Ok(out)
+    } else {
+        Err(CliError::Failed(out))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1309,10 +1461,13 @@ mod tests {
             "level_build",
             "bfs",
             "stage2_stream",
+            "store_read",
             "verify",
         ] {
             assert!(out.contains(phase), "missing {phase}: {out}");
         }
+        assert!(out.contains("latency quantiles:"), "{out}");
+        assert!(out.contains("p95"), "{out}");
 
         let json = run_cli(&[
             "compare",
@@ -1333,6 +1488,8 @@ mod tests {
             "\"stage2_stream\"",
             "\"io\"",
             "\"diff_count\": 1",
+            "\"histograms\"",
+            "\"p99\"",
         ] {
             assert!(json.contains(key), "missing {key}: {json}");
         }
@@ -2011,6 +2168,116 @@ mod tests {
         .unwrap();
         assert!(out.contains("agree within the bound"), "{out}");
         assert!(out.contains("0 false positives"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_command_writes_a_chrome_trace_and_flamegraph() {
+        let dir = temp_dir("trace");
+        let a = dir.join("a.f32");
+        let b = dir.join("b.f32");
+        let base: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin()).collect();
+        let mut tweaked = base.clone();
+        tweaked[77] += 1.0;
+        write_raw_f32(&a, &base);
+        write_raw_f32(&b, &tweaked);
+
+        let trace = dir.join("trace.json");
+        let out = run_cli(&[
+            "trace",
+            "compare",
+            "--run1",
+            a.to_str().unwrap(),
+            "--run2",
+            b.to_str().unwrap(),
+            "--chunk-bytes",
+            "128",
+            "--error-bound",
+            "1e-3",
+            "--out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        assert!(out.contains("events emitted"), "{out}");
+        let body = std::fs::read_to_string(&trace).unwrap();
+        assert!(body.contains("\"traceEvents\""), "{body}");
+        assert!(
+            body.contains("chunk_read"),
+            "no chunk reads in trace: {body}"
+        );
+
+        // `compare --flamegraph` writes folded stacks with the root span.
+        let flame = dir.join("stacks.folded");
+        run_cli(&[
+            "compare",
+            "--run1",
+            a.to_str().unwrap(),
+            "--run2",
+            b.to_str().unwrap(),
+            "--chunk-bytes",
+            "128",
+            "--error-bound",
+            "1e-3",
+            "--flamegraph",
+            flame.to_str().unwrap(),
+        ])
+        .unwrap();
+        let folded = std::fs::read_to_string(&flame).unwrap();
+        assert!(folded.contains("compare"), "{folded}");
+
+        // Only `compare` can be traced, and the inner command is required.
+        assert!(matches!(run_cli(&["trace"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_cli(&["trace", "info", "--input", "x"]),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn perf_diff_gates_on_regressions() {
+        use reprocmp_obs::{PhaseCost, ProfileBaseline, StageBreakdown};
+        use std::time::Duration;
+
+        let dir = temp_dir("perfdiff");
+        let stages = |verify_ms: u64| StageBreakdown {
+            verify: PhaseCost::new(Duration::from_millis(verify_ms), 1 << 20, 256),
+            ..StageBreakdown::default()
+        };
+        let old = dir.join("old.json");
+        let same = dir.join("same.json");
+        let slow = dir.join("slow.json");
+        std::fs::write(&old, ProfileBaseline::new(stages(100)).to_json()).unwrap();
+        std::fs::write(&same, ProfileBaseline::new(stages(104)).to_json()).unwrap();
+        std::fs::write(&slow, ProfileBaseline::new(stages(200)).to_json()).unwrap();
+
+        let ok = run_cli(&[
+            "perf-diff",
+            old.to_str().unwrap(),
+            same.to_str().unwrap(),
+            "--budget",
+            "10%",
+        ])
+        .unwrap();
+        assert!(ok.contains("PASS"), "{ok}");
+
+        let err = run_cli(&[
+            "perf-diff",
+            old.to_str().unwrap(),
+            slow.to_str().unwrap(),
+            "--budget",
+            "10%",
+        ])
+        .unwrap_err();
+        assert!(matches!(&err, CliError::Failed(_)), "{err:?}");
+        assert!(err.to_string().contains("verify"), "{err}");
+
+        // Positional parsing: fewer than two files is a usage error.
+        assert!(matches!(
+            run_cli(&["perf-diff", old.to_str().unwrap()]),
+            Err(CliError::Usage(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -18,6 +18,9 @@
 //! * `simulate` — run the bundled mini-HACC simulation and capture a
 //!   checkpoint history through the VELOC-style client, giving users a
 //!   self-contained way to produce two divergent runs to compare.
+//! * `trace` / `perf-diff` — the flight recorder: run a journaled
+//!   comparison and export a Chrome-trace/Perfetto timeline, and diff
+//!   two committed performance baselines under a regression budget.
 //!
 //! The argument parser is deliberately tiny (`--flag value` pairs);
 //! see [`args::ArgMap`].
@@ -85,7 +88,15 @@ pub fn usage() -> String {
     );
     let _ = writeln!(
         s,
-        "               [--json]     (full machine-readable report)"
+        "               [--json]     (full machine-readable report + histogram quantiles)"
+    );
+    let _ = writeln!(
+        s,
+        "               [--trace F]  (write a Chrome-trace/Perfetto event timeline)"
+    );
+    let _ = writeln!(
+        s,
+        "               [--flamegraph F]  (write folded stacks for flamegraph.pl)"
     );
     let _ = writeln!(
         s,
@@ -154,6 +165,19 @@ pub fn usage() -> String {
     );
     let _ = writeln!(
         s,
+        "  trace        compare --run1 F --run2 F ... [--out trace.json]"
+    );
+    let _ = writeln!(
+        s,
+        "               (journaled comparison; open the output in ui.perfetto.dev)"
+    );
+    let _ = writeln!(s, "  perf-diff    old.json new.json [--budget 10%]");
+    let _ = writeln!(
+        s,
+        "               (stage/quantile regression check; exits non-zero past budget)"
+    );
+    let _ = writeln!(
+        s,
         "  history      --run1-dir D --run2-dir D [--chunk-bytes 4096]"
     );
     let _ = writeln!(
@@ -174,6 +198,27 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let Some(command) = argv.first() else {
         return Err(CliError::Usage(usage()));
     };
+    // Commands with positional arguments are dispatched before the
+    // `--flag value` parser (which rejects bare tokens).
+    match command.as_str() {
+        "trace" => return commands::trace(&argv[1..]),
+        "perf-diff" => {
+            let positionals: Vec<&String> = argv[1..]
+                .iter()
+                .take_while(|t| !t.starts_with("--"))
+                .collect();
+            let [old, new] = positionals[..] else {
+                return Err(CliError::Usage(
+                    "perf-diff needs two files: reprocmp perf-diff old.json new.json \
+                     [--budget 10%]"
+                        .to_owned(),
+                ));
+            };
+            let rest = args::ArgMap::parse(&argv[3..])?;
+            return commands::perf_diff(old, new, &rest);
+        }
+        _ => {}
+    }
     let rest = args::ArgMap::parse(&argv[1..])?;
     match command.as_str() {
         "create-tree" => commands::create_tree(&rest),

@@ -231,6 +231,9 @@ impl CompareEngine {
         // Store-backed sources carry live read counters; snapshot them
         // now so the report attributes only this comparison's traffic.
         let store_before = store_reads_snapshot(a, b);
+        // Arm store-backed sources' flight-recorder slots for the
+        // duration of this comparison (disarmed on every exit path).
+        let _armed = ArmedStoreJournals::arm(a, b, obs.journal());
 
         // ---- Phase 1: setup --------------------------------------
         let t0 = timeline.now();
@@ -328,6 +331,15 @@ impl CompareEngine {
             bytes_reread * 2,
             verified.io.submitted,
         );
+        // Store-read traffic overlaps the stream phase, so its time is
+        // definitionally zero (see `StageBreakdown::store_read`); bytes
+        // and ops come from the same delta as `CompareReport::store`.
+        let store_delta = store_reads_snapshot(a, b).delta_since(store_before);
+        stages.store_read = PhaseCost::new(
+            Duration::ZERO,
+            store_delta.bytes_read,
+            store_delta.chunk_reads,
+        );
 
         let stats = DataStats {
             total_values: stats_total_values,
@@ -348,7 +360,7 @@ impl CompareEngine {
             io: verified.io,
             unverified: verified.unverified,
             cache: reprocmp_obs::CacheStats::default(),
-            store: store_reads_snapshot(a, b).delta_since(store_before),
+            store: store_delta,
         })
     }
 
@@ -452,11 +464,23 @@ impl CompareEngine {
         // Both pipelines share ONE set of registry-backed metrics
         // (`io.*`), so the counters already hold both sides' totals —
         // the report takes a single snapshot, never a merge of two.
+        // Flight-recorder lanes stay per side (`run_a.*` / `run_b.*`)
+        // so the trace keeps one timeline per worker per run.
+        let journal = obs.journal().clone();
         let metrics = PipelineMetrics::in_registry(&obs.registry, "io");
         let counters = Arc::clone(&metrics.counters);
-        let pipe_a =
-            StreamPipeline::start_observed(Arc::clone(&a.data), ops_a, io_cfg, metrics.clone());
-        let pipe_b = StreamPipeline::start_observed(Arc::clone(&b.data), ops_b, io_cfg, metrics);
+        let pipe_a = StreamPipeline::start_observed(
+            Arc::clone(&a.data),
+            ops_a,
+            io_cfg,
+            metrics.clone().with_journal(journal.clone(), "run_a"),
+        );
+        let pipe_b = StreamPipeline::start_observed(
+            Arc::clone(&b.data),
+            ops_b,
+            io_cfg,
+            metrics.with_journal(journal.clone(), "run_b"),
+        );
 
         // Scratch for one chunk's `(offset, a, b)` difference triples,
         // handed to the sink after the chunk's bookkeeping.
@@ -484,6 +508,13 @@ impl CompareEngine {
                     first: first as u64,
                     count: count as u64,
                 });
+                journal.emit(
+                    "engine",
+                    reprocmp_obs::EventKind::Quarantine {
+                        first_chunk: first as u64,
+                        chunks: count as u64,
+                    },
+                );
             }
 
             // Comparison kernel over this slice (both buffers touched,
@@ -541,11 +572,22 @@ impl CompareEngine {
                     on_chunk(chunk_index, &chunk_diffs);
                 }
             }
-            out.verify_time += if charged > Duration::ZERO {
+            let kernel_time = if charged > Duration::ZERO {
                 charged
             } else {
                 verify_wall.elapsed()
             };
+            out.verify_time += kernel_time;
+            if journal.is_enabled() {
+                journal.emit(
+                    "engine",
+                    reprocmp_obs::EventKind::Kernel {
+                        name: "verify".to_string(),
+                        bytes: (slice_a.data.len() + slice_b.data.len()) as u64,
+                        latency_ns: u64::try_from(kernel_time.as_nanos()).unwrap_or(u64::MAX),
+                    },
+                );
+            }
         }
         out.io = counters.snapshot();
         out.unverified = merge_ranges(out.unverified);
@@ -606,6 +648,33 @@ fn coalesce_runs(flagged: &[usize], max_chunks: usize) -> Vec<(usize, usize)> {
         }
     }
     runs
+}
+
+/// RAII guard arming the flight-recorder slots of store-backed
+/// sources for one comparison: pack reads emit `store_read` events
+/// only while a journaled compare is in flight, and the slots are
+/// disarmed again on every exit path (including errors).
+struct ArmedStoreJournals(Vec<reprocmp_obs::JournalSlot>);
+
+impl ArmedStoreJournals {
+    fn arm(a: &CheckpointSource, b: &CheckpointSource, journal: &reprocmp_obs::Journal) -> Self {
+        let mut armed = Vec::new();
+        if journal.is_enabled() {
+            for slot in [&a.store_journal, &b.store_journal].into_iter().flatten() {
+                slot.set(journal.clone());
+                armed.push(slot.clone());
+            }
+        }
+        ArmedStoreJournals(armed)
+    }
+}
+
+impl Drop for ArmedStoreJournals {
+    fn drop(&mut self) {
+        for slot in &self.0 {
+            slot.clear();
+        }
+    }
 }
 
 /// Combined store-read counters of both sources at this instant

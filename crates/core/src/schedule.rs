@@ -46,7 +46,7 @@ use reprocmp_device::{Device, Workload};
 use reprocmp_hash::Digest128;
 use reprocmp_io::Timeline;
 use reprocmp_merkle::{compare_subtree, decode_tree, start_level_for, MerkleTree, SubtreeOutcome};
-use reprocmp_obs::{CacheStats, Observer, PhaseCost, StoreReadStats};
+use reprocmp_obs::{CacheStats, EventKind, Observer, PhaseCost, StoreReadStats};
 use serde::Serialize;
 
 use crate::breakdown::CostBreakdown;
@@ -419,12 +419,15 @@ impl CompareEngine {
                     };
                     if let Some(entry) = cache.subtree(&key) {
                         plan.cache.node_hits += 1;
+                        emit_cache_event(obs, "subtree", true);
                         RefSource::Hit(entry)
                     } else if let Some(&ri) = pending_subtrees.get(&key) {
                         plan.cache.node_hits += 1;
+                        emit_cache_event(obs, "subtree", true);
                         RefSource::Pending(ri)
                     } else {
                         plan.cache.node_misses += 1;
+                        emit_cache_event(obs, "subtree", false);
                         let ri = resolutions.len();
                         resolutions.push(Resolution {
                             key: Some(key),
@@ -551,14 +554,17 @@ impl CompareEngine {
                         let (ka, kb) = (ra[c], rb[c]);
                         if let Some(v) = cache.verdict(ka, kb) {
                             s2.cache.verdict_hits += 1;
+                            emit_cache_event(obs, "verdict", true);
                             s2.cache.bytes_saved += chunk_len(sources[l], c);
                             s2.splices.push((c, VerdictSource::Cached(v)));
                         } else if let Some(&(pj, pc)) = pending_verdicts.get(&(ka, kb)) {
                             s2.cache.verdict_hits += 1;
+                            emit_cache_event(obs, "verdict", true);
                             s2.cache.bytes_saved += chunk_len(sources[l], c);
                             s2.splices.push((c, VerdictSource::Pending(pj, pc)));
                         } else {
                             s2.cache.verdict_misses += 1;
+                            emit_cache_event(obs, "verdict", false);
                             pending_verdicts.insert((ka, kb), (j, c));
                             s2.fresh.push(c);
                         }
@@ -763,6 +769,24 @@ impl CompareEngine {
 
 /// Sum of every source's store-read counters at this instant
 /// (all-zero when no source is store-backed).
+/// One `cache_hit`/`cache_miss` flight-recorder event on the `cache`
+/// lane; a single branch when journaling is off.
+fn emit_cache_event(obs: &Observer, what: &str, hit: bool) {
+    let journal = obs.journal();
+    if journal.is_enabled() {
+        let kind = if hit {
+            EventKind::CacheHit {
+                what: what.to_string(),
+            }
+        } else {
+            EventKind::CacheMiss {
+                what: what.to_string(),
+            }
+        };
+        journal.emit("cache", kind);
+    }
+}
+
 fn batch_store_snapshot(sources: &[&CheckpointSource]) -> StoreReadStats {
     sources
         .iter()

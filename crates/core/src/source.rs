@@ -50,6 +50,12 @@ pub struct CheckpointSource {
     /// around a comparison to fill `CompareReport::store`; `None` for
     /// file- and memory-backed sources.
     pub store_reads: Option<reprocmp_obs::StoreReadCounters>,
+    /// Late-binding flight-recorder slot of the store reader backing
+    /// `data`, when this source is store-backed. The engine arms it
+    /// for the duration of a journaled comparison so pack reads show
+    /// up as `store_read` events; `None` for file- and memory-backed
+    /// sources.
+    pub store_journal: Option<reprocmp_obs::JournalSlot>,
 }
 
 /// Digests each `chunk_bytes`-sized chunk of `payload` as raw bytes,
@@ -79,6 +85,7 @@ impl CheckpointSource {
             capture: StageBreakdown::default(),
             raw_leaves: None,
             store_reads: None,
+            store_journal: None,
         }
     }
 
@@ -129,6 +136,7 @@ impl CheckpointSource {
             capture,
             raw_leaves: Some(Arc::new(raw_leaves)),
             store_reads: None,
+            store_journal: None,
         })
     }
 
@@ -161,6 +169,7 @@ impl CheckpointSource {
             capture: StageBreakdown::default(),
             raw_leaves: None,
             store_reads: None,
+            store_journal: None,
         })
     }
 

@@ -107,6 +107,7 @@ impl CheckpointSource {
 
         let storage = store.reader(name, version).map_err(store_err)?;
         let counters = storage.counters();
+        let journal_slot = storage.journal_slot().clone();
         Ok(CheckpointSource {
             data: Arc::new(storage),
             payload_offset: layout.payload_offset,
@@ -115,6 +116,7 @@ impl CheckpointSource {
             capture,
             raw_leaves: Some(Arc::new(raw_leaves)),
             store_reads: Some(counters),
+            store_journal: Some(journal_slot),
         })
     }
 }

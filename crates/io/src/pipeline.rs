@@ -14,16 +14,39 @@
 //! behind.
 
 use crossbeam::channel::{bounded, Receiver};
-use reprocmp_obs::{Histogram, Registry};
+use reprocmp_obs::{EventKind, Histogram, Journal, Registry};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crate::clock::SimClock;
 use crate::cost::OpSpec;
 use crate::mmap::MmapSim;
 use crate::retry::{RetryPolicy, RingCounters, RingStats};
 use crate::storage::{AccessMode, Storage};
 use crate::uring::UringSim;
 use crate::{IoError, IoResult};
+
+/// A `chunk_read` completion event for one synchronous per-op read,
+/// with latency taken on the virtual clock when the storage is
+/// simulated and on the wall clock otherwise.
+fn chunk_read_event(
+    offset: u64,
+    len: usize,
+    queue_depth: u64,
+    clock: &Option<SimClock>,
+    (sim_start, wall_start): (Option<std::time::Duration>, std::time::Instant),
+) -> EventKind {
+    let latency = match (clock.as_ref(), sim_start) {
+        (Some(c), Some(s)) => c.now().saturating_sub(s),
+        _ => wall_start.elapsed(),
+    };
+    EventKind::ChunkRead {
+        offset,
+        len: len as u64,
+        queue_depth,
+        latency_ns: u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX),
+    }
+}
 
 /// Which I/O strategy fills the slices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +118,11 @@ pub struct PipelineMetrics {
     /// Per-slice fill latency in microseconds. Per-slice timings depend
     /// on thread interleaving — they belong here, never in a report.
     pub slice_fill_us: Option<Histogram>,
+    /// Flight-recorder sink (disabled by default; see
+    /// [`PipelineMetrics::with_journal`]).
+    journal: Journal,
+    /// Lane prefix for flight-recorder events.
+    lane: String,
 }
 
 impl Default for PipelineMetrics {
@@ -103,6 +131,8 @@ impl Default for PipelineMetrics {
             counters: Arc::new(RingCounters::default()),
             read_bytes: None,
             slice_fill_us: None,
+            journal: Journal::disabled(),
+            lane: "io".to_string(),
         }
     }
 }
@@ -115,7 +145,21 @@ impl PipelineMetrics {
             counters: Arc::new(RingCounters::registered(registry, prefix)),
             read_bytes: Some(registry.histogram(&format!("{prefix}.read_bytes"))),
             slice_fill_us: Some(registry.histogram(&format!("{prefix}.slice_fill_us"))),
+            journal: Journal::disabled(),
+            lane: prefix.to_string(),
         }
+    }
+
+    /// Attaches a flight-recorder journal. Events appear on lanes
+    /// derived from `lane`: `slice_fill` on `{lane}.pipeline`, per-op
+    /// `chunk_read` / `retry` events on `{lane}.pipeline` for the
+    /// synchronous backends or `{lane}.uring.w{i}` per uring worker,
+    /// and one `io_submit` per uring batch on `{lane}.uring.sq`.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal, lane: &str) -> Self {
+        self.journal = journal;
+        self.lane = lane.to_string();
+        self
     }
 }
 
@@ -199,15 +243,20 @@ impl StreamPipeline {
         let reader_counters = Arc::clone(&counters);
         let read_bytes = metrics.read_bytes.clone();
         let slice_fill_us = metrics.slice_fill_us.clone();
+        let journal = metrics.journal.clone();
+        let pipeline_lane = format!("{}.pipeline", metrics.lane);
+        let uring_lane = format!("{}.uring", metrics.lane);
         let reader = std::thread::spawn(move || {
             let counters = reader_counters;
             let mut ring = match config.backend {
-                BackendKind::Uring => Some(UringSim::with_shared_counters(
+                BackendKind::Uring => Some(UringSim::with_observability(
                     Arc::clone(&storage),
                     config.io_threads,
                     config.queue_depth,
                     config.retry,
                     Arc::clone(&counters),
+                    journal.clone(),
+                    &uring_lane,
                 )),
                 _ => None,
             };
@@ -262,13 +311,29 @@ impl StreamPipeline {
                             let map = map.as_ref().expect("mmap backend present");
                             counters.record_submitted(batch.len() as u64);
                             for (k, &(offset, len)) in batch.iter().enumerate() {
-                                let (result, retries) =
-                                    config.retry.run(clock.as_ref(), || map.read(offset, len));
+                                let op_started = journal.is_enabled().then(|| {
+                                    (
+                                        clock.as_ref().map(crate::clock::SimClock::now),
+                                        std::time::Instant::now(),
+                                    )
+                                });
+                                let (result, retries) = config.retry.run_journaled(
+                                    clock.as_ref(),
+                                    &journal,
+                                    &pipeline_lane,
+                                    || map.read(offset, len),
+                                );
                                 counters.record_retries(u64::from(retries));
                                 match result {
                                     Ok(buf) => {
                                         counters.record_completed();
                                         data.extend_from_slice(&buf);
+                                        if let Some(started) = op_started {
+                                            journal.emit(
+                                                &pipeline_lane,
+                                                chunk_read_event(offset, len, 1, &clock, started),
+                                            );
+                                        }
                                     }
                                     Err(error) => {
                                         counters.record_gave_up();
@@ -287,12 +352,29 @@ impl StreamPipeline {
                             for (k, &(offset, len)) in batch.iter().enumerate() {
                                 let start = data.len();
                                 data.resize(start + len, 0);
-                                let (result, retries) = config.retry.run(clock.as_ref(), || {
-                                    storage.read_at(offset, &mut data[start..])
+                                let op_started = journal.is_enabled().then(|| {
+                                    (
+                                        clock.as_ref().map(crate::clock::SimClock::now),
+                                        std::time::Instant::now(),
+                                    )
                                 });
+                                let (result, retries) = config.retry.run_journaled(
+                                    clock.as_ref(),
+                                    &journal,
+                                    &pipeline_lane,
+                                    || storage.read_at(offset, &mut data[start..]),
+                                );
                                 counters.record_retries(u64::from(retries));
                                 match result {
-                                    Ok(()) => counters.record_completed(),
+                                    Ok(()) => {
+                                        counters.record_completed();
+                                        if let Some(started) = op_started {
+                                            journal.emit(
+                                                &pipeline_lane,
+                                                chunk_read_event(offset, len, 1, &clock, started),
+                                            );
+                                        }
+                                    }
                                     Err(error) => {
                                         counters.record_gave_up();
                                         data[start..].fill(0);
@@ -321,14 +403,27 @@ impl StreamPipeline {
                     })
                 })();
 
-                if let Some(h) = &slice_fill_us {
+                if slice_fill_us.is_some() || journal.is_enabled() {
                     // Virtual time when the storage is simulated, so the
                     // distribution reflects the modeled device.
                     let elapsed = match (&clock, fill_started) {
                         (Some(c), Some(s)) => c.now().saturating_sub(s),
                         _ => fill_wall.elapsed(),
                     };
-                    h.record(elapsed.as_micros().try_into().unwrap_or(u64::MAX));
+                    if let Some(h) = &slice_fill_us {
+                        h.record(elapsed.as_micros().try_into().unwrap_or(u64::MAX));
+                    }
+                    if let Ok(slice) = &filled {
+                        journal.emit(
+                            &pipeline_lane,
+                            EventKind::SliceFill {
+                                first_op: slice.first_op as u64,
+                                ops: slice.ops.len() as u64,
+                                bytes: slice.data.len() as u64,
+                                latency_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+                            },
+                        );
+                    }
                 }
                 if let (Some(h), Ok(slice)) = (&read_bytes, &filled) {
                     for (op, payload) in slice.payloads() {
@@ -653,6 +748,54 @@ mod tests {
             // Each slice recorded one fill latency.
             let slices = (ops.len() * 4096).div_ceil(8192) as u64;
             assert_eq!(registry.histogram("io.slice_fill_us").count(), slices);
+        }
+    }
+
+    #[test]
+    fn every_backend_journals_one_chunk_read_per_op_and_slice_fills() {
+        for backend in [BackendKind::Uring, BackendKind::Mmap, BackendKind::Blocking] {
+            let (storage, data) = make(1 << 16);
+            let ops = chunk_ops(1 << 16, 4096);
+            let journal = Journal::new(reprocmp_obs::ObsClock::wall());
+            let metrics = PipelineMetrics::default().with_journal(journal.clone(), "run_a");
+            let cfg = PipelineConfig {
+                backend,
+                slice_bytes: 8192,
+                ..PipelineConfig::default()
+            };
+            let pipeline =
+                StreamPipeline::start_observed(Arc::clone(&storage), ops.clone(), cfg, metrics);
+            let mut total = 0usize;
+            for slice in pipeline {
+                total += slice.unwrap().data.len();
+            }
+            assert_eq!(total, data.len());
+            let events = journal.events();
+            let reads = events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::ChunkRead { .. }))
+                .count();
+            assert_eq!(reads, ops.len(), "backend {backend:?}: one event per op");
+            let fills: Vec<_> = events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::SliceFill { .. }))
+                .collect();
+            let slices = (ops.len() * 4096).div_ceil(8192);
+            assert_eq!(fills.len(), slices, "backend {backend:?}");
+            assert!(fills.iter().all(|e| e.lane == "run_a.pipeline"));
+            match backend {
+                BackendKind::Uring => {
+                    assert!(events
+                        .iter()
+                        .any(|e| matches!(e.kind, EventKind::IoSubmit { .. })
+                            && e.lane == "run_a.uring.sq"));
+                }
+                _ => assert!(events
+                    .iter()
+                    .filter(|e| matches!(e.kind, EventKind::ChunkRead { .. }))
+                    .all(|e| e.lane == "run_a.pipeline")),
+            }
+            assert!(journal.ledger().balanced(), "backend {backend:?}");
         }
     }
 

@@ -17,7 +17,7 @@
 //!   machinery did (submitted, completed, retried, gave up), so a
 //!   partial report can say exactly how hard the I/O layer fought.
 
-use reprocmp_obs::{Counter, Registry};
+use reprocmp_obs::{Counter, EventKind, Journal, Registry};
 use serde::Serialize;
 use std::time::{Duration, Instant};
 
@@ -136,7 +136,49 @@ impl RetryPolicy {
     pub fn run<T>(
         &self,
         clock: Option<&SimClock>,
+        op: impl FnMut() -> IoResult<T>,
+    ) -> (IoResult<T>, u32) {
+        self.run_observed(clock, op, |_, _| {})
+    }
+
+    /// [`RetryPolicy::run`] with flight-recorder hooks: emits a `retry`
+    /// event on `lane` for every backoff wait and a `gave_up` event if
+    /// the budget is exhausted on a transient error. A disabled journal
+    /// makes this identical to `run` (the hook costs one branch).
+    pub fn run_journaled<T>(
+        &self,
+        clock: Option<&SimClock>,
+        journal: &Journal,
+        lane: &str,
+        op: impl FnMut() -> IoResult<T>,
+    ) -> (IoResult<T>, u32) {
+        let (result, retries) = self.run_observed(clock, op, |attempt, wait| {
+            journal.emit(
+                lane,
+                EventKind::Retry {
+                    attempt,
+                    backoff_ns: u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX),
+                },
+            );
+        });
+        if result.is_err() && retries > 0 {
+            journal.emit(
+                lane,
+                EventKind::GaveUp {
+                    attempts: retries + 1,
+                },
+            );
+        }
+        (result, retries)
+    }
+
+    /// [`RetryPolicy::run`] with an `on_retry(attempt, wait)` callback
+    /// invoked just before each backoff wait is charged.
+    pub fn run_observed<T>(
+        &self,
+        clock: Option<&SimClock>,
         mut op: impl FnMut() -> IoResult<T>,
+        mut on_retry: impl FnMut(u32, Duration),
     ) -> (IoResult<T>, u32) {
         let sim_start = clock.map(SimClock::now);
         let wall_start = Instant::now();
@@ -161,6 +203,7 @@ impl RetryPolicy {
                             return (Err(e), retries);
                         }
                     }
+                    on_retry(attempts_made, wait);
                     match clock {
                         Some(c) => {
                             c.advance(wait);
@@ -385,6 +428,61 @@ mod tests {
         });
         assert!(result.is_err());
         assert_eq!((calls, retries), (1, 0));
+    }
+
+    #[test]
+    fn journaled_run_emits_retry_and_gave_up_events() {
+        use reprocmp_obs::ObsClock;
+        let clock = SimClock::new();
+        let journal = Journal::new(ObsClock::frozen());
+        let p = RetryPolicy::with_attempts(3);
+        let mut calls = 0;
+        let (result, retries): (IoResult<()>, u32) =
+            p.run_journaled(Some(&clock), &journal, "io.w0", || {
+                calls += 1;
+                Err(transient())
+            });
+        assert!(result.is_err());
+        assert_eq!(retries, 2);
+        let events = journal.events();
+        let retry_events: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Retry { .. }))
+            .collect();
+        assert_eq!(retry_events.len(), 2);
+        assert!(retry_events.iter().all(|e| e.lane == "io.w0"));
+        assert!(matches!(
+            events.last().unwrap().kind,
+            EventKind::GaveUp { attempts: 3 }
+        ));
+        // Backoff in the event matches what was actually charged.
+        let charged: u64 = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Retry { backoff_ns, .. } => Some(backoff_ns),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(u128::from(charged), clock.now().as_nanos());
+    }
+
+    #[test]
+    fn journaled_run_with_disabled_journal_matches_run() {
+        let clock = SimClock::new();
+        let journal = Journal::disabled();
+        let p = RetryPolicy::with_attempts(4);
+        let mut calls = 0;
+        let (result, retries) = p.run_journaled(Some(&clock), &journal, "io", || {
+            calls += 1;
+            if calls < 2 {
+                Err(transient())
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(result.unwrap(), 7);
+        assert_eq!(retries, 1);
+        assert!(journal.events().is_empty());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! returning buffers in submission order.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use reprocmp_obs::{EventKind, Journal};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -54,6 +55,8 @@ pub struct UringSim {
     workers: Vec<JoinHandle<()>>,
     in_flight: usize,
     counters: Arc<RingCounters>,
+    journal: Journal,
+    sq_lane: String,
 }
 
 impl UringSim {
@@ -89,26 +92,79 @@ impl UringSim {
         retry: RetryPolicy,
         counters: Arc<RingCounters>,
     ) -> Self {
+        Self::with_observability(
+            storage,
+            io_threads,
+            queue_depth,
+            retry,
+            counters,
+            Journal::disabled(),
+            "uring",
+        )
+    }
+
+    /// As [`UringSim::with_shared_counters`], additionally recording
+    /// flight-recorder events: one `chunk_read` completion (with queue
+    /// depth and per-op latency) on `{lane}.w{i}` per worker *i*, retry
+    /// decisions on the same worker lane, and one `io_submit` doorbell
+    /// event per batch on `{lane}.sq`. A disabled journal makes this
+    /// identical to `with_shared_counters`.
+    #[must_use]
+    pub fn with_observability(
+        storage: Arc<dyn Storage>,
+        io_threads: usize,
+        queue_depth: usize,
+        retry: RetryPolicy,
+        counters: Arc<RingCounters>,
+        journal: Journal,
+        lane: &str,
+    ) -> Self {
         let io_threads = io_threads.max(1);
         let queue_depth = queue_depth.max(1);
         let (sq_tx, sq_rx) = unbounded::<Sqe>();
         let (cq_tx, cq_rx) = unbounded::<Cqe>();
         let mut workers = Vec::with_capacity(io_threads);
-        for _ in 0..io_threads {
+        for i in 0..io_threads {
             let sq_rx: Receiver<Sqe> = sq_rx.clone();
             let cq_tx: Sender<Cqe> = cq_tx.clone();
             let storage = Arc::clone(&storage);
             let counters = Arc::clone(&counters);
             let clock = storage.sim_clock();
+            let journal = journal.clone();
+            let worker_lane = format!("{lane}.w{i}");
             workers.push(std::thread::spawn(move || {
                 while let Ok(sqe) = sq_rx.recv() {
                     let mut buf = vec![0u8; sqe.len];
+                    let started = journal.is_enabled().then(|| {
+                        (
+                            clock.as_ref().map(crate::clock::SimClock::now),
+                            std::time::Instant::now(),
+                        )
+                    });
                     let (result, retries) =
-                        retry.run(clock.as_ref(), || storage.read_at(sqe.offset, &mut buf));
+                        retry.run_journaled(clock.as_ref(), &journal, &worker_lane, || {
+                            storage.read_at(sqe.offset, &mut buf)
+                        });
                     counters.record_retries(u64::from(retries));
                     let result = match result {
                         Ok(()) => {
                             counters.record_completed();
+                            if let Some((sim_start, wall_start)) = started {
+                                let latency = match (clock.as_ref(), sim_start) {
+                                    (Some(c), Some(s)) => c.now().saturating_sub(s),
+                                    _ => wall_start.elapsed(),
+                                };
+                                journal.emit(
+                                    &worker_lane,
+                                    EventKind::ChunkRead {
+                                        offset: sqe.offset,
+                                        len: sqe.len as u64,
+                                        queue_depth: queue_depth as u64,
+                                        latency_ns: u64::try_from(latency.as_nanos())
+                                            .unwrap_or(u64::MAX),
+                                    },
+                                );
+                            }
                             Ok(std::mem::take(&mut buf))
                         }
                         Err(e) => {
@@ -137,6 +193,8 @@ impl UringSim {
             workers,
             in_flight: 0,
             counters,
+            journal,
+            sq_lane: format!("{lane}.sq"),
         }
     }
 
@@ -184,10 +242,19 @@ impl UringSim {
         );
         let tx = self.sq_tx.as_ref().ok_or(IoError::EngineShutDown)?;
         let n = batch.len();
+        let total_len: u64 = batch.iter().map(|s| s.len as u64).sum();
         for sqe in batch {
             tx.send(sqe).map_err(|_| IoError::EngineShutDown)?;
         }
         self.counters.record_submitted(n as u64);
+        self.journal.emit(
+            &self.sq_lane,
+            EventKind::IoSubmit {
+                ops: n as u64,
+                bytes: total_len,
+                queue_depth: self.queue_depth as u64,
+            },
+        );
         self.in_flight += n;
         Ok(n)
     }
@@ -511,5 +578,62 @@ mod tests {
         let mut ring = UringSim::new(s, 2, 8);
         ring.read_scattered(&[(0, 4096), (4096, 4096)]).unwrap();
         assert!(clock.now() > Duration::ZERO);
+    }
+
+    #[test]
+    fn journaling_ring_records_submits_and_chunk_reads() {
+        let (s, _) = storage(1 << 16);
+        let journal = Journal::new(reprocmp_obs::ObsClock::wall());
+        let mut ring = UringSim::with_observability(
+            Arc::new(s),
+            2,
+            8,
+            RetryPolicy::none(),
+            Arc::new(RingCounters::default()),
+            journal.clone(),
+            "io",
+        );
+        ring.read_scattered(&[(0, 512), (1024, 256), (4096, 128)])
+            .unwrap();
+        let events = journal.events();
+        let submits: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::IoSubmit { .. }))
+            .collect();
+        assert_eq!(submits.len(), 1, "one doorbell per submit batch");
+        assert_eq!(submits[0].lane, "io.sq");
+        match submits[0].kind {
+            EventKind::IoSubmit {
+                ops,
+                bytes,
+                queue_depth,
+            } => {
+                assert_eq!(ops, 3);
+                assert_eq!(bytes, 512 + 256 + 128);
+                assert_eq!(queue_depth, 8);
+            }
+            _ => unreachable!(),
+        }
+        let reads: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ChunkRead { .. }))
+            .collect();
+        assert_eq!(reads.len(), 3, "one chunk_read per completed op");
+        assert!(reads.iter().all(|e| e.lane.starts_with("io.w")));
+        assert!(journal.ledger().balanced());
+    }
+
+    #[test]
+    fn disabled_journal_ring_emits_nothing() {
+        let (s, _) = storage(4096);
+        let mut ring = UringSim::with_shared_counters(
+            Arc::new(s),
+            2,
+            8,
+            RetryPolicy::none(),
+            Arc::new(RingCounters::default()),
+        );
+        ring.read_scattered(&[(0, 64)]).unwrap();
+        assert_eq!(ring.stats().completed, 1);
     }
 }

@@ -30,23 +30,35 @@
 //!   resolved through the persistent capture store's pack index
 //!   (reads, bytes, deduplicated bytes), carried by
 //!   `CompareReport::store`.
+//! * [`journal`] — the flight recorder: a lock-striped bounded ring of
+//!   typed [`Event`]s with an exact drop ledger and a JSONL sink.
+//! * [`export`] — Chrome trace-event / Perfetto JSON and folded-stack
+//!   flamegraph exporters over spans + journal events.
+//! * [`profile`] — committable [`ProfileBaseline`]s and
+//!   [`diff_profiles`] regression detection (`reprocmp perf-diff`).
 //!
-//! An [`Observer`] bundles a tracer and a registry so callers can pass
-//! one handle through the stack.
+//! An [`Observer`] bundles a tracer, a registry, and a journal so
+//! callers can pass one handle through the stack.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod cache;
+pub mod export;
+pub mod journal;
 pub mod metrics;
+pub mod profile;
 pub mod span;
 pub mod stage;
 pub mod store;
 
 pub use cache::CacheStats;
+pub use export::{chrome_trace, folded_stacks};
+pub use journal::{Event, EventKind, Journal, JournalLedger, JournalSlot};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, RegistrySnapshot,
 };
+pub use profile::{diff_profiles, parse_budget, HistogramQuantiles, ProfileBaseline, ProfileDiff};
 pub use span::{SpanGuard, SpanRecord, Tracer};
 pub use stage::{PhaseCost, StageBreakdown};
 pub use store::{StoreReadCounters, StoreReadStats};
@@ -109,23 +121,40 @@ impl Default for ObsClock {
     }
 }
 
-/// One observability context: a span tracer plus a metrics registry
-/// sharing a clock. Cheap to clone; clones share state.
+/// One observability context: a span tracer, a metrics registry, and a
+/// flight-recorder journal sharing a clock. Cheap to clone; clones
+/// share state.
 #[derive(Debug, Clone)]
 pub struct Observer {
     /// Hierarchical span tracer.
     pub tracer: Tracer,
     /// Named metrics registry.
     pub registry: Registry,
+    journal: Journal,
 }
 
 impl Observer {
-    /// An enabled observer reading timestamps from `clock`.
+    /// An enabled observer reading timestamps from `clock`. The journal
+    /// stays disabled — event recording is strictly opt-in (see
+    /// [`Observer::with_journal`]).
     #[must_use]
     pub fn new(clock: ObsClock) -> Self {
         Observer {
             tracer: Tracer::new(clock),
             registry: Registry::new(),
+            journal: Journal::disabled(),
+        }
+    }
+
+    /// An enabled observer that additionally records flight-recorder
+    /// events (spans mirror into the journal as begin/end pairs).
+    #[must_use]
+    pub fn with_journal(clock: ObsClock) -> Self {
+        let journal = Journal::new(clock.clone());
+        Observer {
+            tracer: Tracer::with_journal(clock, journal.clone()),
+            registry: Registry::new(),
+            journal,
         }
     }
 
@@ -136,7 +165,16 @@ impl Observer {
         Observer {
             tracer: Tracer::disabled(),
             registry: Registry::new(),
+            journal: Journal::disabled(),
         }
+    }
+
+    /// The flight-recorder handle. Disabled unless the observer was
+    /// built with [`Observer::with_journal`]; emitting through a
+    /// disabled journal costs one branch.
+    #[must_use]
+    pub fn journal(&self) -> &Journal {
+        &self.journal
     }
 }
 

@@ -153,12 +153,41 @@ impl Histogram {
             };
             buckets.push(HistogramBucket { low, high, count });
         }
+        let count = self.count();
         HistogramSnapshot {
-            count: self.count(),
+            count,
             sum: self.sum(),
+            p50: quantile_from_buckets(&buckets, count, 0.50),
+            p95: quantile_from_buckets(&buckets, count, 0.95),
+            p99: quantile_from_buckets(&buckets, count, 0.99),
             buckets,
         }
     }
+}
+
+/// Estimates the `q`-quantile (0 < q ≤ 1) of a bucketed distribution by
+/// linear interpolation inside the bucket holding rank `ceil(q·count)`.
+/// Exact to within one log2 bucket's width; zero for an empty histogram.
+#[must_use]
+pub fn quantile_from_buckets(buckets: &[HistogramBucket], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for b in buckets {
+        if rank <= seen + b.count {
+            // Spread the bucket's observations evenly over [low, high]:
+            // the j-th of n (1-based) sits at low + span·j/n.
+            let j = rank - seen;
+            let span = b.high - b.low;
+            let step = (u128::from(span) * u128::from(j) / u128::from(b.count)) as u64;
+            return b.low + step;
+        }
+        seen += b.count;
+    }
+    buckets.last().map_or(0, |b| b.high)
 }
 
 /// One non-empty histogram bucket: observations in `[low, high]`.
@@ -179,6 +208,12 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of observations.
     pub sum: u64,
+    /// Estimated median (see [`quantile_from_buckets`]).
+    pub p50: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
     /// Non-empty buckets, ascending.
     pub buckets: Vec<HistogramBucket>,
 }
@@ -366,6 +401,76 @@ mod tests {
         // The max-value bucket tops out at u64::MAX, not wrap-around.
         let top = h.snapshot().buckets.last().unwrap().high;
         assert_eq!(top, u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_of_an_empty_histogram_are_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!((snap.p50, snap.p95, snap.p99), (0, 0, 0));
+    }
+
+    #[test]
+    fn quantiles_of_a_point_mass_hit_the_point_bucket() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(512); // exact power of two: bucket [512, 1023]
+        }
+        let snap = h.snapshot();
+        for q in [snap.p50, snap.p95, snap.p99] {
+            assert!((512..=1023).contains(&q), "{q} outside the 512 bucket");
+        }
+        assert!(snap.p50 <= snap.p95 && snap.p95 <= snap.p99);
+    }
+
+    #[test]
+    fn quantiles_interpolate_across_buckets() {
+        let h = Histogram::new();
+        // 90 small observations, 10 large ones: p50 stays small, p95/p99
+        // land in the large bucket.
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let snap = h.snapshot();
+        assert!(
+            snap.p50 < 16,
+            "median in the [8,15] bucket, got {}",
+            snap.p50
+        );
+        assert!(
+            snap.p95 >= 65_536,
+            "p95 in the big bucket, got {}",
+            snap.p95
+        );
+        assert!(snap.p99 >= snap.p95);
+        assert!(snap.p99 <= 131_071, "p99 within the big bucket's bounds");
+    }
+
+    #[test]
+    fn quantile_rank_edges_are_exact() {
+        // One observation per value 1..=4 in distinct buckets 1,2,3,3.
+        let buckets = vec![
+            HistogramBucket {
+                low: 1,
+                high: 1,
+                count: 1,
+            },
+            HistogramBucket {
+                low: 2,
+                high: 3,
+                count: 2,
+            },
+            HistogramBucket {
+                low: 4,
+                high: 7,
+                count: 1,
+            },
+        ];
+        assert_eq!(quantile_from_buckets(&buckets, 4, 0.25), 1);
+        assert_eq!(quantile_from_buckets(&buckets, 4, 1.0), 7);
+        assert_eq!(quantile_from_buckets(&buckets, 0, 0.5), 0);
     }
 
     #[test]

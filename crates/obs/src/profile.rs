@@ -1,0 +1,723 @@
+//! Performance baselines and cross-run regression detection.
+//!
+//! A [`ProfileBaseline`] is the committable form of one run's
+//! performance: its [`StageBreakdown`] plus the p50/p95/p99 of selected
+//! registry histograms. [`diff_profiles`] compares two baselines under
+//! a relative budget (e.g. `0.10` = +10 %) and reports every metric
+//! that regressed past it — the engine behind `reprocmp perf-diff` and
+//! the CI gate's profile check.
+//!
+//! The vendored serde is serialize-only, so [`ProfileBaseline::parse`]
+//! is a small hand-written JSON parser. It accepts three shapes:
+//!
+//! 1. a full `ProfileBaseline` object (`{"stages": …, "histograms": …}`),
+//! 2. a full `CompareReport` (anything with a `"stages"` key), and
+//! 3. a bare serialized `StageBreakdown` (`{"quantize": …, …}`),
+//!
+//! so committed baselines from any era — including the pre-flight-
+//! recorder `ci_baseline_breakdown.json` — keep parsing. Phases the
+//! file predates (e.g. `store_read`) default to zero.
+
+use crate::metrics::RegistrySnapshot;
+use crate::stage::{PhaseCost, StageBreakdown};
+use serde::Serialize;
+use std::time::Duration;
+
+/// The committed quantiles of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HistogramQuantiles {
+    /// Histogram name (registry key).
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+/// A committable performance profile: stage breakdown + histogram
+/// quantiles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Default)]
+pub struct ProfileBaseline {
+    /// Per-phase time/bytes/ops.
+    pub stages: StageBreakdown,
+    /// Quantiles of selected histograms, sorted by name.
+    pub histograms: Vec<HistogramQuantiles>,
+}
+
+impl ProfileBaseline {
+    /// A baseline with stages only.
+    #[must_use]
+    pub fn new(stages: StageBreakdown) -> Self {
+        ProfileBaseline {
+            stages,
+            histograms: Vec::new(),
+        }
+    }
+
+    /// A baseline carrying every histogram in `registry`.
+    #[must_use]
+    pub fn from_registry(stages: StageBreakdown, registry: &RegistrySnapshot) -> Self {
+        let histograms = registry
+            .histograms
+            .iter()
+            .map(|h| HistogramQuantiles {
+                name: h.name.clone(),
+                count: h.histogram.count,
+                p50: h.histogram.p50,
+                p95: h.histogram.p95,
+                p99: h.histogram.p99,
+            })
+            .collect();
+        ProfileBaseline { stages, histograms }
+    }
+
+    /// Pretty JSON, newline-terminated (the committed-file format).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).unwrap_or_default();
+        s.push('\n');
+        s
+    }
+
+    /// Parses a baseline from JSON (see module docs for the accepted
+    /// shapes).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first syntax or shape problem found.
+    pub fn parse(text: &str) -> Result<ProfileBaseline, String> {
+        let value = Parser::new(text).parse()?;
+        let root = value.as_object().ok_or("top level must be an object")?;
+        // Shape 1/2: {"stages": {...}} — a baseline or a CompareReport.
+        // Shape 3: a bare StageBreakdown.
+        let stages_obj = match find(root, "stages") {
+            Some(v) => v.as_object().ok_or("\"stages\" must be an object")?,
+            None => root,
+        };
+        let mut stages = StageBreakdown::default();
+        for name in [
+            "quantize",
+            "leaf_hash",
+            "level_build",
+            "bfs",
+            "stage2_stream",
+            "verify",
+            "store_read",
+        ] {
+            let Some(phase) = find(stages_obj, name) else {
+                continue; // older schema: phase defaults to zero
+            };
+            let phase = phase
+                .as_object()
+                .ok_or_else(|| format!("phase {name:?} must be an object"))?;
+            let cost = parse_phase(phase).map_err(|e| format!("phase {name:?}: {e}"))?;
+            match name {
+                "quantize" => stages.quantize = cost,
+                "leaf_hash" => stages.leaf_hash = cost,
+                "level_build" => stages.level_build = cost,
+                "bfs" => stages.bfs = cost,
+                "stage2_stream" => stages.stage2_stream = cost,
+                "verify" => stages.verify = cost,
+                _ => stages.store_read = cost,
+            }
+        }
+        let mut histograms = Vec::new();
+        if let Some(Json::Arr(items)) = find(root, "histograms") {
+            for item in items {
+                let obj = item
+                    .as_object()
+                    .ok_or("histogram entries must be objects")?;
+                histograms.push(HistogramQuantiles {
+                    name: find(obj, "name")
+                        .and_then(Json::as_str)
+                        .ok_or("histogram entry missing \"name\"")?
+                        .to_owned(),
+                    count: get_u64(obj, "count")?,
+                    p50: get_u64(obj, "p50")?,
+                    p95: get_u64(obj, "p95")?,
+                    p99: get_u64(obj, "p99")?,
+                });
+            }
+        }
+        Ok(ProfileBaseline { stages, histograms })
+    }
+}
+
+/// One metric that moved past the budget.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Regression {
+    /// Metric path, e.g. `stage2_stream.bytes` or `io.read_bytes.p99`.
+    pub metric: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+}
+
+impl Regression {
+    /// `new / old` (infinite when the baseline was zero).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.old == 0.0 {
+            f64::INFINITY
+        } else {
+            self.new / self.old
+        }
+    }
+}
+
+/// The outcome of [`diff_profiles`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProfileDiff {
+    /// Relative budget the diff ran under (0.10 = +10 %).
+    pub budget: f64,
+    /// Metric comparisons performed.
+    pub checks: u64,
+    /// Every metric past the budget, in breakdown order.
+    pub regressions: Vec<Regression>,
+}
+
+impl ProfileDiff {
+    /// True when nothing regressed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// A human-readable verdict table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        if self.passed() {
+            let _ = writeln!(
+                s,
+                "PASS — {} metrics within +{:.1}% of baseline",
+                self.checks,
+                self.budget * 100.0
+            );
+        } else {
+            let _ = writeln!(
+                s,
+                "FAIL — {} of {} metrics regressed past +{:.1}%:",
+                self.regressions.len(),
+                self.checks,
+                self.budget * 100.0
+            );
+            for r in &self.regressions {
+                let _ = writeln!(
+                    s,
+                    "  {:<28} {:>14.0} -> {:>14.0}  ({}x)",
+                    r.metric,
+                    r.old,
+                    r.new,
+                    if r.ratio().is_finite() {
+                        format!("{:.2}", r.ratio())
+                    } else {
+                        "inf".to_owned()
+                    }
+                );
+            }
+        }
+        s
+    }
+}
+
+/// Parses a budget argument: `"10%"` → `0.10`, `"0.1"` → `0.1`.
+///
+/// # Errors
+///
+/// Non-numeric or negative input.
+pub fn parse_budget(s: &str) -> Result<f64, String> {
+    let (num, scale) = match s.strip_suffix('%') {
+        Some(pct) => (pct, 0.01),
+        None => (s, 1.0),
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid budget {s:?} (want e.g. \"10%\" or \"0.1\")"))?;
+    if !(0.0..=100.0).contains(&v) {
+        return Err(format!("budget {s:?} out of range"));
+    }
+    Ok(v * scale)
+}
+
+fn check(
+    regressions: &mut Vec<Regression>,
+    checks: &mut u64,
+    metric: String,
+    old: f64,
+    new: f64,
+    budget: f64,
+    flag_from_zero: bool,
+) {
+    *checks += 1;
+    let over = if old == 0.0 {
+        flag_from_zero && new > 0.0
+    } else {
+        new > old * (1.0 + budget)
+    };
+    if over {
+        regressions.push(Regression { metric, old, new });
+    }
+}
+
+/// Compares `new` against `old` under a relative `budget` and reports
+/// every regressed metric.
+///
+/// Per phase, `time`/`bytes`/`ops` fail when `new > old·(1+budget)`.
+/// `bytes`/`ops` additionally fail when a phase that was silent in the
+/// baseline starts moving data; `time` does not (a zero-time baseline
+/// phase usually means "not modeled here", and any wall-time jitter
+/// would fire it spuriously). Histogram quantiles are compared by name
+/// for names present in both profiles.
+#[must_use]
+pub fn diff_profiles(old: &ProfileBaseline, new: &ProfileBaseline, budget: f64) -> ProfileDiff {
+    let mut regressions = Vec::new();
+    let mut checks = 0u64;
+    let new_phases = new.stages.phases();
+    for (i, (name, o)) in old.stages.phases().iter().enumerate() {
+        let n = new_phases[i].1;
+        check(
+            &mut regressions,
+            &mut checks,
+            format!("{name}.time_ns"),
+            duration_f64(o.time),
+            duration_f64(n.time),
+            budget,
+            false,
+        );
+        check(
+            &mut regressions,
+            &mut checks,
+            format!("{name}.bytes"),
+            o.bytes as f64,
+            n.bytes as f64,
+            budget,
+            true,
+        );
+        check(
+            &mut regressions,
+            &mut checks,
+            format!("{name}.ops"),
+            o.ops as f64,
+            n.ops as f64,
+            budget,
+            true,
+        );
+    }
+    for o in &old.histograms {
+        let Some(n) = new.histograms.iter().find(|h| h.name == o.name) else {
+            continue;
+        };
+        for (q, ov, nv) in [
+            ("p50", o.p50, n.p50),
+            ("p95", o.p95, n.p95),
+            ("p99", o.p99, n.p99),
+        ] {
+            check(
+                &mut regressions,
+                &mut checks,
+                format!("{}.{q}", o.name),
+                ov as f64,
+                nv as f64,
+                budget,
+                false,
+            );
+        }
+    }
+    ProfileDiff {
+        budget,
+        checks,
+        regressions,
+    }
+}
+
+fn duration_f64(d: Duration) -> f64 {
+    d.as_nanos() as f64
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser (the vendored serde is serialize-only).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn find<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    find(obj, key)
+        .and_then(Json::as_f64)
+        .map(|v| v as u64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn parse_phase(obj: &[(String, Json)]) -> Result<PhaseCost, String> {
+    let time = find(obj, "time")
+        .and_then(Json::as_object)
+        .ok_or("missing \"time\" object")?;
+    let secs = get_u64(time, "secs")?;
+    let nanos = get_u64(time, "nanos")?;
+    Ok(PhaseCost {
+        time: Duration::new(
+            secs,
+            u32::try_from(nanos).map_err(|_| "nanos out of range")?,
+        ),
+        bytes: get_u64(obj, "bytes")?,
+        ops: get_u64(obj, "ops")?,
+    })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing data at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.bytes.get(self.pos).copied();
+                    self.pos += 1;
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(char::from(b));
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = rest.chars().next().ok_or("unexpected end of string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(ns: u64, bytes: u64, ops: u64) -> PhaseCost {
+        PhaseCost::new(Duration::from_nanos(ns), bytes, ops)
+    }
+
+    fn sample() -> ProfileBaseline {
+        ProfileBaseline {
+            stages: StageBreakdown {
+                quantize: cost(100, 1000, 10),
+                leaf_hash: cost(200, 1000, 10),
+                level_build: cost(50, 0, 5),
+                bfs: cost(300, 64, 32),
+                stage2_stream: cost(400, 8192, 16),
+                verify: cost(150, 8192, 2048),
+                store_read: cost(0, 4096, 8),
+            },
+            histograms: vec![HistogramQuantiles {
+                name: "io.read_bytes".into(),
+                count: 16,
+                p50: 512,
+                p95: 512,
+                p99: 512,
+            }],
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let b = sample();
+        let parsed = ProfileBaseline::parse(&b.to_json()).expect("parse own output");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn bare_breakdown_json_parses_with_missing_phases_zero() {
+        let mut stages = sample().stages;
+        stages.store_read = PhaseCost::default();
+        let json = serde_json::to_string_pretty(&stages).unwrap();
+        // Strip the store_read key to mimic a pre-flight-recorder file.
+        let legacy = {
+            let cut = json
+                .find(",\n  \"store_read\"")
+                .expect("store_read present");
+            format!("{}\n}}", &json[..cut])
+        };
+        let parsed = ProfileBaseline::parse(&legacy).expect("legacy breakdown parses");
+        assert_eq!(parsed.stages, stages);
+        assert!(parsed.histograms.is_empty());
+    }
+
+    #[test]
+    fn baseline_vs_itself_always_passes() {
+        let b = sample();
+        let diff = diff_profiles(&b, &b, 0.0);
+        assert!(diff.passed(), "{}", diff.render());
+        assert!(diff.checks >= 21 + 3);
+    }
+
+    #[test]
+    fn inflated_phase_fails_and_names_the_metric() {
+        let old = sample();
+        let mut new = sample();
+        new.stages.stage2_stream.bytes *= 2;
+        let diff = diff_profiles(&old, &new, 0.10);
+        assert!(!diff.passed());
+        assert_eq!(diff.regressions.len(), 1);
+        assert_eq!(diff.regressions[0].metric, "stage2_stream.bytes");
+        assert!(diff.render().contains("stage2_stream.bytes"));
+    }
+
+    #[test]
+    fn within_budget_growth_passes() {
+        let old = sample();
+        let mut new = sample();
+        new.stages.verify.ops = 2150; // +5% on 2048
+        assert!(diff_profiles(&old, &new, 0.10).passed());
+        assert!(!diff_profiles(&old, &new, 0.01).passed());
+    }
+
+    #[test]
+    fn silent_phase_starting_to_move_bytes_is_flagged() {
+        let mut old = sample();
+        old.stages.store_read = PhaseCost::default();
+        let new = sample(); // store_read now moves 4096 bytes
+        let diff = diff_profiles(&old, &new, 0.10);
+        let metrics: Vec<&str> = diff.regressions.iter().map(|r| r.metric.as_str()).collect();
+        assert_eq!(metrics, ["store_read.bytes", "store_read.ops"]);
+        assert!(diff.regressions[0].ratio().is_infinite());
+    }
+
+    #[test]
+    fn histogram_quantile_regressions_are_detected() {
+        let old = sample();
+        let mut new = sample();
+        new.histograms[0].p99 = 4096;
+        let diff = diff_profiles(&old, &new, 0.10);
+        assert_eq!(diff.regressions.len(), 1);
+        assert_eq!(diff.regressions[0].metric, "io.read_bytes.p99");
+    }
+
+    #[test]
+    fn budget_parses_percent_and_fraction() {
+        assert_eq!(parse_budget("10%").unwrap(), 0.10);
+        assert!((parse_budget("2.5%").unwrap() - 0.025).abs() < 1e-12);
+        assert_eq!(parse_budget("0.1").unwrap(), 0.1);
+        assert!(parse_budget("oops").is_err());
+        assert!(parse_budget("-1").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_arrays_and_nesting() {
+        let v = Parser::new(r#"{"a\n":[1,2.5,-3,true,false,null,"xA"]}"#)
+            .parse()
+            .unwrap();
+        let Json::Obj(fields) = v else { panic!() };
+        assert_eq!(fields[0].0, "a\n");
+        let Json::Arr(items) = &fields[0].1 else {
+            panic!()
+        };
+        assert_eq!(items.len(), 7);
+        assert_eq!(items[6], Json::Str("xA".into()));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(ProfileBaseline::parse("{} extra").is_err());
+        assert!(ProfileBaseline::parse("[1,2]").is_err());
+    }
+}

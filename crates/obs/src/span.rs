@@ -9,6 +9,7 @@
 //! span's interval lies inside its parent's, a property the test suite
 //! asserts over random nesting programs.
 
+use crate::journal::{EventKind, Journal};
 use crate::ObsClock;
 use serde::Serialize;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -24,6 +25,10 @@ pub struct SpanRecord {
     pub parent: Option<u64>,
     /// Nesting depth; roots are at depth 0.
     pub depth: u64,
+    /// Monotonic open-order sequence number. Under a frozen or
+    /// simulated clock many spans can share identical timestamps, so
+    /// exports sort by `(start, seq)` to stay deterministic.
+    pub seq: u64,
     /// Clock reading at entry.
     pub start: Duration,
     /// Clock reading at exit; equals `start` while the span is open.
@@ -53,6 +58,7 @@ struct TracerState {
 pub struct Tracer {
     state: Option<Arc<Mutex<TracerState>>>,
     clock: ObsClock,
+    journal: Journal,
 }
 
 impl Tracer {
@@ -62,6 +68,19 @@ impl Tracer {
         Tracer {
             state: Some(Arc::new(Mutex::new(TracerState::default()))),
             clock,
+            journal: Journal::disabled(),
+        }
+    }
+
+    /// An enabled tracer that additionally mirrors every span open and
+    /// close into `journal` as `span_begin`/`span_end` events on the
+    /// `main` lane.
+    #[must_use]
+    pub fn with_journal(clock: ObsClock, journal: Journal) -> Self {
+        Tracer {
+            state: Some(Arc::new(Mutex::new(TracerState::default()))),
+            clock,
+            journal,
         }
     }
 
@@ -71,6 +90,7 @@ impl Tracer {
         Tracer {
             state: None,
             clock: ObsClock::frozen(),
+            journal: Journal::disabled(),
         }
     }
 
@@ -90,20 +110,24 @@ impl Tracer {
             };
         };
         let now = self.clock.now();
+        let name = name.into();
         let mut s = state.lock().unwrap_or_else(PoisonError::into_inner);
         let parent = s.stack.last().map(|&i| i as u64);
         let depth = s.stack.len() as u64;
         let index = s.records.len();
         s.records.push(SpanRecord {
-            name: name.into(),
+            name: name.clone(),
             parent,
             depth,
+            seq: index as u64,
             start: now,
             end: now,
         });
         s.stack.push(index);
+        drop(s);
+        self.journal.emit("main", EventKind::SpanBegin { name });
         SpanGuard {
-            tracer: Some((Arc::clone(state), self.clock.clone())),
+            tracer: Some((Arc::clone(state), self.clock.clone(), self.journal.clone())),
             index,
         }
     }
@@ -125,13 +149,13 @@ impl Tracer {
 /// RAII guard returned by [`Tracer::span`]; closes the span on drop.
 #[derive(Debug)]
 pub struct SpanGuard {
-    tracer: Option<(Arc<Mutex<TracerState>>, ObsClock)>,
+    tracer: Option<(Arc<Mutex<TracerState>>, ObsClock, Journal)>,
     index: usize,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some((state, clock)) = self.tracer.take() else {
+        let Some((state, clock, journal)) = self.tracer.take() else {
             return;
         };
         let now = clock.now();
@@ -141,12 +165,27 @@ impl Drop for SpanGuard {
         // or dropped out of order, everything opened above it, closing
         // those records at `now` so the stack stays consistent. A guard
         // whose span was already popped only stamps its end time.
+        // Orphans get their `span_end` mirrored too (innermost first),
+        // so the journal's begin/end pairs stay well-nested even when
+        // guards misbehave.
         let st = &mut *s;
+        let journaling = journal.is_enabled();
+        let mut closed = Vec::new();
         if let Some(pos) = st.stack.iter().rposition(|&i| i == self.index) {
-            for &orphan in &st.stack[pos + 1..] {
+            for &orphan in st.stack[pos + 1..].iter().rev() {
                 st.records[orphan].end = st.records[orphan].end.max(now);
+                if journaling {
+                    closed.push(st.records[orphan].name.clone());
+                }
             }
             st.stack.truncate(pos);
+            if journaling {
+                closed.push(st.records[self.index].name.clone());
+            }
+        }
+        drop(s);
+        for name in closed {
+            journal.emit("main", EventKind::SpanEnd { name });
         }
     }
 }
@@ -263,5 +302,41 @@ mod tests {
         let _next = tracer.span("next");
         let recs = tracer.records();
         assert_eq!(recs[2].parent, None, "stack was restored");
+    }
+
+    #[test]
+    fn seq_is_monotonic_even_when_timestamps_are_identical() {
+        let tracer = Tracer::new(ObsClock::frozen());
+        {
+            let _a = tracer.span("a");
+            let _b = tracer.span("b");
+            let _c = tracer.span("c");
+        }
+        let recs = tracer.records();
+        assert!(recs.iter().all(|r| r.start == Duration::ZERO));
+        let seqs: Vec<u64> = recs.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn journaling_tracer_mirrors_well_nested_begin_end_pairs() {
+        let journal = Journal::new(ObsClock::frozen());
+        let tracer = Tracer::with_journal(ObsClock::frozen(), journal.clone());
+        {
+            let outer = tracer.span("outer");
+            let inner = tracer.span("inner");
+            std::mem::forget(inner); // leaked: closed by the outer drop
+            drop(outer);
+        }
+        let kinds: Vec<String> = journal
+            .events()
+            .iter()
+            .map(|e| match &e.kind {
+                EventKind::SpanBegin { name } => format!("+{name}"),
+                EventKind::SpanEnd { name } => format!("-{name}"),
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(kinds, vec!["+outer", "+inner", "-inner", "-outer"]);
     }
 }

@@ -7,6 +7,10 @@
 //! the element-wise verify). [`StageBreakdown`] attributes time, bytes
 //! moved, and operation counts to each; the engine emits it inside
 //! `CompareReport::stages` and the CLI renders it under `--profile`.
+//! A seventh, *overlapping* phase (`store_read`) accounts for the part
+//! of the stage-2 stream served by the persistent capture store — its
+//! time is always zero so the six exclusive phases still partition the
+//! pass.
 //!
 //! Times here are *deterministic* under simulation: capture phases are
 //! measured off the device's modeled-time accumulator and compare
@@ -69,12 +73,18 @@ pub struct StageBreakdown {
     pub stage2_stream: PhaseCost,
     /// Compare stage 2: element-wise verification of streamed chunks.
     pub verify: PhaseCost,
+    /// Compare stage 2: reads resolved through the persistent capture
+    /// store's pack index. This traffic happens *inside* the stream
+    /// phase, so its `time` is always zero (it would double-count
+    /// `stage2_stream`); `bytes`/`ops` say how much of the stream was
+    /// served by packfiles rather than plain files.
+    pub store_read: PhaseCost,
 }
 
 impl StageBreakdown {
     /// The phases in pipeline order, with their canonical names.
     #[must_use]
-    pub fn phases(&self) -> [(&'static str, PhaseCost); 6] {
+    pub fn phases(&self) -> [(&'static str, PhaseCost); 7] {
         [
             ("quantize", self.quantize),
             ("leaf_hash", self.leaf_hash),
@@ -82,19 +92,28 @@ impl StageBreakdown {
             ("bfs", self.bfs),
             ("stage2_stream", self.stage2_stream),
             ("verify", self.verify),
+            ("store_read", self.store_read),
         ]
     }
 
-    /// Total time across all phases.
+    /// Total time across the six *exclusive* phases. `store_read`
+    /// overlaps `stage2_stream` (see its field docs) and is excluded so
+    /// totals never double-count.
     #[must_use]
     pub fn total_time(&self) -> Duration {
-        self.phases().iter().map(|(_, c)| c.time).sum()
+        self.capture_time() + self.compare_time()
     }
 
-    /// Total bytes moved across all phases.
+    /// Total bytes moved across the six exclusive phases (`store_read`
+    /// excluded; see [`StageBreakdown::total_time`]).
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        self.phases().iter().map(|(_, c)| c.bytes).sum()
+        self.quantize.bytes
+            + self.leaf_hash.bytes
+            + self.level_build.bytes
+            + self.bfs.bytes
+            + self.stage2_stream.bytes
+            + self.verify.bytes
     }
 
     /// Time in the capture phases (tree construction).
@@ -119,6 +138,7 @@ impl StageBreakdown {
             bfs: self.bfs.merged(other.bfs),
             stage2_stream: self.stage2_stream.merged(other.stage2_stream),
             verify: self.verify.merged(other.verify),
+            store_read: self.store_read.merged(other.store_read),
         }
     }
 }
@@ -145,7 +165,7 @@ mod tests {
     }
 
     #[test]
-    fn totals_cover_all_six_phases() {
+    fn totals_cover_the_six_exclusive_phases() {
         let b = StageBreakdown {
             quantize: cost(1, 10, 1),
             leaf_hash: cost(2, 20, 1),
@@ -153,15 +173,17 @@ mod tests {
             bfs: cost(4, 40, 1),
             stage2_stream: cost(5, 50, 1),
             verify: cost(6, 60, 1),
+            // Overlaps stage2_stream: excluded from every total.
+            store_read: PhaseCost::new(Duration::ZERO, 25, 3),
         };
         assert_eq!(b.total_time(), Duration::from_millis(21));
         assert_eq!(b.total_bytes(), 210);
         assert_eq!(b.capture_time(), Duration::from_millis(6));
         assert_eq!(b.compare_time(), Duration::from_millis(15));
         assert_eq!(b.capture_time() + b.compare_time(), b.total_time());
-        assert_eq!(b.phases().len(), 6);
+        assert_eq!(b.phases().len(), 7);
         assert_eq!(b.phases()[0].0, "quantize");
-        assert_eq!(b.phases()[5].0, "verify");
+        assert_eq!(b.phases()[6].0, "store_read");
     }
 
     #[test]
@@ -200,7 +222,8 @@ mod tests {
                 "level_build",
                 "bfs",
                 "stage2_stream",
-                "verify"
+                "verify",
+                "store_read"
             ]
         );
     }

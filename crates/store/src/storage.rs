@@ -13,7 +13,7 @@
 use crate::{IndexEntry, Manifest, StoreError, StoreResult};
 use reprocmp_hash::Digest128;
 use reprocmp_io::{IoError, IoResult, StdFsStorage, Storage};
-use reprocmp_obs::StoreReadCounters;
+use reprocmp_obs::{EventKind, JournalSlot, StoreReadCounters};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -41,6 +41,7 @@ pub struct StoreStorage {
     spans: Vec<ChunkSpan>,
     packs: BTreeMap<u32, StdFsStorage>,
     counters: StoreReadCounters,
+    journal: JournalSlot,
 }
 
 impl StoreStorage {
@@ -86,7 +87,16 @@ impl StoreStorage {
             spans,
             packs,
             counters: StoreReadCounters::new(),
+            journal: JournalSlot::new(),
         })
+    }
+
+    /// The late-binding flight-recorder slot for this reader. Arm it
+    /// (via [`JournalSlot::set`]) to receive one `store_read` event on
+    /// the `store` lane per positioned read served from the packs.
+    #[must_use]
+    pub fn journal_slot(&self) -> &JournalSlot {
+        &self.journal
     }
 
     /// A clone of the live read counters — snapshot before/after a
@@ -142,6 +152,13 @@ impl Storage for StoreStorage {
             i += 1;
         }
         self.counters.record_read(buf.len() as u64, deduped);
+        self.journal.emit(
+            "store",
+            EventKind::StoreRead {
+                bytes: buf.len() as u64,
+                deduped: deduped > 0,
+            },
+        );
         Ok(())
     }
 }
@@ -219,6 +236,33 @@ mod tests {
         // charge_batch is the trait default: a no-op for real packs.
         storage.charge_batch(&[(0, 64)], AccessMode::Sync);
         assert_eq!(storage.elapsed(), std::time::Duration::ZERO);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn armed_journal_slot_records_pack_reads() {
+        let (store, root) = temp_store("journal");
+        let region = bytes(512, 9);
+        store.ingest("j", 1, &[("x", &region)], 64, &[]).unwrap();
+        store.ingest("j", 2, &[("x", &region)], 64, &[]).unwrap();
+        let storage = store.reader("j", 2).unwrap();
+        let mut buf = vec![0u8; 128];
+        storage.read_at(0, &mut buf).unwrap(); // slot empty: no-op
+        let journal = reprocmp_obs::Journal::new(reprocmp_obs::ObsClock::frozen());
+        storage.journal_slot().set(journal.clone());
+        storage.read_at(64, &mut buf).unwrap();
+        storage.journal_slot().clear();
+        storage.read_at(0, &mut buf).unwrap(); // disarmed again: no-op
+        let events = journal.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].lane, "store");
+        assert!(matches!(
+            events[0].kind,
+            reprocmp_obs::EventKind::StoreRead {
+                bytes: 128,
+                deduped: true
+            }
+        ));
         std::fs::remove_dir_all(&root).ok();
     }
 }

@@ -12,7 +12,7 @@
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use reprocmp_io::RetryPolicy;
-use reprocmp_obs::{Counter, Histogram, Registry};
+use reprocmp_obs::{Counter, EventKind, Histogram, Journal, Registry};
 use reprocmp_store::{ChunkStore, StoreError, HEADER_SEGMENT};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -176,6 +176,9 @@ pub struct FlushMetrics {
     pub gave_up: Counter,
     /// Bytes copied per successful flush.
     pub flush_bytes: Histogram,
+    /// Flight-recorder sink; disabled unless attached with
+    /// [`FlushMetrics::with_journal`].
+    journal: Journal,
 }
 
 impl FlushMetrics {
@@ -188,7 +191,17 @@ impl FlushMetrics {
             retried: registry.counter(&format!("{prefix}.flush.retried")),
             gave_up: registry.counter(&format!("{prefix}.flush.gave_up")),
             flush_bytes: registry.histogram(&format!("{prefix}.flush.bytes")),
+            journal: Journal::disabled(),
         }
+    }
+
+    /// Attaches a flight-recorder journal: every flush outcome emits a
+    /// `flush` event (destination file name, bytes copied, success) on
+    /// the `veloc` lane.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
+        self
     }
 
     /// Metrics bound to a private registry nobody else reads.
@@ -659,6 +672,16 @@ fn tmp_path(to: &Path) -> PathBuf {
 fn flush_file(from: &Path, to: &Path, retry: &RetryPolicy, metrics: &FlushMetrics) -> bool {
     let tmp = tmp_path(to);
     let attempts = retry.max_attempts.max(1);
+    let flush_event = |bytes: u64, ok: bool| {
+        if metrics.journal.is_enabled() {
+            let name = to
+                .file_name()
+                .map_or_else(|| to.display().to_string(), |n| n.to_string_lossy().into());
+            metrics
+                .journal
+                .emit("veloc", EventKind::Flush { name, bytes, ok });
+        }
+    };
     for attempt in 1..=attempts {
         let result =
             std::fs::copy(from, &tmp).and_then(|copied| std::fs::rename(&tmp, to).map(|()| copied));
@@ -666,6 +689,7 @@ fn flush_file(from: &Path, to: &Path, retry: &RetryPolicy, metrics: &FlushMetric
             Ok(copied) => {
                 metrics.completed.inc();
                 metrics.flush_bytes.record(copied);
+                flush_event(copied, true);
                 return true;
             }
             Err(_) if attempt < attempts => {
@@ -675,6 +699,7 @@ fn flush_file(from: &Path, to: &Path, retry: &RetryPolicy, metrics: &FlushMetric
             Err(_) => {
                 metrics.gave_up.inc();
                 std::fs::remove_file(&tmp).ok();
+                flush_event(0, false);
                 return false;
             }
         }
@@ -850,6 +875,39 @@ mod tests {
         assert_eq!(h.sum, client.stats().persistent_bytes);
         // The client's own handles are the same atomics.
         assert_eq!(client.metrics().checkpoints.get(), 3);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn journaling_metrics_record_flush_events() {
+        let base =
+            std::env::temp_dir().join(format!("reprocmp-veloc-journal-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let journal = Journal::new(reprocmp_obs::ObsClock::wall());
+        let client = Client::new_observed(
+            VelocConfig::rooted_at(&base),
+            FlushMetrics::detached().with_journal(journal.clone()),
+        )
+        .unwrap();
+        client
+            .checkpoint("j", 1, &[("x", &field(128, 1.0))])
+            .unwrap();
+        client.wait_all().unwrap();
+        let events = journal.events();
+        let flushes: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Flush { .. }))
+            .collect();
+        assert_eq!(flushes.len(), 1);
+        assert_eq!(flushes[0].lane, "veloc");
+        match &flushes[0].kind {
+            EventKind::Flush { name, bytes, ok } => {
+                assert!(name.contains("j"), "destination file name: {name}");
+                assert!(*bytes > 0);
+                assert!(ok);
+            }
+            _ => unreachable!(),
+        }
         std::fs::remove_dir_all(&base).ok();
     }
 

@@ -74,51 +74,70 @@ fn gate(
     (passed, report)
 }
 
-/// Pulls `"bytes": N` out of the `"stage2_stream"` object of a
-/// serialized [`StageBreakdown`] by substring search (the vendored
-/// JSON support is serialize-only, and a full parser would be overkill
-/// for one committed, machine-written file).
-fn extract_stage2_bytes(json: &str) -> Option<u64> {
-    let obj = &json[json.find("\"stage2_stream\"")?..];
-    let after = &obj[obj.find("\"bytes\":")? + "\"bytes\":".len()..];
-    let digits: String = after
-        .chars()
-        .skip_while(|c| c.is_whitespace())
-        .take_while(char::is_ascii_digit)
-        .collect();
-    digits.parse().ok()
-}
-
 fn baseline_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/ci_baseline_breakdown.json")
 }
 
-/// The performance half of the gate: stage-2 bytes-read against the
-/// committed baseline breakdown. Returns `false` on a >10 % regression.
+/// Strips wall times from a breakdown. The gate's inputs are byte- and
+/// op-deterministic (sequential order, fixed geometry) but times are
+/// not; a committed baseline with zeroed times makes `diff_profiles`
+/// check exactly the deterministic shape (`time` checks never fire
+/// from a zero baseline).
+fn without_times(stages: &reprocmp::obs::StageBreakdown) -> reprocmp::obs::StageBreakdown {
+    let mut s = *stages;
+    for phase in [
+        &mut s.quantize,
+        &mut s.leaf_hash,
+        &mut s.level_build,
+        &mut s.bfs,
+        &mut s.stage2_stream,
+        &mut s.store_read,
+        &mut s.verify,
+    ] {
+        phase.time = std::time::Duration::ZERO;
+    }
+    s
+}
+
+/// The performance half of the gate: the candidate comparison's stage
+/// profile against the committed baseline, through the same
+/// [`diff_profiles`](reprocmp::obs::diff_profiles) engine that backs
+/// `reprocmp perf-diff`. Returns `false` on a >10 % regression in any
+/// phase's bytes or ops (stage-2 bytes-read blowing up — pruning got
+/// worse — is the canonical trigger).
 fn io_budget_gate(report: &CompareReport) -> bool {
-    let current = report.stages.stage2_stream.bytes;
-    let mut json = serde_json::to_string_pretty(&report.stages).expect("serialize breakdown");
-    json.push('\n');
+    use reprocmp::obs::{diff_profiles, ProfileBaseline};
+
+    let current = ProfileBaseline::new(without_times(&report.stages));
     let path = baseline_path();
 
     if std::env::var("UPDATE_BASELINE").is_ok_and(|v| v == "1") || !path.exists() {
+        let mut json = current.to_json();
+        json.push('\n');
         std::fs::write(&path, &json).expect("write baseline breakdown");
-        println!("  baseline breakdown written to {}", path.display());
+        println!("  baseline profile written to {}", path.display());
         return true;
     }
     let baseline_json = std::fs::read_to_string(&path).expect("read baseline breakdown");
-    let baseline = extract_stage2_bytes(&baseline_json).expect("baseline has stage2_stream.bytes");
-    // Integer-safe "current > 110% of baseline".
-    if current * 10 > baseline * 11 {
-        println!(
-            "  FAIL — stage-2 read {current} bytes, > 10% over the baseline {baseline} \
-             (UPDATE_BASELINE=1 accepts an intentional change)"
-        );
-        false
-    } else {
-        println!("  PASS — stage-2 read {current} bytes (baseline {baseline}, budget +10%)");
-        true
+    // `parse` accepts both the current `ProfileBaseline` shape and the
+    // bare pre-flight-recorder `StageBreakdown` files.
+    let mut baseline = ProfileBaseline::parse(&baseline_json).expect("parse baseline profile");
+    baseline.stages = without_times(&baseline.stages);
+    let diff = diff_profiles(&baseline, &current, 0.10);
+    print!("{}", indent(&diff.render()));
+    if !diff.passed() {
+        println!("  (UPDATE_BASELINE=1 accepts an intentional change)");
     }
+    diff.passed()
+}
+
+fn indent(text: &str) -> String {
+    text.lines().fold(String::new(), |mut s, line| {
+        s.push_str("  ");
+        s.push_str(line);
+        s.push('\n');
+        s
+    })
 }
 
 /// The capture half of the gate: ingesting the golden result plus two

@@ -310,6 +310,26 @@ fn parse_json(text: &str) -> Json {
     v
 }
 
+/// Recursive *additive* schema comparison: every field the legacy
+/// value has must exist in the current value with an additively-equal
+/// value (objects may gain fields at any depth — e.g. `stages` gained
+/// `store_read` with the flight recorder — but may never lose or
+/// change one).
+fn assert_additive(legacy: &Json, current: &Json, path: &str) {
+    match (legacy, current) {
+        (Json::Obj(old), Json::Obj(new)) => {
+            for (key, old_value) in old {
+                let (_, new_value) = new
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .unwrap_or_else(|| panic!("new schema dropped `{path}.{key}`"));
+                assert_additive(old_value, new_value, &format!("{path}.{key}"));
+            }
+        }
+        _ => assert_eq!(current, legacy, "value of `{path}` changed"),
+    }
+}
+
 /// Reports written before the batch scheduler existed (no `cache`
 /// field) must stay readable, and the new schema must be *strictly
 /// additive*: every field an old consumer reads is still present with
@@ -349,7 +369,7 @@ fn pre_cache_reports_remain_readable_and_schema_is_additive() {
             .iter()
             .find(|(k, _)| k == key)
             .unwrap_or_else(|| panic!("new schema dropped `{key}`"));
-        assert_eq!(current_value, legacy_value, "value of `{key}` changed");
+        assert_additive(legacy_value, current_value, key);
     }
     let added: Vec<&str> = current
         .iter()
@@ -404,7 +424,7 @@ fn pre_store_reports_remain_readable_and_schema_is_additive() {
             .iter()
             .find(|(k, _)| k == key)
             .unwrap_or_else(|| panic!("new schema dropped `{key}`"));
-        assert_eq!(current_value, legacy_value, "value of `{key}` changed");
+        assert_additive(legacy_value, current_value, key);
     }
     let added: Vec<&str> = current
         .iter()
@@ -412,6 +432,72 @@ fn pre_store_reports_remain_readable_and_schema_is_additive() {
         .filter(|k| !legacy_keys.contains(k))
         .collect();
     assert_eq!(added, vec!["store"], "additions beyond the store ledger");
+}
+
+/// Reports written before the flight recorder existed (no
+/// `stages.store_read` phase) must stay readable, and the only schema
+/// change since is that one additive phase — instrumenting the engine
+/// must not have perturbed a single simulated value anywhere else.
+#[test]
+fn pre_flightrec_reports_remain_readable_and_schema_is_additive() {
+    let legacy_text =
+        std::fs::read_to_string(golden_path("legacy_pre_flightrec")).expect("legacy fixture");
+    let Json::Obj(legacy) = parse_json(&legacy_text) else {
+        panic!("legacy fixture is not an object")
+    };
+    let legacy_keys: Vec<&str> = legacy.iter().map(|(k, _)| k.as_str()).collect();
+    assert!(
+        legacy_keys.contains(&"store"),
+        "the pre-flight-recorder fixture postdates the store ledger"
+    );
+    let stages_of = |obj: &[(String, Json)]| -> Vec<String> {
+        let Some((_, Json::Obj(stages))) = obj.iter().find(|(k, _)| k == "stages") else {
+            panic!("report has no stages object")
+        };
+        stages.iter().map(|(k, _)| k.clone()).collect()
+    };
+    assert!(
+        !stages_of(&legacy).contains(&"store_read".to_owned()),
+        "the fixture must predate the store_read phase"
+    );
+
+    let current_text =
+        std::fs::read_to_string(golden_path("seed2_moderate")).expect("current golden");
+    let Json::Obj(current) = parse_json(&current_text) else {
+        panic!("current golden is not an object")
+    };
+    for (key, legacy_value) in &legacy {
+        let (_, current_value) = current
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("new schema dropped `{key}`"));
+        assert_additive(legacy_value, current_value, key);
+    }
+    // No new top-level keys; the only addition anywhere is the
+    // store_read phase, and for an in-memory comparison it is all-zero.
+    let added: Vec<&str> = current
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .filter(|k| !legacy_keys.contains(k))
+        .collect();
+    assert!(
+        added.is_empty(),
+        "unexpected top-level additions: {added:?}"
+    );
+    let new_stages: Vec<String> = stages_of(&current)
+        .into_iter()
+        .filter(|k| !stages_of(&legacy).contains(k))
+        .collect();
+    assert_eq!(new_stages, vec!["store_read"], "stage additions");
+    let Some((_, Json::Obj(stages))) = current.iter().find(|(k, _)| k == "stages") else {
+        unreachable!()
+    };
+    let (_, store_read) = stages.iter().find(|(k, _)| k == "store_read").unwrap();
+    let flat = format!("{store_read:?}");
+    assert!(
+        !flat.contains(|c: char| c.is_ascii_digit() && c != '0'),
+        "in-memory comparison charged the store_read phase: {flat}"
+    );
 }
 
 /// The golden serialization is itself reproducible: two fresh

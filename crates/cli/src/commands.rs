@@ -55,7 +55,8 @@ fn engine_from(map: &ArgMap) -> Result<CompareEngine, CliError> {
         }
     };
     let io = reprocmp_io::PipelineConfig {
-        retry: reprocmp_io::RetryPolicy::with_attempts(map.parsed_or("retry-attempts", 1u32)?),
+        retry: reprocmp_io::RetryPolicy::try_with_attempts(map.parsed_or("retry-attempts", 1u32)?)
+            .map_err(|e| CliError::Usage(format!("--retry-attempts: {e}")))?,
         ..reprocmp_io::PipelineConfig::default()
     };
     // --lanes caps the BFS start level: fewer lanes start the pruning
@@ -273,6 +274,12 @@ pub fn compare(map: &ArgMap) -> Result<String, CliError> {
         let _ = writeln!(exports, "wrote {}", path.display());
     }
 
+    // --strict: degraded results are failures. A comparison that
+    // completed but could not verify every chunk (quarantined packs,
+    // unreadable ranges) exits non-zero so CI never mistakes a
+    // partial verdict for a full one.
+    let strict_violation = map.flag("strict") && !report.fully_verified();
+
     // --json: the full machine-readable report (including the stage
     // profile, I/O counters, and registry histogram quantiles) instead
     // of the human rendering.
@@ -280,6 +287,9 @@ pub fn compare(map: &ArgMap) -> Result<String, CliError> {
         let mut s =
             serde_json::to_string_pretty(&report_with_histograms(&report, &obs)).map_err(fail)?;
         s.push('\n');
+        if strict_violation {
+            return Err(CliError::Failed(s));
+        }
         return Ok(s);
     }
 
@@ -413,6 +423,14 @@ pub fn compare(map: &ArgMap) -> Result<String, CliError> {
             );
         }
     }
+    if strict_violation {
+        let _ = writeln!(
+            out,
+            "STRICT: failing — {} chunk(s) were not verified",
+            report.unverified_chunks()
+        );
+        return Err(CliError::Failed(out));
+    }
     Ok(out)
 }
 
@@ -508,9 +526,19 @@ pub fn compare_many(map: &ArgMap) -> Result<String, CliError> {
         }
     };
 
+    let batch_unverified: u64 = batch
+        .jobs
+        .iter()
+        .map(|j| j.report.unverified_chunks())
+        .sum();
+    let strict_violation = map.flag("strict") && batch_unverified > 0;
+
     if map.flag("json") {
         let mut s = serde_json::to_string_pretty(&batch).map_err(fail)?;
         s.push('\n');
+        if strict_violation {
+            return Err(CliError::Failed(s));
+        }
         return Ok(s);
     }
 
@@ -580,15 +608,10 @@ pub fn compare_many(map: &ArgMap) -> Result<String, CliError> {
             names[job.right],
         );
     }
-    let unverified: u64 = batch
-        .jobs
-        .iter()
-        .map(|j| j.report.unverified_chunks())
-        .sum();
-    if unverified > 0 {
+    if batch_unverified > 0 {
         let _ = writeln!(
             out,
-            "WARNING: {unverified} chunk(s) across the batch could not be read and were \
+            "WARNING: {batch_unverified} chunk(s) across the batch could not be read and were \
              quarantined; verdicts cover only the verified data"
         );
     }
@@ -602,6 +625,13 @@ pub fn compare_many(map: &ArgMap) -> Result<String, CliError> {
             "RESULT: {divergent} of {} pair(s) differ beyond the bound ({total} values total)",
             batch.jobs.len()
         );
+    }
+    if strict_violation {
+        let _ = writeln!(
+            out,
+            "STRICT: failing — {batch_unverified} chunk(s) were not verified"
+        );
+        return Err(CliError::Failed(out));
     }
     Ok(out)
 }
@@ -1166,6 +1196,73 @@ pub fn scrub(map: &ArgMap) -> Result<String, CliError> {
         );
     }
     Err(CliError::Failed(out))
+}
+
+/// `fsck`: full integrity pass over every pack. Without `--repair`
+/// this reports; with it, single-chunk corruption per parity group is
+/// reconstructed from XOR parity in place, and packs with
+/// unrecoverable damage are quarantined (their chunks surface as
+/// `unverified` ranges in degraded-mode comparison). Exit codes: 0
+/// when the store ends healthy (clean, or fully repaired), 1 when
+/// corruption remains.
+pub fn fsck(map: &ArgMap) -> Result<String, CliError> {
+    let store = open_store(map)?;
+    let repair = map.flag("repair");
+    let report = store.fsck(repair).map_err(fail)?;
+    if map.flag("json") {
+        let mut s = serde_json::to_string_pretty(&report).map_err(fail)?;
+        s.push('\n');
+        return if report.healthy() {
+            Ok(s)
+        } else {
+            Err(CliError::Failed(s))
+        };
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fsck{}: {} pack(s), {} chunk(s) re-hashed",
+        if repair { " --repair" } else { "" },
+        report.packs_scanned,
+        report.chunks_scanned,
+    );
+    if report.is_clean() {
+        let _ = writeln!(out, "RESULT: store is clean");
+        return Ok(out);
+    }
+    let _ = writeln!(
+        out,
+        "corruption: {} chunk(s) failed verification; {} repaired from parity, \
+         {} unrecoverable",
+        report.chunks_corrupt, report.chunks_repaired, report.chunks_unrecoverable,
+    );
+    for id in &report.packs_quarantined {
+        let _ = writeln!(
+            out,
+            "  pack-{id:06} quarantined: its chunks are served verify-on-read and \
+             surface as unverified ranges in comparison"
+        );
+    }
+    if report.healthy() {
+        let _ = writeln!(
+            out,
+            "RESULT: store repaired — every corrupt chunk was reconstructed and verified"
+        );
+        Ok(out)
+    } else if repair {
+        let _ = writeln!(
+            out,
+            "RESULT: degraded — re-ingest the affected checkpoints to repoint their \
+             chunks, then `gc` to reclaim the quarantined pack(s)"
+        );
+        Err(CliError::Failed(out))
+    } else {
+        let _ = writeln!(
+            out,
+            "RESULT: corrupt — run `fsck --repair` to attempt repair"
+        );
+        Err(CliError::Failed(out))
+    }
 }
 
 /// `store-stats`: the store-wide dedup ledger and object listing.

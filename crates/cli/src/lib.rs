@@ -80,6 +80,10 @@ pub fn usage() -> String {
     );
     let _ = writeln!(
         s,
+        "               [--strict]   (exit non-zero if any chunk went unverified)"
+    );
+    let _ = writeln!(
+        s,
         "               [--store D]  (runs are name@version objects in the store)"
     );
     let _ = writeln!(
@@ -104,7 +108,7 @@ pub fn usage() -> String {
     );
     let _ = writeln!(
         s,
-        "               [--no-cache] [--shards N] [--lanes N] [--store D] [--json]"
+        "               [--no-cache] [--shards N] [--lanes N] [--store D] [--strict] [--json]"
     );
     let _ = writeln!(
         s,
@@ -130,6 +134,15 @@ pub fn usage() -> String {
     let _ = writeln!(
         s,
         "  scrub        --store D  (re-hash every chunk; exits non-zero on bit rot)"
+    );
+    let _ = writeln!(s, "  fsck         --store D [--repair] [--json]");
+    let _ = writeln!(
+        s,
+        "               (integrity pass; --repair reconstructs single-chunk damage from"
+    );
+    let _ = writeln!(
+        s,
+        "                parity and quarantines unrecoverable packs; exit 0 iff healthy)"
     );
     let _ = writeln!(
         s,
@@ -228,6 +241,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "ingest" => commands::ingest(&rest),
         "gc" => commands::gc(&rest),
         "scrub" => commands::scrub(&rest),
+        "fsck" => commands::fsck(&rest),
         "store-stats" => commands::store_stats(&rest),
         "store-remove" => commands::store_remove(&rest),
         "simulate" => commands::simulate(&rest),

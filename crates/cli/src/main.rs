@@ -7,6 +7,13 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
+        // Exit codes are part of the CLI contract (CI scripts branch on
+        // them): 2 = bad invocation, 1 = the command ran and failed
+        // (regression, corruption, strict-mode degradation).
+        Err(e @ reprocmp_cli::CliError::Usage(_)) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
         Err(e) => {
             eprintln!("{e}");
             ExitCode::FAILURE

@@ -1,4 +1,4 @@
-//! Fault injection for storage.
+//! Fault injection for storage and filesystem mutations.
 //!
 //! A comparison runtime that drives thousands of scattered reads
 //! through worker pools must surface device errors cleanly: no hangs,
@@ -6,14 +6,185 @@
 //! wraps any [`Storage`] and fails reads according to a
 //! [`FaultPlan`], letting tests (and chaos-minded users) exercise
 //! every error path in the rings, the pipeline, and the engine.
+//!
+//! [`CrashPlan`] is the write-side twin: a deterministic power-failure
+//! injector for *filesystem mutation sequences*. Persistent components
+//! (the chunk store, the veloc flush path) route every mutation — tmp
+//! staging writes, atomic renames, appends, unlinks — through an
+//! instrumented seam that consults a `CrashPlan` at each boundary. The
+//! plan can cut power exactly at mutation *k*, optionally leaving a
+//! torn prefix of a staged write behind, and from then on every further
+//! mutation fails: the process is "off". A torture driver sweeps `k`
+//! over every boundary of an operation and asserts that reopening
+//! recovers to a consistent state.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::cost::OpSpec;
 use crate::storage::{AccessMode, Storage};
 use crate::{IoError, IoResult};
+
+/// The kind of filesystem mutation boundary being crossed, as reported
+/// by an instrumented filesystem seam. The labels name the store's
+/// publish points so a torture sweep can say *where* it cut power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationKind {
+    /// A `.tmp` staging-file write (full contents + fsync).
+    TmpWrite,
+    /// A generic atomic rename publishing a staged file.
+    Rename,
+    /// The rename sealing a freshly written packfile.
+    PackSeal,
+    /// The rename publishing a checkpoint manifest.
+    ManifestPublish,
+    /// The rename swapping in a rewritten chunk index.
+    IndexSwap,
+    /// An append (+fsync) to the write-ahead intent journal.
+    JournalAppend,
+    /// A file unlink (GC pack removal, manifest removal).
+    Unlink,
+}
+
+impl MutationKind {
+    /// Stable label for reports and traces.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MutationKind::TmpWrite => "tmp_write",
+            MutationKind::Rename => "rename",
+            MutationKind::PackSeal => "pack_seal",
+            MutationKind::ManifestPublish => "manifest_publish",
+            MutationKind::IndexSwap => "index_swap",
+            MutationKind::JournalAppend => "journal_append",
+            MutationKind::Unlink => "unlink",
+        }
+    }
+}
+
+/// How the power failure at the chosen mutation manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Power dies before the mutation takes effect: a staged write
+    /// never lands, a rename is dropped with the `.tmp` left behind,
+    /// an unlink leaves its target in place.
+    Before,
+    /// Power dies mid-write: a deterministic strict prefix of the
+    /// bytes lands on disk (the classic torn write). Non-write
+    /// mutations degrade to [`CrashMode::Before`].
+    Torn {
+        /// Seed choosing how much of the write survives.
+        seed: u64,
+    },
+}
+
+/// What the instrumented seam should do at one mutation boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashDecision {
+    /// Perform the mutation normally.
+    Proceed,
+    /// Power is out: perform nothing and fail.
+    Crash,
+    /// Write exactly `keep` bytes of the payload, then fail — the
+    /// machine died with a torn file on disk.
+    TornWrite {
+        /// Bytes of the payload that land before power dies.
+        keep: usize,
+    },
+}
+
+/// A deterministic power-failure schedule over a sequence of
+/// filesystem mutations.
+///
+/// The plan starts *disarmed*: every mutation proceeds uncounted, so a
+/// harness can open a store (whose recovery performs mutations of its
+/// own) before arming the plan around exactly the operation under
+/// test. Once armed, mutations are numbered 1, 2, 3, … and the plan
+/// cuts power at mutation `point`; every later mutation fails too.
+/// `point = 0` never crashes — an armed counting pass that measures
+/// how many boundaries an operation has, so a sweep knows its range.
+#[derive(Debug)]
+pub struct CrashPlan {
+    point: u64,
+    mode: CrashMode,
+    armed: AtomicBool,
+    mutations: AtomicU64,
+    crashed: AtomicBool,
+}
+
+impl CrashPlan {
+    /// A counting plan: never crashes, still numbers armed mutations.
+    #[must_use]
+    pub fn observe() -> Arc<Self> {
+        CrashPlan::at(0, CrashMode::Before)
+    }
+
+    /// A plan that cuts power at armed mutation `point` (1-based) in
+    /// the given mode. `point = 0` never crashes.
+    #[must_use]
+    pub fn at(point: u64, mode: CrashMode) -> Arc<Self> {
+        Arc::new(CrashPlan {
+            point,
+            mode,
+            armed: AtomicBool::new(false),
+            mutations: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        })
+    }
+
+    /// Starts counting (and potentially crashing) from the next
+    /// mutation onward.
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Mutations observed while armed.
+    #[must_use]
+    pub fn mutations(&self) -> u64 {
+        self.mutations.load(Ordering::SeqCst)
+    }
+
+    /// True once the plan has cut power.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Consulted by the instrumented seam at each mutation boundary.
+    /// `write_len` is `Some(payload length)` for write-type mutations,
+    /// enabling torn prefixes; `None` for renames and unlinks.
+    pub fn step(&self, _kind: MutationKind, write_len: Option<usize>) -> CrashDecision {
+        if !self.armed.load(Ordering::SeqCst) {
+            return CrashDecision::Proceed;
+        }
+        if self.crashed.load(Ordering::SeqCst) {
+            return CrashDecision::Crash;
+        }
+        let op_no = self.mutations.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.point == 0 || op_no < self.point {
+            return CrashDecision::Proceed;
+        }
+        self.crashed.store(true, Ordering::SeqCst);
+        match (self.mode, write_len) {
+            (CrashMode::Torn { seed }, Some(len)) if len > 0 => CrashDecision::TornWrite {
+                // A strict prefix: at least 0, at most len - 1 bytes
+                // land, chosen deterministically from the seed and the
+                // mutation number.
+                keep: (crate::retry::splitmix64(seed ^ op_no) % len as u64) as usize,
+            },
+            _ => CrashDecision::Crash,
+        }
+    }
+
+    /// The error a crashed mutation surfaces: a *permanent* I/O error
+    /// (retrying inside a dead machine cannot help), distinguishable
+    /// from real filesystem failures by its message.
+    #[must_use]
+    pub fn crash_error() -> std::io::Error {
+        std::io::Error::other("simulated power failure (CrashPlan)")
+    }
+}
 
 /// When to inject a failure.
 ///
@@ -312,6 +483,102 @@ mod tests {
         // A bad sector is permanent: retrying the same offset can't help.
         let s = FaultyStorage::new(base(1024), FaultPlan::Range { start: 0, end: 64 });
         let err = s.read_at(0, &mut buf).unwrap_err();
+        assert_eq!(err.class(), crate::retry::ErrorClass::Permanent);
+    }
+
+    #[test]
+    fn crash_plan_is_inert_until_armed() {
+        let plan = CrashPlan::at(1, CrashMode::Before);
+        for _ in 0..5 {
+            assert_eq!(
+                plan.step(MutationKind::TmpWrite, Some(100)),
+                CrashDecision::Proceed,
+                "disarmed plans never crash"
+            );
+        }
+        assert_eq!(plan.mutations(), 0, "disarmed mutations are not counted");
+        plan.arm();
+        assert_eq!(
+            plan.step(MutationKind::TmpWrite, Some(100)),
+            CrashDecision::Crash
+        );
+        assert!(plan.crashed());
+        // The machine stays off: every further mutation fails.
+        assert_eq!(plan.step(MutationKind::Rename, None), CrashDecision::Crash);
+        assert_eq!(plan.mutations(), 1);
+    }
+
+    #[test]
+    fn crash_plan_counts_to_the_chosen_point() {
+        let plan = CrashPlan::at(3, CrashMode::Before);
+        plan.arm();
+        assert_eq!(
+            plan.step(MutationKind::TmpWrite, Some(10)),
+            CrashDecision::Proceed
+        );
+        assert_eq!(
+            plan.step(MutationKind::PackSeal, None),
+            CrashDecision::Proceed
+        );
+        assert_eq!(
+            plan.step(MutationKind::IndexSwap, None),
+            CrashDecision::Crash
+        );
+        assert_eq!(plan.mutations(), 3);
+    }
+
+    #[test]
+    fn observing_plan_counts_without_crashing() {
+        let plan = CrashPlan::observe();
+        plan.arm();
+        for _ in 0..10 {
+            assert_eq!(
+                plan.step(MutationKind::JournalAppend, Some(32)),
+                CrashDecision::Proceed
+            );
+        }
+        assert_eq!(plan.mutations(), 10);
+        assert!(!plan.crashed());
+    }
+
+    #[test]
+    fn torn_mode_keeps_a_strict_prefix_of_writes() {
+        for seed in 0..32u64 {
+            let plan = CrashPlan::at(1, CrashMode::Torn { seed });
+            plan.arm();
+            match plan.step(MutationKind::TmpWrite, Some(100)) {
+                CrashDecision::TornWrite { keep } => {
+                    assert!(keep < 100, "torn writes keep a strict prefix")
+                }
+                other => panic!("expected a torn write, got {other:?}"),
+            }
+        }
+        // Torn degrades to Before for non-write mutations.
+        let plan = CrashPlan::at(1, CrashMode::Torn { seed: 7 });
+        plan.arm();
+        assert_eq!(plan.step(MutationKind::Rename, None), CrashDecision::Crash);
+        // And for empty writes.
+        let plan = CrashPlan::at(1, CrashMode::Torn { seed: 7 });
+        plan.arm();
+        assert_eq!(
+            plan.step(MutationKind::TmpWrite, Some(0)),
+            CrashDecision::Crash
+        );
+    }
+
+    #[test]
+    fn torn_prefix_is_deterministic_per_seed() {
+        let keep_at = |seed| {
+            let plan = CrashPlan::at(1, CrashMode::Torn { seed });
+            plan.arm();
+            plan.step(MutationKind::TmpWrite, Some(1000))
+        };
+        assert_eq!(keep_at(42), keep_at(42));
+    }
+
+    #[test]
+    fn crash_error_is_permanent() {
+        let err = IoError::Os(CrashPlan::crash_error());
         assert_eq!(err.class(), crate::retry::ErrorClass::Permanent);
     }
 

@@ -60,7 +60,7 @@ pub mod uring;
 
 pub use clock::{SimClock, Timeline};
 pub use cost::CostModel;
-pub use fault::{FaultPlan, FaultyStorage};
+pub use fault::{CrashDecision, CrashMode, CrashPlan, FaultPlan, FaultyStorage, MutationKind};
 pub use mmap::MmapSim;
 pub use pipeline::{BackendKind, OpFailure, PipelineConfig, PipelineMetrics, StreamPipeline};
 pub use retry::{ErrorClass, RetryPolicy, RingCounters, RingStats};

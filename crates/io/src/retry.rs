@@ -82,15 +82,39 @@ impl RetryPolicy {
 
     /// A sensible retrying policy: `attempts` total attempts, 500 µs
     /// base backoff capped at 50 ms, no deadline.
+    ///
+    /// # Panics
+    ///
+    /// On a zero-attempt budget — an operation that may never run is a
+    /// configuration bug, rejected here at config time rather than
+    /// silently clamped at run time. Callers holding untrusted input
+    /// use [`RetryPolicy::try_with_attempts`].
     #[must_use]
     pub fn with_attempts(attempts: u32) -> Self {
-        RetryPolicy {
-            max_attempts: attempts.max(1),
+        RetryPolicy::try_with_attempts(attempts)
+            .expect("retry attempt budget must be at least 1 (the first attempt)")
+    }
+
+    /// Fallible [`RetryPolicy::with_attempts`]: rejects a zero-attempt
+    /// budget instead of panicking, for configs built from user input.
+    ///
+    /// # Errors
+    ///
+    /// When `attempts` is zero.
+    pub fn try_with_attempts(attempts: u32) -> Result<Self, String> {
+        if attempts == 0 {
+            return Err(
+                "retry attempt budget must be at least 1 (the first attempt is an attempt)"
+                    .to_owned(),
+            );
+        }
+        Ok(RetryPolicy {
+            max_attempts: attempts,
             base_backoff: Duration::from_micros(500),
             max_backoff: Duration::from_millis(50),
             jitter_seed: 0x9e37_79b9_7f4a_7c15,
             deadline: None,
-        }
+        })
     }
 
     /// Sets the per-operation deadline.

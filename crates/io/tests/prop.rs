@@ -1,11 +1,21 @@
-//! Property tests of the I/O substrate: cost-model monotonicity and
-//! data-integrity of the engines under arbitrary access patterns.
+//! Property tests of the I/O substrate: cost-model monotonicity,
+//! data-integrity of the engines under arbitrary access patterns, and
+//! retry-policy deadline edges.
 
 use proptest::prelude::*;
 use reprocmp_io::cost::{CostModel, OpSpec};
-use reprocmp_io::{MemStorage, MmapSim, Storage, UringSim};
+use reprocmp_io::{
+    IoError, IoResult, MemStorage, MmapSim, RetryPolicy, SimClock, Storage, UringSim,
+};
 use std::sync::Arc;
 use std::time::Duration;
+
+fn transient() -> IoError {
+    IoError::Os(std::io::Error::new(
+        std::io::ErrorKind::Interrupted,
+        "hiccup",
+    ))
+}
 
 fn arbitrary_ops(file_len: usize) -> impl Strategy<Value = Vec<OpSpec>> {
     proptest::collection::vec((0usize..file_len.saturating_sub(1), 1usize..4096), 1..40).prop_map(
@@ -111,6 +121,134 @@ proptest! {
             let now = s.elapsed();
             prop_assert!(now >= last);
             last = now;
+        }
+    }
+
+    /// An always-failing op under an arbitrary deadline never panics,
+    /// never reports spurious success, never charges backoff past the
+    /// deadline, and stops early only when the *next* wait would cross
+    /// it.
+    #[test]
+    fn retry_deadline_edges_are_exact(
+        attempts in 1u32..8,
+        base_us in 0u64..2_000,
+        max_us in 1u64..5_000,
+        seed in any::<u64>(),
+        deadline_us in 0u64..10_000,
+    ) {
+        let clock = SimClock::new();
+        let deadline = Duration::from_micros(deadline_us);
+        let p = RetryPolicy {
+            max_attempts: attempts,
+            base_backoff: Duration::from_micros(base_us),
+            max_backoff: Duration::from_micros(max_us),
+            jitter_seed: seed,
+            deadline: Some(deadline),
+        };
+        let mut calls = 0u32;
+        let (result, retries): (IoResult<()>, u32) = p.run(Some(&clock), || {
+            calls += 1;
+            Err(transient())
+        });
+        prop_assert!(result.is_err(), "an op that never succeeds must give up");
+        prop_assert_eq!(calls, retries + 1);
+        prop_assert!(retries < attempts, "attempt budget overrun");
+        prop_assert!(
+            clock.now() <= deadline,
+            "charged {:?} of backoff past the {:?} deadline",
+            clock.now(),
+            deadline
+        );
+        if retries < attempts - 1 {
+            // The budget had room, so the deadline was the binding
+            // constraint: the refused wait would have crossed it.
+            prop_assert!(clock.now() + p.backoff(retries + 1) > deadline);
+        }
+    }
+
+    /// A deadline expiring *exactly* on a retry boundary: the wait
+    /// that lands precisely on the deadline is still permitted; the
+    /// one after it is refused and the operation gives up (with the
+    /// matching `gave_up` flight-recorder event) — never a panic,
+    /// never a spurious success.
+    #[test]
+    fn deadline_exactly_on_the_boundary_allows_that_retry_only(
+        base_us in 1u64..1_000,
+        seed in any::<u64>(),
+    ) {
+        use reprocmp_obs::{EventKind, Journal, ObsClock};
+        let clock = SimClock::new();
+        let mut p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_micros(base_us),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: seed,
+            deadline: None,
+        };
+        let first_wait = p.backoff(1);
+        prop_assert!(!first_wait.is_zero());
+        p.deadline = Some(first_wait);
+        let journal = Journal::new(ObsClock::frozen());
+        let mut calls = 0u32;
+        let (result, retries): (IoResult<()>, u32) =
+            p.run_journaled(Some(&clock), &journal, "io", || {
+                calls += 1;
+                Err(transient())
+            });
+        prop_assert!(result.is_err());
+        // The boundary retry is permitted, the next is not, and
+        // exactly the deadline was consumed.
+        prop_assert_eq!(retries, 1);
+        prop_assert_eq!(calls, 2);
+        prop_assert_eq!(clock.now(), first_wait);
+        let gave_up = matches!(
+            journal.events().last().map(|e| e.kind.clone()),
+            Some(EventKind::GaveUp { attempts: 2 })
+        );
+        prop_assert!(gave_up, "budget exhaustion must emit a gave_up event");
+    }
+
+    /// A generous deadline never masks a success that fits inside the
+    /// attempt budget.
+    #[test]
+    fn deadline_never_masks_an_in_budget_success(
+        succeed_on in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let clock = SimClock::new();
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(10),
+            jitter_seed: seed,
+            deadline: Some(Duration::from_secs(1)),
+        };
+        let mut calls = 0u32;
+        let (result, retries) = p.run(Some(&clock), || {
+            calls += 1;
+            if calls < succeed_on {
+                Err(transient())
+            } else {
+                Ok(calls)
+            }
+        });
+        prop_assert_eq!(result.unwrap(), succeed_on);
+        prop_assert_eq!(retries, succeed_on - 1);
+    }
+
+    /// Zero-attempt budgets are a config-time error, not a run-time
+    /// clamp: `try_with_attempts` rejects exactly `0`.
+    #[test]
+    fn zero_attempt_budgets_rejected_at_config_time(n in 0u32..16) {
+        match RetryPolicy::try_with_attempts(n) {
+            Ok(p) => {
+                prop_assert!(n >= 1);
+                prop_assert_eq!(p.max_attempts, n);
+            }
+            Err(msg) => {
+                prop_assert_eq!(n, 0);
+                prop_assert!(msg.contains("at least 1"));
+            }
         }
     }
 }

@@ -43,7 +43,9 @@ fn category(kind: &EventKind) -> &'static str {
             "fault"
         }
         EventKind::CacheHit { .. } | EventKind::CacheMiss { .. } => "cache",
-        EventKind::StoreRead { .. } => "store",
+        EventKind::StoreRead { .. }
+        | EventKind::Repair { .. }
+        | EventKind::PackQuarantine { .. } => "store",
         EventKind::Kernel { .. } => "compute",
         EventKind::Flush { .. } => "veloc",
     }

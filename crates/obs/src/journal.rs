@@ -149,6 +149,23 @@ pub enum EventKind {
         /// Whether the flush succeeded.
         ok: bool,
     },
+    /// `fsck --repair` reconstructed corrupt chunks of one pack from
+    /// XOR parity (`repair`).
+    Repair {
+        /// Pack file id.
+        pack: u64,
+        /// Chunks reconstructed and re-verified.
+        chunks: u64,
+    },
+    /// A pack with unrecoverable corruption was quarantined
+    /// (`pack_quarantine`): its chunks are served verify-on-read and
+    /// surface as `unverified` ranges in degraded-mode comparison.
+    PackQuarantine {
+        /// Pack file id.
+        pack: u64,
+        /// Corrupt chunks that could not be reconstructed.
+        chunks: u64,
+    },
 }
 
 impl EventKind {
@@ -170,6 +187,8 @@ impl EventKind {
             EventKind::StoreRead { .. } => "store_read",
             EventKind::Kernel { .. } => "kernel",
             EventKind::Flush { .. } => "flush",
+            EventKind::Repair { .. } => "repair",
+            EventKind::PackQuarantine { .. } => "pack_quarantine",
         }
     }
 
@@ -277,6 +296,12 @@ impl EventKind {
                 ("bytes".to_owned(), u(*bytes)),
                 ("ok".to_owned(), Value::Bool(*ok)),
             ],
+            EventKind::Repair { pack, chunks } | EventKind::PackQuarantine { pack, chunks } => {
+                vec![
+                    ("pack".to_owned(), u(*pack)),
+                    ("chunks".to_owned(), u(*chunks)),
+                ]
+            }
         }
     }
 }

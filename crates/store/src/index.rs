@@ -14,9 +14,11 @@
 //!   digest lo u64 | digest hi u64 | pack u32 | data_offset u64 | len u32 | refcount u32
 //! ```
 
+use crate::fs::StoreFs;
 use crate::wire::{put_digest, Cursor};
-use crate::{write_atomic, StoreError, StoreResult};
+use crate::{StoreError, StoreResult};
 use reprocmp_hash::Digest128;
+use reprocmp_io::MutationKind;
 use std::collections::HashMap;
 use std::path::Path;
 
@@ -44,12 +46,11 @@ pub struct IndexEntry {
 /// The in-memory index form.
 pub type Index = HashMap<Digest128, IndexEntry>;
 
-/// Serializes `index` and atomically swaps it into `path`.
-///
-/// # Errors
-///
-/// Any filesystem error from staging or renaming.
-pub fn save_index(path: &Path, index: &Index) -> std::io::Result<()> {
+/// Serializes `index` to its canonical byte form: entries sorted by
+/// digest, so the same logical index always produces the same bytes
+/// (the property the rebuild-equivalence tests pin down).
+#[must_use]
+pub fn encode_index(index: &Index) -> Vec<u8> {
     let mut entries: Vec<(&Digest128, &IndexEntry)> = index.iter().collect();
     entries.sort_by_key(|(d, _)| **d);
     let mut out = Vec::with_capacity(20 + entries.len() * 36);
@@ -63,7 +64,17 @@ pub fn save_index(path: &Path, index: &Index) -> std::io::Result<()> {
         out.extend_from_slice(&e.len.to_le_bytes());
         out.extend_from_slice(&e.refcount.to_le_bytes());
     }
-    write_atomic(path, &out)
+    out
+}
+
+/// Serializes `index` and atomically swaps it into `path` through the
+/// store's filesystem seam (the [`MutationKind::IndexSwap`] boundary).
+///
+/// # Errors
+///
+/// Any filesystem error from staging or renaming.
+pub fn save_index(fs: &dyn StoreFs, path: &Path, index: &Index) -> std::io::Result<()> {
+    fs.write_atomic(path, &encode_index(index), MutationKind::IndexSwap)
 }
 
 /// Parses an index file's contents.
@@ -115,6 +126,7 @@ pub fn load_index(bytes: &[u8]) -> StoreResult<Index> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fs::RealFs;
 
     fn sample() -> Index {
         let mut idx = Index::new();
@@ -145,7 +157,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("index.bin");
         let idx = sample();
-        save_index(&path, &idx).unwrap();
+        save_index(&RealFs, &path, &idx).unwrap();
         let back = load_index(&std::fs::read(&path).unwrap()).unwrap();
         assert_eq!(back, idx);
         assert!(!crate::tmp_path(&path).exists());
@@ -157,8 +169,8 @@ mod tests {
         let dir = std::env::temp_dir().join("reprocmp-store-index-det");
         std::fs::create_dir_all(&dir).unwrap();
         let (p1, p2) = (dir.join("a.bin"), dir.join("b.bin"));
-        save_index(&p1, &sample()).unwrap();
-        save_index(&p2, &sample()).unwrap();
+        save_index(&RealFs, &p1, &sample()).unwrap();
+        save_index(&RealFs, &p2, &sample()).unwrap();
         assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
         std::fs::remove_file(&p1).ok();
         std::fs::remove_file(&p2).ok();
@@ -169,7 +181,7 @@ mod tests {
         let dir = std::env::temp_dir().join("reprocmp-store-index-corrupt");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("index.bin");
-        save_index(&path, &sample()).unwrap();
+        save_index(&RealFs, &path, &sample()).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         // Every truncation point fails cleanly (the declared entry
         // count makes even a clean header-only prefix inconsistent).

@@ -33,20 +33,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod fs;
 pub mod index;
+pub mod journal;
 pub mod manifest;
 pub mod metrics;
 pub mod pack;
 pub mod storage;
 pub mod store;
 
+pub use fs::{real_fs, CrashFs, RealFs, StoreFs};
 pub use index::IndexEntry;
+pub use journal::{pending_intents, read_journal, IntentRecord, JOURNAL_FILE};
 pub use manifest::{Manifest, Segment};
 pub use metrics::StoreMetrics;
-pub use pack::PackRecord;
+pub use pack::{PackRecord, PackRepair, DEFAULT_PARITY_GROUP_WIDTH};
 pub use storage::StoreStorage;
 pub use store::{
-    ChunkStore, GcStats, IngestStats, ObjectLayout, ScrubFailure, ScrubReport, StoreStats,
+    open_in_registry, ChunkStore, CompactStats, FsckReport, GcStats, IngestStats, ObjectLayout,
+    ScrubFailure, ScrubReport, StoreConfig, StoreStats, QUARANTINE_FILE,
 };
 
 /// Reserved segment name for non-payload prefix bytes (e.g. a VELOC
@@ -206,20 +211,6 @@ pub(crate) mod wire {
         out.extend_from_slice(&d.0[0].to_le_bytes());
         out.extend_from_slice(&d.0[1].to_le_bytes());
     }
-}
-
-/// Writes `bytes` to `path` crash-consistently: the full contents land
-/// in `{path}.tmp` (fsynced), then an atomic rename publishes them.
-/// Readers either see the old file or the complete new one, never a
-/// torn write; orphaned `.tmp` files are swept by [`ChunkStore::open`].
-pub(crate) fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
-    use std::io::Write;
-    let tmp = tmp_path(path);
-    let mut f = std::fs::File::create(&tmp)?;
-    f.write_all(bytes)?;
-    f.sync_all()?;
-    drop(f);
-    std::fs::rename(&tmp, path)
 }
 
 /// The sibling `.tmp` staging path for `path`.

@@ -32,6 +32,18 @@ pub struct StoreMetrics {
     pub scrub_chunks: Counter,
     /// Chunks whose re-hash disagreed with their content address.
     pub scrub_failures: Counter,
+    /// Corrupt chunks reconstructed from XOR parity by `fsck --repair`.
+    pub repair_chunks: Counter,
+    /// Packs rewritten whole by a successful repair.
+    pub repair_packs: Counter,
+    /// Packs quarantined because a parity group lost ≥ 2 chunks.
+    pub quarantine_packs: Counter,
+    /// Corrupt chunks inside quarantined packs (served, if at all, as
+    /// `unverified` ranges in degraded-mode comparison).
+    pub quarantine_chunks: Counter,
+    /// Intent-journal replays performed by `Store::open` (each one is
+    /// a crash the journal healed).
+    pub journal_replays: Counter,
     /// Pack files currently on disk.
     pub packs: Gauge,
     /// Checkpoints (manifests) currently in the store.
@@ -54,6 +66,11 @@ impl StoreMetrics {
             gc_reclaimed_bytes: registry.counter(&format!("{prefix}.gc.reclaimed_bytes")),
             scrub_chunks: registry.counter(&format!("{prefix}.scrub.chunks")),
             scrub_failures: registry.counter(&format!("{prefix}.scrub.failures")),
+            repair_chunks: registry.counter(&format!("{prefix}.repair.chunks")),
+            repair_packs: registry.counter(&format!("{prefix}.repair.packs")),
+            quarantine_packs: registry.counter(&format!("{prefix}.quarantine.packs")),
+            quarantine_chunks: registry.counter(&format!("{prefix}.quarantine.chunks")),
+            journal_replays: registry.counter(&format!("{prefix}.journal.replays")),
             packs: registry.gauge(&format!("{prefix}.packs")),
             objects: registry.gauge(&format!("{prefix}.objects")),
         }

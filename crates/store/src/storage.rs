@@ -11,10 +11,10 @@
 //! do to flat files.
 
 use crate::{IndexEntry, Manifest, StoreError, StoreResult};
-use reprocmp_hash::Digest128;
+use reprocmp_hash::{raw_chunk_digest, Digest128};
 use reprocmp_io::{IoError, IoResult, StdFsStorage, Storage};
 use reprocmp_obs::{EventKind, JournalSlot, StoreReadCounters};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::path::Path;
 
 /// One chunk's placement in the flattened object byte space.
@@ -32,6 +32,14 @@ struct ChunkSpan {
     /// open time — its bytes exist once on disk but logically belong
     /// to several checkpoints (or several places in this one).
     shared: bool,
+    /// Content address of the chunk (for verify-on-read).
+    digest: Digest128,
+    /// True when the chunk lives in a *quarantined* pack: every read
+    /// touching it re-hashes the full chunk, and a mismatch surfaces
+    /// as a permanent `InvalidData` error — which the engine's
+    /// `Quarantine` failure policy converts to an `unverified` range
+    /// instead of silently comparing rotten bytes.
+    verify: bool,
 }
 
 /// A read-only [`Storage`] over one store-resident checkpoint.
@@ -47,11 +55,13 @@ pub struct StoreStorage {
 impl StoreStorage {
     /// Builds the span table for `manifest`, opening every referenced
     /// pack under `packs_dir`. `lookup` resolves a digest to its index
-    /// entry (location + refcount).
+    /// entry (location + refcount); chunks living in a pack listed in
+    /// `quarantined` are served verify-on-read.
     pub(crate) fn from_manifest(
         manifest: &Manifest,
         packs_dir: &Path,
         lookup: &dyn Fn(Digest128) -> Option<IndexEntry>,
+        quarantined: &HashSet<u32>,
     ) -> StoreResult<Self> {
         let mut spans = Vec::with_capacity(manifest.chunk_refs() as usize);
         let mut packs = BTreeMap::new();
@@ -79,6 +89,8 @@ impl StoreStorage {
                 pack: entry.pack,
                 data_offset: entry.data_offset,
                 shared: entry.refcount > 1,
+                digest,
+                verify: quarantined.contains(&entry.pack),
             });
             offset += u64::from(len);
         }
@@ -144,7 +156,28 @@ impl Storage for StoreStorage {
                 .packs
                 .get(&span.pack)
                 .expect("span references an unopened pack");
-            pack.read_at(span.data_offset + within, &mut buf[filled..filled + take])?;
+            if span.verify {
+                // Quarantined pack: re-hash the whole chunk before
+                // serving any byte of it. A mismatch is permanent —
+                // retrying an identical read of rotten bytes cannot
+                // help — so the engine gives up immediately and files
+                // the range as unverified.
+                let mut chunk = vec![0u8; span.len as usize];
+                pack.read_at(span.data_offset, &mut chunk)?;
+                if raw_chunk_digest(&chunk) != span.digest {
+                    return Err(IoError::Os(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "chunk at offset {} of quarantined pack {} fails verification",
+                            span.data_offset, span.pack
+                        ),
+                    )));
+                }
+                buf[filled..filled + take]
+                    .copy_from_slice(&chunk[within as usize..within as usize + take]);
+            } else {
+                pack.read_at(span.data_offset + within, &mut buf[filled..filled + take])?;
+            }
             if span.shared {
                 deduped += take as u64;
             }

@@ -1,40 +1,96 @@
-//! The [`ChunkStore`] facade: ingest, materialize, GC, scrub.
+//! The [`ChunkStore`] facade: ingest, materialize, GC, compaction,
+//! scrub, and fsck/repair.
 //!
 //! On-disk layout under the store root:
 //!
 //! ```text
 //! root/
 //!   index.bin            digest → (pack, offset, len, refcount)
+//!   journal.bin          write-ahead intent journal (multi-file atomicity)
+//!   quarantine.bin       ids of packs with unrecoverable corruption
 //!   packs/pack-NNNNNN.pack
 //!   manifests/{name}.vNNNNNN.manifest
 //! ```
 //!
-//! Crash-consistency story (the order `ingest` publishes state):
+//! Every file is individually crash-consistent (`.tmp` + fsync +
+//! rename, all through the [`StoreFs`] seam so the torture harness can
+//! cut power at any boundary). Multi-file operations — `ingest`
+//! publishes a pack, a manifest, and the index; `gc` swaps the index
+//! and unlinks packs; `compact` seals a pack, swaps the index, and
+//! unlinks the sources — bracket their mutations with intent-journal
+//! *begin*/*commit* records. [`ChunkStore::open`] replays any pending
+//! intent (undoing a half-done ingest's orphan pack, redoing a GC's
+//! unlinks, finishing a remove) and rebuilds the index from the
+//! authoritative packs + manifests, so a crash at *any* mutation
+//! boundary recovers to a state where every committed checkpoint
+//! materializes byte-exactly and the dedup ledger balances.
 //!
-//! 1. the pack of never-before-seen chunks (`.tmp` + rename),
-//! 2. the manifest (`.tmp` + rename),
-//! 3. the refreshed index (`.tmp` + rename).
-//!
-//! A crash after (1) leaves an orphan pack whose chunks nothing
-//! references — [`ChunkStore::open`] indexes them at refcount 0 and GC
-//! reclaims the pack. A crash after (2) leaves the on-disk index
-//! missing the new manifest's chunks; `open` detects the disagreement
-//! and rebuilds the index from packs + manifests, which are always the
-//! authoritative state. Re-running an interrupted ingest gets
-//! [`StoreError::Exists`], which callers treat as success.
+//! Sealed packs carry interleaved XOR parity (see [`crate::pack`]):
+//! [`ChunkStore::fsck`] re-hashes every chunk and, with `repair`,
+//! reconstructs any single corrupt chunk per parity group in place.
+//! Packs with unrecoverable corruption are **quarantined**: their
+//! chunks are excluded from dedup (new ingests re-store and repoint
+//! them) and served verify-on-read, so a comparison over a degraded
+//! store completes with exactly the rotten chunks reported as
+//! `unverified` instead of aborting or silently trusting bad bytes.
 
+use crate::fs::{real_fs, StoreFs};
 use crate::index::{load_index, save_index, Index, IndexEntry};
+use crate::journal::{encode_record, pending_intents, read_journal, IntentRecord, JOURNAL_FILE};
 use crate::manifest::{chunk_count, manifest_file_name, Manifest, Segment};
 use crate::metrics::StoreMetrics;
-use crate::pack::{pack_file_name, parse_pack_file_name, scan_pack, write_pack};
+use crate::pack::{
+    pack_file_name, parse_pack, parse_pack_file_name, repair_pack, scan_pack, write_pack,
+    DEFAULT_PARITY_GROUP_WIDTH,
+};
 use crate::storage::StoreStorage;
+use crate::wire::Cursor;
 use crate::{StoreError, StoreResult};
 use parking_lot::Mutex;
 use reprocmp_hash::{raw_chunk_digest, Digest128};
-use reprocmp_obs::Registry;
+use reprocmp_io::MutationKind;
+use reprocmp_obs::{EventKind, JournalSlot, Registry};
 use serde::Serialize;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Quarantine ledger file magic bytes.
+const QUARANTINE_MAGIC: &[u8; 8] = b"RCMPQUAR";
+
+/// File name of the quarantine ledger within the store root.
+pub const QUARANTINE_FILE: &str = "quarantine.bin";
+
+/// Store-wide tunables. The default is what production callers want;
+/// the torture harness swaps in a crash-injecting [`StoreFs`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Data chunks per XOR parity group in sealed packs. `0` disables
+    /// parity (legacy v1 packs, repairable never).
+    pub parity_group_width: u32,
+    /// The filesystem seam every mutation crosses.
+    pub fs: Arc<dyn StoreFs>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            parity_group_width: DEFAULT_PARITY_GROUP_WIDTH,
+            fs: real_fs(),
+        }
+    }
+}
+
+impl StoreConfig {
+    /// The default config with `fs` as the filesystem seam.
+    #[must_use]
+    pub fn with_fs(fs: Arc<dyn StoreFs>) -> Self {
+        StoreConfig {
+            fs,
+            ..StoreConfig::default()
+        }
+    }
+}
 
 /// What one [`ChunkStore::ingest`] call did, and the exact ledger for
 /// it: `bytes_logical == bytes_physical + bytes_deduped`.
@@ -59,12 +115,27 @@ pub struct IngestStats {
 /// What one [`ChunkStore::gc`] sweep reclaimed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct GcStats {
-    /// Packs deleted (every chunk at refcount 0).
+    /// Packs deleted (every chunk at refcount 0, or unindexed).
     pub packs_deleted: u64,
     /// Index entries dropped with those packs.
     pub chunks_dropped: u64,
     /// Pack file bytes reclaimed.
     pub bytes_reclaimed: u64,
+}
+
+/// What one [`ChunkStore::compact`] pass migrated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CompactStats {
+    /// Source packs rewritten away (mixed live/dead packs unlinked).
+    pub packs_rewritten: u64,
+    /// Live chunks migrated into the new pack.
+    pub chunks_migrated: u64,
+    /// Live chunk bytes migrated.
+    pub bytes_migrated: u64,
+    /// Pack file bytes reclaimed (sources unlinked minus the new pack).
+    pub bytes_reclaimed: u64,
+    /// Id of the pack the live chunks landed in, if anything moved.
+    pub pack: Option<u32>,
 }
 
 /// One chunk whose stored bytes no longer hash to their content
@@ -90,15 +161,55 @@ pub struct ScrubReport {
     pub packs_scanned: u64,
     /// Chunks re-hashed.
     pub chunks_scanned: u64,
+    /// Packs skipped because they are quarantined (known bad).
+    pub packs_quarantined: u64,
     /// Chunks that failed verification.
     pub failures: Vec<ScrubFailure>,
 }
 
 impl ScrubReport {
-    /// True when every stored chunk verified.
+    /// True when every scanned chunk verified (quarantined packs are
+    /// known bad and not re-counted).
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.failures.is_empty()
+    }
+}
+
+/// Result of one [`ChunkStore::fsck`] pass — the exact repair ledger.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct FsckReport {
+    /// Pack files scanned.
+    pub packs_scanned: u64,
+    /// Chunks re-hashed.
+    pub chunks_scanned: u64,
+    /// Chunks whose bytes failed verification.
+    pub chunks_corrupt: u64,
+    /// Corrupt chunks reconstructed from parity and re-verified
+    /// (always 0 without `repair`).
+    pub chunks_repaired: u64,
+    /// Packs fully healed by repair.
+    pub packs_repaired: u64,
+    /// Corrupt chunks that could not be reconstructed.
+    pub chunks_unrecoverable: u64,
+    /// Packs quarantined by this pass (repair mode only).
+    pub packs_quarantined: Vec<u32>,
+    /// Whether this pass ran in repair mode.
+    pub repair: bool,
+}
+
+impl FsckReport {
+    /// True when no corruption was found at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.chunks_corrupt == 0
+    }
+
+    /// True when the store is fully healthy after the pass: either
+    /// clean, or every corrupt chunk was repaired.
+    #[must_use]
+    pub fn healthy(&self) -> bool {
+        self.chunks_corrupt == self.chunks_repaired
     }
 }
 
@@ -117,17 +228,28 @@ pub struct StoreStats {
     pub bytes_logical: u64,
     /// Chunk payload bytes across all indexed chunks.
     pub bytes_physical: u64,
+    /// Indexed chunk bytes at refcount 0 — garbage awaiting
+    /// [`ChunkStore::gc`] (fully dead packs) or
+    /// [`ChunkStore::compact`] (dead chunks inside live packs). When
+    /// this is zero, `bytes_logical == bytes_physical + bytes_deduped`
+    /// exactly.
+    pub bytes_garbage: u64,
     /// Bytes saved versus raw capture (`logical − live physical`).
     pub bytes_deduped: u64,
-    /// Actual pack file bytes on disk (payload + record headers).
+    /// Actual pack file bytes on disk (payload + record headers +
+    /// parity).
     pub pack_file_bytes: u64,
+    /// Packs currently quarantined.
+    pub packs_quarantined: u64,
 }
 
 #[derive(Debug)]
 struct Inner {
     index: Index,
     manifests: BTreeMap<(String, u64), Manifest>,
+    quarantined: HashSet<u32>,
     next_pack: u32,
+    next_seq: u64,
 }
 
 /// A persistent content-addressed chunk store rooted at one directory.
@@ -138,34 +260,69 @@ struct Inner {
 pub struct ChunkStore {
     root: PathBuf,
     metrics: StoreMetrics,
+    fs: Arc<dyn StoreFs>,
+    parity_width: u32,
+    obs: JournalSlot,
     inner: Mutex<Inner>,
 }
 
 impl ChunkStore {
     /// Opens (creating if absent) the store rooted at `root`, with
-    /// metrics in a private registry.
+    /// metrics in a private registry and the default [`StoreConfig`].
     ///
     /// # Errors
     ///
     /// Filesystem failures, or corrupt manifests/packs.
     pub fn open(root: &Path) -> StoreResult<Self> {
-        Self::open_observed(root, StoreMetrics::detached())
+        Self::open_observed_with(root, StoreMetrics::detached(), StoreConfig::default())
+    }
+
+    /// As [`ChunkStore::open`] with an explicit [`StoreConfig`] — how
+    /// the torture harness injects a crash-point [`StoreFs`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ChunkStore::open`].
+    pub fn open_with(root: &Path, config: StoreConfig) -> StoreResult<Self> {
+        Self::open_observed_with(root, StoreMetrics::detached(), config)
     }
 
     /// As [`ChunkStore::open`], but store traffic is recorded into
     /// `metrics` — build them with [`StoreMetrics::in_registry`] to
     /// surface the `store.*` ledger in an external [`Registry`].
     ///
-    /// Recovery happens here: orphaned `*.tmp` staging files are
-    /// swept, manifests are decoded, and the index is validated
-    /// against them — on any disagreement (missing file, torn state
-    /// from a crash between publish steps) it is rebuilt from the
-    /// authoritative packs + manifests and persisted.
+    /// # Errors
+    ///
+    /// As [`ChunkStore::open`].
+    pub fn open_observed(root: &Path, metrics: StoreMetrics) -> StoreResult<Self> {
+        Self::open_observed_with(root, metrics, StoreConfig::default())
+    }
+
+    /// The full-control constructor. Recovery happens here, in order:
+    ///
+    /// 1. orphaned `*.tmp` staging files are swept;
+    /// 2. the intent journal is read (leniently — a torn tail record
+    ///    is exactly a crash mid-append and is ignored) and every
+    ///    *pending* intent is replayed: a half-done ingest's orphan
+    ///    pack is unlinked (undo), a half-done GC's dead packs are
+    ///    unlinked (redo), a half-done remove's manifest is unlinked
+    ///    (redo), a half-done compaction needs no file action;
+    /// 3. if anything was pending, the index is rebuilt from the
+    ///    authoritative packs + manifests (which recomputes every
+    ///    refcount exactly) regardless of what `index.bin` claims;
+    ///    otherwise the on-disk index is validated and rebuilt only on
+    ///    disagreement;
+    /// 4. the journal is reset — replay is idempotent, so a crash
+    ///    anywhere inside recovery just replays again.
     ///
     /// # Errors
     ///
     /// Filesystem failures, or corrupt manifests/packs.
-    pub fn open_observed(root: &Path, metrics: StoreMetrics) -> StoreResult<Self> {
+    pub fn open_observed_with(
+        root: &Path,
+        metrics: StoreMetrics,
+        config: StoreConfig,
+    ) -> StoreResult<Self> {
         let packs_dir = root.join("packs");
         let manifests_dir = root.join("manifests");
         std::fs::create_dir_all(&packs_dir)?;
@@ -189,6 +346,62 @@ impl ChunkStore {
             manifests.insert((m.name.clone(), m.version), m);
         }
 
+        // Intent-journal replay. Recovery itself runs on std::fs, not
+        // the seam: the torture harness arms its plan only after open
+        // returns, and replay must always run to completion.
+        let journal_path = root.join(JOURNAL_FILE);
+        let records = read_journal(&std::fs::read(&journal_path).unwrap_or_default());
+        let pending = pending_intents(&records);
+        for intent in &pending {
+            match intent {
+                IntentRecord::IngestBegin {
+                    name,
+                    version,
+                    pack,
+                    ..
+                } => {
+                    // Manifest published ⇒ the checkpoint exists; keep
+                    // the pack and let the rebuild fix refcounts.
+                    // Manifest absent ⇒ undo: drop the orphan pack so
+                    // no unreferenced physical bytes skew the ledger.
+                    if !manifests.contains_key(&(name.clone(), *version)) {
+                        if let Some(id) = pack {
+                            let p = packs_dir.join(pack_file_name(*id));
+                            if p.exists() {
+                                std::fs::remove_file(&p)?;
+                            }
+                        }
+                    }
+                }
+                IntentRecord::GcBegin { dead_packs, .. } => {
+                    // The intent proves these packs were dead when the
+                    // sweep started, and GC never mutates manifests —
+                    // dead they remain. Redo the unlinks.
+                    for id in dead_packs {
+                        let p = packs_dir.join(pack_file_name(*id));
+                        if p.exists() {
+                            std::fs::remove_file(&p)?;
+                        }
+                    }
+                }
+                IntentRecord::RemoveBegin { name, version, .. } => {
+                    // The remove was declared; finish it.
+                    let p = manifests_dir.join(manifest_file_name(name, *version));
+                    if p.exists() {
+                        std::fs::remove_file(&p)?;
+                    }
+                    manifests.remove(&(name.clone(), *version));
+                }
+                IntentRecord::CompactBegin { .. } => {
+                    // Whatever landed (none, some, or all of the new
+                    // pack / index swap / source unlinks), the rebuild
+                    // resolves every digest to the newest copy and GC
+                    // reclaims sources that went fully dead.
+                }
+                _ => unreachable!("pending_intents yields begin records only"),
+            }
+        }
+
         let mut pack_ids = Vec::new();
         for entry in std::fs::read_dir(&packs_dir)? {
             let entry = entry?;
@@ -199,29 +412,47 @@ impl ChunkStore {
         pack_ids.sort_unstable();
         let next_pack = pack_ids.last().map_or(0, |&id| id + 1);
 
+        let mut quarantined = load_quarantine(&root.join(QUARANTINE_FILE));
+        quarantined.retain(|id| pack_ids.binary_search(id).is_ok());
+
         let index_path = root.join("index.bin");
-        let loaded = std::fs::read(&index_path)
-            .ok()
-            .and_then(|bytes| load_index(&bytes).ok())
-            .filter(|index| index_consistent(index, &manifests, &pack_ids));
+        let loaded = if pending.is_empty() {
+            std::fs::read(&index_path)
+                .ok()
+                .and_then(|bytes| load_index(&bytes).ok())
+                .filter(|index| index_consistent(index, &manifests, &pack_ids))
+        } else {
+            None // journal activity: trust only the rebuild
+        };
         let index = match loaded {
             Some(index) => index,
             None => {
-                let rebuilt = rebuild_index(&packs_dir, &pack_ids, &manifests)?;
-                save_index(&index_path, &rebuilt)?;
+                let rebuilt = rebuild_index(&packs_dir, &pack_ids, &quarantined, &manifests)?;
+                save_index(&crate::fs::RealFs, &index_path, &rebuilt)?;
                 rebuilt
             }
         };
+        if !pending.is_empty() {
+            metrics.journal_replays.add(1);
+        }
+        if !records.is_empty() {
+            std::fs::remove_file(&journal_path)?;
+        }
 
         metrics.packs.set(pack_ids.len() as i64);
         metrics.objects.set(manifests.len() as i64);
         Ok(ChunkStore {
             root: root.to_path_buf(),
             metrics,
+            fs: config.fs,
+            parity_width: config.parity_group_width,
+            obs: JournalSlot::new(),
             inner: Mutex::new(Inner {
                 index,
                 manifests,
+                quarantined,
                 next_pack,
+                next_seq: 1,
             }),
         })
     }
@@ -238,6 +469,15 @@ impl ChunkStore {
         &self.metrics
     }
 
+    /// The late-binding flight-recorder slot for maintenance events:
+    /// arm it (via [`JournalSlot::set`]) to receive `repair` /
+    /// `pack_quarantine` events on the `store` lane from
+    /// [`ChunkStore::fsck`].
+    #[must_use]
+    pub fn journal_slot(&self) -> &JournalSlot {
+        &self.obs
+    }
+
     fn packs_dir(&self) -> PathBuf {
         self.root.join("packs")
     }
@@ -250,12 +490,43 @@ impl ChunkStore {
         self.root.join("index.bin")
     }
 
+    /// Appends one intent record to the journal through the seam.
+    fn journal_append(&self, record: &IntentRecord) -> StoreResult<()> {
+        self.fs.append(
+            &self.root.join(JOURNAL_FILE),
+            &encode_record(record),
+            MutationKind::JournalAppend,
+        )?;
+        Ok(())
+    }
+
+    /// Persists the quarantine ledger through the seam.
+    fn save_quarantine(&self, quarantined: &HashSet<u32>) -> StoreResult<()> {
+        let mut ids: Vec<u32> = quarantined.iter().copied().collect();
+        ids.sort_unstable();
+        let mut out = Vec::with_capacity(12 + ids.len() * 4);
+        out.extend_from_slice(QUARANTINE_MAGIC);
+        out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+        for id in ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        self.fs
+            .write_atomic(&self.root.join(QUARANTINE_FILE), &out, MutationKind::Rename)?;
+        Ok(())
+    }
+
     /// Ingests one checkpoint as `name`@`version`: segments are split
     /// into `chunk_bytes`-sized chunks, never-before-seen chunks are
-    /// appended to a fresh pack, and a manifest recording the digest
-    /// sequence is published. `meta` is stored opaquely (pass an
-    /// encoded Merkle tree to skip metadata recomputation on read, or
-    /// `&[]`).
+    /// appended to a fresh pack (sealed with XOR parity), and a
+    /// manifest recording the digest sequence is published. `meta` is
+    /// stored opaquely (pass an encoded Merkle tree to skip metadata
+    /// recomputation on read, or `&[]`). Chunks whose only stored copy
+    /// sits in a quarantined pack do not count as duplicates: they are
+    /// re-stored and the index is repointed at the healthy copy.
+    ///
+    /// The whole operation is bracketed by intent-journal records, so
+    /// a crash at any internal boundary is undone (or completed) by
+    /// the next [`ChunkStore::open`].
     ///
     /// # Errors
     ///
@@ -287,6 +558,7 @@ impl ChunkStore {
         }
 
         let mut inner = self.inner.lock();
+        let inner = &mut *inner;
         let key = (name.to_owned(), version);
         if inner.manifests.contains_key(&key) {
             return Err(StoreError::Exists {
@@ -296,7 +568,7 @@ impl ChunkStore {
         }
 
         // Chunk and address every segment; queue first occurrences of
-        // unknown digests for the new pack.
+        // unknown (or quarantined-only) digests for the new pack.
         let mut manifest_segments = Vec::with_capacity(segments.len());
         let mut new_chunks: Vec<(Digest128, &[u8])> = Vec::new();
         let mut queued: HashSet<Digest128> = HashSet::new();
@@ -310,7 +582,11 @@ impl ChunkStore {
             for chunk in bytes.chunks(chunk_bytes) {
                 let digest = raw_chunk_digest(chunk);
                 stats.chunk_refs += 1;
-                if inner.index.contains_key(&digest) || queued.contains(&digest) {
+                let healthy_copy = inner
+                    .index
+                    .get(&digest)
+                    .is_some_and(|e| !inner.quarantined.contains(&e.pack));
+                if healthy_copy || queued.contains(&digest) {
                     stats.chunks_deduped += 1;
                     stats.bytes_deduped += chunk.len() as u64;
                 } else {
@@ -328,19 +604,32 @@ impl ChunkStore {
             });
         }
 
+        // Declare the intent before the first file mutation.
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let pack_id = (!new_chunks.is_empty()).then_some(inner.next_pack);
+        self.journal_append(&IntentRecord::IngestBegin {
+            seq,
+            name: name.to_owned(),
+            version,
+            pack: pack_id,
+        })?;
+
         // Publish step 1: the pack (only if something is new).
-        if !new_chunks.is_empty() {
-            let pack_id = inner.next_pack;
+        if let Some(pack_id) = pack_id {
             let path = self.packs_dir().join(pack_file_name(pack_id));
-            let records = write_pack(&path, &new_chunks)?;
+            let records = write_pack(self.fs.as_ref(), &path, &new_chunks, self.parity_width)?;
             for r in records {
+                // A repointed chunk keeps the references its
+                // quarantined copy had accumulated.
+                let prev_refcount = inner.index.get(&r.digest).map_or(0, |e| e.refcount);
                 inner.index.insert(
                     r.digest,
                     IndexEntry {
                         pack: pack_id,
                         data_offset: r.data_offset,
                         len: r.len,
-                        refcount: 0,
+                        refcount: prev_refcount,
                     },
                 );
             }
@@ -357,7 +646,11 @@ impl ChunkStore {
             segments: manifest_segments,
         };
         let manifest_path = self.manifests_dir().join(manifest_file_name(name, version));
-        crate::write_atomic(&manifest_path, &manifest.encode())?;
+        self.fs.write_atomic(
+            &manifest_path,
+            &manifest.encode(),
+            MutationKind::ManifestPublish,
+        )?;
 
         // Publish step 3: refcounts + the swapped index.
         for (digest, _) in manifest.chunk_lens() {
@@ -365,8 +658,11 @@ impl ChunkStore {
                 e.refcount += 1;
             }
         }
-        save_index(&self.index_path(), &inner.index)?;
+        save_index(self.fs.as_ref(), &self.index_path(), &inner.index)?;
         inner.manifests.insert(key, manifest);
+
+        // Commit: all mutations landed.
+        self.journal_append(&IntentRecord::IngestCommit { seq })?;
 
         self.metrics.chunks_stored.add(stats.chunks_stored);
         self.metrics.chunks_deduped.add(stats.chunks_deduped);
@@ -407,6 +703,14 @@ impl ChunkStore {
             .collect()
     }
 
+    /// Ids of currently quarantined packs, ascending.
+    #[must_use]
+    pub fn quarantined_packs(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.inner.lock().quarantined.iter().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// The decoded layout of `name`@`version`: segment geometry, the
     /// opaque metadata blob, and — when every non-final payload
     /// segment is chunk-aligned — the payload's chunk digest sequence
@@ -428,7 +732,10 @@ impl ChunkStore {
     }
 
     /// A positioned-read [`StoreStorage`] over `name`@`version`,
-    /// resolving every byte through the pack index.
+    /// resolving every byte through the pack index. Chunks living in
+    /// quarantined packs are served verify-on-read: a rotten chunk
+    /// yields a permanent `InvalidData` error, which the engine's
+    /// `Quarantine` failure policy converts to an `unverified` range.
     ///
     /// # Errors
     ///
@@ -444,7 +751,12 @@ impl ChunkStore {
                 version,
             })?;
         let index = &inner.index;
-        StoreStorage::from_manifest(manifest, &self.packs_dir(), &|d| index.get(&d).copied())
+        StoreStorage::from_manifest(
+            manifest,
+            &self.packs_dir(),
+            &|d| index.get(&d).copied(),
+            &inner.quarantined,
+        )
     }
 
     /// Reassembles the full original bytes of `name`@`version`
@@ -452,7 +764,8 @@ impl ChunkStore {
     ///
     /// # Errors
     ///
-    /// [`StoreError::NotFound`] for unknown keys; read failures.
+    /// [`StoreError::NotFound`] for unknown keys; read failures
+    /// (including a failed verify-on-read from a quarantined pack).
     pub fn materialize(&self, name: &str, version: u64) -> StoreResult<Vec<u8>> {
         let storage = self.reader(name, version)?;
         let mut bytes = vec![0u8; reprocmp_io::Storage::len(&storage) as usize];
@@ -462,7 +775,9 @@ impl ChunkStore {
 
     /// Drops `name`@`version`: deletes its manifest and decrements the
     /// refcount of every chunk it referenced. Physical bytes are
-    /// reclaimed later, by [`ChunkStore::gc`].
+    /// reclaimed later, by [`ChunkStore::gc`] /
+    /// [`ChunkStore::compact`]. Journaled: a crash mid-remove is
+    /// finished by the next open.
     ///
     /// # Errors
     ///
@@ -476,46 +791,70 @@ impl ChunkStore {
                 version,
             });
         };
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        self.journal_append(&IntentRecord::RemoveBegin {
+            seq,
+            name: name.to_owned(),
+            version,
+        })?;
         for (digest, _) in manifest.chunk_lens() {
             if let Some(e) = inner.index.get_mut(&digest) {
                 e.refcount = e.refcount.saturating_sub(1);
             }
         }
         let path = self.manifests_dir().join(manifest_file_name(name, version));
-        std::fs::remove_file(path)?;
-        save_index(&self.index_path(), &inner.index)?;
+        self.fs.remove(&path, MutationKind::Unlink)?;
+        save_index(self.fs.as_ref(), &self.index_path(), &inner.index)?;
+        self.journal_append(&IntentRecord::RemoveCommit { seq })?;
         self.metrics.objects.add(-1);
         Ok(())
     }
 
-    /// Refcount sweep: deletes every pack whose chunks all sit at
-    /// refcount 0 and swaps in an index without their entries. The
-    /// index swap happens *before* the pack files are unlinked, so a
-    /// crash mid-sweep leaves only orphan packs that the next sweep
-    /// (after an `open` rebuild) reclaims — never an index pointing at
-    /// missing data.
+    /// Refcount sweep: deletes every on-disk pack holding no
+    /// `refcount > 0` index entry — fully dead packs *and* packs the
+    /// index no longer references at all (crash orphans, quarantined
+    /// packs whose every chunk was repointed to healthy copies) — and
+    /// swaps in an index without their entries. The whole sweep is
+    /// bracketed by intent-journal records and the index swap happens
+    /// *before* the unlinks, so a crash mid-sweep is redone by the
+    /// next open — never an index pointing at missing data, never a
+    /// leaked pack.
     ///
     /// # Errors
     ///
     /// Filesystem failures.
     pub fn gc(&self) -> StoreResult<GcStats> {
         let mut inner = self.inner.lock();
-        let mut live: HashSet<u32> = HashSet::new();
-        let mut by_pack: HashMap<u32, u64> = HashMap::new();
-        for e in inner.index.values() {
-            *by_pack.entry(e.pack).or_default() += 1;
-            if e.refcount > 0 {
-                live.insert(e.pack);
+        let inner = &mut *inner;
+        let live: HashSet<u32> = inner
+            .index
+            .values()
+            .filter(|e| e.refcount > 0)
+            .map(|e| e.pack)
+            .collect();
+        // Dead-pack detection walks the *directory*, not the index:
+        // a pack every chunk of which was repointed away has no index
+        // entries at all, and must still be reclaimed.
+        let mut dead: Vec<u32> = Vec::new();
+        for entry in std::fs::read_dir(self.packs_dir())? {
+            let entry = entry?;
+            if let Some(id) = parse_pack_file_name(&entry.file_name().to_string_lossy()) {
+                if !live.contains(&id) {
+                    dead.push(id);
+                }
             }
         }
-        let dead: Vec<u32> = by_pack
-            .keys()
-            .filter(|p| !live.contains(p))
-            .copied()
-            .collect();
+        dead.sort_unstable();
         if dead.is_empty() {
             return Ok(GcStats::default());
         }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        self.journal_append(&IntentRecord::GcBegin {
+            seq,
+            dead_packs: dead.clone(),
+        })?;
         let dead_set: HashSet<u32> = dead.iter().copied().collect();
         let mut stats = GcStats::default();
         inner.index.retain(|_, e| {
@@ -526,42 +865,180 @@ impl ChunkStore {
                 true
             }
         });
-        save_index(&self.index_path(), &inner.index)?;
+        save_index(self.fs.as_ref(), &self.index_path(), &inner.index)?;
         for id in &dead {
             let path = self.packs_dir().join(pack_file_name(*id));
             if let Ok(meta) = std::fs::metadata(&path) {
                 stats.bytes_reclaimed += meta.len();
             }
-            std::fs::remove_file(&path)?;
+            self.fs.remove(&path, MutationKind::Unlink)?;
             stats.packs_deleted += 1;
         }
+        let quarantine_pruned = dead.iter().any(|id| inner.quarantined.remove(id));
+        if quarantine_pruned {
+            self.save_quarantine(&inner.quarantined)?;
+        }
+        self.journal_append(&IntentRecord::GcCommit { seq })?;
         self.metrics.gc_packs.add(stats.packs_deleted);
         self.metrics.gc_reclaimed_bytes.add(stats.bytes_reclaimed);
         self.metrics.packs.add(-(stats.packs_deleted as i64));
         Ok(stats)
     }
 
+    /// Rewrites packs that hold a mix of live and dead chunks: the
+    /// live chunks of every such pack migrate into one new sealed pack
+    /// (fresh parity), the index is repointed, and the source packs
+    /// are unlinked. Running [`ChunkStore::gc`] then
+    /// [`ChunkStore::compact`] drives [`StoreStats::bytes_garbage`] to
+    /// zero, restoring the exact `logical == physical + deduped`
+    /// ledger. Quarantined packs are never compacted (their bytes are
+    /// suspect); journaled like every other multi-file operation.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn compact(&self) -> StoreResult<CompactStats> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let mut live_by_pack: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut dead_by_pack: BTreeMap<u32, u64> = BTreeMap::new();
+        for e in inner.index.values() {
+            let slot = if e.refcount > 0 {
+                &mut live_by_pack
+            } else {
+                &mut dead_by_pack
+            };
+            *slot.entry(e.pack).or_default() += 1;
+        }
+        let srcs: Vec<u32> = dead_by_pack
+            .keys()
+            .filter(|id| live_by_pack.contains_key(id) && !inner.quarantined.contains(id))
+            .copied()
+            .collect();
+        if srcs.is_empty() {
+            return Ok(CompactStats::default());
+        }
+        let src_set: HashSet<u32> = srcs.iter().copied().collect();
+
+        // Collect the live chunks to migrate, in deterministic
+        // (pack, offset) order, reading each source pack once.
+        let mut migrate: Vec<(Digest128, u32, u64, u32)> = inner
+            .index
+            .iter()
+            .filter(|(_, e)| e.refcount > 0 && src_set.contains(&e.pack))
+            .map(|(d, e)| (*d, e.pack, e.data_offset, e.len))
+            .collect();
+        migrate.sort_by_key(|&(_, pack, off, _)| (pack, off));
+        let mut pack_bytes: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
+        for &id in &srcs {
+            pack_bytes.insert(
+                id,
+                std::fs::read(self.packs_dir().join(pack_file_name(id)))?,
+            );
+        }
+        let chunks: Vec<(Digest128, &[u8])> = migrate
+            .iter()
+            .map(|&(d, pack, off, len)| (d, &pack_bytes[&pack][off as usize..][..len as usize]))
+            .collect();
+
+        let dst = inner.next_pack;
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        self.journal_append(&IntentRecord::CompactBegin {
+            seq,
+            src_packs: srcs.clone(),
+            dst_pack: dst,
+        })?;
+
+        let mut stats = CompactStats {
+            pack: Some(dst),
+            ..CompactStats::default()
+        };
+        let dst_path = self.packs_dir().join(pack_file_name(dst));
+        let records = write_pack(self.fs.as_ref(), &dst_path, &chunks, self.parity_width)?;
+        inner.next_pack += 1;
+        for r in &records {
+            stats.chunks_migrated += 1;
+            stats.bytes_migrated += u64::from(r.len);
+        }
+        // Repoint migrated digests, drop the sources' dead entries.
+        for r in records {
+            if let Some(e) = inner.index.get_mut(&r.digest) {
+                e.pack = dst;
+                e.data_offset = r.data_offset;
+            }
+        }
+        inner
+            .index
+            .retain(|_, e| !(src_set.contains(&e.pack) && e.refcount == 0));
+        save_index(self.fs.as_ref(), &self.index_path(), &inner.index)?;
+        let mut src_file_bytes = 0u64;
+        for id in &srcs {
+            let path = self.packs_dir().join(pack_file_name(*id));
+            if let Ok(meta) = std::fs::metadata(&path) {
+                src_file_bytes += meta.len();
+            }
+            self.fs.remove(&path, MutationKind::Unlink)?;
+            stats.packs_rewritten += 1;
+        }
+        self.journal_append(&IntentRecord::CompactCommit { seq })?;
+        let dst_file_bytes = std::fs::metadata(&dst_path).map(|m| m.len()).unwrap_or(0);
+        stats.bytes_reclaimed = src_file_bytes.saturating_sub(dst_file_bytes);
+        self.metrics.gc_reclaimed_bytes.add(stats.bytes_reclaimed);
+        self.metrics
+            .packs
+            .add(1 - i64::try_from(stats.packs_rewritten).unwrap_or(i64::MAX));
+        Ok(stats)
+    }
+
     /// Bit-rot detection: re-reads every pack and re-hashes every
-    /// chunk against the digest it is filed under.
+    /// chunk against the digest it is filed under. Quarantined packs
+    /// are skipped (known bad; counted in
+    /// [`ScrubReport::packs_quarantined`]).
+    ///
+    /// The scan holds no state a concurrent [`ChunkStore::gc`] can
+    /// invalidate: the pack list is a snapshot, and a pack that
+    /// vanishes mid-scan is re-checked against the live index — swept
+    /// packs are skipped, not reported as corruption.
     ///
     /// # Errors
     ///
     /// Filesystem failures, or a pack whose record table no longer
     /// parses (structural corruption beyond a flipped payload bit).
     pub fn scrub(&self) -> StoreResult<ScrubReport> {
-        let inner = self.inner.lock();
         let mut report = ScrubReport::default();
-        let mut pack_ids: Vec<u32> = Vec::new();
-        for entry in std::fs::read_dir(self.packs_dir())? {
-            let entry = entry?;
-            if let Some(id) = parse_pack_file_name(&entry.file_name().to_string_lossy()) {
-                pack_ids.push(id);
+        // Snapshot under the lock; drop it for the (slow) reads.
+        let (pack_ids, quarantined) = {
+            let inner = self.inner.lock();
+            let mut ids: Vec<u32> = Vec::new();
+            for entry in std::fs::read_dir(self.packs_dir())? {
+                let entry = entry?;
+                if let Some(id) = parse_pack_file_name(&entry.file_name().to_string_lossy()) {
+                    ids.push(id);
+                }
             }
-        }
-        pack_ids.sort_unstable();
-        drop(inner);
+            ids.sort_unstable();
+            (ids, inner.quarantined.clone())
+        };
         for id in pack_ids {
-            let bytes = std::fs::read(self.packs_dir().join(pack_file_name(id)))?;
+            if quarantined.contains(&id) {
+                report.packs_quarantined += 1;
+                continue;
+            }
+            let bytes = match std::fs::read(self.packs_dir().join(pack_file_name(id))) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    // Re-check under the lock: if nothing references
+                    // the pack any more, a concurrent gc swept it
+                    // between our snapshot and this read — skip it.
+                    let inner = self.inner.lock();
+                    if inner.index.values().any(|en| en.pack == id) {
+                        return Err(e.into());
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
             let records = scan_pack(&bytes)?;
             report.packs_scanned += 1;
             for r in records {
@@ -585,12 +1062,138 @@ impl ChunkStore {
         Ok(report)
     }
 
+    /// Full integrity pass: every pack (quarantined ones included) is
+    /// re-read and every chunk re-hashed. Without `repair` this only
+    /// reports. With `repair`:
+    ///
+    /// * any parity group with exactly one corrupt chunk is healed —
+    ///   the chunk is reconstructed from XOR parity, verified against
+    ///   its content address, and the pack is atomically rewritten;
+    /// * packs left with unrecoverable chunks (≥ 2 corrupt in one
+    ///   group, no parity, or structural damage) are **quarantined**:
+    ///   recorded in `quarantine.bin`, excluded from dedup, and served
+    ///   verify-on-read so comparison degrades instead of lying.
+    ///
+    /// Repairs and quarantines bump the `store.repair.*` /
+    /// `store.quarantine.*` counters and emit `repair` /
+    /// `pack_quarantine` flight-recorder events (see
+    /// [`ChunkStore::journal_slot`]).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn fsck(&self, repair: bool) -> StoreResult<FsckReport> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let mut report = FsckReport {
+            repair,
+            ..FsckReport::default()
+        };
+        let mut pack_ids: Vec<u32> = Vec::new();
+        for entry in std::fs::read_dir(self.packs_dir())? {
+            let entry = entry?;
+            if let Some(id) = parse_pack_file_name(&entry.file_name().to_string_lossy()) {
+                pack_ids.push(id);
+            }
+        }
+        pack_ids.sort_unstable();
+        let mut quarantine_dirty = false;
+        for id in pack_ids {
+            let path = self.packs_dir().join(pack_file_name(id));
+            let mut bytes = std::fs::read(&path)?;
+            report.packs_scanned += 1;
+            let parsed = match parse_pack(&bytes) {
+                Ok(parsed) => parsed,
+                Err(_) => {
+                    // Structural damage: the record table itself is
+                    // gone. Count the chunks the index files under
+                    // this pack; nothing is reconstructible.
+                    let chunks = inner.index.values().filter(|e| e.pack == id).count() as u64;
+                    report.chunks_corrupt += chunks;
+                    report.chunks_unrecoverable += chunks;
+                    if repair && inner.quarantined.insert(id) {
+                        quarantine_dirty = true;
+                        report.packs_quarantined.push(id);
+                        self.metrics.quarantine_packs.add(1);
+                        self.metrics.quarantine_chunks.add(chunks);
+                        self.obs.emit(
+                            "store",
+                            EventKind::PackQuarantine {
+                                pack: u64::from(id),
+                                chunks,
+                            },
+                        );
+                    }
+                    continue;
+                }
+            };
+            let bad: Vec<usize> = parsed
+                .records
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| {
+                    raw_chunk_digest(&bytes[r.data_offset as usize..][..r.len as usize]) != r.digest
+                })
+                .map(|(i, _)| i)
+                .collect();
+            report.chunks_scanned += parsed.records.len() as u64;
+            report.chunks_corrupt += bad.len() as u64;
+            if bad.is_empty() || !repair {
+                continue;
+            }
+            let outcome = repair_pack(&mut bytes, &bad)?;
+            if !outcome.repaired.is_empty() {
+                // Publish the healed pack atomically: readers see the
+                // old (corrupt) pack or the fully repaired one.
+                self.fs
+                    .write_atomic(&path, &bytes, MutationKind::PackSeal)?;
+                report.chunks_repaired += outcome.repaired.len() as u64;
+                self.metrics
+                    .repair_chunks
+                    .add(outcome.repaired.len() as u64);
+                self.obs.emit(
+                    "store",
+                    EventKind::Repair {
+                        pack: u64::from(id),
+                        chunks: outcome.repaired.len() as u64,
+                    },
+                );
+            }
+            if outcome.unrecoverable.is_empty() {
+                report.packs_repaired += 1;
+                self.metrics.repair_packs.add(1);
+            } else {
+                report.chunks_unrecoverable += outcome.unrecoverable.len() as u64;
+                if inner.quarantined.insert(id) {
+                    quarantine_dirty = true;
+                    report.packs_quarantined.push(id);
+                    self.metrics.quarantine_packs.add(1);
+                    self.metrics
+                        .quarantine_chunks
+                        .add(outcome.unrecoverable.len() as u64);
+                    self.obs.emit(
+                        "store",
+                        EventKind::PackQuarantine {
+                            pack: u64::from(id),
+                            chunks: outcome.unrecoverable.len() as u64,
+                        },
+                    );
+                }
+            }
+        }
+        if quarantine_dirty {
+            self.save_quarantine(&inner.quarantined)?;
+        }
+        Ok(report)
+    }
+
     /// Aggregate accounting over the store's current contents.
     #[must_use]
     pub fn stats(&self) -> StoreStats {
         let inner = self.inner.lock();
         let mut s = StoreStats {
             objects: inner.manifests.len() as u64,
+            packs_quarantined: inner.quarantined.len() as u64,
             ..StoreStats::default()
         };
         let mut packs: HashSet<u32> = HashSet::new();
@@ -601,6 +1204,8 @@ impl ChunkStore {
             s.bytes_physical += u64::from(e.len);
             if e.refcount > 0 {
                 bytes_live += u64::from(e.len);
+            } else {
+                s.bytes_garbage += u64::from(e.len);
             }
             packs.insert(e.pack);
         }
@@ -694,19 +1299,39 @@ impl ObjectLayout {
     }
 }
 
+/// Parses the quarantine ledger; a missing or malformed file is an
+/// empty set (quarantine is a cache of known-bad packs — losing it
+/// degrades to "fsck will rediscover the corruption", never to data
+/// loss).
+fn load_quarantine(path: &Path) -> HashSet<u32> {
+    let Ok(bytes) = std::fs::read(path) else {
+        return HashSet::new();
+    };
+    let mut c = Cursor::new(&bytes, "quarantine");
+    let mut parse = || -> StoreResult<HashSet<u32>> {
+        c.magic(QUARANTINE_MAGIC)?;
+        let n = c.u32()? as usize;
+        let mut ids = HashSet::with_capacity(n.min(4096));
+        for _ in 0..n {
+            ids.insert(c.u32()?);
+        }
+        Ok(ids)
+    };
+    parse().unwrap_or_default()
+}
+
 /// Does the on-disk index agree with the authoritative state? It must
-/// cover every manifest-referenced digest, point only at packs that
-/// exist, and cover every pack on disk (an uncovered pack is the
-/// orphan left by a crash mid-ingest — rebuilding indexes its chunks
-/// at refcount 0 so GC can reclaim it).
+/// point only at packs that exist and cover every manifest-referenced
+/// digest. (Unreferenced on-disk packs — crash orphans, fully
+/// repointed quarantined packs — are legal: the directory-walking
+/// [`ChunkStore::gc`] reclaims them without index entries.)
 fn index_consistent(
     index: &Index,
     manifests: &BTreeMap<(String, u64), Manifest>,
     pack_ids: &[u32],
 ) -> bool {
     let on_disk: HashSet<u32> = pack_ids.iter().copied().collect();
-    let referenced: HashSet<u32> = index.values().map(|e| e.pack).collect();
-    if referenced != on_disk {
+    if !index.values().all(|e| on_disk.contains(&e.pack)) {
         return false;
     }
     manifests.values().all(|m| {
@@ -718,14 +1343,23 @@ fn index_consistent(
 }
 
 /// Rebuilds the index from first principles: chunk locations from pack
-/// record tables, refcounts from manifest references.
+/// record tables, refcounts from manifest references. Quarantined
+/// packs are scanned *first* so any healthy copy of the same digest
+/// (from a repointing re-ingest or a compaction) overwrites the
+/// suspect location; among healthy packs the newest pack wins, which
+/// is exactly what a completed operation would have published.
 fn rebuild_index(
     packs_dir: &Path,
     pack_ids: &[u32],
+    quarantined: &HashSet<u32>,
     manifests: &BTreeMap<(String, u64), Manifest>,
 ) -> StoreResult<Index> {
     let mut index = Index::new();
-    for &id in pack_ids {
+    let ordered = pack_ids
+        .iter()
+        .filter(|id| quarantined.contains(id))
+        .chain(pack_ids.iter().filter(|id| !quarantined.contains(id)));
+    for &id in ordered {
         let bytes = std::fs::read(packs_dir.join(pack_file_name(id)))?;
         for r in scan_pack(&bytes)? {
             index.insert(
@@ -764,6 +1398,7 @@ fn rebuild_index(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fs::RealFs;
 
     fn temp_root(tag: &str) -> PathBuf {
         let root =
@@ -941,23 +1576,136 @@ mod tests {
     }
 
     #[test]
+    fn compact_migrates_live_chunks_and_zeroes_garbage() {
+        let root = temp_root("compact");
+        let store = ChunkStore::open(&root).unwrap();
+        let shared = payload(4096, 7);
+        let unique1 = payload(4096, 8);
+        let mut run1 = shared.clone();
+        run1.extend_from_slice(&unique1);
+        store.ingest("r1", 1, &[("x", &run1)], 256, &[]).unwrap();
+        store.ingest("r2", 1, &[("x", &shared)], 256, &[]).unwrap();
+        store.remove("r1", 1).unwrap();
+        // r1's pack holds shared (live, via r2) + unique1 (dead): a
+        // mixed pack gc cannot touch.
+        assert_eq!(store.gc().unwrap().packs_deleted, 0);
+        assert!(store.stats().bytes_garbage > 0);
+        let c = store.compact().unwrap();
+        assert_eq!(c.packs_rewritten, 1);
+        assert_eq!(c.chunks_migrated, 16, "4096/256 shared chunks migrated");
+        assert_eq!(c.bytes_migrated, 4096);
+        let s = store.stats();
+        assert_eq!(s.bytes_garbage, 0, "compaction drove garbage to zero");
+        assert_eq!(
+            s.bytes_logical,
+            s.bytes_physical + s.bytes_deduped,
+            "exact ledger restored"
+        );
+        assert_eq!(store.materialize("r2", 1).unwrap(), shared);
+        assert!(store.scrub().unwrap().is_clean());
+        // Nothing left to compact.
+        assert_eq!(store.compact().unwrap(), CompactStats::default());
+        // Reopen: state survives.
+        drop(store);
+        let store = ChunkStore::open(&root).unwrap();
+        assert_eq!(store.materialize("r2", 1).unwrap(), shared);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
     fn scrub_detects_a_single_bit_flip() {
         let root = temp_root("scrub");
         let store = ChunkStore::open(&root).unwrap();
         let data = payload(4096, 21);
         store.ingest("s", 1, &[("x", &data)], 512, &[]).unwrap();
         assert!(store.scrub().unwrap().is_clean());
-        // Flip one bit in the middle of the first pack's chunk data.
+        // Flip one bit inside the first pack's chunk data (offsets
+        // past the v2 header land in chunk payload for these sizes).
         let pack_path = root.join("packs").join(pack_file_name(0));
         let mut bytes = std::fs::read(&pack_path).unwrap();
-        let victim = bytes.len() / 2;
-        bytes[victim] ^= 0x10;
+        let records = scan_pack(&bytes).unwrap();
+        bytes[records[3].data_offset as usize + 7] ^= 0x10;
         std::fs::write(&pack_path, &bytes).unwrap();
         let report = store.scrub().unwrap();
         assert_eq!(report.failures.len(), 1, "exactly one chunk is corrupt");
         assert_eq!(report.failures[0].pack, 0);
         assert_eq!(store.metrics().scrub_failures.get(), 1);
         assert_eq!(report.chunks_scanned, 8);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn fsck_repairs_single_chunk_corruption_in_place() {
+        let root = temp_root("fsckrepair");
+        let store = ChunkStore::open(&root).unwrap();
+        let data = payload(8192, 23);
+        store.ingest("f", 1, &[("x", &data)], 512, &[]).unwrap();
+        let pack_path = root.join("packs").join(pack_file_name(0));
+        let mut bytes = std::fs::read(&pack_path).unwrap();
+        let records = scan_pack(&bytes).unwrap();
+        // One corrupt chunk in each of the two parity groups (16
+        // chunks, width 8).
+        bytes[records[2].data_offset as usize + 100] ^= 0xFF;
+        bytes[records[9].data_offset as usize + 5] ^= 0x01;
+        std::fs::write(&pack_path, &bytes).unwrap();
+        // Report-only first.
+        let dry = store.fsck(false).unwrap();
+        assert_eq!(dry.chunks_corrupt, 2);
+        assert_eq!(dry.chunks_repaired, 0);
+        assert!(!dry.is_clean() && !dry.healthy());
+        // Now repair.
+        let fixed = store.fsck(true).unwrap();
+        assert_eq!(fixed.chunks_corrupt, 2);
+        assert_eq!(fixed.chunks_repaired, 2);
+        assert_eq!(fixed.packs_repaired, 1);
+        assert!(fixed.healthy());
+        assert!(fixed.packs_quarantined.is_empty());
+        assert_eq!(store.metrics().repair_chunks.get(), 2);
+        assert_eq!(store.metrics().repair_packs.get(), 1);
+        assert!(store.scrub().unwrap().is_clean());
+        assert_eq!(store.materialize("f", 1).unwrap(), data, "byte-exact");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn two_corruptions_in_a_group_quarantine_the_pack() {
+        let root = temp_root("fsckquar");
+        let store = ChunkStore::open(&root).unwrap();
+        let data = payload(4096, 29);
+        store.ingest("q", 1, &[("x", &data)], 512, &[]).unwrap();
+        let pack_path = root.join("packs").join(pack_file_name(0));
+        let mut bytes = std::fs::read(&pack_path).unwrap();
+        let records = scan_pack(&bytes).unwrap();
+        // Two corrupt chunks in the same 8-wide parity group.
+        bytes[records[1].data_offset as usize] ^= 0xAA;
+        bytes[records[6].data_offset as usize] ^= 0xAA;
+        std::fs::write(&pack_path, &bytes).unwrap();
+        let report = store.fsck(true).unwrap();
+        assert_eq!(report.chunks_corrupt, 2);
+        assert_eq!(report.chunks_repaired, 0);
+        assert_eq!(report.chunks_unrecoverable, 2);
+        assert_eq!(report.packs_quarantined, vec![0]);
+        assert_eq!(store.quarantined_packs(), vec![0]);
+        assert_eq!(store.metrics().quarantine_packs.get(), 1);
+        assert_eq!(store.metrics().quarantine_chunks.get(), 2);
+        // Materialize now fails verification (degraded, not wrong).
+        assert!(store.materialize("q", 1).is_err());
+        // The quarantine ledger survives reopen.
+        drop(store);
+        let store = ChunkStore::open(&root).unwrap();
+        assert_eq!(store.quarantined_packs(), vec![0]);
+        // Re-ingesting the same data stores fresh copies (no dedup
+        // against the quarantined pack) and heals materialization.
+        let stats = store.ingest("q", 2, &[("x", &data)], 512, &[]).unwrap();
+        assert_eq!(stats.chunks_deduped, 0, "quarantined chunks don't dedup");
+        assert_eq!(stats.bytes_physical, 4096);
+        assert_eq!(store.materialize("q", 1).unwrap(), data, "repointed");
+        // Once every chunk is repointed the quarantined pack is
+        // unreferenced; gc reclaims it and prunes the quarantine set.
+        store.remove("q", 1).ok();
+        let _ = store.gc().unwrap();
+        assert!(store.quarantined_packs().is_empty());
+        assert_eq!(store.materialize("q", 2).unwrap(), data);
         std::fs::remove_dir_all(&root).ok();
     }
 
@@ -980,6 +1728,7 @@ mod tests {
             assert_eq!(stats.bytes_logical, 6000);
             assert_eq!(stats.bytes_physical, 3000);
             assert_eq!(stats.bytes_deduped, 3000);
+            assert_eq!(stats.bytes_garbage, 0);
         }
         // Torn state: the index vanished (crash before step 3). Open
         // rebuilds it from packs + manifests.
@@ -1008,20 +1757,68 @@ mod tests {
             let store = ChunkStore::open(&root).unwrap();
             store.ingest("ok", 1, &[("x", &data)], 128, &[]).unwrap();
         }
-        // Simulate a crash between pack publish and manifest publish:
+        // Simulate a legacy crash between pack publish and manifest
+        // publish with no journal record (e.g. a pre-journal store):
         // a pack exists that no manifest references.
         let orphan = payload(1024, 42);
         let chunks: Vec<(Digest128, &[u8])> = orphan
             .chunks(128)
             .map(|c| (raw_chunk_digest(c), c))
             .collect();
-        write_pack(&root.join("packs").join(pack_file_name(7)), &chunks).unwrap();
+        write_pack(
+            &RealFs,
+            &root.join("packs").join(pack_file_name(7)),
+            &chunks,
+            DEFAULT_PARITY_GROUP_WIDTH,
+        )
+        .unwrap();
         let store = ChunkStore::open(&root).unwrap();
-        // The orphan's chunks are indexed at refcount 0 and its pack id
-        // is reserved, so the next ingest can't collide with it.
+        // The directory-walking gc reclaims the orphan without any
+        // index entry; pack id 7 stays reserved (next_pack > 7).
         let gc = store.gc().unwrap();
         assert_eq!(gc.packs_deleted, 1);
         assert_eq!(store.materialize("ok", 1).unwrap(), data);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn pending_ingest_intent_is_undone_on_open() {
+        let root = temp_root("replayingest");
+        let data = payload(1024, 43);
+        {
+            let store = ChunkStore::open(&root).unwrap();
+            store.ingest("ok", 1, &[("x", &data)], 128, &[]).unwrap();
+        }
+        // Forge the crash the journal is for: a pack sealed, the
+        // intent journaled, but no manifest published.
+        let orphan = payload(1024, 44);
+        let chunks: Vec<(Digest128, &[u8])> = orphan
+            .chunks(128)
+            .map(|c| (raw_chunk_digest(c), c))
+            .collect();
+        write_pack(
+            &RealFs,
+            &root.join("packs").join(pack_file_name(9)),
+            &chunks,
+            DEFAULT_PARITY_GROUP_WIDTH,
+        )
+        .unwrap();
+        let frame = encode_record(&IntentRecord::IngestBegin {
+            seq: 1,
+            name: "crashed".into(),
+            version: 1,
+            pack: Some(9),
+        });
+        std::fs::write(root.join(JOURNAL_FILE), &frame).unwrap();
+        let store = ChunkStore::open(&root).unwrap();
+        // Replay undid the orphan pack and reset the journal.
+        assert!(!root.join("packs").join(pack_file_name(9)).exists());
+        assert!(!root.join(JOURNAL_FILE).exists());
+        assert_eq!(store.metrics().journal_replays.get(), 1);
+        assert_eq!(store.materialize("ok", 1).unwrap(), data);
+        let s = store.stats();
+        assert_eq!(s.bytes_garbage, 0);
+        assert_eq!(s.bytes_logical, s.bytes_physical + s.bytes_deduped);
         std::fs::remove_dir_all(&root).ok();
     }
 

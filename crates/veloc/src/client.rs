@@ -11,9 +11,9 @@
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
-use reprocmp_io::RetryPolicy;
+use reprocmp_io::{MutationKind, RetryPolicy};
 use reprocmp_obs::{Counter, EventKind, Histogram, Journal, Registry};
-use reprocmp_store::{ChunkStore, StoreError, HEADER_SEGMENT};
+use reprocmp_store::{real_fs, ChunkStore, StoreError, StoreFs, HEADER_SEGMENT};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -43,6 +43,11 @@ pub struct VelocConfig {
     pub store: Option<Arc<ChunkStore>>,
     /// Chunk size for store ingestion (ignored without a store).
     pub store_chunk_bytes: usize,
+    /// The filesystem seam background flushes cross when staging and
+    /// publishing on the persistent tier. Production is the real
+    /// filesystem; the crash-point torture harness swaps in a
+    /// [`CrashFs`](reprocmp_store::CrashFs) to cut power mid-flush.
+    pub fs: Arc<dyn StoreFs>,
 }
 
 impl VelocConfig {
@@ -57,6 +62,7 @@ impl VelocConfig {
             flush_retry: RetryPolicy::with_attempts(3),
             store: None,
             store_chunk_bytes: 4096,
+            fs: real_fs(),
         }
     }
 
@@ -264,9 +270,10 @@ impl Client {
             let tracker = Arc::clone(&tracker);
             let metrics = metrics.clone();
             let store = config.store.clone();
+            let fs = Arc::clone(&config.fs);
             flushers.push(std::thread::spawn(move || {
                 while let Ok((key, from, to)) = rx.recv() {
-                    let ok = flush_file(&from, &to, &retry, &metrics);
+                    let ok = flush_file(fs.as_ref(), &from, &to, &retry, &metrics);
                     if ok {
                         capture_into_store(store.as_deref(), &key, &to, chunk_bytes);
                     }
@@ -358,7 +365,13 @@ impl Client {
                 .send((key.clone(), local.clone(), remote.clone()))
                 .is_err()
             {
-                let ok = flush_file(&local, &remote, &self.config.flush_retry, &self.metrics);
+                let ok = flush_file(
+                    self.config.fs.as_ref(),
+                    &local,
+                    &remote,
+                    &self.config.flush_retry,
+                    &self.metrics,
+                );
                 if ok {
                     capture_into_store(
                         self.config.store.as_deref(),
@@ -435,6 +448,7 @@ impl Client {
                         .is_err()
                     {
                         let ok = flush_file(
+                            self.config.fs.as_ref(),
                             &entry.path(),
                             &remote,
                             &self.config.flush_retry,
@@ -664,12 +678,20 @@ fn tmp_path(to: &Path) -> PathBuf {
 }
 
 /// Crash-consistent, retrying flush: copy to `{to}.tmp`, then atomic
-/// rename. A crash mid-copy leaves only a `.tmp` orphan (swept by
-/// [`Client::recover`]); the destination either doesn't exist or is a
-/// complete checkpoint. Filesystem errors don't distinguish transient
-/// from permanent causes, so every failure is retried up to the
-/// policy's attempt budget with real backoff sleeps.
-fn flush_file(from: &Path, to: &Path, retry: &RetryPolicy, metrics: &FlushMetrics) -> bool {
+/// rename — both through the store's filesystem seam, so the torture
+/// harness can cut power at either boundary. A crash mid-copy leaves
+/// only a `.tmp` orphan (swept by [`Client::recover`]); the destination
+/// either doesn't exist or is a complete checkpoint. Filesystem errors
+/// don't distinguish transient from permanent causes, so every failure
+/// is retried up to the policy's attempt budget with real backoff
+/// sleeps.
+fn flush_file(
+    fs: &dyn StoreFs,
+    from: &Path,
+    to: &Path,
+    retry: &RetryPolicy,
+    metrics: &FlushMetrics,
+) -> bool {
     let tmp = tmp_path(to);
     let attempts = retry.max_attempts.max(1);
     let flush_event = |bytes: u64, ok: bool| {
@@ -683,8 +705,11 @@ fn flush_file(from: &Path, to: &Path, retry: &RetryPolicy, metrics: &FlushMetric
         }
     };
     for attempt in 1..=attempts {
-        let result =
-            std::fs::copy(from, &tmp).and_then(|copied| std::fs::rename(&tmp, to).map(|()| copied));
+        let result = std::fs::read(from).and_then(|bytes| {
+            fs.write_tmp(&tmp, &bytes, MutationKind::TmpWrite)?;
+            fs.publish(&tmp, to, MutationKind::Rename)?;
+            Ok(bytes.len() as u64)
+        });
         match result {
             Ok(copied) => {
                 metrics.completed.inc();

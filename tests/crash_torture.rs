@@ -1,0 +1,326 @@
+//! Crash-point torture harness: power-fail the store at *every*
+//! filesystem mutation boundary and prove recovery.
+//!
+//! The driver runs each operation twice. A counting pass opens the
+//! store through a [`CrashFs`] wrapping [`CrashPlan::observe`], which
+//! numbers every armed mutation (tmp write, rename, pack seal,
+//! manifest publish, index swap, journal append, unlink) without
+//! crashing. Then, for every crash point `k` in `1..=n` and every
+//! failure mode (fail-before, torn partial write across three seeds),
+//! a fresh store replays the same history, crashes at `k`, reopens on
+//! the real filesystem — which replays the intent journal — retries
+//! the interrupted operation, and must land in a state where:
+//!
+//! * every surviving checkpoint materializes **byte-exactly**,
+//! * a full scrub passes (no torn garbage left addressable),
+//! * the dedup ledger balances against *driver-computed* expectations
+//!   (`bytes_logical == bytes_physical + bytes_deduped`, with
+//!   `bytes_physical` equal to the unique chunk bytes of the expected
+//!   contents — not whatever the store happens to think), and
+//! * a second `gc` finds nothing, i.e. no orphan pack survived.
+//!
+//! The same sweep drives the VELOC-style client's flush path
+//! (tmp write + rename on the persistent tier) and proves
+//! `recover()` completes any flush the crash interrupted.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use reprocmp_io::{CrashMode, CrashPlan, RetryPolicy};
+use reprocmp_store::{ChunkStore, CrashFs, StoreConfig, StoreError};
+use reprocmp_veloc::{CheckpointState, Client, VelocConfig};
+
+const CHUNK: usize = 64;
+const TORN_SEEDS: [u64; 3] = [0x00c0_ffee, 0x1bad_b002, 0x5eed_cafe];
+
+fn fresh_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("reprocmp-torture-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    root
+}
+
+/// `n` chunks of deterministic bytes, parameterized so different
+/// checkpoints share exactly the chunks we intend them to share.
+fn chunk_bytes(salt: u8, chunk: usize) -> Vec<u8> {
+    (0..CHUNK)
+        .map(|i| salt.wrapping_mul(31) ^ (chunk as u8) ^ (i as u8).wrapping_mul(7))
+        .collect()
+}
+
+fn payload(chunks: &[(u8, usize)]) -> Vec<u8> {
+    chunks
+        .iter()
+        .flat_map(|&(salt, c)| chunk_bytes(salt, c))
+        .collect()
+}
+
+/// The unique-chunk byte count across all expected payloads — the
+/// driver's independent prediction of `stats.bytes_physical` once the
+/// store holds exactly `expected` with zero garbage.
+fn unique_chunk_bytes(expected: &[(&str, u64, Vec<u8>)]) -> u64 {
+    let mut unique: BTreeSet<&[u8]> = BTreeSet::new();
+    for (_, _, bytes) in expected {
+        for chunk in bytes.chunks(CHUNK) {
+            unique.insert(chunk);
+        }
+    }
+    unique.iter().map(|c| c.len() as u64).sum()
+}
+
+fn assert_recovered(store: &ChunkStore, expected: &[(&str, u64, Vec<u8>)], ctx: &str) {
+    for (name, version, bytes) in expected {
+        let got = store
+            .materialize(name, *version)
+            .unwrap_or_else(|e| panic!("{ctx}: {name}@{version} lost: {e}"));
+        assert_eq!(&got, bytes, "{ctx}: {name}@{version} must be byte-exact");
+    }
+    let scrub = store
+        .scrub()
+        .unwrap_or_else(|e| panic!("{ctx}: scrub: {e}"));
+    assert!(
+        scrub.is_clean(),
+        "{ctx}: scrub found rot after recovery: {:?}",
+        scrub.failures
+    );
+    assert_eq!(scrub.packs_quarantined, 0, "{ctx}: nothing quarantined");
+
+    let stats = store.stats();
+    let logical: u64 = expected.iter().map(|(_, _, b)| b.len() as u64).sum();
+    assert_eq!(stats.objects, expected.len() as u64, "{ctx}: object count");
+    assert_eq!(stats.bytes_logical, logical, "{ctx}: logical bytes");
+    assert_eq!(stats.bytes_garbage, 0, "{ctx}: garbage after gc+compact");
+    assert_eq!(
+        stats.bytes_physical,
+        unique_chunk_bytes(expected),
+        "{ctx}: physical bytes must equal the driver-computed unique chunk bytes"
+    );
+    assert_eq!(
+        stats.bytes_logical,
+        stats.bytes_physical + stats.bytes_deduped,
+        "{ctx}: ledger must balance"
+    );
+
+    let gc2 = store.gc().unwrap_or_else(|e| panic!("{ctx}: gc: {e}"));
+    assert_eq!(gc2.packs_deleted, 0, "{ctx}: gc must have converged");
+}
+
+/// Sweeps every crash point of `op` (run against the state `setup`
+/// builds) across fail-before and torn-write modes.
+fn sweep(
+    tag: &str,
+    setup: &dyn Fn(&ChunkStore),
+    op: &dyn Fn(&ChunkStore) -> Result<(), StoreError>,
+    expected: &[(&str, u64, Vec<u8>)],
+) {
+    // Counting pass: number the op's mutations without crashing.
+    let root = fresh_root(&format!("{tag}-count"));
+    {
+        let store = ChunkStore::open(&root).unwrap();
+        setup(&store);
+    }
+    let plan = CrashPlan::observe();
+    {
+        let fs = Arc::new(CrashFs::new(Arc::clone(&plan)));
+        let store = ChunkStore::open_with(&root, StoreConfig::with_fs(fs)).unwrap();
+        plan.arm();
+        op(&store).unwrap();
+    }
+    let points = plan.mutations();
+    assert!(points > 0, "{tag}: op crossed no mutation boundaries");
+    std::fs::remove_dir_all(&root).ok();
+
+    let mut modes = vec![CrashMode::Before];
+    modes.extend(TORN_SEEDS.map(|seed| CrashMode::Torn { seed }));
+
+    for k in 1..=points {
+        for (m, &mode) in modes.iter().enumerate() {
+            let ctx = format!("{tag} crash point {k}/{points} mode {m}");
+            let root = fresh_root(&format!("{tag}-k{k}-m{m}"));
+            {
+                let store = ChunkStore::open(&root).unwrap();
+                setup(&store);
+            }
+
+            // Power failure at mutation k.
+            let plan = CrashPlan::at(k, mode);
+            {
+                let fs = Arc::new(CrashFs::new(Arc::clone(&plan)));
+                let store = ChunkStore::open_with(&root, StoreConfig::with_fs(fs)).unwrap();
+                plan.arm();
+                let crashed = op(&store);
+                assert!(crashed.is_err(), "{ctx}: crash did not surface");
+            }
+            assert!(plan.crashed(), "{ctx}: plan never fired");
+
+            // Power restored: open replays the intent journal; the
+            // caller retries the interrupted operation (idempotent:
+            // `Exists` means the crash landed after the commit point,
+            // `NotFound` means a remove already completed).
+            let store = ChunkStore::open(&root)
+                .unwrap_or_else(|e| panic!("{ctx}: reopen after crash failed: {e}"));
+            match op(&store) {
+                Ok(()) | Err(StoreError::Exists { .. } | StoreError::NotFound { .. }) => {}
+                Err(e) => panic!("{ctx}: retry failed: {e}"),
+            }
+            store.gc().unwrap_or_else(|e| panic!("{ctx}: gc: {e}"));
+            store
+                .compact()
+                .unwrap_or_else(|e| panic!("{ctx}: compact: {e}"));
+            assert_recovered(&store, expected, &ctx);
+            std::fs::remove_dir_all(&root).ok();
+        }
+    }
+}
+
+fn ingest(store: &ChunkStore, name: &str, bytes: &[u8]) {
+    store
+        .ingest(name, 1, &[("data", bytes)], CHUNK, &[])
+        .unwrap_or_else(|e| panic!("setup ingest {name}: {e}"));
+}
+
+#[test]
+fn torture_ingest_every_crash_point() {
+    // B shares half its chunks with A, so the crashed ingest exercises
+    // both dedup hits and fresh pack writes.
+    let a = payload(&[(1, 0), (1, 1), (1, 2), (1, 3), (1, 4), (1, 5)]);
+    let b = payload(&[(1, 0), (1, 1), (1, 2), (2, 0), (2, 1), (2, 2)]);
+    let expected = [("alpha", 1u64, a.clone()), ("beta", 1u64, b.clone())];
+    sweep(
+        "ingest",
+        &move |s| ingest(s, "alpha", &a),
+        &move |s| s.ingest("beta", 1, &[("data", &b)], CHUNK, &[]).map(|_| ()),
+        &expected,
+    );
+}
+
+#[test]
+fn torture_remove_every_crash_point() {
+    let a = payload(&[(3, 0), (3, 1), (3, 2), (3, 3)]);
+    let b = payload(&[(4, 0), (4, 1), (3, 0), (3, 1)]);
+    let expected = [("beta", 1u64, b.clone())];
+    sweep(
+        "remove",
+        &move |s| {
+            ingest(s, "alpha", &a);
+            ingest(s, "beta", &b);
+        },
+        &|s| s.remove("alpha", 1),
+        &expected,
+    );
+}
+
+#[test]
+fn torture_gc_every_crash_point() {
+    // Alpha's chunks are disjoint from beta's, so removing alpha
+    // leaves a fully dead pack for gc to reclaim.
+    let a = payload(&[(5, 0), (5, 1), (5, 2), (5, 3)]);
+    let b = payload(&[(6, 0), (6, 1), (6, 2), (6, 3)]);
+    let expected = [("beta", 1u64, b.clone())];
+    sweep(
+        "gc",
+        &move |s| {
+            ingest(s, "alpha", &a);
+            ingest(s, "beta", &b);
+            s.remove("alpha", 1).unwrap();
+        },
+        &|s| s.gc().map(|_| ()),
+        &expected,
+    );
+}
+
+#[test]
+fn torture_compact_every_crash_point() {
+    // Alpha's pack ends up mixed: half its chunks stay live through
+    // beta's references, half die with alpha — exactly the shape
+    // compaction exists to rewrite.
+    let a = payload(&[(7, 0), (7, 1), (7, 2), (7, 3), (7, 4), (7, 5)]);
+    let b = payload(&[(7, 0), (7, 1), (7, 2), (8, 0), (8, 1), (8, 2)]);
+    let expected = [("beta", 1u64, b.clone())];
+    sweep(
+        "compact",
+        &move |s| {
+            ingest(s, "alpha", &a);
+            ingest(s, "beta", &b);
+            s.remove("alpha", 1).unwrap();
+            s.gc().unwrap();
+        },
+        &|s| s.compact().map(|_| ()),
+        &expected,
+    );
+}
+
+#[test]
+fn torture_veloc_flush_every_crash_point() {
+    let values: Vec<f32> = (0..256).map(|i| (i as f32) * 0.37 - 11.0).collect();
+
+    let config_with = |base: &Path, fs: Arc<dyn reprocmp_store::StoreFs>| VelocConfig {
+        flush_threads: 1,
+        flush_retry: RetryPolicy::with_attempts(1),
+        fs,
+        ..VelocConfig::rooted_at(base)
+    };
+
+    // Counting pass.
+    let base = fresh_root("veloc-count");
+    let plan = CrashPlan::observe();
+    {
+        let client = Client::new(config_with(
+            &base,
+            Arc::new(CrashFs::new(Arc::clone(&plan))),
+        ))
+        .unwrap();
+        plan.arm();
+        client.checkpoint("ckpt", 1, &[("x", &values)]).unwrap();
+        client.wait_all().unwrap();
+    }
+    let points = plan.mutations();
+    assert!(points > 0, "veloc flush crossed no mutation boundaries");
+    std::fs::remove_dir_all(&base).ok();
+
+    let mut modes = vec![CrashMode::Before];
+    modes.extend(TORN_SEEDS.map(|seed| CrashMode::Torn { seed }));
+
+    for k in 1..=points {
+        for (m, &mode) in modes.iter().enumerate() {
+            let ctx = format!("veloc flush crash point {k}/{points} mode {m}");
+            let base = fresh_root(&format!("veloc-k{k}-m{m}"));
+            let plan = CrashPlan::at(k, mode);
+            let scratch_bytes;
+            {
+                let client = Client::new(config_with(
+                    &base,
+                    Arc::new(CrashFs::new(Arc::clone(&plan))),
+                ))
+                .unwrap();
+                plan.arm();
+                client.checkpoint("ckpt", 1, &[("x", &values)]).unwrap();
+                assert!(
+                    client.wait("ckpt", 1).is_err(),
+                    "{ctx}: flush must fail at the crash point"
+                );
+                assert_eq!(client.state("ckpt", 1), Some(CheckpointState::Failed));
+                scratch_bytes = std::fs::read(client.scratch_path("ckpt", 1)).unwrap();
+            }
+            assert!(plan.crashed(), "{ctx}: plan never fired");
+
+            // Restart on the real filesystem: recover() sweeps torn
+            // temporaries off the persistent tier and re-adopts the
+            // scratch copy, whose flush must now complete.
+            let client = Client::new(VelocConfig::rooted_at(&base)).unwrap();
+            let readopted = client.recover().unwrap();
+            assert!(
+                readopted.contains(&("ckpt".to_owned(), 1)),
+                "{ctx}: recover must re-adopt the stranded checkpoint"
+            );
+            client.wait_all().unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            assert_eq!(client.state("ckpt", 1), Some(CheckpointState::Flushed));
+            let persisted = std::fs::read(client.persistent_path("ckpt", 1)).unwrap();
+            assert_eq!(
+                persisted, scratch_bytes,
+                "{ctx}: recovered flush must be byte-exact"
+            );
+            std::fs::remove_dir_all(&base).ok();
+        }
+    }
+}

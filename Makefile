@@ -54,6 +54,6 @@ perf-diff:
 
 # Re-run every figure/table harness; results land in bench_results/.
 bench-figures:
-	for bin in fig5 fig6 fig7 fig8 fig9 fig10 fig_multirun fig_dedup table1 table2 ablate; do \
+	for bin in fig5 fig6 fig7 fig8 fig9 fig10 fig_multirun fig_dedup fig_delta table1 table2 ablate; do \
 		$(CARGO) run --release -p reprocmp-bench --bin $$bin || exit 1; \
 	done

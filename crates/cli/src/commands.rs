@@ -5,7 +5,7 @@ use std::path::{Path, PathBuf};
 
 use reprocmp_core::{CheckpointSource, CompareEngine, EngineConfig};
 use reprocmp_hacc::{HaccConfig, OrderPolicy, Simulation, SlabDecomposition};
-use reprocmp_store::{ChunkStore, ObjectLayout, StoreError, HEADER_SEGMENT};
+use reprocmp_store::{ChunkStore, DeltaPolicy, ObjectLayout, StoreError, HEADER_SEGMENT};
 use reprocmp_veloc::{decode_checkpoint, Client, VelocConfig};
 
 use crate::args::ArgMap;
@@ -1093,7 +1093,20 @@ pub fn ingest(map: &ArgMap) -> Result<String, CliError> {
         Vec::new()
     };
 
-    let stats = match store.ingest(&name, version, &segments, chunk_bytes, &meta) {
+    // --delta: differential capture against the previous stored
+    // version, writing only changed chunks (full anchors forced by the
+    // --anchor-every / --max-depth policy).
+    let delta = map.flag("delta");
+    let policy = DeltaPolicy {
+        anchor_every: map.parsed_or("anchor-every", DeltaPolicy::default().anchor_every)?,
+        max_depth: map.parsed_or("max-depth", DeltaPolicy::default().max_depth)?,
+    };
+    let result = if delta {
+        store.ingest_delta(&name, version, &segments, chunk_bytes, &meta, &policy)
+    } else {
+        store.ingest(&name, version, &segments, chunk_bytes, &meta)
+    };
+    let stats = match result {
         Ok(stats) => stats,
         Err(StoreError::Exists { name, version }) => {
             return Ok(format!(
@@ -1122,14 +1135,27 @@ pub fn ingest(map: &ArgMap) -> Result<String, CliError> {
     );
     let _ = writeln!(
         out,
-        "chunks: {} refs, {} stored, {} deduplicated",
-        stats.chunk_refs, stats.chunks_stored, stats.chunks_deduped,
+        "chunks: {} refs, {} stored, {} deduplicated, {} skipped",
+        stats.chunk_refs, stats.chunks_stored, stats.chunks_deduped, stats.chunks_skipped,
     );
     let _ = writeln!(
         out,
-        "bytes:  {} logical = {} physical + {} deduplicated",
-        stats.bytes_logical, stats.bytes_physical, stats.bytes_deduped,
+        "bytes:  {} logical = {} physical + {} deduplicated + {} skipped",
+        stats.bytes_logical, stats.bytes_physical, stats.bytes_deduped, stats.bytes_skipped,
     );
+    match stats.parent {
+        Some(parent) => {
+            let _ = writeln!(
+                out,
+                "chain:  delta of {name}@{parent} at depth {}",
+                stats.depth
+            );
+        }
+        None if delta => {
+            let _ = writeln!(out, "chain:  full anchor (no usable parent, or policy)");
+        }
+        None => {}
+    }
     match stats.pack {
         Some(id) => {
             let _ = writeln!(out, "pack:   pack-{id:06}");
@@ -1150,6 +1176,62 @@ pub fn store_remove(map: &ArgMap) -> Result<String, CliError> {
     Ok(format!(
         "removed {name}@{version}; run `gc` to reclaim unreferenced packs\n"
     ))
+}
+
+/// `chain`: show the delta chain a stored checkpoint restores through,
+/// anchor first, with each link's ownership and skip ledger. With
+/// `--flatten`, every delta link is rewritten to a full manifest
+/// (tail-first), unpinning ancestors for `store-remove` + `gc`.
+pub fn chain(map: &ArgMap) -> Result<String, CliError> {
+    let store = open_store(map)?;
+    let (name, version) = resolve_run_spec(&store, map.required("run")?)?;
+    if map.flag("flatten") {
+        let links = store.chain(&name, version).map_err(fail)?;
+        let mut rewritten = 0u64;
+        for link in links.iter().rev() {
+            if store.flatten(&name, link.version).map_err(fail)? {
+                rewritten += 1;
+            }
+        }
+        return Ok(format!(
+            "flattened {rewritten} delta manifest(s) of {name}@{version} to full anchors\n"
+        ));
+    }
+    let links = store.chain(&name, version).map_err(fail)?;
+    if map.flag("json") {
+        let mut s = serde_json::to_string_pretty(&links).map_err(fail)?;
+        s.push('\n');
+        return Ok(s);
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chain of {name}@{version}: {} link(s), restore depth {}",
+        links.len(),
+        links.last().map_or(0, |l| l.depth),
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>8} {:>6} {:>10} {:>10} {:>12} {:>14}",
+        "version", "parent", "depth", "refs", "own refs", "own bytes", "bytes skipped"
+    );
+    for link in &links {
+        let parent = link
+            .parent
+            .map_or_else(|| "-".to_owned(), |p| p.to_string());
+        let _ = writeln!(
+            out,
+            "{:>10} {:>8} {:>6} {:>10} {:>10} {:>12} {:>14}",
+            link.version,
+            parent,
+            link.depth,
+            link.chunk_refs,
+            link.own_refs,
+            link.own_bytes,
+            link.bytes_skipped,
+        );
+    }
+    Ok(out)
 }
 
 /// `gc`: delete packs whose every chunk has dropped to zero references
@@ -1289,8 +1371,18 @@ pub fn store_stats(map: &ArgMap) -> Result<String, CliError> {
     );
     let _ = writeln!(
         out,
-        "bytes:  {} logical = {} physical + {} deduplicated ({} B of pack files on disk)",
-        stats.bytes_logical, stats.bytes_physical, stats.bytes_deduped, stats.pack_file_bytes,
+        "bytes:  {} logical = {} physical + {} deduplicated + {} skipped \
+         ({} B of pack files on disk)",
+        stats.bytes_logical,
+        stats.bytes_physical,
+        stats.bytes_deduped,
+        stats.bytes_skipped,
+        stats.pack_file_bytes,
+    );
+    let _ = writeln!(
+        out,
+        "chains: {} delta manifest(s), deepest chain {} link(s), {} B skipped at capture",
+        stats.delta_objects, stats.chain_depth_max, stats.bytes_skipped,
     );
     let objects = store.objects();
     for (name, version) in objects.iter().take(32) {

@@ -125,7 +125,15 @@ pub fn usage() -> String {
     );
     let _ = writeln!(
         s,
-        "               (content-addressed capture: stores only never-seen chunks)"
+        "               [--delta [--anchor-every 8] [--max-depth 16]]"
+    );
+    let _ = writeln!(
+        s,
+        "               (content-addressed capture: stores only never-seen chunks;"
+    );
+    let _ = writeln!(
+        s,
+        "                --delta skips chunks unchanged since the previous version)"
     );
     let _ = writeln!(
         s,
@@ -151,6 +159,18 @@ pub fn usage() -> String {
     let _ = writeln!(
         s,
         "  store-remove --store D --run name@version  (drop one stored checkpoint)"
+    );
+    let _ = writeln!(
+        s,
+        "  chain        --store D --run name@version [--flatten] [--json]"
+    );
+    let _ = writeln!(
+        s,
+        "               (show the delta chain a checkpoint restores through;"
+    );
+    let _ = writeln!(
+        s,
+        "                --flatten rewrites its deltas to full, unpinning ancestors)"
     );
     let _ = writeln!(
         s,
@@ -244,6 +264,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "fsck" => commands::fsck(&rest),
         "store-stats" => commands::store_stats(&rest),
         "store-remove" => commands::store_remove(&rest),
+        "chain" => commands::chain(&rest),
         "simulate" => commands::simulate(&rest),
         "census" => commands::census(&rest),
         "gate" => commands::gate(&rest),

@@ -282,6 +282,13 @@ impl Direct {
             ..reprocmp_obs::StageBreakdown::default()
         };
 
+        let (capture, chain) = crate::engine::chain_provenance(a, b);
+        let mut stages = stages;
+        stages.delta_capture = reprocmp_obs::PhaseCost::new(
+            std::time::Duration::ZERO,
+            capture.bytes_skipped,
+            capture.chunks_skipped,
+        );
         Ok(CompareReport {
             breakdown,
             stages,
@@ -292,6 +299,8 @@ impl Direct {
             unverified: Vec::new(),
             cache: reprocmp_obs::CacheStats::default(),
             store: crate::engine::store_reads_snapshot(a, b).delta_since(store_before),
+            capture,
+            chain,
         })
     }
 }

@@ -31,7 +31,7 @@
 //! `CheckpointSource::from_store` with nothing recomputed.
 
 use reprocmp_merkle::{compare_trees, MerkleTree};
-use reprocmp_store::{ChunkStore, IngestStats, StoreError};
+use reprocmp_store::{ChunkStore, DeltaPolicy, IngestStats, StoreError};
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -281,6 +281,69 @@ impl CompactionStore {
             }
         }
         Ok(ledgers)
+    }
+
+    /// As [`CompactionStore::persist_into`], but drains through the
+    /// store's *differential* ingest path: each iteration after the
+    /// first is published as a delta manifest against its predecessor
+    /// (subject to `policy`'s anchor cadence), so unchanged chunks are
+    /// skipped outright instead of being rediscovered by content
+    /// addressing. The resulting chains restore byte-exactly — the
+    /// ε-lossiness of the in-memory chain is already baked into the
+    /// reconstructed payloads before they reach the store.
+    ///
+    /// # Errors
+    ///
+    /// Store I/O failures, or an invalid `name` for the store.
+    pub fn persist_into_delta(
+        &self,
+        engine: &CompareEngine,
+        store: &ChunkStore,
+        name: &str,
+        policy: DeltaPolicy,
+    ) -> CoreResult<Vec<Option<IngestStats>>> {
+        let chunk_bytes = engine.config().chunk_bytes;
+        let mut ledgers = Vec::with_capacity(self.chain.len());
+        for entry in &self.chain {
+            let values = self.reconstruct(entry.iteration)?;
+            let payload: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let meta = reprocmp_merkle::encode_tree(&entry.tree);
+            match store.ingest_delta(
+                name,
+                entry.iteration,
+                &[("payload", &payload)],
+                chunk_bytes,
+                &meta,
+                &policy,
+            ) {
+                Ok(stats) => ledgers.push(Some(stats)),
+                Err(StoreError::Exists { .. }) => ledgers.push(None),
+                Err(e) => return Err(crate::storesrc::store_err(e)),
+            }
+        }
+        Ok(ledgers)
+    }
+
+    /// Flattens every persisted delta of this chain's `name` back to a
+    /// full manifest (tail-first, so each flatten sees an intact
+    /// chain). After this the persisted iterations are independent —
+    /// ancestors can be removed and GC'd freely. Returns the number of
+    /// manifests actually rewritten.
+    ///
+    /// # Errors
+    ///
+    /// Store I/O failures or a missing persisted iteration.
+    pub fn flatten_persisted(&self, store: &ChunkStore, name: &str) -> CoreResult<u64> {
+        let mut rewritten = 0;
+        for entry in self.chain.iter().rev() {
+            if store
+                .flatten(name, entry.iteration)
+                .map_err(crate::storesrc::store_err)?
+            {
+                rewritten += 1;
+            }
+        }
+        Ok(rewritten)
     }
 
     /// Verifies a reconstruction against its stored tree: the

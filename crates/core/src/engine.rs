@@ -340,6 +340,15 @@ impl CompareEngine {
             store_delta.bytes_read,
             store_delta.chunk_reads,
         );
+        // Differential-capture savings are flush-time history, not work
+        // done in this pass — informational phase, zero time (see
+        // `StageBreakdown::delta_capture`).
+        let (capture_stats, chain_info) = chain_provenance(a, b);
+        stages.delta_capture = PhaseCost::new(
+            Duration::ZERO,
+            capture_stats.bytes_skipped,
+            capture_stats.chunks_skipped,
+        );
 
         let stats = DataStats {
             total_values: stats_total_values,
@@ -361,6 +370,8 @@ impl CompareEngine {
             unverified: verified.unverified,
             cache: reprocmp_obs::CacheStats::default(),
             store: store_delta,
+            capture: capture_stats,
+            chain: chain_info,
         })
     }
 
@@ -690,6 +701,28 @@ pub(crate) fn store_reads_snapshot(
             .unwrap_or_default()
     };
     side(a).merged(side(b))
+}
+
+/// Differential-capture provenance of a compared pair: the summed
+/// flush-time savings (`CompareReport::capture`) and per-side chain
+/// depths (`CompareReport::chain`). All-zero unless a side resolved a
+/// store-backed delta manifest.
+pub(crate) fn chain_provenance(
+    a: &CheckpointSource,
+    b: &CheckpointSource,
+) -> (crate::report::CaptureStats, crate::report::ChainInfo) {
+    let pa = a.chain.unwrap_or_default();
+    let pb = b.chain.unwrap_or_default();
+    (
+        crate::report::CaptureStats {
+            bytes_skipped: pa.bytes_skipped + pb.bytes_skipped,
+            chunks_skipped: pa.chunks_skipped + pb.chunks_skipped,
+        },
+        crate::report::ChainInfo {
+            depth_a: pa.depth,
+            depth_b: pb.depth,
+        },
+    )
 }
 
 /// Reads a whole storage object (sequentially, asynchronously charged).

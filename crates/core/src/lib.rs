@@ -89,9 +89,9 @@ pub use history::{CheckpointHistory, HistoryEntryReport, HistoryReport, MultiHis
 pub use metacache::{ChunkVerdict, MetaCache, SubtreeEntry, SubtreeKey};
 pub use online::{OnlineComparator, OnlinePolicy, OnlineVerdict};
 pub use regions::{LocatedDifference, RegionMap, RegionSpan};
-pub use report::{ChunkRange, CompareReport, DataStats, Difference};
+pub use report::{CaptureStats, ChainInfo, ChunkRange, CompareReport, DataStats, Difference};
 pub use schedule::{BatchConfig, BatchJobReport, BatchReport};
-pub use source::CheckpointSource;
+pub use source::{ChainProvenance, CheckpointSource};
 
 /// Everything that can go wrong while comparing two checkpoint
 /// histories.

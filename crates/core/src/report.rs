@@ -70,6 +70,30 @@ pub struct ChunkRange {
     pub count: u64,
 }
 
+/// Flush-time differential-capture accounting for the compared
+/// objects: bytes and chunk references the capture side *skipped*
+/// because they were unchanged from the parent checkpoint in the
+/// chain. Summed over both sides; all-zero when neither side came out
+/// of a delta chain (in-memory, file-backed, and full store objects).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CaptureStats {
+    /// Bytes differential capture avoided writing at flush time.
+    pub bytes_skipped: u64,
+    /// Chunk references borrowed from parent manifests.
+    pub chunks_skipped: u64,
+}
+
+/// Delta-chain provenance of the two compared objects: how many links
+/// below the full anchor each side sits (0 = full capture or not
+/// store-backed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ChainInfo {
+    /// Chain depth of side A (0 for a full checkpoint).
+    pub depth_a: u64,
+    /// Chain depth of side B (0 for a full checkpoint).
+    pub depth_b: u64,
+}
+
 /// The full result of comparing one checkpoint pair.
 #[derive(Debug, Clone, Serialize)]
 pub struct CompareReport {
@@ -103,6 +127,12 @@ pub struct CompareReport {
     /// persistent capture store (`CheckpointSource::from_store`);
     /// all-zero for file- and memory-backed comparisons.
     pub store: StoreReadStats,
+    /// Differential-capture savings baked into the compared objects at
+    /// flush time; all-zero unless a side is a store-backed delta.
+    pub capture: CaptureStats,
+    /// Delta-chain depth of each side; all-zero unless a side is a
+    /// store-backed delta.
+    pub chain: ChainInfo,
 }
 
 impl CompareReport {
@@ -185,6 +215,8 @@ mod tests {
             unverified: Vec::new(),
             cache: CacheStats::default(),
             store: StoreReadStats::default(),
+            capture: CaptureStats::default(),
+            chain: ChainInfo::default(),
         };
         assert!((report.throughput_bytes_per_sec() - 1_000_000.0).abs() < 1.0);
         assert!(report.identical());
@@ -206,6 +238,8 @@ mod tests {
             ],
             cache: CacheStats::default(),
             store: StoreReadStats::default(),
+            capture: CaptureStats::default(),
+            chain: ChainInfo::default(),
         };
         assert!(!report.fully_verified());
         assert_eq!(report.unverified_chunks(), 3);

@@ -706,6 +706,12 @@ impl CompareEngine {
             };
 
             batch_cache = batch_cache.merged(jc);
+            let (capture, chain) = crate::engine::chain_provenance(sources[l], sources[r]);
+            stages.delta_capture = PhaseCost::new(
+                Duration::ZERO,
+                capture.bytes_skipped,
+                capture.chunks_skipped,
+            );
             job_reports.push(BatchJobReport {
                 left: l,
                 right: r,
@@ -719,6 +725,8 @@ impl CompareEngine {
                     unverified,
                     cache: jc,
                     store: StoreReadStats::default(),
+                    capture,
+                    chain,
                 },
             });
         }

@@ -12,6 +12,21 @@ use reprocmp_obs::StageBreakdown;
 use crate::engine::CompareEngine;
 use crate::{CoreError, CoreResult};
 
+/// Delta-chain provenance of a store-backed source: where the object's
+/// manifest sits in its incremental capture chain and how much flush
+/// work the chain skipped for it. The engine copies these numbers into
+/// `CompareReport::{capture, chain}` and the informational
+/// `delta_capture` stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChainProvenance {
+    /// Links below the full anchor (0 = the object is a full capture).
+    pub depth: u64,
+    /// Bytes differential capture skipped when this object was flushed.
+    pub bytes_skipped: u64,
+    /// Chunk references borrowed from the parent manifest at flush.
+    pub chunks_skipped: u64,
+}
+
 /// One run's checkpoint as the comparison engine sees it: a storage
 /// object holding the raw `f32` payload (at some byte offset, e.g.
 /// past a VELOC header) and a storage object holding the encoded
@@ -56,6 +71,10 @@ pub struct CheckpointSource {
     /// up as `store_read` events; `None` for file- and memory-backed
     /// sources.
     pub store_journal: Option<reprocmp_obs::JournalSlot>,
+    /// Delta-chain provenance when this source resolved a store-backed
+    /// delta manifest; `None` for file- and memory-backed sources and
+    /// for full (non-delta) store objects, which have no chain story.
+    pub chain: Option<ChainProvenance>,
 }
 
 /// Digests each `chunk_bytes`-sized chunk of `payload` as raw bytes,
@@ -86,6 +105,7 @@ impl CheckpointSource {
             raw_leaves: None,
             store_reads: None,
             store_journal: None,
+            chain: None,
         }
     }
 
@@ -137,6 +157,7 @@ impl CheckpointSource {
             raw_leaves: Some(Arc::new(raw_leaves)),
             store_reads: None,
             store_journal: None,
+            chain: None,
         })
     }
 
@@ -170,6 +191,7 @@ impl CheckpointSource {
             raw_leaves: None,
             store_reads: None,
             store_journal: None,
+            chain: None,
         })
     }
 

@@ -20,7 +20,7 @@ use reprocmp_obs::StageBreakdown;
 use reprocmp_store::{ChunkStore, StoreError};
 
 use crate::engine::CompareEngine;
-use crate::source::{raw_chunk_digests, CheckpointSource};
+use crate::source::{raw_chunk_digests, ChainProvenance, CheckpointSource};
 use crate::{CoreError, CoreResult};
 
 /// Maps store failures onto comparison errors: I/O stays I/O,
@@ -105,6 +105,21 @@ impl CheckpointSource {
             (layout.meta.clone(), leaves)
         };
 
+        // Chain provenance: non-`None` only for delta objects, so full
+        // store-backed comparisons report byte-identically to the
+        // pre-delta format (the `capture`/`chain` blocks stay zero and
+        // are attributable to this object when set).
+        let chain = store
+            .chain(name, version)
+            .map_err(store_err)?
+            .last()
+            .filter(|link| link.depth > 0)
+            .map(|link| ChainProvenance {
+                depth: link.depth,
+                bytes_skipped: link.bytes_skipped,
+                chunks_skipped: link.chunk_refs - link.own_refs,
+            });
+
         let storage = store.reader(name, version).map_err(store_err)?;
         let counters = storage.counters();
         let journal_slot = storage.journal_slot().clone();
@@ -117,6 +132,7 @@ impl CheckpointSource {
             raw_leaves: Some(Arc::new(raw_leaves)),
             store_reads: Some(counters),
             store_journal: Some(journal_slot),
+            chain,
         })
     }
 }

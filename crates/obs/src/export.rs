@@ -45,7 +45,8 @@ fn category(kind: &EventKind) -> &'static str {
         EventKind::CacheHit { .. } | EventKind::CacheMiss { .. } => "cache",
         EventKind::StoreRead { .. }
         | EventKind::Repair { .. }
-        | EventKind::PackQuarantine { .. } => "store",
+        | EventKind::PackQuarantine { .. }
+        | EventKind::DeltaCapture { .. } => "store",
         EventKind::Kernel { .. } => "compute",
         EventKind::Flush { .. } => "veloc",
     }

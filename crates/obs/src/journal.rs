@@ -166,6 +166,21 @@ pub enum EventKind {
         /// Corrupt chunks that could not be reconstructed.
         chunks: u64,
     },
+    /// Differential capture published a delta manifest
+    /// (`delta_capture`): only the chunks that changed against the
+    /// parent version were written.
+    DeltaCapture {
+        /// Checkpoint version captured.
+        version: u64,
+        /// Parent version the capture was diffed against.
+        parent: u64,
+        /// Chain depth of the new delta (parent depth + 1).
+        depth: u64,
+        /// Chunk payload bytes physically written.
+        bytes_written: u64,
+        /// Bytes skipped because the parent already held them.
+        bytes_skipped: u64,
+    },
 }
 
 impl EventKind {
@@ -189,6 +204,7 @@ impl EventKind {
             EventKind::Flush { .. } => "flush",
             EventKind::Repair { .. } => "repair",
             EventKind::PackQuarantine { .. } => "pack_quarantine",
+            EventKind::DeltaCapture { .. } => "delta_capture",
         }
     }
 
@@ -302,6 +318,19 @@ impl EventKind {
                     ("chunks".to_owned(), u(*chunks)),
                 ]
             }
+            EventKind::DeltaCapture {
+                version,
+                parent,
+                depth,
+                bytes_written,
+                bytes_skipped,
+            } => vec![
+                ("version".to_owned(), u(*version)),
+                ("parent".to_owned(), u(*parent)),
+                ("depth".to_owned(), u(*depth)),
+                ("bytes_written".to_owned(), u(*bytes_written)),
+                ("bytes_skipped".to_owned(), u(*bytes_skipped)),
+            ],
         }
     }
 }

@@ -107,6 +107,7 @@ impl ProfileBaseline {
             "stage2_stream",
             "verify",
             "store_read",
+            "delta_capture",
         ] {
             let Some(phase) = find(stages_obj, name) else {
                 continue; // older schema: phase defaults to zero
@@ -122,7 +123,8 @@ impl ProfileBaseline {
                 "bfs" => stages.bfs = cost,
                 "stage2_stream" => stages.stage2_stream = cost,
                 "verify" => stages.verify = cost,
-                _ => stages.store_read = cost,
+                "store_read" => stages.store_read = cost,
+                _ => stages.delta_capture = cost,
             }
         }
         let mut histograms = Vec::new();
@@ -607,6 +609,7 @@ mod tests {
                 stage2_stream: cost(400, 8192, 16),
                 verify: cost(150, 8192, 2048),
                 store_read: cost(0, 4096, 8),
+                delta_capture: cost(0, 2048, 4),
             },
             histograms: vec![HistogramQuantiles {
                 name: "io.read_bytes".into(),
@@ -629,8 +632,10 @@ mod tests {
     fn bare_breakdown_json_parses_with_missing_phases_zero() {
         let mut stages = sample().stages;
         stages.store_read = PhaseCost::default();
+        stages.delta_capture = PhaseCost::default();
         let json = serde_json::to_string_pretty(&stages).unwrap();
-        // Strip the store_read key to mimic a pre-flight-recorder file.
+        // Strip everything from the store_read key on (store_read and
+        // delta_capture) to mimic a pre-flight-recorder file.
         let legacy = {
             let cut = json
                 .find(",\n  \"store_read\"")

@@ -79,12 +79,19 @@ pub struct StageBreakdown {
     /// `stage2_stream`); `bytes`/`ops` say how much of the stream was
     /// served by packfiles rather than plain files.
     pub store_read: PhaseCost,
+    /// Capture side, *informational* like `store_read`: work the
+    /// compared objects' differential capture avoided. `bytes` is the
+    /// total bytes skipped (borrowed from parent chains) and `ops` the
+    /// skipped chunk references, summed over both sides; `time` is
+    /// always zero — the savings happened at flush time, not during
+    /// this pass — so the six exclusive phases still partition.
+    pub delta_capture: PhaseCost,
 }
 
 impl StageBreakdown {
     /// The phases in pipeline order, with their canonical names.
     #[must_use]
-    pub fn phases(&self) -> [(&'static str, PhaseCost); 7] {
+    pub fn phases(&self) -> [(&'static str, PhaseCost); 8] {
         [
             ("quantize", self.quantize),
             ("leaf_hash", self.leaf_hash),
@@ -93,6 +100,7 @@ impl StageBreakdown {
             ("stage2_stream", self.stage2_stream),
             ("verify", self.verify),
             ("store_read", self.store_read),
+            ("delta_capture", self.delta_capture),
         ]
     }
 
@@ -139,6 +147,7 @@ impl StageBreakdown {
             stage2_stream: self.stage2_stream.merged(other.stage2_stream),
             verify: self.verify.merged(other.verify),
             store_read: self.store_read.merged(other.store_read),
+            delta_capture: self.delta_capture.merged(other.delta_capture),
         }
     }
 }
@@ -173,17 +182,19 @@ mod tests {
             bfs: cost(4, 40, 1),
             stage2_stream: cost(5, 50, 1),
             verify: cost(6, 60, 1),
-            // Overlaps stage2_stream: excluded from every total.
+            // Overlap/informational phases: excluded from every total.
             store_read: PhaseCost::new(Duration::ZERO, 25, 3),
+            delta_capture: PhaseCost::new(Duration::ZERO, 17, 2),
         };
         assert_eq!(b.total_time(), Duration::from_millis(21));
         assert_eq!(b.total_bytes(), 210);
         assert_eq!(b.capture_time(), Duration::from_millis(6));
         assert_eq!(b.compare_time(), Duration::from_millis(15));
         assert_eq!(b.capture_time() + b.compare_time(), b.total_time());
-        assert_eq!(b.phases().len(), 7);
+        assert_eq!(b.phases().len(), 8);
         assert_eq!(b.phases()[0].0, "quantize");
         assert_eq!(b.phases()[6].0, "store_read");
+        assert_eq!(b.phases()[7].0, "delta_capture");
     }
 
     #[test]
@@ -223,7 +234,8 @@ mod tests {
                 "bfs",
                 "stage2_stream",
                 "verify",
-                "store_read"
+                "store_read",
+                "delta_capture"
             ]
         );
     }

@@ -112,6 +112,24 @@ pub enum IntentRecord {
         /// Sequence number of the matching begin.
         seq: u64,
     },
+    /// A chain flatten of `name`@`version` is about to republish the
+    /// manifest as a full anchor and bump the formerly-borrowed
+    /// refcounts. Replay needs no file action (delta and flattened
+    /// manifests materialize identically); the forced index rebuild
+    /// recomputes refcounts for whichever manifest kind landed.
+    FlattenBegin {
+        /// Record sequence number.
+        seq: u64,
+        /// Checkpoint name.
+        name: String,
+        /// Checkpoint version.
+        version: u64,
+    },
+    /// The flatten with begin-sequence `seq` completed.
+    FlattenCommit {
+        /// Sequence number of the matching begin.
+        seq: u64,
+    },
 }
 
 impl IntentRecord {
@@ -126,7 +144,9 @@ impl IntentRecord {
             | IntentRecord::RemoveBegin { seq, .. }
             | IntentRecord::RemoveCommit { seq }
             | IntentRecord::CompactBegin { seq, .. }
-            | IntentRecord::CompactCommit { seq } => *seq,
+            | IntentRecord::CompactCommit { seq }
+            | IntentRecord::FlattenBegin { seq, .. }
+            | IntentRecord::FlattenCommit { seq } => *seq,
         }
     }
 
@@ -139,6 +159,7 @@ impl IntentRecord {
                 | IntentRecord::GcBegin { .. }
                 | IntentRecord::RemoveBegin { .. }
                 | IntentRecord::CompactBegin { .. }
+                | IntentRecord::FlattenBegin { .. }
         )
     }
 
@@ -152,6 +173,8 @@ impl IntentRecord {
             IntentRecord::RemoveCommit { .. } => 6,
             IntentRecord::CompactBegin { .. } => 7,
             IntentRecord::CompactCommit { .. } => 8,
+            IntentRecord::FlattenBegin { .. } => 9,
+            IntentRecord::FlattenCommit { .. } => 10,
         }
     }
 }
@@ -202,10 +225,16 @@ pub fn encode_record(record: &IntentRecord) -> Vec<u8> {
             }
             payload.extend_from_slice(&dst_pack.to_le_bytes());
         }
+        IntentRecord::FlattenBegin { name, version, .. } => {
+            payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            payload.extend_from_slice(name.as_bytes());
+            payload.extend_from_slice(&version.to_le_bytes());
+        }
         IntentRecord::IngestCommit { .. }
         | IntentRecord::GcCommit { .. }
         | IntentRecord::RemoveCommit { .. }
-        | IntentRecord::CompactCommit { .. } => {}
+        | IntentRecord::CompactCommit { .. }
+        | IntentRecord::FlattenCommit { .. } => {}
     }
     let digest = raw_chunk_digest(&payload);
     let mut frame = Vec::with_capacity(20 + payload.len());
@@ -297,6 +326,13 @@ fn decode_payload(payload: &[u8]) -> Option<IntentRecord> {
             }
         }
         8 => IntentRecord::CompactCommit { seq },
+        9 => {
+            let name_len = c.u16().ok()? as usize;
+            let name = c.utf8(name_len).ok()?;
+            let version = c.u64().ok()?;
+            IntentRecord::FlattenBegin { seq, name, version }
+        }
+        10 => IntentRecord::FlattenCommit { seq },
         _ => return None,
     };
     if c.remaining() != 0 {
@@ -346,8 +382,14 @@ mod tests {
                 dst_pack: 9,
             },
             IntentRecord::CompactCommit { seq: 3 },
-            IntentRecord::RemoveBegin {
+            IntentRecord::FlattenBegin {
                 seq: 4,
+                name: "run".into(),
+                version: 5,
+            },
+            IntentRecord::FlattenCommit { seq: 4 },
+            IntentRecord::RemoveBegin {
+                seq: 5,
                 name: "run".into(),
                 version: 3,
             },
@@ -372,7 +414,7 @@ mod tests {
         assert_eq!(
             pending,
             vec![IntentRecord::RemoveBegin {
-                seq: 4,
+                seq: 5,
                 name: "run".into(),
                 version: 3,
             }]

@@ -45,13 +45,13 @@ pub mod store;
 pub use fs::{real_fs, CrashFs, RealFs, StoreFs};
 pub use index::IndexEntry;
 pub use journal::{pending_intents, read_journal, IntentRecord, JOURNAL_FILE};
-pub use manifest::{Manifest, Segment};
+pub use manifest::{Manifest, ManifestKind, Segment};
 pub use metrics::StoreMetrics;
 pub use pack::{PackRecord, PackRepair, DEFAULT_PARITY_GROUP_WIDTH};
 pub use storage::StoreStorage;
 pub use store::{
-    open_in_registry, ChunkStore, CompactStats, FsckReport, GcStats, IngestStats, ObjectLayout,
-    ScrubFailure, ScrubReport, StoreConfig, StoreStats, QUARANTINE_FILE,
+    open_in_registry, ChainLink, ChunkStore, CompactStats, DeltaPolicy, FsckReport, GcStats,
+    IngestStats, ObjectLayout, ScrubFailure, ScrubReport, StoreConfig, StoreStats, QUARANTINE_FILE,
 };
 
 /// Reserved segment name for non-payload prefix bytes (e.g. a VELOC
@@ -86,6 +86,17 @@ pub enum StoreError {
     /// Invalid caller-supplied configuration (empty name, zero chunk
     /// size, …).
     Config(String),
+    /// A remove targeted a manifest that a live delta still names as
+    /// parent. Chains release tail-first: remove (or flatten) the
+    /// descendants before the ancestor.
+    ChainPinned {
+        /// Checkpoint name.
+        name: String,
+        /// The version whose removal was refused.
+        version: u64,
+        /// One live delta that names it as parent.
+        child: u64,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -100,6 +111,15 @@ impl std::fmt::Display for StoreError {
                 write!(f, "checkpoint {name}@{version} already in store")
             }
             StoreError::Config(msg) => write!(f, "store config error: {msg}"),
+            StoreError::ChainPinned {
+                name,
+                version,
+                child,
+            } => write!(
+                f,
+                "checkpoint {name}@{version} is pinned: delta {name}@{child} borrows its \
+                 chunks (remove or flatten descendants first)"
+            ),
         }
     }
 }

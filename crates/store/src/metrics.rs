@@ -18,12 +18,19 @@ pub struct StoreMetrics {
     pub chunks_stored: Counter,
     /// Chunk references satisfied by an already-stored chunk.
     pub chunks_deduped: Counter,
+    /// Chunk references differential capture skipped at flush time
+    /// (identical to the parent manifest's chunk — never even probed
+    /// against the index).
+    pub chunks_skipped: Counter,
     /// Logical bytes ingested (sum of segment lengths).
     pub bytes_logical: Counter,
     /// Physical chunk bytes appended to packs.
     pub bytes_physical: Counter,
-    /// Bytes not written thanks to dedup (`logical − physical`).
+    /// Bytes not written thanks to dedup (`logical − physical −
+    /// skipped`).
     pub bytes_deduped: Counter,
+    /// Bytes differential capture skipped at flush time.
+    pub bytes_skipped: Counter,
     /// Packs deleted by GC sweeps.
     pub gc_packs: Counter,
     /// Pack file bytes reclaimed by GC sweeps.
@@ -48,6 +55,8 @@ pub struct StoreMetrics {
     pub packs: Gauge,
     /// Checkpoints (manifests) currently in the store.
     pub objects: Gauge,
+    /// Chain depth of the most recent differential capture.
+    pub chain_depth: Gauge,
 }
 
 impl StoreMetrics {
@@ -59,9 +68,11 @@ impl StoreMetrics {
         StoreMetrics {
             chunks_stored: registry.counter(&format!("{prefix}.chunks_stored")),
             chunks_deduped: registry.counter(&format!("{prefix}.chunks_deduped")),
+            chunks_skipped: registry.counter(&format!("{prefix}.capture.chunks_skipped")),
             bytes_logical: registry.counter(&format!("{prefix}.bytes_logical")),
             bytes_physical: registry.counter(&format!("{prefix}.bytes_physical")),
             bytes_deduped: registry.counter(&format!("{prefix}.bytes_deduped")),
+            bytes_skipped: registry.counter(&format!("{prefix}.capture.bytes_skipped")),
             gc_packs: registry.counter(&format!("{prefix}.gc.packs")),
             gc_reclaimed_bytes: registry.counter(&format!("{prefix}.gc.reclaimed_bytes")),
             scrub_chunks: registry.counter(&format!("{prefix}.scrub.chunks")),
@@ -73,6 +84,7 @@ impl StoreMetrics {
             journal_replays: registry.counter(&format!("{prefix}.journal.replays")),
             packs: registry.gauge(&format!("{prefix}.packs")),
             objects: registry.gauge(&format!("{prefix}.objects")),
+            chain_depth: registry.gauge(&format!("{prefix}.chain.depth")),
         }
     }
 
@@ -98,5 +110,9 @@ mod tests {
         assert_eq!(reg.counter("store.bytes_logical").get(), 100);
         assert_eq!(reg.gauge("store.packs").get(), 1);
         assert_eq!(reg.counter("store.scrub.failures").get(), 0);
+        m.bytes_skipped.add(7);
+        m.chain_depth.set(3);
+        assert_eq!(reg.counter("store.capture.bytes_skipped").get(), 7);
+        assert_eq!(reg.gauge("store.chain.depth").get(), 3);
     }
 }

@@ -37,7 +37,7 @@
 use crate::fs::{real_fs, StoreFs};
 use crate::index::{load_index, save_index, Index, IndexEntry};
 use crate::journal::{encode_record, pending_intents, read_journal, IntentRecord, JOURNAL_FILE};
-use crate::manifest::{chunk_count, manifest_file_name, Manifest, Segment};
+use crate::manifest::{chunk_count, manifest_file_name, Manifest, ManifestKind, Segment};
 use crate::metrics::StoreMetrics;
 use crate::pack::{
     pack_file_name, parse_pack, parse_pack_file_name, repair_pack, scan_pack, write_pack,
@@ -92,8 +92,41 @@ impl StoreConfig {
     }
 }
 
+/// Bounds on differential-capture chains (see
+/// [`ChunkStore::ingest_delta`]). Both knobs force a *full* anchor
+/// manifest when exceeded, bounding how many links a restore must
+/// trust and how long a parent stays pinned by its descendants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct DeltaPolicy {
+    /// Full-anchor cadence: a chain never grows past `anchor_every`
+    /// manifests (anchor included), so `anchor_every = 1` disables
+    /// differential capture entirely.
+    pub anchor_every: u64,
+    /// Hard cap on restore depth: a delta is never written at depth
+    /// greater than this many links below its anchor.
+    pub max_depth: u64,
+}
+
+impl Default for DeltaPolicy {
+    fn default() -> Self {
+        DeltaPolicy {
+            anchor_every: 8,
+            max_depth: 16,
+        }
+    }
+}
+
+impl DeltaPolicy {
+    /// Would a delta at `depth` (parent depth + 1) violate the policy?
+    #[must_use]
+    pub fn forces_anchor(&self, depth: u64) -> bool {
+        depth >= self.anchor_every || depth > self.max_depth
+    }
+}
+
 /// What one [`ChunkStore::ingest`] call did, and the exact ledger for
-/// it: `bytes_logical == bytes_physical + bytes_deduped`.
+/// it: `bytes_logical == bytes_physical + bytes_deduped +
+/// bytes_skipped` (the skipped terms are zero for full ingests).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct IngestStats {
     /// Total chunk references the manifest records.
@@ -102,14 +135,25 @@ pub struct IngestStats {
     pub chunks_stored: u64,
     /// Chunk references satisfied by already-stored chunks.
     pub chunks_deduped: u64,
+    /// Chunk references skipped at capture time because the parent
+    /// manifest already held the identical chunk (delta ingests only).
+    pub chunks_skipped: u64,
     /// Logical bytes ingested (sum of segment lengths).
     pub bytes_logical: u64,
     /// Chunk payload bytes physically appended.
     pub bytes_physical: u64,
-    /// Bytes deduplicated away (`logical − physical`).
+    /// Bytes deduplicated away against already-stored chunks.
     pub bytes_deduped: u64,
+    /// Bytes never hashed against the index at all: capture-time skips
+    /// borrowed from the parent chain (delta ingests only).
+    pub bytes_skipped: u64,
     /// Id of the pack this ingest created, if any chunk was new.
     pub pack: Option<u32>,
+    /// Parent version when a delta manifest was written, else `None`
+    /// (full capture, whether requested or forced by policy).
+    pub parent: Option<u64>,
+    /// Chain depth of the written manifest (0 for full).
+    pub depth: u64,
 }
 
 /// What one [`ChunkStore::gc`] sweep reclaimed.
@@ -234,13 +278,40 @@ pub struct StoreStats {
     /// this is zero, `bytes_logical == bytes_physical + bytes_deduped`
     /// exactly.
     pub bytes_garbage: u64,
-    /// Bytes saved versus raw capture (`logical − live physical`).
+    /// Bytes saved by index-level dedup
+    /// (`logical − live physical − skipped`).
     pub bytes_deduped: u64,
+    /// Bytes differential capture never wrote: chunk references delta
+    /// manifests borrow from their parent chains.
+    pub bytes_skipped: u64,
     /// Actual pack file bytes on disk (payload + record headers +
     /// parity).
     pub pack_file_bytes: u64,
     /// Packs currently quarantined.
     pub packs_quarantined: u64,
+    /// Manifests that are delta links (the rest are full anchors).
+    pub delta_objects: u64,
+    /// Deepest delta chain in the store (0 when all manifests are full).
+    pub chain_depth_max: u64,
+}
+
+/// One link of a delta chain, anchor first (see [`ChunkStore::chain`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ChainLink {
+    /// Checkpoint version of this link.
+    pub version: u64,
+    /// Parent version (`None` for the full anchor).
+    pub parent: Option<u64>,
+    /// Links below the anchor (0 for the anchor itself).
+    pub depth: u64,
+    /// Total chunk references the link's manifest records.
+    pub chunk_refs: u64,
+    /// Chunk references the link owns (refcounted).
+    pub own_refs: u64,
+    /// Bytes covered by owned references.
+    pub own_bytes: u64,
+    /// Bytes borrowed from the parent chain (capture-time skips).
+    pub bytes_skipped: u64,
 }
 
 #[derive(Debug)]
@@ -397,6 +468,13 @@ impl ChunkStore {
                     // pack / index swap / source unlinks), the rebuild
                     // resolves every digest to the newest copy and GC
                     // reclaims sources that went fully dead.
+                }
+                IntentRecord::FlattenBegin { .. } => {
+                    // The manifest on disk is either still the delta
+                    // or already the republished full — both decode
+                    // and materialize identically. No file action; the
+                    // forced rebuild recomputes refcounts for
+                    // whichever kind landed.
                 }
                 _ => unreachable!("pending_intents yields begin records only"),
             }
@@ -597,11 +675,11 @@ impl ChunkStore {
                 }
                 digests.push(digest);
             }
-            manifest_segments.push(Segment {
-                name: seg_name.to_owned(),
-                len: bytes.len() as u64,
+            manifest_segments.push(Segment::full(
+                seg_name.to_owned(),
+                bytes.len() as u64,
                 digests,
-            });
+            ));
         }
 
         // Declare the intent before the first file mutation.
@@ -641,6 +719,7 @@ impl ChunkStore {
         let manifest = Manifest {
             name: name.to_owned(),
             version,
+            kind: ManifestKind::Full,
             chunk_bytes: chunk_bytes as u32,
             meta: meta.to_vec(),
             segments: manifest_segments,
@@ -652,8 +731,10 @@ impl ChunkStore {
             MutationKind::ManifestPublish,
         )?;
 
-        // Publish step 3: refcounts + the swapped index.
-        for (digest, _) in manifest.chunk_lens() {
+        // Publish step 3: refcounts + the swapped index. Refcounts
+        // come from the *owned* view (all references, for a full
+        // manifest), mirroring `remove` and `rebuild_index`.
+        for (digest, _) in manifest.own_chunk_lens() {
             if let Some(e) = inner.index.get_mut(&digest) {
                 e.refcount += 1;
             }
@@ -674,6 +755,330 @@ impl ChunkStore {
         }
         self.metrics.objects.add(1);
         Ok(stats)
+    }
+
+    /// Differential capture: ingests `name`@`version` by diffing the
+    /// per-chunk digests against the latest older version of `name`
+    /// and *skipping* every chunk the parent already addressed at the
+    /// same position — no index probe, no refcount, no write. The
+    /// published manifest is [`ManifestKind::Delta`]: its digest lists
+    /// stay dense (readers never walk the chain) but only the changed
+    /// chunks are owned, so the parent stays pinned (see
+    /// [`ChunkStore::remove`]) until its descendants go first.
+    ///
+    /// Falls back to a plain full [`ChunkStore::ingest`] — same return
+    /// type, `parent: None` — when there is no older version to diff
+    /// against, the chunk geometry changed, the parent's chain is
+    /// broken, or `policy` forces a full anchor
+    /// ([`DeltaPolicy::anchor_every`] cadence / [`DeltaPolicy::max_depth`]).
+    ///
+    /// The per-capture ledger is exact:
+    /// `bytes_logical == bytes_physical + bytes_deduped + bytes_skipped`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChunkStore::ingest`].
+    pub fn ingest_delta(
+        &self,
+        name: &str,
+        version: u64,
+        segments: &[(&str, &[u8])],
+        chunk_bytes: usize,
+        meta: &[u8],
+        policy: &DeltaPolicy,
+    ) -> StoreResult<IngestStats> {
+        if name.is_empty() || name.contains(['/', '\\', '\0']) {
+            return Err(StoreError::Config(format!(
+                "invalid checkpoint name {name:?}"
+            )));
+        }
+        if chunk_bytes == 0 || chunk_bytes > u32::MAX as usize {
+            return Err(StoreError::Config(format!(
+                "invalid chunk size {chunk_bytes}"
+            )));
+        }
+        let total: u64 = segments.iter().map(|(_, b)| b.len() as u64).sum();
+        if total == 0 {
+            return Err(StoreError::Config("checkpoint has no bytes".into()));
+        }
+
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let key = (name.to_owned(), version);
+        if inner.manifests.contains_key(&key) {
+            return Err(StoreError::Exists {
+                name: name.to_owned(),
+                version,
+            });
+        }
+
+        // Pick the diff base: the latest strictly older version whose
+        // geometry matches and whose own chain is intact, provided the
+        // policy permits one more link.
+        let mut base: Option<(u64, u64)> = None; // (parent version, new depth)
+        let parent_version = inner
+            .manifests
+            .keys()
+            .filter(|(n, v)| n == name && *v < version)
+            .map(|&(_, v)| v)
+            .max();
+        if let Some(pv) = parent_version {
+            let parent = &inner.manifests[&(name.to_owned(), pv)];
+            if parent.chunk_bytes as usize == chunk_bytes {
+                if let Ok(chain) = chain_versions(&inner.manifests, name, pv) {
+                    let depth = chain.len() as u64; // parent depth + 1
+                    if !policy.forces_anchor(depth) {
+                        base = Some((pv, depth));
+                    }
+                }
+            }
+        }
+        let Some((parent_version, depth)) = base else {
+            drop(guard);
+            return self.ingest(name, version, segments, chunk_bytes, meta);
+        };
+
+        // Diff every segment against the parent's same-named segment:
+        // an identical (digest, len) at the same chunk index is a
+        // capture-time skip; everything else goes down the normal
+        // dedup-or-store path and lands in the `changed` set. A chunk
+        // whose only stored copy is quarantined is never skipped — we
+        // hold healthy bytes, so re-storing heals the store exactly as
+        // a full ingest would.
+        let parent = inner.manifests[&(name.to_owned(), parent_version)].clone();
+        let mut manifest_segments = Vec::with_capacity(segments.len());
+        let mut new_chunks: Vec<(Digest128, &[u8])> = Vec::new();
+        let mut queued: HashSet<Digest128> = HashSet::new();
+        let mut stats = IngestStats {
+            bytes_logical: total,
+            parent: Some(parent_version),
+            depth,
+            ..IngestStats::default()
+        };
+        for &(seg_name, bytes) in segments {
+            let parent_seg = parent.segments.iter().find(|s| s.name == seg_name);
+            let cb = chunk_bytes as u64;
+            let mut digests =
+                Vec::with_capacity(chunk_count(bytes.len() as u64, chunk_bytes as u32) as usize);
+            let mut changed: Vec<u32> = Vec::new();
+            for (i, chunk) in bytes.chunks(chunk_bytes).enumerate() {
+                let digest = raw_chunk_digest(chunk);
+                stats.chunk_refs += 1;
+                let healthy_copy = inner
+                    .index
+                    .get(&digest)
+                    .is_some_and(|e| !inner.quarantined.contains(&e.pack));
+                let unchanged = healthy_copy
+                    && parent_seg.is_some_and(|p| {
+                        p.digests.get(i) == Some(&digest)
+                            && (p.len - (i as u64 * cb).min(p.len)).min(cb) == chunk.len() as u64
+                    });
+                if unchanged {
+                    stats.chunks_skipped += 1;
+                    stats.bytes_skipped += chunk.len() as u64;
+                } else {
+                    changed.push(i as u32);
+                    if healthy_copy || queued.contains(&digest) {
+                        stats.chunks_deduped += 1;
+                        stats.bytes_deduped += chunk.len() as u64;
+                    } else {
+                        queued.insert(digest);
+                        new_chunks.push((digest, chunk));
+                        stats.chunks_stored += 1;
+                        stats.bytes_physical += chunk.len() as u64;
+                    }
+                }
+                digests.push(digest);
+            }
+            manifest_segments.push(Segment {
+                name: seg_name.to_owned(),
+                len: bytes.len() as u64,
+                digests,
+                changed: Some(changed),
+            });
+        }
+
+        // Same journaled publish sequence as a full ingest; replay
+        // semantics are identical because the begin record carries the
+        // same undo information (the orphan pack id).
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let pack_id = (!new_chunks.is_empty()).then_some(inner.next_pack);
+        self.journal_append(&IntentRecord::IngestBegin {
+            seq,
+            name: name.to_owned(),
+            version,
+            pack: pack_id,
+        })?;
+
+        if let Some(pack_id) = pack_id {
+            let path = self.packs_dir().join(pack_file_name(pack_id));
+            let records = write_pack(self.fs.as_ref(), &path, &new_chunks, self.parity_width)?;
+            for r in records {
+                let prev_refcount = inner.index.get(&r.digest).map_or(0, |e| e.refcount);
+                inner.index.insert(
+                    r.digest,
+                    IndexEntry {
+                        pack: pack_id,
+                        data_offset: r.data_offset,
+                        len: r.len,
+                        refcount: prev_refcount,
+                    },
+                );
+            }
+            inner.next_pack += 1;
+            stats.pack = Some(pack_id);
+        }
+
+        let manifest = Manifest {
+            name: name.to_owned(),
+            version,
+            kind: ManifestKind::Delta {
+                parent: parent_version,
+            },
+            chunk_bytes: chunk_bytes as u32,
+            meta: meta.to_vec(),
+            segments: manifest_segments,
+        };
+        let manifest_path = self.manifests_dir().join(manifest_file_name(name, version));
+        self.fs.write_atomic(
+            &manifest_path,
+            &manifest.encode(),
+            MutationKind::ManifestPublish,
+        )?;
+
+        // Only the changed chunks are refcounted: the skipped ones are
+        // borrowed from the parent chain, which `remove` keeps alive.
+        for (digest, _) in manifest.own_chunk_lens() {
+            if let Some(e) = inner.index.get_mut(&digest) {
+                e.refcount += 1;
+            }
+        }
+        save_index(self.fs.as_ref(), &self.index_path(), &inner.index)?;
+        inner.manifests.insert(key, manifest);
+
+        self.journal_append(&IntentRecord::IngestCommit { seq })?;
+
+        self.metrics.chunks_stored.add(stats.chunks_stored);
+        self.metrics.chunks_deduped.add(stats.chunks_deduped);
+        self.metrics.chunks_skipped.add(stats.chunks_skipped);
+        self.metrics.bytes_logical.add(stats.bytes_logical);
+        self.metrics.bytes_physical.add(stats.bytes_physical);
+        self.metrics.bytes_deduped.add(stats.bytes_deduped);
+        self.metrics.bytes_skipped.add(stats.bytes_skipped);
+        self.metrics.chain_depth.set(depth as i64);
+        if stats.pack.is_some() {
+            self.metrics.packs.add(1);
+        }
+        self.metrics.objects.add(1);
+        self.obs.emit(
+            "store",
+            EventKind::DeltaCapture {
+                version,
+                parent: parent_version,
+                depth,
+                bytes_written: stats.bytes_physical,
+                bytes_skipped: stats.bytes_skipped,
+            },
+        );
+        Ok(stats)
+    }
+
+    /// The delta chain of `name`@`version`, full anchor first. A full
+    /// manifest yields a single link at depth 0.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for unknown keys;
+    /// [`StoreError::Corrupt`] when an ancestor the chain names is
+    /// missing.
+    pub fn chain(&self, name: &str, version: u64) -> StoreResult<Vec<ChainLink>> {
+        let inner = self.inner.lock();
+        if !inner.manifests.contains_key(&(name.to_owned(), version)) {
+            return Err(StoreError::NotFound {
+                name: name.to_owned(),
+                version,
+            });
+        }
+        let versions = chain_versions(&inner.manifests, name, version)?;
+        Ok(versions
+            .iter()
+            .enumerate()
+            .map(|(depth, &v)| {
+                let m = &inner.manifests[&(name.to_owned(), v)];
+                let own_refs = m.own_chunk_lens().count() as u64;
+                ChainLink {
+                    version: v,
+                    parent: m.kind.parent(),
+                    depth: depth as u64,
+                    chunk_refs: m.chunk_refs(),
+                    own_refs,
+                    own_bytes: m.own_bytes(),
+                    bytes_skipped: m.skipped_bytes(),
+                }
+            })
+            .collect())
+    }
+
+    /// Converts the delta manifest `name`@`version` into an equivalent
+    /// *full* manifest in place: every borrowed reference becomes
+    /// owned (refcounts bumped), unpinning its former ancestors.
+    /// Returns `false` (and does nothing) when the manifest is already
+    /// full. The compaction bridge flattens before handing a chain to
+    /// a store that will drop history.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for unknown keys;
+    /// [`StoreError::Corrupt`] on a broken chain; filesystem failures.
+    pub fn flatten(&self, name: &str, version: u64) -> StoreResult<bool> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let key = (name.to_owned(), version);
+        let Some(manifest) = inner.manifests.get(&key) else {
+            return Err(StoreError::NotFound {
+                name: name.to_owned(),
+                version,
+            });
+        };
+        if manifest.kind == ManifestKind::Full {
+            return Ok(false);
+        }
+        // Refuse to flatten on top of a broken chain: the borrowed
+        // references may already be gone.
+        chain_versions(&inner.manifests, name, version)?;
+        let mut flat = manifest.clone();
+        flat.kind = ManifestKind::Full;
+        let inherited: Vec<(Digest128, u32)> = flat.inherited_chunk_lens().collect();
+        for seg in &mut flat.segments {
+            seg.changed = None;
+        }
+        // Journaled: a crash between the manifest publish and the
+        // index swap must force a rebuild, or the persisted refcounts
+        // would still be the delta's and a later ancestor remove + gc
+        // could sweep chunks the flattened manifest owns.
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        self.journal_append(&IntentRecord::FlattenBegin {
+            seq,
+            name: name.to_owned(),
+            version,
+        })?;
+        let manifest_path = self.manifests_dir().join(manifest_file_name(name, version));
+        self.fs.write_atomic(
+            &manifest_path,
+            &flat.encode(),
+            MutationKind::ManifestPublish,
+        )?;
+        for (digest, _) in inherited {
+            if let Some(e) = inner.index.get_mut(&digest) {
+                e.refcount += 1;
+            }
+        }
+        save_index(self.fs.as_ref(), &self.index_path(), &inner.index)?;
+        inner.manifests.insert(key, flat);
+        self.journal_append(&IntentRecord::FlattenCommit { seq })?;
+        Ok(true)
     }
 
     /// True when `name`@`version` is in the store.
@@ -750,6 +1155,12 @@ impl ChunkStore {
                 name: name.to_owned(),
                 version,
             })?;
+        // Chain-aware: a delta's digest lists are dense, so the read
+        // itself never walks the chain — but every borrowed reference
+        // is only guaranteed live while the ancestors that own it
+        // exist. Validate the chain up front so a broken one fails
+        // with its real cause, not a downstream missing-digest error.
+        chain_versions(&inner.manifests, name, version)?;
         let index = &inner.index;
         StoreStorage::from_manifest(
             manifest,
@@ -774,23 +1185,45 @@ impl ChunkStore {
     }
 
     /// Drops `name`@`version`: deletes its manifest and decrements the
-    /// refcount of every chunk it referenced. Physical bytes are
+    /// refcount of every chunk it *owned* — all of them for a full
+    /// manifest, only the changed set for a delta, so borrowed
+    /// references stay accounted to their owners. Physical bytes are
     /// reclaimed later, by [`ChunkStore::gc`] /
     /// [`ChunkStore::compact`]. Journaled: a crash mid-remove is
     /// finished by the next open.
     ///
+    /// A manifest some live delta still names as parent is **pinned**:
+    /// removing it would strand the descendants' borrowed references,
+    /// so chains must be removed tail-first (or the descendants
+    /// [`ChunkStore::flatten`]ed free of it).
+    ///
     /// # Errors
     ///
-    /// [`StoreError::NotFound`] for unknown keys; filesystem failures.
+    /// [`StoreError::NotFound`] for unknown keys;
+    /// [`StoreError::ChainPinned`] when a live delta references this
+    /// version as parent; filesystem failures.
     pub fn remove(&self, name: &str, version: u64) -> StoreResult<()> {
         let mut inner = self.inner.lock();
         let key = (name.to_owned(), version);
-        let Some(manifest) = inner.manifests.remove(&key) else {
+        if !inner.manifests.contains_key(&key) {
             return Err(StoreError::NotFound {
                 name: name.to_owned(),
                 version,
             });
-        };
+        }
+        let child = inner
+            .manifests
+            .iter()
+            .find(|((n, _), m)| n == name && m.kind.parent() == Some(version))
+            .map(|(&(_, v), _)| v);
+        if let Some(child) = child {
+            return Err(StoreError::ChainPinned {
+                name: name.to_owned(),
+                version,
+                child,
+            });
+        }
+        let manifest = inner.manifests.remove(&key).expect("checked above");
         let seq = inner.next_seq;
         inner.next_seq += 1;
         self.journal_append(&IntentRecord::RemoveBegin {
@@ -798,7 +1231,7 @@ impl ChunkStore {
             name: name.to_owned(),
             version,
         })?;
-        for (digest, _) in manifest.chunk_lens() {
+        for (digest, _) in manifest.own_chunk_lens() {
             if let Some(e) = inner.index.get_mut(&digest) {
                 e.refcount = e.refcount.saturating_sub(1);
             }
@@ -1212,8 +1645,15 @@ impl ChunkStore {
         s.packs = packs.len() as u64;
         for m in inner.manifests.values() {
             s.bytes_logical += m.total_len();
+            if let ManifestKind::Delta { .. } = m.kind {
+                s.delta_objects += 1;
+                s.bytes_skipped += m.skipped_bytes();
+                if let Ok(chain) = chain_versions(&inner.manifests, &m.name, m.version) {
+                    s.chain_depth_max = s.chain_depth_max.max(chain.len() as u64 - 1);
+                }
+            }
         }
-        s.bytes_deduped = s.bytes_logical.saturating_sub(bytes_live);
+        s.bytes_deduped = s.bytes_logical.saturating_sub(bytes_live + s.bytes_skipped);
         drop(inner);
         if let Ok(entries) = std::fs::read_dir(self.packs_dir()) {
             s.pack_file_bytes = entries
@@ -1299,6 +1739,35 @@ impl ObjectLayout {
     }
 }
 
+/// Walks the delta chain of `name`@`version` back to its full anchor
+/// and returns the member versions, anchor first. Termination is
+/// guaranteed because parent versions are strictly decreasing (decode
+/// rejects anything else).
+fn chain_versions(
+    manifests: &BTreeMap<(String, u64), Manifest>,
+    name: &str,
+    version: u64,
+) -> StoreResult<Vec<u64>> {
+    let mut versions = vec![version];
+    let mut cur = version;
+    loop {
+        let m = manifests.get(&(name.to_owned(), cur)).ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "delta chain of {name}@{version} is broken: ancestor v{cur} is missing"
+            ))
+        })?;
+        match m.kind {
+            ManifestKind::Full => break,
+            ManifestKind::Delta { parent } => {
+                versions.push(parent);
+                cur = parent;
+            }
+        }
+    }
+    versions.reverse();
+    Ok(versions)
+}
+
 /// Parses the quarantine ledger; a missing or malformed file is an
 /// empty set (quarantine is a cache of known-bad packs — losing it
 /// degrades to "fsck will rediscover the corruption", never to data
@@ -1374,9 +1843,13 @@ fn rebuild_index(
         }
     }
     for m in manifests.values() {
+        // Every reference — owned or borrowed — must resolve at a
+        // consistent length, but only *owned* references contribute a
+        // refcount: exactly what ingest/remove maintain, so a rebuilt
+        // index matches a cleanly-written one bit for bit.
         for (digest, len) in m.chunk_lens() {
-            match index.get_mut(&digest) {
-                Some(e) if e.len == len => e.refcount += 1,
+            match index.get(&digest) {
+                Some(e) if e.len == len => {}
                 Some(e) => {
                     return Err(StoreError::Corrupt(format!(
                         "digest {digest:?} stored as {} bytes but {}@{} references {len}",
@@ -1389,6 +1862,11 @@ fn rebuild_index(
                         m.name, m.version
                     )))
                 }
+            }
+        }
+        for (digest, _) in m.own_chunk_lens() {
+            if let Some(e) = index.get_mut(&digest) {
+                e.refcount += 1;
             }
         }
     }
@@ -1885,6 +2363,174 @@ mod tests {
         assert_eq!(s.bytes_logical, logical);
         assert_eq!(s.bytes_physical, physical);
         assert_eq!(registry.gauge("store.objects").get(), 4);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    const DELTA: DeltaPolicy = DeltaPolicy {
+        anchor_every: 3,
+        max_depth: 16,
+    };
+
+    #[test]
+    fn delta_ingest_skips_unchanged_chunks_with_an_exact_ledger() {
+        let root = temp_root("delta");
+        let store = ChunkStore::open(&root).unwrap();
+        let mut data = payload(2048, 60);
+        store.ingest("run", 1, &[("x", &data)], 256, &[]).unwrap();
+        // One changed chunk out of eight.
+        data[512..768].copy_from_slice(&payload(256, 61));
+        let expect = data.clone();
+        let s = store
+            .ingest_delta("run", 2, &[("x", &data)], 256, &[], &DELTA)
+            .unwrap();
+        assert_eq!(s.parent, Some(1));
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.chunks_skipped, 7, "unchanged chunks never re-captured");
+        assert_eq!(s.bytes_skipped, 7 * 256);
+        assert_eq!(s.chunks_stored, 1);
+        assert_eq!(s.bytes_physical, 256);
+        assert_eq!(
+            s.bytes_logical,
+            s.bytes_physical + s.bytes_deduped + s.bytes_skipped,
+            "the four-term ledger is exact"
+        );
+        assert_eq!(store.materialize("run", 2).unwrap(), expect);
+        let stats = store.stats();
+        assert_eq!(stats.delta_objects, 1);
+        assert_eq!(stats.chain_depth_max, 1);
+        assert_eq!(
+            stats.bytes_logical,
+            stats.bytes_physical + stats.bytes_deduped + stats.bytes_skipped
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn policy_forces_full_anchors_at_cadence() {
+        let root = temp_root("anchors");
+        let store = ChunkStore::open(&root).unwrap();
+        let mut data = payload(1024, 62);
+        for v in 1..=7u64 {
+            data[..256].copy_from_slice(&payload(256, 70 + v));
+            let s = store
+                .ingest_delta("run", v, &[("x", &data)], 256, &[], &DELTA)
+                .unwrap();
+            // anchor_every = 3: depths cycle 0,1,2,0,1,2,0.
+            assert_eq!(s.depth, (v - 1) % 3, "v{v} depth");
+            assert_eq!(s.parent.is_none(), s.depth == 0, "v{v} parent");
+        }
+        let links = store.chain("run", 6).unwrap();
+        assert_eq!(links.len(), 3, "v6 restores through its anchor v4");
+        assert_eq!(links[0].version, 4);
+        assert_eq!(links[0].depth, 0);
+        assert_eq!(links[2].version, 6);
+        assert_eq!(links[2].parent, Some(5));
+        assert_eq!(store.chain("run", 7).unwrap().len(), 1, "v7 is an anchor");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn removing_a_pinned_parent_is_refused_until_the_tail_goes_first() {
+        let root = temp_root("pinned");
+        let store = ChunkStore::open(&root).unwrap();
+        let mut data = payload(1024, 63);
+        store.ingest("run", 1, &[("x", &data)], 256, &[]).unwrap();
+        data[..256].copy_from_slice(&payload(256, 64));
+        let expect2 = data.clone();
+        store
+            .ingest_delta("run", 2, &[("x", &data)], 256, &[], &DELTA)
+            .unwrap();
+        match store.remove("run", 1) {
+            Err(StoreError::ChainPinned {
+                name,
+                version,
+                child,
+            }) => {
+                assert_eq!(name, "run");
+                assert_eq!(version, 1);
+                assert_eq!(child, 2);
+            }
+            other => panic!("pinned remove must be refused, got {other:?}"),
+        }
+        // The refusal freed nothing: the chain still restores.
+        assert_eq!(store.materialize("run", 2).unwrap(), expect2);
+        // Tail-first teardown works.
+        store.remove("run", 2).unwrap();
+        store.remove("run", 1).unwrap();
+        store.gc().unwrap();
+        assert_eq!(store.stats().chunks_unique, 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn flatten_rewrites_a_delta_to_full_and_unpins_its_parent() {
+        let root = temp_root("flatten");
+        let store = ChunkStore::open(&root).unwrap();
+        let mut data = payload(1024, 65);
+        store.ingest("run", 1, &[("x", &data)], 256, &[]).unwrap();
+        data[..256].copy_from_slice(&payload(256, 66));
+        let expect2 = data.clone();
+        store
+            .ingest_delta("run", 2, &[("x", &data)], 256, &[], &DELTA)
+            .unwrap();
+        assert!(store.flatten("run", 2).unwrap(), "delta was rewritten");
+        assert!(!store.flatten("run", 2).unwrap(), "second pass is a no-op");
+        let links = store.chain("run", 2).unwrap();
+        assert_eq!(links.len(), 1, "flattened manifest anchors itself");
+        assert_eq!(links[0].bytes_skipped, 0);
+        // The parent is no longer pinned, and dropping it must not take
+        // the chunks the flattened manifest now owns outright.
+        store.remove("run", 1).unwrap();
+        store.gc().unwrap();
+        store.compact().unwrap();
+        assert_eq!(store.materialize("run", 2).unwrap(), expect2);
+        assert!(store.scrub().unwrap().is_clean());
+        assert_eq!(store.stats().bytes_skipped, 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Regression: a chunk stored by a Full manifest and *re-written*
+    /// (not skipped) by a later Delta deduplicates to the same index
+    /// entry. Both manifests own a reference, so removing the delta
+    /// must drop the refcount 2 → 1 — never 2 → 0, which would let gc
+    /// free bytes the full manifest still addresses.
+    #[test]
+    fn dedup_across_full_and_delta_must_not_double_free_on_gc() {
+        let root = temp_root("double-free");
+        let store = ChunkStore::open(&root).unwrap();
+        let a = payload(256, 80);
+        let b = payload(256, 81);
+        let c = payload(256, 82);
+        let v1: Vec<u8> = [a.clone(), b.clone()].concat();
+        // v2 moves chunk `a` to a new index: same content, different
+        // position, so the delta diff re-captures it as a dedup hit
+        // instead of a parent skip.
+        let v2: Vec<u8> = [c.clone(), a.clone()].concat();
+        store.ingest("run", 1, &[("x", &v1)], 256, &[]).unwrap();
+        let s = store
+            .ingest_delta("run", 2, &[("x", &v2)], 256, &[], &DELTA)
+            .unwrap();
+        assert_eq!(s.parent, Some(1), "must be a delta for the test to bite");
+        assert_eq!(s.chunks_skipped, 0, "both positions changed");
+        assert_eq!(s.chunks_deduped, 1, "`a` dedups against v1's copy");
+        assert_eq!(s.chunks_stored, 1, "`c` is new");
+
+        store.remove("run", 2).unwrap();
+        let gc = store.gc().unwrap();
+        assert_eq!(gc.packs_deleted, 1, "only v2's own pack (holding `c`)");
+        assert_eq!(
+            store.materialize("run", 1).unwrap(),
+            v1,
+            "v1 must survive the delta's removal byte-exactly"
+        );
+        assert!(store.scrub().unwrap().is_clean());
+
+        // The refcount landed on exactly 1, not 0 and not 2: dropping
+        // v1 now reclaims everything.
+        store.remove("run", 1).unwrap();
+        store.gc().unwrap();
+        assert_eq!(store.stats().chunks_unique, 0, "no leak either");
+        assert_eq!(store.stats().bytes_physical, 0);
         std::fs::remove_dir_all(&root).ok();
     }
 }

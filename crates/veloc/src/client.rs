@@ -13,13 +13,27 @@ use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use reprocmp_io::{MutationKind, RetryPolicy};
 use reprocmp_obs::{Counter, EventKind, Histogram, Journal, Registry};
-use reprocmp_store::{real_fs, ChunkStore, StoreError, StoreFs, HEADER_SEGMENT};
+use reprocmp_store::{real_fs, ChunkStore, DeltaPolicy, StoreError, StoreFs, HEADER_SEGMENT};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::format::{decode_checkpoint, encode_checkpoint, read_region, CkptCodecError};
+
+/// How flushes publish checkpoints into the capture store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CaptureMode {
+    /// Every flush publishes a full manifest: each version is
+    /// independently restorable and removable.
+    #[default]
+    Full,
+    /// Flushes diff the checkpoint's chunk digests against the
+    /// previous version's manifest and write only changed chunks,
+    /// publishing copy-on-write *delta* manifests. Restores stay
+    /// byte-exact; [`VelocConfig::delta_policy`] bounds chain length.
+    Differential,
+}
 
 /// Client configuration.
 #[derive(Debug, Clone)]
@@ -43,6 +57,11 @@ pub struct VelocConfig {
     pub store: Option<Arc<ChunkStore>>,
     /// Chunk size for store ingestion (ignored without a store).
     pub store_chunk_bytes: usize,
+    /// Full vs. differential store capture (ignored without a store).
+    pub capture_mode: CaptureMode,
+    /// Anchor cadence and depth cap for differential capture chains
+    /// (ignored unless [`CaptureMode::Differential`]).
+    pub delta_policy: DeltaPolicy,
     /// The filesystem seam background flushes cross when staging and
     /// publishing on the persistent tier. Production is the real
     /// filesystem; the crash-point torture harness swaps in a
@@ -62,6 +81,8 @@ impl VelocConfig {
             flush_retry: RetryPolicy::with_attempts(3),
             store: None,
             store_chunk_bytes: 4096,
+            capture_mode: CaptureMode::default(),
+            delta_policy: DeltaPolicy::default(),
             fs: real_fs(),
         }
     }
@@ -70,6 +91,14 @@ impl VelocConfig {
     #[must_use]
     pub fn with_store(mut self, store: Arc<ChunkStore>) -> Self {
         self.store = Some(store);
+        self
+    }
+
+    /// This config with differential store capture under `policy`.
+    #[must_use]
+    pub fn with_differential_capture(mut self, policy: DeltaPolicy) -> Self {
+        self.capture_mode = CaptureMode::Differential;
+        self.delta_policy = policy;
         self
     }
 }
@@ -265,6 +294,8 @@ impl Client {
         let mut flushers = Vec::new();
         let retry = config.flush_retry;
         let chunk_bytes = config.store_chunk_bytes;
+        let mode = config.capture_mode;
+        let policy = config.delta_policy;
         for _ in 0..config.flush_threads.max(1) {
             let rx = rx.clone();
             let tracker = Arc::clone(&tracker);
@@ -275,7 +306,7 @@ impl Client {
                 while let Ok((key, from, to)) = rx.recv() {
                     let ok = flush_file(fs.as_ref(), &from, &to, &retry, &metrics);
                     if ok {
-                        capture_into_store(store.as_deref(), &key, &to, chunk_bytes);
+                        capture_into_store(store.as_deref(), &key, &to, chunk_bytes, mode, &policy);
                     }
                     let mut states = tracker.states.lock();
                     states.insert(
@@ -378,6 +409,8 @@ impl Client {
                         &key,
                         &remote,
                         self.config.store_chunk_bytes,
+                        self.config.capture_mode,
+                        &self.config.delta_policy,
                     );
                 }
                 self.tracker.states.lock().insert(
@@ -460,6 +493,8 @@ impl Client {
                                 &key,
                                 &remote,
                                 self.config.store_chunk_bytes,
+                                self.config.capture_mode,
+                                &self.config.delta_policy,
                             );
                         }
                         self.tracker.states.lock().insert(
@@ -647,11 +682,22 @@ fn store_io_error(e: StoreError) -> std::io::Error {
 
 /// Ingests a freshly flushed checkpoint into the capture store, one
 /// segment per region plus a leading header segment, so identical
-/// regions across versions and runs are stored once. Best-effort: the
-/// checkpoint is already durable on the PFS, so a store failure is
-/// swallowed (the next `ingest` CLI run or flush retries it) and an
-/// already-present version (crash-recovery re-flush) counts as done.
-fn capture_into_store(store: Option<&ChunkStore>, key: &Key, flushed: &Path, chunk_bytes: usize) {
+/// regions across versions and runs are stored once. Under
+/// [`CaptureMode::Differential`] the ingest goes through the store's
+/// delta path: chunks identical to the previous version's manifest are
+/// skipped at flush time and the manifest is published copy-on-write
+/// (full anchors forced by `policy`). Best-effort: the checkpoint is
+/// already durable on the PFS, so a store failure is swallowed (the
+/// next `ingest` CLI run or flush retries it) and an already-present
+/// version (crash-recovery re-flush) counts as done.
+fn capture_into_store(
+    store: Option<&ChunkStore>,
+    key: &Key,
+    flushed: &Path,
+    chunk_bytes: usize,
+    mode: CaptureMode,
+    policy: &DeltaPolicy,
+) {
     let Some(store) = store else { return };
     let (name, version) = key;
     let Ok(bytes) = std::fs::read(flushed) else {
@@ -667,7 +713,12 @@ fn capture_into_store(store: Option<&ChunkStore>, key: &Key, flushed: &Path, chu
         let len = (region.count * 4) as usize;
         segments.push((region.name.as_str(), &bytes[start..start + len]));
     }
-    let _ = store.ingest(name, *version, &segments, chunk_bytes, &[]);
+    let _ = match mode {
+        CaptureMode::Full => store.ingest(name, *version, &segments, chunk_bytes, &[]),
+        CaptureMode::Differential => {
+            store.ingest_delta(name, *version, &segments, chunk_bytes, &[], policy)
+        }
+    };
 }
 
 /// `to` with `.tmp` appended to its extension.

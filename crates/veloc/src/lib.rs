@@ -40,7 +40,7 @@
 pub mod client;
 pub mod format;
 
-pub use client::{CheckpointState, Client, ClientStats, VelocConfig, VelocError};
+pub use client::{CaptureMode, CheckpointState, Client, ClientStats, VelocConfig, VelocError};
 pub use format::{
     decode_checkpoint, encode_checkpoint, read_region, CheckpointFile, CkptCodecError, Region,
 };

@@ -11,24 +11,28 @@
 //! the real filesystem — which replays the intent journal — retries
 //! the interrupted operation, and must land in a state where:
 //!
-//! * every surviving checkpoint materializes **byte-exactly**,
+//! * every surviving checkpoint materializes **byte-exactly** — for a
+//!   delta chain that means walking every link, so a crash can never
+//!   orphan a parent a live delta still borrows from,
 //! * a full scrub passes (no torn garbage left addressable),
 //! * the dedup ledger balances against *driver-computed* expectations
-//!   (`bytes_logical == bytes_physical + bytes_deduped`, with
-//!   `bytes_physical` equal to the unique chunk bytes of the expected
-//!   contents — not whatever the store happens to think), and
+//!   (`bytes_logical == bytes_physical + bytes_deduped + bytes_skipped`,
+//!   with `bytes_physical` equal to the unique chunk bytes of the
+//!   expected contents — not whatever the store happens to think), and
 //! * a second `gc` finds nothing, i.e. no orphan pack survived.
 //!
-//! The same sweep drives the VELOC-style client's flush path
-//! (tmp write + rename on the persistent tier) and proves
-//! `recover()` completes any flush the crash interrupted.
+//! The same sweep drives differential capture (`ingest_delta`, chain
+//! `flatten`, tail removal, chain-aware gc/compact) and the
+//! VELOC-style client's flush path (tmp write + rename on the
+//! persistent tier), proving `recover()` completes any flush the
+//! crash interrupted.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use reprocmp_io::{CrashMode, CrashPlan, RetryPolicy};
-use reprocmp_store::{ChunkStore, CrashFs, StoreConfig, StoreError};
+use reprocmp_store::{ChunkStore, CrashFs, DeltaPolicy, StoreConfig, StoreError};
 use reprocmp_veloc::{CheckpointState, Client, VelocConfig};
 
 const CHUNK: usize = 64;
@@ -97,7 +101,7 @@ fn assert_recovered(store: &ChunkStore, expected: &[(&str, u64, Vec<u8>)], ctx: 
     );
     assert_eq!(
         stats.bytes_logical,
-        stats.bytes_physical + stats.bytes_deduped,
+        stats.bytes_physical + stats.bytes_deduped + stats.bytes_skipped,
         "{ctx}: ledger must balance"
     );
 
@@ -243,6 +247,128 @@ fn torture_compact_every_crash_point() {
             ingest(s, "alpha", &a);
             ingest(s, "beta", &b);
             s.remove("alpha", 1).unwrap();
+            s.gc().unwrap();
+        },
+        &|s| s.compact().map(|_| ()),
+        &expected,
+    );
+}
+
+/// A policy loose enough that every test delta actually stays a delta.
+const POLICY: DeltaPolicy = DeltaPolicy {
+    anchor_every: 8,
+    max_depth: 16,
+};
+
+fn delta_ingest(store: &ChunkStore, name: &str, version: u64, bytes: &[u8]) {
+    store
+        .ingest_delta(name, version, &[("data", bytes)], CHUNK, &[], &POLICY)
+        .unwrap_or_else(|e| panic!("setup delta ingest {name}@{version}: {e}"));
+}
+
+#[test]
+fn torture_delta_ingest_every_crash_point() {
+    // v2 keeps four of v1's chunks in place (capture-time skips) and
+    // rewrites two, so the crashed delta ingest exercises the skip
+    // path, a fresh pack write, and the copy-on-write manifest publish.
+    let v1 = payload(&[(9, 0), (9, 1), (9, 2), (9, 3), (9, 4), (9, 5)]);
+    let v2 = payload(&[(9, 0), (9, 1), (9, 2), (9, 3), (10, 0), (10, 1)]);
+    let expected = [("alpha", 1u64, v1.clone()), ("alpha", 2u64, v2.clone())];
+    sweep(
+        "delta-ingest",
+        &move |s| ingest(s, "alpha", &v1),
+        &move |s| {
+            s.ingest_delta("alpha", 2, &[("data", &v2)], CHUNK, &[], &POLICY)
+                .map(|stats| {
+                    assert_eq!(stats.parent, Some(1), "delta must chain to v1");
+                    assert_eq!(stats.chunks_skipped, 4, "unchanged chunks skipped");
+                })
+        },
+        &expected,
+    );
+}
+
+#[test]
+fn torture_delta_tail_remove_every_crash_point() {
+    // Removing the chain tail mid-crash must leave the surviving
+    // prefix (anchor + mid delta) materializing byte-exactly: a
+    // half-done remove may never strand v2 without the chunks it
+    // borrows from v1.
+    let v1 = payload(&[(11, 0), (11, 1), (11, 2), (11, 3)]);
+    let v2 = payload(&[(11, 0), (11, 1), (12, 0), (12, 1)]);
+    let v3 = payload(&[(11, 0), (11, 1), (12, 0), (13, 0)]);
+    let expected = [("alpha", 1u64, v1.clone()), ("alpha", 2u64, v2.clone())];
+    sweep(
+        "delta-remove",
+        &move |s| {
+            ingest(s, "alpha", &v1);
+            delta_ingest(s, "alpha", 2, &v2);
+            delta_ingest(s, "alpha", 3, &v3);
+        },
+        &|s| s.remove("alpha", 3),
+        &expected,
+    );
+}
+
+#[test]
+fn torture_flatten_every_crash_point() {
+    // Flattening rewrites the delta manifest to a full anchor in
+    // place; a crash at any boundary must leave either the old delta
+    // or the new full manifest — both materialize identically.
+    let v1 = payload(&[(14, 0), (14, 1), (14, 2), (14, 3)]);
+    let v2 = payload(&[(14, 0), (14, 1), (15, 0), (15, 1)]);
+    let expected = [("alpha", 1u64, v1.clone()), ("alpha", 2u64, v2.clone())];
+    sweep(
+        "flatten",
+        &move |s| {
+            ingest(s, "alpha", &v1);
+            delta_ingest(s, "alpha", 2, &v2);
+        },
+        &|s| s.flatten("alpha", 2).map(|_| ()),
+        &expected,
+    );
+}
+
+#[test]
+fn torture_chain_aware_gc_every_crash_point() {
+    // Beta's disjoint pack dies; the anchor's pack stays live through
+    // alpha@1's own refs even though alpha@2 merely *borrows* those
+    // chunks. A crashed gc must reclaim the dead pack without ever
+    // orphaning the parent the live delta references.
+    let v1 = payload(&[(16, 0), (16, 1), (16, 2), (16, 3)]);
+    let v2 = payload(&[(16, 0), (16, 1), (16, 2), (17, 0)]);
+    let b = payload(&[(18, 0), (18, 1), (18, 2), (18, 3)]);
+    let expected = [("alpha", 1u64, v1.clone()), ("alpha", 2u64, v2.clone())];
+    sweep(
+        "chain-gc",
+        &move |s| {
+            ingest(s, "alpha", &v1);
+            delta_ingest(s, "alpha", 2, &v2);
+            ingest(s, "beta", &b);
+            s.remove("beta", 1).unwrap();
+        },
+        &|s| s.gc().map(|_| ()),
+        &expected,
+    );
+}
+
+#[test]
+fn torture_chain_aware_compact_every_crash_point() {
+    // Beta's pack ends up mixed: two of its chunks stay live because
+    // the chain's anchor dedups against them (and the delta borrows
+    // them in turn), two die with beta. Compaction must migrate the
+    // live half without breaking the chain at any crash point.
+    let b = payload(&[(19, 0), (19, 1), (21, 0), (21, 1)]);
+    let v1 = payload(&[(19, 0), (19, 1), (19, 2), (19, 3)]);
+    let v2 = payload(&[(19, 0), (19, 1), (19, 2), (20, 0)]);
+    let expected = [("alpha", 1u64, v1.clone()), ("alpha", 2u64, v2.clone())];
+    sweep(
+        "chain-compact",
+        &move |s| {
+            ingest(s, "beta", &b);
+            ingest(s, "alpha", &v1);
+            delta_ingest(s, "alpha", 2, &v2);
+            s.remove("beta", 1).unwrap();
             s.gc().unwrap();
         },
         &|s| s.compact().map(|_| ()),

@@ -378,11 +378,11 @@ fn pre_cache_reports_remain_readable_and_schema_is_additive() {
         .collect();
     assert_eq!(
         added,
-        vec!["cache", "store"],
-        "additions beyond the cache and store ledgers"
+        vec!["cache", "store", "capture", "chain"],
+        "additions beyond the cache/store/capture/chain ledgers"
     );
     // A plain pairwise in-memory report carries all-zero ledgers.
-    for block in ["cache", "store"] {
+    for block in ["cache", "store", "capture", "chain"] {
         let (_, value) = current.iter().find(|(k, _)| k == block).unwrap();
         let Json::Obj(fields) = value else {
             panic!("{block} is not an object")
@@ -431,7 +431,11 @@ fn pre_store_reports_remain_readable_and_schema_is_additive() {
         .map(|(k, _)| k.as_str())
         .filter(|k| !legacy_keys.contains(k))
         .collect();
-    assert_eq!(added, vec!["store"], "additions beyond the store ledger");
+    assert_eq!(
+        added,
+        vec!["store", "capture", "chain"],
+        "additions beyond the store/capture/chain ledgers"
+    );
 }
 
 /// Reports written before the flight recorder existed (no
@@ -473,31 +477,112 @@ fn pre_flightrec_reports_remain_readable_and_schema_is_additive() {
             .unwrap_or_else(|| panic!("new schema dropped `{key}`"));
         assert_additive(legacy_value, current_value, key);
     }
-    // No new top-level keys; the only addition anywhere is the
-    // store_read phase, and for an in-memory comparison it is all-zero.
+    // The only top-level additions since are the differential-capture
+    // ledgers; the stage additions are the overlap/informational
+    // phases, all-zero for an in-memory comparison.
     let added: Vec<&str> = current
         .iter()
         .map(|(k, _)| k.as_str())
         .filter(|k| !legacy_keys.contains(k))
         .collect();
-    assert!(
-        added.is_empty(),
-        "unexpected top-level additions: {added:?}"
+    assert_eq!(
+        added,
+        vec!["capture", "chain"],
+        "unexpected top-level additions"
     );
     let new_stages: Vec<String> = stages_of(&current)
         .into_iter()
         .filter(|k| !stages_of(&legacy).contains(k))
         .collect();
-    assert_eq!(new_stages, vec!["store_read"], "stage additions");
+    assert_eq!(
+        new_stages,
+        vec!["store_read", "delta_capture"],
+        "stage additions"
+    );
     let Some((_, Json::Obj(stages))) = current.iter().find(|(k, _)| k == "stages") else {
         unreachable!()
     };
-    let (_, store_read) = stages.iter().find(|(k, _)| k == "store_read").unwrap();
-    let flat = format!("{store_read:?}");
+    for phase in ["store_read", "delta_capture"] {
+        let (_, cost) = stages.iter().find(|(k, _)| k == phase).unwrap();
+        let flat = format!("{cost:?}");
+        assert!(
+            !flat.contains(|c: char| c.is_ascii_digit() && c != '0'),
+            "in-memory comparison charged the {phase} phase: {flat}"
+        );
+    }
+}
+
+/// Reports written before differential capture existed (no `capture` /
+/// `chain` blocks, no `stages.delta_capture` phase) must stay
+/// readable, and the only schema changes since are those additive
+/// blocks — the delta-chain plumbing must not have perturbed a single
+/// simulated value anywhere else.
+#[test]
+fn pre_delta_reports_remain_readable_and_schema_is_additive() {
+    let legacy_text =
+        std::fs::read_to_string(golden_path("legacy_pre_delta")).expect("legacy fixture");
+    let Json::Obj(legacy) = parse_json(&legacy_text) else {
+        panic!("legacy fixture is not an object")
+    };
+    let legacy_keys: Vec<&str> = legacy.iter().map(|(k, _)| k.as_str()).collect();
     assert!(
-        !flat.contains(|c: char| c.is_ascii_digit() && c != '0'),
-        "in-memory comparison charged the store_read phase: {flat}"
+        legacy_keys.contains(&"store"),
+        "the pre-delta fixture postdates the store ledger"
     );
+    assert!(
+        !legacy_keys.contains(&"capture") && !legacy_keys.contains(&"chain"),
+        "the fixture must predate the differential-capture blocks"
+    );
+    let stages_of = |obj: &[(String, Json)]| -> Vec<String> {
+        let Some((_, Json::Obj(stages))) = obj.iter().find(|(k, _)| k == "stages") else {
+            panic!("report has no stages object")
+        };
+        stages.iter().map(|(k, _)| k.clone()).collect()
+    };
+    assert!(
+        stages_of(&legacy).contains(&"store_read".to_owned())
+            && !stages_of(&legacy).contains(&"delta_capture".to_owned()),
+        "the fixture must postdate store_read and predate delta_capture"
+    );
+
+    let current_text =
+        std::fs::read_to_string(golden_path("seed2_moderate")).expect("current golden");
+    let Json::Obj(current) = parse_json(&current_text) else {
+        panic!("current golden is not an object")
+    };
+    for (key, legacy_value) in &legacy {
+        let (_, current_value) = current
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("new schema dropped `{key}`"));
+        assert_additive(legacy_value, current_value, key);
+    }
+    let added: Vec<&str> = current
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .filter(|k| !legacy_keys.contains(k))
+        .collect();
+    assert_eq!(
+        added,
+        vec!["capture", "chain"],
+        "additions beyond the capture/chain blocks"
+    );
+    let new_stages: Vec<String> = stages_of(&current)
+        .into_iter()
+        .filter(|k| !stages_of(&legacy).contains(k))
+        .collect();
+    assert_eq!(new_stages, vec!["delta_capture"], "stage additions");
+    // Neither side of an in-memory comparison is a store-backed delta:
+    // every added number is zero.
+    for block in ["capture", "chain"] {
+        let (_, value) = current.iter().find(|(k, _)| k == block).unwrap();
+        let Json::Obj(fields) = value else {
+            panic!("{block} is not an object")
+        };
+        for (name, value) in fields {
+            assert_eq!(value, &Json::Num("0".into()), "{block}.{name} nonzero");
+        }
+    }
 }
 
 /// The golden serialization is itself reproducible: two fresh

@@ -51,9 +51,13 @@ perf-diff:
 	$(CARGO) run --release -p reprocmp-cli --bin reprocmp -- perf-diff \
 		tests/goldens/legacy_pre_flightrec.json tests/goldens/seed2_moderate.json \
 		--budget 10%
+	$(CARGO) run --release -p reprocmp-bench --bin fig_server -- --profile-only
+	$(CARGO) run --release -p reprocmp-cli --bin reprocmp -- perf-diff \
+		tests/goldens/server_compare_profile.json \
+		bench_results/server_compare_profile.json --budget 10%
 
 # Re-run every figure/table harness; results land in bench_results/.
 bench-figures:
-	for bin in fig5 fig6 fig7 fig8 fig9 fig10 fig_multirun fig_dedup fig_delta table1 table2 ablate; do \
+	for bin in fig5 fig6 fig7 fig8 fig9 fig10 fig_multirun fig_dedup fig_delta fig_server table1 table2 ablate; do \
 		$(CARGO) run --release -p reprocmp-bench --bin $$bin || exit 1; \
 	done

@@ -1462,6 +1462,212 @@ pub fn perf_diff(old_path: &str, new_path: &str, map: &ArgMap) -> Result<String,
     }
 }
 
+// ---------------------------------------------------------------------------
+// Comparison-as-a-service: the daemon and its client verbs.
+// ---------------------------------------------------------------------------
+
+/// Parses a strict `name@version` object reference (the client side
+/// has no store to resolve a bare name against).
+fn parse_object_ref(spec: &str) -> Result<reprocmp_server::ObjectRef, CliError> {
+    let Some((name, raw)) = spec.rsplit_once('@') else {
+        return Err(CliError::Usage(format!(
+            "object ref `{spec}` must be name@version (the server cannot \
+             resolve bare names)"
+        )));
+    };
+    let version = raw.parse().map_err(|_| {
+        CliError::Usage(format!("object ref `{spec}`: cannot parse version `{raw}`"))
+    })?;
+    Ok(reprocmp_server::ObjectRef {
+        name: name.to_owned(),
+        version,
+    })
+}
+
+fn parse_addr(map: &ArgMap) -> Result<std::net::SocketAddr, CliError> {
+    let raw = map.required("addr")?;
+    raw.parse()
+        .map_err(|_| CliError::Usage(format!("--addr `{raw}` is not host:port")))
+}
+
+fn connect_client(map: &ArgMap) -> Result<reprocmp_server::ServerClient, CliError> {
+    let addr = parse_addr(map)?;
+    let identity = map.optional("client").unwrap_or("cli").to_owned();
+    reprocmp_server::ServerClient::connect(addr, &identity).map_err(fail)
+}
+
+fn render_status(status: &reprocmp_server::RemoteStatus) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "job {}: {}", status.job, status.state.as_str());
+    if let Some(result) = &status.result {
+        let _ = writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&ValueShim(result.clone())).expect("encode result")
+        );
+    }
+    if let Some(error) = &status.error {
+        let _ = writeln!(out, "error: {error}");
+    }
+    out
+}
+
+/// The vendored serde has no blanket `Serialize` for [`serde::Value`];
+/// this shim renders wire result documents as JSON.
+struct ValueShim(serde::Value);
+
+impl serde::Serialize for ValueShim {
+    fn to_value(&self) -> serde::Value {
+        self.0.clone()
+    }
+}
+
+/// `serve`: run the comparison daemon. Claims the store exclusively
+/// (advisory lock), listens on `--addr`, and serves until a client
+/// sends `shutdown` — then drains every in-flight job and exits.
+///
+/// `--addr-file F` writes the bound address (useful with `--addr
+/// host:0` for an OS-assigned port) so scripts and the second
+/// terminal can find the daemon.
+///
+/// # Errors
+///
+/// A locked store (another daemon owns it), bind failures.
+pub fn serve(map: &ArgMap) -> Result<String, CliError> {
+    use reprocmp_server::{Server, ServerConfig, TcpTransport};
+
+    let root = PathBuf::from(map.required("store")?);
+    let defaults = ServerConfig::rooted_at(&root);
+    let config = ServerConfig {
+        chunk_bytes: map.parsed_or("chunk-bytes", defaults.chunk_bytes)?,
+        error_bound: map.parsed_or("error-bound", defaults.error_bound)?,
+        workers: map.parsed_or("workers", defaults.workers)?,
+        queue_capacity: map.parsed_or("queue", defaults.queue_capacity)?,
+        quantum: map.parsed_or("quantum", defaults.quantum)?,
+        owner: map
+            .optional("owner")
+            .map_or(defaults.owner.clone(), str::to_owned),
+        ..defaults
+    };
+    let server = std::sync::Arc::new(Server::start(config).map_err(fail)?);
+    let transport =
+        TcpTransport::bind(map.optional("addr").unwrap_or("127.0.0.1:0")).map_err(fail)?;
+    let bound = transport.addr();
+    if let Some(path) = map.optional("addr-file") {
+        std::fs::write(path, bound.to_string()).map_err(fail)?;
+    }
+    // Printed before the blocking serve loop, not returned after it:
+    // the second terminal needs the address while the daemon runs.
+    println!(
+        "reprocmp-server listening on {bound} (store {})",
+        root.display()
+    );
+    transport.run(&server).map_err(fail)?;
+    Ok("server stopped: all in-flight jobs drained\n".to_owned())
+}
+
+/// `submit`: send one job to a running daemon. The verb comes from
+/// which flags are present: `--input F --name S --version N` ingests,
+/// `--run1 R --run2 R` compares, `--baseline R --runs R,R` batches,
+/// `--materialize R` reconstructs. Waits for the result unless
+/// `--no-wait` (which just prints the job id).
+///
+/// # Errors
+///
+/// Backpressure rejections (retry later), unknown objects, transport
+/// failures.
+pub fn submit(map: &ArgMap) -> Result<String, CliError> {
+    let mut session = connect_client(map)?;
+    let job = if let Some(input) = map.optional("input") {
+        let name = map.required("name")?;
+        let version = map.parsed_or("version", 1u64)?;
+        let chunk_bytes = map.parsed_or("chunk-bytes", 4096u64)?;
+        let data = std::fs::read(input).map_err(|e| fail(format!("{input}: {e}")))?;
+        session
+            .ingest(name, version, chunk_bytes, &data)
+            .map_err(fail)?
+    } else if let Some(run1) = map.optional("run1") {
+        let left = parse_object_ref(run1)?;
+        let right = parse_object_ref(map.required("run2")?)?;
+        session.compare(left, right).map_err(fail)?
+    } else if let Some(baseline) = map.optional("baseline") {
+        let base = parse_object_ref(baseline)?;
+        let runs = map
+            .required("runs")?
+            .split(',')
+            .map(parse_object_ref)
+            .collect::<Result<Vec<_>, _>>()?;
+        session.compare_many(base, runs).map_err(fail)?
+    } else if let Some(spec) = map.optional("materialize") {
+        let r = parse_object_ref(spec)?;
+        session.materialize(&r.name, r.version).map_err(fail)?
+    } else {
+        return Err(CliError::Usage(
+            "submit needs a job: --input F --name S --version N (ingest), \
+             --run1 R --run2 R (compare), --baseline R --runs R,R,... \
+             (compare-many), or --materialize R"
+                .to_owned(),
+        ));
+    };
+    if map.flag("no-wait") {
+        return Ok(format!("job {job} accepted\n"));
+    }
+    let status = session.wait(job).map_err(fail)?;
+    if status.error.is_some() {
+        return Err(CliError::Failed(render_status(&status)));
+    }
+    Ok(render_status(&status))
+}
+
+/// `status`: one job's state (and result once terminal); `--wait`
+/// blocks server-side until the job finishes.
+///
+/// # Errors
+///
+/// Unknown job ids, transport failures.
+pub fn status(map: &ArgMap) -> Result<String, CliError> {
+    let mut session = connect_client(map)?;
+    let job = map.parsed_or("job", 0u64)?;
+    if job == 0 {
+        return Err(CliError::Usage("status needs --job N".to_owned()));
+    }
+    let status = session.status(job, map.flag("wait")).map_err(fail)?;
+    Ok(render_status(&status))
+}
+
+/// `watch`: stream a job's flight-recorder events (one line per
+/// event) followed by the journal ledger. Blocks until the job is
+/// terminal.
+///
+/// # Errors
+///
+/// Unknown job ids, transport failures.
+pub fn watch(map: &ArgMap) -> Result<String, CliError> {
+    let mut session = connect_client(map)?;
+    let job = map.parsed_or("job", 0u64)?;
+    if job == 0 {
+        return Err(CliError::Usage("watch needs --job N".to_owned()));
+    }
+    let (events, summary) = session.watch(job).map_err(fail)?;
+    let mut out = String::new();
+    for e in &events {
+        let _ = writeln!(
+            out,
+            "[{:>12} ns] #{:<4} {:<24} {}",
+            e.ts_ns, e.seq, e.lane, e.kind
+        );
+    }
+    let _ = writeln!(
+        out,
+        "job {job}: {} — {} events emitted, {} written, {} dropped",
+        summary.state.as_str(),
+        summary.events_emitted,
+        summary.events_written,
+        summary.events_dropped
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2467,6 +2673,111 @@ mod tests {
             run_cli(&["perf-diff", old.to_str().unwrap()]),
             Err(CliError::Usage(_))
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_submit_status_watch_over_tcp() {
+        let dir = temp_dir("serve");
+        let v1: Vec<f32> = (0..256).map(|i| (i as f32) * 0.01).collect();
+        let mut v2 = v1.clone();
+        v2[100] += 0.5;
+        write_raw_f32(&dir.join("v1.bin"), &v1);
+        write_raw_f32(&dir.join("v2.bin"), &v2);
+
+        // Terminal 1: the daemon, on an OS-assigned port published
+        // through --addr-file.
+        let store = dir.join("store");
+        let addr_file = dir.join("addr");
+        let serve_args: Vec<String> = [
+            "serve",
+            "--store",
+            store.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--workers",
+            "2",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let daemon = std::thread::spawn(move || crate::run(&serve_args));
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if !text.is_empty() {
+                    break text;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        // Terminal 2: ingest both versions, compare them, inspect.
+        for (file, version) in [("v1.bin", "1"), ("v2.bin", "2")] {
+            let out = run_cli(&[
+                "submit",
+                "--addr",
+                &addr,
+                "--input",
+                dir.join(file).to_str().unwrap(),
+                "--name",
+                "run",
+                "--version",
+                version,
+                "--chunk-bytes",
+                "256",
+            ])
+            .unwrap();
+            assert!(out.contains("done"), "{out}");
+            assert!(out.contains("chunks_stored"), "{out}");
+        }
+        let compared = run_cli(&[
+            "submit", "--addr", &addr, "--run1", "run@1", "--run2", "run@2",
+        ])
+        .unwrap();
+        assert!(compared.contains("job 3: done"), "{compared}");
+        assert!(compared.contains("differences"), "{compared}");
+
+        let status = run_cli(&["status", "--addr", &addr, "--job", "3", "--wait"]).unwrap();
+        assert!(status.contains("job 3: done"), "{status}");
+
+        let watched = run_cli(&["watch", "--addr", &addr, "--job", "3"]).unwrap();
+        assert!(watched.contains("events emitted"), "{watched}");
+
+        // --no-wait answers with the accepted id alone.
+        let nowait = run_cli(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--materialize",
+            "run@1",
+            "--no-wait",
+        ])
+        .unwrap();
+        assert!(nowait.contains("job 4 accepted"), "{nowait}");
+
+        // Bad shapes are usage errors, not hangs.
+        assert!(matches!(
+            run_cli(&["submit", "--addr", &addr]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_cli(&["status", "--addr", &addr]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_cli(&["submit", "--addr", &addr, "--run1", "bare", "--run2", "run@2"]),
+            Err(CliError::Usage(_))
+        ));
+
+        // Stop the daemon; serve drains and returns.
+        let mut session =
+            reprocmp_server::ServerClient::connect(addr.parse().unwrap(), "cli").unwrap();
+        session.shutdown_server().unwrap();
+        drop(session);
+        let out = daemon.join().unwrap().unwrap();
+        assert!(out.contains("server stopped"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

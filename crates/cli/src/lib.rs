@@ -15,6 +15,11 @@
 //!   pack garbage collection, bit-rot scrubbing, and the dedup ledger.
 //!   `compare`/`compare-many --store D` read `name@version` objects
 //!   straight out of the store.
+//! * `serve` / `submit` / `status` / `watch` — comparison as a
+//!   service: a daemon owning the store exclusively and serving
+//!   ingest/compare/materialize jobs to concurrent clients over a
+//!   length-prefixed wire protocol, with fair queuing, admission
+//!   control, and streamed flight-recorder events.
 //! * `simulate` — run the bundled mini-HACC simulation and capture a
 //!   checkpoint history through the VELOC-style client, giving users a
 //!   self-contained way to produce two divergent runs to compare.
@@ -174,6 +179,50 @@ pub fn usage() -> String {
     );
     let _ = writeln!(
         s,
+        "  serve        --store D [--addr 127.0.0.1:0] [--addr-file F] [--workers 2]"
+    );
+    let _ = writeln!(
+        s,
+        "               [--queue 64] [--quantum 8] [--chunk-bytes 4096] [--error-bound 1e-5]"
+    );
+    let _ = writeln!(
+        s,
+        "               (comparison-as-a-service daemon; owns the store exclusively"
+    );
+    let _ = writeln!(
+        s,
+        "                until a client sends shutdown, then drains and exits)"
+    );
+    let _ = writeln!(
+        s,
+        "  submit       --addr H:P [--client S] [--no-wait]  + one job:"
+    );
+    let _ = writeln!(
+        s,
+        "               --input F --name S --version N [--chunk-bytes 4096]  (ingest)"
+    );
+    let _ = writeln!(
+        s,
+        "               --run1 name@ver --run2 name@ver                      (compare)"
+    );
+    let _ = writeln!(
+        s,
+        "               --baseline name@ver --runs name@ver,...         (compare-many)"
+    );
+    let _ = writeln!(
+        s,
+        "               --materialize name@ver                          (reconstruct)"
+    );
+    let _ = writeln!(
+        s,
+        "  status       --addr H:P --job N [--wait]   (job state + result document)"
+    );
+    let _ = writeln!(
+        s,
+        "  watch        --addr H:P --job N   (stream the job's flight-recorder events)"
+    );
+    let _ = writeln!(
+        s,
         "  simulate     --out-dir D [--particles 2048] [--steps 50] [--ranks 2]"
     );
     let _ = writeln!(
@@ -265,6 +314,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "store-stats" => commands::store_stats(&rest),
         "store-remove" => commands::store_remove(&rest),
         "chain" => commands::chain(&rest),
+        "serve" => commands::serve(&rest),
+        "submit" => commands::submit(&rest),
+        "status" => commands::status(&rest),
+        "watch" => commands::watch(&rest),
         "simulate" => commands::simulate(&rest),
         "census" => commands::census(&rest),
         "gate" => commands::gate(&rest),

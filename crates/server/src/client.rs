@@ -1,0 +1,354 @@
+//! The client library: a typed session over any [`Conn`].
+//!
+//! One [`ServerClient`] wraps one connection: it speaks the hello
+//! handshake, submits jobs, polls or waits on status, and consumes
+//! watch streams. The CLI verbs (`submit`, `status`, `watch`) and the
+//! test harnesses are both built on it, over TCP and in-process
+//! transports alike.
+
+use std::net::SocketAddr;
+
+use serde::Value;
+
+use crate::proto::{encode, hex_encode, JobState, ObjectRef, Request, Response, PROTOCOL_VERSION};
+use crate::transport::{Conn, TcpConn};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server's frame didn't decode.
+    Proto(crate::proto::ProtoError),
+    /// Admission control refused the job — retry after backoff.
+    Rejected {
+        /// The server's stated reason.
+        reason: String,
+    },
+    /// The server answered with an `error` frame.
+    Server {
+        /// The server's message.
+        message: String,
+    },
+    /// The server hung up mid-conversation.
+    Disconnected,
+    /// The server answered with a frame the call didn't expect.
+    UnexpectedResponse {
+        /// The frame's `type` tag.
+        got: &'static str,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client transport failure: {e}"),
+            ClientError::Proto(e) => write!(f, "client protocol failure: {e}"),
+            ClientError::Rejected { reason } => write!(f, "job rejected: {reason}"),
+            ClientError::Server { message } => write!(f, "server error: {message}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::UnexpectedResponse { got } => {
+                write!(f, "unexpected `{got}` response")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<crate::proto::ProtoError> for ClientError {
+    fn from(e: crate::proto::ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// What the server said hello back with.
+#[derive(Debug, Clone)]
+pub struct ServerInfo {
+    /// Server software name.
+    pub server: String,
+    /// Protocol revision it speaks.
+    pub protocol: u64,
+    /// Its admission-control bound.
+    pub queue_capacity: u64,
+}
+
+/// A job's status as seen over the wire.
+#[derive(Debug, Clone)]
+pub struct RemoteStatus {
+    /// Job id.
+    pub job: u64,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Result document when done.
+    pub result: Option<Value>,
+    /// Failure message when failed.
+    pub error: Option<String>,
+}
+
+/// One streamed flight-recorder event from a watch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchedEvent {
+    /// Sequence number within the job's journal.
+    pub seq: u64,
+    /// Timestamp on the job's deterministic timeline, ns.
+    pub ts_ns: u64,
+    /// Journal lane.
+    pub lane: String,
+    /// Event kind tag.
+    pub kind: String,
+}
+
+/// The terminal frame of a watch stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchSummary {
+    /// Final job state.
+    pub state: JobState,
+    /// Journal ledger: emitted.
+    pub events_emitted: u64,
+    /// Journal ledger: written (retained + streamed).
+    pub events_written: u64,
+    /// Journal ledger: dropped under the capacity bound.
+    pub events_dropped: u64,
+}
+
+/// A typed session over one connection.
+pub struct ServerClient {
+    conn: Box<dyn Conn>,
+    info: ServerInfo,
+}
+
+impl std::fmt::Debug for ServerClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerClient")
+            .field("info", &self.info)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerClient {
+    /// Opens a session over `conn`, identifying as `client` for fair
+    /// queuing.
+    ///
+    /// # Errors
+    ///
+    /// Transport or handshake failures.
+    pub fn over(mut conn: Box<dyn Conn>, client: &str) -> ClientResult<Self> {
+        conn.send(&encode(&Request::Hello {
+            client: client.to_owned(),
+            protocol: PROTOCOL_VERSION,
+        }))?;
+        let payload = conn.recv()?.ok_or(ClientError::Disconnected)?;
+        match Response::decode(&payload)? {
+            Response::HelloOk {
+                server,
+                protocol,
+                queue_capacity,
+            } => Ok(ServerClient {
+                conn,
+                info: ServerInfo {
+                    server,
+                    protocol,
+                    queue_capacity,
+                },
+            }),
+            Response::Error { message } => Err(ClientError::Server { message }),
+            other => Err(ClientError::UnexpectedResponse {
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    /// Connects a TCP session to `addr` as `client`.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failures.
+    pub fn connect(addr: SocketAddr, client: &str) -> ClientResult<Self> {
+        Self::over(Box::new(TcpConn::connect(addr)?), client)
+    }
+
+    /// The hello answer this session opened with.
+    #[must_use]
+    pub fn server_info(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    fn call(&mut self, req: &Request) -> ClientResult<Response> {
+        self.conn.send(&encode(req))?;
+        let payload = self.conn.recv()?.ok_or(ClientError::Disconnected)?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    fn submit(&mut self, req: &Request) -> ClientResult<u64> {
+        match self.call(req)? {
+            Response::Accepted { job } => Ok(job),
+            Response::Rejected { reason } => Err(ClientError::Rejected { reason }),
+            Response::Error { message } => Err(ClientError::Server { message }),
+            other => Err(ClientError::UnexpectedResponse {
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    /// Submits an ingest job; the payload travels hex-encoded.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] under backpressure (retryable);
+    /// transport failures.
+    pub fn ingest(
+        &mut self,
+        name: &str,
+        version: u64,
+        chunk_bytes: u64,
+        data: &[u8],
+    ) -> ClientResult<u64> {
+        self.submit(&Request::Ingest {
+            name: name.to_owned(),
+            version,
+            chunk_bytes,
+            data: hex_encode(data),
+        })
+    }
+
+    /// Submits a pairwise compare job.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerClient::ingest`].
+    pub fn compare(&mut self, left: ObjectRef, right: ObjectRef) -> ClientResult<u64> {
+        self.submit(&Request::Compare { left, right })
+    }
+
+    /// Submits a batch compare job.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerClient::ingest`].
+    pub fn compare_many(&mut self, baseline: ObjectRef, runs: Vec<ObjectRef>) -> ClientResult<u64> {
+        self.submit(&Request::CompareMany { baseline, runs })
+    }
+
+    /// Submits a materialize job.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerClient::ingest`].
+    pub fn materialize(&mut self, name: &str, version: u64) -> ClientResult<u64> {
+        self.submit(&Request::Materialize {
+            name: name.to_owned(),
+            version,
+        })
+    }
+
+    /// Queries a job's status; with `wait` the server holds the reply
+    /// until the job is terminal (no client-side polling).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for unknown jobs; transport failures.
+    pub fn status(&mut self, job: u64, wait: bool) -> ClientResult<RemoteStatus> {
+        match self.call(&Request::Status { job, wait })? {
+            Response::Status {
+                job,
+                state,
+                result,
+                error,
+            } => Ok(RemoteStatus {
+                job,
+                state,
+                result,
+                error,
+            }),
+            Response::Error { message } => Err(ClientError::Server { message }),
+            other => Err(ClientError::UnexpectedResponse {
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    /// Blocks until `job` is terminal and returns its final status.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerClient::status`].
+    pub fn wait(&mut self, job: u64) -> ClientResult<RemoteStatus> {
+        self.status(job, true)
+    }
+
+    /// Streams a job's flight-recorder events (blocking until the job
+    /// is terminal), returning them with the terminal ledger summary.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerClient::status`].
+    pub fn watch(&mut self, job: u64) -> ClientResult<(Vec<WatchedEvent>, WatchSummary)> {
+        self.conn.send(&encode(&Request::Watch { job }))?;
+        let mut events = Vec::new();
+        loop {
+            let payload = self.conn.recv()?.ok_or(ClientError::Disconnected)?;
+            match Response::decode(&payload)? {
+                Response::Event {
+                    seq,
+                    ts_ns,
+                    lane,
+                    kind,
+                    ..
+                } => events.push(WatchedEvent {
+                    seq,
+                    ts_ns,
+                    lane,
+                    kind,
+                }),
+                Response::Done {
+                    state,
+                    events_emitted,
+                    events_written,
+                    events_dropped,
+                    ..
+                } => {
+                    return Ok((
+                        events,
+                        WatchSummary {
+                            state,
+                            events_emitted,
+                            events_written,
+                            events_dropped,
+                        },
+                    ))
+                }
+                Response::Error { message } => return Err(ClientError::Server { message }),
+                other => {
+                    return Err(ClientError::UnexpectedResponse {
+                        got: other.type_name(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Asks the daemon to drain and exit; returns once acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown_server(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Accepted { .. } => Ok(()),
+            Response::Error { message } => Err(ClientError::Server { message }),
+            other => Err(ClientError::UnexpectedResponse {
+                got: other.type_name(),
+            }),
+        }
+    }
+}

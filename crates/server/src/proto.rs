@@ -1,0 +1,787 @@
+//! The wire protocol: length-prefixed JSON frames, tagged
+//! request/response objects, and their hand-written codecs.
+//!
+//! # Framing
+//!
+//! Every message is one frame: a little-endian `u32` byte length
+//! followed by that many bytes of UTF-8 JSON. [`write_frame`] /
+//! [`read_frame`] implement it over any `Write`/`Read`.
+//!
+//! # Schema evolution
+//!
+//! Objects are tagged with a `"type"` field. Decoders read only the
+//! fields they know and ignore everything else, so the protocol can
+//! evolve **additively**: new fields and new message types never break
+//! an old peer's ability to parse what it understands. The committed
+//! fixtures under `tests/goldens/wire/` pin today's encodings the same
+//! way the `legacy_pre_*.json` report fixtures pin the report schema.
+
+use serde::{Serialize, Value};
+
+use crate::json::{self, get, get_array, get_str, get_u64};
+
+/// Protocol revision spoken by this build. Bumped only for additive
+/// changes; peers accept any `protocol >= 1` hello.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Frames larger than this are rejected as corrupt rather than
+/// allocated (64 MiB — far above any legitimate message).
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// A wire-level failure: framing, JSON, or schema.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Socket/pipe failure.
+    Io(std::io::Error),
+    /// The frame payload was not valid JSON.
+    Json(json::JsonError),
+    /// The JSON did not shape up as any known message.
+    Schema(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "wire i/o failure: {e}"),
+            ProtoError::Json(e) => write!(f, "wire frame is not JSON: {e}"),
+            ProtoError::Schema(msg) => write!(f, "unintelligible message: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Io(e) => Some(e),
+            ProtoError::Json(e) => Some(e),
+            ProtoError::Schema(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Underlying write failures.
+pub fn write_frame(w: &mut dyn std::io::Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary.
+///
+/// # Errors
+///
+/// Underlying read failures, EOF mid-frame, or an implausible length
+/// prefix (> [`MAX_FRAME_BYTES`]).
+pub fn read_frame(r: &mut dyn std::io::Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_bytes[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Lowercase-hex encoding for payload bytes on the wire.
+#[must_use]
+pub fn hex_encode(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(DIGITS[usize::from(b >> 4)] as char);
+        out.push(DIGITS[usize::from(b & 0xf)] as char);
+    }
+    out
+}
+
+/// Decodes [`hex_encode`]'s output.
+///
+/// # Errors
+///
+/// A human-readable message for odd length or non-hex digits.
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err(format!("hex payload has odd length {}", s.len()));
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = hex_digit(pair[0])?;
+        let lo = hex_digit(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn hex_digit(b: u8) -> Result<u8, String> {
+    match b {
+        b'0'..=b'9' => Ok(b - b'0'),
+        b'a'..=b'f' => Ok(b - b'a' + 10),
+        b'A'..=b'F' => Ok(b - b'A' + 10),
+        other => Err(format!("invalid hex digit {:?}", other as char)),
+    }
+}
+
+/// A stored object reference: `name@version`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectRef {
+    /// Checkpoint name.
+    pub name: String,
+    /// Checkpoint version.
+    pub version: u64,
+}
+
+impl ObjectRef {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".to_owned(), Value::String(self.name.clone())),
+            ("version".to_owned(), Value::UInt(self.version)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, ProtoError> {
+        Ok(ObjectRef {
+            name: get_str(v, "name")
+                .ok_or_else(|| schema("object ref missing `name`"))?
+                .to_owned(),
+            version: get_u64(v, "version").ok_or_else(|| schema("object ref missing `version`"))?,
+        })
+    }
+}
+
+/// Everything a client can ask the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Session opener; the server answers with [`Response::HelloOk`].
+    Hello {
+        /// Client identity used for fair queuing.
+        client: String,
+        /// Protocol revision the client speaks.
+        protocol: u64,
+    },
+    /// Store a checkpoint payload as `name@version` (job-queued).
+    Ingest {
+        /// Checkpoint name.
+        name: String,
+        /// Checkpoint version.
+        version: u64,
+        /// Store chunk size for this object.
+        chunk_bytes: u64,
+        /// Raw payload bytes, hex-encoded.
+        data: String,
+    },
+    /// Compare two stored objects (job-queued).
+    Compare {
+        /// Left-hand object.
+        left: ObjectRef,
+        /// Right-hand object.
+        right: ObjectRef,
+    },
+    /// Compare many runs against one baseline as a scheduled batch
+    /// (job-queued).
+    CompareMany {
+        /// The shared baseline.
+        baseline: ObjectRef,
+        /// The runs, each compared against the baseline.
+        runs: Vec<ObjectRef>,
+    },
+    /// Reconstruct a stored object's bytes (job-queued).
+    Materialize {
+        /// Checkpoint name.
+        name: String,
+        /// Checkpoint version.
+        version: u64,
+    },
+    /// Query a job. With `wait`, the server answers only once the job
+    /// is terminal.
+    Status {
+        /// Job id from [`Response::Accepted`].
+        job: u64,
+        /// Block until the job completes or fails.
+        wait: bool,
+    },
+    /// Stream a finished job's flight-recorder events
+    /// ([`Response::Event`] frames) followed by [`Response::Done`].
+    Watch {
+        /// Job id from [`Response::Accepted`].
+        job: u64,
+    },
+    /// Ask the daemon to drain in-flight jobs and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// The `"type"` tag this request serializes under.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::Ingest { .. } => "ingest",
+            Request::Compare { .. } => "compare",
+            Request::CompareMany { .. } => "compare_many",
+            Request::Materialize { .. } => "materialize",
+            Request::Status { .. } => "status",
+            Request::Watch { .. } => "watch",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Decodes a request frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on bad JSON or an unknown/missing shape.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        let v = parse_payload(payload)?;
+        let tag = get_str(&v, "type").ok_or_else(|| schema("request missing `type`"))?;
+        match tag {
+            "hello" => Ok(Request::Hello {
+                client: get_str(&v, "client")
+                    .ok_or_else(|| schema("hello missing `client`"))?
+                    .to_owned(),
+                protocol: get_u64(&v, "protocol").unwrap_or(PROTOCOL_VERSION),
+            }),
+            "ingest" => Ok(Request::Ingest {
+                name: req_str(&v, "name")?,
+                version: req_u64(&v, "version")?,
+                chunk_bytes: req_u64(&v, "chunk_bytes")?,
+                data: req_str(&v, "data")?,
+            }),
+            "compare" => Ok(Request::Compare {
+                left: ObjectRef::from_value(
+                    get(&v, "left").ok_or_else(|| schema("compare missing `left`"))?,
+                )?,
+                right: ObjectRef::from_value(
+                    get(&v, "right").ok_or_else(|| schema("compare missing `right`"))?,
+                )?,
+            }),
+            "compare_many" => {
+                let baseline = ObjectRef::from_value(
+                    get(&v, "baseline").ok_or_else(|| schema("compare_many missing `baseline`"))?,
+                )?;
+                let runs = get_array(&v, "runs")
+                    .ok_or_else(|| schema("compare_many missing `runs`"))?
+                    .iter()
+                    .map(ObjectRef::from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::CompareMany { baseline, runs })
+            }
+            "materialize" => Ok(Request::Materialize {
+                name: req_str(&v, "name")?,
+                version: req_u64(&v, "version")?,
+            }),
+            "status" => Ok(Request::Status {
+                job: req_u64(&v, "job")?,
+                wait: matches!(get(&v, "wait"), Some(Value::Bool(true))),
+            }),
+            "watch" => Ok(Request::Watch {
+                job: req_u64(&v, "job")?,
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(schema(format!("unknown request type `{other}`"))),
+        }
+    }
+}
+
+// The vendored derive handles named-field structs only, so the tagged
+// enums flatten by hand (the same pattern as `obs::Event`).
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![(
+            "type".to_owned(),
+            Value::String(self.type_name().to_owned()),
+        )];
+        match self {
+            Request::Hello { client, protocol } => {
+                fields.push(("client".to_owned(), Value::String(client.clone())));
+                fields.push(("protocol".to_owned(), Value::UInt(*protocol)));
+            }
+            Request::Ingest {
+                name,
+                version,
+                chunk_bytes,
+                data,
+            } => {
+                fields.push(("name".to_owned(), Value::String(name.clone())));
+                fields.push(("version".to_owned(), Value::UInt(*version)));
+                fields.push(("chunk_bytes".to_owned(), Value::UInt(*chunk_bytes)));
+                fields.push(("data".to_owned(), Value::String(data.clone())));
+            }
+            Request::Compare { left, right } => {
+                fields.push(("left".to_owned(), left.to_value()));
+                fields.push(("right".to_owned(), right.to_value()));
+            }
+            Request::CompareMany { baseline, runs } => {
+                fields.push(("baseline".to_owned(), baseline.to_value()));
+                fields.push((
+                    "runs".to_owned(),
+                    Value::Array(runs.iter().map(ObjectRef::to_value).collect()),
+                ));
+            }
+            Request::Materialize { name, version } => {
+                fields.push(("name".to_owned(), Value::String(name.clone())));
+                fields.push(("version".to_owned(), Value::UInt(*version)));
+            }
+            Request::Status { job, wait } => {
+                fields.push(("job".to_owned(), Value::UInt(*job)));
+                fields.push(("wait".to_owned(), Value::Bool(*wait)));
+            }
+            Request::Watch { job } => {
+                fields.push(("job".to_owned(), Value::UInt(*job)));
+            }
+            Request::Shutdown => {}
+        }
+        Value::Object(fields)
+    }
+}
+
+/// Lifecycle of a queued job as reported on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; the result is attached.
+    Done,
+    /// Failed; the error message is attached.
+    Failed,
+}
+
+impl JobState {
+    /// Wire spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Parses the wire spelling.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "done" => Some(JobState::Done),
+            "failed" => Some(JobState::Failed),
+            _ => None,
+        }
+    }
+
+    /// Whether the job will never change state again.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+}
+
+/// Everything the daemon can answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Session accepted.
+    HelloOk {
+        /// Server software name.
+        server: String,
+        /// Protocol revision the server speaks.
+        protocol: u64,
+        /// Admission-control bound on in-flight jobs.
+        queue_capacity: u64,
+    },
+    /// The job was admitted to the queue.
+    Accepted {
+        /// Its id, for `status`/`watch`.
+        job: u64,
+    },
+    /// Admission control refused the job — backpressure, retry later.
+    Rejected {
+        /// Why (queue full, shutting down, …).
+        reason: String,
+    },
+    /// A job's current state; `result`/`error` attached when terminal.
+    Status {
+        /// Job id.
+        job: u64,
+        /// Current lifecycle state.
+        state: JobState,
+        /// The job's result document (ingest stats, compare report,
+        /// …) when `state` is `done`.
+        result: Option<Value>,
+        /// The failure message when `state` is `failed`.
+        error: Option<String>,
+    },
+    /// One flight-recorder event from a watched job's execution.
+    Event {
+        /// Job id.
+        job: u64,
+        /// Event sequence number within the job's journal.
+        seq: u64,
+        /// Event timestamp on the job's deterministic timeline, ns.
+        ts_ns: u64,
+        /// Journal lane.
+        lane: String,
+        /// Event `type` tag (e.g. `chunk_read`, `kernel`).
+        kind: String,
+    },
+    /// Terminal frame of a `watch` stream.
+    Done {
+        /// Job id.
+        job: u64,
+        /// Final state ([`JobState::Done`] or [`JobState::Failed`]).
+        state: JobState,
+        /// Journal ledger of the job's execution:
+        /// `emitted == written + dropped`, always balanced.
+        events_emitted: u64,
+        /// Events retained and streamed.
+        events_written: u64,
+        /// Events evicted under the capacity bound.
+        events_dropped: u64,
+    },
+    /// A request-level failure (unknown job, bad payload, …).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The `"type"` tag this response serializes under.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Response::HelloOk { .. } => "hello_ok",
+            Response::Accepted { .. } => "accepted",
+            Response::Rejected { .. } => "rejected",
+            Response::Status { .. } => "status",
+            Response::Event { .. } => "event",
+            Response::Done { .. } => "done",
+            Response::Error { .. } => "error",
+        }
+    }
+
+    /// Decodes a response frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on bad JSON or an unknown/missing shape.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        let v = parse_payload(payload)?;
+        let tag = get_str(&v, "type").ok_or_else(|| schema("response missing `type`"))?;
+        match tag {
+            "hello_ok" => Ok(Response::HelloOk {
+                server: req_str(&v, "server")?,
+                protocol: req_u64(&v, "protocol")?,
+                queue_capacity: get_u64(&v, "queue_capacity").unwrap_or(0),
+            }),
+            "accepted" => Ok(Response::Accepted {
+                job: req_u64(&v, "job")?,
+            }),
+            "rejected" => Ok(Response::Rejected {
+                reason: req_str(&v, "reason")?,
+            }),
+            "status" => {
+                let state = get_str(&v, "state")
+                    .and_then(JobState::parse)
+                    .ok_or_else(|| schema("status missing `state`"))?;
+                Ok(Response::Status {
+                    job: req_u64(&v, "job")?,
+                    state,
+                    result: get(&v, "result").cloned(),
+                    error: get_str(&v, "error").map(str::to_owned),
+                })
+            }
+            "event" => Ok(Response::Event {
+                job: req_u64(&v, "job")?,
+                seq: req_u64(&v, "seq")?,
+                ts_ns: req_u64(&v, "ts_ns")?,
+                lane: req_str(&v, "lane")?,
+                kind: req_str(&v, "kind")?,
+            }),
+            "done" => {
+                let state = get_str(&v, "state")
+                    .and_then(JobState::parse)
+                    .ok_or_else(|| schema("done missing `state`"))?;
+                Ok(Response::Done {
+                    job: req_u64(&v, "job")?,
+                    state,
+                    events_emitted: get_u64(&v, "events_emitted").unwrap_or(0),
+                    events_written: get_u64(&v, "events_written").unwrap_or(0),
+                    events_dropped: get_u64(&v, "events_dropped").unwrap_or(0),
+                })
+            }
+            "error" => Ok(Response::Error {
+                message: req_str(&v, "message")?,
+            }),
+            other => Err(schema(format!("unknown response type `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![(
+            "type".to_owned(),
+            Value::String(self.type_name().to_owned()),
+        )];
+        match self {
+            Response::HelloOk {
+                server,
+                protocol,
+                queue_capacity,
+            } => {
+                fields.push(("server".to_owned(), Value::String(server.clone())));
+                fields.push(("protocol".to_owned(), Value::UInt(*protocol)));
+                fields.push(("queue_capacity".to_owned(), Value::UInt(*queue_capacity)));
+            }
+            Response::Accepted { job } => {
+                fields.push(("job".to_owned(), Value::UInt(*job)));
+            }
+            Response::Rejected { reason } => {
+                fields.push(("reason".to_owned(), Value::String(reason.clone())));
+            }
+            Response::Status {
+                job,
+                state,
+                result,
+                error,
+            } => {
+                fields.push(("job".to_owned(), Value::UInt(*job)));
+                fields.push(("state".to_owned(), Value::String(state.as_str().to_owned())));
+                if let Some(result) = result {
+                    fields.push(("result".to_owned(), result.clone()));
+                }
+                if let Some(error) = error {
+                    fields.push(("error".to_owned(), Value::String(error.clone())));
+                }
+            }
+            Response::Event {
+                job,
+                seq,
+                ts_ns,
+                lane,
+                kind,
+            } => {
+                fields.push(("job".to_owned(), Value::UInt(*job)));
+                fields.push(("seq".to_owned(), Value::UInt(*seq)));
+                fields.push(("ts_ns".to_owned(), Value::UInt(*ts_ns)));
+                fields.push(("lane".to_owned(), Value::String(lane.clone())));
+                fields.push(("kind".to_owned(), Value::String(kind.clone())));
+            }
+            Response::Done {
+                job,
+                state,
+                events_emitted,
+                events_written,
+                events_dropped,
+            } => {
+                fields.push(("job".to_owned(), Value::UInt(*job)));
+                fields.push(("state".to_owned(), Value::String(state.as_str().to_owned())));
+                fields.push(("events_emitted".to_owned(), Value::UInt(*events_emitted)));
+                fields.push(("events_written".to_owned(), Value::UInt(*events_written)));
+                fields.push(("events_dropped".to_owned(), Value::UInt(*events_dropped)));
+            }
+            Response::Error { message } => {
+                fields.push(("message".to_owned(), Value::String(message.clone())));
+            }
+        }
+        Value::Object(fields)
+    }
+}
+
+/// Serializes any protocol message to its frame payload bytes.
+#[must_use]
+pub fn encode(msg: &impl Serialize) -> Vec<u8> {
+    serde_json::to_string(msg).unwrap_or_default().into_bytes()
+}
+
+fn parse_payload(payload: &[u8]) -> Result<Value, ProtoError> {
+    let text = std::str::from_utf8(payload).map_err(|_| schema("frame payload is not UTF-8"))?;
+    json::parse(text).map_err(ProtoError::Json)
+}
+
+fn schema(msg: impl Into<String>) -> ProtoError {
+    ProtoError::Schema(msg.into())
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, ProtoError> {
+    get_str(v, key)
+        .map(str::to_owned)
+        .ok_or_else(|| schema(format!("missing string field `{key}`")))
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, ProtoError> {
+    get_u64(v, key).ok_or_else(|| schema(format!("missing integer field `{key}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_request_round_trips_through_its_frame() {
+        let reqs = vec![
+            Request::Hello {
+                client: "c1".into(),
+                protocol: PROTOCOL_VERSION,
+            },
+            Request::Ingest {
+                name: "run".into(),
+                version: 3,
+                chunk_bytes: 4096,
+                data: hex_encode(&[0xde, 0xad, 0xbe, 0xef]),
+            },
+            Request::Compare {
+                left: ObjectRef {
+                    name: "a".into(),
+                    version: 1,
+                },
+                right: ObjectRef {
+                    name: "b".into(),
+                    version: 2,
+                },
+            },
+            Request::CompareMany {
+                baseline: ObjectRef {
+                    name: "base".into(),
+                    version: 1,
+                },
+                runs: vec![
+                    ObjectRef {
+                        name: "r1".into(),
+                        version: 1,
+                    },
+                    ObjectRef {
+                        name: "r2".into(),
+                        version: 1,
+                    },
+                ],
+            },
+            Request::Materialize {
+                name: "run".into(),
+                version: 3,
+            },
+            Request::Status { job: 7, wait: true },
+            Request::Watch { job: 7 },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let bytes = encode(&req);
+            assert_eq!(Request::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips_through_its_frame() {
+        let resps = vec![
+            Response::HelloOk {
+                server: "reprocmp-server".into(),
+                protocol: 1,
+                queue_capacity: 64,
+            },
+            Response::Accepted { job: 9 },
+            Response::Rejected {
+                reason: "queue full".into(),
+            },
+            Response::Status {
+                job: 9,
+                state: JobState::Done,
+                result: Some(Value::Object(vec![("bytes".to_owned(), Value::UInt(4096))])),
+                error: None,
+            },
+            Response::Status {
+                job: 9,
+                state: JobState::Failed,
+                result: None,
+                error: Some("no such object".into()),
+            },
+            Response::Event {
+                job: 9,
+                seq: 0,
+                ts_ns: 1200,
+                lane: "main".into(),
+                kind: "chunk_read".into(),
+            },
+            Response::Done {
+                job: 9,
+                state: JobState::Done,
+                events_emitted: 10,
+                events_written: 10,
+                events_dropped: 0,
+            },
+            Response::Error {
+                message: "unknown job 4".into(),
+            },
+        ];
+        for resp in resps {
+            let bytes = encode(&resp);
+            assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn framing_round_trips_and_rejects_implausible_lengths() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+
+        let mut bad = std::io::Cursor::new((MAX_FRAME_BYTES + 1).to_le_bytes().to_vec());
+        assert!(read_frame(&mut bad).is_err(), "oversized length prefix");
+        let mut torn = std::io::Cursor::new(vec![8, 0, 0, 0, 1, 2]);
+        assert!(read_frame(&mut torn).is_err(), "EOF mid-frame");
+    }
+
+    #[test]
+    fn hex_codec_round_trips_and_rejects_junk() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+        assert!(hex_decode("abc").is_err(), "odd length");
+        assert!(hex_decode("zz").is_err(), "non-hex digit");
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored_additively() {
+        let doc = br#"{"type":"accepted","job":3,"added_in_v2":{"deep":[1,2,3]}}"#;
+        assert_eq!(
+            Response::decode(doc).unwrap(),
+            Response::Accepted { job: 3 }
+        );
+    }
+}

@@ -1,0 +1,612 @@
+//! The daemon: exclusive store ownership, a bounded worker pool
+//! draining the DRR queue, and per-job deterministic execution.
+//!
+//! # Determinism under concurrency
+//!
+//! Every job — whichever worker runs it, however clients interleave —
+//! executes on a **fresh** `Timeline::sim(SimClock::new())` with a
+//! fresh flight-recorder journal and (for batches) a fresh
+//! [`MetaCache`]. All modeled costs are charged against the job's own
+//! virtual clock and the engine's deterministic device/compute
+//! models, so the resulting report depends only on *(store contents,
+//! job spec, engine config)* — never on wall time, worker identity,
+//! or what other jobs are running. [`execute_spec`] is `pub` for
+//! exactly this reason: the oracle suite replays every job offline
+//! and serially through the same function and asserts byte-identical
+//! results.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+use reprocmp_core::{BatchConfig, CheckpointSource, CompareEngine, EngineConfig, MetaCache};
+use reprocmp_io::{SimClock, Timeline};
+use reprocmp_obs::{Event, JournalLedger, Observer};
+use reprocmp_store::{real_fs, ChunkStore, StoreConfig, StoreError, StoreFs};
+use serde::{Serialize, Value};
+
+use crate::proto::{hex_decode, hex_encode, JobState, ObjectRef, Request};
+use crate::queue::{AdmitError, JobQueue};
+
+/// Daemon-level failures.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Opening or locking the store failed.
+    Store(StoreError),
+    /// Socket plumbing failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Store(e) => write!(f, "server store error: {e}"),
+            ServerError::Io(e) => write!(f, "server i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Store(e) => Some(e),
+            ServerError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<StoreError> for ServerError {
+    fn from(e: StoreError) -> Self {
+        ServerError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+/// Result alias for daemon operations.
+pub type ServerResult<T> = Result<T, ServerError>;
+
+/// Daemon tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Store root the daemon claims exclusively for its lifetime.
+    pub store_root: PathBuf,
+    /// Owner tag written into the store's advisory lock file.
+    pub owner: String,
+    /// Comparison-engine chunk size.
+    pub chunk_bytes: usize,
+    /// Comparison error bound ε.
+    pub error_bound: f64,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Admission bound on in-flight jobs (queued + executing).
+    pub queue_capacity: usize,
+    /// DRR quantum, in cost units (one unit ≈ one cheap job; ingests
+    /// are charged by payload size).
+    pub quantum: u64,
+    /// The filesystem seam the daemon's store mutates through — the
+    /// real filesystem in production, a crash-injecting [`CrashFs`]
+    /// in the shutdown torture sweep.
+    ///
+    /// [`CrashFs`]: reprocmp_store::CrashFs
+    pub fs: Arc<dyn StoreFs>,
+}
+
+impl ServerConfig {
+    /// Defaults rooted at `store_root`: 4 KiB chunks, ε = 1e-5, two
+    /// workers, 64 in-flight jobs, a quantum of 8.
+    #[must_use]
+    pub fn rooted_at(store_root: impl Into<PathBuf>) -> Self {
+        ServerConfig {
+            store_root: store_root.into(),
+            owner: format!("reprocmp-server pid={}", std::process::id()),
+            chunk_bytes: 4096,
+            error_bound: 1e-5,
+            workers: 2,
+            queue_capacity: 64,
+            quantum: 8,
+            fs: real_fs(),
+        }
+    }
+}
+
+/// One job's lifecycle record in the daemon's table.
+#[derive(Debug)]
+struct JobRecord {
+    client: String,
+    verb: &'static str,
+    state: JobState,
+    spec: Option<JobSpec>,
+    result: Option<Value>,
+    error: Option<String>,
+    events: Vec<Event>,
+    ledger: Option<JournalLedger>,
+}
+
+/// A queued unit of work, decoupled from the wire encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// Store `data` as `name@version`.
+    Ingest {
+        /// Checkpoint name.
+        name: String,
+        /// Checkpoint version.
+        version: u64,
+        /// Store chunk size.
+        chunk_bytes: usize,
+        /// Raw payload bytes.
+        data: Vec<u8>,
+    },
+    /// Compare two stored objects.
+    Compare {
+        /// Left-hand object.
+        left: ObjectRef,
+        /// Right-hand object.
+        right: ObjectRef,
+    },
+    /// Batch-compare runs against a baseline.
+    CompareMany {
+        /// The shared baseline.
+        baseline: ObjectRef,
+        /// The runs.
+        runs: Vec<ObjectRef>,
+    },
+    /// Reconstruct a stored object's bytes.
+    Materialize {
+        /// Checkpoint name.
+        name: String,
+        /// Checkpoint version.
+        version: u64,
+    },
+}
+
+impl JobSpec {
+    /// Builds the spec for a job-carrying request; `None` for session
+    /// and control verbs.
+    #[must_use]
+    pub fn from_request(req: &Request) -> Option<Result<JobSpec, String>> {
+        match req {
+            Request::Ingest {
+                name,
+                version,
+                chunk_bytes,
+                data,
+            } => Some(hex_decode(data).map(|bytes| JobSpec::Ingest {
+                name: name.clone(),
+                version: *version,
+                chunk_bytes: usize::try_from(*chunk_bytes).unwrap_or(usize::MAX),
+                data: bytes,
+            })),
+            Request::Compare { left, right } => Some(Ok(JobSpec::Compare {
+                left: left.clone(),
+                right: right.clone(),
+            })),
+            Request::CompareMany { baseline, runs } => Some(Ok(JobSpec::CompareMany {
+                baseline: baseline.clone(),
+                runs: runs.clone(),
+            })),
+            Request::Materialize { name, version } => Some(Ok(JobSpec::Materialize {
+                name: name.clone(),
+                version: *version,
+            })),
+            _ => None,
+        }
+    }
+
+    /// The wire verb, for status displays.
+    #[must_use]
+    pub fn verb(&self) -> &'static str {
+        match self {
+            JobSpec::Ingest { .. } => "ingest",
+            JobSpec::Compare { .. } => "compare",
+            JobSpec::CompareMany { .. } => "compare_many",
+            JobSpec::Materialize { .. } => "materialize",
+        }
+    }
+
+    /// DRR cost: cheap verbs cost 1; ingests are charged one unit per
+    /// 64 KiB of payload so bulk uploads cannot crowd out compares.
+    #[must_use]
+    pub fn cost(&self) -> u64 {
+        match self {
+            JobSpec::Ingest { data, .. } => 1 + (data.len() as u64) / (64 * 1024),
+            _ => 1,
+        }
+    }
+}
+
+/// What one executed job produced (also the offline oracle's output).
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The result document (`Err` carries the failure message).
+    pub result: Result<Value, String>,
+    /// The job's flight-recorder events, in sequence order.
+    pub events: Vec<Event>,
+    /// The journal's exact emitted/written/dropped ledger.
+    pub ledger: JournalLedger,
+}
+
+/// Executes one job spec against `store` with `engine`, on a fresh
+/// deterministic timeline — the single execution path shared by the
+/// daemon's workers and the oracle suite's offline serial replay.
+#[must_use]
+pub fn execute_spec(store: &ChunkStore, engine: &CompareEngine, spec: &JobSpec) -> JobOutcome {
+    let timeline = Timeline::sim(SimClock::new());
+    let obs = Observer::with_journal(timeline.obs_clock());
+    let result = run_spec(store, engine, spec, &timeline, &obs);
+    JobOutcome {
+        result,
+        events: obs.journal().events(),
+        ledger: obs.journal().ledger(),
+    }
+}
+
+fn run_spec(
+    store: &ChunkStore,
+    engine: &CompareEngine,
+    spec: &JobSpec,
+    timeline: &Timeline,
+    obs: &Observer,
+) -> Result<Value, String> {
+    match spec {
+        JobSpec::Ingest {
+            name,
+            version,
+            chunk_bytes,
+            data,
+        } => {
+            // Capture-side metadata is built at ingest (when the
+            // payload is valid f32s), so compare jobs later use the
+            // stored tree verbatim — the capture profile in their
+            // reports stays zero, exactly like the offline path.
+            let meta = if !data.is_empty() && data.len().is_multiple_of(4) {
+                let values: Vec<f32> = data
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                    .collect();
+                engine.encode_metadata(&values)
+            } else {
+                Vec::new()
+            };
+            let stats = store
+                .ingest(
+                    name,
+                    *version,
+                    &[("data", data.as_slice())],
+                    *chunk_bytes,
+                    &meta,
+                )
+                .map_err(|e| e.to_string())?;
+            // The wire result exposes the dedup ledger, not physical
+            // placement: the pack id is allocated in execution order,
+            // so keeping it would make the report depend on how
+            // concurrent jobs interleaved — exactly what the
+            // equivalence oracle forbids.
+            let Value::Object(fields) = stats.to_value() else {
+                unreachable!("IngestStats serializes as an object");
+            };
+            Ok(Value::Object(
+                fields.into_iter().filter(|(k, _)| k != "pack").collect(),
+            ))
+        }
+        JobSpec::Compare { left, right } => {
+            let a = CheckpointSource::from_store(store, &left.name, left.version, engine)
+                .map_err(|e| e.to_string())?;
+            let b = CheckpointSource::from_store(store, &right.name, right.version, engine)
+                .map_err(|e| e.to_string())?;
+            let report = engine
+                .compare_observed(&a, &b, timeline, obs)
+                .map_err(|e| e.to_string())?;
+            Ok(report.to_value())
+        }
+        JobSpec::CompareMany { baseline, runs } => {
+            let base =
+                CheckpointSource::from_store(store, &baseline.name, baseline.version, engine)
+                    .map_err(|e| e.to_string())?;
+            let sources = runs
+                .iter()
+                .map(|r| CheckpointSource::from_store(store, &r.name, r.version, engine))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| e.to_string())?;
+            // A fresh cache per job: byte-identity with the offline
+            // replay must not depend on which jobs ran earlier.
+            let mut cache = MetaCache::new();
+            let report = engine
+                .compare_many_observed(
+                    &base,
+                    &sources,
+                    timeline,
+                    obs,
+                    &BatchConfig::default(),
+                    &mut cache,
+                )
+                .map_err(|e| e.to_string())?;
+            Ok(report.to_value())
+        }
+        JobSpec::Materialize { name, version } => {
+            let bytes = store
+                .materialize(name, *version)
+                .map_err(|e| e.to_string())?;
+            Ok(Value::Object(vec![
+                ("name".to_owned(), Value::String(name.clone())),
+                ("version".to_owned(), Value::UInt(*version)),
+                ("bytes".to_owned(), Value::UInt(bytes.len() as u64)),
+                ("data".to_owned(), Value::String(hex_encode(&bytes))),
+            ]))
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct JobTable {
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    changed: Condvar,
+}
+
+/// A point-in-time job status snapshot (what `status` answers with).
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Job id.
+    pub job: u64,
+    /// Owning client.
+    pub client: String,
+    /// The verb being executed.
+    pub verb: &'static str,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Result document when done.
+    pub result: Option<Value>,
+    /// Failure message when failed.
+    pub error: Option<String>,
+}
+
+/// The daemon. Owns the store exclusively (advisory lock) for its
+/// lifetime; dropping it shuts down gracefully and releases the lock.
+#[derive(Debug)]
+pub struct Server {
+    store: Arc<ChunkStore>,
+    engine: Arc<CompareEngine>,
+    queue: Arc<JobQueue>,
+    jobs: Arc<JobTable>,
+    next_job: Mutex<u64>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    config: ServerConfig,
+    stop_requested: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl Server {
+    /// Opens the store exclusively and starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Locked`] (via [`ServerError::Store`]) when
+    /// another daemon owns the store; other store-open failures.
+    pub fn start(config: ServerConfig) -> ServerResult<Self> {
+        let store = Arc::new(ChunkStore::open_with(
+            &config.store_root,
+            StoreConfig::with_fs(Arc::clone(&config.fs)).exclusive(config.owner.clone()),
+        )?);
+        let engine = Arc::new(CompareEngine::new(EngineConfig {
+            chunk_bytes: config.chunk_bytes,
+            error_bound: config.error_bound,
+            ..EngineConfig::default()
+        }));
+        let queue = Arc::new(JobQueue::new(config.queue_capacity, config.quantum));
+        let jobs = Arc::new(JobTable::default());
+        let mut workers = Vec::new();
+        for _ in 0..config.workers.max(1) {
+            let store = Arc::clone(&store);
+            let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
+            let jobs = Arc::clone(&jobs);
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&store, &engine, &queue, &jobs);
+            }));
+        }
+        Ok(Server {
+            store,
+            engine,
+            queue,
+            jobs,
+            next_job: Mutex::new(1),
+            workers: Mutex::new(workers),
+            config,
+            stop_requested: Arc::new((Mutex::new(false), Condvar::new())),
+        })
+    }
+
+    /// The daemon's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The store the daemon owns (shared read access for e.g. stats).
+    #[must_use]
+    pub fn store(&self) -> &Arc<ChunkStore> {
+        &self.store
+    }
+
+    /// The engine jobs execute with.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<CompareEngine> {
+        &self.engine
+    }
+
+    /// The job queue (exposed for queue-level tests and stats).
+    #[must_use]
+    pub fn queue(&self) -> &Arc<JobQueue> {
+        &self.queue
+    }
+
+    /// Submits one job for `client` through admission control.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError`] when the queue refuses it (backpressure or
+    /// shutdown); the job was *not* recorded.
+    pub fn submit(&self, client: &str, spec: JobSpec) -> Result<u64, AdmitError> {
+        let id = {
+            let mut next = self.next_job.lock();
+            let id = *next;
+            *next += 1;
+            id
+        };
+        let cost = spec.cost();
+        {
+            let mut jobs = self.jobs.jobs.lock();
+            jobs.insert(
+                id,
+                JobRecord {
+                    client: client.to_owned(),
+                    verb: spec.verb(),
+                    state: JobState::Queued,
+                    spec: Some(spec),
+                    result: None,
+                    error: None,
+                    events: Vec::new(),
+                    ledger: None,
+                },
+            );
+        }
+        match self.queue.enqueue(client, id, cost) {
+            Ok(()) => Ok(id),
+            Err(e) => {
+                // Not admitted ⇒ not a job: drop the record so the
+                // "accepted jobs are never dropped" invariant stays
+                // crisp (rejected ≠ accepted-then-lost).
+                self.jobs.jobs.lock().remove(&id);
+                Err(e)
+            }
+        }
+    }
+
+    /// A job's current status, or `None` for an unknown id.
+    #[must_use]
+    pub fn status(&self, job: u64) -> Option<JobStatus> {
+        let jobs = self.jobs.jobs.lock();
+        jobs.get(&job).map(|r| JobStatus {
+            job,
+            client: r.client.clone(),
+            verb: r.verb,
+            state: r.state,
+            result: r.result.clone(),
+            error: r.error.clone(),
+        })
+    }
+
+    /// Blocks until `job` reaches a terminal state; `None` for an
+    /// unknown id.
+    #[must_use]
+    pub fn wait(&self, job: u64) -> Option<JobStatus> {
+        let mut jobs = self.jobs.jobs.lock();
+        loop {
+            match jobs.get(&job) {
+                None => return None,
+                Some(r) if r.state.is_terminal() => {
+                    return Some(JobStatus {
+                        job,
+                        client: r.client.clone(),
+                        verb: r.verb,
+                        state: r.state,
+                        result: r.result.clone(),
+                        error: r.error.clone(),
+                    })
+                }
+                Some(_) => self.jobs.changed.wait(&mut jobs),
+            }
+        }
+    }
+
+    /// A terminal job's flight-recorder events and journal ledger
+    /// (blocks until terminal); `None` for an unknown id.
+    #[must_use]
+    pub fn job_journal(&self, job: u64) -> Option<(Vec<Event>, JournalLedger)> {
+        self.wait(job)?;
+        let jobs = self.jobs.jobs.lock();
+        let r = jobs.get(&job)?;
+        Some((r.events.clone(), r.ledger?))
+    }
+
+    /// Flags that a client asked the daemon to exit; [`Server::serve`]
+    /// loops observe it. (Job draining happens in
+    /// [`Server::shutdown`].)
+    pub fn request_stop(&self) {
+        let (flag, cvar) = &*self.stop_requested;
+        *flag.lock() = true;
+        cvar.notify_all();
+    }
+
+    /// Whether [`Server::request_stop`] was called.
+    #[must_use]
+    pub fn stop_requested(&self) -> bool {
+        *self.stop_requested.0.lock()
+    }
+
+    /// Blocks until [`Server::request_stop`] is called.
+    pub fn wait_for_stop(&self) {
+        let (flag, cvar) = &*self.stop_requested;
+        let mut stopped = flag.lock();
+        while !*stopped {
+            cvar.wait(&mut stopped);
+        }
+    }
+
+    /// Graceful shutdown: admission closes immediately, every already
+    /// admitted job is executed to completion, workers drain and join.
+    /// Idempotent. The store lock is released when the server is
+    /// dropped.
+    pub fn shutdown(&self) {
+        self.queue.shutdown();
+        let workers: Vec<_> = self.workers.lock().drain(..).collect();
+        for w in workers {
+            let _ = w.join();
+        }
+        self.request_stop();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(store: &ChunkStore, engine: &CompareEngine, queue: &JobQueue, jobs: &JobTable) {
+    while let Some(job) = queue.pop() {
+        let spec = {
+            let mut table = jobs.jobs.lock();
+            let record = table.get_mut(&job.id).expect("queued jobs are recorded");
+            record.state = JobState::Running;
+            record.spec.take().expect("spec present until execution")
+        };
+        jobs.changed.notify_all();
+
+        let outcome = execute_spec(store, engine, &spec);
+
+        {
+            let mut table = jobs.jobs.lock();
+            let record = table.get_mut(&job.id).expect("running jobs are recorded");
+            match outcome.result {
+                Ok(value) => {
+                    record.state = JobState::Done;
+                    record.result = Some(value);
+                }
+                Err(message) => {
+                    record.state = JobState::Failed;
+                    record.error = Some(message);
+                }
+            }
+            record.events = outcome.events;
+            record.ledger = Some(outcome.ledger);
+        }
+        jobs.changed.notify_all();
+        queue.finish();
+    }
+}

@@ -1,0 +1,315 @@
+//! Transports and the per-connection dispatch loop.
+//!
+//! Two interchangeable transports carry the framed protocol:
+//!
+//! * **TCP** ([`TcpTransport`]) — the real daemon surface, one handler
+//!   thread per accepted connection;
+//! * **in-process** ([`pair`]) — two channel-backed [`Conn`] halves,
+//!   letting tests drive many concurrent "clients" against one daemon
+//!   without sockets (and deterministically, since nothing crosses the
+//!   kernel).
+//!
+//! Both feed the same [`serve_connection`] loop, so the oracle suite
+//! exercises the exact dispatch path production traffic takes.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender};
+
+use crate::proto::{encode, read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+use crate::queue::AdmitError;
+use crate::server::{JobSpec, Server};
+
+/// A bidirectional frame pipe: one payload per send/recv.
+pub trait Conn: Send {
+    /// Sends one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Underlying transport failures (peer gone, socket error).
+    fn send(&mut self, payload: &[u8]) -> std::io::Result<()>;
+
+    /// Receives one frame payload; `Ok(None)` when the peer hung up
+    /// cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Underlying transport failures or torn frames.
+    fn recv(&mut self) -> std::io::Result<Option<Vec<u8>>>;
+}
+
+/// [`Conn`] over a TCP stream using the length-prefixed framing.
+#[derive(Debug)]
+pub struct TcpConn {
+    stream: TcpStream,
+}
+
+impl TcpConn {
+    /// Wraps a connected stream.
+    #[must_use]
+    pub fn new(stream: TcpStream) -> Self {
+        TcpConn { stream }
+    }
+
+    /// Connects to a daemon at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        Ok(TcpConn {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+}
+
+impl Conn for TcpConn {
+    fn send(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        write_frame(&mut self.stream, payload)
+    }
+
+    fn recv(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+        read_frame(&mut self.stream)
+    }
+}
+
+impl Read for TcpConn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.stream.read(buf)
+    }
+}
+
+impl Write for TcpConn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+/// One half of an in-process connection (see [`pair`]).
+#[derive(Debug)]
+pub struct ChannelConn {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+/// An in-process connection: two [`ChannelConn`] halves whose sends
+/// arrive at the other half's recv, mimicking a socket without one.
+#[must_use]
+pub fn pair() -> (ChannelConn, ChannelConn) {
+    let (a_tx, a_rx) = channel::unbounded();
+    let (b_tx, b_rx) = channel::unbounded();
+    (
+        ChannelConn { tx: a_tx, rx: b_rx },
+        ChannelConn { tx: b_tx, rx: a_rx },
+    )
+}
+
+impl Conn for ChannelConn {
+    fn send(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        self.tx
+            .send(payload.to_vec())
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::BrokenPipe, "peer disconnected"))
+    }
+
+    fn recv(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+        match self.rx.recv() {
+            Ok(payload) => Ok(Some(payload)),
+            Err(_) => Ok(None), // peer dropped its half: clean EOF
+        }
+    }
+}
+
+/// Serves one connection until the peer hangs up: decode each request,
+/// dispatch against `server`, answer with one or more response frames.
+/// Never panics on hostile input — malformed frames get a typed
+/// `error` response (or close the connection on framing corruption).
+///
+/// # Errors
+///
+/// Transport-level failures only; protocol-level problems are answered
+/// in-band.
+pub fn serve_connection(server: &Server, conn: &mut dyn Conn) -> std::io::Result<()> {
+    // Fair-queuing identity until (and unless) the client says hello.
+    let mut client = String::from("anonymous");
+    while let Some(payload) = conn.recv()? {
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                conn.send(&encode(&Response::Error {
+                    message: e.to_string(),
+                }))?;
+                continue;
+            }
+        };
+        match request {
+            Request::Hello {
+                client: name,
+                protocol: _,
+            } => {
+                client = name;
+                conn.send(&encode(&Response::HelloOk {
+                    server: "reprocmp-server".to_owned(),
+                    protocol: PROTOCOL_VERSION,
+                    queue_capacity: server.queue().capacity() as u64,
+                }))?;
+            }
+            Request::Status { job, wait } => {
+                let status = if wait {
+                    server.wait(job)
+                } else {
+                    server.status(job)
+                };
+                let response = match status {
+                    Some(s) => Response::Status {
+                        job,
+                        state: s.state,
+                        result: s.result,
+                        error: s.error,
+                    },
+                    None => Response::Error {
+                        message: format!("unknown job {job}"),
+                    },
+                };
+                conn.send(&encode(&response))?;
+            }
+            Request::Watch { job } => match server.job_journal(job) {
+                Some((events, ledger)) => {
+                    for event in &events {
+                        conn.send(&encode(&Response::Event {
+                            job,
+                            seq: event.seq,
+                            ts_ns: event.ts_ns(),
+                            lane: event.lane.clone(),
+                            kind: event.kind.type_name().to_owned(),
+                        }))?;
+                    }
+                    let state = server
+                        .status(job)
+                        .map_or(crate::proto::JobState::Done, |s| s.state);
+                    conn.send(&encode(&Response::Done {
+                        job,
+                        state,
+                        events_emitted: ledger.events_emitted,
+                        events_written: ledger.events_written,
+                        events_dropped: ledger.events_dropped,
+                    }))?;
+                }
+                None => {
+                    conn.send(&encode(&Response::Error {
+                        message: format!("unknown job {job}"),
+                    }))?;
+                }
+            },
+            Request::Shutdown => {
+                // Ack first, then flag the daemon: the accept loop
+                // drains in-flight jobs before exiting.
+                conn.send(&encode(&Response::Accepted { job: 0 }))?;
+                server.request_stop();
+            }
+            job_request => {
+                let response = match JobSpec::from_request(&job_request)
+                    .expect("non-session verbs carry a job spec")
+                {
+                    Ok(spec) => match server.submit(&client, spec) {
+                        Ok(job) => Response::Accepted { job },
+                        Err(e @ AdmitError::Backpressure { .. })
+                        | Err(e @ AdmitError::ShuttingDown) => Response::Rejected {
+                            reason: e.to_string(),
+                        },
+                    },
+                    Err(message) => Response::Error {
+                        message: format!("bad job payload: {message}"),
+                    },
+                };
+                conn.send(&encode(&response))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The TCP accept loop: binds, serves until a client sends `shutdown`
+/// (or [`Server::request_stop`] fires), then drains the daemon.
+#[derive(Debug)]
+pub struct TcpTransport {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl TcpTransport {
+    /// Binds; `127.0.0.1:0` picks an ephemeral port (see
+    /// [`TcpTransport::addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(TcpTransport { listener, addr })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accepts and serves connections until the server's stop flag is
+    /// raised, then gracefully shuts the daemon down (drain + join).
+    ///
+    /// # Errors
+    ///
+    /// Listener-level failures; per-connection errors only drop that
+    /// connection.
+    pub fn run(&self, server: &Arc<Server>) -> std::io::Result<()> {
+        // Non-blocking accept so the loop can observe the stop flag
+        // without needing a wake-up connection.
+        self.listener.set_nonblocking(true)?;
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !server.stop_requested() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nodelay(true);
+                    let server = Arc::clone(server);
+                    handlers.push(std::thread::spawn(move || {
+                        let mut conn = TcpConn::new(stream);
+                        let _ = serve_connection(&server, &mut conn);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        server.shutdown();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_pair_carries_frames_both_ways_and_signals_eof() {
+        let (mut a, mut b) = pair();
+        a.send(b"ping").unwrap();
+        assert_eq!(b.recv().unwrap().as_deref(), Some(&b"ping"[..]));
+        b.send(b"pong").unwrap();
+        assert_eq!(a.recv().unwrap().as_deref(), Some(&b"pong"[..]));
+        drop(a);
+        assert_eq!(b.recv().unwrap(), None, "peer drop is clean EOF");
+    }
+}

@@ -51,7 +51,8 @@ pub use pack::{PackRecord, PackRepair, DEFAULT_PARITY_GROUP_WIDTH};
 pub use storage::StoreStorage;
 pub use store::{
     open_in_registry, ChainLink, ChunkStore, CompactStats, DeltaPolicy, FsckReport, GcStats,
-    IngestStats, ObjectLayout, ScrubFailure, ScrubReport, StoreConfig, StoreStats, QUARANTINE_FILE,
+    IngestStats, ObjectLayout, ScrubFailure, ScrubReport, StoreConfig, StoreStats, LOCK_FILE,
+    QUARANTINE_FILE,
 };
 
 /// Reserved segment name for non-payload prefix bytes (e.g. a VELOC
@@ -97,6 +98,17 @@ pub enum StoreError {
         /// One live delta that names it as parent.
         child: u64,
     },
+    /// The store is advisorily locked by another owner (typically a
+    /// `reprocmp-server` daemon holding it exclusively). Shut the
+    /// daemon down — or remove the stale lock file with
+    /// [`ChunkStore::force_unlock`](crate::ChunkStore::force_unlock) if
+    /// its process died — before opening the store here.
+    Locked {
+        /// The store root that is locked.
+        root: std::path::PathBuf,
+        /// The owner tag recorded in the lock file.
+        owner: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -119,6 +131,12 @@ impl std::fmt::Display for StoreError {
                 f,
                 "checkpoint {name}@{version} is pinned: delta {name}@{child} borrows its \
                  chunks (remove or flatten descendants first)"
+            ),
+            StoreError::Locked { root, owner } => write!(
+                f,
+                "store {} is locked by {owner}; stop that process, or remove {} if it is dead",
+                root.display(),
+                root.join(store::LOCK_FILE).display()
             ),
         }
     }

@@ -61,6 +61,11 @@ const QUARANTINE_MAGIC: &[u8; 8] = b"RCMPQUAR";
 /// File name of the quarantine ledger within the store root.
 pub const QUARANTINE_FILE: &str = "quarantine.bin";
 
+/// File name of the advisory lock within the store root. Present iff
+/// some process opened the store exclusively (see
+/// [`ChunkStore::open_exclusive`]); its contents are the owner tag.
+pub const LOCK_FILE: &str = "store.lock";
+
 /// Store-wide tunables. The default is what production callers want;
 /// the torture harness swaps in a crash-injecting [`StoreFs`].
 #[derive(Debug, Clone)]
@@ -70,6 +75,11 @@ pub struct StoreConfig {
     pub parity_group_width: u32,
     /// The filesystem seam every mutation crosses.
     pub fs: Arc<dyn StoreFs>,
+    /// When set, the open acquires the store-root advisory lock under
+    /// this owner tag (and releases it on drop). Any open — exclusive
+    /// or not — fails with [`StoreError::Locked`] while another
+    /// process holds the lock.
+    pub exclusive_owner: Option<String>,
 }
 
 impl Default for StoreConfig {
@@ -77,6 +87,7 @@ impl Default for StoreConfig {
         StoreConfig {
             parity_group_width: DEFAULT_PARITY_GROUP_WIDTH,
             fs: real_fs(),
+            exclusive_owner: None,
         }
     }
 }
@@ -89,6 +100,14 @@ impl StoreConfig {
             fs,
             ..StoreConfig::default()
         }
+    }
+
+    /// Requests exclusive ownership under `owner` (recorded in the
+    /// lock file so contending processes can name the holder).
+    #[must_use]
+    pub fn exclusive(mut self, owner: impl Into<String>) -> Self {
+        self.exclusive_owner = Some(owner.into());
+        self
     }
 }
 
@@ -334,7 +353,18 @@ pub struct ChunkStore {
     fs: Arc<dyn StoreFs>,
     parity_width: u32,
     obs: JournalSlot,
+    /// Advisory lock file this handle owns (removed on drop), if the
+    /// store was opened exclusively.
+    lock: Option<PathBuf>,
     inner: Mutex<Inner>,
+}
+
+impl Drop for ChunkStore {
+    fn drop(&mut self) {
+        if let Some(path) = &self.lock {
+            let _ = std::fs::remove_file(path);
+        }
+    }
 }
 
 impl ChunkStore {
@@ -356,6 +386,48 @@ impl ChunkStore {
     /// As [`ChunkStore::open`].
     pub fn open_with(root: &Path, config: StoreConfig) -> StoreResult<Self> {
         Self::open_observed_with(root, StoreMetrics::detached(), config)
+    }
+
+    /// As [`ChunkStore::open`], but acquires the store-root advisory
+    /// lock under `owner` first — how a daemon claims sole ownership.
+    /// The lock is released when the returned store is dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Locked`] when another process already holds the
+    /// lock; otherwise as [`ChunkStore::open`].
+    pub fn open_exclusive(root: &Path, owner: impl Into<String>) -> StoreResult<Self> {
+        Self::open_with(root, StoreConfig::default().exclusive(owner))
+    }
+
+    /// Reports who holds the advisory lock at `root`, if anyone.
+    #[must_use]
+    pub fn lock_owner(root: &Path) -> Option<String> {
+        let raw = std::fs::read_to_string(root.join(LOCK_FILE)).ok()?;
+        let owner = raw.trim();
+        Some(if owner.is_empty() {
+            "unknown".to_string()
+        } else {
+            owner.to_string()
+        })
+    }
+
+    /// Removes a stale advisory lock left behind by a dead daemon,
+    /// returning the owner tag it recorded (if any). Only call this
+    /// after confirming the owning process is gone: breaking a live
+    /// daemon's lock invites two writers into one store.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures removing the lock file (absence is not an
+    /// error).
+    pub fn force_unlock(root: &Path) -> StoreResult<Option<String>> {
+        let owner = Self::lock_owner(root);
+        match std::fs::remove_file(root.join(LOCK_FILE)) {
+            Ok(()) => Ok(owner),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(StoreError::Io(e)),
+        }
     }
 
     /// As [`ChunkStore::open`], but store traffic is recorded into
@@ -398,6 +470,38 @@ impl ChunkStore {
         let manifests_dir = root.join("manifests");
         std::fs::create_dir_all(&packs_dir)?;
         std::fs::create_dir_all(&manifests_dir)?;
+
+        // The advisory lock gates everything below it — a locked store
+        // belongs to its daemon and must not even have its staging
+        // files swept out from under it.
+        let lock_path = root.join(LOCK_FILE);
+        let lock = match &config.exclusive_owner {
+            Some(owner) => {
+                match std::fs::OpenOptions::new()
+                    .write(true)
+                    .create_new(true)
+                    .open(&lock_path)
+                {
+                    Ok(mut file) => {
+                        use std::io::Write as _;
+                        file.write_all(owner.as_bytes())?;
+                        file.sync_all()?;
+                        Some(lock_path.clone())
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                        return Err(locked_error(root, &lock_path));
+                    }
+                    Err(e) => return Err(StoreError::Io(e)),
+                }
+            }
+            None => {
+                if lock_path.exists() {
+                    return Err(locked_error(root, &lock_path));
+                }
+                None
+            }
+        };
+
         for dir in [root, packs_dir.as_path(), manifests_dir.as_path()] {
             for entry in std::fs::read_dir(dir)? {
                 let entry = entry?;
@@ -525,6 +629,7 @@ impl ChunkStore {
             fs: config.fs,
             parity_width: config.parity_group_width,
             obs: JournalSlot::new(),
+            lock,
             inner: Mutex::new(Inner {
                 index,
                 manifests,
@@ -1768,6 +1873,21 @@ fn chain_versions(
     Ok(versions)
 }
 
+/// Builds the [`StoreError::Locked`] for a contended open, naming the
+/// holder recorded in the lock file (best effort — a lock racing away
+/// between the existence check and the read still reports "unknown").
+fn locked_error(root: &Path, lock_path: &Path) -> StoreError {
+    let owner = std::fs::read_to_string(lock_path)
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    StoreError::Locked {
+        root: root.to_path_buf(),
+        owner,
+    }
+}
+
 /// Parses the quarantine ledger; a missing or malformed file is an
 /// empty set (quarantine is a cache of known-bad packs — losing it
 /// degrades to "fsck will rediscover the corruption", never to data
@@ -1895,6 +2015,55 @@ mod tests {
                 state as u8
             })
             .collect()
+    }
+
+    #[test]
+    fn exclusive_lock_excludes_every_other_open_until_dropped() {
+        let root = temp_root("lock");
+        let exclusive = ChunkStore::open_exclusive(&root, "daemon pid=1234").unwrap();
+        assert_eq!(
+            ChunkStore::lock_owner(&root).as_deref(),
+            Some("daemon pid=1234")
+        );
+
+        // Plain and exclusive contenders both get the typed error
+        // naming the holder.
+        for contender in [
+            ChunkStore::open(&root),
+            ChunkStore::open_exclusive(&root, "other"),
+        ] {
+            match contender {
+                Err(StoreError::Locked { root: r, owner }) => {
+                    assert_eq!(r, root);
+                    assert_eq!(owner, "daemon pid=1234");
+                }
+                other => panic!("expected Locked, got {other:?}"),
+            }
+        }
+
+        // Dropping the owner releases the lock; the store reopens.
+        drop(exclusive);
+        assert_eq!(ChunkStore::lock_owner(&root), None);
+        ChunkStore::open(&root).unwrap();
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn force_unlock_clears_a_stale_lock() {
+        let root = temp_root("stale-lock");
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(root.join(crate::LOCK_FILE), "dead-daemon\n").unwrap();
+        assert!(matches!(
+            ChunkStore::open(&root),
+            Err(StoreError::Locked { .. })
+        ));
+        assert_eq!(
+            ChunkStore::force_unlock(&root).unwrap().as_deref(),
+            Some("dead-daemon")
+        );
+        assert_eq!(ChunkStore::force_unlock(&root).unwrap(), None);
+        ChunkStore::open(&root).unwrap();
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

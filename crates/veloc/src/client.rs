@@ -55,6 +55,14 @@ pub struct VelocConfig {
     /// [`Client::restart_latest`] then treat store-resident versions as
     /// durable even if the flat PFS copy is gone.
     pub store: Option<Arc<ChunkStore>>,
+    /// Root of a capture store to attach *lazily* — opened on first
+    /// use by [`Client::recover`] / [`Client::versions`] /
+    /// [`Client::restart_latest`] rather than at construction, so a
+    /// store currently owned by a `reprocmp-server` daemon surfaces as
+    /// a typed [`VelocError::StoreLocked`] from those calls instead of
+    /// failing client construction (or panicking). Ignored when
+    /// [`VelocConfig::store`] is already set.
+    pub store_root: Option<PathBuf>,
     /// Chunk size for store ingestion (ignored without a store).
     pub store_chunk_bytes: usize,
     /// Full vs. differential store capture (ignored without a store).
@@ -80,6 +88,7 @@ impl VelocConfig {
             flush_threads: 2,
             flush_retry: RetryPolicy::with_attempts(3),
             store: None,
+            store_root: None,
             store_chunk_bytes: 4096,
             capture_mode: CaptureMode::default(),
             delta_policy: DeltaPolicy::default(),
@@ -91,6 +100,14 @@ impl VelocConfig {
     #[must_use]
     pub fn with_store(mut self, store: Arc<ChunkStore>) -> Self {
         self.store = Some(store);
+        self
+    }
+
+    /// This config reading the capture store at `root`, opened lazily
+    /// on first use (see [`VelocConfig::store_root`]).
+    #[must_use]
+    pub fn with_store_at(mut self, root: &Path) -> Self {
+        self.store_root = Some(root.to_path_buf());
         self
     }
 
@@ -135,6 +152,16 @@ pub enum VelocError {
         /// Checkpoint version.
         version: u64,
     },
+    /// The capture store is advisorily locked by another process —
+    /// typically a `reprocmp-server` daemon holding it exclusively.
+    /// Recovery and restart must wait for the daemon to release it (or
+    /// go through the daemon's own API).
+    StoreLocked {
+        /// The locked store root.
+        root: PathBuf,
+        /// The owner tag recorded in the lock file.
+        owner: String,
+    },
 }
 
 impl std::fmt::Display for VelocError {
@@ -148,6 +175,12 @@ impl std::fmt::Display for VelocError {
             VelocError::FlushFailed { name, version } => {
                 write!(f, "background flush of {name} v{version} failed")
             }
+            VelocError::StoreLocked { root, owner } => write!(
+                f,
+                "capture store {} is locked by {owner}; stop that process (or force-unlock a \
+                 stale lock) before recovering here",
+                root.display()
+            ),
         }
     }
 }
@@ -266,6 +299,8 @@ pub struct Client {
     flush_tx: Option<Sender<(Key, PathBuf, PathBuf)>>,
     flushers: Vec<JoinHandle<()>>,
     metrics: FlushMetrics,
+    /// Cache for the lazily opened [`VelocConfig::store_root`] store.
+    lazy_store: Mutex<Option<Arc<ChunkStore>>>,
 }
 
 impl Client {
@@ -327,7 +362,40 @@ impl Client {
             flush_tx: Some(tx),
             flushers,
             metrics,
+            lazy_store: Mutex::new(None),
         })
+    }
+
+    /// The capture store this client reads durable versions from:
+    /// [`VelocConfig::store`] when set, else the store at
+    /// [`VelocConfig::store_root`] opened (and cached) on first use,
+    /// else `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`VelocError::StoreLocked`] when the store at `store_root` is
+    /// advisorily locked by another process (e.g. a daemon); other
+    /// open failures as [`VelocError::Io`].
+    fn attached_store(&self) -> Result<Option<Arc<ChunkStore>>, VelocError> {
+        if let Some(store) = &self.config.store {
+            return Ok(Some(Arc::clone(store)));
+        }
+        let Some(root) = &self.config.store_root else {
+            return Ok(None);
+        };
+        let mut cached = self.lazy_store.lock();
+        if let Some(store) = &*cached {
+            return Ok(Some(Arc::clone(store)));
+        }
+        match ChunkStore::open(root) {
+            Ok(store) => {
+                let store = Arc::new(store);
+                *cached = Some(Arc::clone(&store));
+                Ok(Some(store))
+            }
+            Err(StoreError::Locked { root, owner }) => Err(VelocError::StoreLocked { root, owner }),
+            Err(e) => Err(VelocError::Io(store_io_error(e))),
+        }
     }
 
     /// The client's live metric handles.
@@ -440,8 +508,11 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Directory listing or file removal failures.
+    /// Directory listing or file removal failures;
+    /// [`VelocError::StoreLocked`] when the configured store root is
+    /// held by a daemon (recovery must not race its ingests).
     pub fn recover(&self) -> Result<Vec<(String, u64)>, VelocError> {
+        let attached = self.attached_store()?;
         // 1. Sweep torn temporaries off the persistent tier.
         for entry in std::fs::read_dir(&self.config.persistent_dir)? {
             let entry = entry?;
@@ -459,9 +530,7 @@ impl Client {
             };
             let key = (name.clone(), version);
             let remote = self.persistent_path(&name, version);
-            let store_durable = self
-                .config
-                .store
+            let store_durable = attached
                 .as_deref()
                 .is_some_and(|s| s.contains(&name, version));
             if remote.exists() || store_durable {
@@ -489,7 +558,7 @@ impl Client {
                         );
                         if ok {
                             capture_into_store(
-                                self.config.store.as_deref(),
+                                attached.as_deref(),
                                 &key,
                                 &remote,
                                 self.config.store_chunk_bytes,
@@ -604,7 +673,8 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Directory listing failures.
+    /// Directory listing failures; [`VelocError::StoreLocked`] when
+    /// the configured store root is held by a daemon.
     pub fn versions(&self, name: &str) -> Result<Vec<u64>, VelocError> {
         let prefix = format!("{name}.v");
         let mut versions = Vec::new();
@@ -620,7 +690,7 @@ impl Client {
                 }
             }
         }
-        if let Some(store) = self.config.store.as_deref() {
+        if let Some(store) = self.attached_store()? {
             versions.extend(store.versions(name));
         }
         versions.sort_unstable();
@@ -636,7 +706,10 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// I/O or decode failures.
+    /// I/O or decode failures; [`VelocError::StoreLocked`] when the
+    /// configured store root is held by a daemon;
+    /// [`VelocError::UnknownCheckpoint`] if the version vanished from
+    /// every tier between listing and reading (no tier holds it now).
     pub fn restart_latest(&self, name: &str) -> Result<Option<RestoredCheckpoint>, VelocError> {
         let Some(&version) = self.versions(name)?.last() else {
             return Ok(None);
@@ -645,14 +718,21 @@ impl Client {
         let bytes = if flat.exists() {
             std::fs::read(flat)?
         } else {
+            // The flat copy is gone, so the listing came from a store
+            // tier — but never trust that race-free: surface a typed
+            // error instead of panicking if no tier holds it anymore.
             let store = self
-                .config
-                .store
-                .as_deref()
-                .expect("version listed only when a tier holds it");
-            store
-                .materialize(name, version)
-                .map_err(|e| VelocError::Io(store_io_error(e)))?
+                .attached_store()?
+                .ok_or_else(|| VelocError::UnknownCheckpoint {
+                    name: name.to_owned(),
+                    version,
+                })?;
+            store.materialize(name, version).map_err(|e| match e {
+                StoreError::NotFound { name, version } => {
+                    VelocError::UnknownCheckpoint { name, version }
+                }
+                other => VelocError::Io(store_io_error(other)),
+            })?
         };
         let file = decode_checkpoint(&bytes)?;
         let mut regions = HashMap::new();
@@ -853,6 +933,45 @@ mod tests {
         let err = client.wait("ghost", 3).unwrap_err();
         assert!(matches!(err, VelocError::UnknownCheckpoint { .. }));
         assert!(err.to_string().contains("ghost"));
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn daemon_locked_store_surfaces_typed_error_not_panic() {
+        let base =
+            std::env::temp_dir().join(format!("reprocmp-veloc-locked-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let store_root = base.join("store");
+
+        // Seed the store with one version, then let a "daemon" claim it.
+        {
+            let store = ChunkStore::open(&store_root).unwrap();
+            store
+                .ingest("sim.rank0", 7, &[("x", &[1u8, 2, 3, 4])], 4, &[])
+                .unwrap();
+        }
+        let daemon = ChunkStore::open_exclusive(&store_root, "reprocmp-server").unwrap();
+
+        let client = Client::new(VelocConfig::rooted_at(&base).with_store_at(&store_root)).unwrap();
+        for result in [
+            client.recover().map(|_| ()),
+            client.versions("sim.rank0").map(|_| ()),
+            client.restart_latest("sim.rank0").map(|_| ()),
+        ] {
+            match result {
+                Err(VelocError::StoreLocked { root, owner }) => {
+                    assert_eq!(root, store_root);
+                    assert_eq!(owner, "reprocmp-server");
+                }
+                other => panic!("expected StoreLocked, got {other:?}"),
+            }
+        }
+
+        // The daemon releasing the lock unblocks the same client: the
+        // lazy attach retries on the next call.
+        drop(daemon);
+        assert_eq!(client.versions("sim.rank0").unwrap(), vec![7]);
+        client.recover().unwrap();
         std::fs::remove_dir_all(&base).ok();
     }
 

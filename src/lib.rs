@@ -20,6 +20,7 @@
 //! | [`hacc`] | `reprocmp-hacc` | mini-HACC P³M simulator (the workload) |
 //! | [`cluster`] | `reprocmp-cluster` | multi-rank execution harness |
 //! | [`obs`] | `reprocmp-obs` | tracing spans, metrics registry, stage breakdowns |
+//! | [`server`] | `reprocmp-server` | comparison-as-a-service daemon + wire protocol + client |
 //!
 //! ## Quickstart
 //!
@@ -57,5 +58,6 @@ pub use reprocmp_hash as hash;
 pub use reprocmp_io as io;
 pub use reprocmp_merkle as merkle;
 pub use reprocmp_obs as obs;
+pub use reprocmp_server as server;
 pub use reprocmp_store as store;
 pub use reprocmp_veloc as veloc;

@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test lint fmt goldens gate bench-figures trace-demo perf-diff
+.PHONY: verify build test lint fmt goldens gate bench-figures trace-demo analyze-demo perf-diff
 
 verify: build test lint fmt gate
 
@@ -24,10 +24,13 @@ fmt:
 gate:
 	$(CARGO) run --release --example ci_regression_gate
 
-# Regenerate the golden CompareReport JSONs after an intentional
-# engine change (review the diff before committing).
+# Regenerate the golden CompareReport JSONs, the analyze divergence
+# document, and the TUI frame snapshots after an intentional change
+# (review the diff before committing).
 goldens:
 	UPDATE_GOLDEN=1 $(CARGO) test --test golden_reports
+	UPDATE_GOLDEN=1 $(CARGO) test --test analyze_json
+	UPDATE_GOLDEN=1 $(CARGO) test -p reprocmp-analyze --test snapshots
 
 # Flight-recorder demo: two divergent mini-HACC runs, then a journaled
 # comparison exporting a Chrome-trace timeline. Open trace.json in
@@ -55,9 +58,27 @@ perf-diff:
 	$(CARGO) run --release -p reprocmp-cli --bin reprocmp -- perf-diff \
 		tests/goldens/server_compare_profile.json \
 		bench_results/server_compare_profile.json --budget 10%
+	$(CARGO) run --release -p reprocmp-bench --bin fig_divergence -- --profile-only
+	$(CARGO) run --release -p reprocmp-cli --bin reprocmp -- perf-diff \
+		tests/goldens/divergence_profile.json \
+		bench_results/divergence_profile.json --budget 10%
+
+# Divergence-forensics demo: two divergent mini-HACC runs, then the
+# analyze verb — O(log M) bisection, front tracking, and a scripted
+# replay of the terminal explorer.
+ANALYZE_DEMO_DIR ?= /tmp/reprocmp-analyze-demo
+analyze-demo:
+	$(CARGO) build --release -p reprocmp-cli
+	rm -rf $(ANALYZE_DEMO_DIR)
+	target/release/reprocmp simulate --out-dir $(ANALYZE_DEMO_DIR)/run1 --order-seed 1
+	target/release/reprocmp simulate --out-dir $(ANALYZE_DEMO_DIR)/run2 --order-seed 2
+	target/release/reprocmp analyze \
+		--run1-dir $(ANALYZE_DEMO_DIR)/run1/pfs \
+		--run2-dir $(ANALYZE_DEMO_DIR)/run2/pfs \
+		--error-bound 1e-9 --keys "l l t q" || test $$? -eq 1
 
 # Re-run every figure/table harness; results land in bench_results/.
 bench-figures:
-	for bin in fig5 fig6 fig7 fig8 fig9 fig10 fig_multirun fig_dedup fig_delta fig_server table1 table2 ablate; do \
+	for bin in fig5 fig6 fig7 fig8 fig9 fig10 fig_multirun fig_dedup fig_delta fig_server fig_divergence table1 table2 ablate; do \
 		$(CARGO) run --release -p reprocmp-bench --bin $$bin || exit 1; \
 	done

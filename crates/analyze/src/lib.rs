@@ -1,0 +1,36 @@
+//! Divergence forensics over checkpoint histories.
+//!
+//! The capture/compare pipeline answers *whether* two runs diverged;
+//! this crate answers *when, where, and what* — affordably:
+//!
+//! - [`bisect::bisect_first_divergence`] finds the first divergent
+//!   iteration in O(log M) stage-1 (metadata-only) probes plus one
+//!   stage-2 confirmation, instead of a linear scan over the history.
+//! - [`front::track_front`] follows the divergence footprint across
+//!   iterations — contained, spreading, or saturated — again from
+//!   metadata alone.
+//! - [`attribution::TypedRegionMap`] attributes boundary differences
+//!   to named variables, including mixed f32/f64 payload layouts.
+//! - [`report::analyze`] bundles all of it into a deterministic,
+//!   serializable [`report::DivergenceReport`].
+//! - [`tui::Explorer`] is the interactive terminal explorer: a pure
+//!   `state → frame` renderer over pre-probed diffs, driven by key
+//!   scripts and snapshot-tested byte-for-byte.
+//!
+//! The affordability lever throughout is the conservative hash
+//! guarantee: a clean stage-1 verdict is final, so clean prefixes —
+//! most of any history worth bisecting — cost zero payload I/O.
+
+pub mod attribution;
+pub mod bisect;
+pub mod front;
+pub mod probe;
+pub mod report;
+pub mod tui;
+
+pub use attribution::{RegionAttribution, RegionDType, TypedRegionMap, TypedRegionSpan};
+pub use bisect::{bisect_first_divergence, BisectionResult};
+pub use front::{track_front, FrontSnapshot, FrontTrack, SpreadClass, SATURATION_FRACTION};
+pub use probe::{load_tree, probe_pair, ProbeStats, TreeDiff};
+pub use report::{analyze, AnalyzeOptions, DivergenceReport, SCHEMA_VERSION};
+pub use tui::Explorer;

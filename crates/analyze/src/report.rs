@@ -1,0 +1,310 @@
+//! The `DivergenceReport`: one serializable answer to "when, where,
+//! and what diverged" — and the [`analyze`] driver that produces it.
+//!
+//! Reports are **deterministic**: they carry counts, bytes, indices,
+//! and values — never wall-clock durations — so the same history pair
+//! always yields byte-identical JSON, which is what makes the golden
+//! fixtures under `tests/goldens/` possible.
+
+use reprocmp_core::{CheckpointHistory, CompareEngine, CompareReport, CoreResult};
+use reprocmp_io::Timeline;
+use reprocmp_obs::Observer;
+use serde::Serialize;
+
+use crate::attribution::{RegionAttribution, TypedRegionMap};
+use crate::bisect::{bisect_first_divergence, BisectionResult};
+use crate::front::{track_front, FrontTrack};
+
+/// Current `DivergenceReport` schema version. Bump only for breaking
+/// (non-additive) changes; additive fields keep the version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// What the bisection cost and found — the deterministic subset of
+/// [`BisectionResult`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct BisectionSummary {
+    /// First truly divergent iteration, when any.
+    pub first_iteration: Option<u64>,
+    /// Rank at that iteration, when any.
+    pub first_rank: Option<u64>,
+    /// Stage-1 tree-pair probes performed.
+    pub stage1_probes: u64,
+    /// Stage-2 full comparisons performed.
+    pub stage2_confirmations: u64,
+    /// Total pairwise comparisons (`probes + confirmations`).
+    pub comparisons: u64,
+    /// Encoded-metadata bytes the probes fetched.
+    pub metadata_bytes_read: u64,
+    /// Payload bytes the confirmations streamed.
+    pub payload_bytes_read: u64,
+}
+
+impl BisectionSummary {
+    fn of(r: &BisectionResult) -> Self {
+        BisectionSummary {
+            first_iteration: r.first_divergence.map(|(it, _)| it),
+            first_rank: r.first_divergence.map(|(_, rank)| rank as u64),
+            stage1_probes: r.probes.tree_compares,
+            stage2_confirmations: r.confirmations,
+            comparisons: r.comparisons(),
+            metadata_bytes_read: r.probes.metadata_bytes_read,
+            payload_bytes_read: r.payload_bytes_read,
+        }
+    }
+}
+
+/// One recorded value difference at the boundary.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BoundaryDifference {
+    /// Flat `f32` index within the payload.
+    pub index: u64,
+    /// The value in run 1.
+    pub a: f32,
+    /// The value in run 2.
+    pub b: f32,
+}
+
+/// Stage-2 detail at the confirmed divergence boundary.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BoundarySummary {
+    /// Values per checkpoint.
+    pub total_values: u64,
+    /// Chunks whose hashes differed.
+    pub chunks_flagged: u64,
+    /// Flagged chunks holding no real difference.
+    pub false_positive_chunks: u64,
+    /// Values whose difference exceeded the bound.
+    pub diff_count: u64,
+    /// Recorded differences (capped by the engine; the count above is
+    /// exact regardless).
+    pub differences: Vec<BoundaryDifference>,
+    /// True when the list above was truncated.
+    pub differences_truncated: bool,
+}
+
+impl BoundarySummary {
+    fn of(report: &CompareReport) -> Self {
+        BoundarySummary {
+            total_values: report.stats.total_values,
+            chunks_flagged: report.stats.chunks_flagged,
+            false_positive_chunks: report.stats.false_positive_chunks,
+            diff_count: report.stats.diff_count,
+            differences: report
+                .differences
+                .iter()
+                .map(|d| BoundaryDifference {
+                    index: d.index,
+                    a: d.a,
+                    b: d.b,
+                })
+                .collect(),
+            differences_truncated: report.differences_truncated,
+        }
+    }
+}
+
+/// The full forensics verdict over one history pair.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DivergenceReport {
+    /// Schema version of this document.
+    pub schema_version: u64,
+    /// True when any iteration truly diverged.
+    pub divergent: bool,
+    /// Distinct iterations in the histories.
+    pub iterations: u64,
+    /// Distinct ranks in the histories.
+    pub ranks: u64,
+    /// Bisection verdict and cost.
+    pub bisection: BisectionSummary,
+    /// Divergence-front trajectory.
+    pub front: FrontTrack,
+    /// Per-region attribution at the boundary (empty without a region
+    /// map or when the histories are clean).
+    pub regions: Vec<RegionAttribution>,
+    /// Stage-2 detail at the boundary, when any.
+    pub boundary: Option<BoundarySummary>,
+}
+
+impl DivergenceReport {
+    /// Lowers the report to pretty JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("stand-in serializer is total")
+    }
+}
+
+/// Knobs for [`analyze`].
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeOptions {
+    /// Typed layout for per-region attribution at the boundary. When
+    /// `None` the report's `regions` section is empty.
+    pub regions: Option<TypedRegionMap>,
+}
+
+/// Reads one source's raw payload bytes.
+fn read_payload(s: &reprocmp_core::CheckpointSource) -> CoreResult<Vec<u8>> {
+    let mut buf = vec![0u8; s.payload_len as usize];
+    s.data.read_at(s.payload_offset, &mut buf)?;
+    Ok(buf)
+}
+
+/// Runs the full forensics pipeline — bisection, front tracking, and
+/// (when a boundary exists and a region map is supplied) per-region
+/// attribution — over one history pair.
+///
+/// # Errors
+///
+/// Mismatched key sets, storage/codec failures, or a bad region map.
+pub fn analyze(
+    engine: &CompareEngine,
+    a: &CheckpointHistory,
+    b: &CheckpointHistory,
+    timeline: &Timeline,
+    obs: &Observer,
+    options: &AnalyzeOptions,
+) -> CoreResult<DivergenceReport> {
+    let bisection = bisect_first_divergence(engine, a, b, timeline, obs)?;
+    let front = track_front(engine, a, b, obs)?;
+
+    let mut regions = Vec::new();
+    if let (Some(map), Some((iteration, rank))) = (&options.regions, bisection.first_divergence) {
+        let sa = a.get(rank, iteration).expect("boundary key exists");
+        let sb = b.get(rank, iteration).expect("boundary key exists");
+        let pa = read_payload(sa)?;
+        let pb = read_payload(sb)?;
+        regions = map.attribute(&pa, &pb, engine.config().error_bound)?;
+    }
+
+    let mut iterations = a.keys().iter().map(|&(_, it)| it).collect::<Vec<_>>();
+    iterations.sort_unstable();
+    iterations.dedup();
+    let mut ranks = a.keys().iter().map(|&(r, _)| r).collect::<Vec<_>>();
+    ranks.sort_unstable();
+    ranks.dedup();
+
+    Ok(DivergenceReport {
+        schema_version: SCHEMA_VERSION,
+        divergent: bisection.first_divergence.is_some(),
+        iterations: iterations.len() as u64,
+        ranks: ranks.len() as u64,
+        bisection: BisectionSummary::of(&bisection),
+        front,
+        regions,
+        boundary: bisection.boundary_report.as_ref().map(BoundarySummary::of),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribution::RegionDType;
+    use crate::front::SpreadClass;
+    use reprocmp_core::{CheckpointSource, EngineConfig};
+
+    fn engine() -> CompareEngine {
+        CompareEngine::new(EngineConfig {
+            chunk_bytes: 64,
+            error_bound: 1e-5,
+            ..EngineConfig::default()
+        })
+    }
+
+    fn pair(
+        e: &CompareEngine,
+        iters: u64,
+        diverge_at: Option<u64>,
+    ) -> (CheckpointHistory, CheckpointHistory) {
+        let mut a = CheckpointHistory::new();
+        let mut b = CheckpointHistory::new();
+        for it in 0..iters {
+            let base: Vec<f32> = (0..128).map(|k| k as f32 * 0.01 + it as f32).collect();
+            let mut other = base.clone();
+            if diverge_at.is_some_and(|d| it >= d) {
+                other[5] += 0.25;
+            }
+            a.insert(0, it, CheckpointSource::in_memory(&base, e).unwrap());
+            b.insert(0, it, CheckpointSource::in_memory(&other, e).unwrap());
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn divergent_pair_produces_a_full_report() {
+        let e = engine();
+        let (a, b) = pair(&e, 8, Some(3));
+        let options = AnalyzeOptions {
+            regions: Some(TypedRegionMap::from_regions([
+                ("x", RegionDType::F32, 64),
+                ("y", RegionDType::F32, 64),
+            ])),
+        };
+        let report = analyze(
+            &e,
+            &a,
+            &b,
+            &Timeline::wall(),
+            &Observer::disabled(),
+            &options,
+        )
+        .unwrap();
+        assert!(report.divergent);
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        assert_eq!(report.iterations, 8);
+        assert_eq!(report.ranks, 1);
+        assert_eq!(report.bisection.first_iteration, Some(3));
+        assert_eq!(report.bisection.first_rank, Some(0));
+        assert_eq!(report.front.classification, SpreadClass::Contained);
+        // Value 5 lives in region "x".
+        assert_eq!(report.regions.len(), 2);
+        assert_eq!(report.regions[0].diff_count, 1);
+        assert_eq!(report.regions[0].first_diff_index, Some(5));
+        assert_eq!(report.regions[1].diff_count, 0);
+        let boundary = report.boundary.as_ref().unwrap();
+        assert_eq!(boundary.diff_count, 1);
+        assert_eq!(boundary.differences[0].index, 5);
+    }
+
+    #[test]
+    fn clean_pair_reports_clean_with_empty_sections() {
+        let e = engine();
+        let (a, b) = pair(&e, 5, None);
+        let report = analyze(
+            &e,
+            &a,
+            &b,
+            &Timeline::wall(),
+            &Observer::disabled(),
+            &AnalyzeOptions::default(),
+        )
+        .unwrap();
+        assert!(!report.divergent);
+        assert_eq!(report.bisection.first_iteration, None);
+        assert_eq!(report.bisection.payload_bytes_read, 0);
+        assert!(report.regions.is_empty());
+        assert!(report.boundary.is_none());
+        assert_eq!(report.front.classification, SpreadClass::Clean);
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_duration_free() {
+        let e = engine();
+        let (a, b) = pair(&e, 4, Some(1));
+        let run = || {
+            analyze(
+                &e,
+                &a,
+                &b,
+                &Timeline::wall(),
+                &Observer::disabled(),
+                &AnalyzeOptions::default(),
+            )
+            .unwrap()
+            .to_json()
+        };
+        let (j1, j2) = (run(), run());
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"schema_version\": 1"));
+        assert!(!j1.to_lowercase().contains("duration"));
+        assert!(!j1.contains("secs"));
+    }
+}

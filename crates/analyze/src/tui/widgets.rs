@@ -1,0 +1,164 @@
+//! Widgets: the Merkle tree view and the chunks×iterations heatmap.
+//!
+//! Both draw into a [`Frame`] region and nothing else — no state, no
+//! terminal — so each widget's output is testable in isolation.
+
+use crate::probe::TreeDiff;
+use crate::tui::frame::Frame;
+
+/// Intensity ramp used by both widgets: blank → light → medium → full.
+pub const RAMP: [char; 4] = [' ', '·', '▒', '█'];
+
+/// Maps a fraction in `[0, 1]` onto the ramp. Zero is always blank
+/// and anything non-zero is always visible.
+#[must_use]
+pub fn ramp_char(fraction: f64) -> char {
+    if fraction <= 0.0 {
+        RAMP[0]
+    } else if fraction < 0.5 {
+        RAMP[1]
+    } else if fraction < 1.0 {
+        RAMP[2]
+    } else {
+        RAMP[3]
+    }
+}
+
+/// Renders one tree pair's per-level mismatch summary: a line per
+/// level (root first) with counts and a 16-cell intensity bar, then a
+/// per-chunk strip of the leaf mask.
+pub fn tree_view(f: &mut Frame, x: usize, y: usize, diff: &TreeDiff) {
+    const BAR: usize = 16;
+    for (l, &(width, mismatched)) in diff.levels.iter().enumerate() {
+        let row = y + l;
+        let fraction = if width == 0 {
+            0.0
+        } else {
+            mismatched as f64 / width as f64
+        };
+        let cx = f.put_str(x, row, &format!("L{l:<2} {mismatched:>5}/{width:<5} "));
+        let filled = (fraction * BAR as f64).ceil() as usize;
+        for i in 0..BAR {
+            f.put(cx + i, row, if i < filled { RAMP[3] } else { RAMP[1] });
+        }
+    }
+    let strip_y = y + diff.levels.len() + 1;
+    f.put_str(x, strip_y, "chunks ");
+    for (i, &bad) in diff.leaf_mask.iter().enumerate() {
+        f.put(x + 7 + i, strip_y, if bad { RAMP[3] } else { RAMP[1] });
+    }
+}
+
+/// One heatmap column: an iteration's per-chunk flagged mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeatColumn {
+    /// Iteration number.
+    pub iteration: u64,
+    /// Per-chunk stage-1 flags, chunk-ascending (multi-rank histories
+    /// concatenate ranks in rank order).
+    pub mask: Vec<bool>,
+}
+
+/// Renders the chunks×iterations heatmap into a `w × h` region at
+/// `(x, y)`: iterations run left→right, chunks top→bottom. When the
+/// history has more chunks than rows, chunks are bucketed and each
+/// cell shows the bucket's flagged fraction on the ramp; `cursor`
+/// marks one column with `▼` in the header row.
+pub fn heatmap(
+    f: &mut Frame,
+    x: usize,
+    y: usize,
+    w: usize,
+    h: usize,
+    columns: &[HeatColumn],
+    cursor: usize,
+) {
+    if columns.is_empty() || h < 2 {
+        return;
+    }
+    let chunks = columns.iter().map(|c| c.mask.len()).max().unwrap_or(0);
+    let rows = (h - 1).min(chunks.max(1));
+    let cols = w.min(columns.len());
+    for (cx, col) in columns.iter().take(cols).enumerate() {
+        f.put(x + cx, y, if cx == cursor { '▼' } else { ' ' });
+        for row in 0..rows {
+            let lo = row * chunks / rows;
+            let hi = ((row + 1) * chunks / rows).max(lo + 1).min(chunks);
+            let bucket = &col.mask[lo.min(col.mask.len())..hi.min(col.mask.len())];
+            let fraction = if bucket.is_empty() {
+                0.0
+            } else {
+                bucket.iter().filter(|&&b| b).count() as f64 / bucket.len() as f64
+            };
+            f.put(x + cx, y + 1 + row, ramp_char(fraction));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_is_monotone_and_zero_is_blank() {
+        assert_eq!(ramp_char(0.0), ' ');
+        assert_eq!(ramp_char(0.01), '·');
+        assert_eq!(ramp_char(0.5), '▒');
+        assert_eq!(ramp_char(1.0), '█');
+    }
+
+    #[test]
+    fn tree_view_marks_the_divergent_leaf() {
+        let diff = TreeDiff {
+            chunk_bytes: 64,
+            levels: vec![(1, 1), (2, 1), (4, 1)],
+            leaf_mask: vec![false, true, false],
+        };
+        let mut f = Frame::new(40, 8);
+        tree_view(&mut f, 0, 0, &diff);
+        let text = f.render();
+        assert!(text.contains("L0      1/1"));
+        assert!(text.contains("L2      1/4"));
+        assert!(text.contains("chunks ·█·"));
+    }
+
+    #[test]
+    fn heatmap_columns_track_iterations_and_mark_the_cursor() {
+        let columns = vec![
+            HeatColumn {
+                iteration: 0,
+                mask: vec![false, false],
+            },
+            HeatColumn {
+                iteration: 1,
+                mask: vec![true, false],
+            },
+            HeatColumn {
+                iteration: 2,
+                mask: vec![true, true],
+            },
+        ];
+        let mut f = Frame::new(10, 4);
+        heatmap(&mut f, 0, 0, 10, 3, &columns, 1);
+        let text = f.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], " ▼");
+        assert_eq!(lines[1], " ██"); // chunk 0 across iterations 0..3
+        assert_eq!(lines[2], "  █"); // chunk 1 flags only at iteration 2
+    }
+
+    #[test]
+    fn bucketed_rows_show_fractions() {
+        // 4 chunks into 2 rows: half-flagged buckets render mid-ramp.
+        let columns = vec![HeatColumn {
+            iteration: 0,
+            mask: vec![true, false, true, true],
+        }];
+        let mut f = Frame::new(4, 3);
+        heatmap(&mut f, 0, 0, 4, 3, &columns, 0);
+        let text = f.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[1], "▒"); // chunks 0-1: one of two flagged
+        assert_eq!(lines[2], "█"); // chunks 2-3: both flagged
+    }
+}

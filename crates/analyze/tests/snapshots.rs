@@ -1,0 +1,136 @@
+//! TUI snapshot tests: explorer frames asserted byte-for-byte.
+//!
+//! Each scenario builds a deterministic history pair, replays a key
+//! script through the explorer, and compares every rendered frame
+//! against a committed golden under `tests/snapshots/`. Because the
+//! frame buffer is a pure function of explorer state, any drift in
+//! widgets, layout, or probe behaviour shows up as a byte diff.
+//!
+//! To regenerate after an *intentional* change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p reprocmp-analyze --test snapshots
+//! git diff crates/analyze/tests/snapshots/   # review before committing
+//! ```
+
+use std::path::PathBuf;
+
+use reprocmp_analyze::tui::Explorer;
+use reprocmp_core::{CheckpointHistory, CheckpointSource, CompareEngine, EngineConfig};
+
+fn engine() -> CompareEngine {
+    CompareEngine::new(EngineConfig {
+        chunk_bytes: 64,
+        error_bound: 1e-5,
+        ..EngineConfig::default()
+    })
+}
+
+/// A persistence-model pair: 8 iterations × 256 values, divergence
+/// seeded at iteration 3 and spreading by two chunks per iteration.
+fn spreading_pair(e: &CompareEngine) -> (CheckpointHistory, CheckpointHistory) {
+    let mut a = CheckpointHistory::new();
+    let mut b = CheckpointHistory::new();
+    for it in 0..8u64 {
+        let base: Vec<f32> = (0..256).map(|k| k as f32 * 0.01 + it as f32).collect();
+        let mut other = base.clone();
+        if it >= 3 {
+            let chunks_hit = ((it - 3 + 1) * 2).min(16) as usize;
+            for c in 0..chunks_hit {
+                other[c * 16] += 1.0; // 16 values per 64-byte chunk
+            }
+        }
+        a.insert(0, it, CheckpointSource::in_memory(&base, e).unwrap());
+        b.insert(0, it, CheckpointSource::in_memory(&other, e).unwrap());
+    }
+    (a, b)
+}
+
+fn clean_pair(e: &CompareEngine) -> (CheckpointHistory, CheckpointHistory) {
+    let mut a = CheckpointHistory::new();
+    let mut b = CheckpointHistory::new();
+    for it in 0..3u64 {
+        let base: Vec<f32> = (0..128).map(|k| k as f32 * 0.5 + it as f32).collect();
+        a.insert(0, it, CheckpointSource::in_memory(&base, e).unwrap());
+        b.insert(0, it, CheckpointSource::in_memory(&base, e).unwrap());
+    }
+    (a, b)
+}
+
+fn join_frames(frames: &[String]) -> String {
+    let mut out = String::new();
+    for (i, frame) in frames.iter().enumerate() {
+        out.push_str(&format!("--- frame {i} ---\n"));
+        out.push_str(frame);
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(format!("{name}.txt"))
+}
+
+fn check_snapshot(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("snapshots dir")).expect("mkdir");
+        std::fs::write(&path, actual).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read snapshot {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    if actual != expected {
+        let diverged = actual
+            .lines()
+            .zip(expected.lines())
+            .enumerate()
+            .find(|(_, (a, e))| a != e);
+        match diverged {
+            Some((line, (a, e))) => panic!(
+                "snapshot mismatch for `{name}` at line {}:\n  actual:   {a:?}\n  expected: {e:?}\n\
+                 (UPDATE_GOLDEN=1 regenerates after an intentional change)",
+                line + 1
+            ),
+            None => panic!(
+                "snapshot mismatch for `{name}`: lengths differ ({} vs {} bytes)",
+                actual.len(),
+                expected.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn spreading_walkthrough() {
+    let e = engine();
+    let (a, b) = spreading_pair(&e);
+    let mut x = Explorer::build(&e, &a, &b).unwrap();
+    // Start at the boundary (iteration 3), step right twice through
+    // the spread, toggle to the heatmap, step once more, quit.
+    let frames = x.play("l l t l q");
+    check_snapshot("spreading_walkthrough", &join_frames(&frames));
+}
+
+#[test]
+fn clean_history_view() {
+    let e = engine();
+    let (a, b) = clean_pair(&e);
+    let mut x = Explorer::build(&e, &a, &b).unwrap();
+    let frames = x.play("t q");
+    check_snapshot("clean_history_view", &join_frames(&frames));
+}
+
+#[test]
+fn frames_are_reproducible_across_explorer_instances() {
+    let e = engine();
+    let (a, b) = spreading_pair(&e);
+    let first = Explorer::build(&e, &a, &b).unwrap().play("t l l h q");
+    let second = Explorer::build(&e, &a, &b).unwrap().play("t l l h q");
+    assert_eq!(first, second);
+}

@@ -135,12 +135,15 @@ fn resolve_run_spec(store: &ChunkStore, spec: &str) -> Result<(String, u64), Cli
 /// Region attribution from a store manifest: every non-header segment
 /// is a named f32 region of `len / 4` values.
 fn region_map_from_layout(layout: &ObjectLayout) -> reprocmp_core::RegionMap {
-    reprocmp_core::RegionMap::from_lengths(
+    // Byte-accurate construction under the store's payload rule
+    // (headers skipped only while leading): interior header segments
+    // and unaligned lengths must not shift later spans.
+    reprocmp_core::RegionMap::from_segment_bytes(
         layout
             .segments
             .iter()
-            .filter(|(name, _)| name != HEADER_SEGMENT)
-            .map(|(name, len)| (name.as_str(), len / 4)),
+            .map(|(name, len)| (name.as_str(), *len)),
+        HEADER_SEGMENT,
     )
 }
 
@@ -899,48 +902,52 @@ pub fn gate(map: &ArgMap) -> Result<String, CliError> {
     Err(CliError::Failed(out))
 }
 
-/// `history`: the paper's problem statement on the command line.
-/// Takes two directories of captured checkpoints (as produced by
-/// `simulate` — `<name>.rank<R>.v<III>.ckpt` files), pairs them by
-/// rank and iteration, and reports when and where the runs diverged.
-pub fn history(map: &ArgMap) -> Result<String, CliError> {
-    use reprocmp_core::CheckpointHistory;
-    use std::collections::BTreeMap;
+/// Indexes a directory of captured checkpoints: `(rank, iteration)` →
+/// path, parsed from the canonical `<stem>.rank<R>.v<III>.ckpt` names.
+fn index_checkpoint_dir(
+    dir: &Path,
+) -> Result<std::collections::BTreeMap<(usize, u64), PathBuf>, CliError> {
+    let mut found = std::collections::BTreeMap::new();
+    for entry in std::fs::read_dir(dir).map_err(fail)? {
+        let path = entry.map_err(fail)?.path();
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+        let Some(name) = name else { continue };
+        let Some(stem) = name.strip_suffix(".ckpt") else {
+            continue;
+        };
+        let Some(v_pos) = stem.rfind(".v") else {
+            continue;
+        };
+        let Ok(iteration) = stem[v_pos + 2..].parse::<u64>() else {
+            continue;
+        };
+        let head = &stem[..v_pos];
+        let Some(r_pos) = head.rfind(".rank") else {
+            continue;
+        };
+        let Ok(rank) = head[r_pos + 5..].parse::<usize>() else {
+            continue;
+        };
+        found.insert((rank, iteration), path);
+    }
+    Ok(found)
+}
 
-    let dir1 = PathBuf::from(map.required("run1-dir")?);
-    let dir2 = PathBuf::from(map.required("run2-dir")?);
-    let engine = engine_from(map)?;
-
-    // Index a directory: (rank, iteration) -> path. Rank and iteration
-    // are parsed from the canonical `<stem>.rank<R>.v<III>.ckpt` names.
-    let index = |dir: &Path| -> Result<BTreeMap<(usize, u64), PathBuf>, CliError> {
-        let mut found = BTreeMap::new();
-        for entry in std::fs::read_dir(dir).map_err(fail)? {
-            let path = entry.map_err(fail)?.path();
-            let name = path.file_name().map(|n| n.to_string_lossy().to_string());
-            let Some(name) = name else { continue };
-            let Some(stem) = name.strip_suffix(".ckpt") else {
-                continue;
-            };
-            let Some(v_pos) = stem.rfind(".v") else {
-                continue;
-            };
-            let Ok(iteration) = stem[v_pos + 2..].parse::<u64>() else {
-                continue;
-            };
-            let head = &stem[..v_pos];
-            let Some(r_pos) = head.rfind(".rank") else {
-                continue;
-            };
-            let Ok(rank) = head[r_pos + 5..].parse::<usize>() else {
-                continue;
-            };
-            found.insert((rank, iteration), path);
-        }
-        Ok(found)
-    };
-    let idx1 = index(&dir1)?;
-    let idx2 = index(&dir2)?;
+/// Loads two checkpoint directories into paired histories, verifying
+/// they cover the same `(rank, iteration)` set.
+fn load_dir_histories(
+    dir1: &Path,
+    dir2: &Path,
+    engine: &CompareEngine,
+) -> Result<
+    (
+        reprocmp_core::CheckpointHistory,
+        reprocmp_core::CheckpointHistory,
+    ),
+    CliError,
+> {
+    let idx1 = index_checkpoint_dir(dir1)?;
+    let idx2 = index_checkpoint_dir(dir2)?;
     if idx1.is_empty() {
         return Err(CliError::Failed(format!(
             "{}: no `*.rank<R>.v<III>.ckpt` files found",
@@ -954,20 +961,31 @@ pub fn history(map: &ArgMap) -> Result<String, CliError> {
             idx2.len()
         )));
     }
-
     let load = |path: &Path| -> Result<CheckpointSource, CliError> {
         let (bytes, off, len) = locate_payload(path)?;
         let values = payload_values(&bytes, off, len);
-        CheckpointSource::in_memory(&values, &engine).map_err(fail)
+        CheckpointSource::in_memory(&values, engine).map_err(fail)
     };
-    let mut h1 = CheckpointHistory::new();
-    let mut h2 = CheckpointHistory::new();
+    let mut h1 = reprocmp_core::CheckpointHistory::new();
+    let mut h2 = reprocmp_core::CheckpointHistory::new();
     for (&(rank, iteration), path) in &idx1 {
         h1.insert(rank, iteration, load(path)?);
     }
     for (&(rank, iteration), path) in &idx2 {
         h2.insert(rank, iteration, load(path)?);
     }
+    Ok((h1, h2))
+}
+
+/// `history`: the paper's problem statement on the command line.
+/// Takes two directories of captured checkpoints (as produced by
+/// `simulate` — `<name>.rank<R>.v<III>.ckpt` files), pairs them by
+/// rank and iteration, and reports when and where the runs diverged.
+pub fn history(map: &ArgMap) -> Result<String, CliError> {
+    let dir1 = PathBuf::from(map.required("run1-dir")?);
+    let dir2 = PathBuf::from(map.required("run2-dir")?);
+    let engine = engine_from(map)?;
+    let (h1, h2) = load_dir_histories(&dir1, &dir2, &engine)?;
 
     let report = engine.compare_history(&h1, &h2).map_err(fail)?;
     let mut out = String::new();
@@ -1016,6 +1034,280 @@ pub fn history(map: &ArgMap) -> Result<String, CliError> {
 fn open_store(map: &ArgMap) -> Result<ChunkStore, CliError> {
     let root = PathBuf::from(map.required("store")?);
     ChunkStore::open(&root).map_err(fail)
+}
+
+/// Loads one run's history out of the store: a bare object name takes
+/// every stored version as an iteration (rank 0); `name@version` pins
+/// a single iteration.
+fn load_store_history(
+    store: &ChunkStore,
+    spec: &str,
+    engine: &CompareEngine,
+) -> Result<(reprocmp_core::CheckpointHistory, Option<ObjectLayout>), CliError> {
+    let (name, versions) = match spec.rsplit_once('@') {
+        Some((name, raw)) => {
+            let version = raw.parse().map_err(|_| {
+                CliError::Usage(format!("run spec `{spec}`: cannot parse version `{raw}`"))
+            })?;
+            (name.to_owned(), vec![version])
+        }
+        None => {
+            let versions = store.versions(spec);
+            if versions.is_empty() {
+                return Err(CliError::Failed(format!(
+                    "store holds no versions of `{spec}`"
+                )));
+            }
+            (spec.to_owned(), versions)
+        }
+    };
+    let mut h = reprocmp_core::CheckpointHistory::new();
+    for &version in &versions {
+        h.insert(
+            0,
+            version,
+            CheckpointSource::from_store(store, &name, version, engine).map_err(fail)?,
+        );
+    }
+    let layout = store.layout(&name, versions[0]).ok();
+    Ok((h, layout))
+}
+
+/// Typed (all-f32) region map from a store manifest, skipping leading
+/// header segments like the payload rule does. `None` when a segment
+/// is not 4-byte aligned — attribution would misread every later
+/// region.
+fn typed_regions_from_layout(layout: &ObjectLayout) -> Option<reprocmp_analyze::TypedRegionMap> {
+    let mut regions: Vec<(&str, reprocmp_analyze::RegionDType, u64)> = Vec::new();
+    let mut leading = true;
+    for (name, len) in &layout.segments {
+        if leading && name == HEADER_SEGMENT {
+            continue;
+        }
+        leading = false;
+        if len % 4 != 0 {
+            return None;
+        }
+        regions.push((name.as_str(), reprocmp_analyze::RegionDType::F32, len / 4));
+    }
+    if regions.is_empty() {
+        None
+    } else {
+        Some(reprocmp_analyze::TypedRegionMap::from_regions(regions))
+    }
+}
+
+/// Parses `--regions name:f32|f64:count,...` into a typed map — the
+/// way to attribute mixed-precision payloads whose layout the store
+/// does not know.
+fn parse_typed_regions(spec: &str) -> Result<reprocmp_analyze::TypedRegionMap, CliError> {
+    let mut triples: Vec<(String, reprocmp_analyze::RegionDType, u64)> = Vec::new();
+    for part in spec.split(',') {
+        let fields: Vec<&str> = part.split(':').collect();
+        let [name, dtype_raw, count_raw] = fields[..] else {
+            return Err(CliError::Usage(format!(
+                "--regions entry `{part}` must be name:f32|f64:count"
+            )));
+        };
+        let dtype = match dtype_raw {
+            "f32" => reprocmp_analyze::RegionDType::F32,
+            "f64" => reprocmp_analyze::RegionDType::F64,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "--regions entry `{part}`: dtype must be f32 or f64, got `{other}`"
+                )))
+            }
+        };
+        let count: u64 = count_raw.parse().map_err(|_| {
+            CliError::Usage(format!(
+                "--regions entry `{part}`: cannot parse count `{count_raw}`"
+            ))
+        })?;
+        triples.push((name.to_owned(), dtype, count));
+    }
+    Ok(reprocmp_analyze::TypedRegionMap::from_regions(
+        triples.iter().map(|(n, d, c)| (n.as_str(), *d, *c)),
+    ))
+}
+
+/// `analyze`: divergence forensics over two checkpoint histories —
+/// O(log M) timeline bisection, divergence-front tracking, per-region
+/// attribution, and (with `--keys`) the frame-replayed explorer.
+/// Exit codes mirror `fsck`: 0 clean, 1 divergent, 2 bad usage.
+pub fn analyze(map: &ArgMap) -> Result<String, CliError> {
+    use reprocmp_analyze::{AnalyzeOptions, Explorer, SpreadClass};
+
+    let engine = engine_from(map)?;
+    let timeline = reprocmp_io::Timeline::wall();
+    let obs = timeline.observer();
+
+    let (h1, h2, typed) = match map.optional("store") {
+        Some(root) => {
+            let store = ChunkStore::open(Path::new(root)).map_err(fail)?;
+            let run1 = map.required("run1")?;
+            let run2 = map.required("run2")?;
+            let (h1, layout) = load_store_history(&store, run1, &engine)?;
+            let (h2, _) = load_store_history(&store, run2, &engine)?;
+            let typed = layout.as_ref().and_then(typed_regions_from_layout);
+            (h1, h2, typed)
+        }
+        None => {
+            let dir1 = PathBuf::from(map.required("run1-dir")?);
+            let dir2 = PathBuf::from(map.required("run2-dir")?);
+            let (h1, h2) = load_dir_histories(&dir1, &dir2, &engine)?;
+            // Canonical checkpoints carry their region table; use the
+            // first file's as the (all-f32) layout.
+            let typed =
+                index_checkpoint_dir(&dir1)?
+                    .values()
+                    .next()
+                    .and_then(|path| std::fs::read(path).ok())
+                    .and_then(|bytes| decode_checkpoint(&bytes).ok())
+                    .map(|file| {
+                        reprocmp_analyze::TypedRegionMap::from_regions(file.regions.iter().map(
+                            |r| (r.name.as_str(), reprocmp_analyze::RegionDType::F32, r.count),
+                        ))
+                    });
+            (h1, h2, typed)
+        }
+    };
+    let typed = match map.optional("regions") {
+        Some(spec) => Some(parse_typed_regions(spec)?),
+        None => typed,
+    };
+
+    let report = reprocmp_analyze::analyze(
+        &engine,
+        &h1,
+        &h2,
+        &timeline,
+        &obs,
+        &AnalyzeOptions { regions: typed },
+    )
+    .map_err(fail)?;
+    let verdict = |out: String| {
+        if report.divergent {
+            Err(CliError::Failed(out))
+        } else {
+            Ok(out)
+        }
+    };
+
+    // --keys: replay a key script through the explorer and print every
+    // frame (the terminal-free TUI mode snapshot tests drive).
+    if let Some(script) = map.optional("keys") {
+        let mut explorer = Explorer::build(&engine, &h1, &h2).map_err(fail)?;
+        let mut out = String::new();
+        for (i, frame) in explorer.play(script).iter().enumerate() {
+            let _ = writeln!(out, "--- frame {i} ---");
+            out.push_str(frame);
+        }
+        return verdict(out);
+    }
+
+    if map.flag("json") {
+        let mut s = report.to_json();
+        s.push('\n');
+        return verdict(s);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "analyzed {} iterations × {} ranks (ε = {:e}, chunk {} B)",
+        report.iterations,
+        report.ranks,
+        engine.config().error_bound,
+        engine.config().chunk_bytes,
+    );
+    match (
+        report.bisection.first_iteration,
+        report.bisection.first_rank,
+    ) {
+        (Some(it), Some(rank)) => {
+            let _ = writeln!(
+                out,
+                "bisection: first divergence at iteration {it}, rank {rank}"
+            );
+        }
+        _ => {
+            let _ = writeln!(out, "bisection: no divergence anywhere in the timeline");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  {} comparisons ({} stage-1 probes + {} confirmations)",
+        report.bisection.comparisons,
+        report.bisection.stage1_probes,
+        report.bisection.stage2_confirmations,
+    );
+    let _ = writeln!(
+        out,
+        "  bytes: {} metadata, {} payload (linear scan would re-read every flagged chunk of every iteration)",
+        report.bisection.metadata_bytes_read, report.bisection.payload_bytes_read,
+    );
+    let class = match report.front.classification {
+        SpreadClass::Clean => "clean",
+        SpreadClass::Contained => "contained",
+        SpreadClass::Spreading => "spreading",
+        SpreadClass::Saturated => "saturated",
+    };
+    let _ = writeln!(
+        out,
+        "front: {class} ({:.2} chunks/iteration growth, {} slots total)",
+        report.front.growth_per_iteration, report.front.total_slots,
+    );
+    let strip: String = report
+        .front
+        .snapshots
+        .iter()
+        .map(|s| reprocmp_analyze::tui::ramp_char(s.fraction))
+        .collect();
+    let _ = writeln!(out, "  spread over time: [{strip}]");
+    for s in report.front.snapshots.iter().filter(|s| s.new_flagged > 0) {
+        let _ = writeln!(
+            out,
+            "  iteration {:>6}: {:>6} flagged ({:>5.1}%), {} new",
+            s.iteration,
+            s.flagged,
+            s.fraction * 100.0,
+            s.new_flagged
+        );
+    }
+    if !report.regions.is_empty() {
+        let _ = writeln!(out, "per region at the boundary:");
+        for r in &report.regions {
+            let dtype = match r.dtype {
+                reprocmp_analyze::RegionDType::F32 => "f32",
+                reprocmp_analyze::RegionDType::F64 => "f64",
+            };
+            let _ = writeln!(
+                out,
+                "  {:<16} {dtype} {:>10} values {:>8} diffs  max |Δ| {:.3e}",
+                r.name, r.elements, r.diff_count, r.max_abs_delta,
+            );
+        }
+    }
+    if let Some(boundary) = &report.boundary {
+        let _ = writeln!(
+            out,
+            "boundary detail: {} values differ ({} chunks flagged, {} false-positive)",
+            boundary.diff_count, boundary.chunks_flagged, boundary.false_positive_chunks,
+        );
+        for d in boundary.differences.iter().take(5) {
+            let _ = writeln!(out, "  [{}] {} vs {}", d.index, d.a, d.b);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "RESULT: {}",
+        if report.divergent {
+            "the runs diverge beyond the bound"
+        } else {
+            "the runs agree within the bound at every checkpoint"
+        }
+    );
+    verdict(out)
 }
 
 /// `ingest`: capture a checkpoint file into the content-addressed
@@ -2118,6 +2410,163 @@ mod tests {
             err.to_string().contains("different (rank, iteration)"),
             "{err}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_command_bisects_tracks_and_replays_frames() {
+        let dir = temp_dir("analyze");
+        for (sub, seed) in [("a", "1"), ("b", "2")] {
+            run_cli(&[
+                "simulate",
+                "--out-dir",
+                dir.join(sub).to_str().unwrap(),
+                "--particles",
+                "512",
+                "--steps",
+                "20",
+                "--ranks",
+                "1",
+                "--order-seed",
+                seed,
+            ])
+            .unwrap();
+        }
+        let dir1 = dir.join("a/pfs");
+        let dir2 = dir.join("b/pfs");
+        let base_args = |bound: &str| {
+            vec![
+                "analyze".to_owned(),
+                "--run1-dir".to_owned(),
+                dir1.to_str().unwrap().to_owned(),
+                "--run2-dir".to_owned(),
+                dir2.to_str().unwrap().to_owned(),
+                "--chunk-bytes".to_owned(),
+                "256".to_owned(),
+                "--error-bound".to_owned(),
+                bound.to_owned(),
+            ]
+        };
+
+        // Loose bound: clean → exit 0 (Ok) and a clean verdict.
+        let out = crate::run(&base_args("1.0")).unwrap();
+        assert!(out.contains("bisection: no divergence"), "{out}");
+        assert!(out.contains("front: clean"), "{out}");
+        assert!(out.contains("agree within the bound"), "{out}");
+
+        // Tight bound: divergent → exit 1 (Failed) with the forensics.
+        let err = crate::run(&base_args("1e-12")).unwrap_err();
+        let CliError::Failed(out) = err else {
+            panic!("divergence must exit 1, got {err:?}");
+        };
+        assert!(out.contains("first divergence at iteration"), "{out}");
+        assert!(out.contains("stage-1 probes"), "{out}");
+        assert!(out.contains("front:"), "{out}");
+        // Canonical checkpoints carry region names (x/y/z/...).
+        assert!(out.contains("per region at the boundary:"), "{out}");
+        assert!(out.contains("the runs diverge beyond the bound"), "{out}");
+
+        // --json: the DivergenceReport schema, still exit 1.
+        let mut args = base_args("1e-12");
+        args.push("--json".to_owned());
+        let CliError::Failed(json) = crate::run(&args).unwrap_err() else {
+            panic!("divergent --json must exit 1");
+        };
+        for key in [
+            "\"schema_version\": 1",
+            "\"divergent\": true",
+            "\"bisection\"",
+            "\"front\"",
+            "\"regions\"",
+            "\"boundary\"",
+        ] {
+            assert!(json.contains(key), "missing {key}: {json}");
+        }
+        assert!(
+            !json.contains("RESULT"),
+            "json mode must not mix prose: {json}"
+        );
+
+        // --keys: frame replay, no terminal needed.
+        let mut args = base_args("1e-12");
+        args.extend(["--keys".to_owned(), "t q".to_owned()]);
+        let CliError::Failed(frames) = crate::run(&args).unwrap_err() else {
+            panic!("divergent --keys must exit 1");
+        };
+        assert!(frames.contains("--- frame 0 ---"), "{frames}");
+        assert!(frames.contains("merkle tree"), "{frames}");
+        assert!(frames.contains("heatmap"), "{frames}");
+
+        // --regions overrides the layout-derived map; bad specs are
+        // usage errors (exit 2).
+        let mut args = base_args("1e-12");
+        args.extend(["--regions".to_owned(), "pos:f80:12".to_owned()]);
+        let err = crate::run(&args).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_command_reads_store_backed_histories() {
+        let dir = temp_dir("analyze-store");
+        let store = dir.join("store");
+        let store_arg = store.to_str().unwrap().to_owned();
+        for (name, seed) in [("run1", "1"), ("run2", "2")] {
+            run_cli(&[
+                "simulate",
+                "--out-dir",
+                dir.to_str().unwrap(),
+                "--particles",
+                "512",
+                "--steps",
+                "20",
+                "--ranks",
+                "1",
+                "--order-seed",
+                seed,
+                "--run-name",
+                name,
+            ])
+            .unwrap();
+        }
+        // Ingest every captured iteration of both runs: versions form
+        // the store-backed history.
+        for name in ["run1", "run2"] {
+            for version in ["000004", "000008", "000012", "000016"] {
+                let ckpt = dir.join(format!("pfs/{name}.rank0.v{version}.ckpt"));
+                assert!(ckpt.exists(), "{}", ckpt.display());
+                run_cli(&[
+                    "ingest",
+                    "--store",
+                    &store_arg,
+                    "--input",
+                    ckpt.to_str().unwrap(),
+                    "--chunk-bytes",
+                    "256",
+                ])
+                .unwrap();
+            }
+        }
+        let CliError::Failed(out) = crate::run(&[
+            "analyze".to_owned(),
+            "--store".to_owned(),
+            store_arg.clone(),
+            "--run1".to_owned(),
+            "run1.rank0".to_owned(),
+            "--run2".to_owned(),
+            "run2.rank0".to_owned(),
+            "--chunk-bytes".to_owned(),
+            "256".to_owned(),
+            "--error-bound".to_owned(),
+            "1e-12".to_owned(),
+        ])
+        .unwrap_err() else {
+            panic!("divergent store-backed analyze must exit 1");
+        };
+        assert!(out.contains("analyzed 4 iterations × 1 ranks"), "{out}");
+        assert!(out.contains("first divergence at iteration"), "{out}");
+        // The store manifest names the checkpoint fields.
+        assert!(out.contains("per region at the boundary:"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

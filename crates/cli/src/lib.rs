@@ -266,6 +266,26 @@ pub fn usage() -> String {
         s,
         "               [--error-bound 1e-5]  (pairwise history comparison)"
     );
+    let _ = writeln!(
+        s,
+        "  analyze      (--run1-dir D --run2-dir D | --store D --run1 S --run2 S)"
+    );
+    let _ = writeln!(
+        s,
+        "               [--json] [--keys \"l l t q\"] [--regions name:f32|f64:count,...]"
+    );
+    let _ = writeln!(
+        s,
+        "               (divergence forensics: O(log M) timeline bisection, front"
+    );
+    let _ = writeln!(
+        s,
+        "                tracking, per-region attribution; --keys replays the explorer"
+    );
+    let _ = writeln!(
+        s,
+        "                frame by frame; exit 0 clean, 1 divergent, 2 bad usage)"
+    );
     s
 }
 
@@ -322,6 +342,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "census" => commands::census(&rest),
         "gate" => commands::gate(&rest),
         "history" => commands::history(&rest),
+        "analyze" => commands::analyze(&rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{}",

@@ -79,6 +79,7 @@ pub struct OnlineComparator {
     entries: Vec<OnlineEntry>,
     total_diffs: u64,
     halted: bool,
+    journal: reprocmp_obs::Journal,
 }
 
 impl OnlineComparator {
@@ -106,7 +107,17 @@ impl OnlineComparator {
             entries: Vec::new(),
             total_diffs: 0,
             halted: false,
+            journal: reprocmp_obs::Journal::disabled(),
         }
+    }
+
+    /// Routes flight-recorder events (the `divergence` event when the
+    /// abort policy trips) into `journal`. Without this the comparator
+    /// stays silent — a disabled journal costs one branch per observe.
+    #[must_use]
+    pub fn with_journal(mut self, journal: reprocmp_obs::Journal) -> Self {
+        self.journal = journal;
+        self
     }
 
     /// Observes the live run's checkpoint for `(rank, iteration)`:
@@ -224,6 +235,15 @@ impl OnlineComparator {
         if let OnlinePolicy::AbortAfter { max_total_diffs } = self.policy {
             if self.total_diffs > max_total_diffs {
                 self.halted = true;
+                self.journal.emit(
+                    "online",
+                    reprocmp_obs::EventKind::Divergence {
+                        rank: rank as u64,
+                        iteration,
+                        total_diffs: self.total_diffs,
+                        threshold: max_total_diffs,
+                    },
+                );
             }
         }
 
@@ -378,6 +398,39 @@ mod tests {
         ));
         // The halted observation was not recorded.
         assert_eq!(online.entries().len(), 1);
+    }
+
+    #[test]
+    fn abort_emits_a_divergence_event() {
+        let e = engine();
+        let (h, payloads) = reference(&e, &[10]);
+        let journal = reprocmp_obs::Journal::new(reprocmp_obs::ObsClock::wall());
+        let mut online =
+            OnlineComparator::new(e, h, OnlinePolicy::AbortAfter { max_total_diffs: 5 })
+                .with_journal(journal.clone());
+        let live: Vec<f32> = payloads[0].iter().map(|v| v + 1.0).collect();
+        online.observe(0, 10, &live).unwrap();
+        assert!(online.halted());
+        let events: Vec<_> = journal
+            .events()
+            .into_iter()
+            .filter(|ev| matches!(ev.kind, reprocmp_obs::EventKind::Divergence { .. }))
+            .collect();
+        assert_eq!(events.len(), 1, "exactly one divergence event");
+        match &events[0].kind {
+            reprocmp_obs::EventKind::Divergence {
+                rank,
+                iteration,
+                total_diffs,
+                threshold,
+            } => {
+                assert_eq!(*rank, 0);
+                assert_eq!(*iteration, 10);
+                assert_eq!(*total_diffs, 300);
+                assert_eq!(*threshold, 5);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

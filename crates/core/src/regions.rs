@@ -74,6 +74,46 @@ impl RegionMap {
         RegionMap { spans }
     }
 
+    /// Builds a map from `(name, byte_len)` segments using the store's
+    /// payload semantics: segments named `header_name` are dropped
+    /// only while **leading** (the payload starts after them — the
+    /// `skip_while` rule of `ObjectLayout::from_manifest`); every
+    /// later segment occupies payload bytes, headers included.
+    ///
+    /// Offsets accumulate in **bytes**, then convert to value indices:
+    /// a value belongs to the segment holding its first byte, so
+    /// segments whose byte length is not a multiple of the value size
+    /// still tile the index space exactly — no span shifts, no gaps.
+    /// (`from_lengths`-style `len / 4` truncation shifts every span
+    /// after the first unaligned or interior-header segment, which is
+    /// exactly the boundary misattribution this constructor fixes.)
+    #[must_use]
+    pub fn from_segment_bytes<'a>(
+        segments: impl IntoIterator<Item = (&'a str, u64)>,
+        header_name: &str,
+    ) -> Self {
+        let mut spans = Vec::new();
+        let mut byte_offset = 0u64;
+        let mut leading = true;
+        for (name, byte_len) in segments {
+            if leading && name == header_name {
+                continue;
+            }
+            leading = false;
+            let first = byte_offset.div_ceil(4);
+            let end = (byte_offset + byte_len).div_ceil(4);
+            if end > first {
+                spans.push(RegionSpan {
+                    name: name.to_owned(),
+                    offset: first,
+                    count: end - first,
+                });
+            }
+            byte_offset += byte_len;
+        }
+        RegionMap { spans }
+    }
+
     /// The spans, in payload order.
     #[must_use]
     pub fn spans(&self) -> &[RegionSpan] {

@@ -149,6 +149,110 @@ impl Quantizer {
     }
 }
 
+/// Snaps `f64` values onto an `ε`-spaced grid — the double-precision
+/// twin of [`Quantizer`], for checkpoints (or checkpoint *regions*)
+/// whose payload is stored as `f64`.
+///
+/// The conservative guarantee is identical: if
+/// `quantize(a) == quantize(b)` both values share one half-open grid
+/// cell of width `ε`, hence `|a − b| < ε` — equal codes can never hide
+/// a real difference. Values within the bound may still straddle a
+/// grid line (a false positive), which element-wise verification
+/// discards via [`QuantizerF64::differs`].
+///
+/// Non-finite handling matches the `f32` path exactly: all NaNs share
+/// one sentinel code, `+∞`/`−∞` get dedicated codes, and extreme
+/// finite magnitudes saturate strictly inside the sentinels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizerF64 {
+    bound: f64,
+    inv_bound: f64,
+}
+
+impl QuantizerF64 {
+    /// Creates a quantizer for absolute error bound `bound`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantizerError::InvalidBound`] unless `bound` is
+    /// finite and strictly positive.
+    pub fn new(bound: f64) -> Result<Self, QuantizerError> {
+        if !(bound.is_finite() && bound > 0.0) {
+            return Err(QuantizerError::InvalidBound);
+        }
+        Ok(QuantizerF64 {
+            bound,
+            inv_bound: 1.0 / bound,
+        })
+    }
+
+    /// The absolute error bound `ε` this quantizer was built with.
+    #[must_use]
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// Quantizes one value to its grid code.
+    ///
+    /// Finite values map to `floor(x / ε)`; NaN, `+∞` and `−∞` map to
+    /// the same dedicated sentinel codes as the `f32` quantizer.
+    #[must_use]
+    #[inline]
+    pub fn quantize(&self, x: f64) -> i64 {
+        if x.is_nan() {
+            return CODE_NAN;
+        }
+        if x.is_infinite() {
+            return if x > 0.0 { CODE_POS_INF } else { CODE_NEG_INF };
+        }
+        let scaled = x * self.inv_bound;
+        // f64::MAX / ε overflows i64 by hundreds of orders of
+        // magnitude; saturate just inside the sentinel codes so finite
+        // values can never collide with them.
+        if scaled >= (CODE_POS_INF - 1) as f64 {
+            CODE_POS_INF - 1
+        } else if scaled <= (CODE_NEG_INF + 1) as f64 {
+            CODE_NEG_INF + 1
+        } else {
+            scaled.floor() as i64
+        }
+    }
+
+    /// Quantizes a slice into a caller-provided buffer of codes.
+    ///
+    /// `out` is resized to `data.len()`.
+    pub fn quantize_into(&self, data: &[f64], out: &mut Vec<i64>) {
+        out.clear();
+        out.reserve(data.len());
+        out.extend(data.iter().map(|&x| self.quantize(x)));
+    }
+
+    /// Quantizes a slice directly into little-endian code bytes, the
+    /// form consumed by the chunk hasher.
+    pub fn quantize_to_bytes(&self, data: &[f64], out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(data.len() * 8);
+        for &x in data {
+            out.extend_from_slice(&self.quantize(x).to_le_bytes());
+        }
+    }
+
+    /// Returns `true` when `a` and `b` count as *different* under this
+    /// bound, i.e. `|a − b| > ε`.
+    ///
+    /// NaN-vs-NaN is *not* a difference (both runs produced NaN);
+    /// NaN vs a number is.
+    #[must_use]
+    #[inline]
+    pub fn differs(&self, a: f64, b: f64) -> bool {
+        match (a.is_nan(), b.is_nan()) {
+            (true, true) => false,
+            (true, false) | (false, true) => true,
+            (false, false) => (a - b).abs() > self.bound,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,5 +350,85 @@ mod tests {
         assert!(!q.differs(1.0, 1.0 + 9e-3));
         assert!(q.differs(1.0, 1.0 + 2e-2));
         assert!(!q.differs(-1.0, -1.0));
+    }
+
+    #[test]
+    fn f64_rejects_bad_bounds() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(QuantizerF64::new(bad), Err(QuantizerError::InvalidBound));
+        }
+    }
+
+    #[test]
+    fn f64_resolves_below_f32_precision() {
+        // The whole point of the f64 path: differences far below f32's
+        // resolution at this magnitude still split codes.
+        let q = QuantizerF64::new(1e-12).unwrap();
+        let a = 1.0f64;
+        let b = 1.0f64 + 5e-12;
+        assert_ne!(q.quantize(a), q.quantize(b));
+        assert!(q.differs(a, b));
+        // The same pair collapses to one f32, so the f32 quantizer is
+        // structurally blind to it.
+        assert_eq!(a as f32, b as f32);
+    }
+
+    #[test]
+    fn f64_equal_codes_imply_within_bound() {
+        let q = QuantizerF64::new(1e-9).unwrap();
+        let pairs = [
+            (0.100_000_000_1f64, 0.100_000_000_4f64),
+            (-3.000_000_000_1, -3.000_000_000_4),
+        ];
+        for (a, b) in pairs {
+            if q.quantize(a) == q.quantize(b) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn f64_nan_and_infinities_mirror_f32_semantics() {
+        let q = QuantizerF64::new(1e-6).unwrap();
+        let nan2 = f64::from_bits(0x7ff8_0000_0000_0001); // distinct payload
+        assert_eq!(q.quantize(f64::NAN), q.quantize(nan2));
+        assert!(!q.differs(f64::NAN, nan2));
+        assert!(q.differs(f64::NAN, 0.0));
+        assert_ne!(q.quantize(f64::INFINITY), q.quantize(f64::NEG_INFINITY));
+        assert_ne!(q.quantize(f64::INFINITY), q.quantize(f64::NAN));
+        assert_ne!(q.quantize(f64::MAX), q.quantize(f64::INFINITY));
+    }
+
+    #[test]
+    fn f64_extreme_magnitudes_saturate_without_sentinel_collision() {
+        let q = QuantizerF64::new(1e-7).unwrap();
+        let big = q.quantize(f64::MAX);
+        let small = q.quantize(f64::MIN);
+        assert_ne!(big, CODE_POS_INF);
+        assert_ne!(big, CODE_NAN);
+        assert_ne!(small, CODE_NEG_INF);
+        assert_ne!(big, small);
+    }
+
+    #[test]
+    fn f64_quantize_to_bytes_layout() {
+        let q = QuantizerF64::new(1.0).unwrap();
+        let mut buf = Vec::new();
+        q.quantize_to_bytes(&[2.5, -1.5], &mut buf);
+        assert_eq!(buf.len(), 16);
+        assert_eq!(i64::from_le_bytes(buf[..8].try_into().unwrap()), 2);
+        assert_eq!(i64::from_le_bytes(buf[8..].try_into().unwrap()), -2);
+        let mut codes = Vec::new();
+        q.quantize_into(&[2.5, -1.5], &mut codes);
+        assert_eq!(codes, vec![2, -2]);
+    }
+
+    #[test]
+    fn f64_differs_matches_absolute_predicate() {
+        let q = QuantizerF64::new(1e-2).unwrap();
+        assert!(!q.differs(1.0, 1.0 + 9e-3));
+        assert!(q.differs(1.0, 1.0 + 2e-2));
+        assert!(!q.differs(-1.0, -1.0));
+        assert_eq!(q.bound(), 1e-2);
     }
 }

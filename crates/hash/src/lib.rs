@@ -49,7 +49,7 @@ pub mod bounded;
 pub mod chunk;
 pub mod murmur3;
 
-pub use bounded::Quantizer;
+pub use bounded::{Quantizer, QuantizerF64};
 pub use chunk::ChunkHasher;
 pub use murmur3::{Digest128, Murmur3x64_128};
 

@@ -49,6 +49,7 @@ fn category(kind: &EventKind) -> &'static str {
         | EventKind::DeltaCapture { .. } => "store",
         EventKind::Kernel { .. } => "compute",
         EventKind::Flush { .. } => "veloc",
+        EventKind::Divergence { .. } => "compare",
     }
 }
 

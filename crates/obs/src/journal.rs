@@ -181,6 +181,19 @@ pub enum EventKind {
         /// Bytes skipped because the parent already held them.
         bytes_skipped: u64,
     },
+    /// An online-comparison policy threshold was crossed
+    /// (`divergence`): the comparator observed enough out-of-bound
+    /// values to halt (or flag) the run-under-test.
+    Divergence {
+        /// Rank whose observation crossed the threshold.
+        rank: u64,
+        /// Iteration at which the threshold was crossed.
+        iteration: u64,
+        /// Out-of-bound values accumulated so far, across iterations.
+        total_diffs: u64,
+        /// The policy's configured maximum before halting.
+        threshold: u64,
+    },
 }
 
 impl EventKind {
@@ -205,6 +218,7 @@ impl EventKind {
             EventKind::Repair { .. } => "repair",
             EventKind::PackQuarantine { .. } => "pack_quarantine",
             EventKind::DeltaCapture { .. } => "delta_capture",
+            EventKind::Divergence { .. } => "divergence",
         }
     }
 
@@ -330,6 +344,17 @@ impl EventKind {
                 ("depth".to_owned(), u(*depth)),
                 ("bytes_written".to_owned(), u(*bytes_written)),
                 ("bytes_skipped".to_owned(), u(*bytes_skipped)),
+            ],
+            EventKind::Divergence {
+                rank,
+                iteration,
+                total_diffs,
+                threshold,
+            } => vec![
+                ("rank".to_owned(), u(*rank)),
+                ("iteration".to_owned(), u(*iteration)),
+                ("total_diffs".to_owned(), u(*total_diffs)),
+                ("threshold".to_owned(), u(*threshold)),
             ],
         }
     }

@@ -21,6 +21,7 @@
 //! | [`cluster`] | `reprocmp-cluster` | multi-rank execution harness |
 //! | [`obs`] | `reprocmp-obs` | tracing spans, metrics registry, stage breakdowns |
 //! | [`server`] | `reprocmp-server` | comparison-as-a-service daemon + wire protocol + client |
+//! | [`analyze`] | `reprocmp-analyze` | divergence forensics: timeline bisection, front tracking, TUI explorer |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use reprocmp_analyze as analyze;
 pub use reprocmp_cluster as cluster;
 pub use reprocmp_core as core;
 pub use reprocmp_device as device;

@@ -1,0 +1,357 @@
+//! Golden lock-in for the `analyze` JSON document.
+//!
+//! A fixed-seed divergent history pair runs through the full forensics
+//! pipeline (bisection → front tracking → per-region attribution) and
+//! the serialized [`DivergenceReport`] is compared byte-for-byte
+//! against `tests/goldens/analyze_divergence.json`. The report
+//! contains no durations — only counts and bytes — so the golden is
+//! exact on every host.
+//!
+//! `legacy_analyze_v1.json` is the document as the schema's first
+//! consumers saw it (bisection + front only, before per-region
+//! attribution); the additive-schema test proves every field they
+//! read is still present with the identical value.
+//!
+//! To regenerate after an *intentional* change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test analyze_json
+//! git diff tests/goldens/   # review before committing
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reprocmp::analyze::attribution::{RegionDType, TypedRegionMap};
+use reprocmp::analyze::{analyze, AnalyzeOptions};
+use reprocmp::core::{CheckpointHistory, CheckpointSource, CompareEngine, EngineConfig};
+use reprocmp::io::Timeline;
+use reprocmp::obs::Observer;
+use std::path::PathBuf;
+
+const CHUNK: usize = 256; // 64 values per chunk
+const VALUES: usize = 1024;
+
+fn engine() -> CompareEngine {
+    CompareEngine::new(EngineConfig {
+        chunk_bytes: CHUNK,
+        error_bound: 1e-5,
+        max_recorded_diffs: 8,
+        ..EngineConfig::default()
+    })
+}
+
+/// Fixed-seed history pair: 12 checkpoints, divergence at iteration 60
+/// spreading forward through a fixed churned index set.
+fn seeded_pair(e: &CompareEngine) -> (CheckpointHistory, CheckpointHistory) {
+    let mut a = CheckpointHistory::new();
+    let mut b = CheckpointHistory::new();
+    let mut rng = StdRng::seed_from_u64(2024);
+    let churned: Vec<usize> = (0..VALUES / 16).map(|_| rng.gen_range(0..VALUES)).collect();
+    for it in (0..12u64).map(|i| i * 10) {
+        let mut vrng = StdRng::seed_from_u64(0x5EED ^ it);
+        let base: Vec<f32> = (0..VALUES).map(|_| vrng.gen_range(-1.0..1.0)).collect();
+        let mut other = base.clone();
+        if it >= 60 {
+            let step = (it - 60) / 10 + 1;
+            for &ix in &churned {
+                other[ix] += 0.01 * step as f32;
+            }
+        }
+        a.insert(0, it, CheckpointSource::in_memory(&base, e).unwrap());
+        b.insert(0, it, CheckpointSource::in_memory(&other, e).unwrap());
+    }
+    (a, b)
+}
+
+fn report_json() -> String {
+    let e = engine();
+    let (a, b) = seeded_pair(&e);
+    let options = AnalyzeOptions {
+        regions: Some(TypedRegionMap::from_regions([
+            ("position", RegionDType::F32, (VALUES / 2) as u64),
+            ("velocity", RegionDType::F32, (VALUES / 2) as u64),
+        ])),
+    };
+    let report = analyze(
+        &e,
+        &a,
+        &b,
+        &Timeline::wall(),
+        &Observer::disabled(),
+        &options,
+    )
+    .expect("analyze");
+    let mut json = report.to_json();
+    json.push('\n');
+    json
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.json"))
+}
+
+#[test]
+fn golden_analyze_divergence() {
+    let actual = report_json();
+    let path = golden_path("analyze_divergence");
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    if actual != expected {
+        let diverged = actual
+            .lines()
+            .zip(expected.lines())
+            .enumerate()
+            .find(|(_, (a, e))| a != e);
+        match diverged {
+            Some((line, (a, e))) => panic!(
+                "analyze golden mismatch at line {}:\n  actual:   {a}\n  expected: {e}\n\
+                 (UPDATE_GOLDEN=1 regenerates after an intentional change)",
+                line + 1
+            ),
+            None => panic!(
+                "analyze golden mismatch: lengths differ ({} vs {} bytes)",
+                actual.len(),
+                expected.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn report_json_is_deterministic_and_duration_free() {
+    let one = report_json();
+    let two = report_json();
+    assert_eq!(one, two);
+    assert!(one.contains("\"schema_version\": 1"));
+    assert!(one.contains("\"bisection\""));
+    assert!(one.contains("\"front\""));
+    assert!(one.contains("\"regions\""));
+    // The document carries no timing: goldens stay host-independent.
+    for banned in ["secs", "nanos", "duration"] {
+        assert!(!one.contains(banned), "report leaks timing: `{banned}`");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legacy-schema compatibility
+// ---------------------------------------------------------------------
+
+/// Minimal JSON value for schema comparisons; numbers keep their raw
+/// lexemes so equality is exact.
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+/// Recursive-descent parser for the subset our documents emit (the
+/// vendored `serde_json` stand-in only serializes).
+fn parse_json(text: &str) -> Json {
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+    impl P<'_> {
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn expect(&mut self, c: u8) {
+            self.ws();
+            assert_eq!(
+                self.b[self.i], c,
+                "expected {} at byte {}",
+                c as char, self.i
+            );
+            self.i += 1;
+        }
+        fn string(&mut self) -> String {
+            self.expect(b'"');
+            let mut out = String::new();
+            loop {
+                let c = self.b[self.i];
+                self.i += 1;
+                match c {
+                    b'"' => return out,
+                    b'\\' => {
+                        let e = self.b[self.i];
+                        self.i += 1;
+                        out.push(match e {
+                            b'n' => '\n',
+                            b't' => '\t',
+                            other => other as char,
+                        });
+                    }
+                    other => out.push(other as char),
+                }
+            }
+        }
+        fn value(&mut self) -> Json {
+            self.ws();
+            match self.b[self.i] {
+                b'{' => {
+                    self.i += 1;
+                    let mut fields = Vec::new();
+                    self.ws();
+                    if self.b[self.i] == b'}' {
+                        self.i += 1;
+                        return Json::Obj(fields);
+                    }
+                    loop {
+                        let key = self.string();
+                        self.expect(b':');
+                        fields.push((key, self.value()));
+                        self.ws();
+                        match self.b[self.i] {
+                            b',' => self.i += 1,
+                            b'}' => {
+                                self.i += 1;
+                                return Json::Obj(fields);
+                            }
+                            other => panic!("bad object separator {}", other as char),
+                        }
+                        self.ws();
+                    }
+                }
+                b'[' => {
+                    self.i += 1;
+                    let mut items = Vec::new();
+                    self.ws();
+                    if self.b[self.i] == b']' {
+                        self.i += 1;
+                        return Json::Arr(items);
+                    }
+                    loop {
+                        items.push(self.value());
+                        self.ws();
+                        match self.b[self.i] {
+                            b',' => self.i += 1,
+                            b']' => {
+                                self.i += 1;
+                                return Json::Arr(items);
+                            }
+                            other => panic!("bad array separator {}", other as char),
+                        }
+                    }
+                }
+                b'"' => Json::Str(self.string()),
+                b't' => {
+                    self.i += 4;
+                    Json::Bool(true)
+                }
+                b'f' => {
+                    self.i += 5;
+                    Json::Bool(false)
+                }
+                b'n' => {
+                    self.i += 4;
+                    Json::Null
+                }
+                _ => {
+                    let start = self.i;
+                    while self.i < self.b.len()
+                        && matches!(
+                            self.b[self.i],
+                            b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+                        )
+                    {
+                        self.i += 1;
+                    }
+                    Json::Num(String::from_utf8(self.b[start..self.i].to_vec()).unwrap())
+                }
+            }
+        }
+    }
+    let mut p = P {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let v = p.value();
+    p.ws();
+    assert_eq!(p.i, text.len(), "trailing garbage after JSON value");
+    v
+}
+
+/// Recursive *additive* comparison: every field the legacy document
+/// has must exist in the current one with an additively-equal value.
+fn assert_additive(legacy: &Json, current: &Json, path: &str) {
+    match (legacy, current) {
+        (Json::Obj(old), Json::Obj(new)) => {
+            for (key, old_value) in old {
+                let (_, new_value) = new
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .unwrap_or_else(|| panic!("new schema dropped `{path}.{key}`"));
+                assert_additive(old_value, new_value, &format!("{path}.{key}"));
+            }
+        }
+        _ => assert_eq!(current, legacy, "value of `{path}` changed"),
+    }
+}
+
+/// Documents written by the schema's first consumers (bisection +
+/// front tracking only, before per-region attribution and boundary
+/// detail) must stay readable: every field they parse is present with
+/// the identical value, and the only additions since are the
+/// `regions` and `boundary` sections.
+#[test]
+fn v1_analyze_documents_remain_readable_and_schema_is_additive() {
+    let legacy_text =
+        std::fs::read_to_string(golden_path("legacy_analyze_v1")).expect("legacy fixture");
+    let Json::Obj(legacy) = parse_json(&legacy_text) else {
+        panic!("legacy fixture is not an object")
+    };
+    let legacy_keys: Vec<&str> = legacy.iter().map(|(k, _)| k.as_str()).collect();
+    for key in [
+        "schema_version",
+        "divergent",
+        "iterations",
+        "ranks",
+        "bisection",
+        "front",
+    ] {
+        assert!(legacy_keys.contains(&key), "legacy document lost `{key}`");
+    }
+    assert!(
+        !legacy_keys.contains(&"regions") && !legacy_keys.contains(&"boundary"),
+        "the legacy fixture must predate per-region attribution"
+    );
+
+    let current_text =
+        std::fs::read_to_string(golden_path("analyze_divergence")).expect("current golden");
+    let Json::Obj(current) = parse_json(&current_text) else {
+        panic!("current golden is not an object")
+    };
+    for (key, legacy_value) in &legacy {
+        let (_, current_value) = current
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("new schema dropped `{key}`"));
+        assert_additive(legacy_value, current_value, key);
+    }
+    let added: Vec<&str> = current
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .filter(|k| !legacy_keys.contains(k))
+        .collect();
+    assert_eq!(
+        added,
+        vec!["regions", "boundary"],
+        "additions beyond the attribution sections"
+    );
+}

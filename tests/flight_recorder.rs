@@ -413,6 +413,84 @@ fn folded_stacks_cover_the_compare_tree() {
 }
 
 // ---------------------------------------------------------------------
+// Online-policy divergence events
+// ---------------------------------------------------------------------
+
+/// When an `OnlinePolicy::AbortAfter` threshold trips, the comparator
+/// emits exactly one typed `divergence` event whose fields name the
+/// crossing `(rank, iteration)`, the accumulated total, and the
+/// configured threshold — and the event survives the JSONL round trip
+/// with its `divergence` type tag.
+#[test]
+fn online_abort_emits_a_typed_divergence_event() {
+    use reprocmp::core::{CheckpointHistory, OnlineComparator, OnlinePolicy};
+
+    let engine = engine_for(BackendKind::Blocking);
+    let (reference, _) = generate(21, 8 << 10);
+    let mut history = CheckpointHistory::new();
+    for iteration in [10u64, 20, 30] {
+        history.insert(
+            0,
+            iteration,
+            CheckpointSource::in_memory(&reference, &engine).expect("reference checkpoint"),
+        );
+    }
+    let journal = Journal::new(ObsClock::frozen());
+    let mut online = OnlineComparator::new(
+        engine,
+        history,
+        OnlinePolicy::AbortAfter {
+            max_total_diffs: 10,
+        },
+    )
+    .with_journal(journal.clone());
+
+    // Iteration 10 is clean: no event. Iteration 20 blows past the
+    // threshold: exactly one event. Iteration 30 is refused while
+    // halted: still exactly one event.
+    online.observe(0, 10, &reference).expect("clean observe");
+    let diverged: Vec<f32> = reference.iter().map(|v| v + 0.5).collect();
+    online.observe(0, 20, &diverged).expect("diverged observe");
+    online.observe(0, 30, &diverged).expect("halted observe");
+    assert!(online.halted());
+
+    let events: Vec<_> = journal
+        .events()
+        .into_iter()
+        .filter(|e| matches!(e.kind, EventKind::Divergence { .. }))
+        .collect();
+    assert_eq!(events.len(), 1, "exactly one divergence event");
+    let EventKind::Divergence {
+        rank,
+        iteration,
+        total_diffs,
+        threshold,
+    } = &events[0].kind
+    else {
+        unreachable!()
+    };
+    assert_eq!((*rank, *iteration, *threshold), (0, 20, 10));
+    assert_eq!(*total_diffs, online.total_diffs());
+    assert!(*total_diffs > *threshold);
+
+    // JSONL spelling: lane `online`, type `divergence`, all fields.
+    let line = journal
+        .to_jsonl()
+        .lines()
+        .map(parse_json)
+        .find(|obj| obj.get("type").and_then(Json::as_str) == Some("divergence"))
+        .expect("divergence line in JSONL");
+    assert_eq!(line.get("lane").and_then(Json::as_str), Some("online"));
+    assert_eq!(line.get("rank").and_then(Json::as_u64), Some(0));
+    assert_eq!(line.get("iteration").and_then(Json::as_u64), Some(20));
+    assert_eq!(line.get("threshold").and_then(Json::as_u64), Some(10));
+    assert_eq!(
+        line.get("total_diffs").and_then(Json::as_u64),
+        Some(online.total_diffs())
+    );
+}
+
+// ---------------------------------------------------------------------
 // Overhead budget
 // ---------------------------------------------------------------------
 

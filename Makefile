@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test lint fmt goldens gate bench-figures trace-demo analyze-demo perf-diff
+.PHONY: verify build test lint fmt goldens gate bench-figures trace-demo analyze-demo top-demo perf-diff
 
 verify: build test lint fmt gate
 
@@ -30,6 +30,7 @@ gate:
 goldens:
 	UPDATE_GOLDEN=1 $(CARGO) test --test golden_reports
 	UPDATE_GOLDEN=1 $(CARGO) test --test analyze_json
+	UPDATE_GOLDEN=1 $(CARGO) test --test telemetry_plane
 	UPDATE_GOLDEN=1 $(CARGO) test -p reprocmp-analyze --test snapshots
 
 # Flight-recorder demo: two divergent mini-HACC runs, then a journaled
@@ -62,6 +63,10 @@ perf-diff:
 	$(CARGO) run --release -p reprocmp-cli --bin reprocmp -- perf-diff \
 		tests/goldens/divergence_profile.json \
 		bench_results/divergence_profile.json --budget 10%
+	$(CARGO) run --release -p reprocmp-bench --bin fig_telemetry -- --profile-only
+	$(CARGO) run --release -p reprocmp-cli --bin reprocmp -- perf-diff \
+		tests/goldens/telemetry_profile.json \
+		bench_results/telemetry_profile.json --budget 10%
 
 # Divergence-forensics demo: two divergent mini-HACC runs, then the
 # analyze verb — O(log M) bisection, front tracking, and a scripted
@@ -77,8 +82,30 @@ analyze-demo:
 		--run2-dir $(ANALYZE_DEMO_DIR)/run2/pfs \
 		--error-bound 1e-9 --keys "l l t q" || test $$? -eq 1
 
+# Live-telemetry demo: a daemon sampling at 10 Hz under a short job
+# load, one Prometheus scrape, a few live `top` frames, then a clean
+# drain. The persisted history survives at .../store/telemetry.jsonl —
+# replay it any time with `reprocmp top --file ... --keys "t q"`.
+TOP_DEMO_DIR ?= /tmp/reprocmp-top-demo
+top-demo:
+	$(CARGO) build --release -p reprocmp-cli
+	rm -rf $(TOP_DEMO_DIR)
+	mkdir -p $(TOP_DEMO_DIR)
+	target/release/reprocmp simulate --out-dir $(TOP_DEMO_DIR)/sim
+	target/release/reprocmp serve --store $(TOP_DEMO_DIR)/store \
+		--addr 127.0.0.1:0 --addr-file $(TOP_DEMO_DIR)/addr --telemetry-ms 100 & \
+	while [ ! -s $(TOP_DEMO_DIR)/addr ]; do sleep 0.1; done; \
+	ADDR=$$(cat $(TOP_DEMO_DIR)/addr); \
+	target/release/reprocmp submit --addr $$ADDR \
+		--input $(TOP_DEMO_DIR)/sim/pfs/run.rank0.v000040.ckpt \
+		--name demo --version 1 && \
+	target/release/reprocmp metrics --addr $$ADDR --prom && \
+	target/release/reprocmp top --addr $$ADDR --frames 3 && \
+	target/release/reprocmp shutdown --addr $$ADDR
+	@echo "telemetry history persisted at $(TOP_DEMO_DIR)/store/telemetry.jsonl"
+
 # Re-run every figure/table harness; results land in bench_results/.
 bench-figures:
-	for bin in fig5 fig6 fig7 fig8 fig9 fig10 fig_multirun fig_dedup fig_delta fig_server fig_divergence table1 table2 ablate; do \
+	for bin in fig5 fig6 fig7 fig8 fig9 fig10 fig_multirun fig_dedup fig_delta fig_server fig_divergence fig_telemetry table1 table2 ablate; do \
 		$(CARGO) run --release -p reprocmp-bench --bin $$bin || exit 1; \
 	done

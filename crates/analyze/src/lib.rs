@@ -33,4 +33,4 @@ pub use bisect::{bisect_first_divergence, BisectionResult};
 pub use front::{track_front, FrontSnapshot, FrontTrack, SpreadClass, SATURATION_FRACTION};
 pub use probe::{load_tree, probe_pair, ProbeStats, TreeDiff};
 pub use report::{analyze, AnalyzeOptions, DivergenceReport, SCHEMA_VERSION};
-pub use tui::Explorer;
+pub use tui::{Explorer, TopView};

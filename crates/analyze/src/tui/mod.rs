@@ -1,15 +1,17 @@
 //! The deterministic terminal UI: frame buffer, widgets, explorer.
 //!
 //! Layered bottom-up: [`frame`] is a bare character grid, [`widgets`]
-//! draw tree views and heatmaps into it, and [`explorer`] is the
-//! key-driven state machine over both. Nothing here touches a real
-//! terminal — rendering is `state → String`, so every frame is
+//! draw tree views and heatmaps into it, and [`explorer`] / [`top`]
+//! are the key-driven state machines over both. Nothing here touches
+//! a real terminal — rendering is `state → String`, so every frame is
 //! snapshot-testable.
 
 pub mod explorer;
 pub mod frame;
+pub mod top;
 pub mod widgets;
 
 pub use explorer::{Explorer, IterationDiff, View};
 pub use frame::Frame;
+pub use top::{TopPane, TopView};
 pub use widgets::{heatmap, ramp_char, tree_view, HeatColumn, RAMP};

@@ -157,19 +157,20 @@ impl serde::Serialize for RawValue {
     }
 }
 
-/// The `--json` report object: the serialized [`CompareReport`] plus an
-/// additive `"histograms"` key with the registry's latency quantiles.
+/// The `--json` report object: the serialized [`CompareReport`] plus
+/// additive `"histograms"` (quantiles, sums, and log2 bucket arrays)
+/// and `"gauges"` keys from the registry.
 fn report_with_histograms(
     report: &reprocmp_core::CompareReport,
     obs: &reprocmp_obs::Observer,
 ) -> RawValue {
     use serde::Serialize as _;
-    let quantiles =
-        reprocmp_obs::ProfileBaseline::from_registry(report.stages, &obs.registry.snapshot())
-            .histograms;
+    let baseline =
+        reprocmp_obs::ProfileBaseline::from_registry(report.stages, &obs.registry.snapshot());
     let mut value = report.to_value();
     if let serde::Value::Object(fields) = &mut value {
-        fields.push(("histograms".to_owned(), quantiles.to_value()));
+        fields.push(("histograms".to_owned(), baseline.histograms.to_value()));
+        fields.push(("gauges".to_owned(), baseline.gauges.to_value()));
     }
     RawValue(value)
 }
@@ -1205,6 +1206,25 @@ pub fn analyze(map: &ArgMap) -> Result<String, CliError> {
         return verdict(out);
     }
 
+    // --live: the same explorer driven interactively — raw-mode
+    // keystrokes in, ANSI-cleared frames out (shared shim with `top`).
+    if map.flag("live") {
+        let mut explorer = Explorer::build(&engine, &h1, &h2).map_err(fail)?;
+        let _guard = crate::term::RawModeGuard::enter().ok();
+        let key_rx = crate::term::spawn_key_reader();
+        loop {
+            print!("{}{}", crate::term::CLEAR, explorer.render());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            let Ok(key) = key_rx.recv() else { break };
+            explorer.handle_key(key);
+            if explorer.quit_requested() {
+                break;
+            }
+        }
+        return verdict("analyze: explorer session ended\n".to_owned());
+    }
+
     if map.flag("json") {
         let mut s = report.to_json();
         s.push('\n');
@@ -1830,12 +1850,20 @@ pub fn serve(map: &ArgMap) -> Result<String, CliError> {
 
     let root = PathBuf::from(map.required("store")?);
     let defaults = ServerConfig::rooted_at(&root);
+    let cadence_ms = map.parsed_or(
+        "telemetry-ms",
+        u64::try_from(defaults.telemetry_cadence.as_millis()).unwrap_or(u64::MAX),
+    )?;
     let config = ServerConfig {
         chunk_bytes: map.parsed_or("chunk-bytes", defaults.chunk_bytes)?,
         error_bound: map.parsed_or("error-bound", defaults.error_bound)?,
         workers: map.parsed_or("workers", defaults.workers)?,
         queue_capacity: map.parsed_or("queue", defaults.queue_capacity)?,
         quantum: map.parsed_or("quantum", defaults.quantum)?,
+        // `--telemetry-ms 0` disables the background sampler (the
+        // `metrics` verb still samples on demand).
+        telemetry_cadence: std::time::Duration::from_millis(cadence_ms),
+        telemetry_retention: map.parsed_or("telemetry-retention", defaults.telemetry_retention)?,
         owner: map
             .optional("owner")
             .map_or(defaults.owner.clone(), str::to_owned),
@@ -1958,6 +1986,143 @@ pub fn watch(map: &ArgMap) -> Result<String, CliError> {
         summary.events_dropped
     );
     Ok(out)
+}
+
+/// `shutdown`: ask a running daemon to drain and exit.
+///
+/// The daemon stops admitting work, finishes every in-flight job
+/// (blocked `status --wait`/`watch`/`subscribe` clients all get their
+/// terminal frames), then releases the store and exits.
+///
+/// # Errors
+///
+/// Transport failures.
+pub fn shutdown(map: &ArgMap) -> Result<String, CliError> {
+    let mut session = connect_client(map)?;
+    session.shutdown_server().map_err(fail)?;
+    Ok("shutdown acknowledged — daemon is draining\n".to_owned())
+}
+
+/// `metrics`: fetch one telemetry snapshot from a running daemon.
+/// Default output is pretty JSON (the exact wire payload); `--prom`
+/// renders the Prometheus text exposition instead — stable, byte-
+/// deterministic output fit for a scrape endpoint or a golden test.
+///
+/// # Errors
+///
+/// Transport failures; malformed snapshots under `--prom`.
+pub fn metrics(map: &ArgMap) -> Result<String, CliError> {
+    let mut session = connect_client(map)?;
+    let value = session.metrics().map_err(fail)?;
+    if map.flag("prom") {
+        let snapshot = reprocmp_obs::TelemetrySnapshot::from_value(&value)
+            .map_err(|e| fail(format!("malformed telemetry snapshot: {e}")))?;
+        return Ok(reprocmp_obs::prometheus_text(&snapshot));
+    }
+    let mut out = serde_json::to_string_pretty(&RawValue(value)).map_err(fail)?;
+    out.push('\n');
+    Ok(out)
+}
+
+/// Numbers frames the way `analyze --keys` does, so scripted TUI
+/// output from every command diffs the same way.
+fn render_frames(frames: &[String]) -> String {
+    let mut out = String::new();
+    for (i, frame) in frames.iter().enumerate() {
+        let _ = writeln!(out, "--- frame {i} ---");
+        out.push_str(frame);
+    }
+    out
+}
+
+/// Parses one `telemetry.jsonl` line-set into snapshots, skipping
+/// torn or foreign lines (the file is crash-tolerant by design).
+fn parse_telemetry_jsonl(text: &str) -> Vec<reprocmp_obs::TelemetrySnapshot> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| reprocmp_server::json::parse(l).ok())
+        .filter_map(|v| reprocmp_obs::TelemetrySnapshot::from_value(&v).ok())
+        .collect()
+}
+
+/// `top`: the live daemon telemetry viewer. Three modes:
+///
+/// * `--file telemetry.jsonl [--keys S]` — offline replay of persisted
+///   history (deterministic; what the snapshot tests drive);
+/// * `--addr H:P --frames N [--keys S]` — subscribe for N snapshots,
+///   then render scripted frames and exit (CI-able capture);
+/// * `--addr H:P` — interactive raw-mode session: `h`/`l` scroll
+///   history, `t` toggles panes, `q` quits.
+///
+/// # Errors
+///
+/// Transport failures; unreadable `--file`.
+pub fn top(map: &ArgMap) -> Result<String, CliError> {
+    use reprocmp_analyze::TopView;
+
+    let keys = map.optional("keys");
+
+    // Offline: replay persisted telemetry history.
+    if let Some(path) = map.optional("file") {
+        let text = std::fs::read_to_string(path).map_err(|e| fail(format!("{path}: {e}")))?;
+        let mut view = TopView::new(parse_telemetry_jsonl(&text));
+        return Ok(render_frames(&view.play(keys.unwrap_or(""))));
+    }
+
+    let mut session = connect_client(map)?;
+
+    // Scripted capture: N snapshots off the subscribe stream, then
+    // frames — one per snapshot, plus one per key if `--keys` is set.
+    if map.optional("frames").is_some() {
+        let n = map.parsed_or("frames", 1u64)?;
+        let snapshots = session.subscribe_telemetry(n).map_err(fail)?;
+        let mut view = TopView::new(Vec::new());
+        let mut frames = Vec::new();
+        for value in &snapshots {
+            if let Ok(s) = reprocmp_obs::TelemetrySnapshot::from_value(value) {
+                view.push(s);
+                frames.push(view.render());
+            }
+        }
+        if let Some(script) = keys {
+            frames.extend(view.play(script).into_iter().skip(1));
+        }
+        return Ok(render_frames(&frames));
+    }
+
+    // Interactive: raw-mode keystrokes against a ~2 Hz metrics poll.
+    // Raw mode is best-effort — without a tty the keys just arrive
+    // line-buffered.
+    let _guard = crate::term::RawModeGuard::enter().ok();
+    let key_rx = crate::term::spawn_key_reader();
+    let mut view = TopView::new(Vec::new());
+    let mut last_seq = 0u64;
+    loop {
+        let value = session.metrics().map_err(fail)?;
+        if let Ok(s) = reprocmp_obs::TelemetrySnapshot::from_value(&value) {
+            if s.seq > last_seq {
+                last_seq = s.seq;
+                view.push(s);
+            }
+        }
+        print!("{}{}", crate::term::CLEAR, view.render());
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        match key_rx.recv_timeout(std::time::Duration::from_millis(500)) {
+            Ok(key) => {
+                view.handle_key(key);
+                if view.quit_requested() {
+                    break;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    Ok(format!(
+        "top: session ended after {} snapshots\n",
+        view.len()
+    ))
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod term;
 
 use std::fmt::Write as _;
 
@@ -223,6 +224,26 @@ pub fn usage() -> String {
     );
     let _ = writeln!(
         s,
+        "  shutdown     --addr H:P   (drain in-flight jobs, release the store, exit)"
+    );
+    let _ = writeln!(
+        s,
+        "  metrics      --addr H:P [--prom]   (one telemetry snapshot: queue, workers,"
+    );
+    let _ = writeln!(
+        s,
+        "               store, registry — JSON, or Prometheus text with --prom)"
+    );
+    let _ = writeln!(
+        s,
+        "  top          (--addr H:P | --file telemetry.jsonl) [--frames N] [--keys S]"
+    );
+    let _ = writeln!(
+        s,
+        "               (live telemetry TUI; --frames/--keys replay deterministically)"
+    );
+    let _ = writeln!(
+        s,
         "  simulate     --out-dir D [--particles 2048] [--steps 50] [--ranks 2]"
     );
     let _ = writeln!(
@@ -272,7 +293,7 @@ pub fn usage() -> String {
     );
     let _ = writeln!(
         s,
-        "               [--json] [--keys \"l l t q\"] [--regions name:f32|f64:count,...]"
+        "               [--json] [--keys \"l l t q\"] [--live] [--regions name:f32|f64:count,...]"
     );
     let _ = writeln!(
         s,
@@ -338,6 +359,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "submit" => commands::submit(&rest),
         "status" => commands::status(&rest),
         "watch" => commands::watch(&rest),
+        "shutdown" => commands::shutdown(&rest),
+        "metrics" => commands::metrics(&rest),
+        "top" => commands::top(&rest),
         "simulate" => commands::simulate(&rest),
         "census" => commands::census(&rest),
         "gate" => commands::gate(&rest),

@@ -1,0 +1,104 @@
+//! Terminal plumbing for the interactive TUI modes (`top`, `analyze
+//! --live`).
+//!
+//! The deterministic TUI layer renders `state → String` and never
+//! touches a terminal; this module is the thin, shared shim that the
+//! live modes put in front of it: raw-mode keystrokes in, ANSI-cleared
+//! frames out. Raw mode is entered via the `stty` utility rather than
+//! a libc binding, keeping the crate `forbid(unsafe_code)`; when
+//! stdin is not a terminal (tests, pipes) every helper degrades
+//! gracefully and the scripted `--keys`/`--frames` paths stay fully
+//! deterministic.
+
+use std::io::Read as _;
+use std::process::{Command, Stdio};
+use std::sync::mpsc::{channel, Receiver};
+
+/// RAII guard that puts the controlling terminal into raw(ish) mode
+/// (`-icanon -echo`: per-keystroke reads, no echo) and restores the
+/// saved settings on drop — including on panic unwind.
+#[derive(Debug)]
+pub struct RawModeGuard {
+    saved: String,
+}
+
+impl RawModeGuard {
+    /// Enters raw mode, remembering the current settings. Fails when
+    /// stdin is not a terminal (`stty` refuses); callers treat that as
+    /// "run without raw mode" rather than an error.
+    ///
+    /// # Errors
+    ///
+    /// `stty` missing, stdin not a tty, or the mode switch failing.
+    pub fn enter() -> std::io::Result<RawModeGuard> {
+        let saved = Command::new("stty")
+            .arg("-g")
+            .stdin(Stdio::inherit())
+            .output()?;
+        if !saved.status.success() {
+            return Err(std::io::Error::other("stdin is not a terminal"));
+        }
+        let saved = String::from_utf8_lossy(&saved.stdout).trim().to_owned();
+        let set = Command::new("stty")
+            .args(["-icanon", "-echo"])
+            .stdin(Stdio::inherit())
+            .status()?;
+        if !set.success() {
+            return Err(std::io::Error::other("stty could not enter raw mode"));
+        }
+        Ok(RawModeGuard { saved })
+    }
+}
+
+impl Drop for RawModeGuard {
+    fn drop(&mut self) {
+        let _ = Command::new("stty")
+            .arg(&self.saved)
+            .stdin(Stdio::inherit())
+            .status();
+    }
+}
+
+/// ANSI prefix that clears the screen and homes the cursor — prepend
+/// to a frame for flicker-free live redraws.
+pub const CLEAR: &str = "\x1b[2J\x1b[H";
+
+/// Spawns a detached reader thread turning stdin bytes into a channel
+/// of keypresses, so a live loop can wait on "key or timeout" without
+/// blocking its refresh cadence. The channel closes on stdin EOF; the
+/// thread exits with the process.
+#[must_use]
+pub fn spawn_key_reader() -> Receiver<char> {
+    let (tx, rx) = channel();
+    std::thread::spawn(move || {
+        let mut stdin = std::io::stdin();
+        let mut buf = [0u8; 1];
+        while matches!(stdin.read(&mut buf), Ok(1)) {
+            if tx.send(buf[0] as char).is_err() {
+                break;
+            }
+        }
+    });
+    rx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_mode_fails_cleanly_without_a_terminal() {
+        // Test harness stdin is not a tty; the guard must refuse
+        // rather than wedge the terminal state.
+        if std::io::IsTerminal::is_terminal(&std::io::stdin()) {
+            return; // interactive run: nothing to assert safely
+        }
+        assert!(RawModeGuard::enter().is_err());
+    }
+
+    #[test]
+    fn clear_prefix_is_the_ansi_clear_home_sequence() {
+        assert_eq!(CLEAR.len(), 7);
+        assert!(CLEAR.starts_with('\x1b'));
+    }
+}

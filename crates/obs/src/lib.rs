@@ -36,6 +36,10 @@
 //!   flamegraph exporters over spans + journal events.
 //! * [`profile`] — committable [`ProfileBaseline`]s and
 //!   [`diff_profiles`] regression detection (`reprocmp perf-diff`).
+//! * [`telemetry`] — the live telemetry plane: schema-versioned
+//!   daemon-level [`TelemetrySnapshot`]s, the bounded [`TelemetryRing`]
+//!   history, the deterministic [`Sampler`], and the Prometheus text
+//!   exposition renderer ([`prometheus_text`]).
 //!
 //! An [`Observer`] bundles a tracer, a registry, and a journal so
 //! callers can pass one handle through the stack.
@@ -51,17 +55,23 @@ pub mod profile;
 pub mod span;
 pub mod stage;
 pub mod store;
+pub mod telemetry;
 
 pub use cache::CacheStats;
 pub use export::{chrome_trace, folded_stacks};
 pub use journal::{Event, EventKind, Journal, JournalLedger, JournalSlot};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, RegistrySnapshot,
+    Counter, Gauge, Histogram, HistogramBucket, HistogramSnapshot, MetricValue, NamedHistogram,
+    Registry, RegistrySnapshot,
 };
 pub use profile::{diff_profiles, parse_budget, HistogramQuantiles, ProfileBaseline, ProfileDiff};
 pub use span::{SpanGuard, SpanRecord, Tracer};
 pub use stage::{PhaseCost, StageBreakdown};
 pub use store::{StoreReadCounters, StoreReadStats};
+pub use telemetry::{
+    prometheus_text, JobStateCounts, QueueTelemetry, Sampler, StoreTelemetry, TelemetryRing,
+    TelemetrySnapshot, WorkerTelemetry, TELEMETRY_SCHEMA_VERSION,
+};
 
 use std::fmt;
 use std::sync::Arc;

@@ -18,12 +18,14 @@
 //! recorder `ci_baseline_breakdown.json` — keep parsing. Phases the
 //! file predates (e.g. `store_read`) default to zero.
 
-use crate::metrics::RegistrySnapshot;
+use crate::metrics::{HistogramBucket, MetricValue, RegistrySnapshot};
 use crate::stage::{PhaseCost, StageBreakdown};
 use serde::Serialize;
 use std::time::Duration;
 
-/// The committed quantiles of one histogram.
+/// The committed quantiles of one histogram, plus (since the telemetry
+/// plane) its sum and raw log2 bucket array so downstream renderers —
+/// Prometheus exposition, `top` sparklines — need no side channels.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct HistogramQuantiles {
     /// Histogram name (registry key).
@@ -36,16 +38,23 @@ pub struct HistogramQuantiles {
     pub p95: u64,
     /// Estimated 99th percentile.
     pub p99: u64,
+    /// Sum of observations (zero in pre-telemetry files).
+    pub sum: u64,
+    /// Non-empty log2 buckets, ascending (empty in pre-telemetry
+    /// files).
+    pub buckets: Vec<HistogramBucket>,
 }
 
 /// A committable performance profile: stage breakdown + histogram
-/// quantiles.
+/// quantiles + gauge values.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Default)]
 pub struct ProfileBaseline {
     /// Per-phase time/bytes/ops.
     pub stages: StageBreakdown,
     /// Quantiles of selected histograms, sorted by name.
     pub histograms: Vec<HistogramQuantiles>,
+    /// Gauge values, sorted by name (empty in pre-telemetry files).
+    pub gauges: Vec<MetricValue>,
 }
 
 impl ProfileBaseline {
@@ -55,10 +64,11 @@ impl ProfileBaseline {
         ProfileBaseline {
             stages,
             histograms: Vec::new(),
+            gauges: Vec::new(),
         }
     }
 
-    /// A baseline carrying every histogram in `registry`.
+    /// A baseline carrying every histogram and gauge in `registry`.
     #[must_use]
     pub fn from_registry(stages: StageBreakdown, registry: &RegistrySnapshot) -> Self {
         let histograms = registry
@@ -70,9 +80,15 @@ impl ProfileBaseline {
                 p50: h.histogram.p50,
                 p95: h.histogram.p95,
                 p99: h.histogram.p99,
+                sum: h.histogram.sum,
+                buckets: h.histogram.buckets.clone(),
             })
             .collect();
-        ProfileBaseline { stages, histograms }
+        ProfileBaseline {
+            stages,
+            histograms,
+            gauges: registry.gauges.clone(),
+        }
     }
 
     /// Pretty JSON, newline-terminated (the committed-file format).
@@ -133,6 +149,19 @@ impl ProfileBaseline {
                 let obj = item
                     .as_object()
                     .ok_or("histogram entries must be objects")?;
+                // `sum` and `buckets` arrived with the telemetry plane;
+                // pre-telemetry files simply lack them.
+                let mut buckets = Vec::new();
+                if let Some(Json::Arr(raw)) = find(obj, "buckets") {
+                    for b in raw {
+                        let b = b.as_object().ok_or("buckets must hold objects")?;
+                        buckets.push(HistogramBucket {
+                            low: get_u64(b, "low")?,
+                            high: get_u64(b, "high")?,
+                            count: get_u64(b, "count")?,
+                        });
+                    }
+                }
                 histograms.push(HistogramQuantiles {
                     name: find(obj, "name")
                         .and_then(Json::as_str)
@@ -142,10 +171,29 @@ impl ProfileBaseline {
                     p50: get_u64(obj, "p50")?,
                     p95: get_u64(obj, "p95")?,
                     p99: get_u64(obj, "p99")?,
+                    sum: get_u64_or(obj, "sum", 0)?,
+                    buckets,
                 });
             }
         }
-        Ok(ProfileBaseline { stages, histograms })
+        let mut gauges = Vec::new();
+        if let Some(Json::Arr(items)) = find(root, "gauges") {
+            for item in items {
+                let obj = item.as_object().ok_or("gauge entries must be objects")?;
+                gauges.push(MetricValue {
+                    name: find(obj, "name")
+                        .and_then(Json::as_str)
+                        .ok_or("gauge entry missing \"name\"")?
+                        .to_owned(),
+                    value: get_i64(obj, "value")?,
+                });
+            }
+        }
+        Ok(ProfileBaseline {
+            stages,
+            histograms,
+            gauges,
+        })
     }
 }
 
@@ -393,6 +441,25 @@ fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("missing numeric field {key:?}"))
 }
 
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn get_u64_or(obj: &[(String, Json)], key: &str, default: u64) -> Result<u64, String> {
+    match find(obj, key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("field {key:?} must be numeric")),
+    }
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn get_i64(obj: &[(String, Json)], key: &str) -> Result<i64, String> {
+    find(obj, key)
+        .and_then(Json::as_f64)
+        .map(|v| v as i64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
 fn parse_phase(obj: &[(String, Json)]) -> Result<PhaseCost, String> {
     let time = find(obj, "time")
         .and_then(Json::as_object)
@@ -617,6 +684,16 @@ mod tests {
                 p50: 512,
                 p95: 512,
                 p99: 512,
+                sum: 8192,
+                buckets: vec![HistogramBucket {
+                    low: 512,
+                    high: 1023,
+                    count: 16,
+                }],
+            }],
+            gauges: vec![MetricValue {
+                name: "queue.depth".into(),
+                value: -3,
             }],
         }
     }
@@ -645,6 +722,24 @@ mod tests {
         let parsed = ProfileBaseline::parse(&legacy).expect("legacy breakdown parses");
         assert_eq!(parsed.stages, stages);
         assert!(parsed.histograms.is_empty());
+    }
+
+    #[test]
+    fn pre_telemetry_files_parse_with_new_fields_defaulted() {
+        // A baseline written before the telemetry plane: histogram
+        // entries carry only name/count/quantiles, and there is no
+        // top-level "gauges" array.
+        let legacy = r#"{
+  "stages": {},
+  "histograms": [
+    {"name": "io.read_bytes", "count": 16, "p50": 512, "p95": 512, "p99": 512}
+  ]
+}"#;
+        let parsed = ProfileBaseline::parse(legacy).expect("legacy baseline parses");
+        assert_eq!(parsed.histograms.len(), 1);
+        assert_eq!(parsed.histograms[0].sum, 0);
+        assert!(parsed.histograms[0].buckets.is_empty());
+        assert!(parsed.gauges.is_empty());
     }
 
     #[test]

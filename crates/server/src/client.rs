@@ -337,6 +337,51 @@ impl ServerClient {
         }
     }
 
+    /// Fetches one telemetry snapshot taken right now, as the raw
+    /// decoded JSON value (pass it to
+    /// `reprocmp_obs::telemetry::TelemetrySnapshot::from_value` for the
+    /// typed view, or render it with `prometheus_text`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; unexpected frames.
+    pub fn metrics(&mut self) -> ClientResult<Value> {
+        match self.call(&Request::Metrics)? {
+            Response::Telemetry { snapshot } => Ok(snapshot),
+            Response::Error { message } => Err(ClientError::Server { message }),
+            other => Err(ClientError::UnexpectedResponse {
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    /// Subscribes to the telemetry stream: the retained history first,
+    /// then live samples, until `max` snapshots arrived (`0` = until
+    /// the daemon shuts down). Returns the raw snapshot values in
+    /// arrival order once the terminal `telemetry_end` frame lands.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; unexpected frames.
+    pub fn subscribe_telemetry(&mut self, max: u64) -> ClientResult<Vec<Value>> {
+        self.conn
+            .send(&encode(&Request::SubscribeTelemetry { max }))?;
+        let mut snapshots = Vec::new();
+        loop {
+            let payload = self.conn.recv()?.ok_or(ClientError::Disconnected)?;
+            match Response::decode(&payload)? {
+                Response::Telemetry { snapshot } => snapshots.push(snapshot),
+                Response::TelemetryEnd { .. } => return Ok(snapshots),
+                Response::Error { message } => return Err(ClientError::Server { message }),
+                other => {
+                    return Err(ClientError::UnexpectedResponse {
+                        got: other.type_name(),
+                    })
+                }
+            }
+        }
+    }
+
     /// Asks the daemon to drain and exit; returns once acknowledged.
     ///
     /// # Errors

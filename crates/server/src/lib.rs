@@ -49,7 +49,7 @@ pub use client::{
     ClientError, ClientResult, RemoteStatus, ServerClient, ServerInfo, WatchSummary, WatchedEvent,
 };
 pub use proto::{JobState, ObjectRef, ProtoError, Request, Response, PROTOCOL_VERSION};
-pub use queue::{AdmitError, JobQueue, QueuedJob};
+pub use queue::{AdmitError, JobQueue, QueueStats, QueuedJob};
 pub use server::{
     execute_spec, JobOutcome, JobSpec, JobStatus, Server, ServerConfig, ServerError, ServerResult,
 };

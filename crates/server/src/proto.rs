@@ -237,6 +237,18 @@ pub enum Request {
         /// Job id from [`Response::Accepted`].
         job: u64,
     },
+    /// Take one telemetry sample right now and answer with a
+    /// [`Response::Telemetry`] frame (rendering — JSON or Prometheus
+    /// text — is the client's concern).
+    Metrics,
+    /// Stream telemetry snapshots — the retained history first, then
+    /// live samples as they land — as [`Response::Telemetry`] frames
+    /// followed by a terminal [`Response::TelemetryEnd`].
+    SubscribeTelemetry {
+        /// Stop after this many snapshots; `0` streams until the
+        /// daemon shuts down.
+        max: u64,
+    },
     /// Ask the daemon to drain in-flight jobs and exit.
     Shutdown,
 }
@@ -253,6 +265,8 @@ impl Request {
             Request::Materialize { .. } => "materialize",
             Request::Status { .. } => "status",
             Request::Watch { .. } => "watch",
+            Request::Metrics => "metrics",
+            Request::SubscribeTelemetry { .. } => "subscribe_telemetry",
             Request::Shutdown => "shutdown",
         }
     }
@@ -308,6 +322,10 @@ impl Request {
             "watch" => Ok(Request::Watch {
                 job: req_u64(&v, "job")?,
             }),
+            "metrics" => Ok(Request::Metrics),
+            "subscribe_telemetry" => Ok(Request::SubscribeTelemetry {
+                max: get_u64(&v, "max").unwrap_or(0),
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(schema(format!("unknown request type `{other}`"))),
         }
@@ -359,6 +377,10 @@ impl Serialize for Request {
             }
             Request::Watch { job } => {
                 fields.push(("job".to_owned(), Value::UInt(*job)));
+            }
+            Request::Metrics => {}
+            Request::SubscribeTelemetry { max } => {
+                fields.push(("max".to_owned(), Value::UInt(*max)));
             }
             Request::Shutdown => {}
         }
@@ -471,6 +493,18 @@ pub enum Response {
         /// Events evicted under the capacity bound.
         events_dropped: u64,
     },
+    /// One telemetry snapshot — the answer to `metrics` and each
+    /// element of a `subscribe_telemetry` stream.
+    Telemetry {
+        /// The serialized `TelemetrySnapshot` document (kept as a
+        /// value so old clients pass unknown fields through).
+        snapshot: Value,
+    },
+    /// Terminal frame of a `subscribe_telemetry` stream.
+    TelemetryEnd {
+        /// Snapshots streamed before the stream ended.
+        snapshots: u64,
+    },
     /// A request-level failure (unknown job, bad payload, …).
     Error {
         /// What went wrong.
@@ -489,6 +523,8 @@ impl Response {
             Response::Status { .. } => "status",
             Response::Event { .. } => "event",
             Response::Done { .. } => "done",
+            Response::Telemetry { .. } => "telemetry",
+            Response::TelemetryEnd { .. } => "telemetry_end",
             Response::Error { .. } => "error",
         }
     }
@@ -543,6 +579,14 @@ impl Response {
                     events_dropped: get_u64(&v, "events_dropped").unwrap_or(0),
                 })
             }
+            "telemetry" => Ok(Response::Telemetry {
+                snapshot: get(&v, "snapshot")
+                    .cloned()
+                    .ok_or_else(|| schema("telemetry missing `snapshot`"))?,
+            }),
+            "telemetry_end" => Ok(Response::TelemetryEnd {
+                snapshots: get_u64(&v, "snapshots").unwrap_or(0),
+            }),
             "error" => Ok(Response::Error {
                 message: req_str(&v, "message")?,
             }),
@@ -613,6 +657,12 @@ impl Serialize for Response {
                 fields.push(("events_emitted".to_owned(), Value::UInt(*events_emitted)));
                 fields.push(("events_written".to_owned(), Value::UInt(*events_written)));
                 fields.push(("events_dropped".to_owned(), Value::UInt(*events_dropped)));
+            }
+            Response::Telemetry { snapshot } => {
+                fields.push(("snapshot".to_owned(), snapshot.clone()));
+            }
+            Response::TelemetryEnd { snapshots } => {
+                fields.push(("snapshots".to_owned(), Value::UInt(*snapshots)));
             }
             Response::Error { message } => {
                 fields.push(("message".to_owned(), Value::String(message.clone())));
@@ -696,6 +746,9 @@ mod tests {
             },
             Request::Status { job: 7, wait: true },
             Request::Watch { job: 7 },
+            Request::Metrics,
+            Request::SubscribeTelemetry { max: 4 },
+            Request::SubscribeTelemetry { max: 0 },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -742,6 +795,13 @@ mod tests {
                 events_written: 10,
                 events_dropped: 0,
             },
+            Response::Telemetry {
+                snapshot: Value::Object(vec![
+                    ("schema".to_owned(), Value::UInt(1)),
+                    ("seq".to_owned(), Value::UInt(12)),
+                ]),
+            },
+            Response::TelemetryEnd { snapshots: 12 },
             Response::Error {
                 message: "unknown job 4".into(),
             },

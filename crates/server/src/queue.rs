@@ -95,7 +95,28 @@ struct QueueState {
     in_flight: usize,
     queued: usize,
     ticks: u64,
+    admitted: u64,
+    refused: u64,
     shutting_down: bool,
+}
+
+/// A point-in-time reading of the queue's pressure counters, taken
+/// atomically under the queue lock (the telemetry sampler's view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// The admission bound.
+    pub capacity: usize,
+    /// Jobs admitted but not yet served.
+    pub queued: usize,
+    /// Jobs counting against the bound (queued + executing).
+    pub in_flight: usize,
+    /// Jobs admitted since the queue was created (monotonic).
+    pub admitted: u64,
+    /// Jobs refused — backpressure or shutdown — since creation
+    /// (monotonic).
+    pub refused: u64,
+    /// Whether admission has stopped.
+    pub shutting_down: bool,
 }
 
 /// The shared queue. All methods take `&self`; share behind an `Arc`.
@@ -119,6 +140,8 @@ impl JobQueue {
                 in_flight: 0,
                 queued: 0,
                 ticks: 0,
+                admitted: 0,
+                refused: 0,
                 shutting_down: false,
             }),
             wake: Condvar::new(),
@@ -148,9 +171,11 @@ impl JobQueue {
     pub fn enqueue(&self, client: &str, id: u64, cost: u64) -> Result<(), AdmitError> {
         let mut s = self.state.lock();
         if s.shutting_down {
+            s.refused += 1;
             return Err(AdmitError::ShuttingDown);
         }
         if s.in_flight >= self.capacity {
+            s.refused += 1;
             return Err(AdmitError::Backpressure {
                 in_flight: s.in_flight,
                 capacity: self.capacity,
@@ -158,6 +183,7 @@ impl JobQueue {
         }
         s.in_flight += 1;
         s.queued += 1;
+        s.admitted += 1;
         let tick = s.ticks;
         let lane = s.lanes.entry(client.to_owned()).or_default();
         let was_idle = lane.jobs.is_empty();
@@ -267,6 +293,20 @@ impl JobQueue {
     pub fn queued(&self) -> usize {
         self.state.lock().queued
     }
+
+    /// All pressure counters in one consistent reading.
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        let s = self.state.lock();
+        QueueStats {
+            capacity: self.capacity,
+            queued: s.queued,
+            in_flight: s.in_flight,
+            admitted: s.admitted,
+            refused: s.refused,
+            shutting_down: s.shutting_down,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -342,6 +382,23 @@ mod tests {
         assert!(q.enqueue("a", 2, 1).is_err());
         q.finish();
         q.enqueue("a", 2, 1).unwrap();
+    }
+
+    #[test]
+    fn stats_count_admissions_and_refusals() {
+        let q = JobQueue::new(2, 1);
+        q.enqueue("a", 0, 1).unwrap();
+        q.enqueue("a", 1, 1).unwrap();
+        let _ = q.enqueue("a", 2, 1); // backpressure
+        let s = q.stats();
+        assert_eq!((s.admitted, s.refused), (2, 1));
+        assert_eq!((s.queued, s.in_flight), (2, 2));
+        assert!(!s.shutting_down);
+        q.shutdown();
+        let _ = q.enqueue("a", 3, 1); // refused: shutting down
+        let s = q.stats();
+        assert_eq!((s.admitted, s.refused), (2, 2));
+        assert!(s.shutting_down);
     }
 
     #[test]

@@ -17,13 +17,19 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use reprocmp_core::{BatchConfig, CheckpointSource, CompareEngine, EngineConfig, MetaCache};
-use reprocmp_io::{SimClock, Timeline};
-use reprocmp_obs::{Event, JournalLedger, Observer};
+use reprocmp_io::{MutationKind, SimClock, Timeline};
+use reprocmp_obs::telemetry::{JobStateCounts, QueueTelemetry, StoreTelemetry, WorkerTelemetry};
+use reprocmp_obs::{
+    Event, JournalLedger, ObsClock, Observer, Registry, Sampler, TelemetryRing, TelemetrySnapshot,
+    TELEMETRY_SCHEMA_VERSION,
+};
 use reprocmp_store::{real_fs, ChunkStore, StoreConfig, StoreError, StoreFs};
 use serde::{Serialize, Value};
 
@@ -96,11 +102,22 @@ pub struct ServerConfig {
     ///
     /// [`CrashFs`]: reprocmp_store::CrashFs
     pub fs: Arc<dyn StoreFs>,
+    /// Clock the telemetry plane stamps and paces samples with — wall
+    /// time in production, a manual clock in tests so sampled series
+    /// are byte-reproducible.
+    pub telemetry_clock: ObsClock,
+    /// Background sampling cadence. [`Duration::ZERO`] disables the
+    /// sampling thread; explicit `metrics` requests still sample.
+    pub telemetry_cadence: Duration,
+    /// Snapshots the in-memory telemetry ring retains (and the number
+    /// of `telemetry.jsonl` lines replayed into it at startup).
+    pub telemetry_retention: usize,
 }
 
 impl ServerConfig {
     /// Defaults rooted at `store_root`: 4 KiB chunks, ε = 1e-5, two
-    /// workers, 64 in-flight jobs, a quantum of 8.
+    /// workers, 64 in-flight jobs, a quantum of 8, telemetry sampled
+    /// every 100 ms on a wall clock with 256 snapshots retained.
     #[must_use]
     pub fn rooted_at(store_root: impl Into<PathBuf>) -> Self {
         ServerConfig {
@@ -112,6 +129,9 @@ impl ServerConfig {
             queue_capacity: 64,
             quantum: 8,
             fs: real_fs(),
+            telemetry_clock: ObsClock::wall(),
+            telemetry_cadence: Duration::from_millis(100),
+            telemetry_retention: 256,
         }
     }
 }
@@ -349,6 +369,138 @@ struct JobTable {
     changed: Condvar,
 }
 
+/// One worker thread's cumulative activity counters, read lock-free by
+/// the telemetry sampler.
+#[derive(Debug, Default)]
+struct WorkerSlot {
+    jobs: AtomicU64,
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+}
+
+/// Aggregate flight-recorder ledger across all executed jobs.
+#[derive(Debug, Default)]
+struct JournalTotals {
+    emitted: AtomicU64,
+    written: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl JournalTotals {
+    fn add(&self, ledger: JournalLedger) {
+        self.emitted
+            .fetch_add(ledger.events_emitted, Ordering::Relaxed);
+        self.written
+            .fetch_add(ledger.events_written, Ordering::Relaxed);
+        self.dropped
+            .fetch_add(ledger.events_dropped, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> JournalLedger {
+        JournalLedger {
+            events_emitted: self.emitted.load(Ordering::Relaxed),
+            events_written: self.written.load(Ordering::Relaxed),
+            events_dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Ring + sequence counter behind one lock, so a pushed snapshot and
+/// its seq are always consistent.
+#[derive(Debug)]
+struct TelemetryState {
+    ring: TelemetryRing,
+    next_seq: u64,
+}
+
+/// Everything one telemetry sample reads, shared by the server's
+/// handle, its workers, and the background sampling loop.
+#[derive(Debug)]
+struct TelemetryCtx {
+    queue: Arc<JobQueue>,
+    jobs: Arc<JobTable>,
+    store: Arc<ChunkStore>,
+    workers: Vec<WorkerSlot>,
+    journal_totals: JournalTotals,
+    registry: Registry,
+    clock: ObsClock,
+    fs: Arc<dyn StoreFs>,
+    jsonl_path: PathBuf,
+    shared: (Mutex<TelemetryState>, Condvar),
+}
+
+impl TelemetryCtx {
+    /// Takes one sample: reads every counter, assigns the next seq,
+    /// pushes into the ring, appends the JSONL line through the store's
+    /// filesystem seam, and wakes subscribers.
+    fn sample_now(&self) -> TelemetrySnapshot {
+        let qs = self.queue.stats();
+        let mut jobs = JobStateCounts::default();
+        for r in self.jobs.jobs.lock().values() {
+            match r.state {
+                JobState::Queued => jobs.queued += 1,
+                JobState::Running => jobs.running += 1,
+                JobState::Done => jobs.done += 1,
+                JobState::Failed => jobs.failed += 1,
+            }
+        }
+        let st = self.store.stats();
+        let mut snap = TelemetrySnapshot {
+            schema: TELEMETRY_SCHEMA_VERSION,
+            seq: 0,
+            ts_ns: u64::try_from(self.clock.now().as_nanos()).unwrap_or(u64::MAX),
+            queue: QueueTelemetry {
+                capacity: qs.capacity as u64,
+                queued: qs.queued as u64,
+                in_flight: qs.in_flight as u64,
+                admitted: qs.admitted,
+                refused: qs.refused,
+                shutting_down: qs.shutting_down,
+            },
+            workers: self
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| WorkerTelemetry {
+                    worker: i as u64,
+                    jobs_executed: w.jobs.load(Ordering::Relaxed),
+                    busy_ns: w.busy_ns.load(Ordering::Relaxed),
+                    idle_ns: w.idle_ns.load(Ordering::Relaxed),
+                })
+                .collect(),
+            jobs,
+            store: StoreTelemetry {
+                objects: st.objects,
+                packs: st.packs,
+                bytes_logical: st.bytes_logical,
+                bytes_physical: st.bytes_physical,
+                bytes_deduped: st.bytes_deduped,
+                bytes_garbage: st.bytes_garbage,
+                pack_file_bytes: st.pack_file_bytes,
+            },
+            journal: self.journal_totals.snapshot(),
+            registry: self.registry.snapshot(),
+        };
+        let (lock, cvar) = &self.shared;
+        let mut state = lock.lock();
+        snap.seq = state.next_seq;
+        state.next_seq += 1;
+        state.ring.push(snap.clone());
+        let mut line = snap.to_json_line();
+        line.push('\n');
+        // Best-effort persistence: a full disk must not take down the
+        // sampling plane (the in-memory ring stays authoritative).
+        let _ = self.fs.append(
+            &self.jsonl_path,
+            line.as_bytes(),
+            MutationKind::JournalAppend,
+        );
+        drop(state);
+        cvar.notify_all();
+        snap
+    }
+}
+
 /// A point-in-time job status snapshot (what `status` answers with).
 #[derive(Debug, Clone)]
 pub struct JobStatus {
@@ -378,6 +530,8 @@ pub struct Server {
     workers: Mutex<Vec<JoinHandle<()>>>,
     config: ServerConfig,
     stop_requested: Arc<(Mutex<bool>, Condvar)>,
+    telemetry: Arc<TelemetryCtx>,
+    sampler_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Server {
@@ -399,16 +553,82 @@ impl Server {
         }));
         let queue = Arc::new(JobQueue::new(config.queue_capacity, config.quantum));
         let jobs = Arc::new(JobTable::default());
+
+        // Replay persisted telemetry history (reads bypass the
+        // mutation seam, like every other store read) so the ring —
+        // and the seq counter — survive daemon restarts.
+        let jsonl_path = config.store_root.join("telemetry.jsonl");
+        let mut ring = TelemetryRing::new(config.telemetry_retention);
+        let mut next_seq = 1;
+        if let Ok(text) = std::fs::read_to_string(&jsonl_path) {
+            for line in text.lines() {
+                // A torn final line (crash mid-append) parses as an
+                // error and is simply skipped.
+                let Ok(value) = crate::json::parse(line) else {
+                    continue;
+                };
+                let Ok(snap) = TelemetrySnapshot::from_value(&value) else {
+                    continue;
+                };
+                next_seq = next_seq.max(snap.seq + 1);
+                ring.push(snap);
+            }
+        }
+        let telemetry = Arc::new(TelemetryCtx {
+            queue: Arc::clone(&queue),
+            jobs: Arc::clone(&jobs),
+            store: Arc::clone(&store),
+            workers: (0..config.workers.max(1))
+                .map(|_| WorkerSlot::default())
+                .collect(),
+            journal_totals: JournalTotals::default(),
+            registry: Registry::new(),
+            clock: config.telemetry_clock.clone(),
+            fs: Arc::clone(&config.fs),
+            jsonl_path,
+            shared: (
+                Mutex::new(TelemetryState { ring, next_seq }),
+                Condvar::new(),
+            ),
+        });
+
         let mut workers = Vec::new();
-        for _ in 0..config.workers.max(1) {
+        for i in 0..config.workers.max(1) {
             let store = Arc::clone(&store);
             let engine = Arc::clone(&engine);
-            let queue = Arc::clone(&queue);
-            let jobs = Arc::clone(&jobs);
+            let telemetry = Arc::clone(&telemetry);
             workers.push(std::thread::spawn(move || {
-                worker_loop(&store, &engine, &queue, &jobs);
+                worker_loop(&store, &engine, &telemetry, i);
             }));
         }
+
+        let stop_requested = Arc::new((Mutex::new(false), Condvar::new()));
+        let sampler_thread = if config.telemetry_cadence.is_zero() {
+            None
+        } else {
+            let telemetry = Arc::clone(&telemetry);
+            let stop = Arc::clone(&stop_requested);
+            let mut sampler =
+                Sampler::new(config.telemetry_clock.clone(), config.telemetry_cadence);
+            // Poll at the cadence, capped at 5 ms so manual-clock tests
+            // that advance time between polls see prompt samples.
+            let poll = config.telemetry_cadence.min(Duration::from_millis(5));
+            Some(std::thread::spawn(move || loop {
+                if sampler.poll().is_some() {
+                    telemetry.sample_now();
+                }
+                let (flag, cvar) = &*stop;
+                let mut stopped = flag.lock();
+                if *stopped {
+                    return;
+                }
+                let _ = cvar.wait_for(&mut stopped, poll);
+                if *stopped {
+                    return;
+                }
+            }))
+        };
+
         Ok(Server {
             store,
             engine,
@@ -417,7 +637,9 @@ impl Server {
             next_job: Mutex::new(1),
             workers: Mutex::new(workers),
             config,
-            stop_requested: Arc::new((Mutex::new(false), Condvar::new())),
+            stop_requested,
+            telemetry,
+            sampler_thread: Mutex::new(sampler_thread),
         })
     }
 
@@ -534,6 +756,46 @@ impl Server {
         Some((r.events.clone(), r.ledger?))
     }
 
+    /// Takes one telemetry sample right now — regardless of cadence —
+    /// recording it in the ring, the JSONL sink, and every subscriber's
+    /// stream. This is what the `metrics` wire verb answers with.
+    #[must_use]
+    pub fn sample_telemetry_now(&self) -> TelemetrySnapshot {
+        self.telemetry.sample_now()
+    }
+
+    /// The retained telemetry history, oldest first.
+    #[must_use]
+    pub fn telemetry_history(&self) -> Vec<TelemetrySnapshot> {
+        self.telemetry.shared.0.lock().ring.snapshots()
+    }
+
+    /// Blocks until at least one snapshot with `seq > after` exists,
+    /// then returns all of them (oldest first). Returns an empty vec
+    /// once [`Server::request_stop`] was called and nothing newer will
+    /// ever arrive — the subscriber's signal to send its terminal
+    /// frame.
+    #[must_use]
+    pub fn wait_telemetry_after(&self, after: u64) -> Vec<TelemetrySnapshot> {
+        let (lock, cvar) = &self.telemetry.shared;
+        let mut state = lock.lock();
+        loop {
+            let fresh: Vec<TelemetrySnapshot> = state
+                .ring
+                .snapshots()
+                .into_iter()
+                .filter(|s| s.seq > after)
+                .collect();
+            if !fresh.is_empty() {
+                return fresh;
+            }
+            if self.stop_requested() {
+                return Vec::new();
+            }
+            cvar.wait(&mut state);
+        }
+    }
+
     /// Flags that a client asked the daemon to exit; [`Server::serve`]
     /// loops observe it. (Job draining happens in
     /// [`Server::shutdown`].)
@@ -541,6 +803,12 @@ impl Server {
         let (flag, cvar) = &*self.stop_requested;
         *flag.lock() = true;
         cvar.notify_all();
+        // Wake telemetry subscribers so their streams can terminate.
+        // Briefly taking the telemetry lock fences against a waiter
+        // that read the stop flag as false but hasn't parked yet.
+        let (lock, tcvar) = &self.telemetry.shared;
+        drop(lock.lock());
+        tcvar.notify_all();
     }
 
     /// Whether [`Server::request_stop`] was called.
@@ -569,6 +837,9 @@ impl Server {
             let _ = w.join();
         }
         self.request_stop();
+        if let Some(t) = self.sampler_thread.lock().take() {
+            let _ = t.join();
+        }
     }
 }
 
@@ -578,8 +849,25 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(store: &ChunkStore, engine: &CompareEngine, queue: &JobQueue, jobs: &JobTable) {
-    while let Some(job) = queue.pop() {
+fn worker_loop(store: &ChunkStore, engine: &CompareEngine, ctx: &TelemetryCtx, worker: usize) {
+    let slot = &ctx.workers[worker];
+    let jobs = &*ctx.jobs;
+    let queue = &*ctx.queue;
+    // Daemon-lifetime metrics: deterministic given the executed job
+    // set (counts and costs, never wall time), so sampled registries
+    // are reproducible under manual clocks.
+    let done_counter = ctx.registry.counter("jobs.done");
+    let failed_counter = ctx.registry.counter("jobs.failed");
+    let cost_hist = ctx.registry.histogram("job.cost");
+    let events_hist = ctx.registry.histogram("job.events");
+    loop {
+        let idle_from = ctx.clock.now();
+        let Some(job) = queue.pop() else { break };
+        let busy_from = ctx.clock.now();
+        slot.idle_ns.fetch_add(
+            u64::try_from(busy_from.saturating_sub(idle_from).as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
         let spec = {
             let mut table = jobs.jobs.lock();
             let record = table.get_mut(&job.id).expect("queued jobs are recorded");
@@ -590,6 +878,9 @@ fn worker_loop(store: &ChunkStore, engine: &CompareEngine, queue: &JobQueue, job
 
         let outcome = execute_spec(store, engine, &spec);
 
+        ctx.journal_totals.add(outcome.ledger);
+        cost_hist.record(job.cost);
+        events_hist.record(outcome.ledger.events_emitted);
         {
             let mut table = jobs.jobs.lock();
             let record = table.get_mut(&job.id).expect("running jobs are recorded");
@@ -597,16 +888,23 @@ fn worker_loop(store: &ChunkStore, engine: &CompareEngine, queue: &JobQueue, job
                 Ok(value) => {
                     record.state = JobState::Done;
                     record.result = Some(value);
+                    done_counter.inc();
                 }
                 Err(message) => {
                     record.state = JobState::Failed;
                     record.error = Some(message);
+                    failed_counter.inc();
                 }
             }
             record.events = outcome.events;
             record.ledger = Some(outcome.ledger);
         }
         jobs.changed.notify_all();
+        slot.jobs.fetch_add(1, Ordering::Relaxed);
+        slot.busy_ns.fetch_add(
+            u64::try_from(ctx.clock.now().saturating_sub(busy_from).as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
         queue.finish();
     }
 }

@@ -13,11 +13,12 @@
 //! exercises the exact dispatch path production traffic takes.
 
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{self, Receiver, Sender};
+use serde::Serialize;
 
 use crate::proto::{encode, read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
 use crate::queue::AdmitError;
@@ -207,6 +208,37 @@ pub fn serve_connection(server: &Server, conn: &mut dyn Conn) -> std::io::Result
                     }))?;
                 }
             },
+            Request::Metrics => {
+                let snapshot = server.sample_telemetry_now();
+                conn.send(&encode(&Response::Telemetry {
+                    snapshot: snapshot.to_value(),
+                }))?;
+            }
+            Request::SubscribeTelemetry { max } => {
+                // Stream the retained ring first, then live samples as
+                // they land; `max == 0` runs until daemon shutdown. The
+                // terminal `telemetry_end` frame is guaranteed even on
+                // drain, so subscribers never hang on a stopping daemon.
+                let mut sent: u64 = 0;
+                let mut last_seq: u64 = 0;
+                'stream: loop {
+                    let batch = server.wait_telemetry_after(last_seq);
+                    if batch.is_empty() {
+                        break; // daemon stopping: no more samples will land
+                    }
+                    for snapshot in batch {
+                        last_seq = snapshot.seq;
+                        conn.send(&encode(&Response::Telemetry {
+                            snapshot: snapshot.to_value(),
+                        }))?;
+                        sent += 1;
+                        if max != 0 && sent >= max {
+                            break 'stream;
+                        }
+                    }
+                }
+                conn.send(&encode(&Response::TelemetryEnd { snapshots: sent }))?;
+            }
             Request::Shutdown => {
                 // Ack first, then flag the daemon: the accept loop
                 // drains in-flight jobs before exiting.
@@ -274,10 +306,14 @@ impl TcpTransport {
         // without needing a wake-up connection.
         self.listener.set_nonblocking(true)?;
         let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut streams: Vec<TcpStream> = Vec::new();
         while !server.stop_requested() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     let _ = stream.set_nodelay(true);
+                    if let Ok(clone) = stream.try_clone() {
+                        streams.push(clone);
+                    }
                     let server = Arc::clone(server);
                     handlers.push(std::thread::spawn(move || {
                         let mut conn = TcpConn::new(stream);
@@ -290,10 +326,19 @@ impl TcpTransport {
                 Err(e) => return Err(e),
             }
         }
+        // Drain the daemon BEFORE joining handlers: blocked `status
+        // --wait` / `watch` / telemetry subscribers need in-flight jobs
+        // to finish (and the stop flag to propagate) so they can send
+        // their terminal frames instead of deadlocking the join below.
+        server.shutdown();
+        // EOF-unblock handlers idling in `recv` on a quiet connection;
+        // half-close only, so pending responses still flush out.
+        for stream in &streams {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
         for h in handlers {
             let _ = h.join();
         }
-        server.shutdown();
         Ok(())
     }
 }

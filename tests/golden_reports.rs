@@ -599,3 +599,83 @@ fn report_json_is_deterministic_across_runs() {
     assert!(one.contains("\"stage2_stream\""));
     assert!(one.contains("\"io\""), "I/O counters missing");
 }
+
+/// Performance baselines written before the telemetry plane existed
+/// (histogram entries without `sum`/`buckets`, no top-level `gauges`)
+/// must stay readable, and re-serializing one under the new schema
+/// must be *strictly additive*: exactly those fields appear, every
+/// pre-existing field keeps its value, and `perf-diff` between the
+/// legacy file and its re-serialization passes at a zero budget.
+#[test]
+fn pre_telemetry_profiles_remain_readable_and_schema_is_additive() {
+    let legacy_text =
+        std::fs::read_to_string(golden_path("legacy_pre_telemetry")).expect("legacy fixture");
+    let parsed = reprocmp::obs::ProfileBaseline::parse(&legacy_text).expect("legacy parses");
+    assert!(
+        !parsed.histograms.is_empty(),
+        "fixture must exercise histograms"
+    );
+    for h in &parsed.histograms {
+        assert_eq!(h.sum, 0, "pre-telemetry files default sum to zero");
+        assert!(h.buckets.is_empty(), "pre-telemetry files have no buckets");
+    }
+    assert!(
+        parsed.gauges.is_empty(),
+        "pre-telemetry files have no gauges"
+    );
+
+    // Re-serialize under today's schema and compare structurally.
+    let current_text = parsed.to_json();
+    let Json::Obj(legacy) = parse_json(&legacy_text) else {
+        panic!("legacy fixture is not an object")
+    };
+    let Json::Obj(current) = parse_json(&current_text) else {
+        panic!("re-serialized baseline is not an object")
+    };
+    // Top level: everything kept, exactly `gauges` added.
+    for (key, legacy_value) in &legacy {
+        if key == "histograms" {
+            continue; // compared element-wise below
+        }
+        let (_, current_value) = current
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("new schema dropped `{key}`"));
+        assert_additive(legacy_value, current_value, key);
+    }
+    let added: Vec<&str> = current
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .filter(|k| !legacy.iter().any(|(lk, _)| lk == k))
+        .collect();
+    assert_eq!(added, vec!["gauges"], "unexpected top-level additions");
+    // Histogram entries: everything kept, exactly sum + buckets added.
+    fn entries(obj: &[(String, Json)]) -> &[Json] {
+        match obj.iter().find(|(k, _)| k == "histograms") {
+            Some((_, Json::Arr(items))) => items,
+            _ => panic!("no histograms array"),
+        }
+    }
+    for (old_entry, new_entry) in entries(&legacy).iter().zip(entries(&current).iter()) {
+        let (Json::Obj(old), Json::Obj(new)) = (old_entry, new_entry) else {
+            panic!("histogram entries must be objects")
+        };
+        for (key, old_value) in old {
+            let (_, new_value) = new
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("histogram entry dropped `{key}`"));
+            assert_additive(old_value, new_value, &format!("histograms.{key}"));
+        }
+        let added: Vec<&str> = new
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .filter(|k| !old.iter().any(|(ok, _)| ok == k))
+            .collect();
+        assert_eq!(added, vec!["sum", "buckets"], "histogram entry additions");
+    }
+    // And the regression gate sees no drift between the eras.
+    let reparsed = reprocmp::obs::ProfileBaseline::parse(&current_text).expect("round trip");
+    let diff = reprocmp::obs::diff_profiles(&parsed, &reparsed, 0.0);
+    assert!(diff.passed(), "{}", diff.render());
+}

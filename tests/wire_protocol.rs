@@ -95,6 +95,11 @@ fn canonical_requests() -> Vec<(&'static str, Request)> {
             },
         ),
         ("req_watch", Request::Watch { job: 42 }),
+        ("req_metrics", Request::Metrics),
+        (
+            "req_subscribe_telemetry",
+            Request::SubscribeTelemetry { max: 8 },
+        ),
         ("req_shutdown", Request::Shutdown),
     ]
 }
@@ -154,6 +159,20 @@ fn canonical_responses() -> Vec<(&'static str, Response)> {
             Response::Error {
                 message: "unknown job 404".into(),
             },
+        ),
+        (
+            "resp_telemetry",
+            Response::Telemetry {
+                snapshot: Value::Object(vec![
+                    ("schema".to_owned(), Value::UInt(1)),
+                    ("seq".to_owned(), Value::UInt(12)),
+                    ("ts_ns".to_owned(), Value::UInt(120_000_000)),
+                ]),
+            },
+        ),
+        (
+            "resp_telemetry_end",
+            Response::TelemetryEnd { snapshots: 12 },
         ),
     ]
 }
@@ -265,10 +284,10 @@ fn unknown_fields_at_every_level_decode_identically() {
         assert_eq!(decoded, req, "{name}: unknown fields changed the decode");
     }
     for (name, resp) in canonical_responses() {
-        // Status carries a free-form `result` document whose own
-        // fields are opaque payload, not schema — injecting there
-        // changes the message by definition. Skip just that one.
-        if name == "resp_status" {
+        // Status and Telemetry carry free-form documents (`result`,
+        // `snapshot`) whose own fields are opaque payload, not schema
+        // — injecting there changes the message by definition.
+        if name == "resp_status" || name == "resp_telemetry" {
             continue;
         }
         let text = std::fs::read_to_string(golden_path(name))

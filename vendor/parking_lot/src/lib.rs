@@ -166,6 +166,25 @@ impl Condvar {
         );
     }
 
+    /// Like [`Condvar::wait`] but gives up after `timeout`. Returns a
+    /// result whose `timed_out()` reports whether the wait expired
+    /// (spurious wakeups are possible either way, as with `wait`).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard present");
+        let (std_guard, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
     /// Wakes every waiting thread.
     pub fn notify_all(&self) {
         self.inner.notify_all();
@@ -174,6 +193,20 @@ impl Condvar {
     /// Wakes one waiting thread.
     pub fn notify_one(&self) {
         self.inner.notify_one();
+    }
+}
+
+/// Outcome of [`Condvar::wait_for`].
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout expired.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
